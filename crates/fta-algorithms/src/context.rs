@@ -1,0 +1,307 @@
+//! Shared mutable game state: who currently holds which strategy.
+//!
+//! Every assignment algorithm in this crate manipulates a [`GameContext`]:
+//! the per-worker strategy selection over one center's
+//! [`fta_vdps::StrategySpace`], with Definition 8's
+//! disjointness tracked as a single `u128` bitmask union — checking whether
+//! a candidate VDPS conflicts with everyone else's selection is one AND.
+
+use fta_core::{Assignment, WorkerId};
+use fta_vdps::StrategySpace;
+
+/// Mutable selection state over one center's strategy space.
+#[derive(Debug, Clone)]
+pub struct GameContext<'a> {
+    space: &'a StrategySpace,
+    /// Per local worker: index into `space.pool`, or `None` for the null
+    /// strategy.
+    selection: Vec<Option<u32>>,
+    /// Union of the masks of all selected VDPSs.
+    taken: u128,
+    /// Cached payoff per local worker (`0.0` for null).
+    payoffs: Vec<f64>,
+}
+
+impl<'a> GameContext<'a> {
+    /// Creates a context with every worker on the null strategy.
+    #[must_use]
+    pub fn new(space: &'a StrategySpace) -> Self {
+        let n = space.n_workers();
+        Self {
+            space,
+            selection: vec![None; n],
+            taken: 0,
+            payoffs: vec![0.0; n],
+        }
+    }
+
+    /// The strategy space this context plays over.
+    #[must_use]
+    pub fn space(&self) -> &'a StrategySpace {
+        self.space
+    }
+
+    /// Number of workers in the population.
+    #[must_use]
+    pub fn n_workers(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// The pool index currently selected by the `local`-th worker.
+    #[must_use]
+    pub fn selection(&self, local: usize) -> Option<u32> {
+        self.selection[local]
+    }
+
+    /// The current payoff of the `local`-th worker (`0.0` for null).
+    #[must_use]
+    pub fn payoff(&self, local: usize) -> f64 {
+        self.payoffs[local]
+    }
+
+    /// The full payoff vector (local-worker order).
+    #[must_use]
+    pub fn payoffs(&self) -> &[f64] {
+        &self.payoffs
+    }
+
+    /// Sum of all workers' payoffs.
+    #[must_use]
+    pub fn total_payoff(&self) -> f64 {
+        self.payoffs.iter().sum()
+    }
+
+    /// Whether pool entry `pool_idx` would be disjoint from every *other*
+    /// worker's selection if `local` adopted it (the worker's own current
+    /// selection does not block it).
+    #[must_use]
+    pub fn is_available(&self, local: usize, pool_idx: u32) -> bool {
+        let candidate = self.space.pool[pool_idx as usize].mask;
+        let own = self.own_mask(local);
+        candidate & (self.taken & !own) == 0
+    }
+
+    /// The mask currently held by the `local`-th worker (0 for null).
+    #[must_use]
+    pub fn own_mask(&self, local: usize) -> u128 {
+        self.selection[local].map_or(0, |idx| self.space.pool[idx as usize].mask)
+    }
+
+    /// Switches the `local`-th worker to `strategy` (a pool index valid for
+    /// that worker, or `None` for null), updating the conflict mask and the
+    /// cached payoff. Returns the previous selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the strategy is not in the worker's valid
+    /// set or conflicts with another worker's selection.
+    pub fn set_strategy(&mut self, local: usize, strategy: Option<u32>) -> Option<u32> {
+        let prev = self.selection[local];
+        self.taken &= !self.own_mask(local);
+        match strategy {
+            Some(idx) => {
+                let payoff = self
+                    .space
+                    .payoff_of(local, idx)
+                    .expect("strategy must be valid for the worker");
+                let mask = self.space.pool[idx as usize].mask;
+                debug_assert_eq!(
+                    mask & self.taken,
+                    0,
+                    "strategy conflicts with another worker's selection"
+                );
+                self.taken |= mask;
+                self.selection[local] = Some(idx);
+                self.payoffs[local] = payoff;
+            }
+            None => {
+                self.selection[local] = None;
+                self.payoffs[local] = 0.0;
+            }
+        }
+        prev
+    }
+
+    /// Iterator over the pool indices of the `local`-th worker's valid
+    /// strategies that are currently available (disjoint from others).
+    pub fn available_strategies(&self, local: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let other_taken = self.taken & !self.own_mask(local);
+        self.space.valid[local]
+            .iter()
+            .zip(&self.space.payoffs[local])
+            .filter(move |(&idx, _)| self.space.pool[idx as usize].mask & other_taken == 0)
+            .map(|(&idx, &p)| (idx, p))
+    }
+
+    /// Materialises the current selection as an [`Assignment`].
+    #[must_use]
+    pub fn to_assignment(&self) -> Assignment {
+        self.selection
+            .iter()
+            .enumerate()
+            .filter_map(|(local, sel)| {
+                sel.map(|idx| {
+                    (
+                        self.space.worker_id(local),
+                        self.space.pool[idx as usize].route.clone(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// The worker ids of this population, in local order.
+    #[must_use]
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        self.space.view.workers.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+    use fta_core::geometry::Point;
+    use fta_core::ids::{CenterId, DeliveryPointId, TaskId};
+    use fta_core::Instance;
+    use fta_vdps::VdpsConfig;
+
+    /// dc at origin; three dps on a line; two identical workers at dc.
+    pub(crate) fn three_dp_instance() -> Instance {
+        let dps: Vec<DeliveryPoint> = (0..3)
+            .map(|i| DeliveryPoint {
+                id: DeliveryPointId::from_index(i),
+                location: Point::new((i + 1) as f64, 0.0),
+                center: CenterId(0),
+            })
+            .collect();
+        let tasks: Vec<SpatialTask> = (0..3)
+            .map(|i| SpatialTask {
+                id: TaskId::from_index(i),
+                delivery_point: DeliveryPointId::from_index(i),
+                expiry: 50.0,
+                reward: (i + 1) as f64,
+            })
+            .collect();
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(0.0, 0.0),
+            }],
+            vec![
+                Worker {
+                    id: WorkerId(0),
+                    location: Point::new(0.0, 0.5),
+                    max_dp: 2,
+                    center: CenterId(0),
+                },
+                Worker {
+                    id: WorkerId(1),
+                    location: Point::new(0.5, 0.0),
+                    max_dp: 2,
+                    center: CenterId(0),
+                },
+            ],
+            dps,
+            tasks,
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn space(inst: &Instance) -> StrategySpace {
+        let views = inst.center_views();
+        StrategySpace::build(inst, &views[0], &VdpsConfig::unpruned(2))
+    }
+
+    #[test]
+    fn fresh_context_is_all_null() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let ctx = GameContext::new(&s);
+        assert_eq!(ctx.n_workers(), 2);
+        assert_eq!(ctx.payoffs(), &[0.0, 0.0]);
+        assert_eq!(ctx.to_assignment().assigned_workers(), 0);
+    }
+
+    #[test]
+    fn selection_blocks_conflicting_strategies() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        // Worker 0 takes {dp0} (mask 0b001).
+        let dp0 = s.pool.iter().position(|v| v.mask == 0b001).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp0));
+        assert!(ctx.payoff(0) > 0.0);
+        // Worker 1 may not take anything containing dp0.
+        let pair = s.pool.iter().position(|v| v.mask == 0b011).unwrap() as u32;
+        assert!(!ctx.is_available(1, pair));
+        let dp1 = s.pool.iter().position(|v| v.mask == 0b010).unwrap() as u32;
+        assert!(ctx.is_available(1, dp1));
+        // Worker 0 itself can upgrade to a superset of its own mask.
+        assert!(ctx.is_available(0, pair));
+    }
+
+    #[test]
+    fn set_strategy_releases_previous_mask() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let dp0 = s.pool.iter().position(|v| v.mask == 0b001).unwrap() as u32;
+        let dp1 = s.pool.iter().position(|v| v.mask == 0b010).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp0));
+        let prev = ctx.set_strategy(0, Some(dp1));
+        assert_eq!(prev, Some(dp0));
+        // dp0 is free again.
+        assert!(ctx.is_available(1, dp0));
+    }
+
+    #[test]
+    fn available_strategies_excludes_taken() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let all: Vec<u32> = ctx.available_strategies(1).map(|(i, _)| i).collect();
+        assert_eq!(all.len(), s.valid[1].len());
+        let dp2 = s.pool.iter().position(|v| v.mask == 0b100).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp2));
+        let remaining: Vec<u32> = ctx.available_strategies(1).map(|(i, _)| i).collect();
+        assert!(remaining.len() < all.len());
+        assert!(remaining
+            .iter()
+            .all(|&i| s.pool[i as usize].mask & 0b100 == 0));
+    }
+
+    #[test]
+    fn to_assignment_round_trips_and_validates() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let dp0 = s.pool.iter().position(|v| v.mask == 0b001).unwrap() as u32;
+        let dp12 = s.pool.iter().position(|v| v.mask == 0b110).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp0));
+        ctx.set_strategy(1, Some(dp12));
+        let a = ctx.to_assignment();
+        assert_eq!(a.assigned_workers(), 2);
+        assert!(a.validate(&inst).is_ok());
+        // Assignment payoffs match cached context payoffs.
+        let ws = ctx.worker_ids();
+        let payoffs = a.payoffs(&inst, &ws);
+        for (cached, fresh) in ctx.payoffs().iter().zip(payoffs.iter()) {
+            assert!((cached - fresh).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unassigning_returns_to_null() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let dp0 = s.pool.iter().position(|v| v.mask == 0b001).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp0));
+        ctx.set_strategy(0, None);
+        assert_eq!(ctx.payoff(0), 0.0);
+        assert_eq!(ctx.own_mask(0), 0);
+        assert!(ctx.is_available(1, dp0));
+    }
+}

@@ -1,0 +1,339 @@
+//! FGT — the Fairness-aware Game-Theoretic approach (Algorithm 2).
+//!
+//! The FTA problem is formulated as an n-player strategic game whose
+//! utility is the Inequity Aversion based Utility (Equation 5). The game is
+//! an exact potential game with potential `Φ = Σ_i IAU_i` (Lemma 2), and
+//! FGT runs the classical best-response mechanism: after a random
+//! initialisation with single-delivery-point strategies, workers take
+//! turns adopting the strategy (an available VDPS or `null`) that maximises
+//! their IAU given everyone else's current choice, until a full round
+//! passes with no change — a pure Nash equilibrium.
+//!
+//! Strategy switches require a *strict* utility improvement (beyond
+//! [`FgtConfig::min_improvement`]); together with the round cap this
+//! guarantees termination even in the degenerate tie cases the paper's
+//! potential argument glosses over.
+
+use crate::context::GameContext;
+use crate::random::random_init;
+use crate::trace::ConvergenceTrace;
+use fta_core::iau::{IauEvaluator, IauParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the FGT best-response run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FgtConfig {
+    /// Inequity-aversion weights (the paper uses `α = β = 0.5`).
+    pub iau: IauParams,
+    /// Cap on best-response rounds.
+    pub max_rounds: usize,
+    /// Seed of the random initialisation.
+    pub seed: u64,
+    /// Minimal utility gain required to switch strategies. Positive values
+    /// also serve as the paper's proposed early-termination refinement.
+    pub min_improvement: f64,
+    /// Additional restarts from fresh random initialisations. The game can
+    /// have many pure Nash equilibria of very different fairness; each
+    /// restart converges to one, and the equilibrium best under the FTA
+    /// objective (lexicographically minimal payoff difference, then maximal
+    /// average payoff) is kept.
+    pub restarts: usize,
+}
+
+impl Default for FgtConfig {
+    fn default() -> Self {
+        Self {
+            iau: IauParams::default(),
+            max_rounds: 200,
+            seed: 0x4647_5421, // "FGT!"
+            min_improvement: 1e-9,
+            restarts: 2,
+        }
+    }
+}
+
+/// The game's exact potential `Φ(st) = Σ_i IAU_i` (Lemma 2), computed in
+/// `O(n log n)` via the identity `Σ_i MP_i = Σ_i LP_i = Σ_{i<j} |P_i−P_j|`:
+///
+/// `Φ = Σ P_i − (α+β) · n · P_dif / 2`.
+#[must_use]
+pub fn iau_potential(payoffs: &[f64], params: IauParams) -> f64 {
+    let n = payoffs.len();
+    if n < 2 {
+        return payoffs.iter().sum();
+    }
+    let total: f64 = payoffs.iter().sum();
+    let p_dif = fta_core::fairness::payoff_difference(payoffs);
+    total - (params.alpha + params.beta) * n as f64 * p_dif / 2.0
+}
+
+/// Runs FGT on a fresh context; returns the convergence trace of the kept
+/// run. The final selection (a pure Nash equilibrium unless the round cap
+/// was hit) is left in `ctx`. With `restarts > 0`, several equilibria are
+/// computed from different random initialisations and the one best under
+/// the FTA objective is kept.
+pub fn fgt<'a>(ctx: &mut GameContext<'a>, config: &FgtConfig) -> ConvergenceTrace {
+    let mut best: Option<(GameContext<'a>, ConvergenceTrace, f64, f64)> = None;
+    for attempt in 0..=config.restarts {
+        let mut trial = GameContext::new(ctx.space());
+        let trace = fgt_once(&mut trial, config, config.seed.wrapping_add(attempt as u64));
+        let diff = fta_core::fairness::payoff_difference(trial.payoffs());
+        let avg = fta_core::fairness::average_payoff(trial.payoffs());
+        let improves = best.as_ref().is_none_or(|&(_, _, bd, ba)| {
+            diff < bd - 1e-12 || ((diff - bd).abs() <= 1e-12 && avg > ba + 1e-12)
+        });
+        if improves {
+            best = Some((trial, trace, diff, avg));
+        }
+    }
+    let (winner, trace, _, _) = best.expect("at least one attempt always runs");
+    *ctx = winner;
+    trace
+}
+
+/// One best-response run from one random initialisation.
+fn fgt_once(ctx: &mut GameContext<'_>, config: &FgtConfig, seed: u64) -> ConvergenceTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_init(ctx, &mut rng);
+
+    let mut trace = ConvergenceTrace::default();
+    trace.record(
+        0,
+        0,
+        ctx.payoffs(),
+        iau_potential(ctx.payoffs(), config.iau),
+    );
+
+    let n = ctx.n_workers();
+    for round in 1..=config.max_rounds {
+        let mut moves = 0;
+        for local in 0..n {
+            // Rivals' payoffs stay fixed while this worker deliberates.
+            let others: Vec<f64> = (0..n)
+                .filter(|&j| j != local)
+                .map(|j| ctx.payoff(j))
+                .collect();
+            let eval = IauEvaluator::new(&others, config.iau);
+
+            let current_utility = eval.eval(ctx.payoff(local));
+            // Candidate set: null (payoff 0) plus every available VDPS.
+            let mut best: Option<(Option<u32>, f64)> = Some((None, eval.eval(0.0)));
+            for (idx, payoff) in ctx.available_strategies(local) {
+                let u = eval.eval(payoff);
+                if best.as_ref().is_none_or(|&(_, bu)| u > bu) {
+                    best = Some((Some(idx), u));
+                }
+            }
+            let (choice, utility) = best.expect("null is always a candidate");
+            if utility > current_utility + config.min_improvement && choice != ctx.selection(local)
+            {
+                ctx.set_strategy(local, choice);
+                moves += 1;
+            }
+        }
+        trace.record(
+            round,
+            moves,
+            ctx.payoffs(),
+            iau_potential(ctx.payoffs(), config.iau),
+        );
+        if moves == 0 {
+            trace.converged = true;
+            break;
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_core::Instance;
+    use fta_data::{generate_syn, SynConfig};
+    use fta_vdps::{StrategySpace, VdpsConfig};
+
+    fn instance(seed: u64) -> Instance {
+        generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 12,
+                n_tasks: 120,
+                n_delivery_points: 20,
+                extent: 2.0,
+                ..SynConfig::bench_scale()
+            },
+            seed,
+        )
+    }
+
+    fn space(inst: &Instance) -> StrategySpace {
+        let views = inst.center_views();
+        StrategySpace::build(inst, &views[0], &VdpsConfig::unpruned(3))
+    }
+
+    #[test]
+    fn converges_to_a_nash_equilibrium() {
+        let inst = instance(1);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let cfg = FgtConfig::default();
+        let trace = fgt(&mut ctx, &cfg);
+        assert!(trace.converged, "FGT did not converge");
+
+        // Nash check: no worker can strictly improve unilaterally.
+        let n = ctx.n_workers();
+        for local in 0..n {
+            let others: Vec<f64> = (0..n)
+                .filter(|&j| j != local)
+                .map(|j| ctx.payoff(j))
+                .collect();
+            let eval = IauEvaluator::new(&others, cfg.iau);
+            let current = eval.eval(ctx.payoff(local));
+            assert!(eval.eval(0.0) <= current + 1e-6, "null beats equilibrium");
+            for (_, payoff) in ctx.available_strategies(local) {
+                assert!(
+                    eval.eval(payoff) <= current + 1e-6,
+                    "worker {local} has a profitable deviation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn produces_valid_assignment() {
+        let inst = instance(2);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        fgt(&mut ctx, &FgtConfig::default());
+        assert!(ctx.to_assignment().validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let inst = instance(3);
+        let s = space(&inst);
+        let run = |seed| {
+            let mut ctx = GameContext::new(&s);
+            let trace = fgt(
+                &mut ctx,
+                &FgtConfig {
+                    seed,
+                    ..FgtConfig::default()
+                },
+            );
+            (ctx.to_assignment(), trace.len())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn trace_starts_at_round_zero_and_ends_quiet() {
+        let inst = instance(4);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let trace = fgt(&mut ctx, &FgtConfig::default());
+        assert_eq!(trace.rounds[0].round, 0);
+        assert_eq!(trace.last().unwrap().moves, 0);
+    }
+
+    #[test]
+    fn potential_identity_matches_direct_sum() {
+        use fta_core::iau::iau;
+        let payoffs = [0.7, 2.1, 1.3, 4.0, 0.0];
+        let params = IauParams {
+            alpha: 0.4,
+            beta: 0.7,
+        };
+        let direct: f64 = (0..payoffs.len())
+            .map(|i| {
+                let others: Vec<f64> = payoffs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &p)| p)
+                    .collect();
+                iau(payoffs[i], &others, params)
+            })
+            .sum();
+        let fast = iau_potential(&payoffs, params);
+        assert!((direct - fast).abs() < 1e-9, "{direct} vs {fast}");
+    }
+
+    #[test]
+    fn zero_rounds_returns_the_random_initialisation() {
+        let inst = instance(5);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let trace = fgt(
+            &mut ctx,
+            &FgtConfig {
+                max_rounds: 0,
+                restarts: 0,
+                ..FgtConfig::default()
+            },
+        );
+        assert_eq!(trace.len(), 1, "only the initialisation round is recorded");
+        assert!(!trace.converged);
+        // Initialisation assigns only single-dp strategies.
+        for local in 0..ctx.n_workers() {
+            if let Some(idx) = ctx.selection(local) {
+                assert_eq!(s.pool[idx as usize].len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn restarts_never_worsen_the_fta_objective() {
+        for seed in 20..24 {
+            let inst = instance(seed);
+            let s = space(&inst);
+            let ws = s.view.workers.clone();
+            let diff_with = |restarts| {
+                let mut ctx = GameContext::new(&s);
+                fgt(
+                    &mut ctx,
+                    &FgtConfig {
+                        restarts,
+                        ..FgtConfig::default()
+                    },
+                );
+                ctx.to_assignment().fairness(&inst, &ws).payoff_difference
+            };
+            // The restart set includes the single-run equilibrium, and the
+            // selection keeps the min-diff one.
+            assert!(diff_with(3) <= diff_with(0) + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fgt_is_fairer_than_greedy_on_average() {
+        // Across several seeds, FGT's payoff difference should generally be
+        // no worse than GTA's (the paper's Figures 4–9 show a clear gap).
+        let mut fgt_total = 0.0;
+        let mut gta_total = 0.0;
+        for seed in 0..6 {
+            let inst = instance(100 + seed);
+            let s = space(&inst);
+            let ws: Vec<_> = s.view.workers.clone();
+
+            let mut g = GameContext::new(&s);
+            crate::gta::gta(&mut g);
+            gta_total += g
+                .to_assignment()
+                .fairness(&inst, &ws)
+                .payoff_difference;
+
+            let mut f = GameContext::new(&s);
+            fgt(&mut f, &FgtConfig::default());
+            fgt_total += f
+                .to_assignment()
+                .fairness(&inst, &ws)
+                .payoff_difference;
+        }
+        assert!(
+            fgt_total <= gta_total * 1.05,
+            "FGT mean diff {fgt_total} vs GTA {gta_total}"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! IEGT — the Improved Evolutionary Game-Theoretic approach (Algorithm 3).
+//!
+//! Workers of one distribution center form a population that repeatedly
+//! plays the assignment game. Utilities are raw payoffs (Section VI-B).
+//! Each round evaluates the replicator dynamics (Equation 11): a worker's
+//! population share grows or shrinks with the sign of `U_i − Ū`, so a
+//! worker whose payoff is below the population average (`σ̇ < 0`) must
+//! *evolve* — redraw another available strategy with a strictly higher
+//! payoff — or keep being outcompeted. The run stops at an improved
+//! evolutionary equilibrium: either all replicator derivatives vanish
+//! (equal payoffs) or a whole round passes with no strategy change
+//! (Algorithm 3, line 27).
+
+use crate::context::GameContext;
+use crate::random::random_init;
+use crate::trace::ConvergenceTrace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How a below-average worker picks among its strictly better available
+/// strategies. The paper specifies a uniformly random pick; the other
+/// policies are ablations (see the `ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedrawPolicy {
+    /// Uniformly random among strictly better strategies (the paper's
+    /// Algorithm 3, line 24).
+    #[default]
+    UniformBetter,
+    /// The *smallest* strict improvement — a cautious evolution step that
+    /// avoids overshooting the population average.
+    MinimalBetter,
+    /// The best available strategy (degenerates towards greedy behaviour).
+    BestAvailable,
+}
+
+/// Configuration of the IEGT run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IegtConfig {
+    /// Cap on evolution rounds.
+    pub max_rounds: usize,
+    /// Seed for the initialisation and the random redraws.
+    pub seed: u64,
+    /// Redraw policy for below-average workers.
+    pub redraw: RedrawPolicy,
+    /// Tolerance under which payoffs count as "equal to the average" when
+    /// testing the `σ̇ = 0` rest point.
+    pub equality_tolerance: f64,
+}
+
+impl Default for IegtConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 500,
+            seed: 0x4945_4754, // "IEGT"
+            redraw: RedrawPolicy::UniformBetter,
+            equality_tolerance: 1e-9,
+        }
+    }
+}
+
+/// Runs IEGT on a fresh context; returns the convergence trace. The final
+/// selection (an improved evolutionary equilibrium unless the round cap was
+/// hit) is left in `ctx`.
+pub fn iegt(ctx: &mut GameContext<'_>, config: &IegtConfig) -> ConvergenceTrace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    random_init(ctx, &mut rng);
+
+    let mut trace = ConvergenceTrace::default();
+    trace.record(0, 0, ctx.payoffs(), ctx.total_payoff());
+
+    let n = ctx.n_workers();
+    for round in 1..=config.max_rounds {
+        let average = ctx.total_payoff() / n as f64;
+        let mut moves = 0;
+        let mut all_at_rest = true;
+        for local in 0..n {
+            let current = ctx.payoff(local);
+            // Replicator dynamics sign: σ̇ = σ (U_i − Ū); σ > 0 for a
+            // strategy in play, so σ̇ < 0 ⇔ U_i < Ū.
+            if current >= average - config.equality_tolerance {
+                continue;
+            }
+            all_at_rest = false;
+            let better: Vec<(u32, f64)> = ctx
+                .available_strategies(local)
+                .filter(|&(_, p)| p > current + f64::EPSILON)
+                .collect();
+            let choice = match config.redraw {
+                RedrawPolicy::UniformBetter => better.choose(&mut rng).copied(),
+                RedrawPolicy::MinimalBetter => better
+                    .iter()
+                    .copied()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("payoffs are not NaN")),
+                RedrawPolicy::BestAvailable => better
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("payoffs are not NaN")),
+            };
+            if let Some((idx, _)) = choice {
+                ctx.set_strategy(local, Some(idx));
+                moves += 1;
+            }
+        }
+        trace.record(round, moves, ctx.payoffs(), ctx.total_payoff());
+        // Termination (Algorithm 3 line 27): σ̇ = 0 for the whole
+        // population, or no worker changed strategy this round.
+        if all_at_rest || moves == 0 {
+            trace.converged = true;
+            break;
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_core::Instance;
+    use fta_data::{generate_syn, SynConfig};
+    use fta_vdps::{StrategySpace, VdpsConfig};
+
+    fn instance(seed: u64) -> Instance {
+        generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 12,
+                n_tasks: 120,
+                n_delivery_points: 20,
+                extent: 2.0,
+                ..SynConfig::bench_scale()
+            },
+            seed,
+        )
+    }
+
+    fn space(inst: &Instance) -> StrategySpace {
+        let views = inst.center_views();
+        StrategySpace::build(inst, &views[0], &VdpsConfig::unpruned(3))
+    }
+
+    #[test]
+    fn reaches_an_improved_evolutionary_equilibrium() {
+        let inst = instance(1);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let cfg = IegtConfig::default();
+        let trace = iegt(&mut ctx, &cfg);
+        assert!(trace.converged, "IEGT did not converge");
+        // At rest, every below-average worker has no strictly better
+        // available strategy.
+        let average = ctx.total_payoff() / ctx.n_workers() as f64;
+        for local in 0..ctx.n_workers() {
+            let current = ctx.payoff(local);
+            if current < average - 1e-9 {
+                let improvable = ctx
+                    .available_strategies(local)
+                    .any(|(_, p)| p > current + f64::EPSILON);
+                assert!(
+                    !improvable,
+                    "worker {local} is below average but could still evolve"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn produces_valid_assignment() {
+        let inst = instance(2);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        iegt(&mut ctx, &IegtConfig::default());
+        assert!(ctx.to_assignment().validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let inst = instance(3);
+        let s = space(&inst);
+        let run = || {
+            let mut ctx = GameContext::new(&s);
+            let trace = iegt(&mut ctx, &IegtConfig::default());
+            (ctx.to_assignment(), trace.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn payoffs_never_degrade_during_evolution() {
+        // Workers only ever redraw strictly better strategies, so the total
+        // payoff is non-decreasing round over round.
+        let inst = instance(4);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let trace = iegt(&mut ctx, &IegtConfig::default());
+        for pair in trace.rounds.windows(2) {
+            assert!(
+                pair[1].potential >= pair[0].potential - 1e-9,
+                "total payoff regressed: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn redraw_policies_all_converge() {
+        let inst = instance(5);
+        let s = space(&inst);
+        for policy in [
+            RedrawPolicy::UniformBetter,
+            RedrawPolicy::MinimalBetter,
+            RedrawPolicy::BestAvailable,
+        ] {
+            let mut ctx = GameContext::new(&s);
+            let trace = iegt(
+                &mut ctx,
+                &IegtConfig {
+                    redraw: policy,
+                    ..IegtConfig::default()
+                },
+            );
+            assert!(trace.converged, "{policy:?} did not converge");
+            assert!(ctx.to_assignment().validate(&inst).is_ok());
+        }
+    }
+
+    #[test]
+    fn iegt_is_fairer_than_greedy_on_average() {
+        // The paper's headline result: IEGT's payoff difference is a small
+        // fraction of GTA's (Figures 4–9). Check the direction across seeds.
+        let mut iegt_total = 0.0;
+        let mut gta_total = 0.0;
+        for seed in 0..6 {
+            let inst = instance(200 + seed);
+            let s = space(&inst);
+            let ws = s.view.workers.clone();
+
+            let mut g = GameContext::new(&s);
+            crate::gta::gta(&mut g);
+            gta_total += g.to_assignment().fairness(&inst, &ws).payoff_difference;
+
+            let mut e = GameContext::new(&s);
+            iegt(&mut e, &IegtConfig::default());
+            iegt_total += e.to_assignment().fairness(&inst, &ws).payoff_difference;
+        }
+        assert!(
+            iegt_total < gta_total,
+            "IEGT mean diff {iegt_total} vs GTA {gta_total}"
+        );
+    }
+}

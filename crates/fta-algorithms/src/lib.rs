@@ -1,0 +1,52 @@
+//! # fta-algorithms — task assignment algorithms for the FTA problem
+//!
+//! Implements every assignment algorithm evaluated in the paper
+//! (Section VII-A) plus two validation baselines:
+//!
+//! * [`mod@gta`] — **GTA**, Greedy Task Assignment: repeatedly give the worker
+//!   with the highest attainable payoff its best available VDPS;
+//! * [`mod@mpta`] — **MPTA**, Maximal Payoff Task Assignment: maximises the
+//!   *total* payoff (greedy seeding + payoff best-response hill climbing;
+//!   the paper uses a tree-decomposition heuristic from external references
+//!   — see `DESIGN.md` §3 for the substitution argument);
+//! * [`mod@fgt`] — **FGT** (Algorithm 2), the fairness-aware classical game:
+//!   sequential asynchronous best response on Inequity-Aversion based
+//!   Utility until a pure Nash equilibrium;
+//! * [`mod@iegt`] — **IEGT** (Algorithm 3), the improved evolutionary game:
+//!   replicator-dynamics-driven strategy adaptation until an improved
+//!   evolutionary equilibrium;
+//! * [`random`] — random assignment (also the shared random initialisation
+//!   of Algorithms 2 and 3, lines 6–16);
+//! * [`exact`] — exponential-time exact solvers (minimum payoff difference
+//!   and maximum total payoff), used to validate the heuristics on small
+//!   instances and to exercise the NP-hardness boundary.
+//!
+//! All algorithms operate on a [`context::GameContext`] over a
+//! per-center [`StrategySpace`](fta_vdps::StrategySpace); the [`solver`]
+//! module orchestrates VDPS generation and per-center (optionally
+//! threaded) assignment over a whole [`Instance`](fta_core::Instance).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod context;
+pub mod exact;
+pub mod fgt;
+pub mod gta;
+pub mod iegt;
+pub mod mpta;
+pub mod pfgt;
+pub mod random;
+pub mod solver;
+pub mod trace;
+
+pub use context::GameContext;
+pub use fgt::{fgt, FgtConfig};
+pub use gta::gta;
+pub use iegt::{iegt, IegtConfig, RedrawPolicy};
+pub use exact::{exact_search, ExactObjective};
+pub use mpta::{mpta, MptaConfig};
+pub use pfgt::{pfgt, PfgtConfig, PrioritySpec};
+pub use random::random_assignment;
+pub use solver::{solve, Algorithm, SolveConfig, SolveOutcome};
+pub use trace::{ConvergenceTrace, RoundStats};

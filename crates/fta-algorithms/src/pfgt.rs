@@ -1,0 +1,294 @@
+//! PFGT — Priority-aware Fairness Game-Theoretic assignment (extension).
+//!
+//! The paper's conclusion proposes priority-aware fairness as a follow-up
+//! descriptive model. PFGT is FGT with the utility swapped for the
+//! priority-aware IAU of [`fta_core::priority`]: each worker carries an
+//! entitlement weight ρ, inequity is perceived on normalised payoffs
+//! `P/ρ`, and the equilibrium-selection objective becomes the
+//! priority-aware payoff difference. With all priorities equal to 1 PFGT
+//! coincides with FGT (tested below).
+
+use crate::context::GameContext;
+use crate::fgt::FgtConfig;
+use crate::random::random_init;
+use crate::trace::ConvergenceTrace;
+use fta_core::priority::{priority_payoff_difference, PriorityIauEvaluator};
+use fta_core::WorkerId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How worker priorities are derived. A plain function pointer keeps the
+/// solver's `Algorithm` enum `Copy` while allowing arbitrary priority
+/// schemes.
+///
+/// Equality on the `ByWorker` variant compares function pointers, which is
+/// only used to detect "same configuration" in tests — two distinct
+/// functions comparing equal after identical-code merging would be
+/// harmless there.
+#[allow(unpredictable_function_pointer_comparisons)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrioritySpec {
+    /// Every worker has priority 1 (PFGT ≡ FGT).
+    Uniform,
+    /// Priorities computed from the worker id.
+    ByWorker(fn(WorkerId) -> f64),
+}
+
+impl PrioritySpec {
+    /// The priority of `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `ByWorker` function returns a non-positive or non-finite
+    /// value.
+    #[must_use]
+    pub fn of(&self, worker: WorkerId) -> f64 {
+        match self {
+            Self::Uniform => 1.0,
+            Self::ByWorker(f) => {
+                let rho = f(worker);
+                assert!(
+                    rho.is_finite() && rho > 0.0,
+                    "priority of {worker} must be positive, got {rho}"
+                );
+                rho
+            }
+        }
+    }
+}
+
+/// Configuration of a PFGT run: the FGT knobs plus the priority scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PfgtConfig {
+    /// Best-response parameters (IAU weights, rounds, seed, restarts).
+    pub base: FgtConfig,
+    /// Worker priority scheme.
+    pub priorities: PrioritySpec,
+}
+
+impl Default for PfgtConfig {
+    fn default() -> Self {
+        Self {
+            base: FgtConfig::default(),
+            priorities: PrioritySpec::Uniform,
+        }
+    }
+}
+
+/// Runs PFGT on a fresh context; the equilibrium best under the
+/// priority-aware FTA objective across restarts is kept.
+pub fn pfgt<'a>(ctx: &mut GameContext<'a>, config: &PfgtConfig) -> ConvergenceTrace {
+    let priorities: Vec<f64> = (0..ctx.n_workers())
+        .map(|local| config.priorities.of(ctx.space().worker_id(local)))
+        .collect();
+
+    let mut best: Option<(GameContext<'a>, ConvergenceTrace, f64, f64)> = None;
+    for attempt in 0..=config.base.restarts {
+        let mut trial = GameContext::new(ctx.space());
+        let trace = pfgt_once(
+            &mut trial,
+            config,
+            &priorities,
+            config.base.seed.wrapping_add(attempt as u64),
+        );
+        let diff = priority_payoff_difference(trial.payoffs(), &priorities);
+        let avg = fta_core::fairness::average_payoff(trial.payoffs());
+        let improves = best.as_ref().is_none_or(|&(_, _, bd, ba)| {
+            diff < bd - 1e-12 || ((diff - bd).abs() <= 1e-12 && avg > ba + 1e-12)
+        });
+        if improves {
+            best = Some((trial, trace, diff, avg));
+        }
+    }
+    let (winner, trace, _, _) = best.expect("at least one attempt always runs");
+    *ctx = winner;
+    trace
+}
+
+fn pfgt_once(
+    ctx: &mut GameContext<'_>,
+    config: &PfgtConfig,
+    priorities: &[f64],
+    seed: u64,
+) -> ConvergenceTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_init(ctx, &mut rng);
+
+    let potential = |payoffs: &[f64]| {
+        crate::fgt::iau_potential(
+            &fta_core::priority::normalized_payoffs(payoffs, priorities),
+            config.base.iau,
+        )
+    };
+    let mut trace = ConvergenceTrace::default();
+    trace.record(0, 0, ctx.payoffs(), potential(ctx.payoffs()));
+
+    let n = ctx.n_workers();
+    for round in 1..=config.base.max_rounds {
+        let mut moves = 0;
+        for local in 0..n {
+            let others: Vec<(f64, f64)> = (0..n)
+                .filter(|&j| j != local)
+                .map(|j| (ctx.payoff(j), priorities[j]))
+                .collect();
+            let eval = PriorityIauEvaluator::new(priorities[local], &others, config.base.iau);
+
+            let current_utility = eval.eval(ctx.payoff(local));
+            let mut best: Option<(Option<u32>, f64)> = Some((None, eval.eval(0.0)));
+            for (idx, payoff) in ctx.available_strategies(local) {
+                let u = eval.eval(payoff);
+                if best.as_ref().is_none_or(|&(_, bu)| u > bu) {
+                    best = Some((Some(idx), u));
+                }
+            }
+            let (choice, utility) = best.expect("null is always a candidate");
+            if utility > current_utility + config.base.min_improvement
+                && choice != ctx.selection(local)
+            {
+                ctx.set_strategy(local, choice);
+                moves += 1;
+            }
+        }
+        trace.record(round, moves, ctx.payoffs(), potential(ctx.payoffs()));
+        if moves == 0 {
+            trace.converged = true;
+            break;
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgt::fgt;
+    use fta_core::Instance;
+    use fta_data::{generate_syn, SynConfig};
+    use fta_vdps::{StrategySpace, VdpsConfig};
+
+    fn instance(seed: u64) -> Instance {
+        generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 10,
+                n_tasks: 120,
+                n_delivery_points: 20,
+                extent: 2.0,
+                ..SynConfig::bench_scale()
+            },
+            seed,
+        )
+    }
+
+    fn space(inst: &Instance) -> StrategySpace {
+        let views = inst.center_views();
+        StrategySpace::build(inst, &views[0], &VdpsConfig::unpruned(3))
+    }
+
+    fn tiered(worker: WorkerId) -> f64 {
+        if worker.0 % 2 == 0 {
+            2.0
+        } else {
+            1.0
+        }
+    }
+
+    #[test]
+    fn uniform_priorities_reproduce_fgt() {
+        let inst = instance(1);
+        let s = space(&inst);
+        let mut a = GameContext::new(&s);
+        fgt(&mut a, &FgtConfig::default());
+        let mut b = GameContext::new(&s);
+        pfgt(&mut b, &PfgtConfig::default());
+        assert_eq!(a.to_assignment(), b.to_assignment());
+    }
+
+    #[test]
+    fn produces_valid_assignments_under_skewed_priorities() {
+        let inst = instance(2);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let trace = pfgt(
+            &mut ctx,
+            &PfgtConfig {
+                priorities: PrioritySpec::ByWorker(tiered),
+                ..PfgtConfig::default()
+            },
+        );
+        assert!(trace.converged);
+        assert!(ctx.to_assignment().validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn pfgt_optimises_priority_fairness_not_plain_fairness() {
+        // Averaged over seeds, PFGT under skewed priorities should achieve
+        // a lower *priority-aware* payoff difference than plain FGT.
+        let mut pfgt_pdiff = 0.0;
+        let mut fgt_pdiff = 0.0;
+        for seed in 0..6 {
+            let inst = instance(100 + seed);
+            let s = space(&inst);
+            let priorities: Vec<f64> = s.view.workers.iter().map(|&w| tiered(w)).collect();
+
+            let mut f = GameContext::new(&s);
+            fgt(&mut f, &FgtConfig::default());
+            fgt_pdiff += priority_payoff_difference(f.payoffs(), &priorities);
+
+            let mut p = GameContext::new(&s);
+            pfgt(
+                &mut p,
+                &PfgtConfig {
+                    priorities: PrioritySpec::ByWorker(tiered),
+                    ..PfgtConfig::default()
+                },
+            );
+            pfgt_pdiff += priority_payoff_difference(p.payoffs(), &priorities);
+        }
+        assert!(
+            pfgt_pdiff <= fgt_pdiff + 1e-9,
+            "PFGT priority diff {pfgt_pdiff} > FGT {fgt_pdiff}"
+        );
+    }
+
+    #[test]
+    fn high_priority_workers_earn_more_at_equilibrium() {
+        // Averaged over seeds, the mean payoff of priority-2 workers should
+        // exceed that of priority-1 workers under PFGT.
+        let mut high_total = 0.0;
+        let mut low_total = 0.0;
+        for seed in 0..8 {
+            let inst = instance(200 + seed);
+            let s = space(&inst);
+            let mut ctx = GameContext::new(&s);
+            pfgt(
+                &mut ctx,
+                &PfgtConfig {
+                    priorities: PrioritySpec::ByWorker(tiered),
+                    ..PfgtConfig::default()
+                },
+            );
+            for local in 0..ctx.n_workers() {
+                if tiered(s.worker_id(local)) > 1.5 {
+                    high_total += ctx.payoff(local);
+                } else {
+                    low_total += ctx.payoff(local);
+                }
+            }
+        }
+        assert!(
+            high_total > low_total,
+            "high-priority workers earned {high_total}, low earned {low_total}"
+        );
+    }
+
+    #[test]
+    fn priority_spec_validates_outputs() {
+        fn bad(_: WorkerId) -> f64 {
+            -1.0
+        }
+        let spec = PrioritySpec::ByWorker(bad);
+        let result = std::panic::catch_unwind(|| spec.of(WorkerId(0)));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! Whole-instance orchestration: VDPS generation + per-center assignment.
+//!
+//! Task assignment across distribution centers is independent, so the
+//! solver decomposes an [`Instance`] into [`CenterView`]s, builds each
+//! center's [`StrategySpace`], runs the selected algorithm per center
+//! (optionally on one thread per center, as the paper suggests in Section
+//! VII-A), and merges the per-center assignments and convergence traces.
+
+use crate::context::GameContext;
+use crate::fgt::{fgt, FgtConfig};
+use crate::gta::gta;
+use crate::iegt::{iegt, IegtConfig};
+use crate::mpta::{mpta, MptaConfig};
+use crate::pfgt::{pfgt, PfgtConfig};
+use crate::random::random_assignment;
+use crate::trace::ConvergenceTrace;
+use fta_core::instance::CenterView;
+use fta_core::{Assignment, Instance};
+use fta_vdps::{GenerationStats, StrategySpace, VdpsConfig};
+use std::time::{Duration, Instant};
+
+/// The assignment algorithm to run per center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Greedy Task Assignment (baseline, no fairness).
+    Gta,
+    /// Maximal (total) Payoff Task Assignment (baseline, no fairness).
+    Mpta(MptaConfig),
+    /// Fairness-aware Game-Theoretic approach (Algorithm 2).
+    Fgt(FgtConfig),
+    /// Priority-aware FGT (future-work extension; see [`mod@crate::pfgt`]).
+    Pfgt(PfgtConfig),
+    /// Improved Evolutionary Game-Theoretic approach (Algorithm 3).
+    Iegt(IegtConfig),
+    /// Uniformly random valid assignment (sanity baseline).
+    Random {
+        /// Seed of the random choices.
+        seed: u64,
+    },
+}
+
+impl Algorithm {
+    /// Short display name matching the paper's legends.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Gta => "GTA",
+            Self::Mpta(_) => "MPTA",
+            Self::Fgt(_) => "FGT",
+            Self::Pfgt(_) => "PFGT",
+            Self::Iegt(_) => "IEGT",
+            Self::Random { .. } => "RAND",
+        }
+    }
+
+    /// Returns a copy with all internal seeds offset by `salt`, so each
+    /// distribution center's stochastic steps are decorrelated while the
+    /// whole run stays deterministic.
+    #[must_use]
+    fn salted(self, salt: u64) -> Self {
+        let mix = |seed: u64| seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match self {
+            Self::Gta => Self::Gta,
+            Self::Mpta(c) => Self::Mpta(MptaConfig {
+                seed: mix(c.seed),
+                ..c
+            }),
+            Self::Fgt(c) => Self::Fgt(FgtConfig {
+                seed: mix(c.seed),
+                ..c
+            }),
+            Self::Pfgt(c) => Self::Pfgt(PfgtConfig {
+                base: FgtConfig {
+                    seed: mix(c.base.seed),
+                    ..c.base
+                },
+                ..c
+            }),
+            Self::Iegt(c) => Self::Iegt(IegtConfig {
+                seed: mix(c.seed),
+                ..c
+            }),
+            Self::Random { seed } => Self::Random { seed: mix(seed) },
+        }
+    }
+}
+
+/// Full solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveConfig {
+    /// VDPS generation parameters (ε pruning, length cap).
+    pub vdps: VdpsConfig,
+    /// The assignment algorithm.
+    pub algorithm: Algorithm,
+    /// Run distribution centers on separate threads.
+    pub parallel: bool,
+}
+
+impl SolveConfig {
+    /// Convenience constructor with default VDPS settings and sequential
+    /// execution.
+    #[must_use]
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self {
+            vdps: VdpsConfig::default(),
+            algorithm,
+            parallel: false,
+        }
+    }
+}
+
+/// The result of solving one instance.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The merged assignment over all centers.
+    pub assignment: Assignment,
+    /// Total CPU time spent generating VDPSs (summed over centers).
+    pub vdps_time: Duration,
+    /// Total CPU time spent in the assignment algorithm proper.
+    pub assign_time: Duration,
+    /// Aggregated VDPS generation statistics.
+    pub gen_stats: GenerationStats,
+    /// Merged convergence trace (FGT/IEGT only; empty for the baselines).
+    pub trace: ConvergenceTrace,
+}
+
+impl SolveOutcome {
+    /// Total wall CPU time (VDPS generation + assignment).
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.vdps_time + self.assign_time
+    }
+}
+
+/// Per-center result, merged by [`solve`].
+struct CenterOutcome {
+    assignment: Assignment,
+    vdps_time: Duration,
+    assign_time: Duration,
+    gen_stats: GenerationStats,
+    trace: ConvergenceTrace,
+}
+
+fn solve_center(instance: &Instance, view: &CenterView, config: &SolveConfig) -> CenterOutcome {
+    // The generator caps subsets at `min(config cap, workers' max maxDP)`:
+    // larger sets can never be assigned.
+    let center_max_dp = view
+        .workers
+        .iter()
+        .map(|&w| instance.workers[w.index()].max_dp)
+        .max()
+        .unwrap_or(0);
+    let vdps_cfg = VdpsConfig {
+        max_len: config.vdps.max_len.min(center_max_dp),
+        ..config.vdps
+    };
+
+    let t0 = Instant::now();
+    let space = StrategySpace::build(instance, view, &vdps_cfg);
+    let vdps_time = t0.elapsed();
+
+    let algorithm = config.algorithm.salted(u64::from(view.center.0));
+    let t1 = Instant::now();
+    let mut ctx = GameContext::new(&space);
+    let trace = match algorithm {
+        Algorithm::Gta => {
+            gta(&mut ctx);
+            ConvergenceTrace::default()
+        }
+        Algorithm::Mpta(cfg) => {
+            mpta(&mut ctx, &cfg);
+            ConvergenceTrace::default()
+        }
+        Algorithm::Fgt(cfg) => fgt(&mut ctx, &cfg),
+        Algorithm::Pfgt(cfg) => pfgt(&mut ctx, &cfg),
+        Algorithm::Iegt(cfg) => iegt(&mut ctx, &cfg),
+        Algorithm::Random { seed } => {
+            random_assignment(&mut ctx, seed);
+            ConvergenceTrace::default()
+        }
+    };
+    let assign_time = t1.elapsed();
+
+    CenterOutcome {
+        assignment: ctx.to_assignment(),
+        vdps_time,
+        assign_time,
+        gen_stats: space.gen_stats,
+        trace,
+    }
+}
+
+/// Solves a whole instance with the configured algorithm.
+///
+/// Deterministic regardless of `config.parallel`: per-center randomness is
+/// salted by the center id, and results are merged in center order.
+#[must_use]
+pub fn solve(instance: &Instance, config: &SolveConfig) -> SolveOutcome {
+    let views = instance.center_views();
+    let outcomes: Vec<CenterOutcome> = if config.parallel && views.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = views
+                .iter()
+                .map(|view| scope.spawn(move || solve_center(instance, view, config)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("center solver threads do not panic"))
+                .collect()
+        })
+    } else {
+        views
+            .iter()
+            .map(|view| solve_center(instance, view, config))
+            .collect()
+    };
+
+    let mut assignment = Assignment::new();
+    let mut vdps_time = Duration::ZERO;
+    let mut assign_time = Duration::ZERO;
+    let mut gen_stats = GenerationStats::default();
+    let mut trace: Option<ConvergenceTrace> = None;
+    for outcome in outcomes {
+        assignment.merge(outcome.assignment);
+        vdps_time += outcome.vdps_time;
+        assign_time += outcome.assign_time;
+        gen_stats.merge(&outcome.gen_stats);
+        if !outcome.trace.is_empty() {
+            match &mut trace {
+                Some(t) => t.merge_parallel(&outcome.trace),
+                None => trace = Some(outcome.trace),
+            }
+        }
+    }
+    SolveOutcome {
+        assignment,
+        vdps_time,
+        assign_time,
+        gen_stats,
+        trace: trace.unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_data::{generate_syn, SynConfig};
+
+    fn multi_center_instance() -> Instance {
+        generate_syn(
+            &SynConfig {
+                n_centers: 3,
+                n_workers: 24,
+                n_tasks: 300,
+                n_delivery_points: 45,
+                extent: 3.0,
+                ..SynConfig::bench_scale()
+            },
+            77,
+        )
+    }
+
+    fn all_algorithms() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Gta,
+            Algorithm::Mpta(MptaConfig::default()),
+            Algorithm::Fgt(FgtConfig::default()),
+            Algorithm::Iegt(IegtConfig::default()),
+            Algorithm::Random { seed: 5 },
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_produces_valid_assignments() {
+        let inst = multi_center_instance();
+        for algo in all_algorithms() {
+            let outcome = solve(&inst, &SolveConfig::new(algo));
+            assert!(
+                outcome.assignment.validate(&inst).is_ok(),
+                "{} produced an invalid assignment",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let inst = multi_center_instance();
+        for algo in all_algorithms() {
+            let seq = solve(&inst, &SolveConfig::new(algo));
+            let par = solve(
+                &inst,
+                &SolveConfig {
+                    parallel: true,
+                    ..SolveConfig::new(algo)
+                },
+            );
+            assert_eq!(
+                seq.assignment,
+                par.assignment,
+                "{} differs between sequential and parallel",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn game_algorithms_report_traces() {
+        let inst = multi_center_instance();
+        let fgt_out = solve(&inst, &SolveConfig::new(Algorithm::Fgt(FgtConfig::default())));
+        assert!(!fgt_out.trace.is_empty());
+        assert!(fgt_out.trace.converged);
+
+        let gta_out = solve(&inst, &SolveConfig::new(Algorithm::Gta));
+        assert!(gta_out.trace.is_empty());
+    }
+
+    #[test]
+    fn gen_stats_are_aggregated_across_centers() {
+        let inst = multi_center_instance();
+        let outcome = solve(&inst, &SolveConfig::new(Algorithm::Gta));
+        assert!(outcome.gen_stats.vdps_count > 0);
+        assert!(outcome.gen_stats.states >= outcome.gen_stats.vdps_count);
+        assert!(outcome.total_time() >= outcome.vdps_time);
+    }
+
+    #[test]
+    fn algorithm_names_match_paper_legends() {
+        assert_eq!(Algorithm::Gta.name(), "GTA");
+        assert_eq!(Algorithm::Mpta(MptaConfig::default()).name(), "MPTA");
+        assert_eq!(Algorithm::Fgt(FgtConfig::default()).name(), "FGT");
+        assert_eq!(Algorithm::Iegt(IegtConfig::default()).name(), "IEGT");
+    }
+
+    #[test]
+    fn taskless_instance_yields_empty_assignment() {
+        let mut inst = multi_center_instance();
+        inst.tasks.clear();
+        for algo in all_algorithms() {
+            let outcome = solve(&inst, &SolveConfig::new(algo));
+            assert_eq!(
+                outcome.assignment.assigned_workers(),
+                0,
+                "{} assigned workers with no tasks",
+                algo.name()
+            );
+            assert_eq!(outcome.gen_stats.vdps_count, 0);
+        }
+    }
+
+    #[test]
+    fn workerless_center_is_skipped_gracefully() {
+        let mut inst = multi_center_instance();
+        // Move every worker to center 0; centers 1 and 2 keep their tasks
+        // but have nobody to serve them.
+        for w in &mut inst.workers {
+            w.center = fta_core::CenterId(0);
+        }
+        let outcome = solve(&inst, &SolveConfig::new(Algorithm::Gta));
+        assert!(outcome.assignment.validate(&inst).is_ok());
+        for (_, route) in outcome.assignment.iter() {
+            assert_eq!(route.center(), fta_core::CenterId(0));
+        }
+    }
+
+    #[test]
+    fn per_center_seeds_are_decorrelated() {
+        // Two centers with identical relative geometry must not replay the
+        // same random choices: the salted seeds differ per center. We can't
+        // easily build identical centers, so assert the salting itself.
+        let a = Algorithm::Fgt(FgtConfig::default()).salted(0);
+        let b = Algorithm::Fgt(FgtConfig::default()).salted(1);
+        match (a, b) {
+            (Algorithm::Fgt(ca), Algorithm::Fgt(cb)) => assert_ne!(ca.seed, cb.seed),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn max_len_is_clamped_to_center_max_dp() {
+        // maxDP = 2 workers: no VDPS of size 3 may be generated even though
+        // the config asks for 3.
+        let mut inst = multi_center_instance();
+        for w in &mut inst.workers {
+            w.max_dp = 2;
+        }
+        let outcome = solve(&inst, &SolveConfig::new(Algorithm::Gta));
+        for (_, route) in outcome.assignment.iter() {
+            assert!(route.len() <= 2);
+        }
+    }
+}

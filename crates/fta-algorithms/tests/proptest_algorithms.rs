@@ -1,0 +1,168 @@
+//! Property-based tests of the assignment algorithms on randomly generated
+//! instances: validity, determinism, and equilibrium conditions must hold
+//! for every input, not just the crafted unit-test cases.
+
+use fta_algorithms::{
+    fgt, gta, iegt, mpta, random_assignment, solve, Algorithm, FgtConfig, GameContext,
+    IegtConfig, MptaConfig, SolveConfig,
+};
+use fta_core::iau::IauEvaluator;
+use fta_core::Instance;
+use fta_data::{generate_syn, SynConfig};
+use fta_vdps::{StrategySpace, VdpsConfig};
+use proptest::prelude::*;
+
+/// Random small instances driven by a seed and size knobs.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (1u64..500, 2usize..12, 4usize..16, 1usize..4).prop_map(
+        |(seed, n_workers, n_dps, max_dp)| {
+            generate_syn(
+                &SynConfig {
+                    n_centers: 1,
+                    n_workers,
+                    n_tasks: n_dps * 6,
+                    n_delivery_points: n_dps,
+                    max_dp,
+                    extent: 3.0,
+                    ..SynConfig::bench_scale()
+                },
+                seed,
+            )
+        },
+    )
+}
+
+fn space(instance: &Instance) -> StrategySpace {
+    let views = instance.center_views();
+    StrategySpace::build(instance, &views[0], &VdpsConfig::unpruned(4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_algorithms_produce_valid_disjoint_assignments(instance in arb_instance()) {
+        for algorithm in [
+            Algorithm::Gta,
+            Algorithm::Mpta(MptaConfig::default()),
+            Algorithm::Fgt(FgtConfig::default()),
+            Algorithm::Iegt(IegtConfig::default()),
+            Algorithm::Random { seed: 1 },
+        ] {
+            let outcome = solve(
+                &instance,
+                &SolveConfig {
+                    vdps: VdpsConfig::unpruned(4),
+                    algorithm,
+                    parallel: false,
+                },
+            );
+            prop_assert!(outcome.assignment.validate(&instance).is_ok());
+        }
+    }
+
+    #[test]
+    fn gta_assigns_each_worker_their_best_remaining(instance in arb_instance()) {
+        let s = space(&instance);
+        let mut ctx = GameContext::new(&s);
+        gta(&mut ctx);
+        for local in 0..ctx.n_workers() {
+            let current = ctx.payoff(local);
+            for (_, payoff) in ctx.available_strategies(local) {
+                prop_assert!(payoff <= current + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mpta_total_payoff_dominates_gta(instance in arb_instance()) {
+        let s = space(&instance);
+        let mut g = GameContext::new(&s);
+        gta(&mut g);
+        let mut m = GameContext::new(&s);
+        mpta(&mut m, &MptaConfig::default());
+        prop_assert!(m.total_payoff() >= g.total_payoff() - 1e-9);
+    }
+
+    #[test]
+    fn fgt_fixed_point_is_a_nash_equilibrium(instance in arb_instance()) {
+        let s = space(&instance);
+        let mut ctx = GameContext::new(&s);
+        let cfg = FgtConfig::default();
+        let trace = fgt(&mut ctx, &cfg);
+        prop_assert!(trace.converged);
+        let n = ctx.n_workers();
+        for local in 0..n {
+            let others: Vec<f64> = (0..n)
+                .filter(|&j| j != local)
+                .map(|j| ctx.payoff(j))
+                .collect();
+            let eval = IauEvaluator::new(&others, cfg.iau);
+            let current = eval.eval(ctx.payoff(local));
+            prop_assert!(eval.eval(0.0) <= current + 1e-6);
+            for (_, p) in ctx.available_strategies(local) {
+                prop_assert!(eval.eval(p) <= current + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn iegt_fixed_point_is_a_replicator_rest_point(instance in arb_instance()) {
+        let s = space(&instance);
+        let mut ctx = GameContext::new(&s);
+        let trace = iegt(&mut ctx, &IegtConfig::default());
+        prop_assert!(trace.converged);
+        let n = ctx.n_workers() as f64;
+        let average = ctx.total_payoff() / n;
+        for local in 0..ctx.n_workers() {
+            let current = ctx.payoff(local);
+            if current < average - 1e-9 {
+                prop_assert!(!ctx
+                    .available_strategies(local)
+                    .any(|(_, p)| p > current + f64::EPSILON));
+            }
+        }
+    }
+
+    #[test]
+    fn iegt_average_payoff_is_monotone_over_rounds(instance in arb_instance()) {
+        let s = space(&instance);
+        let mut ctx = GameContext::new(&s);
+        let trace = iegt(&mut ctx, &IegtConfig::default());
+        for w in trace.rounds.windows(2) {
+            prop_assert!(w[1].average_payoff >= w[0].average_payoff - 1e-9);
+        }
+    }
+
+    #[test]
+    fn solver_is_deterministic(instance in arb_instance()) {
+        for algorithm in [
+            Algorithm::Fgt(FgtConfig::default()),
+            Algorithm::Iegt(IegtConfig::default()),
+        ] {
+            let run = || {
+                solve(
+                    &instance,
+                    &SolveConfig {
+                        vdps: VdpsConfig::unpruned(4),
+                        algorithm,
+                        parallel: false,
+                    },
+                )
+                .assignment
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+
+    #[test]
+    fn random_assignment_is_valid_for_any_seed(
+        instance in arb_instance(),
+        seed in 0u64..1000,
+    ) {
+        let s = space(&instance);
+        let mut ctx = GameContext::new(&s);
+        random_assignment(&mut ctx, seed);
+        prop_assert!(ctx.to_assignment().validate(&instance).is_ok());
+    }
+}

@@ -1,0 +1,89 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//! IEGT redraw policies, FGT restart counts, and IAU weight settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fta_algorithms::{solve, Algorithm, FgtConfig, IegtConfig, RedrawPolicy, SolveConfig};
+use fta_bench::syn_single_center;
+use fta_core::IauParams;
+use fta_vdps::VdpsConfig;
+use std::hint::black_box;
+
+fn bench_redraw_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_iegt_redraw");
+    group.sample_size(10);
+    let instance = syn_single_center(40, 60, 21);
+    for (name, policy) in [
+        ("uniform", RedrawPolicy::UniformBetter),
+        ("minimal", RedrawPolicy::MinimalBetter),
+        ("best", RedrawPolicy::BestAvailable),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm: Algorithm::Iegt(IegtConfig {
+                    redraw: policy,
+                    ..IegtConfig::default()
+                }),
+                parallel: false,
+            };
+            b.iter(|| black_box(solve(&instance, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fgt_restarts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fgt_restarts");
+    group.sample_size(10);
+    let instance = syn_single_center(40, 60, 22);
+    for &restarts in &[0usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(restarts),
+            &restarts,
+            |b, &restarts| {
+                let cfg = SolveConfig {
+                    vdps: VdpsConfig::pruned(2.0, 3),
+                    algorithm: Algorithm::Fgt(FgtConfig {
+                        restarts,
+                        ..FgtConfig::default()
+                    }),
+                    parallel: false,
+                };
+                b.iter(|| black_box(solve(&instance, &cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iau_weights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_iau_weights");
+    group.sample_size(10);
+    let instance = syn_single_center(40, 60, 23);
+    for (name, alpha, beta) in [
+        ("envy_only", 1.0, 0.0),
+        ("balanced", 0.5, 0.5),
+        ("guilt_only", 0.0, 1.0),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm: Algorithm::Fgt(FgtConfig {
+                    iau: IauParams { alpha, beta },
+                    ..FgtConfig::default()
+                }),
+                parallel: false,
+            };
+            b.iter(|| black_box(solve(&instance, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_redraw_policies,
+    bench_fgt_restarts,
+    bench_iau_weights
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Assignment-algorithm benchmarks — the CPU-time panels of Figures 4–9:
+//! MPTA vs GTA vs FGT vs IEGT across worker counts and delivery-point
+//! counts on single-center subproblems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fta_algorithms::{solve, Algorithm, FgtConfig, IegtConfig, MptaConfig, SolveConfig};
+use fta_bench::{gm_default, syn_single_center};
+use fta_vdps::VdpsConfig;
+use std::hint::black_box;
+
+fn algorithms() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("MPTA", Algorithm::Mpta(MptaConfig::default())),
+        ("GTA", Algorithm::Gta),
+        ("FGT", Algorithm::Fgt(FgtConfig::default())),
+        ("IEGT", Algorithm::Iegt(IegtConfig::default())),
+    ]
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_by_workers");
+    group.sample_size(10);
+    for &n_workers in &[20usize, 40, 80] {
+        let instance = syn_single_center(n_workers, 60, 3);
+        for (name, algorithm) in algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(name, n_workers),
+                &n_workers,
+                |b, _| {
+                    let cfg = SolveConfig {
+                        vdps: VdpsConfig::pruned(2.0, 3),
+                        algorithm,
+                        parallel: false,
+                    };
+                    b.iter(|| black_box(solve(&instance, &cfg)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gm_default(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_gm_default");
+    group.sample_size(10);
+    let instance = gm_default(5);
+    for (name, algorithm) in algorithms() {
+        group.bench_function(name, |b| {
+            let cfg = SolveConfig {
+                vdps: VdpsConfig::pruned(0.6, 3),
+                algorithm,
+                parallel: false,
+            };
+            b.iter(|| black_box(solve(&instance, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workers, bench_gm_default);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Convergence benchmarks — Figure 12's story in wall-clock form: how long
+//! FGT and IEGT take to reach their equilibria as the population grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fta_algorithms::{solve, Algorithm, FgtConfig, IegtConfig, SolveConfig};
+use fta_bench::syn_single_center;
+use fta_vdps::VdpsConfig;
+use std::hint::black_box;
+
+fn bench_to_equilibrium(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    group.sample_size(10);
+    for &n_workers in &[20usize, 40, 80] {
+        let instance = syn_single_center(n_workers, 60, 9);
+        group.bench_with_input(
+            BenchmarkId::new("FGT", n_workers),
+            &n_workers,
+            |b, _| {
+                let cfg = SolveConfig {
+                    vdps: VdpsConfig::pruned(2.0, 3),
+                    algorithm: Algorithm::Fgt(FgtConfig::default()),
+                    parallel: false,
+                };
+                b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("IEGT", n_workers),
+            &n_workers,
+            |b, _| {
+                let cfg = SolveConfig {
+                    vdps: VdpsConfig::pruned(2.0, 3),
+                    algorithm: Algorithm::Iegt(IegtConfig::default()),
+                    parallel: false,
+                };
+                b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_to_equilibrium);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Platform-simulator benchmarks: wall time of a simulated day under each
+//! dispatch policy and demand level. Complements the `ext4` experiment
+//! (which measures fairness outcomes) with throughput numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fta_algorithms::{Algorithm, FgtConfig, IegtConfig};
+use fta_sim::{run, DispatchPolicy, Scenario, ScenarioConfig, SimConfig};
+use fta_vdps::VdpsConfig;
+use std::hint::black_box;
+
+fn policies() -> Vec<(&'static str, DispatchPolicy)> {
+    vec![
+        ("IMMED", DispatchPolicy::Immediate),
+        ("GTA", DispatchPolicy::Batch(Algorithm::Gta)),
+        ("FGT", DispatchPolicy::Batch(Algorithm::Fgt(FgtConfig::default()))),
+        (
+            "IEGT",
+            DispatchPolicy::Batch(Algorithm::Iegt(IegtConfig::default())),
+        ),
+    ]
+}
+
+fn bench_simulated_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_day");
+    group.sample_size(10);
+    for &rate in &[60.0_f64, 120.0] {
+        let scenario = Scenario::generate(
+            &ScenarioConfig {
+                n_workers: 24,
+                n_delivery_points: 48,
+                extent: 5.0,
+                arrival_rate: rate,
+                ..ScenarioConfig::default()
+            },
+            4.0,
+            17,
+        );
+        for (name, policy) in policies() {
+            group.bench_with_input(
+                BenchmarkId::new(name, rate as u64),
+                &rate,
+                |b, _| {
+                    let cfg = SimConfig {
+                        horizon: 4.0,
+                        assignment_period: 0.25,
+                        policy,
+                        vdps: VdpsConfig::pruned(2.0, 3),
+                        parallel: false,
+                    };
+                    b.iter(|| black_box(run(&scenario, &cfg)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_day);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! C-VDPS generation benchmarks — the CPU-time story of Figures 2–3:
+//! ε-pruned generation vs the unpruned `-W` variant across delivery-point
+//! counts and ε values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fta_bench::syn_single_center;
+use fta_vdps::{StrategySpace, VdpsConfig};
+use std::hint::black_box;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vdps_generation");
+    group.sample_size(10);
+    for &n_dps in &[20usize, 40, 60, 80, 100] {
+        let instance = syn_single_center(40, n_dps, 7);
+        let views = instance.center_views();
+        group.bench_with_input(
+            BenchmarkId::new("pruned_eps2", n_dps),
+            &n_dps,
+            |b, _| {
+                b.iter(|| {
+                    black_box(StrategySpace::build(
+                        &instance,
+                        &views[0],
+                        &VdpsConfig::pruned(2.0, 3),
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("unpruned_W", n_dps), &n_dps, |b, _| {
+            b.iter(|| {
+                black_box(StrategySpace::build(
+                    &instance,
+                    &views[0],
+                    &VdpsConfig::unpruned(3),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vdps_epsilon_sweep");
+    group.sample_size(10);
+    let instance = syn_single_center(40, 100, 11);
+    let views = instance.center_views();
+    for &eps in &[0.5, 1.0, 2.0, 3.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| {
+                black_box(StrategySpace::build(
+                    &instance,
+                    &views[0],
+                    &VdpsConfig::pruned(eps, 3),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning, bench_epsilon_sweep);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENT    table1 | fig1 | fig2 … fig12 | ext1 … ext4 | all
+//!
+//! OPTIONS
+//!   --seeds N        average over N seeds (default 1)
+//!   --paper-scale    run SYN at the paper's full Table I scale
+//!   --sequential     disable per-center threading
+//!   --no-unpruned    skip the -W variants in fig2/fig3
+//!   --json DIR       additionally write <DIR>/<exp>.json per experiment
+//!   --csv DIR        additionally write <DIR>/<exp>.csv per experiment
+//!   --charts         also render each panel as an ASCII chart
+//!   --html FILE      write a standalone HTML report with SVG charts
+//! ```
+
+use fta_experiments::experiments::{run, ExperimentOutput, ALL_EXPERIMENTS};
+use fta_experiments::params::RunnerOptions;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Cli {
+    experiments: Vec<String>,
+    opts: RunnerOptions,
+    json_dir: Option<PathBuf>,
+    csv_dir: Option<PathBuf>,
+    charts: bool,
+    html: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: reproduce [--seeds N] [--paper-scale] [--sequential] [--no-unpruned] \
+     [--json DIR] [--csv DIR] [--charts] [--html FILE] <table1|fig1..fig12|ext1..ext4|all>..."
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        experiments: Vec::new(),
+        opts: RunnerOptions::default(),
+        json_dir: None,
+        csv_dir: None,
+        charts: false,
+        html: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+                cli.opts.seeds = (0..n).map(|i| 42 + i * 1000).collect();
+            }
+            "--paper-scale" => cli.opts.paper_scale = true,
+            "--sequential" => cli.opts.parallel = false,
+            "--no-unpruned" => cli.opts.include_unpruned = false,
+            "--json" => {
+                cli.json_dir = Some(PathBuf::from(it.next().ok_or("--json needs a directory")?));
+            }
+            "--csv" => {
+                cli.csv_dir = Some(PathBuf::from(it.next().ok_or("--csv needs a directory")?));
+            }
+            "--charts" => cli.charts = true,
+            "--html" => {
+                cli.html = Some(PathBuf::from(it.next().ok_or("--html needs a file path")?));
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            "all" => cli
+                .experiments
+                .extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            exp if ALL_EXPERIMENTS.contains(&exp) => cli.experiments.push(exp.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if cli.experiments.is_empty() {
+        return Err(usage().to_owned());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for dir in [&cli.json_dir, &cli.csv_dir].into_iter().flatten() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut html_figures = Vec::new();
+    for exp in &cli.experiments {
+        let t0 = Instant::now();
+        let Some(output) = run(exp, &cli.opts) else {
+            eprintln!("unknown experiment `{exp}`");
+            return ExitCode::FAILURE;
+        };
+        println!("{}", output.render());
+        if cli.charts {
+            if let ExperimentOutput::Figure(fig) = &output {
+                for panel in &fig.panels {
+                    println!("{}", fta_experiments::render_chart(panel, &fig.x_label, 64, 14));
+                }
+            }
+        }
+        eprintln!("[{exp} completed in {:.1?}]\n", t0.elapsed());
+        if let ExperimentOutput::Figure(fig) = &output {
+            let exports: [(&Option<PathBuf>, &str, String); 2] = [
+                (&cli.json_dir, "json", fig.to_json()),
+                (&cli.csv_dir, "csv", fig.to_csv()),
+            ];
+            for (dir, ext, content) in exports {
+                let Some(dir) = dir else { continue };
+                let path = dir.join(format!("{exp}.{ext}"));
+                if let Err(e) = std::fs::write(&path, content) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if cli.html.is_some() {
+                html_figures.push(fig.clone());
+            }
+        }
+    }
+    if let Some(path) = &cli.html {
+        let html = fta_experiments::render_html(&html_figures);
+        if let Err(e) = std::fs::write(path, html) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[wrote HTML report to {}]", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,170 @@
+//! `simulate` — run the streaming-platform simulator from the CLI.
+//!
+//! ```text
+//! simulate [OPTIONS]
+//!
+//! OPTIONS
+//!   --algo NAME       immed | gta | mpta | fgt | iegt | random (default: iegt)
+//!   --hours H         simulated horizon (default 8)
+//!   --period MIN      minutes between assignment rounds (default 15)
+//!   --workers N       courier count (default 24)
+//!   --dps N           delivery point count (default 48)
+//!   --rate R          task arrivals per hour (default 120)
+//!   --expiry H        hours from arrival to expiration (default 2)
+//!   --extent KM       city side length (default 5)
+//!   --seed S          scenario seed (default 42)
+//!   --compare         run all algorithms and print a comparison table
+//! ```
+
+use fta_algorithms::{Algorithm, FgtConfig, IegtConfig, MptaConfig};
+use fta_sim::{run, DayMetrics, DispatchPolicy, Scenario, ScenarioConfig, SimConfig};
+use fta_vdps::VdpsConfig;
+use std::process::ExitCode;
+
+struct Cli {
+    algo: String,
+    hours: f64,
+    period_minutes: f64,
+    scenario: ScenarioConfig,
+    seed: u64,
+    compare: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: simulate [--algo immed|gta|mpta|fgt|iegt|random] [--hours H] [--period MIN] \
+     [--workers N] [--dps N] [--rate R] [--expiry H] [--extent KM] [--seed S] [--compare]"
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        algo: "iegt".to_owned(),
+        hours: 8.0,
+        period_minutes: 15.0,
+        scenario: ScenarioConfig {
+            n_workers: 24,
+            n_delivery_points: 48,
+            extent: 5.0,
+            arrival_rate: 120.0,
+            expiry_offset: 2.0,
+            ..ScenarioConfig::default()
+        },
+        seed: 42,
+        compare: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--algo" => cli.algo = value("--algo")?.clone(),
+            "--hours" => cli.hours = parse_f64(value("--hours")?, "--hours")?,
+            "--period" => cli.period_minutes = parse_f64(value("--period")?, "--period")?,
+            "--workers" => cli.scenario.n_workers = parse_usize(value("--workers")?, "--workers")?,
+            "--dps" => {
+                cli.scenario.n_delivery_points = parse_usize(value("--dps")?, "--dps")?;
+            }
+            "--rate" => cli.scenario.arrival_rate = parse_f64(value("--rate")?, "--rate")?,
+            "--expiry" => cli.scenario.expiry_offset = parse_f64(value("--expiry")?, "--expiry")?,
+            "--extent" => cli.scenario.extent = parse_f64(value("--extent")?, "--extent")?,
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--compare" => cli.compare = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if cli.hours <= 0.0 || cli.period_minutes <= 0.0 {
+        return Err("--hours and --period must be positive".into());
+    }
+    Ok(cli)
+}
+
+fn parse_f64(raw: &str, flag: &str) -> Result<f64, String> {
+    raw.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn parse_usize(raw: &str, flag: &str) -> Result<usize, String> {
+    raw.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn policy_by_name(name: &str) -> Option<DispatchPolicy> {
+    Some(match name {
+        "gta" => DispatchPolicy::Batch(Algorithm::Gta),
+        "mpta" => DispatchPolicy::Batch(Algorithm::Mpta(MptaConfig::default())),
+        "fgt" => DispatchPolicy::Batch(Algorithm::Fgt(FgtConfig::default())),
+        "iegt" => DispatchPolicy::Batch(Algorithm::Iegt(IegtConfig::default())),
+        "random" => DispatchPolicy::Batch(Algorithm::Random { seed: 1 }),
+        "immed" => DispatchPolicy::Immediate,
+        _ => return None,
+    })
+}
+
+fn print_row(label: &str, metrics: &DayMetrics) {
+    let fairness = metrics.earnings_fairness();
+    println!(
+        "{label:<8} {:>6}/{:<6} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>7.0}%",
+        metrics.tasks_completed,
+        metrics.tasks_arrived,
+        metrics.tasks_expired,
+        fairness.gini,
+        fairness.min_max_ratio,
+        fairness.average_payoff,
+        metrics.mean_utilization() * 100.0,
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenario = Scenario::generate(&cli.scenario, cli.hours, cli.seed);
+    println!(
+        "scenario: {} workers, {} delivery points, {} tasks over {} h (seed {})\n",
+        scenario.workers.len(),
+        scenario.delivery_points.len(),
+        scenario.tasks.len(),
+        cli.hours,
+        cli.seed
+    );
+    println!(
+        "{:<8} {:>13} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "algo", "done/arrived", "expired", "gini", "min/max", "avg earn", "util"
+    );
+
+    let sim_config = |policy| SimConfig {
+        horizon: cli.hours,
+        assignment_period: cli.period_minutes / 60.0,
+        policy,
+        vdps: VdpsConfig::default(),
+        parallel: false,
+    };
+
+    if cli.compare {
+        for name in ["immed", "gta", "mpta", "fgt", "iegt", "random"] {
+            let policy = policy_by_name(name).expect("names are known");
+            let metrics = run(&scenario, &sim_config(policy));
+            print_row(name, &metrics);
+        }
+    } else {
+        let Some(policy) = policy_by_name(&cli.algo) else {
+            eprintln!("unknown algorithm `{}`\n{}", cli.algo, usage());
+            return ExitCode::FAILURE;
+        };
+        let metrics = run(&scenario, &sim_config(policy));
+        print_row(&cli.algo, &metrics);
+        if let Some((worker, earnings)) = metrics.top_earner() {
+            println!("\ntop earner: {worker} with {earnings:.1} reward");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,43 @@
+//! # fta-bench — benchmark harness for the FTA reproduction
+//!
+//! * `src/bin/reproduce.rs` — the `reproduce` binary regenerating every
+//!   table and figure of the paper (run `reproduce --help`);
+//! * `benches/vdps.rs` — Criterion benchmarks of C-VDPS generation with and
+//!   without ε pruning (the CPU-time panels of Figures 2–3);
+//! * `benches/assignment.rs` — Criterion benchmarks of the four assignment
+//!   algorithms across instance sizes (Figures 4–9 CPU panels);
+//! * `benches/convergence.rs` — rounds-to-equilibrium benchmarks (Fig. 12);
+//! * `benches/ablation.rs` — design-choice ablations: IEGT redraw policies,
+//!   FGT restart counts, and IAU α/β weights.
+//!
+//! This crate intentionally contains no library logic beyond small helpers
+//! shared by the benches; everything measurable lives in `fta-experiments`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use fta_core::Instance;
+use fta_data::{GMissionConfig, SynConfig};
+
+/// A GM-scale instance used by several benches (Table I defaults).
+#[must_use]
+pub fn gm_default(seed: u64) -> Instance {
+    fta_data::generate_gmission(&GMissionConfig::default(), seed)
+}
+
+/// A single-center SYN-like instance with the given worker/delivery-point
+/// counts, used to sweep subproblem size in benches.
+#[must_use]
+pub fn syn_single_center(n_workers: usize, n_dps: usize, seed: u64) -> Instance {
+    fta_data::generate_syn(
+        &SynConfig {
+            n_centers: 1,
+            n_workers,
+            n_tasks: n_dps * 20,
+            n_delivery_points: n_dps,
+            extent: 4.0,
+            ..SynConfig::bench_scale()
+        },
+        seed,
+    )
+}

@@ -1,0 +1,384 @@
+//! Argument parsing for the `fta` binary (hand-rolled, dependency-free).
+
+use fta_algorithms::{Algorithm, FgtConfig, IegtConfig, MptaConfig};
+use std::path::PathBuf;
+
+/// The usage banner.
+pub const USAGE: &str = "\
+usage: fta <COMMAND>
+
+COMMANDS
+  generate <syn|gm> [--seed S] [--workers N] [--tasks N] [--dps N]
+           [--centers N] [--expiry H] [--max-dp N] --out FILE
+      Generate a workload instance and write it as JSON.
+
+  inspect <INSTANCE>
+      Print an instance's cardinalities and per-center structure.
+
+  solve <INSTANCE> [--algo gta|mpta|fgt|iegt|random] [--epsilon E]
+        [--max-len N] [--parallel] [--out FILE]
+      Run an assignment algorithm; print the summary, optionally write
+      the assignment JSON.
+
+  schedule <INSTANCE> --center C --dps A,B,C
+      Find the minimum-travel deadline-feasible visiting order of the
+      given delivery points.
+
+  compare <INSTANCE> [--epsilon E] [--max-len N] [--parallel]
+      Run every assignment algorithm on the instance and print a
+      fairness/payoff/CPU comparison table.";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fta generate`
+    Generate {
+        /// `syn` or `gm`.
+        dataset: String,
+        /// Generator seed.
+        seed: u64,
+        /// Cardinality overrides (`None` = dataset default).
+        workers: Option<usize>,
+        /// Number of tasks.
+        tasks: Option<usize>,
+        /// Number of delivery points.
+        dps: Option<usize>,
+        /// Number of distribution centers (SYN only).
+        centers: Option<usize>,
+        /// Expiry parameter, hours (SYN only).
+        expiry: Option<f64>,
+        /// Per-worker maxDP.
+        max_dp: Option<usize>,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// `fta inspect`
+    Inspect {
+        /// Instance path.
+        instance: PathBuf,
+    },
+    /// `fta solve`
+    Solve {
+        /// Instance path.
+        instance: PathBuf,
+        /// Selected algorithm.
+        algorithm: Algorithm,
+        /// Display name of the algorithm.
+        algorithm_name: String,
+        /// ε pruning radius (`None` = unpruned).
+        epsilon: Option<f64>,
+        /// VDPS length cap.
+        max_len: usize,
+        /// Per-center threading.
+        parallel: bool,
+        /// Optional assignment output path.
+        out: Option<PathBuf>,
+    },
+    /// `fta schedule`
+    Schedule {
+        /// Instance path.
+        instance: PathBuf,
+        /// Center id.
+        center: u32,
+        /// Delivery point ids.
+        dps: Vec<u32>,
+    },
+    /// `fta compare`
+    Compare {
+        /// Instance path.
+        instance: PathBuf,
+        /// ε pruning radius (`None` = unpruned).
+        epsilon: Option<f64>,
+        /// VDPS length cap.
+        max_len: usize,
+        /// Per-center threading.
+        parallel: bool,
+    },
+}
+
+/// Resolves an algorithm name.
+#[must_use]
+pub fn algorithm_by_name(name: &str) -> Option<Algorithm> {
+    Some(match name {
+        "gta" => Algorithm::Gta,
+        "mpta" => Algorithm::Mpta(MptaConfig::default()),
+        "fgt" => Algorithm::Fgt(FgtConfig::default()),
+        "iegt" => Algorithm::Iegt(IegtConfig::default()),
+        "random" => Algorithm::Random { seed: 1 },
+        _ => return None,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message (possibly the usage banner) when the
+/// arguments do not form a valid invocation.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or(USAGE)?;
+    match command.as_str() {
+        "generate" => {
+            let dataset = it.next().ok_or("generate needs a dataset: syn | gm")?;
+            if dataset != "syn" && dataset != "gm" {
+                return Err(format!("unknown dataset `{dataset}`; expected syn | gm"));
+            }
+            let mut seed = 42u64;
+            let (mut workers, mut tasks, mut dps, mut centers) = (None, None, None, None);
+            let mut expiry = None;
+            let mut max_dp = None;
+            let mut out: Option<PathBuf> = None;
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--seed" => seed = parse_num(value("--seed")?, "--seed")?,
+                    "--workers" => workers = Some(parse_num(value("--workers")?, "--workers")?),
+                    "--tasks" => tasks = Some(parse_num(value("--tasks")?, "--tasks")?),
+                    "--dps" => dps = Some(parse_num(value("--dps")?, "--dps")?),
+                    "--centers" => centers = Some(parse_num(value("--centers")?, "--centers")?),
+                    "--expiry" => expiry = Some(parse_num(value("--expiry")?, "--expiry")?),
+                    "--max-dp" => max_dp = Some(parse_num(value("--max-dp")?, "--max-dp")?),
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    other => return Err(format!("unknown generate flag `{other}`")),
+                }
+            }
+            Ok(Command::Generate {
+                dataset: dataset.clone(),
+                seed,
+                workers,
+                tasks,
+                dps,
+                centers,
+                expiry,
+                max_dp,
+                out: out.ok_or("generate requires --out FILE")?,
+            })
+        }
+        "inspect" => {
+            let instance = it.next().ok_or("inspect needs an instance path")?;
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            Ok(Command::Inspect {
+                instance: PathBuf::from(instance),
+            })
+        }
+        "solve" => {
+            let instance = it.next().ok_or("solve needs an instance path")?;
+            let mut algorithm_name = "iegt".to_owned();
+            let mut epsilon = Some(2.0);
+            let mut max_len = 8usize;
+            let mut parallel = false;
+            let mut out = None;
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--algo" => algorithm_name = value("--algo")?.clone(),
+                    "--epsilon" => {
+                        let raw = value("--epsilon")?;
+                        epsilon = if raw == "none" {
+                            None
+                        } else {
+                            Some(parse_num(raw, "--epsilon")?)
+                        };
+                    }
+                    "--max-len" => max_len = parse_num(value("--max-len")?, "--max-len")?,
+                    "--parallel" => parallel = true,
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    other => return Err(format!("unknown solve flag `{other}`")),
+                }
+            }
+            let algorithm = algorithm_by_name(&algorithm_name)
+                .ok_or_else(|| format!("unknown algorithm `{algorithm_name}`"))?;
+            Ok(Command::Solve {
+                instance: PathBuf::from(instance),
+                algorithm,
+                algorithm_name,
+                epsilon,
+                max_len,
+                parallel,
+                out,
+            })
+        }
+        "schedule" => {
+            let instance = it.next().ok_or("schedule needs an instance path")?;
+            let mut center = None;
+            let mut dps: Vec<u32> = Vec::new();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--center" => center = Some(parse_num(value("--center")?, "--center")?),
+                    "--dps" => {
+                        dps = value("--dps")?
+                            .split(',')
+                            .map(|v| parse_num(v.trim(), "--dps"))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    other => return Err(format!("unknown schedule flag `{other}`")),
+                }
+            }
+            if dps.is_empty() {
+                return Err("schedule requires --dps A,B,...".into());
+            }
+            Ok(Command::Schedule {
+                instance: PathBuf::from(instance),
+                center: center.ok_or("schedule requires --center C")?,
+                dps,
+            })
+        }
+        "compare" => {
+            let instance = it.next().ok_or("compare needs an instance path")?;
+            let mut epsilon = Some(2.0);
+            let mut max_len = 8usize;
+            let mut parallel = false;
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--epsilon" => {
+                        let raw = value("--epsilon")?;
+                        epsilon = if raw == "none" {
+                            None
+                        } else {
+                            Some(parse_num(raw, "--epsilon")?)
+                        };
+                    }
+                    "--max-len" => max_len = parse_num(value("--max-len")?, "--max-len")?,
+                    "--parallel" => parallel = true,
+                    other => return Err(format!("unknown compare flag `{other}`")),
+                }
+            }
+            Ok(Command::Compare {
+                instance: PathBuf::from(instance),
+                epsilon,
+                max_len,
+                parallel,
+            })
+        }
+        "--help" | "-h" | "help" => Err(USAGE.to_owned()),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_overrides() {
+        let cmd = parse(&argv(
+            "generate syn --seed 9 --workers 50 --tasks 500 --out city.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Generate {
+                dataset,
+                seed,
+                workers,
+                tasks,
+                out,
+                ..
+            } => {
+                assert_eq!(dataset, "syn");
+                assert_eq!(seed, 9);
+                assert_eq!(workers, Some(50));
+                assert_eq!(tasks, Some(500));
+                assert_eq!(out, PathBuf::from("city.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_requires_out_and_known_dataset() {
+        assert!(parse(&argv("generate syn")).is_err());
+        assert!(parse(&argv("generate nope --out x.json")).is_err());
+    }
+
+    #[test]
+    fn parses_solve_defaults() {
+        let cmd = parse(&argv("solve city.json")).unwrap();
+        match cmd {
+            Command::Solve {
+                algorithm_name,
+                epsilon,
+                max_len,
+                parallel,
+                out,
+                ..
+            } => {
+                assert_eq!(algorithm_name, "iegt");
+                assert_eq!(epsilon, Some(2.0));
+                assert_eq!(max_len, 8);
+                assert!(!parallel);
+                assert!(out.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_epsilon_none_disables_pruning() {
+        let cmd = parse(&argv("solve city.json --algo gta --epsilon none --parallel")).unwrap();
+        match cmd {
+            Command::Solve {
+                epsilon, parallel, ..
+            } => {
+                assert_eq!(epsilon, None);
+                assert!(parallel);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_rejects_unknown_algorithm() {
+        let err = parse(&argv("solve city.json --algo nope")).unwrap_err();
+        assert!(err.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn parses_schedule_dp_list() {
+        let cmd = parse(&argv("schedule city.json --center 2 --dps 4,7,11")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Schedule {
+                instance: PathBuf::from("city.json"),
+                center: 2,
+                dps: vec![4, 7, 11],
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_requires_center_and_dps() {
+        assert!(parse(&argv("schedule city.json --dps 1")).is_err());
+        assert!(parse(&argv("schedule city.json --center 0")).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands_return_usage() {
+        assert!(parse(&argv("--help")).unwrap_err().contains("usage: fta"));
+        assert!(parse(&argv("frobnicate")).unwrap_err().contains("usage: fta"));
+        assert!(parse(&[]).unwrap_err().contains("usage: fta"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Command execution for the `fta` binary.
+
+use crate::args::Command;
+use fta_algorithms::{solve, SolveConfig};
+use fta_core::{CenterId, DeliveryPointId, WorkerId};
+use fta_data::io::{load_instance, save_assignment, save_instance};
+use fta_data::{generate_gmission, generate_syn, GMissionConfig, SynConfig};
+use fta_vdps::{schedule_route, VdpsConfig};
+use std::fmt::Write as _;
+
+/// Executes a parsed command, returning the text to print on stdout.
+///
+/// # Errors
+///
+/// Returns a human-readable error message (file problems, invalid
+/// references, infeasible schedules).
+pub fn execute(command: &Command) -> Result<String, String> {
+    match command {
+        Command::Generate {
+            dataset,
+            seed,
+            workers,
+            tasks,
+            dps,
+            centers,
+            expiry,
+            max_dp,
+            out,
+        } => {
+            let instance = if dataset == "syn" {
+                let mut cfg = SynConfig::bench_scale();
+                if let Some(v) = workers {
+                    cfg.n_workers = *v;
+                }
+                if let Some(v) = tasks {
+                    cfg.n_tasks = *v;
+                }
+                if let Some(v) = dps {
+                    cfg.n_delivery_points = *v;
+                }
+                if let Some(v) = centers {
+                    cfg.n_centers = *v;
+                }
+                if let Some(v) = expiry {
+                    cfg.expiry = *v;
+                }
+                if let Some(v) = max_dp {
+                    cfg.max_dp = *v;
+                }
+                generate_syn(&cfg, *seed)
+            } else {
+                let mut cfg = GMissionConfig::default();
+                if let Some(v) = workers {
+                    cfg.n_workers = *v;
+                }
+                if let Some(v) = tasks {
+                    cfg.n_tasks = *v;
+                }
+                if let Some(v) = dps {
+                    cfg.n_delivery_points = *v;
+                }
+                if let Some(v) = expiry {
+                    cfg.expiry_max = *v;
+                }
+                if let Some(v) = max_dp {
+                    cfg.max_dp = *v;
+                }
+                generate_gmission(&cfg, *seed)
+            };
+            save_instance(out, &instance).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "wrote {} ({} centers, {} workers, {} delivery points, {} tasks)\n",
+                out.display(),
+                instance.centers.len(),
+                instance.workers.len(),
+                instance.delivery_points.len(),
+                instance.tasks.len(),
+            ))
+        }
+        Command::Inspect { instance } => {
+            let inst = load_instance(instance).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{}: {} centers, {} workers, {} delivery points, {} tasks (total reward {:.1}), speed {} km/h",
+                instance.display(),
+                inst.centers.len(),
+                inst.workers.len(),
+                inst.delivery_points.len(),
+                inst.tasks.len(),
+                inst.total_reward(),
+                inst.speed,
+            );
+            let aggs = inst.dp_aggregates();
+            for view in inst.center_views() {
+                let tasks: usize = view
+                    .dps
+                    .iter()
+                    .map(|dp| aggs[dp.index()].task_count)
+                    .sum();
+                let _ = writeln!(
+                    out,
+                    "  {}: {} workers, {} task-bearing delivery points, {} tasks",
+                    view.center,
+                    view.workers.len(),
+                    view.dps.len(),
+                    tasks,
+                );
+            }
+            Ok(out)
+        }
+        Command::Solve {
+            instance,
+            algorithm,
+            algorithm_name,
+            epsilon,
+            max_len,
+            parallel,
+            out,
+        } => {
+            let inst = load_instance(instance).map_err(|e| e.to_string())?;
+            let vdps = VdpsConfig {
+                epsilon: *epsilon,
+                max_len: *max_len,
+            };
+            let outcome = solve(
+                &inst,
+                &SolveConfig {
+                    vdps,
+                    algorithm: *algorithm,
+                    parallel: *parallel,
+                },
+            );
+            outcome
+                .assignment
+                .validate(&inst)
+                .map_err(|e| format!("internal error: invalid assignment: {e}"))?;
+            let workers: Vec<WorkerId> = inst.workers.iter().map(|w| w.id).collect();
+            let mut text = format!(
+                "{algorithm_name} on {} ({:.1?} VDPS + {:.1?} assignment):\n",
+                instance.display(),
+                outcome.vdps_time,
+                outcome.assign_time,
+            );
+            text.push_str(&outcome.assignment.summary(&inst, &workers));
+            if let Some(path) = out {
+                save_assignment(path, &outcome.assignment).map_err(|e| e.to_string())?;
+                let _ = writeln!(text, "assignment written to {}", path.display());
+            }
+            Ok(text)
+        }
+        Command::Compare {
+            instance,
+            epsilon,
+            max_len,
+            parallel,
+        } => {
+            use fta_algorithms::{Algorithm, FgtConfig, IegtConfig, MptaConfig};
+            let inst = load_instance(instance).map_err(|e| e.to_string())?;
+            let workers: Vec<WorkerId> = inst.workers.iter().map(|w| w.id).collect();
+            let vdps = VdpsConfig {
+                epsilon: *epsilon,
+                max_len: *max_len,
+            };
+            let mut text = format!(
+                "{:<6} {:>10} {:>11} {:>8} {:>10} {:>11}\n",
+                "algo", "P_dif", "avg payoff", "jain", "assigned", "time (ms)"
+            );
+            for (label, algorithm) in [
+                ("MPTA", Algorithm::Mpta(MptaConfig::default())),
+                ("GTA", Algorithm::Gta),
+                ("FGT", Algorithm::Fgt(FgtConfig::default())),
+                ("IEGT", Algorithm::Iegt(IegtConfig::default())),
+            ] {
+                let outcome = solve(
+                    &inst,
+                    &SolveConfig {
+                        vdps,
+                        algorithm,
+                        parallel: *parallel,
+                    },
+                );
+                let report = outcome.assignment.fairness(&inst, &workers);
+                let _ = writeln!(
+                    text,
+                    "{label:<6} {:>10.4} {:>11.4} {:>8.4} {:>7}/{:<3} {:>10.1}",
+                    report.payoff_difference,
+                    report.average_payoff,
+                    report.jain,
+                    outcome.assignment.assigned_workers(),
+                    workers.len(),
+                    outcome.total_time().as_secs_f64() * 1e3,
+                );
+            }
+            Ok(text)
+        }
+        Command::Schedule {
+            instance,
+            center,
+            dps,
+        } => {
+            let inst = load_instance(instance).map_err(|e| e.to_string())?;
+            let center = CenterId(*center);
+            if center.index() >= inst.centers.len() {
+                return Err(format!("{center} does not exist"));
+            }
+            let dp_ids: Vec<DeliveryPointId> = dps.iter().map(|&d| DeliveryPointId(d)).collect();
+            for dp in &dp_ids {
+                if dp.index() >= inst.delivery_points.len() {
+                    return Err(format!("{dp} does not exist"));
+                }
+                if inst.delivery_points[dp.index()].center != center {
+                    return Err(format!("{dp} belongs to another distribution center"));
+                }
+            }
+            match schedule_route(&inst, center, &dp_ids) {
+                Some(route) => {
+                    let stops: Vec<String> =
+                        route.dps().iter().map(ToString::to_string).collect();
+                    Ok(format!(
+                        "{} -> {} | travel from center {:.3} h, reward {:.2}, slack {:.3} h\n",
+                        center,
+                        stops.join(" -> "),
+                        route.travel_from_dc(),
+                        route.total_reward(),
+                        route.slack(),
+                    ))
+                }
+                None => Err("no deadline-feasible visiting order exists for that set".into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fta-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn generate_inspect_solve_schedule_pipeline() {
+        let instance_path = temp("city.json");
+        let plan_path = temp("plan.json");
+
+        // generate
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 3 --centers 1 --workers 8 --tasks 80 --dps 12 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("8 workers"));
+
+        // inspect
+        let cmd = parse(&argv(&format!("inspect {}", instance_path.display()))).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("dc0"));
+        assert!(out.contains("80 tasks"));
+
+        // solve
+        let cmd = parse(&argv(&format!(
+            "solve {} --algo gta --out {}",
+            instance_path.display(),
+            plan_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("P_dif"));
+        assert!(out.contains("assignment written"));
+        assert!(plan_path.exists());
+
+        // schedule: pick two delivery points from the written instance.
+        let inst = fta_data::io::load_instance(&instance_path).unwrap();
+        let views = inst.center_views();
+        let dps = &views[0].dps;
+        if dps.len() >= 2 {
+            let cmd = parse(&argv(&format!(
+                "schedule {} --center 0 --dps {},{}",
+                instance_path.display(),
+                dps[0].0,
+                dps[1].0
+            )))
+            .unwrap();
+            // Feasibility depends on deadlines; either a route or a clear error.
+            match execute(&cmd) {
+                Ok(out) => assert!(out.contains("->")),
+                Err(e) => assert!(e.contains("deadline")),
+            }
+        }
+
+        let _ = std::fs::remove_file(&instance_path);
+        let _ = std::fs::remove_file(&plan_path);
+    }
+
+    #[test]
+    fn compare_prints_all_algorithms() {
+        let instance_path = temp("compare.json");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 11 --centers 1 --workers 6 --tasks 60 --dps 10 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        let cmd = parse(&argv(&format!("compare {}", instance_path.display()))).unwrap();
+        let out = execute(&cmd).unwrap();
+        for label in ["MPTA", "GTA", "FGT", "IEGT"] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+        assert!(out.contains("P_dif"));
+        let _ = std::fs::remove_file(&instance_path);
+    }
+
+    #[test]
+    fn missing_instance_file_is_reported() {
+        let cmd = parse(&argv("inspect /nonexistent/fta-instance.json")).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("i/o error"));
+    }
+
+    #[test]
+    fn schedule_rejects_foreign_and_unknown_dps() {
+        let instance_path = temp("two-centers.json");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 5 --centers 2 --workers 6 --tasks 60 --dps 10 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        let inst = fta_data::io::load_instance(&instance_path).unwrap();
+        // Find a dp belonging to center 1 and ask center 0 to schedule it.
+        let foreign = inst
+            .delivery_points
+            .iter()
+            .find(|dp| dp.center == fta_core::CenterId(1))
+            .expect("two centers have dps");
+        let cmd = parse(&argv(&format!(
+            "schedule {} --center 0 --dps {}",
+            instance_path.display(),
+            foreign.id.0
+        )))
+        .unwrap();
+        assert!(execute(&cmd).unwrap_err().contains("another distribution center"));
+
+        let cmd = parse(&argv(&format!(
+            "schedule {} --center 0 --dps 9999",
+            instance_path.display()
+        )))
+        .unwrap();
+        assert!(execute(&cmd).unwrap_err().contains("does not exist"));
+
+        let _ = std::fs::remove_file(&instance_path);
+    }
+}

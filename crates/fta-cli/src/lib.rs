@@ -1,0 +1,23 @@
+//! # fta-cli — command-line front end for the FTA library
+//!
+//! The `fta` binary exposes the workflow a dispatcher would run:
+//!
+//! ```text
+//! fta generate syn --seed 7 --out city.json      # write a workload
+//! fta inspect city.json                          # look at it
+//! fta solve city.json --algo iegt --out plan.json
+//! fta schedule city.json --center 0 --dps 3,7,12 # sequence a dp set
+//! fta compare city.json                          # all algorithms side by side
+//! ```
+//!
+//! All argument parsing and command logic lives in this library crate so it
+//! is unit-testable; `src/main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+pub use commands::execute;

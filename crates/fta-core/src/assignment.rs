@@ -1,0 +1,321 @@
+//! Spatial task assignments (Definition 8).
+
+use crate::error::{FtaError, Result};
+use crate::fairness::FairnessReport;
+use crate::ids::{DeliveryPointId, WorkerId};
+use crate::instance::Instance;
+use crate::payoff::worker_payoff;
+use crate::route::Route;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A spatial task assignment: a set of `(worker, VDPS)` pairs with pairwise
+/// disjoint delivery point sets (Definition 8).
+///
+/// Workers playing the `null` strategy (no delivery tasks) are simply absent
+/// from the map; their payoff is `0`. A `BTreeMap` keeps iteration order
+/// deterministic, which makes every metric and report reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    choices: BTreeMap<WorkerId, Route>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment (all workers on the `null` strategy).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `route` to `worker`, replacing any previous route. Returns
+    /// the previous route, if any.
+    pub fn assign(&mut self, worker: WorkerId, route: Route) -> Option<Route> {
+        self.choices.insert(worker, route)
+    }
+
+    /// Reverts `worker` to the `null` strategy; returns the removed route.
+    pub fn unassign(&mut self, worker: WorkerId) -> Option<Route> {
+        self.choices.remove(&worker)
+    }
+
+    /// The route assigned to `worker`, if any.
+    #[must_use]
+    pub fn route_of(&self, worker: WorkerId) -> Option<&Route> {
+        self.choices.get(&worker)
+    }
+
+    /// Number of workers with a non-null strategy.
+    #[must_use]
+    pub fn assigned_workers(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Iterates over `(worker, route)` pairs in worker-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkerId, &Route)> {
+        self.choices.iter().map(|(&w, r)| (w, r))
+    }
+
+    /// Merges another assignment into this one (used to combine per-center
+    /// solutions). Workers present in both keep `other`'s route.
+    pub fn merge(&mut self, other: Assignment) {
+        self.choices.extend(other.choices);
+    }
+
+    /// Payoff of `worker` under this assignment (`0` for the null strategy).
+    #[must_use]
+    pub fn payoff_of(&self, instance: &Instance, worker: WorkerId) -> f64 {
+        self.choices
+            .get(&worker)
+            .map_or(0.0, |r| worker_payoff(instance, worker, r))
+    }
+
+    /// Payoff vector for the given population of workers, in their order.
+    #[must_use]
+    pub fn payoffs(&self, instance: &Instance, workers: &[WorkerId]) -> Vec<f64> {
+        workers
+            .iter()
+            .map(|&w| self.payoff_of(instance, w))
+            .collect()
+    }
+
+    /// All fairness metrics for the given population.
+    #[must_use]
+    pub fn fairness(&self, instance: &Instance, workers: &[WorkerId]) -> FairnessReport {
+        FairnessReport::from_payoffs(&self.payoffs(instance, workers))
+    }
+
+    /// Total number of delivery points covered by the assignment.
+    #[must_use]
+    pub fn covered_dps(&self) -> usize {
+        self.choices.values().map(Route::len).sum()
+    }
+
+    /// Total reward collected by all workers.
+    #[must_use]
+    pub fn total_reward(&self) -> f64 {
+        self.choices.values().map(Route::total_reward).sum()
+    }
+
+    /// Renders a human-readable summary: one line per assigned worker with
+    /// its route, reward, and payoff, followed by the fairness report over
+    /// `workers`.
+    #[must_use]
+    pub fn summary(&self, instance: &Instance, workers: &[WorkerId]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (worker, route) in self.iter() {
+            let stops: Vec<String> = route.dps().iter().map(ToString::to_string).collect();
+            let _ = writeln!(
+                out,
+                "{worker}: {} | reward {:.2}, payoff {:.3}",
+                stops.join(" -> "),
+                route.total_reward(),
+                self.payoff_of(instance, worker),
+            );
+        }
+        let report = self.fairness(instance, workers);
+        let _ = writeln!(
+            out,
+            "assigned {}/{} workers | P_dif {:.3} | average payoff {:.3} | jain {:.3}",
+            self.assigned_workers(),
+            workers.len(),
+            report.payoff_difference,
+            report.average_payoff,
+            report.jain,
+        );
+        out
+    }
+
+    /// Validates the assignment against `instance`:
+    ///
+    /// * every route is valid for its worker (deadlines, `maxDP`, center);
+    /// * delivery point sets are pairwise disjoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, instance: &Instance) -> Result<()> {
+        let mut owner: BTreeMap<DeliveryPointId, WorkerId> = BTreeMap::new();
+        for (&worker, route) in &self.choices {
+            route.validate_for(instance, worker)?;
+            for &dp in route.dps() {
+                if let Some(&first) = owner.get(&dp) {
+                    return Err(FtaError::OverlappingAssignment {
+                        first,
+                        second: worker,
+                        delivery_point: dp,
+                    });
+                }
+                owner.insert(dp, worker);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(WorkerId, Route)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (WorkerId, Route)>>(iter: T) -> Self {
+        Self {
+            choices: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+    use crate::geometry::Point;
+    use crate::ids::{CenterId, TaskId};
+
+    fn instance() -> Instance {
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(0.0, 0.0),
+            }],
+            vec![
+                Worker {
+                    id: WorkerId(0),
+                    location: Point::new(-1.0, 0.0),
+                    max_dp: 2,
+                    center: CenterId(0),
+                },
+                Worker {
+                    id: WorkerId(1),
+                    location: Point::new(1.0, 1.0),
+                    max_dp: 2,
+                    center: CenterId(0),
+                },
+            ],
+            vec![
+                DeliveryPoint {
+                    id: DeliveryPointId(0),
+                    location: Point::new(1.0, 0.0),
+                    center: CenterId(0),
+                },
+                DeliveryPoint {
+                    id: DeliveryPointId(1),
+                    location: Point::new(0.0, 1.0),
+                    center: CenterId(0),
+                },
+            ],
+            vec![
+                SpatialTask {
+                    id: TaskId(0),
+                    delivery_point: DeliveryPointId(0),
+                    expiry: 10.0,
+                    reward: 2.0,
+                },
+                SpatialTask {
+                    id: TaskId(1),
+                    delivery_point: DeliveryPointId(1),
+                    expiry: 10.0,
+                    reward: 3.0,
+                },
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn route(inst: &Instance, dps: &[u32]) -> Route {
+        let aggs = inst.dp_aggregates();
+        Route::build(
+            inst,
+            &aggs,
+            CenterId(0),
+            dps.iter().copied().map(DeliveryPointId).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn disjoint_assignment_validates() {
+        let inst = instance();
+        let mut a = Assignment::new();
+        a.assign(WorkerId(0), route(&inst, &[0]));
+        a.assign(WorkerId(1), route(&inst, &[1]));
+        assert!(a.validate(&inst).is_ok());
+        assert_eq!(a.assigned_workers(), 2);
+        assert_eq!(a.covered_dps(), 2);
+        assert_eq!(a.total_reward(), 5.0);
+    }
+
+    #[test]
+    fn overlapping_assignment_is_rejected() {
+        let inst = instance();
+        let mut a = Assignment::new();
+        a.assign(WorkerId(0), route(&inst, &[0, 1]));
+        a.assign(WorkerId(1), route(&inst, &[1]));
+        assert!(matches!(
+            a.validate(&inst),
+            Err(FtaError::OverlappingAssignment {
+                delivery_point: DeliveryPointId(1),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn null_strategy_workers_have_zero_payoff() {
+        let inst = instance();
+        let mut a = Assignment::new();
+        a.assign(WorkerId(0), route(&inst, &[0]));
+        let payoffs = a.payoffs(&inst, &[WorkerId(0), WorkerId(1)]);
+        // w0: reward 2, travel 1 (to dc) + 1 (to dp0) = 2 → payoff 1.
+        assert!((payoffs[0] - 1.0).abs() < 1e-12);
+        assert_eq!(payoffs[1], 0.0);
+    }
+
+    #[test]
+    fn unassign_restores_null_strategy() {
+        let inst = instance();
+        let mut a = Assignment::new();
+        a.assign(WorkerId(0), route(&inst, &[0]));
+        assert!(a.unassign(WorkerId(0)).is_some());
+        assert!(a.route_of(WorkerId(0)).is_none());
+        assert_eq!(a.payoff_of(&inst, WorkerId(0)), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_center_solutions() {
+        let inst = instance();
+        let mut a = Assignment::new();
+        a.assign(WorkerId(0), route(&inst, &[0]));
+        let mut b = Assignment::new();
+        b.assign(WorkerId(1), route(&inst, &[1]));
+        a.merge(b);
+        assert_eq!(a.assigned_workers(), 2);
+        assert!(a.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn fairness_report_over_population() {
+        let inst = instance();
+        let mut a = Assignment::new();
+        a.assign(WorkerId(0), route(&inst, &[0]));
+        let report = a.fairness(&inst, &[WorkerId(0), WorkerId(1)]);
+        assert!(report.payoff_difference > 0.0);
+        assert!((report.average_payoff - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_lists_routes_and_metrics() {
+        let inst = instance();
+        let mut a = Assignment::new();
+        a.assign(WorkerId(0), route(&inst, &[0, 1]));
+        let text = a.summary(&inst, &[WorkerId(0), WorkerId(1)]);
+        assert!(text.contains("w0: dp0 -> dp1"));
+        assert!(text.contains("reward 5.00"));
+        assert!(text.contains("assigned 1/2 workers"));
+        assert!(text.contains("P_dif"));
+    }
+
+    #[test]
+    fn from_iterator_builds_assignment() {
+        let inst = instance();
+        let a: Assignment = vec![(WorkerId(0), route(&inst, &[0]))].into_iter().collect();
+        assert_eq!(a.assigned_workers(), 1);
+    }
+}

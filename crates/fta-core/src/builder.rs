@@ -1,0 +1,198 @@
+//! Ergonomic instance construction.
+//!
+//! [`Instance::new`](crate::Instance::new) expects dense, pre-assigned ids —
+//! fine for generators, tedious for hand-built scenarios. The builder
+//! assigns ids in insertion order and returns handles to reference earlier
+//! entities:
+//!
+//! ```
+//! use fta_core::builder::InstanceBuilder;
+//!
+//! let mut b = InstanceBuilder::new(5.0); // 5 km/h
+//! let dc = b.center(2.0, 2.0);
+//! let _w1 = b.worker(1.0, 2.0, 3, dc);
+//! let dp1 = b.delivery_point(3.0, 3.0, dc);
+//! b.task(dp1, 2.5, 1.0);
+//! let instance = b.build().expect("valid by construction");
+//! assert_eq!(instance.workers.len(), 1);
+//! assert_eq!(instance.tasks.len(), 1);
+//! ```
+
+use crate::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+use crate::error::Result;
+use crate::geometry::Point;
+use crate::ids::{CenterId, DeliveryPointId, TaskId, WorkerId};
+use crate::instance::Instance;
+
+/// Incrementally assembles an [`Instance`], assigning dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    centers: Vec<DistributionCenter>,
+    workers: Vec<Worker>,
+    delivery_points: Vec<DeliveryPoint>,
+    tasks: Vec<SpatialTask>,
+    speed: f64,
+}
+
+impl InstanceBuilder {
+    /// Starts a builder with the uniform worker speed (km/h).
+    #[must_use]
+    pub fn new(speed: f64) -> Self {
+        Self {
+            speed,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a distribution center at `(x, y)`; returns its id.
+    pub fn center(&mut self, x: f64, y: f64) -> CenterId {
+        let id = CenterId::from_index(self.centers.len());
+        self.centers.push(DistributionCenter {
+            id,
+            location: Point::new(x, y),
+        });
+        id
+    }
+
+    /// Adds a worker at `(x, y)` serving `center`; returns its id.
+    pub fn worker(&mut self, x: f64, y: f64, max_dp: usize, center: CenterId) -> WorkerId {
+        let id = WorkerId::from_index(self.workers.len());
+        self.workers.push(Worker {
+            id,
+            location: Point::new(x, y),
+            max_dp,
+            center,
+        });
+        id
+    }
+
+    /// Adds a delivery point at `(x, y)` belonging to `center`; returns its
+    /// id.
+    pub fn delivery_point(&mut self, x: f64, y: f64, center: CenterId) -> DeliveryPointId {
+        let id = DeliveryPointId::from_index(self.delivery_points.len());
+        self.delivery_points.push(DeliveryPoint {
+            id,
+            location: Point::new(x, y),
+            center,
+        });
+        id
+    }
+
+    /// Adds a task delivered to `dp` with the given expiry (hours) and
+    /// reward; returns its id.
+    pub fn task(&mut self, dp: DeliveryPointId, expiry: f64, reward: f64) -> TaskId {
+        let id = TaskId::from_index(self.tasks.len());
+        self.tasks.push(SpatialTask {
+            id,
+            delivery_point: dp,
+            expiry,
+            reward,
+        });
+        id
+    }
+
+    /// Adds `count` identical tasks to `dp` (the paper's "a delivery point
+    /// with |dp.S| tasks"); returns their ids.
+    pub fn tasks(
+        &mut self,
+        dp: DeliveryPointId,
+        count: usize,
+        expiry: f64,
+        reward: f64,
+    ) -> Vec<TaskId> {
+        (0..count).map(|_| self.task(dp, expiry, reward)).collect()
+    }
+
+    /// Validates and builds the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant (see
+    /// [`Instance::validate`](crate::Instance::validate)): dangling
+    /// references cannot occur with builder-made handles, but non-positive
+    /// speed, zero `max_dp`, or invalid task fields are still caught.
+    pub fn build(self) -> Result<Instance> {
+        Instance::new(
+            self.centers,
+            self.workers,
+            self.delivery_points,
+            self.tasks,
+            self.speed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FtaError;
+
+    #[test]
+    fn ids_are_assigned_in_insertion_order() {
+        let mut b = InstanceBuilder::new(1.0);
+        let c0 = b.center(0.0, 0.0);
+        let c1 = b.center(5.0, 5.0);
+        assert_eq!(c0, CenterId(0));
+        assert_eq!(c1, CenterId(1));
+        let w0 = b.worker(1.0, 0.0, 2, c0);
+        let w1 = b.worker(4.0, 5.0, 3, c1);
+        assert_eq!((w0, w1), (WorkerId(0), WorkerId(1)));
+        let dp = b.delivery_point(0.0, 1.0, c0);
+        let t0 = b.task(dp, 2.0, 1.0);
+        let t1 = b.task(dp, 3.0, 1.5);
+        assert_eq!((t0, t1), (TaskId(0), TaskId(1)));
+        let inst = b.build().unwrap();
+        assert_eq!(inst.centers.len(), 2);
+        assert_eq!(inst.workers[1].center, CenterId(1));
+    }
+
+    #[test]
+    fn bulk_tasks_share_parameters() {
+        let mut b = InstanceBuilder::new(1.0);
+        let c = b.center(0.0, 0.0);
+        b.worker(0.0, 0.0, 1, c);
+        let dp = b.delivery_point(1.0, 0.0, c);
+        let ids = b.tasks(dp, 6, 2.5, 1.0);
+        assert_eq!(ids.len(), 6);
+        let inst = b.build().unwrap();
+        let aggs = inst.dp_aggregates();
+        assert_eq!(aggs[dp.index()].task_count, 6);
+        assert_eq!(aggs[dp.index()].total_reward, 6.0);
+    }
+
+    #[test]
+    fn invalid_fields_still_fail_validation() {
+        let mut b = InstanceBuilder::new(0.0); // bad speed
+        let c = b.center(0.0, 0.0);
+        b.worker(0.0, 0.0, 1, c);
+        assert!(matches!(
+            b.build(),
+            Err(FtaError::InvalidField { field: "speed", .. })
+        ));
+    }
+
+    #[test]
+    fn builder_reproduces_figure_1() {
+        // The hand-built Figure 1 via the builder matches the canonical
+        // constructor output.
+        let mut b = InstanceBuilder::new(1.0);
+        let dc = b.center(2.0, 2.0);
+        b.worker(1.0, 2.0, 3, dc);
+        b.worker(3.0, 1.0, 3, dc);
+        let coords = [
+            (3.0, 3.0),
+            (4.0, 3.5),
+            (4.2757, 2.4165),
+            (3.0, 1.5),
+            (3.7, 1.08),
+        ];
+        let counts = crate::fig1::TASK_COUNTS;
+        for (i, &(x, y)) in coords.iter().enumerate() {
+            let dp = b.delivery_point(x, y, dc);
+            let expiry = if i == 0 { 2.5 } else { 6.0 };
+            b.tasks(dp, counts[i], expiry, 1.0);
+        }
+        let built = b.build().unwrap();
+        assert_eq!(built, crate::fig1::instance());
+    }
+}

@@ -1,0 +1,114 @@
+//! The paper's core entities (Definitions 1–4).
+
+use crate::geometry::Point;
+use crate::ids::{CenterId, DeliveryPointId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A distribution center (Definition 1): the pickup location from which every
+/// assigned worker collects tasks before visiting delivery points.
+///
+/// The tasks and delivery points belonging to a center are not stored inline;
+/// they are recovered from the owning [`Instance`](crate::Instance) via the
+/// `center` fields on [`DeliveryPoint`] and [`Worker`], keeping the entity
+/// types plain-old-data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionCenter {
+    /// Dense identifier of this center.
+    pub id: CenterId,
+    /// Location `dc.l`.
+    pub location: Point,
+}
+
+/// A delivery point (Definition 2): a drop-off location with an associated
+/// set of tasks (the deliveries destined for it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryPoint {
+    /// Dense identifier of this delivery point.
+    pub id: DeliveryPointId,
+    /// Location `dp.l`.
+    pub location: Point,
+    /// The distribution center whose tasks are delivered here.
+    pub center: CenterId,
+}
+
+/// A spatial task (Definition 3): one delivery from the distribution center
+/// to a delivery point, with an expiration deadline and a reward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialTask {
+    /// Dense identifier of this task.
+    pub id: TaskId,
+    /// The delivery point `s.dp` the task must be delivered to.
+    pub delivery_point: DeliveryPointId,
+    /// Expiration deadline `s.e`, in hours from the assignment instant. A
+    /// worker must *arrive* at the delivery point no later than this.
+    pub expiry: f64,
+    /// Reward `s.r` earned by the worker completing the task.
+    pub reward: f64,
+}
+
+/// A worker (Definition 4): an online participant able to perform tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Dense identifier of this worker.
+    pub id: crate::ids::WorkerId,
+    /// Current location `w.l`.
+    pub location: Point,
+    /// Maximum acceptable number of delivery points `w.maxDP` the worker is
+    /// willing to visit in one assignment.
+    pub max_dp: usize,
+    /// The (single) distribution center the worker works for; the paper
+    /// assumes each worker serves exactly one center.
+    pub center: CenterId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::WorkerId;
+
+    #[test]
+    fn entities_are_copy_and_comparable() {
+        let dc = DistributionCenter {
+            id: CenterId(0),
+            location: Point::new(2.0, 2.0),
+        };
+        let dc2 = dc; // Copy
+        assert_eq!(dc, dc2);
+
+        let dp = DeliveryPoint {
+            id: DeliveryPointId(1),
+            location: Point::new(0.0, 1.0),
+            center: CenterId(0),
+        };
+        assert_eq!(dp.center, dc.id);
+
+        let task = SpatialTask {
+            id: TaskId(0),
+            delivery_point: dp.id,
+            expiry: 2.5,
+            reward: 1.0,
+        };
+        assert_eq!(task.delivery_point, dp.id);
+
+        let w = Worker {
+            id: WorkerId(0),
+            location: Point::new(1.0, 2.0),
+            max_dp: 3,
+            center: CenterId(0),
+        };
+        assert_eq!(w.max_dp, 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let task = SpatialTask {
+            id: TaskId(5),
+            delivery_point: DeliveryPointId(2),
+            expiry: 1.5,
+            reward: 2.0,
+        };
+        let json = serde_json::to_string(&task).unwrap();
+        let back: SpatialTask = serde_json::from_str(&json).unwrap();
+        assert_eq!(task, back);
+    }
+}

@@ -1,0 +1,168 @@
+//! Error type shared across the FTA crates.
+
+use crate::ids::{CenterId, DeliveryPointId, TaskId, WorkerId};
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, FtaError>;
+
+/// Errors produced while building instances or validating assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtaError {
+    /// An entity references a distribution center that does not exist.
+    UnknownCenter(CenterId),
+    /// A task references a delivery point that does not exist.
+    UnknownDeliveryPoint(DeliveryPointId),
+    /// An assignment references a worker that does not exist.
+    UnknownWorker(WorkerId),
+    /// Entity ids are not dense (id does not match its position).
+    NonDenseId {
+        /// Human-readable entity kind ("worker", "task", ...).
+        kind: &'static str,
+        /// Position in the instance vector.
+        position: usize,
+        /// The id actually stored there.
+        found: u32,
+    },
+    /// A numeric field is invalid (negative reward, non-positive speed, ...).
+    InvalidField {
+        /// Which field failed validation.
+        field: &'static str,
+        /// A description of the failure.
+        message: String,
+    },
+    /// Two workers were assigned overlapping delivery point sets
+    /// (violates Definition 8's disjointness requirement).
+    OverlappingAssignment {
+        /// First worker in the conflict.
+        first: WorkerId,
+        /// Second worker in the conflict.
+        second: WorkerId,
+        /// One delivery point assigned to both.
+        delivery_point: DeliveryPointId,
+    },
+    /// A route visits a delivery point after one of its tasks has expired.
+    DeadlineViolated {
+        /// The worker whose route is infeasible.
+        worker: WorkerId,
+        /// The delivery point reached too late.
+        delivery_point: DeliveryPointId,
+        /// The arrival time in hours.
+        arrival: f64,
+        /// The earliest task deadline at that delivery point.
+        deadline: f64,
+    },
+    /// A worker was assigned more delivery points than its `maxDP`.
+    MaxDpExceeded {
+        /// The worker in question.
+        worker: WorkerId,
+        /// Number of delivery points assigned.
+        assigned: usize,
+        /// The worker's `maxDP` bound.
+        max_dp: usize,
+    },
+    /// A route references a delivery point of a different distribution
+    /// center than the worker's.
+    CenterMismatch {
+        /// The worker in question.
+        worker: WorkerId,
+        /// The foreign delivery point.
+        delivery_point: DeliveryPointId,
+    },
+    /// A task is referenced but missing (e.g. a delivery point with no task
+    /// set where one is required).
+    UnknownTask(TaskId),
+}
+
+impl fmt::Display for FtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownCenter(id) => write!(f, "unknown distribution center {id}"),
+            Self::UnknownDeliveryPoint(id) => write!(f, "unknown delivery point {id}"),
+            Self::UnknownWorker(id) => write!(f, "unknown worker {id}"),
+            Self::NonDenseId {
+                kind,
+                position,
+                found,
+            } => write!(
+                f,
+                "{kind} at position {position} has id {found}; ids must be dense"
+            ),
+            Self::InvalidField { field, message } => {
+                write!(f, "invalid field `{field}`: {message}")
+            }
+            Self::OverlappingAssignment {
+                first,
+                second,
+                delivery_point,
+            } => write!(
+                f,
+                "workers {first} and {second} were both assigned {delivery_point}"
+            ),
+            Self::DeadlineViolated {
+                worker,
+                delivery_point,
+                arrival,
+                deadline,
+            } => write!(
+                f,
+                "{worker} arrives at {delivery_point} at t={arrival:.3}h, after deadline {deadline:.3}h"
+            ),
+            Self::MaxDpExceeded {
+                worker,
+                assigned,
+                max_dp,
+            } => write!(
+                f,
+                "{worker} assigned {assigned} delivery points, exceeding maxDP={max_dp}"
+            ),
+            Self::CenterMismatch {
+                worker,
+                delivery_point,
+            } => write!(
+                f,
+                "{worker} assigned {delivery_point}, which belongs to a different distribution center"
+            ),
+            Self::UnknownTask(id) => write!(f, "unknown task {id}"),
+        }
+    }
+}
+
+impl std::error::Error for FtaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = FtaError::OverlappingAssignment {
+            first: WorkerId(0),
+            second: WorkerId(1),
+            delivery_point: DeliveryPointId(2),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("w0"));
+        assert!(msg.contains("w1"));
+        assert!(msg.contains("dp2"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&FtaError::UnknownWorker(WorkerId(3)));
+    }
+
+    #[test]
+    fn deadline_violation_formats_times() {
+        let err = FtaError::DeadlineViolated {
+            worker: WorkerId(1),
+            delivery_point: DeliveryPointId(4),
+            arrival: 2.53721,
+            deadline: 2.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("2.537"));
+        assert!(msg.contains("2.000"));
+    }
+}

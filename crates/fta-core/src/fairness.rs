@@ -1,0 +1,244 @@
+//! Fairness metrics over worker payoff vectors.
+//!
+//! The paper's unfairness measure is the mean pairwise absolute payoff
+//! difference `P_dif` (Equation 2). This module additionally provides the
+//! Gini coefficient, Jain's fairness index, and the min–max ratio — the
+//! "additional descriptive models of fairness" the paper names as future
+//! work — which the experiment harness reports alongside `P_dif` as
+//! cross-checks.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean pairwise absolute difference of `payoffs` (Equation 2):
+///
+/// `P_dif = Σ_{i≠j} |P_i − P_j| / (|W| (|W|−1))`.
+///
+/// Computed in `O(n log n)` by sorting: for sorted values,
+/// `Σ_{i<j} (p_j − p_i) = Σ_k (2k − n + 1) p_(k)`, and ordered pairs double
+/// that sum. Returns `0.0` for fewer than two workers (a single worker
+/// cannot be treated unfairly relative to anyone).
+///
+/// ```
+/// use fta_core::fairness::payoff_difference;
+///
+/// // The paper's Figure 1: greedy payoffs (2.80, 2.09) → difference 0.71.
+/// let diff = payoff_difference(&[2.80, 2.09]);
+/// assert!((diff - 0.71).abs() < 1e-9);
+/// assert_eq!(payoff_difference(&[3.0, 3.0, 3.0]), 0.0);
+/// ```
+#[must_use]
+pub fn payoff_difference(payoffs: &[f64]) -> f64 {
+    let n = payoffs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sorted = payoffs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("payoffs must not be NaN"));
+    let nf = n as f64;
+    let sum: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| (2.0 * k as f64 - nf + 1.0) * p)
+        .sum();
+    2.0 * sum / (nf * (nf - 1.0))
+}
+
+/// Arithmetic mean of `payoffs`; `0.0` when empty.
+#[must_use]
+pub fn average_payoff(payoffs: &[f64]) -> f64 {
+    if payoffs.is_empty() {
+        return 0.0;
+    }
+    payoffs.iter().sum::<f64>() / payoffs.len() as f64
+}
+
+/// Gini coefficient of `payoffs` in `[0, 1]`; `0.0` means perfect equality.
+///
+/// Defined as the mean pairwise difference divided by twice the mean.
+/// Returns `0.0` when the mean is zero (all payoffs zero) or fewer than two
+/// workers are present.
+#[must_use]
+pub fn gini(payoffs: &[f64]) -> f64 {
+    let mean = average_payoff(payoffs);
+    if mean <= 0.0 || payoffs.len() < 2 {
+        return 0.0;
+    }
+    // payoff_difference already averages over ordered pairs n(n-1), which is
+    // the "mean absolute difference" with the pair-exclusion convention; the
+    // standard Gini uses n² pairs, so rescale.
+    let n = payoffs.len() as f64;
+    payoff_difference(payoffs) * (n - 1.0) / n / (2.0 * mean)
+}
+
+/// Jain's fairness index `(Σp)² / (n Σp²)` in `(0, 1]`; `1.0` means perfect
+/// equality. Returns `1.0` for an empty or all-zero vector (vacuously fair).
+#[must_use]
+pub fn jain_index(payoffs: &[f64]) -> f64 {
+    if payoffs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = payoffs.iter().sum();
+    let sum_sq: f64 = payoffs.iter().map(|p| p * p).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (payoffs.len() as f64 * sum_sq)
+}
+
+/// Ratio of the minimum to the maximum payoff in `[0, 1]`; `1.0` means
+/// perfect equality. Returns `1.0` when empty or when the maximum is zero.
+#[must_use]
+pub fn min_max_ratio(payoffs: &[f64]) -> f64 {
+    let max = payoffs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = payoffs.iter().copied().fold(f64::INFINITY, f64::min);
+    if payoffs.is_empty() || max <= 0.0 {
+        return 1.0;
+    }
+    (min / max).max(0.0)
+}
+
+/// A bundle of all fairness metrics for one assignment, as reported by the
+/// experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// `P_dif` (Equation 2) — the paper's primary metric.
+    pub payoff_difference: f64,
+    /// Average worker payoff — the paper's secondary metric.
+    pub average_payoff: f64,
+    /// Gini coefficient (extension).
+    pub gini: f64,
+    /// Jain's fairness index (extension).
+    pub jain: f64,
+    /// Min/max payoff ratio (extension).
+    pub min_max_ratio: f64,
+}
+
+impl FairnessReport {
+    /// Computes all metrics from a payoff vector.
+    #[must_use]
+    pub fn from_payoffs(payoffs: &[f64]) -> Self {
+        Self {
+            payoff_difference: payoff_difference(payoffs),
+            average_payoff: average_payoff(payoffs),
+            gini: gini(payoffs),
+            jain: jain_index(payoffs),
+            min_max_ratio: min_max_ratio(payoffs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_payoff_difference(payoffs: &[f64]) -> f64 {
+        let n = payoffs.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    sum += (payoffs[i] - payoffs[j]).abs();
+                }
+            }
+        }
+        sum / (n * (n - 1)) as f64
+    }
+
+    #[test]
+    fn matches_naive_pairwise_definition() {
+        let cases: &[&[f64]] = &[
+            &[1.0, 2.0],
+            &[3.0, 1.0, 2.0],
+            &[0.0, 0.0, 0.0],
+            &[2.8, 2.09, 1.4, 3.3],
+            &[5.0],
+            &[],
+        ];
+        for payoffs in cases {
+            let fast = payoff_difference(payoffs);
+            let naive = naive_payoff_difference(payoffs);
+            assert!(
+                (fast - naive).abs() < 1e-10,
+                "mismatch on {payoffs:?}: {fast} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_1_payoff_differences() {
+        // Greedy assignment of Figure 1: payoffs 2.80 and 2.09 → diff 0.71.
+        let d = payoff_difference(&[2.80, 2.09]);
+        assert!((d - 0.71).abs() < 1e-9);
+        // Fair assignment: payoffs differ by 0.26.
+        let d = payoff_difference(&[2.55, 2.29]);
+        assert!((d - 0.26).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_payoffs_are_perfectly_fair() {
+        let p = [2.5, 2.5, 2.5, 2.5];
+        assert_eq!(payoff_difference(&p), 0.0);
+        assert_eq!(gini(&p), 0.0);
+        assert!((jain_index(&p) - 1.0).abs() < 1e-12);
+        assert!((min_max_ratio(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_payoff_is_mean() {
+        assert!((average_payoff(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(average_payoff(&[]), 0.0);
+    }
+
+    #[test]
+    fn gini_of_total_inequality_approaches_one() {
+        // One worker takes everything; with n workers Gini = (n-1)/n.
+        let mut p = vec![0.0; 10];
+        p[0] = 100.0;
+        assert!((gini(&p) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_of_one_hot_vector_is_one_over_n() {
+        let mut p = vec![0.0; 4];
+        p[2] = 7.0;
+        assert!((jain_index(&p) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ratio_handles_zeros() {
+        assert_eq!(min_max_ratio(&[0.0, 2.0]), 0.0);
+        assert_eq!(min_max_ratio(&[0.0, 0.0]), 1.0);
+        assert_eq!(min_max_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn report_bundles_everything() {
+        let p = [1.0, 3.0];
+        let r = FairnessReport::from_payoffs(&p);
+        assert!((r.payoff_difference - 2.0).abs() < 1e-12);
+        assert!((r.average_payoff - 2.0).abs() < 1e-12);
+        assert!((r.min_max_ratio - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_permutation_invariant() {
+        let a = [1.0, 4.0, 2.0, 8.0];
+        let b = [8.0, 1.0, 2.0, 4.0];
+        assert_eq!(payoff_difference(&a), payoff_difference(&b));
+        assert_eq!(gini(&a), gini(&b));
+        assert_eq!(jain_index(&a), jain_index(&b));
+    }
+
+    #[test]
+    fn metrics_scale_properties() {
+        // P_dif is 1-homogeneous; Gini/Jain are scale invariant.
+        let p = [1.0, 2.0, 5.0];
+        let scaled: Vec<f64> = p.iter().map(|x| x * 3.0).collect();
+        assert!((payoff_difference(&scaled) - 3.0 * payoff_difference(&p)).abs() < 1e-9);
+        assert!((gini(&scaled) - gini(&p)).abs() < 1e-12);
+        assert!((jain_index(&scaled) - jain_index(&p)).abs() < 1e-12);
+    }
+}

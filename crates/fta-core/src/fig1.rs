@@ -1,0 +1,210 @@
+//! The worked example of the paper's Figure 1.
+//!
+//! The paper's figure fixes the distribution center at `(2, 2)`, worker
+//! `w1` at `(1, 2)`, worker `w2` at `(3, 1)`, and five delivery points with
+//! task counts `6, 3, 4, 4, 3`. The figure itself does not print the
+//! delivery point coordinates, so this module reconstructs coordinates that
+//! reproduce the paper's reported travel legs and payoffs exactly:
+//!
+//! * greedy assignment `{(w1, {dp1,dp2,dp3}), (w2, {dp4,dp5})}` has payoffs
+//!   `2.80` and `2.09` — payoff difference `0.71`, average `2.44`;
+//! * fair assignment `{(w1, {dp1,dp2}), (w2, {dp3,dp4,dp5})}` has payoffs
+//!   `2.55` and `2.29` — payoff difference `0.26`, average `2.42`.
+
+use crate::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+use crate::geometry::Point;
+use crate::ids::{CenterId, DeliveryPointId, TaskId, WorkerId};
+use crate::instance::Instance;
+
+/// Task counts per delivery point, as drawn in Figure 1.
+pub const TASK_COUNTS: [usize; 5] = [6, 3, 4, 4, 3];
+
+/// Builds the Figure 1 instance: one distribution center, two workers, five
+/// delivery points, twenty unit-reward tasks, speed 1.
+///
+/// Delivery point indices are zero-based: `DeliveryPointId(0)` is the
+/// paper's `dp1`, and so on.
+#[must_use]
+pub fn instance() -> Instance {
+    let center = DistributionCenter {
+        id: CenterId(0),
+        location: Point::new(2.0, 2.0),
+    };
+    let workers = vec![
+        Worker {
+            id: WorkerId(0),
+            location: Point::new(1.0, 2.0),
+            max_dp: 3,
+            center: CenterId(0),
+        },
+        Worker {
+            id: WorkerId(1),
+            location: Point::new(3.0, 1.0),
+            max_dp: 3,
+            center: CenterId(0),
+        },
+    ];
+    // Coordinates reconstructed from the paper's travel legs:
+    //   dc→dp1 = 1.41, dp1→dp2 = dp2→dp3 = 1.12 (w1's greedy route), and
+    //   w2's routes have legs dc→dp4 = 1.12, dp4→dp5 = 0.82, dp5→dp3 = 1.46.
+    let dp_locations = [
+        Point::new(3.0, 3.0),
+        Point::new(4.0, 3.5),
+        Point::new(4.2757, 2.4165),
+        Point::new(3.0, 1.5),
+        Point::new(3.7, 1.08),
+    ];
+    let delivery_points: Vec<DeliveryPoint> = dp_locations
+        .iter()
+        .enumerate()
+        .map(|(i, &location)| DeliveryPoint {
+            id: DeliveryPointId::from_index(i),
+            location,
+            center: CenterId(0),
+        })
+        .collect();
+
+    // Figure 1 annotates dp1's earliest expiration as 2.5; the other
+    // delivery points get a slack deadline of 6.0, which keeps both the
+    // greedy and the fair routes feasible.
+    let mut tasks = Vec::new();
+    for (dp_idx, &count) in TASK_COUNTS.iter().enumerate() {
+        let expiry = if dp_idx == 0 { 2.5 } else { 6.0 };
+        for _ in 0..count {
+            tasks.push(SpatialTask {
+                id: TaskId::from_index(tasks.len()),
+                delivery_point: DeliveryPointId::from_index(dp_idx),
+                expiry,
+                reward: 1.0,
+            });
+        }
+    }
+
+    Instance::new(vec![center], workers, delivery_points, tasks, 1.0)
+        .expect("the Figure 1 instance is valid by construction")
+}
+
+/// Expected metrics of the Figure 1 example, for tests and the quickstart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpectedFig1 {
+    /// Greedy payoffs `(w1, w2)`.
+    pub greedy_payoffs: (f64, f64),
+    /// Fair payoffs `(w1, w2)`.
+    pub fair_payoffs: (f64, f64),
+    /// Greedy payoff difference.
+    pub greedy_diff: f64,
+    /// Fair payoff difference.
+    pub fair_diff: f64,
+}
+
+/// The paper's reported numbers (rounded to two decimals in the text).
+#[must_use]
+pub fn expected() -> ExpectedFig1 {
+    ExpectedFig1 {
+        greedy_payoffs: (2.80, 2.09),
+        fair_payoffs: (2.55, 2.29),
+        greedy_diff: 0.71,
+        fair_diff: 0.26,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payoff::worker_payoff;
+    use crate::route::Route;
+
+    const TOL: f64 = 5e-3;
+
+    fn route(inst: &Instance, dps: &[usize]) -> Route {
+        let aggs = inst.dp_aggregates();
+        Route::build(
+            inst,
+            &aggs,
+            CenterId(0),
+            dps.iter().map(|&i| DeliveryPointId::from_index(i)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_route_payoffs_match_paper() {
+        let inst = instance();
+        let r1 = route(&inst, &[0, 1, 2]);
+        let p1 = worker_payoff(&inst, WorkerId(0), &r1);
+        assert!((p1 - 2.80).abs() < TOL, "w1 greedy payoff {p1}");
+
+        let r2 = route(&inst, &[3, 4]);
+        let p2 = worker_payoff(&inst, WorkerId(1), &r2);
+        assert!((p2 - 2.09).abs() < TOL, "w2 greedy payoff {p2}");
+    }
+
+    #[test]
+    fn fair_route_payoffs_match_paper() {
+        let inst = instance();
+        let r1 = route(&inst, &[0, 1]);
+        let p1 = worker_payoff(&inst, WorkerId(0), &r1);
+        assert!((p1 - 2.55).abs() < TOL, "w1 fair payoff {p1}");
+
+        let r2 = route(&inst, &[3, 4, 2]);
+        let p2 = worker_payoff(&inst, WorkerId(1), &r2);
+        assert!((p2 - 2.29).abs() < TOL, "w2 fair payoff {p2}");
+    }
+
+    #[test]
+    fn paper_example_total_travel_time() {
+        // 13 / 4.65 = 2.80 in the paper's introduction.
+        let inst = instance();
+        let r1 = route(&inst, &[0, 1, 2]);
+        let dc = inst.centers[0].location;
+        let to_dc = inst.travel_time(inst.workers[0].location, dc);
+        let total = to_dc + r1.travel_from_dc();
+        assert!((total - 4.65).abs() < 5e-3, "total travel {total}");
+        assert!((r1.total_reward() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp1_deadline_is_tight_but_feasible_for_w1() {
+        let inst = instance();
+        let r1 = route(&inst, &[0, 1, 2]);
+        // w1 arrives at dp1 at 1.0 + 1.414 ≈ 2.414 < 2.5.
+        assert!(r1.is_valid_for(&inst, WorkerId(0)));
+        // A worker farther than ~0.086 extra cannot serve dp1 first.
+        assert!(!r1.is_valid_for_travel(1.1));
+    }
+
+    #[test]
+    fn task_counts_match_figure() {
+        let inst = instance();
+        let aggs = inst.dp_aggregates();
+        for (i, &count) in TASK_COUNTS.iter().enumerate() {
+            assert_eq!(aggs[i].task_count, count);
+            assert_eq!(aggs[i].total_reward, count as f64);
+        }
+        assert_eq!(inst.task_count(), 20);
+    }
+
+    #[test]
+    fn greedy_vs_fair_tradeoff_matches_paper() {
+        use crate::fairness::{average_payoff, payoff_difference};
+        let inst = instance();
+        let g1 = worker_payoff(&inst, WorkerId(0), &route(&inst, &[0, 1, 2]));
+        let g2 = worker_payoff(&inst, WorkerId(1), &route(&inst, &[3, 4]));
+        let f1 = worker_payoff(&inst, WorkerId(0), &route(&inst, &[0, 1]));
+        let f2 = worker_payoff(&inst, WorkerId(1), &route(&inst, &[3, 4, 2]));
+
+        let greedy_diff = payoff_difference(&[g1, g2]);
+        let fair_diff = payoff_difference(&[f1, f2]);
+        assert!((greedy_diff - 0.71).abs() < 2e-2, "greedy diff {greedy_diff}");
+        assert!((fair_diff - 0.26).abs() < 2e-2, "fair diff {fair_diff}");
+
+        let greedy_avg = average_payoff(&[g1, g2]);
+        let fair_avg = average_payoff(&[f1, f2]);
+        assert!((greedy_avg - 2.44).abs() < 2e-2, "greedy avg {greedy_avg}");
+        assert!((fair_avg - 2.42).abs() < 2e-2, "fair avg {fair_avg}");
+        // The fair assignment trades a little average payoff for a much
+        // smaller payoff difference.
+        assert!(fair_diff < greedy_diff / 2.0);
+        assert!(fair_avg > greedy_avg - 0.05);
+    }
+}

@@ -1,0 +1,143 @@
+//! Planar geometry: locations, Euclidean distance, and travel time.
+//!
+//! The paper works in a two-dimensional Euclidean space (its synthetic
+//! datasets are drawn from `[0, 100]^2`) with a uniform worker speed
+//! (5 km/h by default), so travel time between two locations is simply
+//! `distance / speed`.
+
+use serde::{Deserialize, Serialize};
+
+/// A location in the plane, in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting, km.
+    pub x: f64,
+    /// Northing, km.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from kilometre coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in kilometres (`d(a, b)` in the paper).
+    #[must_use]
+    pub fn distance(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx.hypot(dy)
+    }
+
+    /// Squared Euclidean distance; cheaper than [`Point::distance`] when only
+    /// comparisons are needed (e.g. k-means assignment steps).
+    #[must_use]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Travel time from `self` to `other` at `speed` km/h (`c(a, b)` in the
+    /// paper), in hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `speed` is not strictly positive.
+    #[must_use]
+    pub fn travel_time(&self, other: Point, speed: f64) -> f64 {
+        debug_assert!(speed > 0.0, "worker speed must be positive, got {speed}");
+        self.distance(other) / speed
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self { x, y }
+    }
+}
+
+/// Returns the centroid of a non-empty set of points.
+///
+/// The paper uses the centroid of all task locations as the distribution
+/// center for the gMission dataset (Section VII-A). Returns `None` for an
+/// empty slice.
+#[must_use]
+pub fn centroid(points: &[Point]) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let n = points.len() as f64;
+    let (sx, sy) = points
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+    Some(Point::new(sx / n, sy / n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(1.5, -2.5);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance_sq(b) - a.distance(b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn travel_time_scales_with_speed() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert!((a.travel_time(b, 5.0) - 2.0).abs() < 1e-12);
+        assert!((a.travel_time(b, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c = centroid(&pts).unwrap();
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(centroid(&[]).is_none());
+    }
+
+    #[test]
+    fn point_from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn triangle_inequality_example() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(5.0, 1.0);
+        let c = Point::new(2.0, 7.0);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+    }
+}

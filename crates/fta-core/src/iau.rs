@@ -1,0 +1,218 @@
+//! Inequity Aversion based Utility (IAU, Equations 5–7).
+//!
+//! IAU is the utility function of the classical (FGT) game: a worker's raw
+//! payoff minus penalties for *disadvantageous* inequity (`MP`, others
+//! earning more) and *advantageous* inequity (`LP`, the worker earning more
+//! than others), following Fehr–Schmidt inequity aversion.
+
+use serde::{Deserialize, Serialize};
+
+/// Weights of the two inequity penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IauParams {
+    /// Weight `α` of the disadvantageous-inequity term `MP` (envy).
+    pub alpha: f64,
+    /// Weight `β` of the advantageous-inequity term `LP` (guilt).
+    pub beta: f64,
+}
+
+impl Default for IauParams {
+    /// The paper's experimental setting: `α = β = 0.5` (Section VII-A).
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            beta: 0.5,
+        }
+    }
+}
+
+/// Total disadvantageous inequity `MP(w_i)` (Equation 6): the summed payoff
+/// surplus of every worker earning more than `own`.
+#[must_use]
+pub fn disadvantageous_inequity(own: f64, others: &[f64]) -> f64 {
+    others.iter().filter(|&&p| p > own).map(|p| p - own).sum()
+}
+
+/// Total advantageous inequity `LP(w_i)` (Equation 7): the summed payoff
+/// surplus of `own` over every worker earning less.
+#[must_use]
+pub fn advantageous_inequity(own: f64, others: &[f64]) -> f64 {
+    others.iter().filter(|&&p| p < own).map(|p| own - p).sum()
+}
+
+/// `IAU(w_i, VDPS(w_i))` (Equation 5) given the worker's own payoff, the
+/// payoffs of all *other* workers, and the penalty weights.
+///
+/// `others` must not include the worker's own payoff; `|W| - 1` in the
+/// normalisation is `others.len()`. With no other workers the utility is
+/// just the raw payoff.
+///
+/// ```
+/// use fta_core::iau::{iau, IauParams};
+///
+/// // Equal payoffs carry no inequity penalty…
+/// assert_eq!(iau(2.0, &[2.0, 2.0], IauParams::default()), 2.0);
+/// // …while being ahead of the pack costs guilt (β) utility.
+/// assert!(iau(4.0, &[1.0, 1.0], IauParams::default()) < 4.0);
+/// ```
+#[must_use]
+pub fn iau(own: f64, others: &[f64], params: IauParams) -> f64 {
+    if others.is_empty() {
+        return own;
+    }
+    let n_minus_1 = others.len() as f64;
+    own - params.alpha / n_minus_1 * disadvantageous_inequity(own, others)
+        - params.beta / n_minus_1 * advantageous_inequity(own, others)
+}
+
+/// Incremental IAU evaluator for a fixed set of other workers' payoffs.
+///
+/// Best-response search evaluates `IAU(p)` for many candidate own-payoffs
+/// `p` against the *same* rivals. Sorting the rivals once and prefix-summing
+/// makes each evaluation `O(log n)` instead of `O(n)`; with hundreds of
+/// candidate strategies per worker per round this is the hot path of FGT.
+#[derive(Debug, Clone)]
+pub struct IauEvaluator {
+    sorted: Vec<f64>,
+    prefix: Vec<f64>,
+    params: IauParams,
+}
+
+impl IauEvaluator {
+    /// Builds an evaluator over the payoffs of the other workers.
+    #[must_use]
+    pub fn new(others: &[f64], params: IauParams) -> Self {
+        let mut sorted = others.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("payoffs must not be NaN"));
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &p in &sorted {
+            acc += p;
+            prefix.push(acc);
+        }
+        Self {
+            sorted,
+            prefix,
+            params,
+        }
+    }
+
+    /// Number of other workers.
+    #[must_use]
+    pub fn rivals(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Evaluates `IAU(own)` against the fixed rival payoffs.
+    #[must_use]
+    pub fn eval(&self, own: f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 0 {
+            return own;
+        }
+        // k = number of rivals with payoff strictly below `own`.
+        let k = self.sorted.partition_point(|&p| p < own);
+        let below_sum = self.prefix[k];
+        let above_sum = self.prefix[n] - self.prefix[k];
+        // Rivals equal to `own` contribute zero to both terms; treating the
+        // `>= own` block as "above" is safe because (p - own) = 0 for ties.
+        let mp = above_sum - (n - k) as f64 * own;
+        let lp = k as f64 * own - below_sum;
+        let n_minus_1 = n as f64;
+        own - self.params.alpha / n_minus_1 * mp - self.params.beta / n_minus_1 * lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalties_split_by_comparison() {
+        let others = [1.0, 3.0, 5.0];
+        assert_eq!(disadvantageous_inequity(2.0, &others), 1.0 + 3.0);
+        assert_eq!(advantageous_inequity(2.0, &others), 1.0);
+    }
+
+    #[test]
+    fn equal_payoffs_have_no_penalty() {
+        let others = [2.0, 2.0, 2.0];
+        let params = IauParams::default();
+        assert_eq!(iau(2.0, &others, params), 2.0);
+    }
+
+    #[test]
+    fn iau_is_penalised_from_both_sides() {
+        let params = IauParams {
+            alpha: 0.5,
+            beta: 0.5,
+        };
+        // own=4, others=[1, 2]: LP = 3+2 = 5, MP = 0, n-1 = 2.
+        let u = iau(4.0, &[1.0, 2.0], params);
+        assert!((u - (4.0 - 0.25 * 5.0)).abs() < 1e-12);
+        // own=1, others=[2, 4]: MP = 1+3 = 4.
+        let u = iau(1.0, &[2.0, 4.0], params);
+        assert!((u - (1.0 - 0.25 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_fair_joint_strategy_utility() {
+        // Paper Section V-B: IAU(w1, {dp1, dp2}) = 2.42 when w1's payoff is
+        // 2.55 and w2's is 2.29 with α = β = 0.5.
+        let u = iau(2.55, &[2.29], IauParams::default());
+        assert!((u - 2.42).abs() < 5e-3, "got {u}");
+    }
+
+    #[test]
+    fn singleton_population_utility_is_payoff() {
+        assert_eq!(iau(3.7, &[], IauParams::default()), 3.7);
+    }
+
+    #[test]
+    fn evaluator_matches_direct_formula() {
+        let others = [0.5, 2.0, 2.0, 3.75, 9.1];
+        let params = IauParams {
+            alpha: 0.8,
+            beta: 0.3,
+        };
+        let eval = IauEvaluator::new(&others, params);
+        for own in [0.0, 0.5, 1.0, 2.0, 3.0, 3.75, 5.0, 9.1, 12.0] {
+            let direct = iau(own, &others, params);
+            let fast = eval.eval(own);
+            assert!(
+                (direct - fast).abs() < 1e-10,
+                "own={own}: {direct} vs {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluator_with_no_rivals() {
+        let eval = IauEvaluator::new(&[], IauParams::default());
+        assert_eq!(eval.rivals(), 0);
+        assert_eq!(eval.eval(1.5), 1.5);
+    }
+
+    #[test]
+    fn higher_alpha_punishes_envy_more() {
+        let others = [5.0];
+        let low = iau(
+            1.0,
+            &others,
+            IauParams {
+                alpha: 0.1,
+                beta: 0.5,
+            },
+        );
+        let high = iau(
+            1.0,
+            &others,
+            IauParams {
+                alpha: 0.9,
+                beta: 0.5,
+            },
+        );
+        assert!(high < low);
+    }
+}

@@ -1,0 +1,102 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in an [`Instance`](crate::Instance) is referenced by a dense
+//! `u32` index wrapped in a newtype, so that a worker index can never be
+//! confused with a delivery-point index at compile time. The indices are
+//! *dense*: `WorkerId(i)` is the `i`-th element of `Instance::workers`, which
+//! lets hot paths use plain `Vec` lookups instead of hash maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a dense `usize` index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds the identifier from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("entity index exceeds u32::MAX"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a worker (`w` in the paper).
+    WorkerId,
+    "w"
+);
+define_id!(
+    /// Identifier of a delivery point (`dp` in the paper).
+    DeliveryPointId,
+    "dp"
+);
+define_id!(
+    /// Identifier of a spatial task (`s` in the paper).
+    TaskId,
+    "s"
+);
+define_id!(
+    /// Identifier of a distribution center (`dc` in the paper).
+    CenterId,
+    "dc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_index() {
+        let id = WorkerId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, WorkerId(42));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(WorkerId(1).to_string(), "w1");
+        assert_eq!(DeliveryPointId(3).to_string(), "dp3");
+        assert_eq!(TaskId(7).to_string(), "s7");
+        assert_eq!(CenterId(0).to_string(), "dc0");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(DeliveryPointId(1) < DeliveryPointId(2));
+    }
+
+    #[test]
+    fn from_u32_conversion() {
+        let id: TaskId = 9u32.into();
+        assert_eq!(id.index(), 9);
+    }
+}

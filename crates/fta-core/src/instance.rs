@@ -1,0 +1,386 @@
+//! A complete FTA problem instance and its per-center decomposition.
+
+use crate::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+use crate::error::{FtaError, Result};
+use crate::ids::{CenterId, DeliveryPointId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the spatial-crowdsourcing platform at one assignment
+/// instant: distribution centers, workers, delivery points, and the tasks to
+/// be distributed.
+///
+/// Invariants (enforced by [`Instance::validate`], which every constructor
+/// calls):
+///
+/// * all ids are dense (`workers[i].id == WorkerId(i)` and likewise for the
+///   other entity vectors);
+/// * every cross-reference (worker→center, delivery point→center,
+///   task→delivery point) resolves;
+/// * `speed > 0`, every `max_dp >= 1`, every task has a non-negative reward
+///   and a finite, positive expiry.
+///
+/// The paper assumes a uniform worker speed (5 km/h in the experiments), so
+/// speed is a property of the instance rather than of individual workers;
+/// this is also what makes the center-origin VDPS precomputation of
+/// Section IV sound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// All distribution centers, indexed by [`CenterId`].
+    pub centers: Vec<DistributionCenter>,
+    /// All workers, indexed by [`WorkerId`].
+    pub workers: Vec<Worker>,
+    /// All delivery points, indexed by [`DeliveryPointId`].
+    pub delivery_points: Vec<DeliveryPoint>,
+    /// All tasks, indexed by [`TaskId`](crate::ids::TaskId).
+    pub tasks: Vec<SpatialTask>,
+    /// Uniform worker speed in km/h.
+    pub speed: f64,
+}
+
+/// Per-delivery-point aggregates derived from the task set.
+///
+/// The VDPS dynamic program only needs, per delivery point, the sum of task
+/// rewards and the earliest task expiration (`dp.e` in the paper's
+/// Equation 3), not the individual tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpAggregate {
+    /// Number of tasks destined for this delivery point (`|dp.S|`).
+    pub task_count: usize,
+    /// Sum of the rewards of those tasks.
+    pub total_reward: f64,
+    /// Earliest expiration among those tasks (`dp.e`); `f64::INFINITY` when
+    /// the delivery point has no tasks.
+    pub earliest_expiry: f64,
+}
+
+/// The slice of an instance belonging to one distribution center.
+///
+/// Task assignment across distribution centers is independent (Section
+/// VII-A), so algorithms operate on `CenterView`s, optionally in parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CenterView {
+    /// The center this view belongs to.
+    pub center: CenterId,
+    /// Workers serving this center.
+    pub workers: Vec<WorkerId>,
+    /// Task-bearing delivery points of this center (delivery points without
+    /// tasks cannot contribute reward and are excluded).
+    pub dps: Vec<DeliveryPointId>,
+}
+
+impl Instance {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant; see the type-level docs.
+    pub fn new(
+        centers: Vec<DistributionCenter>,
+        workers: Vec<Worker>,
+        delivery_points: Vec<DeliveryPoint>,
+        tasks: Vec<SpatialTask>,
+        speed: f64,
+    ) -> Result<Self> {
+        let instance = Self {
+            centers,
+            workers,
+            delivery_points,
+            tasks,
+            speed,
+        };
+        instance.validate()?;
+        Ok(instance)
+    }
+
+    /// Checks all instance invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant; see the type-level docs.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.speed.is_finite() && self.speed > 0.0) {
+            return Err(FtaError::InvalidField {
+                field: "speed",
+                message: format!("must be finite and positive, got {}", self.speed),
+            });
+        }
+        for (i, c) in self.centers.iter().enumerate() {
+            if c.id.index() != i {
+                return Err(FtaError::NonDenseId {
+                    kind: "center",
+                    position: i,
+                    found: c.id.0,
+                });
+            }
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.id.index() != i {
+                return Err(FtaError::NonDenseId {
+                    kind: "worker",
+                    position: i,
+                    found: w.id.0,
+                });
+            }
+            if w.center.index() >= self.centers.len() {
+                return Err(FtaError::UnknownCenter(w.center));
+            }
+            if w.max_dp == 0 {
+                return Err(FtaError::InvalidField {
+                    field: "max_dp",
+                    message: format!("{} has maxDP = 0; must be at least 1", w.id),
+                });
+            }
+        }
+        for (i, dp) in self.delivery_points.iter().enumerate() {
+            if dp.id.index() != i {
+                return Err(FtaError::NonDenseId {
+                    kind: "delivery point",
+                    position: i,
+                    found: dp.id.0,
+                });
+            }
+            if dp.center.index() >= self.centers.len() {
+                return Err(FtaError::UnknownCenter(dp.center));
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.id.index() != i {
+                return Err(FtaError::NonDenseId {
+                    kind: "task",
+                    position: i,
+                    found: t.id.0,
+                });
+            }
+            if t.delivery_point.index() >= self.delivery_points.len() {
+                return Err(FtaError::UnknownDeliveryPoint(t.delivery_point));
+            }
+            if !(t.reward.is_finite() && t.reward >= 0.0) {
+                return Err(FtaError::InvalidField {
+                    field: "reward",
+                    message: format!("task {} has reward {}", t.id, t.reward),
+                });
+            }
+            if !(t.expiry.is_finite() && t.expiry > 0.0) {
+                return Err(FtaError::InvalidField {
+                    field: "expiry",
+                    message: format!("task {} has expiry {}", t.id, t.expiry),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes per-delivery-point aggregates (reward sum, earliest expiry).
+    #[must_use]
+    pub fn dp_aggregates(&self) -> Vec<DpAggregate> {
+        let mut aggs = vec![
+            DpAggregate {
+                task_count: 0,
+                total_reward: 0.0,
+                earliest_expiry: f64::INFINITY,
+            };
+            self.delivery_points.len()
+        ];
+        for task in &self.tasks {
+            let agg = &mut aggs[task.delivery_point.index()];
+            agg.task_count += 1;
+            agg.total_reward += task.reward;
+            agg.earliest_expiry = agg.earliest_expiry.min(task.expiry);
+        }
+        aggs
+    }
+
+    /// Splits the instance into independent per-center subproblems.
+    ///
+    /// Delivery points with no tasks are excluded from the views: they carry
+    /// zero reward, so no algorithm would ever route a worker through them.
+    #[must_use]
+    pub fn center_views(&self) -> Vec<CenterView> {
+        let aggs = self.dp_aggregates();
+        let mut views: Vec<CenterView> = self
+            .centers
+            .iter()
+            .map(|c| CenterView {
+                center: c.id,
+                workers: Vec::new(),
+                dps: Vec::new(),
+            })
+            .collect();
+        for w in &self.workers {
+            views[w.center.index()].workers.push(w.id);
+        }
+        for dp in &self.delivery_points {
+            if aggs[dp.id.index()].task_count > 0 {
+                views[dp.center.index()].dps.push(dp.id);
+            }
+        }
+        views
+    }
+
+    /// Travel time between two locations at the instance's uniform speed.
+    #[must_use]
+    pub fn travel_time(&self, a: crate::geometry::Point, b: crate::geometry::Point) -> f64 {
+        a.travel_time(b, self.speed)
+    }
+
+    /// Total number of tasks (`|S|`).
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total reward available across all tasks.
+    #[must_use]
+    pub fn total_reward(&self) -> f64 {
+        self.tasks.iter().map(|t| t.reward).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::ids::TaskId;
+
+    fn tiny_instance() -> Instance {
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(0.0, 0.0),
+            }],
+            vec![Worker {
+                id: WorkerId(0),
+                location: Point::new(1.0, 0.0),
+                max_dp: 2,
+                center: CenterId(0),
+            }],
+            vec![
+                DeliveryPoint {
+                    id: DeliveryPointId(0),
+                    location: Point::new(0.0, 1.0),
+                    center: CenterId(0),
+                },
+                DeliveryPoint {
+                    id: DeliveryPointId(1),
+                    location: Point::new(0.0, 2.0),
+                    center: CenterId(0),
+                },
+            ],
+            vec![
+                SpatialTask {
+                    id: TaskId(0),
+                    delivery_point: DeliveryPointId(0),
+                    expiry: 2.0,
+                    reward: 1.0,
+                },
+                SpatialTask {
+                    id: TaskId(1),
+                    delivery_point: DeliveryPointId(0),
+                    expiry: 1.0,
+                    reward: 2.0,
+                },
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates_sum_rewards_and_take_min_expiry() {
+        let inst = tiny_instance();
+        let aggs = inst.dp_aggregates();
+        assert_eq!(aggs[0].task_count, 2);
+        assert_eq!(aggs[0].total_reward, 3.0);
+        assert_eq!(aggs[0].earliest_expiry, 1.0);
+        // dp1 has no tasks.
+        assert_eq!(aggs[1].task_count, 0);
+        assert_eq!(aggs[1].total_reward, 0.0);
+        assert!(aggs[1].earliest_expiry.is_infinite());
+    }
+
+    #[test]
+    fn center_views_skip_taskless_dps() {
+        let inst = tiny_instance();
+        let views = inst.center_views();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].workers, vec![WorkerId(0)]);
+        assert_eq!(views[0].dps, vec![DeliveryPointId(0)]);
+    }
+
+    #[test]
+    fn rejects_non_dense_worker_ids() {
+        let mut inst = tiny_instance();
+        inst.workers[0].id = WorkerId(7);
+        assert!(matches!(
+            inst.validate(),
+            Err(FtaError::NonDenseId { kind: "worker", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_center_reference() {
+        let mut inst = tiny_instance();
+        inst.workers[0].center = CenterId(9);
+        assert_eq!(inst.validate(), Err(FtaError::UnknownCenter(CenterId(9))));
+    }
+
+    #[test]
+    fn rejects_nonpositive_speed() {
+        let mut inst = tiny_instance();
+        inst.speed = 0.0;
+        assert!(matches!(
+            inst.validate(),
+            Err(FtaError::InvalidField { field: "speed", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_max_dp() {
+        let mut inst = tiny_instance();
+        inst.workers[0].max_dp = 0;
+        assert!(matches!(
+            inst.validate(),
+            Err(FtaError::InvalidField { field: "max_dp", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_reward_and_nonpositive_expiry() {
+        let mut inst = tiny_instance();
+        inst.tasks[0].reward = -1.0;
+        assert!(matches!(
+            inst.validate(),
+            Err(FtaError::InvalidField { field: "reward", .. })
+        ));
+        let mut inst = tiny_instance();
+        inst.tasks[1].expiry = 0.0;
+        assert!(matches!(
+            inst.validate(),
+            Err(FtaError::InvalidField { field: "expiry", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_task_delivery_point() {
+        let mut inst = tiny_instance();
+        inst.tasks[0].delivery_point = DeliveryPointId(42);
+        assert_eq!(
+            inst.validate(),
+            Err(FtaError::UnknownDeliveryPoint(DeliveryPointId(42)))
+        );
+    }
+
+    #[test]
+    fn totals() {
+        let inst = tiny_instance();
+        assert_eq!(inst.task_count(), 2);
+        assert_eq!(inst.total_reward(), 3.0);
+    }
+
+    #[test]
+    fn travel_time_uses_instance_speed() {
+        let inst = tiny_instance();
+        let t = inst.travel_time(Point::new(0.0, 0.0), Point::new(0.0, 3.0));
+        assert!((t - 3.0).abs() < 1e-12);
+    }
+}

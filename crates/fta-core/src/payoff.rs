@@ -1,0 +1,119 @@
+//! Worker payoff (Definition 7, Equation 1).
+//!
+//! The payoff of a worker `w` that performs the tasks of a valid delivery
+//! point set via route `R` is the ratio between the sum of the task rewards
+//! and the worker's total travel time — the arrival time at the *final*
+//! delivery point, which includes the initial leg from the worker's location
+//! to the distribution center.
+
+use crate::ids::WorkerId;
+use crate::instance::Instance;
+use crate::route::Route;
+
+/// Payoff for a route whose worker needs `to_dc` hours to reach the
+/// distribution center.
+///
+/// Degenerate case: a total travel time of zero (worker standing on the
+/// distribution center which coincides with every delivery point) yields
+/// `f64::INFINITY` for positive reward and `0.0` for zero reward; workload
+/// generators keep locations distinct so this never occurs in experiments.
+#[must_use]
+pub fn payoff_for_travel(route: &Route, to_dc: f64) -> f64 {
+    let total_time = to_dc + route.travel_from_dc();
+    if total_time <= 0.0 {
+        return if route.total_reward() > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+    }
+    route.total_reward() / total_time
+}
+
+/// Payoff `P(w, VDPS(w))` of `worker` performing `route` (Equation 1).
+///
+/// # Panics
+///
+/// Panics if `worker` is not a worker of `instance`.
+#[must_use]
+pub fn worker_payoff(instance: &Instance, worker: WorkerId, route: &Route) -> f64 {
+    let w = &instance.workers[worker.index()];
+    let dc = instance.centers[route.center().index()].location;
+    let to_dc = instance.travel_time(w.location, dc);
+    payoff_for_travel(route, to_dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+    use crate::geometry::Point;
+    use crate::ids::{CenterId, DeliveryPointId, TaskId};
+
+    fn instance() -> Instance {
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(0.0, 0.0),
+            }],
+            vec![Worker {
+                id: WorkerId(0),
+                location: Point::new(-2.0, 0.0),
+                max_dp: 3,
+                center: CenterId(0),
+            }],
+            vec![DeliveryPoint {
+                id: DeliveryPointId(0),
+                location: Point::new(3.0, 0.0),
+                center: CenterId(0),
+            }],
+            vec![
+                SpatialTask {
+                    id: TaskId(0),
+                    delivery_point: DeliveryPointId(0),
+                    expiry: 10.0,
+                    reward: 4.0,
+                },
+                SpatialTask {
+                    id: TaskId(1),
+                    delivery_point: DeliveryPointId(0),
+                    expiry: 10.0,
+                    reward: 6.0,
+                },
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn payoff_is_reward_over_total_travel() {
+        let inst = instance();
+        let aggs = inst.dp_aggregates();
+        let r = Route::build(&inst, &aggs, CenterId(0), vec![DeliveryPointId(0)]).unwrap();
+        // Reward 10, travel 2 (worker→dc) + 3 (dc→dp) = 5 → payoff 2.
+        let p = worker_payoff(&inst, WorkerId(0), &r);
+        assert!((p - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payoff_for_travel_varies_with_initial_leg() {
+        let inst = instance();
+        let aggs = inst.dp_aggregates();
+        let r = Route::build(&inst, &aggs, CenterId(0), vec![DeliveryPointId(0)]).unwrap();
+        assert!((payoff_for_travel(&r, 0.0) - 10.0 / 3.0).abs() < 1e-12);
+        assert!((payoff_for_travel(&r, 7.0) - 1.0).abs() < 1e-12);
+        // Closer workers get strictly higher payoffs from the same route.
+        assert!(payoff_for_travel(&r, 0.5) > payoff_for_travel(&r, 1.0));
+    }
+
+    #[test]
+    fn degenerate_zero_travel_is_handled() {
+        let mut inst = instance();
+        inst.delivery_points[0].location = Point::new(0.0, 0.0);
+        inst.workers[0].location = Point::new(0.0, 0.0);
+        let aggs = inst.dp_aggregates();
+        let r = Route::build(&inst, &aggs, CenterId(0), vec![DeliveryPointId(0)]).unwrap();
+        assert_eq!(worker_payoff(&inst, WorkerId(0), &r), f64::INFINITY);
+    }
+}

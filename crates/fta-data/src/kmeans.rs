@@ -1,0 +1,241 @@
+//! Seeded k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! The paper derives the gMission delivery points by clustering the task
+//! locations with k-means and using the cluster centroids as delivery
+//! points (Section VII-A); this module implements that preprocessing step.
+
+use fta_core::geometry::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k` of them (possibly fewer than requested when
+    /// there are fewer points than clusters).
+    pub centroids: Vec<Point>,
+    /// For each input point, the index of its centroid.
+    pub labels: Vec<usize>,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Clusters `points` into at most `k` clusters.
+///
+/// * k-means++ initialisation (distance-squared-weighted sampling);
+/// * Lloyd iterations until assignments stabilise or `max_iters` is hit;
+/// * empty clusters are re-seeded to the point farthest from its centroid,
+///   so every returned centroid owns at least one point.
+///
+/// Deterministic for a fixed `seed`. Returns an empty result when `points`
+/// is empty or `k == 0`.
+///
+/// ```
+/// use fta_core::geometry::Point;
+/// use fta_data::kmeans::kmeans;
+///
+/// let points = vec![
+///     Point::new(0.0, 0.0), Point::new(0.1, 0.0),   // cluster 1
+///     Point::new(9.0, 9.0), Point::new(9.1, 9.0),   // cluster 2
+/// ];
+/// let result = kmeans(&points, 2, 7, 100);
+/// assert_eq!(result.centroids.len(), 2);
+/// assert_eq!(result.labels[0], result.labels[1]);
+/// assert_ne!(result.labels[0], result.labels[2]);
+/// ```
+#[must_use]
+pub fn kmeans(points: &[Point], k: usize, seed: u64, max_iters: usize) -> KMeansResult {
+    let k = k.min(points.len());
+    if k == 0 {
+        return KMeansResult {
+            centroids: Vec::new(),
+            labels: Vec::new(),
+            iterations: 0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- k-means++ seeding ---
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())]);
+    let mut min_d2: Vec<f64> = points
+        .iter()
+        .map(|p| p.distance_sq(centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = min_d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with chosen centroids; pick any.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d2) in min_d2.iter().enumerate() {
+                if target < d2 {
+                    chosen = i;
+                    break;
+                }
+                target -= d2;
+            }
+            chosen
+        };
+        let c = points[next];
+        centroids.push(c);
+        for (i, p) in points.iter().enumerate() {
+            min_d2[i] = min_d2[i].min(p.distance_sq(c));
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut labels = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d2 = f64::INFINITY;
+            for (c_idx, c) in centroids.iter().enumerate() {
+                let d2 = p.distance_sq(*c);
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best = c_idx;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+
+        // Recompute centroids.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (i, p) in points.iter().enumerate() {
+            let s = &mut sums[labels[i]];
+            s.0 += p.x;
+            s.1 += p.y;
+            s.2 += 1;
+        }
+        for (c_idx, &(sx, sy, count)) in sums.iter().enumerate() {
+            if count > 0 {
+                centroids[c_idx] = Point::new(sx / count as f64, sy / count as f64);
+            } else {
+                // Re-seed an empty cluster to the point farthest from its
+                // current centroid.
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        let da = points[a].distance_sq(centroids[labels[a]]);
+                        let db = points[b].distance_sq(centroids[labels[b]]);
+                        da.partial_cmp(&db).expect("distances are not NaN")
+                    })
+                    .expect("points is non-empty");
+                centroids[c_idx] = points[far];
+                labels[far] = c_idx;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    KMeansResult {
+        centroids,
+        labels,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), r: f64, n: usize, offset: f64) -> Vec<Point> {
+        // Deterministic ring of points around the center.
+        (0..n)
+            .map(|i| {
+                let angle = offset + i as f64 * std::f64::consts::TAU / n as f64;
+                Point::new(center.0 + r * angle.cos(), center.1 + r * angle.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let mut pts = blob((0.0, 0.0), 0.5, 20, 0.0);
+        pts.extend(blob((10.0, 10.0), 0.5, 20, 0.3));
+        let res = kmeans(&pts, 2, 7, 100);
+        assert_eq!(res.centroids.len(), 2);
+        // All points of a blob share a label.
+        let first = res.labels[0];
+        assert!(res.labels[..20].iter().all(|&l| l == first));
+        let second = res.labels[20];
+        assert_ne!(first, second);
+        assert!(res.labels[20..].iter().all(|&l| l == second));
+        // Centroids sit near the blob centers.
+        let mut cs = res.centroids.clone();
+        cs.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+        assert!(cs[0].distance(Point::new(0.0, 0.0)) < 0.2);
+        assert!(cs[1].distance(Point::new(10.0, 10.0)) < 0.2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = blob((1.0, 2.0), 3.0, 50, 0.1);
+        let a = kmeans(&pts, 5, 42, 100);
+        let b = kmeans(&pts, 5, 42, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let pts = blob((0.0, 0.0), 1.0, 3, 0.0);
+        let res = kmeans(&pts, 10, 1, 100);
+        assert_eq!(res.centroids.len(), 3);
+        assert_eq!(res.labels.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let res = kmeans(&[], 4, 0, 100);
+        assert!(res.centroids.is_empty());
+        assert!(res.labels.is_empty());
+    }
+
+    #[test]
+    fn every_centroid_owns_a_point() {
+        let mut pts = blob((0.0, 0.0), 0.1, 30, 0.0);
+        pts.extend(blob((5.0, 0.0), 0.1, 2, 0.0));
+        let res = kmeans(&pts, 6, 3, 100);
+        for c in 0..res.centroids.len() {
+            assert!(
+                res.labels.contains(&c),
+                "centroid {c} owns no points"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_point_to_nearest_centroid() {
+        let pts = blob((2.0, 2.0), 4.0, 40, 0.2);
+        let res = kmeans(&pts, 4, 11, 100);
+        for (i, p) in pts.iter().enumerate() {
+            let own = p.distance_sq(res.centroids[res.labels[i]]);
+            for c in &res.centroids {
+                assert!(own <= p.distance_sq(*c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_is_the_centroid() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
+        let res = kmeans(&pts, 1, 5, 100);
+        assert_eq!(res.centroids.len(), 1);
+        assert!(res.centroids[0].distance(Point::new(1.0, 1.0)) < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fta-data — workload substrate for the FTA experiments
+//!
+//! The paper evaluates on two datasets:
+//!
+//! * **gMission (GM)** — a real spatial-crowdsourcing dataset. The raw data
+//!   is not redistributable here, so [`gmission`] provides a seeded
+//!   *gMission-like* generator producing clustered task locations with
+//!   per-task expirations and rewards, and then reproduces the paper's own
+//!   preprocessing exactly: the distribution center is the centroid of all
+//!   task locations, and delivery points are obtained by k-means clustering
+//!   of the task locations ([`mod@kmeans`]), with each cluster's tasks delivered
+//!   to its centroid (Section VII-A).
+//! * **Synthetic (SYN)** — uniformly distributed workers and delivery
+//!   points, 50 distribution centers, random center/worker/task
+//!   associations, unit rewards (Table I); implemented in [`syn`].
+//!
+//! All generators take an explicit `u64` seed and are fully deterministic.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod gmission;
+pub mod io;
+pub mod kmeans;
+pub mod syn;
+
+pub use gmission::{generate_gmission, GMissionConfig};
+pub use kmeans::{kmeans, KMeansResult};
+pub use syn::{generate_syn, SynConfig};

@@ -1,0 +1,172 @@
+//! ASCII line charts for terminal viewing of figure panels.
+//!
+//! `reproduce --charts` renders each panel of each figure as a small text
+//! plot — enough to see the paper's trends (who is lowest, where curves
+//! bend) without leaving the terminal. Series are drawn with distinct
+//! marker letters; overlapping points show the earlier series' marker.
+
+use crate::report::Panel;
+use std::fmt::Write as _;
+
+/// Marker letters assigned to series in order.
+const MARKERS: &[u8] = b"ABCDEFGHIJKLMNOP";
+
+/// Renders `panel` as an ASCII chart of the given plot-area size.
+///
+/// Returns an empty string for a panel with no points. `width`/`height`
+/// are clamped to a sane minimum (16×4).
+#[must_use]
+pub fn render_chart(panel: &Panel, x_label: &str, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+
+    let points: Vec<(f64, f64)> = panel
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Degenerate ranges render as a centered flat line.
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+        y_min -= 1.0;
+    }
+
+    let col = |x: f64| -> usize {
+        (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize
+    };
+    let row = |y: f64| -> usize {
+        let r = ((y - y_min) / (y_max - y_min)) * (height - 1) as f64;
+        (height - 1) - r.round() as usize
+    };
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for (s_idx, series) in panel.series.iter().enumerate() {
+        let marker = MARKERS[s_idx % MARKERS.len()];
+        for &(x, y) in &series.points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cell = &mut grid[row(y)][col(x)];
+            if *cell == b' ' {
+                *cell = marker;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  {} (y: {:.3} .. {:.3})", panel.metric, y_min, y_max);
+    for (r, line) in grid.iter().enumerate() {
+        let edge = if r == 0 || r == height - 1 { '+' } else { '|' };
+        let _ = writeln!(out, "  {edge}{}{edge}", String::from_utf8_lossy(line));
+    }
+    let _ = writeln!(
+        out,
+        "   {x_label}: {:.3} .. {:.3}   legend: {}",
+        x_min,
+        x_max,
+        panel
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}={}", MARKERS[i % MARKERS.len()] as char, s.label))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Panel;
+
+    fn panel() -> Panel {
+        let mut p = Panel::new("payoff difference");
+        for (x, y) in [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)] {
+            p.push_point("GTA", x, y);
+        }
+        for (x, y) in [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)] {
+            p.push_point("IEGT", x, y);
+        }
+        p
+    }
+
+    #[test]
+    fn chart_contains_axes_legend_and_markers() {
+        let chart = render_chart(&panel(), "|S|", 30, 8);
+        assert!(chart.contains("payoff difference"));
+        assert!(chart.contains("A=GTA"));
+        assert!(chart.contains("B=IEGT"));
+        assert!(chart.contains('A'));
+        assert!(chart.contains('B'));
+        assert!(chart.contains("1.000 .. 3.000"));
+    }
+
+    #[test]
+    fn increasing_series_slopes_up() {
+        let mut p = Panel::new("m");
+        p.push_point("S", 0.0, 0.0);
+        p.push_point("S", 10.0, 10.0);
+        let chart = render_chart(&p, "x", 20, 6);
+        let rows: Vec<&str> = chart
+            .lines()
+            .filter(|l| l.trim_start().starts_with(['|', '+']))
+            .collect();
+        // Low value renders on the bottom row, high on the top row
+        // (series "S" is the first series, so its marker is 'A').
+        assert!(rows.first().unwrap().contains('A'));
+        assert!(rows.last().unwrap().contains('A'));
+        // And the top-row marker is to the right of the bottom-row one.
+        let top = rows.first().unwrap().find('A').unwrap();
+        let bottom = rows.last().unwrap().find('A').unwrap();
+        assert!(top > bottom);
+    }
+
+    #[test]
+    fn empty_panel_renders_nothing() {
+        let p = Panel::new("empty");
+        assert!(render_chart(&p, "x", 30, 8).is_empty());
+    }
+
+    #[test]
+    fn constant_series_is_centered_not_crashing() {
+        let mut p = Panel::new("flat");
+        p.push_point("S", 1.0, 5.0);
+        p.push_point("S", 2.0, 5.0);
+        let chart = render_chart(&p, "x", 20, 6);
+        assert!(chart.contains('A'));
+        assert!(chart.contains("4.000 .. 6.000"));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let mut p = Panel::new("m");
+        p.push_point("S", 1.0, f64::NAN);
+        p.push_point("S", 2.0, 4.0);
+        let chart = render_chart(&p, "x", 20, 6);
+        assert!(chart.contains('A'));
+    }
+
+    #[test]
+    fn dimensions_are_clamped() {
+        let chart = render_chart(&panel(), "x", 1, 1);
+        // 16 wide + 2 border chars + 2 indent.
+        let plot_line = chart.lines().nth(1).unwrap();
+        assert!(plot_line.len() >= 18);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared sweep machinery for the figure experiments.
+
+use crate::measure::{
+    average_results, measure, spread_of, standard_algorithms, AlgoResult, ResultSpread,
+};
+use crate::params::RunnerOptions;
+use crate::report::{FigureData, Panel};
+use fta_algorithms::Algorithm;
+use fta_core::Instance;
+use fta_vdps::VdpsConfig;
+
+/// The metric panels every sweep figure carries: the paper's three
+/// (payoff difference, average payoff, CPU time) plus the Jain index
+/// extension metric.
+pub const PANEL_METRICS: [&str; 4] = [
+    "payoff difference",
+    "average payoff",
+    "CPU time (ms)",
+    "jain index",
+];
+
+/// Creates a figure with the standard panels.
+#[must_use]
+pub fn new_figure(id: &str, title: &str, x_label: &str) -> FigureData {
+    let mut fig = FigureData::new(id, title, x_label);
+    for metric in PANEL_METRICS {
+        fig.panels.push(Panel::new(metric));
+    }
+    fig
+}
+
+/// Records one averaged algorithm result (with its cross-seed standard
+/// deviations) at sweep position `x` into the figure's standard panels.
+pub fn record(fig: &mut FigureData, x: f64, result: &AlgoResult, spread: &ResultSpread) {
+    let values = [
+        (result.fairness.payoff_difference, spread.payoff_difference),
+        (result.fairness.average_payoff, spread.average_payoff),
+        (result.cpu_time_ms(), spread.cpu_time_ms),
+        (result.fairness.jain, spread.jain),
+    ];
+    for (panel, (value, std)) in fig.panels.iter_mut().zip(values) {
+        panel.push_point_with_spread(&result.label, x, value, std);
+    }
+}
+
+/// Runs one labelled algorithm over one instance per seed; returns the
+/// seed-averaged result and the per-metric standard deviations.
+#[must_use]
+pub fn run_algorithm(
+    instances: &[Instance],
+    label: &str,
+    algorithm: Algorithm,
+    vdps: VdpsConfig,
+    opts: &RunnerOptions,
+) -> (AlgoResult, ResultSpread) {
+    let results: Vec<AlgoResult> = instances
+        .iter()
+        .map(|inst| measure(inst, label, algorithm, vdps, opts.parallel))
+        .collect();
+    (average_results(&results), spread_of(&results))
+}
+
+/// Runs the paper's four standard algorithms at sweep position `x` over the
+/// per-seed instances, recording each into the figure.
+pub fn run_standard_at(
+    fig: &mut FigureData,
+    x: f64,
+    instances: &[Instance],
+    vdps: VdpsConfig,
+    opts: &RunnerOptions,
+) {
+    for (label, algorithm) in standard_algorithms() {
+        let (result, spread) = run_algorithm(instances, label, algorithm, vdps, opts);
+        record(fig, x, &result, &spread);
+    }
+}
+
+/// Generates the dataset's default instance (Table I underlined values),
+/// one per seed.
+#[must_use]
+pub fn default_instances(dataset: crate::params::Dataset, opts: &RunnerOptions) -> Vec<Instance> {
+    use crate::params::Dataset;
+    opts.seeds
+        .iter()
+        .map(|&seed| match dataset {
+            Dataset::Gm => fta_data::generate_gmission(&opts.gm_base(), seed),
+            Dataset::Syn => fta_data::generate_syn(&opts.syn_base(), seed),
+        })
+        .collect()
+}
+
+/// A generous VDPS length cap; the solver clamps it to each center's
+/// largest worker `maxDP`, so passing this never over-generates.
+pub const MAX_LEN_CAP: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_data::{generate_syn, SynConfig};
+
+    #[test]
+    fn figure_has_standard_panels() {
+        let fig = new_figure("figX", "test", "x");
+        assert_eq!(fig.panels.len(), PANEL_METRICS.len());
+        assert_eq!(fig.panels[0].metric, "payoff difference");
+    }
+
+    #[test]
+    fn run_standard_records_all_algorithms() {
+        let inst = generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 6,
+                n_tasks: 60,
+                n_delivery_points: 12,
+                extent: 2.0,
+                ..SynConfig::bench_scale()
+            },
+            1,
+        );
+        let mut fig = new_figure("figX", "test", "x");
+        let opts = RunnerOptions::fast_test();
+        run_standard_at(&mut fig, 1.0, &[inst], VdpsConfig::pruned(1.0, 3), &opts);
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 4);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), 1);
+            }
+        }
+    }
+}

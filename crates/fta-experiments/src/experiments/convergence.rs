@@ -1,0 +1,88 @@
+//! Figure 12 — convergence of the game-theoretic approaches.
+//!
+//! Runs FGT and IEGT once on the default SYN instance and reports the
+//! per-iteration payoff difference, average payoff, and number of strategy
+//! changes, demonstrating convergence to the (Nash / improved evolutionary)
+//! equilibrium.
+
+use crate::experiments::common::MAX_LEN_CAP;
+use crate::measure::measure;
+use crate::params::{Dataset, RunnerOptions};
+use crate::report::{FigureData, Panel};
+use fta_algorithms::{Algorithm, FgtConfig, IegtConfig};
+use fta_vdps::VdpsConfig;
+
+/// Runs the convergence experiment (first seed only — the paper's Figure 12
+/// shows single representative runs).
+#[must_use]
+pub fn run(opts: &RunnerOptions) -> FigureData {
+    let instance = fta_data::generate_syn(&opts.syn_base(), *opts.seeds.first().unwrap_or(&42));
+    let vdps = VdpsConfig::pruned(opts.default_epsilon(Dataset::Syn), MAX_LEN_CAP);
+
+    let mut fig = FigureData::new("fig12", "Convergence of FGT and IEGT (SYN)", "iteration");
+    fig.panels = vec![
+        Panel::new("payoff difference"),
+        Panel::new("average payoff"),
+        Panel::new("strategy changes"),
+    ];
+
+    let runs = [
+        ("FGT", Algorithm::Fgt(FgtConfig::default())),
+        ("IEGT", Algorithm::Iegt(IegtConfig::default())),
+    ];
+    for (label, algorithm) in runs {
+        let result = measure(&instance, label, algorithm, vdps, opts.parallel);
+        for round in &result.trace.rounds {
+            let x = round.round as f64;
+            fig.panels[0].push_point(label, x, round.payoff_difference);
+            fig.panels[1].push_point(label, x, round.average_payoff);
+            fig.panels[2].push_point(label, x, round.moves as f64);
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_algorithms_produce_convergence_curves() {
+        let fig = run(&RunnerOptions::fast_test());
+        assert_eq!(fig.id, "fig12");
+        for label in ["FGT", "IEGT"] {
+            let s = fig.panels[0].series_of(label).unwrap();
+            assert!(s.points.len() >= 2, "{label} trace too short");
+        }
+    }
+
+    #[test]
+    fn traces_end_with_zero_moves() {
+        // Convergence means the final round changed nothing.
+        let fig = run(&RunnerOptions::fast_test());
+        let moves = fig.panel_of("strategy changes").unwrap();
+        for s in &moves.series {
+            let last = s.points.last().unwrap().1;
+            assert_eq!(last, 0.0, "{} did not settle", s.label);
+        }
+    }
+
+    #[test]
+    fn average_payoff_grows_during_the_game() {
+        // Both games start from a random single-dp assignment; strategy
+        // adaptation should raise the population's average payoff (for
+        // IEGT every accepted move is a strict payoff improvement; for FGT
+        // utility-improving moves overwhelmingly raise payoffs too).
+        let fig = run(&RunnerOptions::fast_test());
+        let avg = fig.panel_of("average payoff").unwrap();
+        for s in &avg.series {
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(
+                last >= first * 0.9 - 1e-9,
+                "{}: average payoff collapsed ({first} → {last})",
+                s.label
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figures 8–9 — effect of the number of delivery points |DP|.
+
+use crate::experiments::common::{new_figure, run_standard_at, MAX_LEN_CAP};
+use crate::params::{Dataset, RunnerOptions, GM_DPS_SWEEP, SYN_DPS_SWEEP};
+use crate::report::FigureData;
+use fta_core::Instance;
+use fta_vdps::VdpsConfig;
+
+/// Runs the |DP| experiment on the given dataset. For GM this varies the
+/// `k` of the k-means preprocessing step; for SYN it varies the number of
+/// uniformly drawn delivery points.
+#[must_use]
+pub fn run(dataset: Dataset, opts: &RunnerOptions) -> FigureData {
+    let (id, sweep): (&str, Vec<usize>) = match dataset {
+        Dataset::Gm => ("fig8", GM_DPS_SWEEP.to_vec()),
+        Dataset::Syn => ("fig9", SYN_DPS_SWEEP.to_vec()),
+    };
+    let title = format!("Effect of |DP| ({})", dataset.name());
+    let mut fig = new_figure(id, &title, "|DP|");
+    let vdps = VdpsConfig::pruned(opts.default_epsilon(dataset), MAX_LEN_CAP);
+
+    for &n_dps in &sweep {
+        let instances: Vec<Instance> = opts
+            .seeds
+            .iter()
+            .map(|&seed| match dataset {
+                Dataset::Gm => {
+                    let cfg = fta_data::GMissionConfig {
+                        n_delivery_points: n_dps,
+                        ..opts.gm_base()
+                    };
+                    fta_data::generate_gmission(&cfg, seed)
+                }
+                Dataset::Syn => {
+                    let cfg = fta_data::SynConfig {
+                        n_delivery_points: opts.scale_count(n_dps),
+                        ..opts.syn_base()
+                    };
+                    fta_data::generate_syn(&cfg, seed)
+                }
+            })
+            .collect();
+        run_standard_at(&mut fig, n_dps as f64, &instances, vdps, opts);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_sweep_produces_all_points() {
+        let fig = run(Dataset::Gm, &RunnerOptions::fast_test());
+        assert_eq!(fig.id, "fig8");
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 4);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), GM_DPS_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn average_payoff_declines_with_more_delivery_points() {
+        // Figures 8(b)/9(b): with more delivery points each one holds fewer
+        // tasks, so per-route reward (and thus average payoff) drops.
+        let fig = run(Dataset::Gm, &RunnerOptions::fast_test());
+        let avg = fig.panel_of("average payoff").unwrap();
+        for s in &avg.series {
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(
+                last < first,
+                "{}: average payoff should fall as |DP| grows ({first} → {last})",
+                s.label
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Figures 2–3 — effect of the distance threshold ε.
+//!
+//! Sweeps ε over Table I's grid while everything else stays at the
+//! defaults, running MPTA/GTA/FGT/IEGT with ε-constrained pruning, and —
+//! when [`RunnerOptions::include_unpruned`] — the `-W` variants without
+//! pruning (whose metrics are constant in ε and plot as horizontal
+//! reference lines, exactly as in the paper's figures).
+
+use crate::experiments::common::{
+    default_instances, new_figure, record, run_algorithm, run_standard_at, MAX_LEN_CAP,
+};
+use crate::measure::standard_algorithms;
+use crate::params::{Dataset, RunnerOptions, GM_EPSILON_SWEEP, SYN_EPSILON_SWEEP};
+use crate::report::FigureData;
+use fta_vdps::VdpsConfig;
+
+/// Runs the ε experiment on the given dataset.
+#[must_use]
+pub fn run(dataset: Dataset, opts: &RunnerOptions) -> FigureData {
+    let (id, sweep): (&str, Vec<f64>) = match dataset {
+        Dataset::Gm => ("fig2", GM_EPSILON_SWEEP.to_vec()),
+        Dataset::Syn => ("fig3", SYN_EPSILON_SWEEP.to_vec()),
+    };
+    let title = format!("Effect of ε ({})", dataset.name());
+    let mut fig = new_figure(id, &title, "epsilon (km)");
+
+    let instances = default_instances(dataset, opts);
+
+    // Unpruned `-W` reference lines: computed once, replicated across ε.
+    if opts.include_unpruned {
+        for (label, algorithm) in standard_algorithms() {
+            let (result, spread) = run_algorithm(
+                &instances,
+                &format!("{label}-W"),
+                algorithm,
+                VdpsConfig::unpruned(MAX_LEN_CAP),
+                opts,
+            );
+            for &eps in &sweep {
+                record(&mut fig, eps, &result, &spread);
+            }
+        }
+    }
+
+    for &eps in &sweep {
+        run_standard_at(
+            &mut fig,
+            eps,
+            &instances,
+            VdpsConfig::pruned(eps, MAX_LEN_CAP),
+            opts,
+        );
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_data::GMissionConfig;
+
+    fn tiny_opts() -> RunnerOptions {
+        RunnerOptions::fast_test()
+    }
+
+    #[test]
+    fn gm_epsilon_figure_has_all_series_and_points() {
+        // The GM default (200 tasks, 40 workers, 100 dps) is test-sized.
+        let mut opts = tiny_opts();
+        opts.include_unpruned = true;
+        opts.seeds = vec![3];
+        let fig = run(Dataset::Gm, &opts);
+        assert_eq!(fig.id, "fig2");
+        let diff = fig.panel_of("payoff difference").unwrap();
+        // 4 pruned + 4 unpruned series.
+        assert_eq!(diff.series.len(), 8);
+        for s in &diff.series {
+            assert_eq!(s.points.len(), GM_EPSILON_SWEEP.len(), "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn unpruned_series_are_constant_in_epsilon() {
+        let mut opts = tiny_opts();
+        opts.include_unpruned = true;
+        opts.seeds = vec![5];
+        let fig = run(Dataset::Gm, &opts);
+        let diff = fig.panel_of("payoff difference").unwrap();
+        let w = diff.series_of("GTA-W").unwrap();
+        let first = w.points[0].1;
+        assert!(w.points.iter().all(|&(_, y)| (y - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn pruned_effectiveness_converges_to_unpruned_at_large_epsilon() {
+        // The paper's headline pruning claim: at ε at/above the default the
+        // pruned algorithms match the unpruned ones' effectiveness.
+        let mut opts = tiny_opts();
+        opts.include_unpruned = true;
+        opts.seeds = vec![11];
+        let fig = run(Dataset::Gm, &opts);
+        let avg = fig.panel_of("average payoff").unwrap();
+        let last = |label: &str| avg.series_of(label).unwrap().points.last().unwrap().1;
+        let pruned = last("GTA");
+        let unpruned = last("GTA-W");
+        assert!(
+            (pruned - unpruned).abs() <= 0.25 * unpruned.abs().max(0.1),
+            "GTA at max ε ({pruned}) should approach GTA-W ({unpruned})"
+        );
+    }
+
+    // The GMissionConfig import asserts the GM default is test-sized.
+    #[test]
+    fn gm_default_is_small_enough_for_tests() {
+        let cfg = GMissionConfig::default();
+        assert!(cfg.n_tasks <= 200 && cfg.n_workers <= 40);
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 10 — effect of the expiration time e (SYN only).
+
+use crate::experiments::common::{new_figure, run_standard_at, MAX_LEN_CAP};
+use crate::params::{RunnerOptions, SYN_EXPIRY_SWEEP};
+use crate::report::FigureData;
+use fta_core::Instance;
+use fta_vdps::VdpsConfig;
+
+/// Runs the expiration-time experiment on the synthetic dataset.
+#[must_use]
+pub fn run(opts: &RunnerOptions) -> FigureData {
+    let mut fig = new_figure("fig10", "Effect of e (SYN)", "e (h)");
+    let vdps = VdpsConfig::pruned(
+        opts.default_epsilon(crate::params::Dataset::Syn),
+        MAX_LEN_CAP,
+    );
+
+    for &expiry in &SYN_EXPIRY_SWEEP {
+        let instances: Vec<Instance> = opts
+            .seeds
+            .iter()
+            .map(|&seed| {
+                let cfg = fta_data::SynConfig {
+                    expiry,
+                    ..opts.syn_base()
+                };
+                fta_data::generate_syn(&cfg, seed)
+            })
+            .collect();
+        run_standard_at(&mut fig, expiry, &instances, vdps, opts);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RunnerOptions;
+
+    fn small_opts() -> RunnerOptions {
+        RunnerOptions::fast_test()
+    }
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let fig = run(&small_opts());
+        assert_eq!(fig.id, "fig10");
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 4);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), SYN_EXPIRY_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_deadlines_increase_average_payoff() {
+        // Figure 10(b): larger e → more reachable delivery points → higher
+        // average payoffs (until saturation).
+        let fig = run(&small_opts());
+        let avg = fig.panel_of("average payoff").unwrap();
+        for s in &avg.series {
+            let first = s.points.first().unwrap().1;
+            let max = s
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                max >= first,
+                "{}: payoff should not peak at the tightest deadline",
+                s.label
+            );
+        }
+    }
+}

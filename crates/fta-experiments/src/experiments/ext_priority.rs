@@ -1,0 +1,148 @@
+//! Extension experiment `ext1` — priority-aware fairness.
+//!
+//! The paper's conclusion names priority-aware fairness as a future-work
+//! direction. This experiment gives every even-indexed worker priority 2
+//! ("senior couriers") and every odd-indexed worker priority 1, then
+//! compares plain FGT with the priority-aware PFGT across the |W| sweep:
+//! PFGT should minimise the *priority-aware* payoff difference (payoffs
+//! proportional to entitlement), which plain FGT — which equalises raw
+//! payoffs — cannot.
+
+use crate::experiments::common::MAX_LEN_CAP;
+use crate::measure::{average_results, AlgoResult};
+use crate::params::{Dataset, RunnerOptions, GM_WORKERS_SWEEP};
+use crate::report::{FigureData, Panel};
+use fta_algorithms::{solve, Algorithm, FgtConfig, PfgtConfig, PrioritySpec, SolveConfig};
+use fta_core::priority::priority_payoff_difference;
+use fta_core::{Instance, WorkerId};
+use fta_vdps::VdpsConfig;
+
+/// Two-tier priorities: even worker ids are "senior" (ρ = 2).
+fn tiered(worker: WorkerId) -> f64 {
+    if worker.0 % 2 == 0 {
+        2.0
+    } else {
+        1.0
+    }
+}
+
+/// Runs the priority-fairness experiment on the GM dataset.
+#[must_use]
+pub fn run(opts: &RunnerOptions) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext1",
+        "Priority-aware fairness: FGT vs PFGT (GM, two-tier priorities)",
+        "|W|",
+    );
+    fig.panels = vec![
+        Panel::new("priority payoff difference"),
+        Panel::new("payoff difference"),
+        Panel::new("average payoff"),
+    ];
+    let vdps = VdpsConfig::pruned(opts.default_epsilon(Dataset::Gm), MAX_LEN_CAP);
+
+    for &n_workers in &GM_WORKERS_SWEEP {
+        let instances: Vec<Instance> = opts
+            .seeds
+            .iter()
+            .map(|&seed| {
+                fta_data::generate_gmission(
+                    &fta_data::GMissionConfig {
+                        n_workers,
+                        ..opts.gm_base()
+                    },
+                    seed,
+                )
+            })
+            .collect();
+
+        for (label, algorithm) in [
+            ("FGT", Algorithm::Fgt(FgtConfig::default())),
+            (
+                "PFGT",
+                Algorithm::Pfgt(PfgtConfig {
+                    priorities: PrioritySpec::ByWorker(tiered),
+                    ..PfgtConfig::default()
+                }),
+            ),
+        ] {
+            let results: Vec<(AlgoResult, f64)> = instances
+                .iter()
+                .map(|inst| {
+                    let outcome = solve(
+                        inst,
+                        &SolveConfig {
+                            vdps,
+                            algorithm,
+                            parallel: opts.parallel,
+                        },
+                    );
+                    let workers: Vec<WorkerId> = inst.workers.iter().map(|w| w.id).collect();
+                    let payoffs = outcome.assignment.payoffs(inst, &workers);
+                    let priorities: Vec<f64> = workers.iter().map(|&w| tiered(w)).collect();
+                    let pdiff = priority_payoff_difference(&payoffs, &priorities);
+                    let result = AlgoResult {
+                        label: label.to_owned(),
+                        fairness: outcome.assignment.fairness(inst, &workers),
+                        vdps_time_ms: outcome.vdps_time.as_secs_f64() * 1e3,
+                        assign_time_ms: outcome.assign_time.as_secs_f64() * 1e3,
+                        assigned_workers: outcome.assignment.assigned_workers(),
+                        trace: outcome.trace,
+                    };
+                    (result, pdiff)
+                })
+                .collect();
+            let averaged = average_results(
+                &results.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>(),
+            );
+            let mean_pdiff =
+                results.iter().map(|&(_, p)| p).sum::<f64>() / results.len() as f64;
+
+            let x = n_workers as f64;
+            fig.panels[0].push_point(label, x, mean_pdiff);
+            fig.panels[1].push_point(label, x, averaged.fairness.payoff_difference);
+            fig.panels[2].push_point(label, x, averaged.fairness.average_payoff);
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_algorithms_cover_the_sweep() {
+        let fig = run(&RunnerOptions::fast_test());
+        assert_eq!(fig.id, "ext1");
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 2);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), GM_WORKERS_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn pfgt_wins_on_priority_fairness_in_aggregate() {
+        let mut opts = RunnerOptions::fast_test();
+        opts.seeds = vec![7, 8, 9];
+        let fig = run(&opts);
+        let panel = fig.panel_of("priority payoff difference").unwrap();
+        let total = |label: &str| -> f64 {
+            panel
+                .series_of(label)
+                .unwrap()
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .sum()
+        };
+        let pfgt = total("PFGT");
+        let fgt = total("FGT");
+        assert!(
+            pfgt <= fgt * 1.05 + 1e-9,
+            "PFGT priority diff {pfgt} clearly worse than FGT {fgt}"
+        );
+    }
+}

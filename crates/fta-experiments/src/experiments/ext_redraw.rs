@@ -1,0 +1,112 @@
+//! Extension experiment `ext3` — IEGT redraw-policy ablation.
+//!
+//! Algorithm 3 lets a below-average worker redraw "a VDPS with a higher
+//! payoff" uniformly at random. Two alternatives suggest themselves: the
+//! *minimal* strict improvement (cautious evolution that avoids
+//! overshooting the population average) and the *best* available strategy
+//! (greedy evolution). This ablation compares all three on fairness,
+//! average payoff, and rounds to equilibrium across the |W| sweep.
+
+use crate::experiments::common::MAX_LEN_CAP;
+use crate::measure::{average_results, measure, AlgoResult};
+use crate::params::{Dataset, RunnerOptions, GM_WORKERS_SWEEP};
+use crate::report::{FigureData, Panel};
+use fta_algorithms::{Algorithm, IegtConfig, RedrawPolicy};
+use fta_core::Instance;
+use fta_vdps::VdpsConfig;
+
+/// The policies compared, with their series labels.
+pub const POLICIES: [(&str, RedrawPolicy); 3] = [
+    ("uniform", RedrawPolicy::UniformBetter),
+    ("minimal", RedrawPolicy::MinimalBetter),
+    ("best", RedrawPolicy::BestAvailable),
+];
+
+/// Runs the redraw-policy ablation on the GM dataset.
+#[must_use]
+pub fn run(opts: &RunnerOptions) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext3",
+        "IEGT redraw-policy ablation (GM)",
+        "|W|",
+    );
+    fig.panels = vec![
+        Panel::new("payoff difference"),
+        Panel::new("average payoff"),
+        Panel::new("rounds to convergence"),
+    ];
+    let vdps = VdpsConfig::pruned(opts.default_epsilon(Dataset::Gm), MAX_LEN_CAP);
+
+    for &n_workers in &GM_WORKERS_SWEEP {
+        let instances: Vec<Instance> = opts
+            .seeds
+            .iter()
+            .map(|&seed| {
+                fta_data::generate_gmission(
+                    &fta_data::GMissionConfig {
+                        n_workers,
+                        ..opts.gm_base()
+                    },
+                    seed,
+                )
+            })
+            .collect();
+        for (label, policy) in POLICIES {
+            let algorithm = Algorithm::Iegt(IegtConfig {
+                redraw: policy,
+                ..IegtConfig::default()
+            });
+            let results: Vec<AlgoResult> = instances
+                .iter()
+                .map(|inst| measure(inst, label, algorithm, vdps, opts.parallel))
+                .collect();
+            let rounds_mean = results
+                .iter()
+                .map(|r| r.trace.len().saturating_sub(1) as f64)
+                .sum::<f64>()
+                / results.len() as f64;
+            let avg = average_results(&results);
+            let x = n_workers as f64;
+            fig.panels[0].push_point(label, x, avg.fairness.payoff_difference);
+            fig.panels[1].push_point(label, x, avg.fairness.average_payoff);
+            fig.panels[2].push_point(label, x, rounds_mean);
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_cover_the_sweep() {
+        let fig = run(&RunnerOptions::fast_test());
+        assert_eq!(fig.id, "ext3");
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), POLICIES.len());
+            for s in &panel.series {
+                assert_eq!(s.points.len(), GM_WORKERS_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_redraw_pays_more_but_less_fairly_than_uniform() {
+        // BestAvailable should reach at least the average payoff of the
+        // uniform policy (each redraw grabs the most rewarding option).
+        let mut opts = RunnerOptions::fast_test();
+        opts.seeds = vec![3, 4];
+        let fig = run(&opts);
+        let avg = fig.panel_of("average payoff").unwrap();
+        let total = |label: &str| -> f64 {
+            avg.series_of(label)
+                .unwrap()
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .sum()
+        };
+        assert!(total("best") >= total("uniform") * 0.9);
+    }
+}

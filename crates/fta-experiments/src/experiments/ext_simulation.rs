@@ -1,0 +1,124 @@
+//! Extension experiment `ext4` — longitudinal fairness over a simulated day.
+//!
+//! The paper's motivation is worker retention: unfair payoffs drive
+//! couriers away. A single assignment instant cannot show that, so this
+//! experiment streams Poisson task arrivals through the `fta-sim` platform
+//! simulator for a working day, running an assignment round every 15
+//! simulated minutes, and sweeps the demand level (task arrivals per
+//! hour). Reported per algorithm: the day's completion rate, the Gini
+//! coefficient and min/max ratio of *cumulative earnings*, and worker
+//! utilisation.
+
+use crate::params::RunnerOptions;
+use crate::report::{FigureData, Panel};
+use fta_algorithms::{Algorithm, FgtConfig, IegtConfig};
+use fta_sim::{run as simulate, DispatchPolicy, Scenario, ScenarioConfig, SimConfig};
+use fta_vdps::VdpsConfig;
+
+/// Demand sweep: mean task arrivals per hour.
+pub const ARRIVAL_RATES: [f64; 4] = [40.0, 80.0, 120.0, 160.0];
+
+/// Length of the simulated day, hours.
+pub const HORIZON: f64 = 8.0;
+
+/// Runs the simulated-day experiment.
+#[must_use]
+pub fn run(opts: &RunnerOptions) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext4",
+        "Simulated day: longitudinal earnings fairness",
+        "arrivals per hour",
+    );
+    fig.panels = vec![
+        Panel::new("completion rate"),
+        Panel::new("earnings gini"),
+        Panel::new("earnings min/max"),
+        Panel::new("mean utilization"),
+    ];
+
+    let policies: [(&str, DispatchPolicy); 4] = [
+        ("IMMED", DispatchPolicy::Immediate),
+        ("GTA", DispatchPolicy::Batch(Algorithm::Gta)),
+        ("FGT", DispatchPolicy::Batch(Algorithm::Fgt(FgtConfig::default()))),
+        ("IEGT", DispatchPolicy::Batch(Algorithm::Iegt(IegtConfig::default()))),
+    ];
+
+    for &rate in &ARRIVAL_RATES {
+        let scenarios: Vec<Scenario> = opts
+            .seeds
+            .iter()
+            .map(|&seed| {
+                Scenario::generate(
+                    &ScenarioConfig {
+                        n_workers: 24,
+                        n_delivery_points: 48,
+                        extent: 5.0,
+                        arrival_rate: rate,
+                        ..ScenarioConfig::default()
+                    },
+                    HORIZON,
+                    seed,
+                )
+            })
+            .collect();
+        for (label, policy) in policies {
+            let mut completion = 0.0;
+            let mut gini = 0.0;
+            let mut min_max = 0.0;
+            let mut utilization = 0.0;
+            for scenario in &scenarios {
+                let metrics = simulate(
+                    scenario,
+                    &SimConfig {
+                        horizon: HORIZON,
+                        assignment_period: 0.25,
+                        policy,
+                        vdps: VdpsConfig::pruned(2.0, 3),
+                        parallel: opts.parallel,
+                    },
+                );
+                let fairness = metrics.earnings_fairness();
+                completion += metrics.completion_rate();
+                gini += fairness.gini;
+                min_max += fairness.min_max_ratio;
+                utilization += metrics.mean_utilization();
+            }
+            let n = scenarios.len() as f64;
+            fig.panels[0].push_point(label, rate, completion / n);
+            fig.panels[1].push_point(label, rate, gini / n);
+            fig.panels[2].push_point(label, rate, min_max / n);
+            fig.panels[3].push_point(label, rate, utilization / n);
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_cover_the_sweep() {
+        let fig = run(&RunnerOptions::fast_test());
+        assert_eq!(fig.id, "ext4");
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 4);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), ARRIVAL_RATES.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rates_and_ratios_are_well_formed() {
+        let fig = run(&RunnerOptions::fast_test());
+        for metric in ["completion rate", "earnings gini", "earnings min/max"] {
+            let panel = fig.panel_of(metric).unwrap();
+            for s in &panel.series {
+                for &(_, y) in &s.points {
+                    assert!((0.0..=1.0).contains(&y), "{metric} out of range: {y}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 11 — effect of the maximum acceptable number of delivery points
+//! per worker, maxDP (SYN only).
+
+use crate::experiments::common::{new_figure, run_standard_at, MAX_LEN_CAP};
+use crate::params::{RunnerOptions, SYN_MAXDP_SWEEP};
+use crate::report::FigureData;
+use fta_core::Instance;
+use fta_vdps::VdpsConfig;
+
+/// Runs the maxDP experiment on the synthetic dataset. The VDPS generator's
+/// length cap follows `maxDP` automatically (the solver clamps it per
+/// center), so larger values genuinely enlarge the strategy spaces.
+#[must_use]
+pub fn run(opts: &RunnerOptions) -> FigureData {
+    let mut fig = new_figure("fig11", "Effect of maxDP (SYN)", "maxDP");
+    let vdps = VdpsConfig::pruned(
+        opts.default_epsilon(crate::params::Dataset::Syn),
+        MAX_LEN_CAP,
+    );
+
+    for &max_dp in &SYN_MAXDP_SWEEP {
+        let instances: Vec<Instance> = opts
+            .seeds
+            .iter()
+            .map(|&seed| {
+                let cfg = fta_data::SynConfig {
+                    max_dp,
+                    ..opts.syn_base()
+                };
+                fta_data::generate_syn(&cfg, seed)
+            })
+            .collect();
+        run_standard_at(&mut fig, max_dp as f64, &instances, vdps, opts);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let fig = run(&RunnerOptions::fast_test());
+        assert_eq!(fig.id, "fig11");
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 4);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), SYN_MAXDP_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn payoff_maximisers_gain_from_larger_max_dp() {
+        // Figure 11(b): more acceptable delivery points → longer, more
+        // rewarding routes for the payoff-seeking algorithms.
+        let fig = run(&RunnerOptions::fast_test());
+        let avg = fig.panel_of("average payoff").unwrap();
+        for label in ["MPTA", "GTA"] {
+            let s = avg.series_of(label).unwrap();
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(
+                last >= first,
+                "{label}: average payoff should not fall as maxDP grows ({first} → {last})"
+            );
+        }
+    }
+}

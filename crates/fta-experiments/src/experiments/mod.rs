@@ -1,0 +1,102 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod common;
+pub mod convergence;
+pub mod delivery_points;
+pub mod epsilon;
+pub mod expiration;
+pub mod ext_early_stop;
+pub mod ext_priority;
+pub mod ext_redraw;
+pub mod ext_simulation;
+pub mod fig1;
+pub mod maxdp;
+pub mod table1;
+pub mod tasks;
+pub mod workers;
+
+use crate::params::{Dataset, RunnerOptions};
+use crate::report::FigureData;
+
+/// The result of one experiment: a figure's data, or plain text for the
+/// artifacts that are not plots (Table I, the Figure 1 walk-through).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentOutput {
+    /// A figure with panels and series.
+    Figure(FigureData),
+    /// A preformatted text report.
+    Text(String),
+}
+
+impl ExperimentOutput {
+    /// Renders either variant as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Self::Figure(fig) => fig.render_text(),
+            Self::Text(t) => t.clone(),
+        }
+    }
+
+    /// The figure data, if this output is a figure.
+    #[must_use]
+    pub fn as_figure(&self) -> Option<&FigureData> {
+        match self {
+            Self::Figure(fig) => Some(fig),
+            Self::Text(_) => None,
+        }
+    }
+}
+
+/// Every experiment id: the paper's artifacts in order, then the
+/// future-work extensions (`ext1` priority fairness, `ext2` early
+/// termination, `ext3` IEGT redraw-policy ablation, `ext4` simulated-day
+/// longitudinal fairness).
+pub const ALL_EXPERIMENTS: [&str; 17] = [
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "ext1", "ext2", "ext3", "ext4",
+];
+
+/// Runs the experiment with the given id (`"table1"`, `"fig1"`…`"fig12"`).
+/// Returns `None` for unknown ids.
+#[must_use]
+pub fn run(id: &str, opts: &RunnerOptions) -> Option<ExperimentOutput> {
+    let figure = |fig: FigureData| Some(ExperimentOutput::Figure(fig));
+    match id {
+        "table1" => Some(ExperimentOutput::Text(table1::render())),
+        "fig1" => Some(ExperimentOutput::Text(fig1::render())),
+        "fig2" => figure(epsilon::run(Dataset::Gm, opts)),
+        "fig3" => figure(epsilon::run(Dataset::Syn, opts)),
+        "fig4" => figure(tasks::run(Dataset::Gm, opts)),
+        "fig5" => figure(tasks::run(Dataset::Syn, opts)),
+        "fig6" => figure(workers::run(Dataset::Gm, opts)),
+        "fig7" => figure(workers::run(Dataset::Syn, opts)),
+        "fig8" => figure(delivery_points::run(Dataset::Gm, opts)),
+        "fig9" => figure(delivery_points::run(Dataset::Syn, opts)),
+        "fig10" => figure(expiration::run(opts)),
+        "fig11" => figure(maxdp::run(opts)),
+        "fig12" => figure(convergence::run(opts)),
+        "ext1" => figure(ext_priority::run(opts)),
+        "ext2" => figure(ext_early_stop::run(opts)),
+        "ext3" => figure(ext_redraw::run(opts)),
+        "ext4" => figure(ext_simulation::run(opts)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_returns_none() {
+        assert!(run("fig99", &RunnerOptions::fast_test()).is_none());
+    }
+
+    #[test]
+    fn text_experiments_render() {
+        let out = run("table1", &RunnerOptions::fast_test()).unwrap();
+        assert!(out.as_figure().is_none());
+        assert!(out.render().contains("Table I"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Table I — the experiment parameter grid.
+
+use crate::params;
+use std::fmt::Write as _;
+
+/// Renders Table I (parameter grids with underlined defaults marked `*`).
+#[must_use]
+pub fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table I — Experiment Parameters ==");
+    let _ = writeln!(out, "{:<46} Values (default *)", "Parameter");
+
+    fn fmt_f64(values: &[f64], default: f64) -> String {
+        values
+            .iter()
+            .map(|&v| {
+                if (v - default).abs() < 1e-12 {
+                    format!("{v}*")
+                } else {
+                    format!("{v}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+    fn fmt_usize(values: &[usize], default: usize) -> String {
+        values
+            .iter()
+            .map(|&v| {
+                if v == default {
+                    format!("{v}*")
+                } else {
+                    format!("{v}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    let rows: Vec<(String, String)> = vec![
+        (
+            "Distance threshold eps (km) (GM)".into(),
+            fmt_f64(&params::GM_EPSILON_SWEEP, params::GM_EPSILON_DEFAULT),
+        ),
+        (
+            "Distance threshold eps (km) (SYN)".into(),
+            fmt_f64(&params::SYN_EPSILON_SWEEP, params::SYN_EPSILON_DEFAULT),
+        ),
+        (
+            "Number of tasks |S| (GM)".into(),
+            fmt_usize(&params::GM_TASKS_SWEEP, 200),
+        ),
+        (
+            "Number of tasks |S| (SYN)".into(),
+            fmt_usize(&params::SYN_TASKS_SWEEP, 100_000),
+        ),
+        (
+            "Number of workers |W| (GM)".into(),
+            fmt_usize(&params::GM_WORKERS_SWEEP, 40),
+        ),
+        (
+            "Number of workers |W| (SYN)".into(),
+            fmt_usize(&params::SYN_WORKERS_SWEEP, 2_000),
+        ),
+        (
+            "Number of delivery points |DP| (GM)".into(),
+            fmt_usize(&params::GM_DPS_SWEEP, 100),
+        ),
+        (
+            "Number of delivery points |DP| (SYN)".into(),
+            fmt_usize(&params::SYN_DPS_SWEEP, 5_000),
+        ),
+        (
+            "Expiration time of tasks e (h) (SYN)".into(),
+            fmt_f64(&params::SYN_EXPIRY_SWEEP, 2.0),
+        ),
+        (
+            "Maximum acceptable delivery point number maxDP (SYN)".into(),
+            fmt_usize(&params::SYN_MAXDP_SWEEP, 3),
+        ),
+    ];
+    for (name, values) in rows {
+        let _ = writeln!(out, "{name:<46} {values}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_every_parameter_row() {
+        let text = render();
+        for needle in [
+            "Distance threshold",
+            "Number of tasks",
+            "Number of workers",
+            "Number of delivery points",
+            "Expiration time",
+            "maxDP",
+        ] {
+            assert!(text.contains(needle), "missing row: {needle}");
+        }
+    }
+
+    #[test]
+    fn defaults_are_starred() {
+        let text = render();
+        assert!(text.contains("0.6*"));
+        assert!(text.contains("2*"));
+        assert!(text.contains("200*"));
+        assert!(text.contains("100000*"));
+        assert!(text.contains("3*"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Figures 4–5 — effect of the number of tasks |S|.
+
+use crate::experiments::common::{new_figure, run_standard_at, MAX_LEN_CAP};
+use crate::params::{Dataset, RunnerOptions, GM_TASKS_SWEEP, SYN_TASKS_SWEEP};
+use crate::report::FigureData;
+use fta_core::Instance;
+use fta_vdps::VdpsConfig;
+
+/// Runs the |S| experiment on the given dataset. X values are quoted at the
+/// paper's scale even when the runner scales SYN cardinalities down.
+#[must_use]
+pub fn run(dataset: Dataset, opts: &RunnerOptions) -> FigureData {
+    let (id, sweep): (&str, Vec<usize>) = match dataset {
+        Dataset::Gm => ("fig4", GM_TASKS_SWEEP.to_vec()),
+        Dataset::Syn => ("fig5", SYN_TASKS_SWEEP.to_vec()),
+    };
+    let title = format!("Effect of |S| ({})", dataset.name());
+    let mut fig = new_figure(id, &title, "|S|");
+    let vdps = VdpsConfig::pruned(opts.default_epsilon(dataset), MAX_LEN_CAP);
+
+    for &n_tasks in &sweep {
+        let instances: Vec<Instance> = opts
+            .seeds
+            .iter()
+            .map(|&seed| match dataset {
+                Dataset::Gm => {
+                    let cfg = fta_data::GMissionConfig {
+                        n_tasks,
+                        ..opts.gm_base()
+                    };
+                    fta_data::generate_gmission(&cfg, seed)
+                }
+                Dataset::Syn => {
+                    let cfg = fta_data::SynConfig {
+                        n_tasks: opts.scale_count(n_tasks),
+                        ..opts.syn_base()
+                    };
+                    fta_data::generate_syn(&cfg, seed)
+                }
+            })
+            .collect();
+        run_standard_at(&mut fig, n_tasks as f64, &instances, vdps, opts);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_sweep_produces_all_points() {
+        let fig = run(Dataset::Gm, &RunnerOptions::fast_test());
+        assert_eq!(fig.id, "fig4");
+        let diff = fig.panel_of("payoff difference").unwrap();
+        assert_eq!(diff.series.len(), 4);
+        for s in &diff.series {
+            assert_eq!(s.points.len(), GM_TASKS_SWEEP.len());
+        }
+    }
+
+    #[test]
+    fn average_payoff_grows_with_tasks() {
+        // More tasks per delivery point → more reward per unit travel. The
+        // paper's Figures 4(b)/5(b) show the same increasing trend.
+        let fig = run(Dataset::Gm, &RunnerOptions::fast_test());
+        let avg = fig.panel_of("average payoff").unwrap();
+        for s in &avg.series {
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(
+                last > first,
+                "{}: average payoff should grow with |S| ({first} → {last})",
+                s.label
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Figures 6–7 — effect of the number of workers |W|.
+
+use crate::experiments::common::{new_figure, run_standard_at, MAX_LEN_CAP};
+use crate::params::{Dataset, RunnerOptions, GM_WORKERS_SWEEP, SYN_WORKERS_SWEEP};
+use crate::report::FigureData;
+use fta_core::Instance;
+use fta_vdps::VdpsConfig;
+
+/// Runs the |W| experiment on the given dataset.
+#[must_use]
+pub fn run(dataset: Dataset, opts: &RunnerOptions) -> FigureData {
+    let (id, sweep): (&str, Vec<usize>) = match dataset {
+        Dataset::Gm => ("fig6", GM_WORKERS_SWEEP.to_vec()),
+        Dataset::Syn => ("fig7", SYN_WORKERS_SWEEP.to_vec()),
+    };
+    let title = format!("Effect of |W| ({})", dataset.name());
+    let mut fig = new_figure(id, &title, "|W|");
+    let vdps = VdpsConfig::pruned(opts.default_epsilon(dataset), MAX_LEN_CAP);
+
+    for &n_workers in &sweep {
+        let instances: Vec<Instance> = opts
+            .seeds
+            .iter()
+            .map(|&seed| match dataset {
+                Dataset::Gm => {
+                    let cfg = fta_data::GMissionConfig {
+                        n_workers,
+                        ..opts.gm_base()
+                    };
+                    fta_data::generate_gmission(&cfg, seed)
+                }
+                Dataset::Syn => {
+                    let cfg = fta_data::SynConfig {
+                        n_workers: opts.scale_count(n_workers),
+                        ..opts.syn_base()
+                    };
+                    fta_data::generate_syn(&cfg, seed)
+                }
+            })
+            .collect();
+        run_standard_at(&mut fig, n_workers as f64, &instances, vdps, opts);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_sweep_produces_all_points() {
+        let fig = run(Dataset::Gm, &RunnerOptions::fast_test());
+        assert_eq!(fig.id, "fig6");
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 4);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), GM_WORKERS_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn fairness_ranking_holds_at_default() {
+        // At |W| = 40 (GM default) the fairness-aware algorithms should be
+        // at least as fair as the payoff maximisers, as in Figure 6(a).
+        let fig = run(Dataset::Gm, &RunnerOptions::fast_test());
+        let diff = fig.panel_of("payoff difference").unwrap();
+        let at_default = |label: &str| {
+            diff.series_of(label)
+                .unwrap()
+                .points
+                .iter()
+                .find(|&&(x, _)| (x - 40.0).abs() < 1e-9)
+                .unwrap()
+                .1
+        };
+        let iegt = at_default("IEGT");
+        let mpta = at_default("MPTA");
+        assert!(
+            iegt <= mpta * 1.2 + 1e-9,
+            "IEGT ({iegt}) should not be much less fair than MPTA ({mpta})"
+        );
+    }
+}

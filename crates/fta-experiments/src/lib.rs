@@ -1,0 +1,36 @@
+//! # fta-experiments — the paper's evaluation, as a library
+//!
+//! One module per table/figure of the paper's Section VII:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`params`] | Table I (parameter grid, defaults, GM/SYN datasets) |
+//! | [`experiments::fig1`] | Figure 1 worked example |
+//! | [`experiments::epsilon`] | Figures 2–3 (effect of ε, with/without pruning) |
+//! | [`experiments::tasks`] | Figures 4–5 (effect of \|S\|) |
+//! | [`experiments::workers`] | Figures 6–7 (effect of \|W\|) |
+//! | [`experiments::delivery_points`] | Figures 8–9 (effect of \|DP\|) |
+//! | [`experiments::expiration`] | Figure 10 (effect of e, SYN) |
+//! | [`experiments::maxdp`] | Figure 11 (effect of maxDP, SYN) |
+//! | [`experiments::convergence`] | Figure 12 (convergence of FGT & IEGT) |
+//!
+//! Every experiment returns a [`report::FigureData`]: a set of panels
+//! (payoff difference, average payoff, CPU time) each holding one series
+//! per algorithm, renderable as aligned text tables or JSON. The
+//! `fta-bench` crate's `reproduce` binary is a thin CLI over this library.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod chart;
+pub mod experiments;
+pub mod measure;
+pub mod params;
+pub mod report;
+pub mod svg;
+
+pub use chart::render_chart;
+pub use measure::{measure, AlgoResult};
+pub use params::{Dataset, RunnerOptions};
+pub use report::{FigureData, Panel, Series};
+pub use svg::{render_html, render_svg};

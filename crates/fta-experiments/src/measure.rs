@@ -1,0 +1,215 @@
+//! Measuring one algorithm on one instance: effectiveness + CPU time.
+
+use fta_algorithms::{solve, Algorithm, ConvergenceTrace, SolveConfig};
+use fta_core::fairness::FairnessReport;
+use fta_core::{Instance, WorkerId};
+use fta_vdps::VdpsConfig;
+
+/// The metrics the paper reports for one `(algorithm, instance)` pair.
+#[derive(Debug, Clone)]
+pub struct AlgoResult {
+    /// Algorithm label (e.g. `"IEGT"`, `"MPTA-W"`).
+    pub label: String,
+    /// Fairness metrics over the full worker population.
+    pub fairness: FairnessReport,
+    /// CPU time of VDPS generation, milliseconds.
+    pub vdps_time_ms: f64,
+    /// CPU time of the assignment algorithm proper, milliseconds.
+    pub assign_time_ms: f64,
+    /// Convergence trace (non-empty for FGT/IEGT).
+    pub trace: ConvergenceTrace,
+    /// Number of workers that received a non-null strategy.
+    pub assigned_workers: usize,
+}
+
+impl AlgoResult {
+    /// Total CPU time (generation + assignment), milliseconds — the
+    /// paper's "CPU time" metric.
+    #[must_use]
+    pub fn cpu_time_ms(&self) -> f64 {
+        self.vdps_time_ms + self.assign_time_ms
+    }
+}
+
+/// Runs `algorithm` on `instance` with the given VDPS settings and collects
+/// the paper's metrics.
+#[must_use]
+pub fn measure(
+    instance: &Instance,
+    label: &str,
+    algorithm: Algorithm,
+    vdps: VdpsConfig,
+    parallel: bool,
+) -> AlgoResult {
+    let outcome = solve(
+        instance,
+        &SolveConfig {
+            vdps,
+            algorithm,
+            parallel,
+        },
+    );
+    let workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();
+    let fairness = outcome.assignment.fairness(instance, &workers);
+    AlgoResult {
+        label: label.to_owned(),
+        fairness,
+        vdps_time_ms: outcome.vdps_time.as_secs_f64() * 1e3,
+        assign_time_ms: outcome.assign_time.as_secs_f64() * 1e3,
+        assigned_workers: outcome.assignment.assigned_workers(),
+        trace: outcome.trace,
+    }
+}
+
+/// Averages fairness metrics and CPU times over several results of the same
+/// algorithm (one per seed). The trace of the first result is kept.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn average_results(results: &[AlgoResult]) -> AlgoResult {
+    assert!(!results.is_empty(), "cannot average zero results");
+    let n = results.len() as f64;
+    let mean = |f: &dyn Fn(&AlgoResult) -> f64| results.iter().map(f).sum::<f64>() / n;
+    AlgoResult {
+        label: results[0].label.clone(),
+        fairness: FairnessReport {
+            payoff_difference: mean(&|r| r.fairness.payoff_difference),
+            average_payoff: mean(&|r| r.fairness.average_payoff),
+            gini: mean(&|r| r.fairness.gini),
+            jain: mean(&|r| r.fairness.jain),
+            min_max_ratio: mean(&|r| r.fairness.min_max_ratio),
+        },
+        vdps_time_ms: mean(&|r| r.vdps_time_ms),
+        assign_time_ms: mean(&|r| r.assign_time_ms),
+        assigned_workers: (results.iter().map(|r| r.assigned_workers).sum::<usize>()
+            + results.len() / 2)
+            / results.len(),
+        trace: results[0].trace.clone(),
+    }
+}
+
+/// Cross-seed standard deviations of the four standard panel metrics
+/// (population standard deviation; zero for a single seed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResultSpread {
+    /// Std of the payoff difference.
+    pub payoff_difference: f64,
+    /// Std of the average payoff.
+    pub average_payoff: f64,
+    /// Std of the total CPU time (ms).
+    pub cpu_time_ms: f64,
+    /// Std of the Jain index.
+    pub jain: f64,
+}
+
+/// Computes the per-metric standard deviation of several same-algorithm
+/// results (one per seed).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn spread_of(results: &[AlgoResult]) -> ResultSpread {
+    assert!(!results.is_empty(), "cannot compute spread of zero results");
+    let n = results.len() as f64;
+    let std = |f: &dyn Fn(&AlgoResult) -> f64| -> f64 {
+        let mean = results.iter().map(f).sum::<f64>() / n;
+        let var = results.iter().map(|r| (f(r) - mean).powi(2)).sum::<f64>() / n;
+        var.sqrt()
+    };
+    ResultSpread {
+        payoff_difference: std(&|r| r.fairness.payoff_difference),
+        average_payoff: std(&|r| r.fairness.average_payoff),
+        cpu_time_ms: std(&|r| r.cpu_time_ms()),
+        jain: std(&|r| r.fairness.jain),
+    }
+}
+
+/// The paper's four evaluated algorithms with default configurations, in
+/// the order its legends use: MPTA, GTA, FGT, IEGT.
+#[must_use]
+pub fn standard_algorithms() -> Vec<(&'static str, Algorithm)> {
+    use fta_algorithms::{FgtConfig, IegtConfig};
+    vec![
+        (
+            "MPTA",
+            Algorithm::Mpta(fta_algorithms::mpta::MptaConfig::default()),
+        ),
+        ("GTA", Algorithm::Gta),
+        ("FGT", Algorithm::Fgt(FgtConfig::default())),
+        ("IEGT", Algorithm::Iegt(IegtConfig::default())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_data::{generate_syn, SynConfig};
+
+    fn instance() -> Instance {
+        generate_syn(
+            &SynConfig {
+                n_centers: 2,
+                n_workers: 12,
+                n_tasks: 150,
+                n_delivery_points: 24,
+                extent: 2.5,
+                ..SynConfig::bench_scale()
+            },
+            9,
+        )
+    }
+
+    #[test]
+    fn measure_collects_all_metrics() {
+        let inst = instance();
+        let r = measure(
+            &inst,
+            "GTA",
+            Algorithm::Gta,
+            VdpsConfig::pruned(1.5, 3),
+            false,
+        );
+        assert_eq!(r.label, "GTA");
+        assert!(r.cpu_time_ms() >= r.vdps_time_ms);
+        assert!(r.fairness.average_payoff >= 0.0);
+        assert!(r.assigned_workers <= inst.workers.len());
+    }
+
+    #[test]
+    fn averaging_is_arithmetic_mean() {
+        let inst = instance();
+        let a = measure(&inst, "GTA", Algorithm::Gta, VdpsConfig::pruned(1.5, 3), false);
+        let mut b = a.clone();
+        b.fairness.payoff_difference = a.fairness.payoff_difference + 2.0;
+        b.vdps_time_ms = a.vdps_time_ms + 4.0;
+        let avg = average_results(&[a.clone(), b]);
+        assert!(
+            (avg.fairness.payoff_difference - (a.fairness.payoff_difference + 1.0)).abs() < 1e-12
+        );
+        assert!((avg.vdps_time_ms - (a.vdps_time_ms + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_is_zero_for_identical_results_and_positive_otherwise() {
+        let inst = instance();
+        let a = measure(&inst, "GTA", Algorithm::Gta, VdpsConfig::pruned(1.5, 3), false);
+        let same = spread_of(&[a.clone(), a.clone()]);
+        assert_eq!(same.payoff_difference, 0.0);
+        assert_eq!(same.jain, 0.0);
+
+        let mut b = a.clone();
+        b.fairness.payoff_difference += 2.0;
+        let diff = spread_of(&[a, b]);
+        // Population std of {x, x+2} is 1.
+        assert!((diff.payoff_difference - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_algorithms_match_paper_order() {
+        let labels: Vec<&str> = standard_algorithms().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["MPTA", "GTA", "FGT", "IEGT"]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Table I — experiment parameters, defaults, and dataset handles.
+//!
+//! Underlined values in the paper's Table I are the defaults used while
+//! other parameters vary; `*_SWEEP` constants list the full grids. SYN
+//! cardinalities are scaled by [`RunnerOptions::syn_scale`] (1/10 linear by
+//! default, preserving per-center subproblem sizes; pass
+//! `paper_scale = true` for the full Table I sizes — see `DESIGN.md` §3).
+
+use fta_data::{GMissionConfig, SynConfig};
+
+/// Which of the paper's two datasets an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// gMission-like (Section VII-A; one distribution center).
+    Gm,
+    /// Synthetic (Table I; 50 distribution centers at paper scale).
+    Syn,
+}
+
+impl Dataset {
+    /// The paper's name for the dataset.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Gm => "GM",
+            Self::Syn => "SYN",
+        }
+    }
+}
+
+/// ε sweep for GM, km (Table I; default 0.6).
+pub const GM_EPSILON_SWEEP: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+/// ε default for GM, km.
+pub const GM_EPSILON_DEFAULT: f64 = 0.6;
+/// ε sweep for SYN, km (Table I; default 2).
+pub const SYN_EPSILON_SWEEP: [f64; 8] = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+/// ε default for SYN, km.
+pub const SYN_EPSILON_DEFAULT: f64 = 2.0;
+
+/// |S| sweep for GM (default 200).
+pub const GM_TASKS_SWEEP: [usize; 5] = [100, 200, 300, 400, 500];
+/// |S| sweep for SYN at paper scale (default 100K).
+pub const SYN_TASKS_SWEEP: [usize; 5] = [25_000, 50_000, 75_000, 100_000, 125_000];
+
+/// |W| sweep for GM (default 40).
+pub const GM_WORKERS_SWEEP: [usize; 5] = [20, 40, 60, 80, 100];
+/// |W| sweep for SYN at paper scale (default 2K).
+pub const SYN_WORKERS_SWEEP: [usize; 5] = [1_000, 2_000, 3_000, 4_000, 5_000];
+
+/// |DP| sweep for GM (default 100).
+pub const GM_DPS_SWEEP: [usize; 5] = [20, 40, 60, 80, 100];
+/// |DP| sweep for SYN at paper scale (default 5K).
+pub const SYN_DPS_SWEEP: [usize; 5] = [3_000, 3_500, 4_000, 4_500, 5_000];
+
+/// Expiration sweep for SYN, hours (default 2).
+pub const SYN_EXPIRY_SWEEP: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 2.5];
+
+/// maxDP sweep for SYN (default 3).
+pub const SYN_MAXDP_SWEEP: [usize; 4] = [1, 2, 3, 4];
+
+/// Shared options of every experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerOptions {
+    /// Seeds to average over (one instance + one algorithm run per seed).
+    pub seeds: Vec<u64>,
+    /// Solve distribution centers on separate threads.
+    pub parallel: bool,
+    /// Use the paper's full SYN scale instead of the 1/10 default.
+    pub paper_scale: bool,
+    /// Include the unpruned `-W` algorithm variants where the paper does
+    /// (Figures 2–3).
+    pub include_unpruned: bool,
+    /// Base GM configuration; swept parameters override the corresponding
+    /// field. Defaults to the paper's Table I GM defaults.
+    pub gm: GMissionConfig,
+    /// Optional SYN base override (used by tests to shrink instances);
+    /// `None` selects the Table I configuration at the runner's scale.
+    pub syn_override: Option<SynConfig>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        Self {
+            seeds: vec![42],
+            parallel: true,
+            paper_scale: false,
+            include_unpruned: true,
+            gm: GMissionConfig::default(),
+            syn_override: None,
+        }
+    }
+}
+
+impl RunnerOptions {
+    /// Quick options for tests: one seed, sequential, scaled down (the GM
+    /// base shrinks to a quarter of the paper's size).
+    #[must_use]
+    pub fn fast_test() -> Self {
+        Self {
+            seeds: vec![7],
+            parallel: false,
+            paper_scale: false,
+            include_unpruned: false,
+            gm: GMissionConfig {
+                n_tasks: 60,
+                n_workers: 12,
+                n_delivery_points: 30,
+                ..GMissionConfig::default()
+            },
+            syn_override: Some(SynConfig {
+                n_centers: 2,
+                n_workers: 24,
+                n_tasks: 1_200,
+                n_delivery_points: 60,
+                ..SynConfig::bench_scale()
+            }),
+        }
+    }
+
+    /// Linear scale factor applied to SYN cardinalities (1 at paper scale,
+    /// 1/10 otherwise).
+    #[must_use]
+    pub fn syn_scale(&self) -> f64 {
+        if self.paper_scale {
+            1.0
+        } else {
+            0.1
+        }
+    }
+
+    /// The SYN base config at the chosen scale, Table I defaults (or the
+    /// test override when set).
+    #[must_use]
+    pub fn syn_base(&self) -> SynConfig {
+        if let Some(cfg) = self.syn_override {
+            return cfg;
+        }
+        if self.paper_scale {
+            SynConfig::paper_scale()
+        } else {
+            SynConfig::bench_scale()
+        }
+    }
+
+    /// Scales a paper-scale SYN cardinality to the runner's scale.
+    #[must_use]
+    pub fn scale_count(&self, paper_count: usize) -> usize {
+        ((paper_count as f64 * self.syn_scale()).round() as usize).max(1)
+    }
+
+    /// The GM base config.
+    #[must_use]
+    pub fn gm_base(&self) -> GMissionConfig {
+        self.gm
+    }
+
+    /// Default ε for the dataset (used by all non-ε experiments).
+    #[must_use]
+    pub fn default_epsilon(&self, dataset: Dataset) -> f64 {
+        match dataset {
+            Dataset::Gm => GM_EPSILON_DEFAULT,
+            Dataset::Syn => SYN_EPSILON_DEFAULT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_underlined_table_values() {
+        let opts = RunnerOptions::default();
+        assert_eq!(opts.default_epsilon(Dataset::Gm), 0.6);
+        assert_eq!(opts.default_epsilon(Dataset::Syn), 2.0);
+        assert_eq!(opts.gm_base().n_tasks, 200);
+        assert_eq!(opts.gm_base().n_workers, 40);
+        assert_eq!(opts.gm_base().n_delivery_points, 100);
+    }
+
+    #[test]
+    fn scaling_preserves_paper_scale() {
+        let opts = RunnerOptions {
+            paper_scale: true,
+            ..RunnerOptions::default()
+        };
+        assert_eq!(opts.scale_count(100_000), 100_000);
+        assert_eq!(opts.syn_base().n_centers, 50);
+    }
+
+    #[test]
+    fn bench_scale_is_one_tenth() {
+        let opts = RunnerOptions::default();
+        assert_eq!(opts.scale_count(100_000), 10_000);
+        assert_eq!(opts.scale_count(3), 1); // never rounds to zero
+        assert_eq!(opts.syn_base().n_centers, 5);
+    }
+
+    #[test]
+    fn sweeps_contain_their_defaults() {
+        assert!(GM_EPSILON_SWEEP.contains(&GM_EPSILON_DEFAULT));
+        assert!(SYN_EPSILON_SWEEP.contains(&SYN_EPSILON_DEFAULT));
+        assert!(GM_TASKS_SWEEP.contains(&200));
+        assert!(SYN_TASKS_SWEEP.contains(&100_000));
+        assert!(GM_WORKERS_SWEEP.contains(&40));
+        assert!(SYN_WORKERS_SWEEP.contains(&2_000));
+        assert!(GM_DPS_SWEEP.contains(&100));
+        assert!(SYN_DPS_SWEEP.contains(&5_000));
+        assert!(SYN_EXPIRY_SWEEP.contains(&2.0));
+        assert!(SYN_MAXDP_SWEEP.contains(&3));
+    }
+
+    #[test]
+    fn dataset_names() {
+        assert_eq!(Dataset::Gm.name(), "GM");
+        assert_eq!(Dataset::Syn.name(), "SYN");
+    }
+}

@@ -1,0 +1,321 @@
+//! Figure/table data model and rendering.
+//!
+//! Every experiment produces a [`FigureData`]: a set of panels (one per
+//! metric the paper plots) each holding one series per algorithm. The data
+//! renders as aligned text tables — the same rows/series the paper's plots
+//! show — and serialises to JSON for downstream plotting.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One algorithm's curve: `(x, y)` points over the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Series {
+    /// Legend label (e.g. `"IEGT"`, `"MPTA-W"`).
+    pub label: String,
+    /// `(x, y)` points in sweep order.
+    pub points: Vec<(f64, f64)>,
+    /// Per-point standard deviation across seeds (error bars); empty when
+    /// the experiment ran a single seed.
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub spread: Vec<f64>,
+}
+
+/// One sub-plot of a figure: a metric and the series of every algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Panel {
+    /// Metric name (`"payoff difference"`, `"average payoff"`,
+    /// `"CPU time (ms)"`, …).
+    pub metric: String,
+    /// One series per algorithm.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// Creates an empty panel for `metric`.
+    #[must_use]
+    pub fn new(metric: &str) -> Self {
+        Self {
+            metric: metric.to_owned(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a `(x, y)` point to the series labelled `label`, creating
+    /// the series if needed.
+    pub fn push_point(&mut self, label: &str, x: f64, y: f64) {
+        match self.series.iter_mut().find(|s| s.label == label) {
+            Some(s) => s.points.push((x, y)),
+            None => self.series.push(Series {
+                label: label.to_owned(),
+                points: vec![(x, y)],
+                spread: Vec::new(),
+            }),
+        }
+    }
+
+    /// Appends a point together with its cross-seed standard deviation.
+    /// Mixing spread and non-spread points in one series is rejected in
+    /// debug builds (the vectors must stay parallel).
+    pub fn push_point_with_spread(&mut self, label: &str, x: f64, y: f64, std: f64) {
+        match self.series.iter_mut().find(|s| s.label == label) {
+            Some(s) => {
+                debug_assert_eq!(
+                    s.spread.len(),
+                    s.points.len(),
+                    "series {label} mixes spread and plain points"
+                );
+                s.points.push((x, y));
+                s.spread.push(std);
+            }
+            None => self.series.push(Series {
+                label: label.to_owned(),
+                points: vec![(x, y)],
+                spread: vec![std],
+            }),
+        }
+    }
+
+    /// Looks up a series by label.
+    #[must_use]
+    pub fn series_of(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// All data behind one of the paper's figures (or tables).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FigureData {
+    /// Experiment id (`"fig2"`, `"table1"`, …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The figure's panels.
+    pub panels: Vec<Panel>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(id: &str, title: &str, x_label: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            panels: Vec::new(),
+        }
+    }
+
+    /// Renders the figure as aligned text tables, one per panel.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for panel in &self.panels {
+            let _ = writeln!(out, "\n-- {} --", panel.metric);
+            // Collect the x grid from the union of all series (non-finite
+            // x values cannot be placed on a grid and are dropped).
+            let mut xs: Vec<f64> = panel
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+                .filter(|x| x.is_finite())
+                .collect();
+            xs.sort_by(f64::total_cmp);
+            xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+            // Header.
+            let mut header = format!("{:>12}", self.x_label);
+            for s in &panel.series {
+                let _ = write!(header, " {:>12}", s.label);
+            }
+            let _ = writeln!(out, "{header}");
+
+            for &x in &xs {
+                let _ = write!(out, "{x:>12.3}");
+                for s in &panel.series {
+                    match s
+                        .points
+                        .iter()
+                        .find(|&&(px, _)| (px - x).abs() < 1e-12)
+                    {
+                        Some(&(_, y)) => {
+                            let _ = write!(out, " {y:>12.4}");
+                        }
+                        None => {
+                            let _ = write!(out, " {:>12}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// Serialises the figure to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the data model contains no map keys or
+    /// non-string identifiers that could fail serialisation.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FigureData serialises infallibly")
+    }
+
+    /// Looks up a panel by metric name.
+    #[must_use]
+    pub fn panel_of(&self, metric: &str) -> Option<&Panel> {
+        self.panels.iter().find(|p| p.metric == metric)
+    }
+
+    /// Renders the figure as long-format CSV, one row per point:
+    /// `figure,panel,series,x,y`. Fields containing commas or quotes are
+    /// quoted per RFC 4180.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(field: &str) -> String {
+            if field.contains([',', '"', '\n']) {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_owned()
+            }
+        }
+        let mut out = String::from("figure,panel,series,x,y,std\n");
+        for panel in &self.panels {
+            for series in &panel.series {
+                for (i, &(x, y)) in series.points.iter().enumerate() {
+                    let std = series
+                        .spread
+                        .get(i)
+                        .map(ToString::to_string)
+                        .unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{x},{y},{std}",
+                        escape(&self.id),
+                        escape(&panel.metric),
+                        escape(&series.label),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut fig = FigureData::new("fig4", "Effect of |S| (GM)", "|S|");
+        let mut diff = Panel::new("payoff difference");
+        diff.push_point("GTA", 100.0, 0.8);
+        diff.push_point("GTA", 200.0, 0.9);
+        diff.push_point("IEGT", 100.0, 0.2);
+        diff.push_point("IEGT", 200.0, 0.25);
+        fig.panels.push(diff);
+        fig
+    }
+
+    #[test]
+    fn push_point_groups_by_label() {
+        let fig = sample();
+        let panel = fig.panel_of("payoff difference").unwrap();
+        assert_eq!(panel.series.len(), 2);
+        assert_eq!(panel.series_of("GTA").unwrap().points.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_all_values() {
+        let text = sample().render_text();
+        assert!(text.contains("fig4"));
+        assert!(text.contains("GTA"));
+        assert!(text.contains("IEGT"));
+        assert!(text.contains("0.8000"));
+        assert!(text.contains("0.2500"));
+        assert!(text.contains("100.000"));
+    }
+
+    #[test]
+    fn render_marks_missing_points_with_dash() {
+        let mut fig = sample();
+        fig.panels[0].push_point("FGT", 200.0, 0.5);
+        let text = fig.render_text();
+        // FGT has no point at x=100 → a dash must appear in that row.
+        let row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("100.000"))
+            .unwrap();
+        assert!(row.contains('-'));
+    }
+
+    #[test]
+    fn csv_is_long_format_with_header() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "figure,panel,series,x,y,std");
+        // 4 points total.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("fig4,payoff difference,GTA,100,"));
+        // No spread recorded → empty std field.
+        assert!(lines[1].ends_with(','));
+    }
+
+    #[test]
+    fn csv_includes_spread_when_recorded() {
+        let mut fig = FigureData::new("f", "t", "x");
+        let mut p = Panel::new("m");
+        p.push_point_with_spread("S", 1.0, 2.0, 0.25);
+        fig.panels.push(p);
+        let csv = fig.to_csv();
+        assert!(csv.contains("f,m,S,1,2,0.25"));
+    }
+
+    #[test]
+    fn spread_round_trips_through_json() {
+        let mut fig = FigureData::new("f", "t", "x");
+        let mut p = Panel::new("m");
+        p.push_point_with_spread("S", 1.0, 2.0, 0.5);
+        fig.panels.push(p);
+        let value: serde_json::Value = serde_json::from_str(&fig.to_json()).unwrap();
+        assert_eq!(
+            value["panels"][0]["series"][0]["spread"][0].as_f64().unwrap(),
+            0.5
+        );
+        // Plain series omit the field entirely.
+        let plain = sample().to_json();
+        let value: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        assert!(value["panels"][0]["series"][0].get("spread").is_none());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut fig = FigureData::new("f", "t", "x");
+        let mut p = Panel::new("a,b");
+        p.push_point("se\"ries", 1.0, 2.0);
+        fig.panels.push(p);
+        let csv = fig.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"se\"\"ries\""));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_structure() {
+        let fig = sample();
+        let json = fig.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["id"], "fig4");
+        assert_eq!(value["panels"][0]["series"][0]["label"], "GTA");
+        assert_eq!(
+            value["panels"][0]["series"][0]["points"][1][0]
+                .as_f64()
+                .unwrap(),
+            200.0
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! SVG figure rendering and a self-contained HTML report.
+//!
+//! `reproduce --html report.html` writes one standalone page with every
+//! regenerated figure drawn as an SVG line chart — the closest thing to
+//! the paper's plots without pulling in a plotting dependency. The SVG is
+//! assembled by hand: axes, ticks, one polyline per series, and a legend.
+
+use crate::report::{FigureData, Panel};
+use std::fmt::Write as _;
+
+/// Chart colours (colour-blind-friendly palette), cycled per series.
+const COLORS: [&str; 8] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#f0e442", "#000000",
+];
+
+/// Plot geometry shared by the render functions.
+const WIDTH: f64 = 420.0;
+const HEIGHT: f64 = 260.0;
+const MARGIN_LEFT: f64 = 58.0;
+const MARGIN_RIGHT: f64 = 12.0;
+const MARGIN_TOP: f64 = 26.0;
+const MARGIN_BOTTOM: f64 = 40.0;
+
+fn escape_xml(raw: &str) -> String {
+    raw.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Formats an axis tick value compactly.
+fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}K", v / 1000.0)
+    } else if v.abs() >= 100.0 || (v.fract() == 0.0 && v.abs() >= 1.0) {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders one panel as a standalone SVG element.
+///
+/// Returns an empty string for panels without finite points.
+#[must_use]
+pub fn render_svg(panel: &Panel, x_label: &str) -> String {
+    let points: Vec<(f64, f64)> = panel
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (0.0_f64, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let sx = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_TOP + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="16" text-anchor="middle" font-weight="bold">{}</text>"#,
+        WIDTH / 2.0,
+        escape_xml(&panel.metric)
+    );
+
+    // Axes.
+    let x0 = MARGIN_LEFT;
+    let y0 = MARGIN_TOP + plot_h;
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{x0}" y1="{MARGIN_TOP}" x2="{x0}" y2="{y0}" stroke="#333"/>"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="#333"/>"##,
+        MARGIN_LEFT + plot_w
+    );
+
+    // Ticks: 5 per axis.
+    for i in 0..=4 {
+        let f = f64::from(i) / 4.0;
+        let xv = x_min + f * (x_max - x_min);
+        let yv = y_min + f * (y_max - y_min);
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="{}" text-anchor="middle" fill="#333">{}</text>"##,
+            sx(xv),
+            y0 + 16.0,
+            tick_label(xv)
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="{}" text-anchor="end" fill="#333">{}</text>"##,
+            x0 - 6.0,
+            sy(yv) + 4.0,
+            tick_label(yv)
+        );
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x0}" y1="{}" x2="{}" y2="{}" stroke="#ddd"/>"##,
+            sy(yv),
+            MARGIN_LEFT + plot_w,
+            sy(yv)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="{}" y="{}" text-anchor="middle" fill="#333">{}</text>"##,
+        MARGIN_LEFT + plot_w / 2.0,
+        HEIGHT - 6.0,
+        escape_xml(x_label)
+    );
+
+    // Series polylines + legend.
+    for (idx, series) in panel.series.iter().enumerate() {
+        let color = COLORS[idx % COLORS.len()];
+        let coords: Vec<String> = series
+            .points
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        if coords.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            svg,
+            r#"<polyline fill="none" stroke="{color}" stroke-width="1.8" points="{}"/>"#,
+            coords.join(" ")
+        );
+        for coord in &coords {
+            let (cx, cy) = coord.split_once(',').expect("coords are x,y pairs");
+            let _ = writeln!(svg, r#"<circle cx="{cx}" cy="{cy}" r="2.4" fill="{color}"/>"#);
+        }
+        // Legend entry.
+        let lx = MARGIN_LEFT + 8.0 + (idx as f64 % 4.0) * 92.0;
+        let ly = MARGIN_TOP + 10.0 + (idx as f64 / 4.0).floor() * 14.0;
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{lx}" y="{}" width="10" height="3" fill="{color}"/>"#,
+            ly - 3.0
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="{ly}" fill="#333">{}</text>"##,
+            lx + 14.0,
+            escape_xml(&series.label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders a standalone HTML report embedding every figure's panels.
+#[must_use]
+pub fn render_html(figures: &[FigureData]) -> String {
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>FTA reproduction report</title>\
+         <style>body{font-family:sans-serif;margin:24px;}\
+         .figure{margin-bottom:28px;}\
+         .panels{display:flex;flex-wrap:wrap;gap:12px;}</style>\
+         </head><body>\n<h1>Fairness-aware Task Assignment — reproduction report</h1>\n",
+    );
+    for fig in figures {
+        let _ = writeln!(
+            html,
+            "<div class=\"figure\"><h2>{} — {}</h2><div class=\"panels\">",
+            escape_xml(&fig.id),
+            escape_xml(&fig.title)
+        );
+        for panel in &fig.panels {
+            let svg = render_svg(panel, &fig.x_label);
+            if !svg.is_empty() {
+                html.push_str(&svg);
+            }
+        }
+        html.push_str("</div></div>\n");
+    }
+    html.push_str("</body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{FigureData, Panel};
+
+    fn panel() -> Panel {
+        let mut p = Panel::new("payoff difference");
+        for (x, y) in [(100.0, 8.3), (200.0, 10.4), (300.0, 13.5)] {
+            p.push_point("MPTA", x, y);
+        }
+        for (x, y) in [(100.0, 1.2), (200.0, 2.5), (300.0, 3.6)] {
+            p.push_point("IEGT", x, y);
+        }
+        p
+    }
+
+    #[test]
+    fn svg_contains_polylines_points_and_legend() {
+        let svg = render_svg(&panel(), "|S|");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">MPTA</text>"));
+        assert!(svg.contains(">IEGT</text>"));
+        assert!(svg.contains(">payoff difference</text>"));
+        assert!(svg.contains(">|S|</text>"));
+    }
+
+    #[test]
+    fn svg_y_axis_starts_at_zero_for_positive_data() {
+        let svg = render_svg(&panel(), "x");
+        // A y tick labelled 0 must appear (y_min clamped to 0).
+        assert!(svg.contains(">0</text>"));
+    }
+
+    #[test]
+    fn higher_values_render_higher_up() {
+        let mut p = Panel::new("m");
+        p.push_point("S", 0.0, 0.0);
+        p.push_point("S", 1.0, 10.0);
+        let svg = render_svg(&p, "x");
+        let line = svg
+            .lines()
+            .find(|l| l.starts_with("<polyline"))
+            .expect("one polyline");
+        let pts: Vec<f64> = line
+            .split("points=\"")
+            .nth(1)
+            .unwrap()
+            .trim_end_matches("\"/>")
+            .split([' ', ','])
+            .map(|v| v.parse().unwrap())
+            .collect();
+        // (x0,y0) (x1,y1): the y of the larger value is smaller (SVG y
+        // grows downwards).
+        assert!(pts[3] < pts[1]);
+        assert!(pts[2] > pts[0]);
+    }
+
+    #[test]
+    fn empty_panel_renders_nothing() {
+        assert!(render_svg(&Panel::new("void"), "x").is_empty());
+    }
+
+    #[test]
+    fn xml_special_characters_are_escaped() {
+        let mut p = Panel::new("a<b & \"c\"");
+        p.push_point("s<1>", 1.0, 1.0);
+        let svg = render_svg(&p, "x&y");
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(svg.contains("x&amp;y"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn html_report_embeds_all_figures() {
+        let mut fig1 = FigureData::new("fig4", "Effect of |S| (GM)", "|S|");
+        fig1.panels.push(panel());
+        let mut fig2 = FigureData::new("fig5", "Effect of |S| (SYN)", "|S|");
+        fig2.panels.push(panel());
+        let html = render_html(&[fig1, fig2]);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("fig4"));
+        assert!(html.contains("fig5"));
+        assert_eq!(html.matches("<svg").count(), 2);
+        assert!(html.ends_with("</body></html>\n"));
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(tick_label(25_000.0), "25K");
+        assert_eq!(tick_label(0.5), "0.50");
+        assert_eq!(tick_label(100.0), "100");
+        assert_eq!(tick_label(3.0), "3");
+    }
+}

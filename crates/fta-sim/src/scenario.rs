@@ -1,0 +1,217 @@
+//! The simulated world: static geography plus a stochastic task stream.
+
+use fta_core::entities::{DeliveryPoint, DistributionCenter, Worker};
+use fta_core::geometry::Point;
+use fta_core::ids::{CenterId, DeliveryPointId, WorkerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a simulated city and its demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of distribution centers.
+    pub n_centers: usize,
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Number of delivery points.
+    pub n_delivery_points: usize,
+    /// Side of the square city, km.
+    pub extent: f64,
+    /// Worker speed, km/h.
+    pub speed: f64,
+    /// Per-worker `maxDP`.
+    pub max_dp: usize,
+    /// Mean task arrivals per hour (Poisson process).
+    pub arrival_rate: f64,
+    /// Time from a task's arrival to its expiration, hours.
+    pub expiry_offset: f64,
+    /// Reward per task.
+    pub reward: f64,
+}
+
+impl Default for ScenarioConfig {
+    /// A single-center city: 30 couriers, 60 drop-off points, 200 orders/h
+    /// expiring after 2 h.
+    fn default() -> Self {
+        Self {
+            n_centers: 1,
+            n_workers: 30,
+            n_delivery_points: 60,
+            extent: 6.0,
+            speed: 5.0,
+            max_dp: 3,
+            arrival_rate: 200.0,
+            expiry_offset: 2.0,
+            reward: 1.0,
+        }
+    }
+}
+
+/// One task in the stream: arrival instant, destination, absolute deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivingTask {
+    /// Arrival time, hours from simulation start.
+    pub arrival: f64,
+    /// Destination delivery point.
+    pub delivery_point: DeliveryPointId,
+    /// Absolute expiration instant (arrival + expiry offset).
+    pub deadline: f64,
+    /// Reward.
+    pub reward: f64,
+}
+
+/// A fully materialised scenario: static world + the task stream for one
+/// simulated horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Configuration it was generated from.
+    pub config: ScenarioConfig,
+    /// Distribution centers.
+    pub centers: Vec<DistributionCenter>,
+    /// Delivery points (center association fixed for the whole day).
+    pub delivery_points: Vec<DeliveryPoint>,
+    /// Worker home locations and attributes.
+    pub workers: Vec<Worker>,
+    /// Task stream, sorted by arrival time.
+    pub tasks: Vec<ArrivingTask>,
+}
+
+impl Scenario {
+    /// Generates a scenario with task arrivals over `[0, horizon)` hours.
+    ///
+    /// Deterministic for a fixed seed. Inter-arrival times are exponential
+    /// with rate [`ScenarioConfig::arrival_rate`]; destinations are uniform
+    /// over the delivery points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero centers/delivery points, a
+    /// non-positive arrival rate, or a non-positive horizon.
+    #[must_use]
+    pub fn generate(config: &ScenarioConfig, horizon: f64, seed: u64) -> Self {
+        assert!(config.n_centers > 0, "need at least one center");
+        assert!(config.n_delivery_points > 0, "need delivery points");
+        assert!(
+            config.arrival_rate > 0.0 && horizon > 0.0,
+            "arrival rate and horizon must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let point = |rng: &mut StdRng| {
+            Point::new(
+                rng.gen_range(0.0..config.extent),
+                rng.gen_range(0.0..config.extent),
+            )
+        };
+
+        let centers: Vec<DistributionCenter> = (0..config.n_centers)
+            .map(|i| DistributionCenter {
+                id: CenterId::from_index(i),
+                location: point(&mut rng),
+            })
+            .collect();
+        let delivery_points: Vec<DeliveryPoint> = (0..config.n_delivery_points)
+            .map(|i| DeliveryPoint {
+                id: DeliveryPointId::from_index(i),
+                location: point(&mut rng),
+                center: CenterId::from_index(i % config.n_centers),
+            })
+            .collect();
+        let workers: Vec<Worker> = (0..config.n_workers)
+            .map(|i| Worker {
+                id: WorkerId::from_index(i),
+                location: point(&mut rng),
+                max_dp: config.max_dp,
+                center: CenterId::from_index(i % config.n_centers),
+            })
+            .collect();
+
+        // Poisson arrivals: exponential inter-arrival gaps.
+        let mut tasks = Vec::new();
+        let mut t = 0.0_f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / config.arrival_rate;
+            if t >= horizon {
+                break;
+            }
+            tasks.push(ArrivingTask {
+                arrival: t,
+                delivery_point: DeliveryPointId::from_index(
+                    rng.gen_range(0..config.n_delivery_points),
+                ),
+                deadline: t + config.expiry_offset,
+                reward: config.reward,
+            });
+        }
+        Self {
+            config: *config,
+            centers,
+            delivery_points,
+            workers,
+            tasks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let s = Scenario::generate(&ScenarioConfig::default(), 4.0, 1);
+        assert!(!s.tasks.is_empty());
+        for pair in s.tasks.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        assert!(s.tasks.iter().all(|t| t.arrival < 4.0));
+        for t in &s.tasks {
+            assert!((t.deadline - t.arrival - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arrival_count_tracks_the_rate() {
+        let cfg = ScenarioConfig {
+            arrival_rate: 100.0,
+            ..ScenarioConfig::default()
+        };
+        let s = Scenario::generate(&cfg, 10.0, 7);
+        let n = s.tasks.len() as f64;
+        // Poisson(1000): within ±15% with overwhelming probability.
+        assert!((850.0..1150.0).contains(&n), "got {n} arrivals");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(
+            Scenario::generate(&cfg, 2.0, 5),
+            Scenario::generate(&cfg, 2.0, 5)
+        );
+        assert_ne!(
+            Scenario::generate(&cfg, 2.0, 5),
+            Scenario::generate(&cfg, 2.0, 6)
+        );
+    }
+
+    #[test]
+    fn world_respects_cardinalities() {
+        let cfg = ScenarioConfig {
+            n_centers: 3,
+            n_workers: 10,
+            n_delivery_points: 20,
+            ..ScenarioConfig::default()
+        };
+        let s = Scenario::generate(&cfg, 1.0, 2);
+        assert_eq!(s.centers.len(), 3);
+        assert_eq!(s.workers.len(), 10);
+        assert_eq!(s.delivery_points.len(), 20);
+        // Round-robin association balances centers.
+        let mut counts = [0usize; 3];
+        for dp in &s.delivery_points {
+            counts[dp.center.index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 6));
+    }
+}

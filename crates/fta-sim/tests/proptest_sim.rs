@@ -1,0 +1,96 @@
+//! Property-based tests of the simulation engine: conservation laws and
+//! physical plausibility must hold for every scenario and policy.
+
+use fta_algorithms::{Algorithm, IegtConfig};
+use fta_sim::{run, Scenario, ScenarioConfig, SimConfig};
+use fta_vdps::VdpsConfig;
+use proptest::prelude::*;
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1u64..1000,        // seed
+        2usize..10,        // workers
+        4usize..20,        // delivery points
+        10.0f64..120.0,    // arrival rate
+        0.5f64..3.0,       // expiry offset
+    )
+        .prop_map(|(seed, n_workers, n_dps, rate, expiry)| {
+            Scenario::generate(
+                &ScenarioConfig {
+                    n_workers,
+                    n_delivery_points: n_dps,
+                    extent: 3.0,
+                    arrival_rate: rate,
+                    expiry_offset: expiry,
+                    ..ScenarioConfig::default()
+                },
+                2.0,
+                seed,
+            )
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (0.1f64..0.6, prop::bool::ANY).prop_map(|(period, fair)| SimConfig {
+        horizon: 2.0,
+        assignment_period: period,
+        policy: fta_sim::DispatchPolicy::Batch(if fair {
+            Algorithm::Iegt(IegtConfig::default())
+        } else {
+            Algorithm::Gta
+        }),
+        vdps: VdpsConfig::pruned(1.5, 3),
+        parallel: false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tasks_are_conserved(scenario in arb_scenario(), config in arb_config()) {
+        let m = run(&scenario, &config);
+        prop_assert_eq!(m.tasks_arrived, scenario.tasks.len());
+        prop_assert_eq!(
+            m.tasks_completed + m.tasks_expired + m.tasks_pending,
+            m.tasks_arrived
+        );
+        let delivered: usize = m.ledgers.iter().map(|l| l.tasks_delivered).sum();
+        prop_assert_eq!(delivered, m.tasks_completed);
+    }
+
+    #[test]
+    fn earnings_equal_delivered_rewards(
+        scenario in arb_scenario(),
+        config in arb_config(),
+    ) {
+        let m = run(&scenario, &config);
+        let total: f64 = m.ledgers.iter().map(|l| l.earnings).sum();
+        // Unit rewards in the default scenario config.
+        prop_assert!((total - m.tasks_completed as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ledgers_are_physically_plausible(
+        scenario in arb_scenario(),
+        config in arb_config(),
+    ) {
+        let m = run(&scenario, &config);
+        for l in &m.ledgers {
+            prop_assert!(l.earnings >= 0.0);
+            prop_assert!(l.busy_hours >= 0.0);
+            // A worker can hold at most one route at a time, each started
+            // within the horizon; the final route may overhang.
+            prop_assert!(l.busy_hours <= m.horizon + scenario.config.expiry_offset + 3.0);
+            if l.routes == 0 {
+                prop_assert_eq!(l.tasks_delivered, 0);
+                prop_assert!(l.earnings.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic(scenario in arb_scenario(), config in arb_config()) {
+        prop_assert_eq!(run(&scenario, &config), run(&scenario, &config));
+    }
+}

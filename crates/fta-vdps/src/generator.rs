@@ -1,0 +1,495 @@
+//! The C-VDPS dynamic program (Algorithm 1 of the paper).
+
+use crate::config::VdpsConfig;
+use crate::grid::NeighborIndex;
+use fta_core::instance::{CenterView, DpAggregate, Instance};
+use fta_core::route::Route;
+use fta_core::DeliveryPointId;
+use std::collections::HashMap;
+
+/// One center-origin Valid Delivery Point Set: the set itself (as a bitmask
+/// over the [`CenterView`]'s local delivery-point indices) and the
+/// minimum-travel-time route that certifies its validity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vdps {
+    /// Bitmask over local delivery-point indices (`view.dps` order).
+    pub mask: u128,
+    /// The minimum-travel-time deadline-feasible visiting sequence.
+    pub route: Route,
+}
+
+impl Vdps {
+    /// Number of delivery points in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Always `false`: a VDPS contains at least one delivery point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Counters describing one generator run, used by the benchmark harness to
+/// compare pruned and unpruned generation (the paper's Figures 2–3 CPU-time
+/// panels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenerationStats {
+    /// Dynamic-program states (`(Q, dp_j)` pairs) materialised.
+    pub states: usize,
+    /// Candidate extensions examined (the inner loop of Equation 4).
+    pub extensions_tried: usize,
+    /// Extensions cut by the ε distance constraint.
+    pub pruned_by_distance: usize,
+    /// Extensions cut by a task deadline.
+    pub pruned_by_deadline: usize,
+    /// Number of C-VDPSs produced.
+    pub vdps_count: usize,
+}
+
+impl GenerationStats {
+    /// Accumulates another run's counters (used when aggregating over
+    /// distribution centers).
+    pub fn merge(&mut self, other: &GenerationStats) {
+        self.states += other.states;
+        self.extensions_tried += other.extensions_tried;
+        self.pruned_by_distance += other.pruned_by_distance;
+        self.pruned_by_deadline += other.pruned_by_deadline;
+        self.vdps_count += other.vdps_count;
+    }
+}
+
+/// A dynamic-program state: minimal arrival time at `last` over all
+/// feasible orderings of the subset, plus the predecessor (`pre` in the
+/// paper's Algorithm 1) for route reconstruction.
+#[derive(Debug, Clone, Copy)]
+struct State {
+    arrival: f64,
+    /// Local index of the previous delivery point; `u8::MAX` for the first.
+    parent: u8,
+}
+
+/// Generates all C-VDPSs of one distribution center (Algorithm 1).
+///
+/// Returns the VDPS pool together with generation statistics. The pool is
+/// ordered deterministically: by subset size, then by bitmask value.
+///
+/// # Panics
+///
+/// Panics if the center has more than 128 task-bearing delivery points
+/// (the paper's instances have at most ~100 per center).
+#[must_use]
+pub fn generate_c_vdps(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+) -> (Vec<Vdps>, GenerationStats) {
+    let n = view.dps.len();
+    assert!(
+        n <= 128,
+        "center {} has {n} delivery points; the bitmask DP supports at most 128",
+        view.center
+    );
+    let mut stats = GenerationStats::default();
+    if n == 0 || config.max_len == 0 {
+        return (Vec::new(), stats);
+    }
+
+    let dc = instance.centers[view.center.index()].location;
+    let speed = instance.speed;
+
+    // Center-local working arrays.
+    let locs: Vec<_> = view
+        .dps
+        .iter()
+        .map(|dp| instance.delivery_points[dp.index()].location)
+        .collect();
+    let expiry: Vec<f64> = view
+        .dps
+        .iter()
+        .map(|dp| aggregates[dp.index()].earliest_expiry)
+        .collect();
+    let from_dc: Vec<f64> = locs.iter().map(|&l| dc.travel_time(l, speed)).collect();
+
+    // Pairwise distances; n ≤ 128 keeps this at most 128 KiB.
+    let dist = |i: usize, j: usize| locs[i].distance(locs[j]);
+
+    // With ε pruning active, a grid index narrows each extension scan to
+    // the actual ε-neighbours instead of all n delivery points.
+    let neighbors = config.epsilon.map(|eps| NeighborIndex::build(&locs, eps));
+
+    // Layer 1 (Algorithm 1, lines 2–5): singletons reachable before expiry.
+    let mut layers: Vec<HashMap<(u128, u8), State>> = Vec::with_capacity(config.max_len);
+    let mut first = HashMap::new();
+    for j in 0..n {
+        stats.extensions_tried += 1;
+        if from_dc[j] <= expiry[j] {
+            first.insert(
+                (1u128 << j, j as u8),
+                State {
+                    arrival: from_dc[j],
+                    parent: u8::MAX,
+                },
+            );
+        } else {
+            stats.pruned_by_deadline += 1;
+        }
+    }
+    layers.push(first);
+
+    // Layers 2..=max_len (Algorithm 1, lines 6–12).
+    for len in 2..=config.max_len.min(n) {
+        let mut next: HashMap<(u128, u8), State> = HashMap::new();
+        for (&(mask, last), state) in &layers[len - 2] {
+            let last = last as usize;
+            let extend_to = |j: usize,
+                                 next: &mut HashMap<(u128, u8), State>,
+                                 stats: &mut GenerationStats| {
+                let arrival = state.arrival + dist(last, j) / speed;
+                if arrival > expiry[j] {
+                    stats.pruned_by_deadline += 1;
+                    return;
+                }
+                let key = (mask | (1u128 << j), j as u8);
+                let candidate = State {
+                    arrival,
+                    parent: last as u8,
+                };
+                next.entry(key)
+                    .and_modify(|s| {
+                        if candidate.arrival < s.arrival {
+                            *s = candidate;
+                        }
+                    })
+                    .or_insert(candidate);
+            };
+            match &neighbors {
+                // ε pruning: only actual neighbours are extension
+                // candidates; the rest count as distance-pruned.
+                Some(index) => {
+                    let free = n - mask.count_ones() as usize;
+                    let mut considered = 0usize;
+                    for &j in index.neighbors(last) {
+                        let j = usize::from(j);
+                        if mask & (1u128 << j) != 0 {
+                            continue;
+                        }
+                        considered += 1;
+                        extend_to(j, &mut next, &mut stats);
+                    }
+                    stats.extensions_tried += free;
+                    stats.pruned_by_distance += free - considered;
+                }
+                None => {
+                    for j in 0..n {
+                        if mask & (1u128 << j) != 0 {
+                            continue;
+                        }
+                        stats.extensions_tried += 1;
+                        extend_to(j, &mut next, &mut stats);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        layers.push(next);
+    }
+    stats.states = layers.iter().map(HashMap::len).sum();
+
+    // Per mask, select the ending with minimal total travel (the paper keeps
+    // only the minimum-travel-time sequence per VDPS) and reconstruct the
+    // route via the `parent` pointers (Algorithm 1, line 13).
+    let mut best_per_mask: HashMap<u128, (u8, f64)> = HashMap::new();
+    for layer in &layers {
+        for (&(mask, last), state) in layer {
+            best_per_mask
+                .entry(mask)
+                .and_modify(|(l, a)| {
+                    if state.arrival < *a {
+                        *l = last;
+                        *a = state.arrival;
+                    }
+                })
+                .or_insert((last, state.arrival));
+        }
+    }
+
+    let mut masks: Vec<u128> = best_per_mask.keys().copied().collect();
+    masks.sort_by_key(|m| (m.count_ones(), *m));
+
+    let mut pool = Vec::with_capacity(masks.len());
+    for mask in masks {
+        let (mut last, _) = best_per_mask[&mask];
+        // Walk parents backwards through the layers.
+        let mut order_rev: Vec<u8> = Vec::with_capacity(mask.count_ones() as usize);
+        let mut cur_mask = mask;
+        loop {
+            order_rev.push(last);
+            let layer = &layers[cur_mask.count_ones() as usize - 1];
+            let state = layer[&(cur_mask, last)];
+            if state.parent == u8::MAX {
+                break;
+            }
+            cur_mask &= !(1u128 << last);
+            last = state.parent;
+        }
+        order_rev.reverse();
+        let dps: Vec<DeliveryPointId> = order_rev
+            .into_iter()
+            .map(|local| view.dps[local as usize])
+            .collect();
+        let route = Route::build(instance, aggregates, view.center, dps)
+            .expect("DP states only reference valid delivery points");
+        debug_assert!(
+            route.is_center_origin_valid(),
+            "the DP must only emit deadline-feasible sequences"
+        );
+        pool.push(Vdps { mask, route });
+    }
+    stats.vdps_count = pool.len();
+    (pool, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+    use fta_core::geometry::Point;
+    use fta_core::ids::{CenterId, TaskId, WorkerId};
+
+    /// dc at origin; dps on a line at x = 1, 2, 3; one task each, generous
+    /// deadlines; speed 1.
+    fn line_instance(expiries: &[f64]) -> Instance {
+        let dps: Vec<DeliveryPoint> = (0..expiries.len())
+            .map(|i| DeliveryPoint {
+                id: DeliveryPointId::from_index(i),
+                location: Point::new((i + 1) as f64, 0.0),
+                center: CenterId(0),
+            })
+            .collect();
+        let tasks: Vec<SpatialTask> = expiries
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| SpatialTask {
+                id: TaskId::from_index(i),
+                delivery_point: DeliveryPointId::from_index(i),
+                expiry: e,
+                reward: 1.0,
+            })
+            .collect();
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(0.0, 0.0),
+            }],
+            vec![Worker {
+                id: WorkerId(0),
+                location: Point::new(0.0, 0.0),
+                max_dp: 3,
+                center: CenterId(0),
+            }],
+            dps,
+            tasks,
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn run(inst: &Instance, cfg: &VdpsConfig) -> (Vec<Vdps>, GenerationStats) {
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        generate_c_vdps(inst, &aggs, &views[0], cfg)
+    }
+
+    #[test]
+    fn generates_all_feasible_subsets_without_deadlines() {
+        let inst = line_instance(&[100.0, 100.0, 100.0]);
+        let (pool, stats) = run(&inst, &VdpsConfig::unpruned(3));
+        // All 7 non-empty subsets of 3 dps are feasible.
+        assert_eq!(pool.len(), 7);
+        assert_eq!(stats.vdps_count, 7);
+        // Masks are unique.
+        let mut masks: Vec<u128> = pool.iter().map(|v| v.mask).collect();
+        masks.dedup();
+        assert_eq!(masks.len(), 7);
+    }
+
+    #[test]
+    fn routes_have_minimal_travel_time() {
+        let inst = line_instance(&[100.0, 100.0, 100.0]);
+        let (pool, _) = run(&inst, &VdpsConfig::unpruned(3));
+        let full = pool.iter().find(|v| v.mask == 0b111).unwrap();
+        // Optimal route on a line: 1 → 2 → 3, total 3.0.
+        assert_eq!(
+            full.route.dps(),
+            &[
+                DeliveryPointId(0),
+                DeliveryPointId(1),
+                DeliveryPointId(2)
+            ]
+        );
+        assert!((full.route.travel_from_dc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_deadline_forces_detour_ordering() {
+        // dp2 (at x=3) expires at 3.0: reachable only as dp0→dp1→dp2 or
+        // directly; dp0 (x=1) expires at 1.0: must be first.
+        let inst = line_instance(&[1.0, 100.0, 3.0]);
+        let (pool, _) = run(&inst, &VdpsConfig::unpruned(3));
+        let full = pool.iter().find(|v| v.mask == 0b111).unwrap();
+        assert_eq!(
+            full.route.dps(),
+            &[
+                DeliveryPointId(0),
+                DeliveryPointId(1),
+                DeliveryPointId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn infeasible_subsets_are_absent() {
+        // dp1 (x=2) expires at 1.5 → singleton {dp1} infeasible (travel 2),
+        // and any superset containing dp1 likewise.
+        let inst = line_instance(&[100.0, 1.5, 100.0]);
+        let (pool, _) = run(&inst, &VdpsConfig::unpruned(3));
+        assert!(pool.iter().all(|v| v.mask & 0b010 == 0));
+        // {dp0}, {dp2}, {dp0,dp2} remain.
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn epsilon_pruning_cuts_long_hops() {
+        let inst = line_instance(&[100.0, 100.0, 100.0]);
+        // Hops between consecutive line points are 1.0; dp0→dp2 is 2.0.
+        let (pool, stats) = run(&inst, &VdpsConfig::pruned(1.0, 3));
+        // {dp0,dp2} requires a hop of 2.0 (dc→dp2 direct then dp2→dp0, or
+        // dp0→dp2) → pruned. {dp0,dp1},{dp1,dp2},{dp0,dp1,dp2} survive.
+        let masks: Vec<u128> = pool.iter().map(|v| v.mask).collect();
+        assert!(masks.contains(&0b011));
+        assert!(masks.contains(&0b110));
+        assert!(masks.contains(&0b111));
+        assert!(!masks.contains(&0b101));
+        assert!(stats.pruned_by_distance > 0);
+    }
+
+    #[test]
+    fn pruning_never_invents_vdps() {
+        let inst = line_instance(&[2.0, 3.5, 100.0]);
+        let (unpruned, _) = run(&inst, &VdpsConfig::unpruned(3));
+        let (pruned, _) = run(&inst, &VdpsConfig::pruned(1.0, 3));
+        let unpruned_masks: std::collections::HashSet<u128> =
+            unpruned.iter().map(|v| v.mask).collect();
+        for v in &pruned {
+            assert!(unpruned_masks.contains(&v.mask));
+        }
+    }
+
+    #[test]
+    fn max_len_caps_subset_size() {
+        let inst = line_instance(&[100.0, 100.0, 100.0]);
+        let (pool, _) = run(&inst, &VdpsConfig::unpruned(2));
+        assert!(pool.iter().all(|v| v.len() <= 2));
+        assert_eq!(pool.len(), 6); // 3 singletons + 3 pairs
+    }
+
+    #[test]
+    fn empty_center_produces_nothing() {
+        let mut inst = line_instance(&[100.0]);
+        inst.tasks.clear();
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        let (pool, stats) = generate_c_vdps(&inst, &aggs, &views[0], &VdpsConfig::default());
+        assert!(pool.is_empty());
+        assert_eq!(stats.vdps_count, 0);
+    }
+
+    #[test]
+    fn stats_count_deadline_pruning() {
+        let inst = line_instance(&[0.5, 0.5, 0.5]);
+        let (pool, stats) = run(&inst, &VdpsConfig::unpruned(3));
+        assert!(pool.is_empty());
+        assert_eq!(stats.pruned_by_deadline, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn rejects_centers_beyond_bitmask_capacity() {
+        use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+        use fta_core::ids::{CenterId, TaskId, WorkerId};
+        let n = 129;
+        let dps: Vec<DeliveryPoint> = (0..n)
+            .map(|i| DeliveryPoint {
+                id: DeliveryPointId::from_index(i),
+                location: Point::new(i as f64 * 0.01, 0.0),
+                center: CenterId(0),
+            })
+            .collect();
+        let tasks: Vec<SpatialTask> = (0..n)
+            .map(|i| SpatialTask {
+                id: TaskId::from_index(i),
+                delivery_point: DeliveryPointId::from_index(i),
+                expiry: 100.0,
+                reward: 1.0,
+            })
+            .collect();
+        let inst = Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(0.0, 0.0),
+            }],
+            vec![Worker {
+                id: WorkerId(0),
+                location: Point::new(0.0, 0.0),
+                max_dp: 1,
+                center: CenterId(0),
+            }],
+            dps,
+            tasks,
+            1.0,
+        )
+        .unwrap();
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        let _ = generate_c_vdps(&inst, &aggs, &views[0], &VdpsConfig::unpruned(1));
+    }
+
+    #[test]
+    fn grid_index_and_linear_scan_agree_at_boundary_epsilon() {
+        // ε exactly equal to an inter-point distance: the grid index and
+        // the hop filter must treat the boundary identically (inclusive).
+        let inst = line_instance(&[100.0, 100.0, 100.0]);
+        let (pool_a, _) = run(&inst, &VdpsConfig::pruned(1.0, 3));
+        // 1.0 is the exact hop length on the line.
+        assert!(pool_a.iter().any(|v| v.len() == 3), "chains of 3 must form");
+    }
+
+    #[test]
+    fn max_len_zero_generates_nothing() {
+        let inst = line_instance(&[10.0]);
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        let (pool, stats) = generate_c_vdps(&inst, &aggs, &views[0], &VdpsConfig::unpruned(0));
+        assert!(pool.is_empty());
+        assert_eq!(stats.states, 0);
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let inst = line_instance(&[10.0, 10.0, 10.0]);
+        let (a, _) = run(&inst, &VdpsConfig::unpruned(3));
+        let (b, _) = run(&inst, &VdpsConfig::unpruned(3));
+        assert_eq!(a, b);
+        // Ordered by size then mask.
+        let sizes: Vec<usize> = a.iter().map(Vdps::len).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+    }
+}

@@ -1,0 +1,166 @@
+//! Uniform-grid spatial index for ε-neighbour queries.
+//!
+//! The dynamic program's inner loop asks, for a delivery point `dp_i`,
+//! which other delivery points lie within travel distance ε (the paper's
+//! distance-constrained pruning). A uniform grid with cell side ε answers
+//! this by scanning the 3×3 cell neighbourhood, so neighbour lists for all
+//! `n` points are built in `O(n · k)` (k = average neighbours) instead of
+//! `O(n²)` pairwise checks — and the DP's extension loop then touches only
+//! actual neighbours.
+
+use fta_core::geometry::Point;
+use std::collections::HashMap;
+
+/// Precomputed ε-neighbour lists over a set of points.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
+    /// `lists[i]` = indices of points within distance ε of point `i`
+    /// (excluding `i` itself), ascending.
+    lists: Vec<Vec<u8>>,
+}
+
+impl NeighborIndex {
+    /// Builds neighbour lists for `points` with radius `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 256 points (the VDPS generator's
+    /// delivery-point indices are `u8`-sized) or `epsilon` is not positive
+    /// and finite.
+    #[must_use]
+    pub fn build(points: &[Point], epsilon: f64) -> Self {
+        assert!(points.len() <= 256, "NeighborIndex supports at most 256 points");
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        let cell = |p: Point| -> (i64, i64) {
+            (
+                (p.x / epsilon).floor() as i64,
+                (p.y / epsilon).floor() as i64,
+            )
+        };
+        let mut grid: HashMap<(i64, i64), Vec<u8>> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            grid.entry(cell(p)).or_default().push(i as u8);
+        }
+        let mut lists = vec![Vec::new(); points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let (cx, cy) = cell(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &j in bucket {
+                        if usize::from(j) != i && p.distance(points[usize::from(j)]) <= epsilon {
+                            lists[i].push(j);
+                        }
+                    }
+                }
+            }
+            lists[i].sort_unstable();
+        }
+        Self { lists }
+    }
+
+    /// The ε-neighbours of point `i`, ascending.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &[u8] {
+        &self.lists[i]
+    }
+
+    /// Total number of directed neighbour pairs.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_neighbors(points: &[Point], epsilon: f64) -> Vec<Vec<u8>> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                points
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &q)| j != i && p.distance(q) <= epsilon)
+                    .map(|(j, _)| j as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.61803;
+                Point::new((a * 7.3) % 10.0, (a * 3.1) % 10.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_matches_naive_pairwise_scan() {
+        let points = scatter(60);
+        for eps in [0.5, 1.0, 2.5, 9.0] {
+            let idx = NeighborIndex::build(&points, eps);
+            let naive = naive_neighbors(&points, eps);
+            for (i, expected) in naive.iter().enumerate() {
+                assert_eq!(idx.neighbors(i), expected.as_slice(), "eps {eps}, point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_is_symmetric() {
+        let points = scatter(40);
+        let idx = NeighborIndex::build(&points, 1.5);
+        for i in 0..points.len() {
+            for &j in idx.neighbors(i) {
+                assert!(
+                    idx.neighbors(usize::from(j)).contains(&(i as u8)),
+                    "{i} sees {j} but not vice versa"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let idx = NeighborIndex::build(&points, 1.0);
+        assert_eq!(idx.neighbors(0), &[1]);
+        let idx = NeighborIndex::build(&points, 0.999);
+        assert!(idx.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn single_point_has_no_neighbors() {
+        let idx = NeighborIndex::build(&[Point::new(3.0, 3.0)], 2.0);
+        assert!(idx.neighbors(0).is_empty());
+        assert_eq!(idx.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_count_counts_directed_pairs() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(10.0, 10.0),
+        ];
+        let idx = NeighborIndex::build(&points, 1.0);
+        assert_eq!(idx.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_epsilon() {
+        let _ = NeighborIndex::build(&[Point::new(0.0, 0.0)], 0.0);
+    }
+}

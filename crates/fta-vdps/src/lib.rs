@@ -1,0 +1,52 @@
+//! # fta-vdps — Valid Delivery Point Set generation (Section IV)
+//!
+//! Implements the paper's Algorithm 1: a dynamic program over delivery-point
+//! subsets that enumerates, per distribution center, every *center-origin*
+//! Valid Delivery Point Set (C-VDPS) together with its minimum-travel-time
+//! visiting sequence, plus the distance-constrained pruning strategy (`ε`)
+//! and the per-worker validation step that turns C-VDPSs into each worker's
+//! strategy space.
+//!
+//! ## Algorithm sketch
+//!
+//! States are `(Q, dp_j)` pairs — a subset `Q` of the center's delivery
+//! points and the last visited point `dp_j` — holding the minimal arrival
+//! time at `dp_j` over all deadline-feasible orderings of `Q` ending at
+//! `dp_j` (Held–Karp with deadline feasibility). Subsets are `u128`
+//! bitmasks over center-local delivery-point indices, and generation
+//! proceeds level by level in subset size, exactly as the paper's Algorithm
+//! 1 (lines 6–12). A subset is a C-VDPS iff *some* ordering delivers every
+//! point before its earliest task expiry; the representative route is the
+//! one with minimal total travel time, which the paper singles out because
+//! it yields the highest worker payoff (Definition 7).
+//!
+//! Keeping the minimum arrival time per `(Q, dp_j)` is an exact dominance:
+//! a later extension's feasibility and cost depend only on the arrival time
+//! at the last point, so the earliest arrival dominates.
+//!
+//! ## Pruning
+//!
+//! * **Distance-constrained pruning** (the paper's ε strategy): an extension
+//!   `dp_i → dp_j` is only considered when `d(dp_i, dp_j) ≤ ε`. Pass
+//!   [`VdpsConfig::epsilon`] `= None` for the unpruned `-W` variants used in
+//!   the paper's Figures 2–3.
+//! * **Deadline pruning**: extensions that would arrive after `dp_j`'s
+//!   earliest task expiry are cut immediately, so the frontier only holds
+//!   feasible states.
+//! * **Length cap**: subsets larger than the largest `maxDP` among the
+//!   center's workers can never be assigned, so generation stops there.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod grid;
+pub mod generator;
+pub mod naive;
+pub mod schedule;
+pub mod strategy;
+
+pub use config::VdpsConfig;
+pub use generator::{generate_c_vdps, GenerationStats, Vdps};
+pub use schedule::schedule_route;
+pub use strategy::StrategySpace;

@@ -1,0 +1,200 @@
+//! Scheduling a *given* delivery point set: the paper's Definition 6/7
+//! sequencing problem as a standalone API.
+//!
+//! [`generate_c_vdps`](crate::generator::generate_c_vdps) enumerates all
+//! valid sets, but downstream users (dispatch UIs, the simulator, what-if
+//! tooling) often hold a specific set of delivery points and just need the
+//! minimum-travel-time deadline-feasible visiting order. [`schedule_route`]
+//! answers that with a Held–Karp restricted to the given set.
+
+use fta_core::instance::Instance;
+use fta_core::route::Route;
+use fta_core::{CenterId, DeliveryPointId};
+use std::collections::HashMap;
+
+/// Finds the minimum-travel-time deadline-feasible visiting order of
+/// `dps`, starting from `center`, or `None` if no ordering meets every
+/// delivery point's earliest task expiry (i.e. the set is not a C-VDPS).
+///
+/// The returned [`Route`] is the same representative the paper keeps per
+/// VDPS: the sequence with the lowest total travel time, which maximises
+/// worker payoff (Definition 7).
+///
+/// # Panics
+///
+/// Panics if `dps` is empty, contains duplicates, exceeds 20 delivery
+/// points (the exact DP is exponential in the set size; the paper's
+/// `maxDP` is at most 4), or references another center's delivery points.
+#[must_use]
+pub fn schedule_route(
+    instance: &Instance,
+    center: CenterId,
+    dps: &[DeliveryPointId],
+) -> Option<Route> {
+    let n = dps.len();
+    assert!(n > 0, "cannot schedule an empty delivery point set");
+    assert!(n <= 20, "schedule_route supports at most 20 delivery points");
+    {
+        let mut sorted = dps.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "delivery point set contains duplicates");
+    }
+    let aggregates = instance.dp_aggregates();
+    let dc = instance.centers[center.index()].location;
+    let speed = instance.speed;
+    let locs: Vec<_> = dps
+        .iter()
+        .map(|dp| {
+            let d = &instance.delivery_points[dp.index()];
+            assert_eq!(d.center, center, "{dp} belongs to another center");
+            d.location
+        })
+        .collect();
+    let expiry: Vec<f64> = dps
+        .iter()
+        .map(|dp| aggregates[dp.index()].earliest_expiry)
+        .collect();
+
+    // Held–Karp over the subset: state (visited mask, last) → minimal
+    // feasible arrival, with parent pointers for reconstruction.
+    let full: u32 = (1u32 << n) - 1;
+    let mut best: HashMap<(u32, u8), (f64, u8)> = HashMap::new();
+    for j in 0..n {
+        let t = dc.travel_time(locs[j], speed);
+        if t <= expiry[j] {
+            best.insert((1 << j, j as u8), (t, u8::MAX));
+        }
+    }
+    for mask in 1..=full {
+        for last in 0..n {
+            let Some(&(arrival, _)) = best.get(&(mask, last as u8)) else {
+                continue;
+            };
+            for next in 0..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let t = arrival + locs[last].travel_time(locs[next], speed);
+                if t > expiry[next] {
+                    continue;
+                }
+                let key = (mask | (1 << next), next as u8);
+                let candidate = (t, last as u8);
+                best.entry(key)
+                    .and_modify(|cur| {
+                        if candidate.0 < cur.0 {
+                            *cur = candidate;
+                        }
+                    })
+                    .or_insert(candidate);
+            }
+        }
+    }
+
+    // Best complete tour and path reconstruction.
+    let (&(_, mut last), _) = best
+        .iter()
+        .filter(|&(&(mask, _), _)| mask == full)
+        .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("times are not NaN"))?;
+    let mut order_rev = Vec::with_capacity(n);
+    let mut mask = full;
+    loop {
+        order_rev.push(last as usize);
+        let &(_, parent) = &best[&(mask, last)];
+        if parent == u8::MAX {
+            break;
+        }
+        mask &= !(1 << last);
+        last = parent;
+    }
+    order_rev.reverse();
+    let sequence: Vec<DeliveryPointId> = order_rev.into_iter().map(|i| dps[i]).collect();
+    let route = Route::build(instance, &aggregates, center, sequence)
+        .expect("scheduled sequences reference valid delivery points");
+    debug_assert!(route.is_center_origin_valid());
+    Some(route)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_c_vdps;
+    use crate::VdpsConfig;
+    use fta_data::{generate_syn, SynConfig};
+
+    fn instance(seed: u64) -> Instance {
+        generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 4,
+                n_tasks: 60,
+                n_delivery_points: 8,
+                extent: 2.5,
+                ..SynConfig::bench_scale()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn matches_the_generator_representative_for_every_vdps() {
+        for seed in [1, 2, 3] {
+            let inst = instance(seed);
+            let aggs = inst.dp_aggregates();
+            let views = inst.center_views();
+            let (pool, _) = generate_c_vdps(&inst, &aggs, &views[0], &VdpsConfig::unpruned(4));
+            for vdps in &pool {
+                let mut dps: Vec<DeliveryPointId> = vdps.route.dps().to_vec();
+                // Shuffle the order: scheduling must not depend on it.
+                dps.reverse();
+                let scheduled = schedule_route(&inst, views[0].center, &dps)
+                    .expect("generator-emitted sets are schedulable");
+                assert!(
+                    (scheduled.travel_from_dc() - vdps.route.travel_from_dc()).abs() < 1e-9,
+                    "seed {seed}, mask {:#b}: {} vs {}",
+                    vdps.mask,
+                    scheduled.travel_from_dc(),
+                    vdps.route.travel_from_dc()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_sets_return_none() {
+        let mut inst = instance(4);
+        for t in &mut inst.tasks {
+            t.expiry = 1e-6;
+        }
+        let views = inst.center_views();
+        let dps: Vec<DeliveryPointId> = views[0].dps[..2].to_vec();
+        assert!(schedule_route(&inst, views[0].center, &dps).is_none());
+    }
+
+    #[test]
+    fn single_point_schedules_trivially() {
+        let inst = instance(5);
+        let views = inst.center_views();
+        let dp = views[0].dps[0];
+        let route = schedule_route(&inst, views[0].center, &[dp]).unwrap();
+        assert_eq!(route.dps(), &[dp]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn rejects_duplicate_delivery_points() {
+        let inst = instance(6);
+        let views = inst.center_views();
+        let dp = views[0].dps[0];
+        let _ = schedule_route(&inst, views[0].center, &[dp, dp]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_sets() {
+        let inst = instance(7);
+        let views = inst.center_views();
+        let _ = schedule_route(&inst, views[0].center, &[]);
+    }
+}

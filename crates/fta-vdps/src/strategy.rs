@@ -1,0 +1,238 @@
+//! Per-worker strategy spaces (Section V-B).
+//!
+//! After C-VDPS generation, each worker's strategy set `ST_i` consists of
+//! the C-VDPSs that are valid *for that worker* — the worker can reach the
+//! distribution center early enough that every deadline on the route still
+//! holds, and the set is no larger than the worker's `maxDP` — plus the
+//! `null` strategy. [`StrategySpace`] materialises this once per center and
+//! precomputes each worker's payoff for each of its strategies, which the
+//! game-theoretic algorithms then consume.
+
+use crate::config::VdpsConfig;
+use crate::generator::{generate_c_vdps, GenerationStats, Vdps};
+use fta_core::instance::{CenterView, Instance};
+use fta_core::payoff::payoff_for_travel;
+use fta_core::WorkerId;
+
+/// The strategy spaces of all workers of one distribution center.
+#[derive(Debug, Clone)]
+pub struct StrategySpace {
+    /// The center view this space was built from.
+    pub view: CenterView,
+    /// The shared C-VDPS pool (deterministically ordered).
+    pub pool: Vec<Vdps>,
+    /// Travel time from each local worker to the distribution center.
+    pub worker_to_dc: Vec<f64>,
+    /// Per local worker: indices into `pool` of the strategies valid for
+    /// that worker (ascending).
+    pub valid: Vec<Vec<u32>>,
+    /// Per local worker: payoff of each valid strategy, parallel to
+    /// `valid`.
+    pub payoffs: Vec<Vec<f64>>,
+    /// Statistics from the underlying C-VDPS generation run.
+    pub gen_stats: GenerationStats,
+}
+
+impl StrategySpace {
+    /// Generates the C-VDPS pool for `view` and validates it per worker.
+    #[must_use]
+    pub fn build(instance: &Instance, view: &CenterView, config: &VdpsConfig) -> Self {
+        let aggregates = instance.dp_aggregates();
+        let (pool, gen_stats) = generate_c_vdps(instance, &aggregates, view, config);
+        Self::from_pool(instance, view, pool, gen_stats)
+    }
+
+    /// Validates a pre-generated pool per worker (used by tests and by the
+    /// experiment harness when re-using one pool for several sweeps).
+    #[must_use]
+    pub fn from_pool(
+        instance: &Instance,
+        view: &CenterView,
+        pool: Vec<Vdps>,
+        gen_stats: GenerationStats,
+    ) -> Self {
+        let dc = instance.centers[view.center.index()].location;
+        let worker_to_dc: Vec<f64> = view
+            .workers
+            .iter()
+            .map(|&w| instance.travel_time(instance.workers[w.index()].location, dc))
+            .collect();
+
+        let mut valid = Vec::with_capacity(view.workers.len());
+        let mut payoffs = Vec::with_capacity(view.workers.len());
+        for (local, &w) in view.workers.iter().enumerate() {
+            let max_dp = instance.workers[w.index()].max_dp;
+            let to_dc = worker_to_dc[local];
+            let mut v = Vec::new();
+            let mut p = Vec::new();
+            for (idx, vdps) in pool.iter().enumerate() {
+                if vdps.len() <= max_dp && vdps.route.is_valid_for_travel(to_dc) {
+                    v.push(idx as u32);
+                    p.push(payoff_for_travel(&vdps.route, to_dc));
+                }
+            }
+            valid.push(v);
+            payoffs.push(p);
+        }
+        Self {
+            view: view.clone(),
+            pool,
+            worker_to_dc,
+            valid,
+            payoffs,
+            gen_stats,
+        }
+    }
+
+    /// Number of workers in this center's population.
+    #[must_use]
+    pub fn n_workers(&self) -> usize {
+        self.view.workers.len()
+    }
+
+    /// The global id of the `local`-th worker.
+    #[must_use]
+    pub fn worker_id(&self, local: usize) -> WorkerId {
+        self.view.workers[local]
+    }
+
+    /// Number of non-null strategies available to the `local`-th worker.
+    #[must_use]
+    pub fn strategy_count(&self, local: usize) -> usize {
+        self.valid[local].len()
+    }
+
+    /// The largest strategy-set size across workers (`|maxVDPS|` in the
+    /// paper's complexity analyses).
+    #[must_use]
+    pub fn max_strategies(&self) -> usize {
+        self.valid.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The payoff the `local`-th worker obtains from pool entry
+    /// `pool_idx`, if that strategy is valid for the worker.
+    #[must_use]
+    pub fn payoff_of(&self, local: usize, pool_idx: u32) -> Option<f64> {
+        let pos = self.valid[local].binary_search(&pool_idx).ok()?;
+        Some(self.payoffs[local][pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+    use fta_core::geometry::Point;
+    use fta_core::ids::{CenterId, DeliveryPointId, TaskId};
+
+    /// dc at origin; two dps at (1,0) and (2,0), expiries 2.5 and 100;
+    /// worker 0 adjacent to dc, worker 1 far away; speed 1.
+    fn instance() -> Instance {
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(0.0, 0.0),
+            }],
+            vec![
+                Worker {
+                    id: WorkerId(0),
+                    location: Point::new(0.5, 0.0),
+                    max_dp: 2,
+                    center: CenterId(0),
+                },
+                Worker {
+                    id: WorkerId(1),
+                    location: Point::new(-5.0, 0.0),
+                    max_dp: 1,
+                    center: CenterId(0),
+                },
+            ],
+            vec![
+                DeliveryPoint {
+                    id: DeliveryPointId(0),
+                    location: Point::new(1.0, 0.0),
+                    center: CenterId(0),
+                },
+                DeliveryPoint {
+                    id: DeliveryPointId(1),
+                    location: Point::new(2.0, 0.0),
+                    center: CenterId(0),
+                },
+            ],
+            vec![
+                SpatialTask {
+                    id: TaskId(0),
+                    delivery_point: DeliveryPointId(0),
+                    expiry: 2.5,
+                    reward: 1.0,
+                },
+                SpatialTask {
+                    id: TaskId(1),
+                    delivery_point: DeliveryPointId(1),
+                    expiry: 100.0,
+                    reward: 3.0,
+                },
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn space(inst: &Instance) -> StrategySpace {
+        let views = inst.center_views();
+        StrategySpace::build(inst, &views[0], &VdpsConfig::unpruned(3))
+    }
+
+    #[test]
+    fn close_worker_sees_all_strategies() {
+        let inst = instance();
+        let s = space(&inst);
+        // Pool: {dp0}, {dp1}, {dp0,dp1} (all feasible from dc).
+        assert_eq!(s.pool.len(), 3);
+        // Worker 0 (0.5 from dc, maxDP 2): all three valid.
+        assert_eq!(s.strategy_count(0), 3);
+    }
+
+    #[test]
+    fn far_worker_loses_deadline_bound_strategies() {
+        let inst = instance();
+        let s = space(&inst);
+        // Worker 1 is 5.0 from dc; {dp0} has slack 2.5-1.0 = 1.5 < 5 →
+        // invalid; {dp1} has slack 98 → valid; {dp0,dp1} exceeds maxDP=1.
+        assert_eq!(s.strategy_count(1), 1);
+        let idx = s.valid[1][0];
+        assert_eq!(s.pool[idx as usize].mask, 0b10);
+    }
+
+    #[test]
+    fn payoffs_match_direct_computation() {
+        let inst = instance();
+        let s = space(&inst);
+        // Worker 0 taking {dp1}: reward 3, travel 0.5 + 2.0 = 2.5 → 1.2.
+        let idx = s
+            .valid[0]
+            .iter()
+            .position(|&i| s.pool[i as usize].mask == 0b10)
+            .unwrap();
+        assert!((s.payoffs[0][idx] - 1.2).abs() < 1e-12);
+        assert_eq!(s.payoff_of(0, s.valid[0][idx]), Some(s.payoffs[0][idx]));
+    }
+
+    #[test]
+    fn payoff_of_rejects_invalid_strategy() {
+        let inst = instance();
+        let s = space(&inst);
+        // Worker 1 cannot take pool entry for {dp0} (mask 0b01).
+        let dp0_idx = s.pool.iter().position(|v| v.mask == 0b01).unwrap() as u32;
+        assert_eq!(s.payoff_of(1, dp0_idx), None);
+    }
+
+    #[test]
+    fn max_strategies_reports_largest_set() {
+        let inst = instance();
+        let s = space(&inst);
+        assert_eq!(s.max_strategies(), 3);
+        assert_eq!(s.n_workers(), 2);
+        assert_eq!(s.worker_id(1), WorkerId(1));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the C-VDPS dynamic program against the
+//! brute-force reference on randomly generated centers.
+
+use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+use fta_core::geometry::Point;
+use fta_core::ids::{CenterId, DeliveryPointId, TaskId, WorkerId};
+use fta_core::instance::Instance;
+use fta_vdps::generator::generate_c_vdps;
+use fta_vdps::naive::generate_naive;
+use fta_vdps::{StrategySpace, VdpsConfig};
+use proptest::prelude::*;
+
+/// (x, y, expiry) triples become a random single-center instance.
+fn arb_center() -> impl Strategy<Value = Instance> {
+    let dp = (0.0f64..8.0, 0.0f64..8.0, 0.5f64..16.0);
+    prop::collection::vec(dp, 1..7).prop_map(|dps| {
+        let delivery_points: Vec<DeliveryPoint> = dps
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, _))| DeliveryPoint {
+                id: DeliveryPointId::from_index(i),
+                location: Point::new(x, y),
+                center: CenterId(0),
+            })
+            .collect();
+        let tasks: Vec<SpatialTask> = dps
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _, e))| SpatialTask {
+                id: TaskId::from_index(i),
+                delivery_point: DeliveryPointId::from_index(i),
+                expiry: e,
+                reward: 1.0,
+            })
+            .collect();
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(4.0, 4.0),
+            }],
+            vec![Worker {
+                id: WorkerId(0),
+                location: Point::new(3.0, 4.0),
+                max_dp: dps.len(),
+                center: CenterId(0),
+            }],
+            delivery_points,
+            tasks,
+            1.0,
+        )
+        .expect("generated instances are valid")
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = VdpsConfig> {
+    (prop::option::of(0.5f64..12.0), 1usize..6).prop_map(|(epsilon, max_len)| VdpsConfig {
+        epsilon,
+        max_len,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_equals_brute_force(instance in arb_center(), config in arb_config()) {
+        let aggs = instance.dp_aggregates();
+        let views = instance.center_views();
+        let naive = generate_naive(&instance, &aggs, &views[0], &config);
+        let (fast, _) = generate_c_vdps(&instance, &aggs, &views[0], &config);
+        prop_assert_eq!(naive.len(), fast.len(), "different VDPS counts");
+        for (a, b) in naive.iter().zip(fast.iter()) {
+            prop_assert_eq!(a.mask, b.mask);
+            prop_assert!(
+                (a.route.travel_from_dc() - b.route.travel_from_dc()).abs() < 1e-9,
+                "travel time differs on mask {:#b}", a.mask
+            );
+        }
+    }
+
+    #[test]
+    fn every_emitted_route_is_deadline_feasible(
+        instance in arb_center(),
+        config in arb_config(),
+    ) {
+        let aggs = instance.dp_aggregates();
+        let views = instance.center_views();
+        let (pool, _) = generate_c_vdps(&instance, &aggs, &views[0], &config);
+        for vdps in &pool {
+            prop_assert!(vdps.route.is_center_origin_valid());
+            prop_assert!(vdps.len() <= config.max_len);
+            // The mask and the route agree on membership.
+            let mut mask = 0u128;
+            for dp in vdps.route.dps() {
+                let local = views[0].dps.iter().position(|d| d == dp).unwrap();
+                mask |= 1 << local;
+            }
+            prop_assert_eq!(mask, vdps.mask);
+        }
+    }
+
+    #[test]
+    fn pruned_pool_is_subset_of_unpruned(
+        instance in arb_center(),
+        epsilon in 0.5f64..12.0,
+        max_len in 1usize..6,
+    ) {
+        let aggs = instance.dp_aggregates();
+        let views = instance.center_views();
+        let (pruned, pruned_stats) =
+            generate_c_vdps(&instance, &aggs, &views[0], &VdpsConfig::pruned(epsilon, max_len));
+        let (unpruned, unpruned_stats) =
+            generate_c_vdps(&instance, &aggs, &views[0], &VdpsConfig::unpruned(max_len));
+        let unpruned_masks: std::collections::HashSet<u128> =
+            unpruned.iter().map(|v| v.mask).collect();
+        for v in &pruned {
+            prop_assert!(unpruned_masks.contains(&v.mask));
+        }
+        prop_assert!(pruned_stats.states <= unpruned_stats.states);
+    }
+
+    #[test]
+    fn strategy_space_payoffs_match_route_payoffs(
+        instance in arb_center(),
+        config in arb_config(),
+    ) {
+        use fta_core::payoff::worker_payoff;
+        let views = instance.center_views();
+        let space = StrategySpace::build(&instance, &views[0], &config);
+        for (local, valid) in space.valid.iter().enumerate() {
+            let worker = space.worker_id(local);
+            for (pos, &idx) in valid.iter().enumerate() {
+                let route = &space.pool[idx as usize].route;
+                prop_assert!(route.is_valid_for(&instance, worker));
+                let direct = worker_payoff(&instance, worker, route);
+                prop_assert!((space.payoffs[local][pos] - direct).abs() < 1e-9);
+            }
+        }
+    }
+}

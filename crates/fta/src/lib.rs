@@ -1,0 +1,99 @@
+//! # fta — Fairness-aware Task Assignment in Spatial Crowdsourcing
+//!
+//! A complete, from-scratch Rust implementation of the system described in
+//! *Zhao, Yang, Zheng, Pedersen, Guo, Jensen: "Fairness-aware Task
+//! Assignment in Spatial Crowdsourcing: Game-Theoretic Approaches"* (ICDE
+//! 2021): the Valid Delivery Point Set generator (dynamic programming plus
+//! distance-constrained pruning), the Fairness-aware Game-Theoretic (FGT)
+//! and Improved Evolutionary Game-Theoretic (IEGT) assignment algorithms,
+//! the MPTA/GTA baselines, the paper's two workloads, and an experiment
+//! harness regenerating every table and figure of the evaluation.
+//!
+//! This facade crate re-exports the whole public API:
+//!
+//! * [`core`] (`fta-core`) — entities, routes, payoffs, IAU, fairness
+//!   metrics;
+//! * [`vdps`] (`fta-vdps`) — Algorithm 1 and the per-worker strategy
+//!   spaces;
+//! * [`algorithms`] (`fta-algorithms`) — GTA, MPTA, FGT, IEGT, exact and
+//!   random baselines, and the whole-instance solver;
+//! * [`data`] (`fta-data`) — synthetic and gMission-like workload
+//!   generators, plus k-means;
+//! * [`experiments`] (`fta-experiments`) — the paper's evaluation as a
+//!   library;
+//! * [`sim`] (`fta-sim`) — a discrete-event platform simulator streaming
+//!   tasks through periodic assignment rounds (longitudinal fairness).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fta::prelude::*;
+//!
+//! // The paper's Figure 1 instance: one distribution center, two workers,
+//! // five delivery points.
+//! let instance = fta::core::fig1::instance();
+//!
+//! // Solve with the Improved Evolutionary Game-Theoretic approach.
+//! let outcome = solve(
+//!     &instance,
+//!     &SolveConfig {
+//!         vdps: VdpsConfig::unpruned(3),
+//!         algorithm: Algorithm::Iegt(IegtConfig::default()),
+//!         parallel: false,
+//!     },
+//! );
+//! assert!(outcome.assignment.validate(&instance).is_ok());
+//!
+//! // Every worker/route pair respects deadlines and disjointness, and the
+//! // fairness report gives the paper's metrics.
+//! let workers: Vec<_> = instance.workers.iter().map(|w| w.id).collect();
+//! let report = outcome.assignment.fairness(&instance, &workers);
+//! assert!(report.payoff_difference >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use fta_algorithms as algorithms;
+pub use fta_core as core;
+pub use fta_data as data;
+pub use fta_experiments as experiments;
+pub use fta_sim as sim;
+pub use fta_vdps as vdps;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use fta_algorithms::{
+        solve, Algorithm, FgtConfig, GameContext, IegtConfig, MptaConfig, RedrawPolicy,
+        SolveConfig, SolveOutcome,
+    };
+    pub use fta_core::{
+        Assignment, CenterId, DeliveryPoint, DeliveryPointId, DistributionCenter, FairnessReport,
+        FtaError, IauParams, Instance, Point, Route, SpatialTask, TaskId, Worker, WorkerId,
+    };
+    pub use fta_data::{generate_gmission, generate_syn, GMissionConfig, SynConfig};
+    pub use fta_experiments::{Dataset, RunnerOptions};
+    pub use fta_vdps::{StrategySpace, VdpsConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_covers_an_end_to_end_run() {
+        let instance = generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 5,
+                n_tasks: 40,
+                n_delivery_points: 8,
+                extent: 2.0,
+                ..SynConfig::bench_scale()
+            },
+            1,
+        );
+        let outcome = solve(&instance, &SolveConfig::new(Algorithm::Gta));
+        assert!(outcome.assignment.validate(&instance).is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! Watching the games converge (the paper's Figure 12, live).
+//!
+//! Runs FGT and IEGT on a single-center synthetic population and prints the
+//! per-round payoff difference, average payoff, and number of strategy
+//! changes until the pure Nash equilibrium (FGT) / improved evolutionary
+//! equilibrium (IEGT) is reached.
+//!
+//! Run with: `cargo run --release -p fta --example convergence_trace`
+
+use fta::prelude::*;
+
+fn main() {
+    let instance = generate_syn(
+        &SynConfig {
+            n_centers: 1,
+            n_workers: 40,
+            n_tasks: 2_000,
+            n_delivery_points: 100,
+            ..SynConfig::bench_scale()
+        },
+        99,
+    );
+    println!(
+        "Population: {} workers over {} delivery points\n",
+        instance.workers.len(),
+        instance.delivery_points.len()
+    );
+
+    for (label, algorithm) in [
+        ("FGT — best response to Nash equilibrium", {
+            Algorithm::Fgt(FgtConfig::default())
+        }),
+        ("IEGT — replicator dynamics to evolutionary equilibrium", {
+            Algorithm::Iegt(IegtConfig::default())
+        }),
+    ] {
+        let outcome = solve(
+            &instance,
+            &SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm,
+                parallel: false,
+            },
+        );
+        println!("{label}");
+        println!(
+            "{:>6} {:>8} {:>12} {:>12}",
+            "round", "moves", "P_dif", "avg payoff"
+        );
+        for round in &outcome.trace.rounds {
+            println!(
+                "{:>6} {:>8} {:>12.4} {:>12.4}",
+                round.round, round.moves, round.payoff_difference, round.average_payoff
+            );
+        }
+        println!(
+            "converged: {} ({} rounds)\n",
+            outcome.trace.converged,
+            outcome.trace.len().saturating_sub(1)
+        );
+    }
+
+    println!(
+        "Reading: both traces end with zero strategy changes — the equilibrium \
+         existence (Lemma 2) and the evolutionary stability (Definition 10) \
+         the paper proves, observed empirically."
+    );
+}

@@ -1,0 +1,111 @@
+//! Priority-aware fairness: senior couriers earn their entitlement.
+//!
+//! The paper's conclusion proposes priority-aware fairness as a follow-up
+//! descriptive model. This example builds a two-tier workforce — senior
+//! couriers entitled to twice the payoff of juniors — and compares plain
+//! FGT (which equalises raw payoffs, ignoring entitlement) with PFGT
+//! (which judges inequity on entitlement-normalised payoffs).
+//!
+//! Run with: `cargo run --release -p fta --example priority_tiers`
+
+use fta::algorithms::PrioritySpec;
+use fta::core::priority::priority_payoff_difference;
+use fta::prelude::*;
+
+/// Even-indexed workers are senior (entitlement 2), odd-indexed junior (1).
+fn tier(worker: WorkerId) -> f64 {
+    if worker.0 % 2 == 0 {
+        2.0
+    } else {
+        1.0
+    }
+}
+
+fn main() {
+    let instance = generate_gmission(
+        &GMissionConfig {
+            n_workers: 10,
+            n_tasks: 150,
+            n_delivery_points: 50,
+            ..GMissionConfig::default()
+        },
+        13,
+    );
+    let workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();
+    let priorities: Vec<f64> = workers.iter().map(|&w| tier(w)).collect();
+    println!(
+        "{} couriers ({} senior at 2x entitlement), {} tasks\n",
+        workers.len(),
+        workers.iter().filter(|w| tier(**w) > 1.5).count(),
+        instance.tasks.len()
+    );
+
+    // Strong inequity aversion (the paper's 0.5/0.5 divided by |W|−1 is a
+    // gentle nudge; 3.0/3.0 makes each game pursue its fairness notion
+    // decisively, so the two notions become visible).
+    let strong = IauParams {
+        alpha: 3.0,
+        beta: 3.0,
+    };
+    for (label, algorithm) in [
+        (
+            "FGT  (entitlement-blind)",
+            Algorithm::Fgt(FgtConfig {
+                iau: strong,
+                ..FgtConfig::default()
+            }),
+        ),
+        (
+            "PFGT (priority-aware)",
+            Algorithm::Pfgt(fta::algorithms::PfgtConfig {
+                priorities: PrioritySpec::ByWorker(tier),
+                base: FgtConfig {
+                    iau: strong,
+                    ..FgtConfig::default()
+                },
+            }),
+        ),
+    ] {
+        let outcome = solve(
+            &instance,
+            &SolveConfig {
+                vdps: VdpsConfig::pruned(0.6, 3),
+                algorithm,
+                parallel: false,
+            },
+        );
+        let payoffs = outcome.assignment.payoffs(&instance, &workers);
+        let (mut senior, mut junior) = (0.0, 0.0);
+        for (i, &p) in payoffs.iter().enumerate() {
+            if priorities[i] > 1.5 {
+                senior += p;
+            } else {
+                junior += p;
+            }
+        }
+        let n_senior = priorities.iter().filter(|&&p| p > 1.5).count() as f64;
+        let n_junior = priorities.len() as f64 - n_senior;
+        println!("{label}:");
+        println!(
+            "  mean payoff: senior {:.3}, junior {:.3} (ratio {:.2})",
+            senior / n_senior,
+            junior / n_junior,
+            (senior / n_senior) / (junior / n_junior).max(1e-9),
+        );
+        println!(
+            "  plain P_dif {:.3} | priority-aware P_dif {:.3}\n",
+            outcome
+                .assignment
+                .fairness(&instance, &workers)
+                .payoff_difference,
+            priority_payoff_difference(&payoffs, &priorities),
+        );
+    }
+
+    println!(
+        "Reading: PFGT pushes the senior/junior payoff ratio toward the 2.0 \
+         entitlement ratio, lowering the priority-aware payoff difference; \
+         plain FGT equalises everyone and looks unfair through the \
+         entitlement lens."
+    );
+}

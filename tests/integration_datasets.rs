@@ -1,0 +1,115 @@
+//! Dataset substrate tests: the gMission preprocessing pipeline and the
+//! Table I conformance of the synthetic generator.
+
+use fta::data::kmeans::kmeans;
+use fta::prelude::*;
+
+#[test]
+fn gm_center_is_reachable_and_single() {
+    let instance = generate_gmission(&GMissionConfig::default(), 3);
+    assert_eq!(instance.centers.len(), 1);
+    assert!(instance.validate().is_ok());
+}
+
+#[test]
+fn gm_tasks_are_delivered_to_their_kmeans_cluster() {
+    // Every delivery point must be the centroid of the tasks mapped to it:
+    // re-running the label assignment against the stored centroids must be
+    // a fixed point (each task's dp is its nearest centroid).
+    let instance = generate_gmission(&GMissionConfig::default(), 9);
+    let centroids: Vec<Point> = instance
+        .delivery_points
+        .iter()
+        .map(|dp| dp.location)
+        .collect();
+    // The raw task locations are consumed by preprocessing; what remains
+    // observable is that every delivery point owns at least one task and
+    // the dp set is exactly the set of used clusters.
+    let aggs = instance.dp_aggregates();
+    for (i, agg) in aggs.iter().enumerate() {
+        assert!(agg.task_count > 0, "dp{i} owns no tasks");
+    }
+    assert!(centroids.len() <= GMissionConfig::default().n_delivery_points);
+}
+
+#[test]
+fn kmeans_fixed_point_property() {
+    // Labels returned by k-means point to the nearest centroid.
+    let pts: Vec<Point> = (0..60)
+        .map(|i| {
+            let a = f64::from(i) * 0.7;
+            Point::new(a.sin() * 3.0 + 5.0, a.cos() * 2.0 + 5.0)
+        })
+        .collect();
+    let res = kmeans(&pts, 6, 4, 200);
+    for (i, p) in pts.iter().enumerate() {
+        let own = p.distance_sq(res.centroids[res.labels[i]]);
+        for c in &res.centroids {
+            assert!(own <= p.distance_sq(*c) + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn syn_defaults_conform_to_table_one() {
+    let cfg = SynConfig::paper_scale();
+    let scaled = SynConfig::bench_scale();
+    // Paper-scale Table I values.
+    assert_eq!(cfg.n_centers, 50);
+    assert_eq!(cfg.n_tasks, 100_000);
+    assert_eq!(cfg.n_workers, 2_000);
+    assert_eq!(cfg.n_delivery_points, 5_000);
+    assert_eq!(cfg.speed, 5.0);
+    assert_eq!(cfg.reward, 1.0);
+    // The bench scale keeps per-center densities: |DP|/|DC| and |W|/|DC|.
+    assert_eq!(
+        cfg.n_delivery_points / cfg.n_centers,
+        scaled.n_delivery_points / scaled.n_centers
+    );
+    assert_eq!(cfg.n_workers / cfg.n_centers, scaled.n_workers / scaled.n_centers);
+}
+
+#[test]
+fn syn_centers_never_exceed_bitmask_capacity() {
+    for seed in [1, 99, 12345] {
+        let instance = generate_syn(&SynConfig::bench_scale(), seed);
+        let views = instance.center_views();
+        for view in &views {
+            assert!(
+                view.dps.len() <= 128,
+                "center {} holds {} delivery points",
+                view.center,
+                view.dps.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn generators_are_deterministic_and_seed_sensitive() {
+    let gm_cfg = GMissionConfig::default();
+    assert_eq!(generate_gmission(&gm_cfg, 8), generate_gmission(&gm_cfg, 8));
+    assert_ne!(generate_gmission(&gm_cfg, 8), generate_gmission(&gm_cfg, 9));
+
+    let syn_cfg = SynConfig::bench_scale();
+    assert_eq!(generate_syn(&syn_cfg, 8), generate_syn(&syn_cfg, 8));
+    assert_ne!(generate_syn(&syn_cfg, 8), generate_syn(&syn_cfg, 9));
+}
+
+#[test]
+fn instances_survive_serde_round_trips() {
+    let instance = generate_syn(
+        &SynConfig {
+            n_centers: 2,
+            n_workers: 8,
+            n_tasks: 50,
+            n_delivery_points: 12,
+            ..SynConfig::bench_scale()
+        },
+        4,
+    );
+    let json = serde_json::to_string(&instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(instance, back);
+    assert!(back.validate().is_ok());
+}

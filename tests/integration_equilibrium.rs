@@ -1,0 +1,162 @@
+//! Game-theoretic guarantees, verified on whole instances:
+//! Lemma 2's exact-potential identity, the pure Nash equilibrium reached by
+//! FGT, the improved evolutionary equilibrium reached by IEGT, and the
+//! heuristics' relationship to the exact optimum on tiny instances.
+
+use fta::algorithms::{exact_search, fgt::iau_potential, ExactObjective, GameContext};
+use fta::core::iau::{iau, IauEvaluator};
+use fta::prelude::*;
+
+fn single_center(seed: u64, n_workers: usize, n_dps: usize) -> Instance {
+    generate_syn(
+        &SynConfig {
+            n_centers: 1,
+            n_workers,
+            n_tasks: n_dps * 8,
+            n_delivery_points: n_dps,
+            extent: 3.0,
+            ..SynConfig::bench_scale()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn exact_potential_identity_holds_for_unilateral_deviations() {
+    // Lemma 2: for any joint strategy and any unilateral deviation by one
+    // worker, ΔΦ (sum of IAUs) equals the deviator's ΔIAU *computed against
+    // the rivals' unchanged payoffs*. Verify the identity the best-response
+    // step relies on: IAU evaluated via the evaluator equals Equation 5.
+    let instance = single_center(31, 8, 14);
+    let views = instance.center_views();
+    let space = StrategySpace::build(&instance, &views[0], &VdpsConfig::unpruned(3));
+    let mut ctx = GameContext::new(&space);
+    fta::algorithms::random_assignment(&mut ctx, 5);
+
+    let params = IauParams::default();
+    let payoffs: Vec<f64> = ctx.payoffs().to_vec();
+    for local in 0..ctx.n_workers() {
+        let others: Vec<f64> = payoffs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != local)
+            .map(|(_, &p)| p)
+            .collect();
+        let eval = IauEvaluator::new(&others, params);
+        for (_, candidate_payoff) in ctx.available_strategies(local) {
+            let direct = iau(candidate_payoff, &others, params);
+            let fast = eval.eval(candidate_payoff);
+            assert!((direct - fast).abs() < 1e-9);
+        }
+    }
+
+    // And the closed-form potential matches the sum of IAUs.
+    let direct_potential: f64 = (0..payoffs.len())
+        .map(|i| {
+            let others: Vec<f64> = payoffs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p)
+                .collect();
+            iau(payoffs[i], &others, params)
+        })
+        .sum();
+    assert!((direct_potential - iau_potential(&payoffs, params)).abs() < 1e-9);
+}
+
+#[test]
+fn fgt_reaches_a_pure_nash_equilibrium_on_a_full_instance() {
+    let instance = single_center(37, 20, 30);
+    let views = instance.center_views();
+    let space = StrategySpace::build(&instance, &views[0], &VdpsConfig::pruned(2.0, 3));
+    let mut ctx = GameContext::new(&space);
+    let cfg = FgtConfig::default();
+    let trace = fta::algorithms::fgt(&mut ctx, &cfg);
+    assert!(trace.converged);
+
+    let n = ctx.n_workers();
+    for local in 0..n {
+        let others: Vec<f64> = (0..n)
+            .filter(|&j| j != local)
+            .map(|j| ctx.payoff(j))
+            .collect();
+        let eval = IauEvaluator::new(&others, cfg.iau);
+        let current = eval.eval(ctx.payoff(local));
+        assert!(eval.eval(0.0) <= current + 1e-6);
+        for (_, p) in ctx.available_strategies(local) {
+            assert!(
+                eval.eval(p) <= current + 1e-6,
+                "worker {local} has a profitable deviation at equilibrium"
+            );
+        }
+    }
+}
+
+#[test]
+fn iegt_equilibrium_satisfies_the_rest_point_conditions() {
+    let instance = single_center(41, 20, 30);
+    let views = instance.center_views();
+    let space = StrategySpace::build(&instance, &views[0], &VdpsConfig::pruned(2.0, 3));
+    let mut ctx = GameContext::new(&space);
+    let trace = fta::algorithms::iegt(&mut ctx, &IegtConfig::default());
+    assert!(trace.converged);
+
+    let average = ctx.payoffs().iter().sum::<f64>() / ctx.n_workers() as f64;
+    for local in 0..ctx.n_workers() {
+        let current = ctx.payoff(local);
+        if current < average - 1e-9 {
+            // Below-average workers must have no strictly better option —
+            // otherwise the replicator dynamics would not be at rest.
+            assert!(
+                !ctx.available_strategies(local)
+                    .any(|(_, p)| p > current + f64::EPSILON),
+                "worker {local} below average could still evolve"
+            );
+        }
+    }
+}
+
+#[test]
+fn heuristics_bracket_the_exact_optimum_on_tiny_instances() {
+    for seed in [51, 52, 53] {
+        let instance = single_center(seed, 3, 6);
+        let views = instance.center_views();
+        let space = StrategySpace::build(&instance, &views[0], &VdpsConfig::unpruned(2));
+        let workers = space.view.workers.clone();
+
+        let mut ctx = GameContext::new(&space);
+        let (_, opt_diff, opt_avg_at_min_diff) =
+            exact_search(&mut ctx, ExactObjective::MinPayoffDifference);
+        let mut ctx = GameContext::new(&space);
+        let (_, _, opt_avg) = exact_search(&mut ctx, ExactObjective::MaxTotalPayoff);
+
+        for algorithm in [
+            Algorithm::Gta,
+            Algorithm::Mpta(MptaConfig::default()),
+            Algorithm::Fgt(FgtConfig::default()),
+            Algorithm::Iegt(IegtConfig::default()),
+        ] {
+            let outcome = solve(
+                &instance,
+                &SolveConfig {
+                    vdps: VdpsConfig::unpruned(2),
+                    algorithm,
+                    parallel: false,
+                },
+            );
+            let report = outcome.assignment.fairness(&instance, &workers);
+            assert!(
+                report.payoff_difference >= opt_diff - 1e-9,
+                "seed {seed}: heuristic beat the exact minimum payoff difference"
+            );
+            assert!(
+                report.average_payoff <= opt_avg + 1e-9,
+                "seed {seed}: heuristic beat the exact maximum average payoff"
+            );
+        }
+        // The exact fair optimum also maximises average payoff among
+        // minimal-difference assignments; it cannot beat the global max.
+        assert!(opt_avg_at_min_diff <= opt_avg + 1e-9);
+    }
+}

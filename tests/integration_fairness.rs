@@ -1,0 +1,142 @@
+//! The paper's headline effectiveness claims, asserted across seeds.
+//!
+//! Individual seeds can be noisy, so the claims are checked on metrics
+//! averaged over several instances — the same way the paper's figures
+//! aggregate runs.
+
+use fta::prelude::*;
+
+struct Averages {
+    diff: f64,
+    avg_payoff: f64,
+}
+
+fn averaged(algorithm_of: impl Fn() -> Algorithm, seeds: &[u64]) -> Averages {
+    let mut diff = 0.0;
+    let mut avg_payoff = 0.0;
+    for &seed in seeds {
+        let instance = generate_syn(
+            &SynConfig {
+                n_centers: 2,
+                n_workers: 30,
+                n_tasks: 800,
+                n_delivery_points: 60,
+                extent: 6.0,
+                ..SynConfig::bench_scale()
+            },
+            seed,
+        );
+        let workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();
+        let outcome = solve(
+            &instance,
+            &SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm: algorithm_of(),
+                parallel: false,
+            },
+        );
+        let report = outcome.assignment.fairness(&instance, &workers);
+        diff += report.payoff_difference;
+        avg_payoff += report.average_payoff;
+    }
+    let n = seeds.len() as f64;
+    Averages {
+        diff: diff / n,
+        avg_payoff: avg_payoff / n,
+    }
+}
+
+const SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
+
+#[test]
+fn iegt_is_the_fairest_algorithm() {
+    let iegt = averaged(|| Algorithm::Iegt(IegtConfig::default()), &SEEDS);
+    let fgt = averaged(|| Algorithm::Fgt(FgtConfig::default()), &SEEDS);
+    let gta = averaged(|| Algorithm::Gta, &SEEDS);
+    let mpta = averaged(|| Algorithm::Mpta(MptaConfig::default()), &SEEDS);
+
+    // Figures 4–9: IEGT has the consistently lowest payoff difference.
+    assert!(
+        iegt.diff < fgt.diff,
+        "IEGT diff {} !< FGT diff {}",
+        iegt.diff,
+        fgt.diff
+    );
+    assert!(
+        iegt.diff < gta.diff,
+        "IEGT diff {} !< GTA diff {}",
+        iegt.diff,
+        gta.diff
+    );
+    assert!(
+        iegt.diff < mpta.diff,
+        "IEGT diff {} !< MPTA diff {}",
+        iegt.diff,
+        mpta.diff
+    );
+    // The paper reports IEGT's diff at 18–35% of MPTA's; allow a loose band
+    // around that (our substrate is synthetic, only the direction and rough
+    // magnitude must hold).
+    assert!(
+        iegt.diff < 0.6 * mpta.diff,
+        "IEGT diff {} not clearly below MPTA diff {}",
+        iegt.diff,
+        mpta.diff
+    );
+}
+
+#[test]
+fn fgt_is_fairer_than_the_payoff_maximisers() {
+    let fgt = averaged(|| Algorithm::Fgt(FgtConfig::default()), &SEEDS);
+    let gta = averaged(|| Algorithm::Gta, &SEEDS);
+    assert!(
+        fgt.diff < gta.diff,
+        "FGT diff {} !< GTA diff {}",
+        fgt.diff,
+        gta.diff
+    );
+}
+
+#[test]
+fn mpta_has_the_highest_average_payoff() {
+    let mpta = averaged(|| Algorithm::Mpta(MptaConfig::default()), &SEEDS);
+    for (name, avg) in [
+        ("GTA", averaged(|| Algorithm::Gta, &SEEDS)),
+        ("FGT", averaged(|| Algorithm::Fgt(FgtConfig::default()), &SEEDS)),
+        (
+            "IEGT",
+            averaged(|| Algorithm::Iegt(IegtConfig::default()), &SEEDS),
+        ),
+    ] {
+        assert!(
+            mpta.avg_payoff >= avg.avg_payoff - 1e-9,
+            "MPTA avg {} < {name} avg {}",
+            mpta.avg_payoff,
+            avg.avg_payoff
+        );
+    }
+}
+
+#[test]
+fn fairness_costs_only_modest_average_payoff() {
+    // The paper's Figure 1 narrative: fair assignments achieve comparable
+    // average payoffs. Require the game algorithms to stay within 40% of
+    // MPTA's average payoff.
+    let mpta = averaged(|| Algorithm::Mpta(MptaConfig::default()), &SEEDS);
+    let iegt = averaged(|| Algorithm::Iegt(IegtConfig::default()), &SEEDS);
+    assert!(
+        iegt.avg_payoff > 0.6 * mpta.avg_payoff,
+        "IEGT avg payoff {} collapsed vs MPTA {}",
+        iegt.avg_payoff,
+        mpta.avg_payoff
+    );
+}
+
+#[test]
+fn random_baseline_is_dominated() {
+    let rand = averaged(|| Algorithm::Random { seed: 5 }, &SEEDS);
+    let iegt = averaged(|| Algorithm::Iegt(IegtConfig::default()), &SEEDS);
+    // IEGT is both fairer and more rewarding than random assignment.
+    assert!(iegt.diff <= rand.diff * 1.05);
+    assert!(iegt.avg_payoff >= rand.avg_payoff * 0.95);
+}

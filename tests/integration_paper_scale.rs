@@ -1,0 +1,75 @@
+//! Paper-scale smoke tests (Table I's full SYN sizes: 50 centers, 2 000
+//! workers, 100 000 tasks, 5 000 delivery points).
+//!
+//! Ignored by default — they take minutes in release mode and far longer
+//! unoptimised. Run with:
+//!
+//! ```sh
+//! cargo test --release -p fta --test integration_paper_scale -- --ignored
+//! ```
+
+use fta::prelude::*;
+use std::time::Instant;
+
+#[test]
+#[ignore = "paper-scale run; ~2 s in release but minutes unoptimised — invoke with --ignored"]
+fn full_table_one_scale_solves_and_validates() {
+    let instance = generate_syn(&SynConfig::paper_scale(), 42);
+    assert_eq!(instance.workers.len(), 2_000);
+    assert_eq!(instance.tasks.len(), 100_000);
+
+    for (name, algorithm) in [
+        ("GTA", Algorithm::Gta),
+        ("IEGT", Algorithm::Iegt(IegtConfig::default())),
+    ] {
+        let t0 = Instant::now();
+        let outcome = solve(
+            &instance,
+            &SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm,
+                parallel: true,
+            },
+        );
+        let elapsed = t0.elapsed();
+        assert!(
+            outcome.assignment.validate(&instance).is_ok(),
+            "{name} invalid at paper scale"
+        );
+        let workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();
+        let report = outcome.assignment.fairness(&instance, &workers);
+        println!(
+            "{name}: P_dif {:.3}, avg {:.3}, {} assigned, {elapsed:.1?}",
+            report.payoff_difference,
+            report.average_payoff,
+            outcome.assignment.assigned_workers()
+        );
+        assert!(report.average_payoff > 0.0);
+    }
+}
+
+#[test]
+#[ignore = "paper-scale run; ~2 s in release but minutes unoptimised — invoke with --ignored"]
+fn paper_scale_fairness_ranking_holds() {
+    let instance = generate_syn(&SynConfig::paper_scale(), 7);
+    let workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();
+    let diff_of = |algorithm| {
+        solve(
+            &instance,
+            &SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm,
+                parallel: true,
+            },
+        )
+        .assignment
+        .fairness(&instance, &workers)
+        .payoff_difference
+    };
+    let gta = diff_of(Algorithm::Gta);
+    let iegt = diff_of(Algorithm::Iegt(IegtConfig::default()));
+    assert!(
+        iegt < gta,
+        "IEGT ({iegt}) must be fairer than GTA ({gta}) at paper scale"
+    );
+}
