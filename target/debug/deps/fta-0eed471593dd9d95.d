@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fta-0eed471593dd9d95.d: crates/fta-cli/src/main.rs
+
+/root/repo/target/debug/deps/fta-0eed471593dd9d95: crates/fta-cli/src/main.rs
+
+crates/fta-cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fta-758a45c3a510713a.d: crates/fta/src/lib.rs
+
+/root/repo/target/debug/deps/fta-758a45c3a510713a: crates/fta/src/lib.rs
+
+crates/fta/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fta-bf43e3282a2392cc.d: crates/fta-cli/src/main.rs
+
+/root/repo/target/debug/deps/fta-bf43e3282a2392cc: crates/fta-cli/src/main.rs
+
+crates/fta-cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fta-d6cd809dbdb27a21.d: crates/fta/src/lib.rs
+
+/root/repo/target/debug/deps/libfta-d6cd809dbdb27a21.rlib: crates/fta/src/lib.rs
+
+/root/repo/target/debug/deps/libfta-d6cd809dbdb27a21.rmeta: crates/fta/src/lib.rs
+
+crates/fta/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fta_algorithms-9a23d5794d4e5ded.d: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+/root/repo/target/debug/deps/fta_algorithms-9a23d5794d4e5ded: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+crates/fta-algorithms/src/lib.rs:
+crates/fta-algorithms/src/context.rs:
+crates/fta-algorithms/src/exact.rs:
+crates/fta-algorithms/src/fgt.rs:
+crates/fta-algorithms/src/gta.rs:
+crates/fta-algorithms/src/iegt.rs:
+crates/fta-algorithms/src/mpta.rs:
+crates/fta-algorithms/src/pfgt.rs:
+crates/fta-algorithms/src/random.rs:
+crates/fta-algorithms/src/solver.rs:
+crates/fta-algorithms/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fta_algorithms-a8cc04b8d81b65f8.d: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+/root/repo/target/debug/deps/libfta_algorithms-a8cc04b8d81b65f8.rlib: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+/root/repo/target/debug/deps/libfta_algorithms-a8cc04b8d81b65f8.rmeta: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+crates/fta-algorithms/src/lib.rs:
+crates/fta-algorithms/src/context.rs:
+crates/fta-algorithms/src/exact.rs:
+crates/fta-algorithms/src/fgt.rs:
+crates/fta-algorithms/src/gta.rs:
+crates/fta-algorithms/src/iegt.rs:
+crates/fta-algorithms/src/mpta.rs:
+crates/fta-algorithms/src/pfgt.rs:
+crates/fta-algorithms/src/random.rs:
+crates/fta-algorithms/src/solver.rs:
+crates/fta-algorithms/src/trace.rs:

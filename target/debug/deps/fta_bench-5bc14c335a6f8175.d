@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fta_bench-5bc14c335a6f8175.d: crates/fta-bench/src/lib.rs
+
+/root/repo/target/debug/deps/fta_bench-5bc14c335a6f8175: crates/fta-bench/src/lib.rs
+
+crates/fta-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fta_bench-7a83b0a71b3d925d.d: crates/fta-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfta_bench-7a83b0a71b3d925d.rlib: crates/fta-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfta_bench-7a83b0a71b3d925d.rmeta: crates/fta-bench/src/lib.rs
+
+crates/fta-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fta_cli-550d55811a6c0c4d.d: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+/root/repo/target/debug/deps/fta_cli-550d55811a6c0c4d: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+crates/fta-cli/src/lib.rs:
+crates/fta-cli/src/args.rs:
+crates/fta-cli/src/commands.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fta_cli-b4e051a559fb1abd.d: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+/root/repo/target/debug/deps/libfta_cli-b4e051a559fb1abd.rlib: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+/root/repo/target/debug/deps/libfta_cli-b4e051a559fb1abd.rmeta: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+crates/fta-cli/src/lib.rs:
+crates/fta-cli/src/args.rs:
+crates/fta-cli/src/commands.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fta_core-fcaf58e260bd0316.d: crates/fta-core/src/lib.rs crates/fta-core/src/assignment.rs crates/fta-core/src/builder.rs crates/fta-core/src/entities.rs crates/fta-core/src/error.rs crates/fta-core/src/fairness.rs crates/fta-core/src/fig1.rs crates/fta-core/src/geometry.rs crates/fta-core/src/iau.rs crates/fta-core/src/ids.rs crates/fta-core/src/instance.rs crates/fta-core/src/payoff.rs crates/fta-core/src/priority.rs crates/fta-core/src/route.rs
+
+/root/repo/target/debug/deps/fta_core-fcaf58e260bd0316: crates/fta-core/src/lib.rs crates/fta-core/src/assignment.rs crates/fta-core/src/builder.rs crates/fta-core/src/entities.rs crates/fta-core/src/error.rs crates/fta-core/src/fairness.rs crates/fta-core/src/fig1.rs crates/fta-core/src/geometry.rs crates/fta-core/src/iau.rs crates/fta-core/src/ids.rs crates/fta-core/src/instance.rs crates/fta-core/src/payoff.rs crates/fta-core/src/priority.rs crates/fta-core/src/route.rs
+
+crates/fta-core/src/lib.rs:
+crates/fta-core/src/assignment.rs:
+crates/fta-core/src/builder.rs:
+crates/fta-core/src/entities.rs:
+crates/fta-core/src/error.rs:
+crates/fta-core/src/fairness.rs:
+crates/fta-core/src/fig1.rs:
+crates/fta-core/src/geometry.rs:
+crates/fta-core/src/iau.rs:
+crates/fta-core/src/ids.rs:
+crates/fta-core/src/instance.rs:
+crates/fta-core/src/payoff.rs:
+crates/fta-core/src/priority.rs:
+crates/fta-core/src/route.rs:

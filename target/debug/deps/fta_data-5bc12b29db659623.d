@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fta_data-5bc12b29db659623.d: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+/root/repo/target/debug/deps/libfta_data-5bc12b29db659623.rlib: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+/root/repo/target/debug/deps/libfta_data-5bc12b29db659623.rmeta: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+crates/fta-data/src/lib.rs:
+crates/fta-data/src/gmission.rs:
+crates/fta-data/src/io.rs:
+crates/fta-data/src/kmeans.rs:
+crates/fta-data/src/syn.rs:

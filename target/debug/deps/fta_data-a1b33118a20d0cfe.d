@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fta_data-a1b33118a20d0cfe.d: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+/root/repo/target/debug/deps/fta_data-a1b33118a20d0cfe: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+crates/fta-data/src/lib.rs:
+crates/fta-data/src/gmission.rs:
+crates/fta-data/src/io.rs:
+crates/fta-data/src/kmeans.rs:
+crates/fta-data/src/syn.rs:

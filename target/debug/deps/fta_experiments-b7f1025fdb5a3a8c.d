@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/fta_experiments-b7f1025fdb5a3a8c.d: crates/fta-experiments/src/lib.rs crates/fta-experiments/src/chart.rs crates/fta-experiments/src/experiments/mod.rs crates/fta-experiments/src/experiments/common.rs crates/fta-experiments/src/experiments/convergence.rs crates/fta-experiments/src/experiments/delivery_points.rs crates/fta-experiments/src/experiments/epsilon.rs crates/fta-experiments/src/experiments/expiration.rs crates/fta-experiments/src/experiments/ext_early_stop.rs crates/fta-experiments/src/experiments/ext_priority.rs crates/fta-experiments/src/experiments/ext_redraw.rs crates/fta-experiments/src/experiments/ext_simulation.rs crates/fta-experiments/src/experiments/fig1.rs crates/fta-experiments/src/experiments/maxdp.rs crates/fta-experiments/src/experiments/table1.rs crates/fta-experiments/src/experiments/tasks.rs crates/fta-experiments/src/experiments/workers.rs crates/fta-experiments/src/measure.rs crates/fta-experiments/src/params.rs crates/fta-experiments/src/report.rs crates/fta-experiments/src/svg.rs
+
+/root/repo/target/debug/deps/libfta_experiments-b7f1025fdb5a3a8c.rlib: crates/fta-experiments/src/lib.rs crates/fta-experiments/src/chart.rs crates/fta-experiments/src/experiments/mod.rs crates/fta-experiments/src/experiments/common.rs crates/fta-experiments/src/experiments/convergence.rs crates/fta-experiments/src/experiments/delivery_points.rs crates/fta-experiments/src/experiments/epsilon.rs crates/fta-experiments/src/experiments/expiration.rs crates/fta-experiments/src/experiments/ext_early_stop.rs crates/fta-experiments/src/experiments/ext_priority.rs crates/fta-experiments/src/experiments/ext_redraw.rs crates/fta-experiments/src/experiments/ext_simulation.rs crates/fta-experiments/src/experiments/fig1.rs crates/fta-experiments/src/experiments/maxdp.rs crates/fta-experiments/src/experiments/table1.rs crates/fta-experiments/src/experiments/tasks.rs crates/fta-experiments/src/experiments/workers.rs crates/fta-experiments/src/measure.rs crates/fta-experiments/src/params.rs crates/fta-experiments/src/report.rs crates/fta-experiments/src/svg.rs
+
+/root/repo/target/debug/deps/libfta_experiments-b7f1025fdb5a3a8c.rmeta: crates/fta-experiments/src/lib.rs crates/fta-experiments/src/chart.rs crates/fta-experiments/src/experiments/mod.rs crates/fta-experiments/src/experiments/common.rs crates/fta-experiments/src/experiments/convergence.rs crates/fta-experiments/src/experiments/delivery_points.rs crates/fta-experiments/src/experiments/epsilon.rs crates/fta-experiments/src/experiments/expiration.rs crates/fta-experiments/src/experiments/ext_early_stop.rs crates/fta-experiments/src/experiments/ext_priority.rs crates/fta-experiments/src/experiments/ext_redraw.rs crates/fta-experiments/src/experiments/ext_simulation.rs crates/fta-experiments/src/experiments/fig1.rs crates/fta-experiments/src/experiments/maxdp.rs crates/fta-experiments/src/experiments/table1.rs crates/fta-experiments/src/experiments/tasks.rs crates/fta-experiments/src/experiments/workers.rs crates/fta-experiments/src/measure.rs crates/fta-experiments/src/params.rs crates/fta-experiments/src/report.rs crates/fta-experiments/src/svg.rs
+
+crates/fta-experiments/src/lib.rs:
+crates/fta-experiments/src/chart.rs:
+crates/fta-experiments/src/experiments/mod.rs:
+crates/fta-experiments/src/experiments/common.rs:
+crates/fta-experiments/src/experiments/convergence.rs:
+crates/fta-experiments/src/experiments/delivery_points.rs:
+crates/fta-experiments/src/experiments/epsilon.rs:
+crates/fta-experiments/src/experiments/expiration.rs:
+crates/fta-experiments/src/experiments/ext_early_stop.rs:
+crates/fta-experiments/src/experiments/ext_priority.rs:
+crates/fta-experiments/src/experiments/ext_redraw.rs:
+crates/fta-experiments/src/experiments/ext_simulation.rs:
+crates/fta-experiments/src/experiments/fig1.rs:
+crates/fta-experiments/src/experiments/maxdp.rs:
+crates/fta-experiments/src/experiments/table1.rs:
+crates/fta-experiments/src/experiments/tasks.rs:
+crates/fta-experiments/src/experiments/workers.rs:
+crates/fta-experiments/src/measure.rs:
+crates/fta-experiments/src/params.rs:
+crates/fta-experiments/src/report.rs:
+crates/fta-experiments/src/svg.rs:

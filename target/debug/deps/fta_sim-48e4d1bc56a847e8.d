@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fta_sim-48e4d1bc56a847e8.d: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+/root/repo/target/debug/deps/fta_sim-48e4d1bc56a847e8: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+crates/fta-sim/src/lib.rs:
+crates/fta-sim/src/engine.rs:
+crates/fta-sim/src/metrics.rs:
+crates/fta-sim/src/scenario.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fta_sim-f42b43638539f79e.d: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+/root/repo/target/debug/deps/libfta_sim-f42b43638539f79e.rlib: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+/root/repo/target/debug/deps/libfta_sim-f42b43638539f79e.rmeta: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+crates/fta-sim/src/lib.rs:
+crates/fta-sim/src/engine.rs:
+crates/fta-sim/src/metrics.rs:
+crates/fta-sim/src/scenario.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fta_vdps-5e8d4579ec0094b7.d: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+/root/repo/target/debug/deps/fta_vdps-5e8d4579ec0094b7: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+crates/fta-vdps/src/lib.rs:
+crates/fta-vdps/src/config.rs:
+crates/fta-vdps/src/grid.rs:
+crates/fta-vdps/src/generator.rs:
+crates/fta-vdps/src/naive.rs:
+crates/fta-vdps/src/schedule.rs:
+crates/fta-vdps/src/strategy.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fta_vdps-f70aa85b71c2989d.d: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+/root/repo/target/debug/deps/libfta_vdps-f70aa85b71c2989d.rlib: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+/root/repo/target/debug/deps/libfta_vdps-f70aa85b71c2989d.rmeta: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+crates/fta-vdps/src/lib.rs:
+crates/fta-vdps/src/config.rs:
+crates/fta-vdps/src/grid.rs:
+crates/fta-vdps/src/generator.rs:
+crates/fta-vdps/src/naive.rs:
+crates/fta-vdps/src/schedule.rs:
+crates/fta-vdps/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_datasets-b38a9c5562ec5a89.d: crates/fta/../../tests/integration_datasets.rs
+
+/root/repo/target/debug/deps/integration_datasets-b38a9c5562ec5a89: crates/fta/../../tests/integration_datasets.rs
+
+crates/fta/../../tests/integration_datasets.rs:

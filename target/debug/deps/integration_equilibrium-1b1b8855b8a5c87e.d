@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_equilibrium-1b1b8855b8a5c87e.d: crates/fta/../../tests/integration_equilibrium.rs
+
+/root/repo/target/debug/deps/integration_equilibrium-1b1b8855b8a5c87e: crates/fta/../../tests/integration_equilibrium.rs
+
+crates/fta/../../tests/integration_equilibrium.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_fairness-1c86328e992a8c19.d: crates/fta/../../tests/integration_fairness.rs
+
+/root/repo/target/debug/deps/integration_fairness-1c86328e992a8c19: crates/fta/../../tests/integration_fairness.rs
+
+crates/fta/../../tests/integration_fairness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_scale-6b3c3c5e14c9e3b6.d: crates/fta/../../tests/integration_paper_scale.rs
+
+/root/repo/target/debug/deps/integration_paper_scale-6b3c3c5e14c9e3b6: crates/fta/../../tests/integration_paper_scale.rs
+
+crates/fta/../../tests/integration_paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-6c86d08dd6b447ee.d: crates/fta/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-6c86d08dd6b447ee: crates/fta/../../tests/integration_pipeline.rs
+
+crates/fta/../../tests/integration_pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-efd93c568d91788c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-efd93c568d91788c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-efd93c568d91788c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

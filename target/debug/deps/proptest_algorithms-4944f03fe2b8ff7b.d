@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_algorithms-4944f03fe2b8ff7b.d: crates/fta-algorithms/tests/proptest_algorithms.rs
+
+/root/repo/target/debug/deps/proptest_algorithms-4944f03fe2b8ff7b: crates/fta-algorithms/tests/proptest_algorithms.rs
+
+crates/fta-algorithms/tests/proptest_algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_core-fb1b83eedc425bcd.d: crates/fta-core/tests/proptest_core.rs
+
+/root/repo/target/debug/deps/proptest_core-fb1b83eedc425bcd: crates/fta-core/tests/proptest_core.rs
+
+crates/fta-core/tests/proptest_core.rs:

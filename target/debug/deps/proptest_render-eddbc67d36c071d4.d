@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_render-eddbc67d36c071d4.d: crates/fta-experiments/tests/proptest_render.rs
+
+/root/repo/target/debug/deps/proptest_render-eddbc67d36c071d4: crates/fta-experiments/tests/proptest_render.rs
+
+crates/fta-experiments/tests/proptest_render.rs:

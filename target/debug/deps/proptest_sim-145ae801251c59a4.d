@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-145ae801251c59a4.d: crates/fta-sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-145ae801251c59a4: crates/fta-sim/tests/proptest_sim.rs
+
+crates/fta-sim/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_vdps-990e6b3450eac2e2.d: crates/fta-vdps/tests/proptest_vdps.rs
+
+/root/repo/target/debug/deps/proptest_vdps-990e6b3450eac2e2: crates/fta-vdps/tests/proptest_vdps.rs
+
+crates/fta-vdps/tests/proptest_vdps.rs:

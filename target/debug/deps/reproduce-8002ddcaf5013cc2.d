@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-8002ddcaf5013cc2.d: crates/fta-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-8002ddcaf5013cc2: crates/fta-bench/src/bin/reproduce.rs
+
+crates/fta-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-c9d3cb54ebd7c0ea.d: crates/fta-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-c9d3cb54ebd7c0ea: crates/fta-bench/src/bin/reproduce.rs
+
+crates/fta-bench/src/bin/reproduce.rs:

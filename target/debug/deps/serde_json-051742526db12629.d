@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-051742526db12629.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-051742526db12629.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-051742526db12629.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-32bc1437b90bd0f2.d: crates/fta-bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-32bc1437b90bd0f2: crates/fta-bench/src/bin/simulate.rs
+
+crates/fta-bench/src/bin/simulate.rs:

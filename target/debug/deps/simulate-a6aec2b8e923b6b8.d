@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-a6aec2b8e923b6b8.d: crates/fta-bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-a6aec2b8e923b6b8: crates/fta-bench/src/bin/simulate.rs
+
+crates/fta-bench/src/bin/simulate.rs:

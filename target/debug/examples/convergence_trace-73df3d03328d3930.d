@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convergence_trace-73df3d03328d3930.d: crates/fta/../../examples/convergence_trace.rs
+
+/root/repo/target/debug/examples/convergence_trace-73df3d03328d3930: crates/fta/../../examples/convergence_trace.rs
+
+crates/fta/../../examples/convergence_trace.rs:

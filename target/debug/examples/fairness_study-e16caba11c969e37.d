@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_study-e16caba11c969e37.d: crates/fta/../../examples/fairness_study.rs
+
+/root/repo/target/debug/examples/fairness_study-e16caba11c969e37: crates/fta/../../examples/fairness_study.rs
+
+crates/fta/../../examples/fairness_study.rs:

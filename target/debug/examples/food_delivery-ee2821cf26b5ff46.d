@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/food_delivery-ee2821cf26b5ff46.d: crates/fta/../../examples/food_delivery.rs
+
+/root/repo/target/debug/examples/food_delivery-ee2821cf26b5ff46: crates/fta/../../examples/food_delivery.rs
+
+crates/fta/../../examples/food_delivery.rs:

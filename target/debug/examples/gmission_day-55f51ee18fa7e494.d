@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gmission_day-55f51ee18fa7e494.d: crates/fta/../../examples/gmission_day.rs
+
+/root/repo/target/debug/examples/gmission_day-55f51ee18fa7e494: crates/fta/../../examples/gmission_day.rs
+
+crates/fta/../../examples/gmission_day.rs:

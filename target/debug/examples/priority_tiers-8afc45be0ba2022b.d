@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/priority_tiers-8afc45be0ba2022b.d: crates/fta/../../examples/priority_tiers.rs
+
+/root/repo/target/debug/examples/priority_tiers-8afc45be0ba2022b: crates/fta/../../examples/priority_tiers.rs
+
+crates/fta/../../examples/priority_tiers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fc01c0f7536d9966.d: crates/fta/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fc01c0f7536d9966: crates/fta/../../examples/quickstart.rs
+
+crates/fta/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/simulation_day-94008afadd17acbb.d: crates/fta/../../examples/simulation_day.rs
+
+/root/repo/target/debug/examples/simulation_day-94008afadd17acbb: crates/fta/../../examples/simulation_day.rs
+
+crates/fta/../../examples/simulation_day.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fta-1d46485c293c57da.d: crates/fta-cli/src/main.rs
+
+/root/repo/target/release/deps/fta-1d46485c293c57da: crates/fta-cli/src/main.rs
+
+crates/fta-cli/src/main.rs:

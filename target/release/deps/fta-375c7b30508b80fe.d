@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fta-375c7b30508b80fe.d: crates/fta/src/lib.rs
+
+/root/repo/target/release/deps/libfta-375c7b30508b80fe.rlib: crates/fta/src/lib.rs
+
+/root/repo/target/release/deps/libfta-375c7b30508b80fe.rmeta: crates/fta/src/lib.rs
+
+crates/fta/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fta_algorithms-a14b775f240f3e1f.d: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+/root/repo/target/release/deps/libfta_algorithms-a14b775f240f3e1f.rlib: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+/root/repo/target/release/deps/libfta_algorithms-a14b775f240f3e1f.rmeta: crates/fta-algorithms/src/lib.rs crates/fta-algorithms/src/context.rs crates/fta-algorithms/src/exact.rs crates/fta-algorithms/src/fgt.rs crates/fta-algorithms/src/gta.rs crates/fta-algorithms/src/iegt.rs crates/fta-algorithms/src/mpta.rs crates/fta-algorithms/src/pfgt.rs crates/fta-algorithms/src/random.rs crates/fta-algorithms/src/solver.rs crates/fta-algorithms/src/trace.rs
+
+crates/fta-algorithms/src/lib.rs:
+crates/fta-algorithms/src/context.rs:
+crates/fta-algorithms/src/exact.rs:
+crates/fta-algorithms/src/fgt.rs:
+crates/fta-algorithms/src/gta.rs:
+crates/fta-algorithms/src/iegt.rs:
+crates/fta-algorithms/src/mpta.rs:
+crates/fta-algorithms/src/pfgt.rs:
+crates/fta-algorithms/src/random.rs:
+crates/fta-algorithms/src/solver.rs:
+crates/fta-algorithms/src/trace.rs:

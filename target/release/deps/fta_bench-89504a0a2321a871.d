@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fta_bench-89504a0a2321a871.d: crates/fta-bench/src/lib.rs
+
+/root/repo/target/release/deps/libfta_bench-89504a0a2321a871.rlib: crates/fta-bench/src/lib.rs
+
+/root/repo/target/release/deps/libfta_bench-89504a0a2321a871.rmeta: crates/fta-bench/src/lib.rs
+
+crates/fta-bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fta_cli-675d6ce858ecd9fc.d: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+/root/repo/target/release/deps/libfta_cli-675d6ce858ecd9fc.rlib: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+/root/repo/target/release/deps/libfta_cli-675d6ce858ecd9fc.rmeta: crates/fta-cli/src/lib.rs crates/fta-cli/src/args.rs crates/fta-cli/src/commands.rs
+
+crates/fta-cli/src/lib.rs:
+crates/fta-cli/src/args.rs:
+crates/fta-cli/src/commands.rs:

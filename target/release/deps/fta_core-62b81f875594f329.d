@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fta_core-62b81f875594f329.d: crates/fta-core/src/lib.rs crates/fta-core/src/assignment.rs crates/fta-core/src/builder.rs crates/fta-core/src/entities.rs crates/fta-core/src/error.rs crates/fta-core/src/fairness.rs crates/fta-core/src/fig1.rs crates/fta-core/src/geometry.rs crates/fta-core/src/iau.rs crates/fta-core/src/ids.rs crates/fta-core/src/instance.rs crates/fta-core/src/payoff.rs crates/fta-core/src/priority.rs crates/fta-core/src/route.rs
+
+/root/repo/target/release/deps/libfta_core-62b81f875594f329.rlib: crates/fta-core/src/lib.rs crates/fta-core/src/assignment.rs crates/fta-core/src/builder.rs crates/fta-core/src/entities.rs crates/fta-core/src/error.rs crates/fta-core/src/fairness.rs crates/fta-core/src/fig1.rs crates/fta-core/src/geometry.rs crates/fta-core/src/iau.rs crates/fta-core/src/ids.rs crates/fta-core/src/instance.rs crates/fta-core/src/payoff.rs crates/fta-core/src/priority.rs crates/fta-core/src/route.rs
+
+/root/repo/target/release/deps/libfta_core-62b81f875594f329.rmeta: crates/fta-core/src/lib.rs crates/fta-core/src/assignment.rs crates/fta-core/src/builder.rs crates/fta-core/src/entities.rs crates/fta-core/src/error.rs crates/fta-core/src/fairness.rs crates/fta-core/src/fig1.rs crates/fta-core/src/geometry.rs crates/fta-core/src/iau.rs crates/fta-core/src/ids.rs crates/fta-core/src/instance.rs crates/fta-core/src/payoff.rs crates/fta-core/src/priority.rs crates/fta-core/src/route.rs
+
+crates/fta-core/src/lib.rs:
+crates/fta-core/src/assignment.rs:
+crates/fta-core/src/builder.rs:
+crates/fta-core/src/entities.rs:
+crates/fta-core/src/error.rs:
+crates/fta-core/src/fairness.rs:
+crates/fta-core/src/fig1.rs:
+crates/fta-core/src/geometry.rs:
+crates/fta-core/src/iau.rs:
+crates/fta-core/src/ids.rs:
+crates/fta-core/src/instance.rs:
+crates/fta-core/src/payoff.rs:
+crates/fta-core/src/priority.rs:
+crates/fta-core/src/route.rs:

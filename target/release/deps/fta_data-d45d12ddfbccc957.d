@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fta_data-d45d12ddfbccc957.d: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+/root/repo/target/release/deps/libfta_data-d45d12ddfbccc957.rlib: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+/root/repo/target/release/deps/libfta_data-d45d12ddfbccc957.rmeta: crates/fta-data/src/lib.rs crates/fta-data/src/gmission.rs crates/fta-data/src/io.rs crates/fta-data/src/kmeans.rs crates/fta-data/src/syn.rs
+
+crates/fta-data/src/lib.rs:
+crates/fta-data/src/gmission.rs:
+crates/fta-data/src/io.rs:
+crates/fta-data/src/kmeans.rs:
+crates/fta-data/src/syn.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/fta_experiments-cf3c218107c8d048.d: crates/fta-experiments/src/lib.rs crates/fta-experiments/src/chart.rs crates/fta-experiments/src/experiments/mod.rs crates/fta-experiments/src/experiments/common.rs crates/fta-experiments/src/experiments/convergence.rs crates/fta-experiments/src/experiments/delivery_points.rs crates/fta-experiments/src/experiments/epsilon.rs crates/fta-experiments/src/experiments/expiration.rs crates/fta-experiments/src/experiments/ext_early_stop.rs crates/fta-experiments/src/experiments/ext_priority.rs crates/fta-experiments/src/experiments/ext_redraw.rs crates/fta-experiments/src/experiments/ext_simulation.rs crates/fta-experiments/src/experiments/fig1.rs crates/fta-experiments/src/experiments/maxdp.rs crates/fta-experiments/src/experiments/table1.rs crates/fta-experiments/src/experiments/tasks.rs crates/fta-experiments/src/experiments/workers.rs crates/fta-experiments/src/measure.rs crates/fta-experiments/src/params.rs crates/fta-experiments/src/report.rs crates/fta-experiments/src/svg.rs
+
+/root/repo/target/release/deps/libfta_experiments-cf3c218107c8d048.rlib: crates/fta-experiments/src/lib.rs crates/fta-experiments/src/chart.rs crates/fta-experiments/src/experiments/mod.rs crates/fta-experiments/src/experiments/common.rs crates/fta-experiments/src/experiments/convergence.rs crates/fta-experiments/src/experiments/delivery_points.rs crates/fta-experiments/src/experiments/epsilon.rs crates/fta-experiments/src/experiments/expiration.rs crates/fta-experiments/src/experiments/ext_early_stop.rs crates/fta-experiments/src/experiments/ext_priority.rs crates/fta-experiments/src/experiments/ext_redraw.rs crates/fta-experiments/src/experiments/ext_simulation.rs crates/fta-experiments/src/experiments/fig1.rs crates/fta-experiments/src/experiments/maxdp.rs crates/fta-experiments/src/experiments/table1.rs crates/fta-experiments/src/experiments/tasks.rs crates/fta-experiments/src/experiments/workers.rs crates/fta-experiments/src/measure.rs crates/fta-experiments/src/params.rs crates/fta-experiments/src/report.rs crates/fta-experiments/src/svg.rs
+
+/root/repo/target/release/deps/libfta_experiments-cf3c218107c8d048.rmeta: crates/fta-experiments/src/lib.rs crates/fta-experiments/src/chart.rs crates/fta-experiments/src/experiments/mod.rs crates/fta-experiments/src/experiments/common.rs crates/fta-experiments/src/experiments/convergence.rs crates/fta-experiments/src/experiments/delivery_points.rs crates/fta-experiments/src/experiments/epsilon.rs crates/fta-experiments/src/experiments/expiration.rs crates/fta-experiments/src/experiments/ext_early_stop.rs crates/fta-experiments/src/experiments/ext_priority.rs crates/fta-experiments/src/experiments/ext_redraw.rs crates/fta-experiments/src/experiments/ext_simulation.rs crates/fta-experiments/src/experiments/fig1.rs crates/fta-experiments/src/experiments/maxdp.rs crates/fta-experiments/src/experiments/table1.rs crates/fta-experiments/src/experiments/tasks.rs crates/fta-experiments/src/experiments/workers.rs crates/fta-experiments/src/measure.rs crates/fta-experiments/src/params.rs crates/fta-experiments/src/report.rs crates/fta-experiments/src/svg.rs
+
+crates/fta-experiments/src/lib.rs:
+crates/fta-experiments/src/chart.rs:
+crates/fta-experiments/src/experiments/mod.rs:
+crates/fta-experiments/src/experiments/common.rs:
+crates/fta-experiments/src/experiments/convergence.rs:
+crates/fta-experiments/src/experiments/delivery_points.rs:
+crates/fta-experiments/src/experiments/epsilon.rs:
+crates/fta-experiments/src/experiments/expiration.rs:
+crates/fta-experiments/src/experiments/ext_early_stop.rs:
+crates/fta-experiments/src/experiments/ext_priority.rs:
+crates/fta-experiments/src/experiments/ext_redraw.rs:
+crates/fta-experiments/src/experiments/ext_simulation.rs:
+crates/fta-experiments/src/experiments/fig1.rs:
+crates/fta-experiments/src/experiments/maxdp.rs:
+crates/fta-experiments/src/experiments/table1.rs:
+crates/fta-experiments/src/experiments/tasks.rs:
+crates/fta-experiments/src/experiments/workers.rs:
+crates/fta-experiments/src/measure.rs:
+crates/fta-experiments/src/params.rs:
+crates/fta-experiments/src/report.rs:
+crates/fta-experiments/src/svg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fta_sim-e42acde84d780551.d: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+/root/repo/target/release/deps/libfta_sim-e42acde84d780551.rlib: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+/root/repo/target/release/deps/libfta_sim-e42acde84d780551.rmeta: crates/fta-sim/src/lib.rs crates/fta-sim/src/engine.rs crates/fta-sim/src/metrics.rs crates/fta-sim/src/scenario.rs
+
+crates/fta-sim/src/lib.rs:
+crates/fta-sim/src/engine.rs:
+crates/fta-sim/src/metrics.rs:
+crates/fta-sim/src/scenario.rs:

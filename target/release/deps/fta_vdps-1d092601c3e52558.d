@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fta_vdps-1d092601c3e52558.d: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+/root/repo/target/release/deps/libfta_vdps-1d092601c3e52558.rlib: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+/root/repo/target/release/deps/libfta_vdps-1d092601c3e52558.rmeta: crates/fta-vdps/src/lib.rs crates/fta-vdps/src/config.rs crates/fta-vdps/src/grid.rs crates/fta-vdps/src/generator.rs crates/fta-vdps/src/naive.rs crates/fta-vdps/src/schedule.rs crates/fta-vdps/src/strategy.rs
+
+crates/fta-vdps/src/lib.rs:
+crates/fta-vdps/src/config.rs:
+crates/fta-vdps/src/grid.rs:
+crates/fta-vdps/src/generator.rs:
+crates/fta-vdps/src/naive.rs:
+crates/fta-vdps/src/schedule.rs:
+crates/fta-vdps/src/strategy.rs:

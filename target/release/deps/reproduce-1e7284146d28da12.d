@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-1e7284146d28da12.d: crates/fta-bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-1e7284146d28da12: crates/fta-bench/src/bin/reproduce.rs
+
+crates/fta-bench/src/bin/reproduce.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-3ccb629b4e33600a.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3ccb629b4e33600a.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3ccb629b4e33600a.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-29411538d252761a.d: crates/fta-bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-29411538d252761a: crates/fta-bench/src/bin/simulate.rs
+
+crates/fta-bench/src/bin/simulate.rs:

@@ -1,0 +1,678 @@
+//! Minimal offline reimplementation of the `proptest` API surface used by
+//! the FTA workspace.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! (see `vendor/README.md`) provides the subset the workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`, ranges,
+//! tuples, [`strategy::Just`], weighted [`prop_oneof!`],
+//! [`collection::vec`], `prop::bool::ANY`, a character-class subset of
+//! [`string::string_regex`], [`test_runner::ProptestConfig`], and the
+//! [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` representation via plain `assert!`; it is not minimised.
+//! * **Deterministic seeding.** Cases derive from a fixed seed mixed with
+//!   the test's module path and name (FNV-1a), so failures reproduce
+//!   across runs — there is no persistence file.
+//! * Generation is uniform over the requested range with no bias toward
+//!   boundary values.
+
+#![deny(unsafe_code)]
+
+pub use rand;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe core used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (cheaply clonable).
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between type-erased strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must sum to a positive value.
+        #[must_use]
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident : $i:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    );
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "proptest::collection::vec requires a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Strategy yielding `None` or `Some(inner)` with equal probability.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` values in `Option`, generating `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding a fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// String strategies: a character-class subset of `string_regex`.
+pub mod string {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Error from [`string_regex`] for unsupported or malformed patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One parsed atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// The characters this atom may produce.
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching the supported regex subset.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let reps = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..reps {
+                    let idx = rng.gen_range(0..atom.chars.len());
+                    out.push(atom.chars[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error("unterminated character class".into()))?;
+            match c {
+                ']' => return Ok(set),
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error("trailing backslash in class".into()))?;
+                    let lit = match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    set.push(lit);
+                    prev = Some(lit);
+                }
+                '-' => {
+                    // Range if both endpoints exist; a literal '-' otherwise.
+                    match (prev, chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            if lo > hi {
+                                return Err(Error(format!("bad range {lo}-{hi}")));
+                            }
+                            // `lo` is already in the set; add the rest.
+                            let mut cur = lo as u32 + 1;
+                            while cur <= hi as u32 {
+                                set.push(
+                                    char::from_u32(cur)
+                                        .ok_or_else(|| Error("invalid range".into()))?,
+                                );
+                                cur += 1;
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            set.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                lit => {
+                    set.push(lit);
+                    prev = Some(lit);
+                }
+            }
+        }
+    }
+
+    fn parse_bounds(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), Error> {
+        // After '{': digits [ ',' digits ] '}'
+        let mut min_s = String::new();
+        let mut max_s = String::new();
+        let mut in_max = false;
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error("unterminated repetition bounds".into()))?;
+            match c {
+                '}' => break,
+                ',' => in_max = true,
+                d if d.is_ascii_digit() => {
+                    if in_max {
+                        max_s.push(d);
+                    } else {
+                        min_s.push(d);
+                    }
+                }
+                other => return Err(Error(format!("bad bounds character `{other}`"))),
+            }
+        }
+        let min: usize = min_s
+            .parse()
+            .map_err(|_| Error("missing lower bound".into()))?;
+        let max: usize = if in_max {
+            max_s.parse().map_err(|_| Error("missing upper bound".into()))?
+        } else {
+            min
+        };
+        if max < min {
+            return Err(Error("upper bound below lower bound".into()));
+        }
+        Ok((min, max))
+    }
+
+    /// Builds a strategy for strings matching `pattern`.
+    ///
+    /// Supported subset: literal characters, `\`-escapes, character classes
+    /// `[...]` with ranges, and repetitions `{m}`, `{m,n}`, `?`, `*`/`+`
+    /// (capped at 8 repetitions). Anything else returns an [`Error`].
+    ///
+    /// # Errors
+    /// Returns [`Error`] on malformed or unsupported patterns.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let class = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error("trailing backslash".into()))?;
+                    vec![match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }]
+                }
+                '(' | ')' | '|' | '^' | '$' | '.' | '{' | '}' | '*' | '+' | '?' => {
+                    return Err(Error(format!(
+                        "unsupported regex construct `{c}` (vendored subset)"
+                    )))
+                }
+                lit => vec![lit],
+            };
+            if class.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    parse_bounds(&mut chars)?
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom {
+                chars: class,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// FNV-1a hash of the test path, for stable per-test seeds.
+    #[must_use]
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Deterministic per-case RNG.
+    #[must_use]
+    pub fn rng_for(test_seed: u64, case: u64) -> StdRng {
+        StdRng::seed_from_u64(test_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::__rt::fnv1a(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::__rt::rng_for(__seed, __case);
+                $(let $pat = $crate::strategy::Strategy::generate(
+                    &($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// One-stop imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::string;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::__rt;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = __rt::rng_for(1, 0);
+        for case in 0..500u64 {
+            let mut rng2 = __rt::rng_for(17, case);
+            let (a, b) = (0usize..5, -1.0f64..1.0).generate(&mut rng2);
+            assert!(a < 5);
+            assert!((-1.0..1.0).contains(&b));
+        }
+        let v = prop::collection::vec(0u32..10, 2..6).generate(&mut rng);
+        assert!((2..6).contains(&v.len()));
+        assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let s = prop_oneof![8 => Just(0u8), 1 => Just(1u8), 1 => Just(2u8)];
+        let mut counts = [0usize; 3];
+        for case in 0..2000 {
+            let mut rng = __rt::rng_for(3, case);
+            counts[s.generate(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1] * 3, "{counts:?}");
+        assert!(counts[1] > 0 && counts[2] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn string_regex_subset_matches_class() {
+        let s = crate::string::string_regex("[a-c0-2 ,\"<>&|-]{0,24}").unwrap();
+        for case in 0..200 {
+            let mut rng = __rt::rng_for(9, case);
+            let out = s.generate(&mut rng);
+            assert!(out.len() <= 24);
+            assert!(out
+                .chars()
+                .all(|c| "abc012 ,\"<>&|-".contains(c)), "{out:?}");
+        }
+        assert!(crate::string::string_regex("a|b").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(mut xs in prop::collection::vec(0i32..100, 0..10), flip in prop::bool::ANY) {
+            if flip {
+                xs.reverse();
+            }
+            prop_assert!(xs.len() < 10);
+            prop_assert_eq!(xs.len(), xs.iter().count());
+        }
+    }
+
+    #[test]
+    fn macro_generated_test_runs() {
+        macro_smoke();
+    }
+}

@@ -1,0 +1,617 @@
+//! Minimal offline reimplementation of the `serde` data model used by the
+//! FTA workspace.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! tiny serde built around one concrete in-memory tree, [`Value`] (the same
+//! type `serde_json` re-exports). [`Serialize`] converts a Rust value into a
+//! `Value`; [`Deserialize`] reads one back. The derive macros from the
+//! vendored `serde_derive` crate target exactly these traits.
+//!
+//! This is **not** the real serde's zero-copy visitor architecture — it is a
+//! deliberately simple tree model that covers everything the workspace
+//! needs: structs, newtypes, primitives, `String`, `Option`, `Vec`, tuples,
+//! and `BTreeMap` with integer-like or string-like keys (serialised as JSON
+//! object keys, matching `serde_json`).
+
+#![deny(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped tree value: the single data model of the vendored serde.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, as serde_json does).
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative or signed integer.
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, preserving insertion order (like serde_json's preserve_order).
+    Object(Vec<(String, Value)>),
+}
+
+/// Static null used as the out-of-bounds fallback for indexing.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns true if the value is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interprets any numeric value as `f64` (like `serde_json::Value`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a signed integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an object (ordered key/value pairs).
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object, `None` for absent keys or non-objects.
+    /// (Named `field` because the derive macros call it unambiguously.)
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Generic indexed lookup, matching `serde_json::Value::get`.
+    #[must_use]
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+}
+
+/// Types usable as an index into a [`Value`] (`&str` keys, `usize` offsets).
+pub trait ValueIndex {
+    /// Returns the sub-value, or `None` when absent / wrong container kind.
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for &str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.field(self)
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.field(self)
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+}
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Deserialisation error: a message plus optional field context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from any message.
+    #[must_use]
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// A struct field was absent with no default.
+    #[must_use]
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserialising {ty}"))
+    }
+
+    /// The value had the wrong shape for the requested type.
+    #[must_use]
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {expected}, found {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Converts a value into the serde [`Value`] data model.
+pub trait Serialize {
+    /// Returns the tree representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstructs a value from the serde [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a tree value.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the tree does not match the expected shape.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::type_mismatch("bool", v))
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::type_mismatch("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| DeError::msg(format!(
+                    "integer {u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let u = v
+            .as_u64()
+            .ok_or_else(|| DeError::type_mismatch("unsigned integer", v))?;
+        usize::try_from(u).map_err(|_| DeError::msg(format!("integer {u} out of range for usize")))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let i = i64::from(*self);
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::type_mismatch("integer", v))?;
+                <$t>::try_from(i).map_err(|_| DeError::msg(format!(
+                    "integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        let i = *self as i64;
+        if i >= 0 {
+            Value::UInt(i as u64)
+        } else {
+            Value::Int(i)
+        }
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let i = v
+            .as_i64()
+            .ok_or_else(|| DeError::type_mismatch("integer", v))?;
+        isize::try_from(i).map_err(|_| DeError::msg(format!("integer {i} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::type_mismatch("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64()
+            .ok_or_else(|| DeError::type_mismatch("number", v))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::type_mismatch("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::type_mismatch("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::msg("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::type_mismatch("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => Ok(($(
+                        $t::deserialize_value(
+                            items.get($i).ok_or_else(|| DeError::msg("tuple too short"))?,
+                        )?,
+                    )+)),
+                    other => Err(DeError::type_mismatch("tuple array", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Converts a serialised map key to its JSON object-key string, mirroring
+/// `serde_json`'s behaviour of stringifying integer keys.
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key shape: {other:?}"),
+    }
+}
+
+/// Parses a map key back from a JSON object-key string, trying the same
+/// shapes `key_to_string` produces.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    // Try the raw string first, then numeric reinterpretations.
+    if let Ok(k) = K::deserialize_value(&Value::String(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::msg(format!("cannot parse map key `{s}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.serialize_value()), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::type_mismatch("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_indexing_falls_back_to_null() {
+        let v = Value::Object(vec![(
+            "a".to_string(),
+            Value::Array(vec![Value::UInt(1), Value::Float(2.5)]),
+        )]);
+        assert_eq!(v["a"][0].as_f64(), Some(1.0));
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert!(v["missing"][3].is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn map_keys_roundtrip_via_strings() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(7u32, "y".to_string());
+        let v = m.serialize_value();
+        let back: BTreeMap<u32, String> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let v = Option::<f64>::None.serialize_value();
+        assert!(v.is_null());
+        let back: Option<f64> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, None);
+        let back: Option<f64> = Deserialize::deserialize_value(&Value::Float(1.5)).unwrap();
+        assert_eq!(back, Some(1.5));
+    }
+}

@@ -1,0 +1,288 @@
+//! Minimal offline reimplementation of `serde_derive` for the FTA workspace.
+//!
+//! The build environment has no registry access, so this proc-macro crate is
+//! vendored alongside a matching minimal `serde` (see `vendor/README.md`).
+//! It supports exactly the shapes the workspace derives on:
+//!
+//! * structs with named fields (all field types must implement the vendored
+//!   `serde::Serialize` / `serde::Deserialize` traits);
+//! * newtype tuple structs (serialised transparently as the inner value);
+//! * the field attributes `#[serde(skip_serializing_if = "path")]` and
+//!   `#[serde(default)]`;
+//! * `Option<T>` fields deserialise to `None` when the key is absent,
+//!   matching upstream serde's behaviour.
+//!
+//! Enums, generics, and the wider serde attribute language are intentionally
+//! rejected with a compile-time panic so accidental reliance is loud.
+//!
+//! No `syn`/`quote`: the input is parsed directly from `proc_macro`
+//! token trees and the impls are emitted through `format!` + `.parse()`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field with the serde attributes we honour.
+struct Field {
+    name: String,
+    /// Path from `#[serde(skip_serializing_if = "...")]`, if present.
+    skip_serializing_if: Option<String>,
+    /// True when `#[serde(default)]` is present.
+    default: bool,
+    /// First identifier of the type (e.g. `Option` for `Option<T>`).
+    type_head: String,
+}
+
+/// Parsed derive input.
+enum Input {
+    Named { name: String, fields: Vec<Field> },
+    Newtype { name: String },
+}
+
+/// Parses the serde attribute tokens inside `#[serde(...)]`.
+fn parse_serde_attr(group: TokenStream, skip: &mut Option<String>, default: &mut bool) {
+    let mut iter = group.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "default" => *default = true,
+                "skip_serializing_if" => {
+                    // Expect `= "path"`.
+                    match (iter.next(), iter.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let raw = lit.to_string();
+                            *skip = Some(raw.trim_matches('"').to_string());
+                        }
+                        _ => panic!("serde_derive: malformed skip_serializing_if attribute"),
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+}
+
+/// Parses the fields of a braced struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Collect attributes for this field.
+        let mut skip = None;
+        let mut default = false;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            let mut inner = g.stream().into_iter();
+                            if let Some(TokenTree::Ident(head)) = inner.next() {
+                                if head.to_string() == "serde" {
+                                    if let Some(TokenTree::Group(args)) = inner.next() {
+                                        parse_serde_attr(args.stream(), &mut skip, &mut default);
+                                    }
+                                }
+                                // Non-serde attributes (doc comments, cfg, …)
+                                // are skipped silently.
+                            }
+                        }
+                        _ => panic!("serde_derive: expected bracketed attribute after `#`"),
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        // Field name or end of body.
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        // Consume the type, tracking angle-bracket depth so commas inside
+        // generics (e.g. BTreeMap<K, V>) do not end the field early.
+        let mut type_head = String::new();
+        let mut depth: i32 = 0;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Ident(id) if type_head.is_empty() => {
+                    type_head = id.to_string();
+                }
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            skip_serializing_if: skip,
+            default,
+            type_head,
+        });
+    }
+    fields
+}
+
+/// Parses the derive input down to the shapes we support.
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            panic!("serde_derive (vendored): enums are not supported")
+        }
+        other => panic!("serde_derive: expected `struct`, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct name, found {other:?}"),
+    };
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Named {
+            name,
+            fields: parse_named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            // Count top-level fields: only newtypes are supported.
+            let mut depth: i32 = 0;
+            let mut commas = 0usize;
+            let mut any = false;
+            for tt in g.stream() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+                    _ => any = true,
+                }
+            }
+            if !any || commas > 0 {
+                panic!("serde_derive (vendored): only newtype tuple structs are supported");
+            }
+            Input::Newtype { name }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive (vendored): generic types are not supported")
+        }
+        other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Named { name, fields } => {
+            let mut body = String::from(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in &fields {
+                let push = format!(
+                    "__fields.push((\"{n}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{n})));",
+                    n = f.name
+                );
+                if let Some(cond) = &f.skip_serializing_if {
+                    body.push_str(&format!(
+                        "if !({cond}(&self.{n})) {{ {push} }}\n",
+                        n = f.name
+                    ));
+                } else {
+                    body.push_str(&push);
+                    body.push('\n');
+                }
+            }
+            body.push_str("::serde::Value::Object(__fields)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok(Self(::serde::Deserialize::deserialize_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Named { name, fields } => {
+            let mut body = String::from("Ok(Self {\n");
+            for f in &fields {
+                // `#[serde(default)]` and Option<…> fields tolerate absence.
+                let missing = if f.default || f.type_head == "Option" {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(::serde::DeError::missing_field(\"{name}\", \"{n}\"))",
+                        n = f.name
+                    )
+                };
+                body.push_str(&format!(
+                    "{n}: match ::serde::Value::field(__v, \"{n}\") {{\n\
+                         Some(__f) => ::serde::Deserialize::deserialize_value(__f)?,\n\
+                         None => {missing},\n\
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("})");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated impl must parse")
+}
