@@ -87,6 +87,14 @@ impl<'a> GameContext<'a> {
         self.selection[local].map_or(0, |idx| self.space.pool[idx as usize].mask)
     }
 
+    /// The union of the delivery-point masks of every worker's current
+    /// selection (Definition 8's disjointness invariant: this must always
+    /// equal the OR — and the disjoint sum — of the selected VDPS masks).
+    #[must_use]
+    pub fn taken_mask(&self) -> u128 {
+        self.taken
+    }
+
     /// Switches the `local`-th worker to `strategy` (a pool index valid for
     /// that worker, or `None` for null), updating the conflict mask and the
     /// cached payoff. Returns the previous selection.

@@ -239,8 +239,7 @@ mod tests {
         let views = inst.center_views();
         let s = StrategySpace::build(&inst, &views[0], &VdpsConfig::unpruned(3));
         let mut ctx = GameContext::new(&s);
-        let (assignment, diff, avg) =
-            exact_search(&mut ctx, ExactObjective::MinPayoffDifference);
+        let (assignment, diff, avg) = exact_search(&mut ctx, ExactObjective::MinPayoffDifference);
         assert!(assignment.validate(&inst).is_ok());
         assert!(
             diff <= 0.26 + 1e-9,

@@ -14,6 +14,7 @@
 use crate::context::GameContext;
 use crate::random::random_init;
 use crate::trace::ConvergenceTrace;
+use fta_core::iau::{IauParams, RivalSet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -59,6 +60,30 @@ impl Default for IegtConfig {
     }
 }
 
+impl IegtConfig {
+    /// Scale-aware slack under which a payoff counts as "at the average"
+    /// in the `σ̇ = 0` rest-point test: `equality_tolerance` is applied
+    /// *relative* to the average's magnitude (with an absolute floor of
+    /// `equality_tolerance` itself near zero), so the test behaves the same
+    /// whether payoffs are measured in cents or in thousands.
+    #[must_use]
+    pub fn rest_slack(&self, average: f64) -> f64 {
+        self.equality_tolerance * average.abs().max(1.0)
+    }
+
+    /// Scale-aware minimal margin by which a candidate payoff must exceed
+    /// the current one to count as a *strict* improvement. The previous
+    /// implementation used the absolute constant `f64::EPSILON`
+    /// (≈2.2e-16), which vanishes relative to rounding error once payoffs
+    /// grow past O(1) and over-filters when they are tiny; deriving the
+    /// margin from [`IegtConfig::equality_tolerance`] keeps the two
+    /// equality notions of the algorithm consistent at every scale.
+    #[must_use]
+    pub fn improvement_threshold(&self, current: f64) -> f64 {
+        self.equality_tolerance * current.abs().max(1.0)
+    }
+}
+
 /// Runs IEGT on a fresh context; returns the convergence trace. The final
 /// selection (an improved evolutionary equilibrium unless the round cap was
 /// hit) is left in `ctx`.
@@ -67,25 +92,42 @@ pub fn iegt(ctx: &mut GameContext<'_>, config: &IegtConfig) -> ConvergenceTrace 
     random_init(ctx, &mut rng);
 
     let mut trace = ConvergenceTrace::default();
-    trace.record(0, 0, ctx.payoffs(), ctx.total_payoff());
+    // IEGT does not evaluate IAU, but the incremental rival engine still
+    // pays off: it keeps the population total/average and the fairness
+    // metric current in O(1) per read instead of O(n) / O(n log n) scans
+    // per round. (The IAU weights inside are irrelevant here.)
+    let mut population = RivalSet::with_payoffs(ctx.payoffs(), IauParams::default());
+    trace.stats.evaluator_builds += 1;
+    trace.record_summary(
+        0,
+        0,
+        population.payoff_difference(),
+        population.average(),
+        population.total(),
+    );
 
     let n = ctx.n_workers();
     for round in 1..=config.max_rounds {
-        let average = ctx.total_payoff() / n as f64;
+        trace.stats.rounds += 1;
+        let average = population.average();
         let mut moves = 0;
         let mut all_at_rest = true;
         for local in 0..n {
             let current = ctx.payoff(local);
             // Replicator dynamics sign: σ̇ = σ (U_i − Ū); σ > 0 for a
             // strategy in play, so σ̇ < 0 ⇔ U_i < Ū.
-            if current >= average - config.equality_tolerance {
+            if current >= average - config.rest_slack(average) {
                 continue;
             }
             all_at_rest = false;
-            let better: Vec<(u32, f64)> = ctx
-                .available_strategies(local)
-                .filter(|&(_, p)| p > current + f64::EPSILON)
-                .collect();
+            let margin = config.improvement_threshold(current);
+            let mut better: Vec<(u32, f64)> = Vec::new();
+            for (idx, p) in ctx.available_strategies(local) {
+                trace.stats.candidate_evaluations += 1;
+                if p > current + margin {
+                    better.push((idx, p));
+                }
+            }
             let choice = match config.redraw {
                 RedrawPolicy::UniformBetter => better.choose(&mut rng).copied(),
                 RedrawPolicy::MinimalBetter => better
@@ -99,10 +141,20 @@ pub fn iegt(ctx: &mut GameContext<'_>, config: &IegtConfig) -> ConvergenceTrace 
             };
             if let Some((idx, _)) = choice {
                 ctx.set_strategy(local, Some(idx));
+                population.remove(current);
+                population.insert(ctx.payoff(local));
+                trace.stats.evaluator_updates += 2;
                 moves += 1;
+                trace.stats.switches += 1;
             }
         }
-        trace.record(round, moves, ctx.payoffs(), ctx.total_payoff());
+        trace.record_summary(
+            round,
+            moves,
+            population.payoff_difference(),
+            population.average(),
+            population.total(),
+        );
         // Termination (Algorithm 3 line 27): σ̇ = 0 for the whole
         // population, or no worker changed strategy this round.
         if all_at_rest || moves == 0 {
@@ -152,16 +204,56 @@ mod tests {
         let average = ctx.total_payoff() / ctx.n_workers() as f64;
         for local in 0..ctx.n_workers() {
             let current = ctx.payoff(local);
-            if current < average - 1e-9 {
+            if current < average - cfg.rest_slack(average) {
                 let improvable = ctx
                     .available_strategies(local)
-                    .any(|(_, p)| p > current + f64::EPSILON);
+                    .any(|(_, p)| p > current + cfg.improvement_threshold(current));
                 assert!(
                     !improvable,
                     "worker {local} is below average but could still evolve"
                 );
             }
         }
+    }
+
+    #[test]
+    fn improvement_threshold_scales_with_payoff_magnitude() {
+        // Regression: the strict-improvement filter used the absolute
+        // constant `f64::EPSILON`, which is meaningless both for payoffs in
+        // the thousands (any rounding noise passes as an "improvement") and
+        // near zero. The threshold must track the payoff scale.
+        let cfg = IegtConfig::default();
+        // Large payoffs: a 1-ulp "improvement" of 4096.0 must NOT pass.
+        let current = 4096.0_f64;
+        let one_ulp_up = f64::from_bits(current.to_bits() + 1);
+        assert!(one_ulp_up - current > f64::EPSILON); // old filter admitted it
+        assert!(one_ulp_up <= current + cfg.improvement_threshold(current));
+        // Genuine improvements still pass at every scale.
+        assert!(current + 0.01 > current + cfg.improvement_threshold(current));
+        assert!(0.02_f64 > 0.01 + cfg.improvement_threshold(0.01));
+        // The slack grows with magnitude but keeps an absolute floor.
+        assert!(cfg.improvement_threshold(1e6) > cfg.improvement_threshold(1.0));
+        assert_eq!(
+            cfg.improvement_threshold(0.0),
+            cfg.equality_tolerance,
+            "floor near zero"
+        );
+        assert_eq!(cfg.rest_slack(0.0), cfg.equality_tolerance);
+    }
+
+    #[test]
+    fn iegt_records_work_counters() {
+        let inst = instance(6);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let trace = iegt(&mut ctx, &IegtConfig::default());
+        assert_eq!(trace.stats.rounds as usize + 1, trace.len());
+        assert_eq!(trace.stats.evaluator_builds, 1);
+        assert_eq!(trace.stats.switches, trace.stats.evaluator_updates / 2);
+        assert_eq!(
+            trace.stats.switches as usize,
+            trace.rounds.iter().map(|r| r.moves).sum::<usize>()
+        );
     }
 
     #[test]

@@ -38,15 +38,17 @@ pub mod mpta;
 pub mod pfgt;
 pub mod random;
 pub mod solver;
+pub mod stats;
 pub mod trace;
 
 pub use context::GameContext;
-pub use fgt::{fgt, FgtConfig};
+pub use exact::{exact_search, ExactObjective};
+pub use fgt::{fgt, BestResponseEngine, FgtConfig};
 pub use gta::gta;
 pub use iegt::{iegt, IegtConfig, RedrawPolicy};
-pub use exact::{exact_search, ExactObjective};
 pub use mpta::{mpta, MptaConfig};
 pub use pfgt::{pfgt, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
 pub use solver::{solve, Algorithm, SolveConfig, SolveOutcome};
+pub use stats::BestResponseStats;
 pub use trace::{ConvergenceTrace, RoundStats};

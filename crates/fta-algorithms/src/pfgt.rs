@@ -9,10 +9,12 @@
 //! coincides with FGT (tested below).
 
 use crate::context::GameContext;
-use crate::fgt::FgtConfig;
+use crate::fgt::{BestResponseEngine, FgtConfig};
 use crate::random::random_init;
+use crate::stats::BestResponseStats;
 use crate::trace::ConvergenceTrace;
-use fta_core::priority::{priority_payoff_difference, PriorityIauEvaluator};
+use fta_core::iau::RivalSet;
+use fta_core::priority::{priority_payoff_difference, PriorityIauEvaluator, PriorityRivalSet};
 use fta_core::WorkerId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,6 +84,7 @@ pub fn pfgt<'a>(ctx: &mut GameContext<'a>, config: &PfgtConfig) -> ConvergenceTr
         .map(|local| config.priorities.of(ctx.space().worker_id(local)))
         .collect();
 
+    let mut total_stats = BestResponseStats::default();
     let mut best: Option<(GameContext<'a>, ConvergenceTrace, f64, f64)> = None;
     for attempt in 0..=config.base.restarts {
         let mut trial = GameContext::new(ctx.space());
@@ -91,6 +94,7 @@ pub fn pfgt<'a>(ctx: &mut GameContext<'a>, config: &PfgtConfig) -> ConvergenceTr
             &priorities,
             config.base.seed.wrapping_add(attempt as u64),
         );
+        total_stats.merge(&trace.stats);
         let diff = priority_payoff_difference(trial.payoffs(), &priorities);
         let avg = fta_core::fairness::average_payoff(trial.payoffs());
         let improves = best.as_ref().is_none_or(|&(_, _, bd, ba)| {
@@ -100,12 +104,34 @@ pub fn pfgt<'a>(ctx: &mut GameContext<'a>, config: &PfgtConfig) -> ConvergenceTr
             best = Some((trial, trace, diff, avg));
         }
     }
-    let (winner, trace, _, _) = best.expect("at least one attempt always runs");
+    let (winner, mut trace, _, _) = best.expect("at least one attempt always runs");
     *ctx = winner;
+    trace.stats = total_stats;
     trace
 }
 
 fn pfgt_once(
+    ctx: &mut GameContext<'_>,
+    config: &PfgtConfig,
+    priorities: &[f64],
+    seed: u64,
+) -> ConvergenceTrace {
+    match config.base.engine {
+        BestResponseEngine::Rebuild => pfgt_once_rebuild(ctx, config, priorities, seed),
+        BestResponseEngine::Incremental => pfgt_once_incremental(ctx, config, priorities, seed),
+    }
+}
+
+fn new_trace(config: &PfgtConfig) -> ConvergenceTrace {
+    if config.base.snapshot_payoffs {
+        ConvergenceTrace::with_snapshots()
+    } else {
+        ConvergenceTrace::default()
+    }
+}
+
+/// Legacy engine: a fresh [`PriorityIauEvaluator`] per worker per round.
+fn pfgt_once_rebuild(
     ctx: &mut GameContext<'_>,
     config: &PfgtConfig,
     priorities: &[f64],
@@ -120,11 +146,12 @@ fn pfgt_once(
             config.base.iau,
         )
     };
-    let mut trace = ConvergenceTrace::default();
+    let mut trace = new_trace(config);
     trace.record(0, 0, ctx.payoffs(), potential(ctx.payoffs()));
 
     let n = ctx.n_workers();
     for round in 1..=config.base.max_rounds {
+        trace.stats.rounds += 1;
         let mut moves = 0;
         for local in 0..n {
             let others: Vec<(f64, f64)> = (0..n)
@@ -132,11 +159,14 @@ fn pfgt_once(
                 .map(|j| (ctx.payoff(j), priorities[j]))
                 .collect();
             let eval = PriorityIauEvaluator::new(priorities[local], &others, config.base.iau);
+            trace.stats.evaluator_builds += 1;
 
             let current_utility = eval.eval(ctx.payoff(local));
             let mut best: Option<(Option<u32>, f64)> = Some((None, eval.eval(0.0)));
+            trace.stats.candidate_evaluations += 2;
             for (idx, payoff) in ctx.available_strategies(local) {
                 let u = eval.eval(payoff);
+                trace.stats.candidate_evaluations += 1;
                 if best.as_ref().is_none_or(|&(_, bu)| u > bu) {
                     best = Some((Some(idx), u));
                 }
@@ -147,9 +177,99 @@ fn pfgt_once(
             {
                 ctx.set_strategy(local, choice);
                 moves += 1;
+                trace.stats.switches += 1;
+                if choice.is_none() {
+                    trace.stats.null_adoptions += 1;
+                }
             }
         }
         trace.record(round, moves, ctx.payoffs(), potential(ctx.payoffs()));
+        if moves == 0 {
+            trace.converged = true;
+            break;
+        }
+    }
+    trace
+}
+
+/// Incremental engine: one [`PriorityRivalSet`] (normalised-payoff space,
+/// for utilities and the potential) plus one raw [`RivalSet`] (for the
+/// trace's raw `P_dif` and average) maintained across the whole run.
+fn pfgt_once_incremental(
+    ctx: &mut GameContext<'_>,
+    config: &PfgtConfig,
+    priorities: &[f64],
+    seed: u64,
+) -> ConvergenceTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_init(ctx, &mut rng);
+
+    let mut trace = new_trace(config);
+    // One engine in normalised-payoff space drives the best responses; a
+    // second raw-payoff engine feeds the unweighted trace statistics.
+    let mut q_rivals = PriorityRivalSet::new(config.base.iau);
+    for (local, &p) in ctx.payoffs().iter().enumerate() {
+        q_rivals.insert(p, priorities[local]);
+    }
+    let mut raw = RivalSet::with_payoffs(ctx.payoffs(), config.base.iau);
+    trace.stats.evaluator_builds += 2;
+
+    trace.snapshot(ctx.payoffs());
+    trace.record_summary(
+        0,
+        0,
+        raw.payoff_difference(),
+        raw.average(),
+        q_rivals.potential(),
+    );
+
+    let n = ctx.n_workers();
+    for round in 1..=config.base.max_rounds {
+        trace.stats.rounds += 1;
+        let mut moves = 0;
+        for (local, &rho) in priorities.iter().enumerate().take(n) {
+            let own = ctx.payoff(local);
+            q_rivals.remove(own, rho);
+            trace.stats.evaluator_updates += 1;
+
+            let current_utility = q_rivals.eval(own, rho);
+            let mut best: Option<(Option<u32>, f64)> = Some((None, q_rivals.eval(0.0, rho)));
+            trace.stats.candidate_evaluations += 2;
+            for (idx, payoff) in ctx.available_strategies(local) {
+                let u = q_rivals.eval(payoff, rho);
+                trace.stats.candidate_evaluations += 1;
+                if best.as_ref().is_none_or(|&(_, bu)| u > bu) {
+                    best = Some((Some(idx), u));
+                }
+            }
+            let (choice, utility) = best.expect("null is always a candidate");
+            if utility > current_utility + config.base.min_improvement
+                && choice != ctx.selection(local)
+            {
+                ctx.set_strategy(local, choice);
+                moves += 1;
+                trace.stats.switches += 1;
+                if choice.is_none() {
+                    trace.stats.null_adoptions += 1;
+                }
+            }
+            let adopted = ctx.payoff(local);
+            q_rivals.insert(adopted, rho);
+            trace.stats.evaluator_updates += 1;
+            if adopted != own {
+                raw.remove(own);
+                raw.insert(adopted);
+                trace.stats.evaluator_updates += 2;
+            }
+        }
+        trace.snapshot(ctx.payoffs());
+        trace.record_summary(
+            round,
+            moves,
+            raw.payoff_difference(),
+            raw.average(),
+            q_rivals.potential(),
+        );
         if moves == 0 {
             trace.converged = true;
             break;
@@ -280,6 +400,33 @@ mod tests {
             high_total > low_total,
             "high-priority workers earned {high_total}, low earned {low_total}"
         );
+    }
+
+    #[test]
+    fn engines_compute_identical_equilibria_under_priorities() {
+        use crate::fgt::BestResponseEngine;
+        for seed in [31, 32, 33, 34] {
+            let inst = instance(seed);
+            let s = space(&inst);
+            let run = |engine| {
+                let mut ctx = GameContext::new(&s);
+                let trace = pfgt(
+                    &mut ctx,
+                    &PfgtConfig {
+                        base: FgtConfig {
+                            engine,
+                            ..FgtConfig::default()
+                        },
+                        priorities: PrioritySpec::ByWorker(tiered),
+                    },
+                );
+                (ctx.to_assignment(), trace.len())
+            };
+            let (a_asg, a_len) = run(BestResponseEngine::Rebuild);
+            let (b_asg, b_len) = run(BestResponseEngine::Incremental);
+            assert_eq!(a_asg, b_asg, "seed {seed}: assignments diverge");
+            assert_eq!(a_len, b_len, "seed {seed}: round counts diverge");
+        }
     }
 
     #[test]

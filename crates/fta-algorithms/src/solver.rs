@@ -13,6 +13,7 @@ use crate::iegt::{iegt, IegtConfig};
 use crate::mpta::{mpta, MptaConfig};
 use crate::pfgt::{pfgt, PfgtConfig};
 use crate::random::random_assignment;
+use crate::stats::BestResponseStats;
 use crate::trace::ConvergenceTrace;
 use fta_core::instance::CenterView;
 use fta_core::{Assignment, Instance};
@@ -120,6 +121,9 @@ pub struct SolveOutcome {
     pub assign_time: Duration,
     /// Aggregated VDPS generation statistics.
     pub gen_stats: GenerationStats,
+    /// Aggregated best-response work counters over all centers and
+    /// restarts (all-zero for the non-iterative baselines).
+    pub br_stats: BestResponseStats,
     /// Merged convergence trace (FGT/IEGT only; empty for the baselines).
     pub trace: ConvergenceTrace,
 }
@@ -219,12 +223,14 @@ pub fn solve(instance: &Instance, config: &SolveConfig) -> SolveOutcome {
     let mut vdps_time = Duration::ZERO;
     let mut assign_time = Duration::ZERO;
     let mut gen_stats = GenerationStats::default();
+    let mut br_stats = BestResponseStats::default();
     let mut trace: Option<ConvergenceTrace> = None;
     for outcome in outcomes {
         assignment.merge(outcome.assignment);
         vdps_time += outcome.vdps_time;
         assign_time += outcome.assign_time;
         gen_stats.merge(&outcome.gen_stats);
+        br_stats.merge(&outcome.trace.stats);
         if !outcome.trace.is_empty() {
             match &mut trace {
                 Some(t) => t.merge_parallel(&outcome.trace),
@@ -237,6 +243,7 @@ pub fn solve(instance: &Instance, config: &SolveConfig) -> SolveOutcome {
         vdps_time,
         assign_time,
         gen_stats,
+        br_stats,
         trace: trace.unwrap_or_default(),
     }
 }
@@ -307,12 +314,37 @@ mod tests {
     #[test]
     fn game_algorithms_report_traces() {
         let inst = multi_center_instance();
-        let fgt_out = solve(&inst, &SolveConfig::new(Algorithm::Fgt(FgtConfig::default())));
+        let fgt_out = solve(
+            &inst,
+            &SolveConfig::new(Algorithm::Fgt(FgtConfig::default())),
+        );
         assert!(!fgt_out.trace.is_empty());
         assert!(fgt_out.trace.converged);
 
         let gta_out = solve(&inst, &SolveConfig::new(Algorithm::Gta));
         assert!(gta_out.trace.is_empty());
+    }
+
+    #[test]
+    fn br_stats_surface_for_game_algorithms_only() {
+        let inst = multi_center_instance();
+        let fgt_out = solve(
+            &inst,
+            &SolveConfig::new(Algorithm::Fgt(FgtConfig::default())),
+        );
+        assert!(!fgt_out.br_stats.is_empty());
+        assert!(fgt_out.br_stats.rounds > 0);
+        assert!(fgt_out.br_stats.candidate_evaluations > 0);
+        assert_eq!(fgt_out.br_stats, fgt_out.trace.stats);
+
+        let iegt_out = solve(
+            &inst,
+            &SolveConfig::new(Algorithm::Iegt(IegtConfig::default())),
+        );
+        assert!(iegt_out.br_stats.rounds > 0);
+
+        let gta_out = solve(&inst, &SolveConfig::new(Algorithm::Gta));
+        assert!(gta_out.br_stats.is_empty());
     }
 
     #[test]

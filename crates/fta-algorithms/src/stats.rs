@@ -1,0 +1,103 @@
+//! Instrumentation counters of the iterative game-theoretic algorithms.
+//!
+//! [`BestResponseStats`] is the equilibrium-loop counterpart of
+//! `fta_vdps::GenerationStats`: cheap integer counters incremented on the
+//! hot path that make the cost model of FGT/PFGT/IEGT observable — how many
+//! candidate utilities were evaluated, how often workers actually switched,
+//! and how much work the utility evaluator itself did (full rebuilds vs
+//! incremental point updates). The counters are what the `rivalset` bench
+//! and the engine-equivalence tests assert on, and they surface through
+//! [`crate::SolveOutcome`], the experiment report, and the CLI.
+
+/// Counters of one or more best-response / replicator runs.
+///
+/// All counters are cumulative: merging traces (restarts, parallel centers)
+/// sums them. The two `evaluator_*` counters distinguish the engines:
+///
+/// * the **rebuild** engine constructs a fresh sorted evaluator for every
+///   worker in every round (`evaluator_builds ≈ n · rounds`, no updates);
+/// * the **incremental** engine builds one [`fta_core::iau::RivalSet`] per
+///   run and maintains it with `O(log n)` point updates
+///   (`evaluator_builds` per restart, `evaluator_updates ≈ 2n · rounds`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BestResponseStats {
+    /// Best-response / evolution rounds executed (round 0 excluded).
+    pub rounds: u64,
+    /// Candidate utilities evaluated (current strategy, null, and every
+    /// available VDPS each count once).
+    pub candidate_evaluations: u64,
+    /// Strategy switches actually performed.
+    pub switches: u64,
+    /// Switches that adopted the null strategy.
+    pub null_adoptions: u64,
+    /// Full evaluator constructions (sort + prefix-sum over all rivals).
+    pub evaluator_builds: u64,
+    /// Incremental evaluator maintenance operations (one per payoff
+    /// removed from or inserted into a rival structure).
+    pub evaluator_updates: u64,
+}
+
+impl BestResponseStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.rounds += other.rounds;
+        self.candidate_evaluations += other.candidate_evaluations;
+        self.switches += other.switches;
+        self.null_adoptions += other.null_adoptions;
+        self.evaluator_builds += other.evaluator_builds;
+        self.evaluator_updates += other.evaluator_updates;
+    }
+
+    /// Whether no work was recorded (e.g. a baseline algorithm ran).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = BestResponseStats {
+            rounds: 1,
+            candidate_evaluations: 10,
+            switches: 3,
+            null_adoptions: 1,
+            evaluator_builds: 2,
+            evaluator_updates: 8,
+        };
+        let b = BestResponseStats {
+            rounds: 2,
+            candidate_evaluations: 5,
+            switches: 1,
+            null_adoptions: 0,
+            evaluator_builds: 1,
+            evaluator_updates: 4,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            BestResponseStats {
+                rounds: 3,
+                candidate_evaluations: 15,
+                switches: 4,
+                null_adoptions: 1,
+                evaluator_builds: 3,
+                evaluator_updates: 12,
+            }
+        );
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(BestResponseStats::default().is_empty());
+        let s = BestResponseStats {
+            rounds: 1,
+            ..Default::default()
+        };
+        assert!(!s.is_empty());
+    }
+}

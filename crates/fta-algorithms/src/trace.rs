@@ -5,6 +5,7 @@
 //! needed to regenerate that figure, and is also what the convergence tests
 //! assert on.
 
+use crate::stats::BestResponseStats;
 use fta_core::fairness::{average_payoff, payoff_difference};
 
 /// Metrics of one best-response / replicator round.
@@ -24,6 +25,13 @@ pub struct RoundStats {
 }
 
 /// The full per-round history of one algorithm run on one center.
+///
+/// Per-round entries are `O(1)` summaries ([`RoundStats`]); the incremental
+/// engines feed them via [`ConvergenceTrace::record_summary`] from metrics
+/// their rival structure already maintains, so tracing adds no per-round
+/// `O(n log n)` scan. Full per-round payoff vectors are **opt-in** through
+/// [`ConvergenceTrace::with_snapshots`] (they cost `O(n)` memory per round
+/// and are only needed to regenerate distribution-style plots).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConvergenceTrace {
     /// One entry per round, including the initialisation round 0.
@@ -31,16 +39,74 @@ pub struct ConvergenceTrace {
     /// Whether the run reached its fixed point (no moves / replicator rest
     /// point) rather than the round cap.
     pub converged: bool,
+    /// Counters of the best-response work performed by the run(s) behind
+    /// this trace (summed across restarts and merged centers).
+    pub stats: BestResponseStats,
+    /// Full payoff vectors per recorded round; empty unless the trace was
+    /// created via [`ConvergenceTrace::with_snapshots`].
+    pub snapshots: Vec<Vec<f64>>,
+    /// Whether [`ConvergenceTrace::snapshot`] captures.
+    capture_snapshots: bool,
 }
 
 impl ConvergenceTrace {
-    /// Records a round from a payoff vector and a potential value.
+    /// Creates a trace that additionally captures the full payoff vector of
+    /// every recorded round in [`ConvergenceTrace::snapshots`].
+    #[must_use]
+    pub fn with_snapshots() -> Self {
+        Self {
+            capture_snapshots: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this trace captures full payoff snapshots.
+    #[must_use]
+    pub fn captures_snapshots(&self) -> bool {
+        self.capture_snapshots
+    }
+
+    /// Stores a copy of `payoffs` if snapshot capture is enabled; a no-op
+    /// (and allocation-free) otherwise.
+    pub fn snapshot(&mut self, payoffs: &[f64]) {
+        if self.capture_snapshots {
+            self.snapshots.push(payoffs.to_vec());
+        }
+    }
+
+    /// Records a round from a payoff vector and a potential value,
+    /// computing the summary metrics in `O(n log n)` (and capturing a
+    /// snapshot when enabled). The incremental engines avoid this cost via
+    /// [`ConvergenceTrace::record_summary`].
     pub fn record(&mut self, round: usize, moves: usize, payoffs: &[f64], potential: f64) {
+        self.snapshot(payoffs);
+        self.record_summary(
+            round,
+            moves,
+            payoff_difference(payoffs),
+            average_payoff(payoffs),
+            potential,
+        );
+    }
+
+    /// Records a round from precomputed summary metrics in `O(1)`. Callers
+    /// owning incrementally-maintained statistics (e.g.
+    /// [`fta_core::iau::RivalSet`]) use this to keep tracing off the hot
+    /// path; pair with [`ConvergenceTrace::snapshot`] when payoff vectors
+    /// are wanted too.
+    pub fn record_summary(
+        &mut self,
+        round: usize,
+        moves: usize,
+        payoff_difference: f64,
+        average_payoff: f64,
+        potential: f64,
+    ) {
         self.rounds.push(RoundStats {
             round,
             moves,
-            payoff_difference: payoff_difference(payoffs),
-            average_payoff: average_payoff(payoffs),
+            payoff_difference,
+            average_payoff,
             potential,
         });
     }
@@ -65,11 +131,16 @@ impl ConvergenceTrace {
 
     /// Merges another center's trace into this one round-by-round, summing
     /// moves and averaging metrics; used when reporting a whole-instance
-    /// convergence curve from per-center runs.
+    /// convergence curve from per-center runs. Work counters are summed;
+    /// payoff snapshots stay per-center (this trace keeps its own).
     pub fn merge_parallel(&mut self, other: &ConvergenceTrace) {
+        self.stats.merge(&other.stats);
         let n = self.rounds.len().max(other.rounds.len());
         let take = |t: &ConvergenceTrace, i: usize| -> Option<RoundStats> {
-            t.rounds.get(i).copied().or_else(|| t.rounds.last().copied())
+            t.rounds
+                .get(i)
+                .copied()
+                .or_else(|| t.rounds.last().copied())
         };
         let mut merged = Vec::with_capacity(n);
         for i in 0..n {
@@ -143,5 +214,50 @@ mod tests {
         let t = ConvergenceTrace::default();
         assert!(t.is_empty());
         assert!(t.last().is_none());
+    }
+
+    #[test]
+    fn snapshots_are_opt_in() {
+        let mut off = ConvergenceTrace::default();
+        off.record(0, 0, &[1.0, 2.0], 3.0);
+        assert!(!off.captures_snapshots());
+        assert!(off.snapshots.is_empty());
+
+        let mut on = ConvergenceTrace::with_snapshots();
+        on.record(0, 0, &[1.0, 2.0], 3.0);
+        on.snapshot(&[2.0, 2.0]);
+        assert_eq!(on.snapshots, vec![vec![1.0, 2.0], vec![2.0, 2.0]]);
+    }
+
+    #[test]
+    fn record_summary_matches_record() {
+        let payoffs = [1.0, 3.0, 5.0];
+        let mut a = ConvergenceTrace::default();
+        a.record(1, 2, &payoffs, 7.0);
+        let mut b = ConvergenceTrace::default();
+        b.record_summary(
+            1,
+            2,
+            fta_core::fairness::payoff_difference(&payoffs),
+            fta_core::fairness::average_payoff(&payoffs),
+            7.0,
+        );
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn merge_sums_work_counters() {
+        let mut a = ConvergenceTrace::default();
+        a.record(0, 0, &[1.0], 1.0);
+        a.stats.rounds = 2;
+        a.stats.evaluator_builds = 1;
+        let mut b = ConvergenceTrace::default();
+        b.record(0, 0, &[1.0], 1.0);
+        b.stats.rounds = 3;
+        b.stats.evaluator_updates = 10;
+        a.merge_parallel(&b);
+        assert_eq!(a.stats.rounds, 5);
+        assert_eq!(a.stats.evaluator_builds, 1);
+        assert_eq!(a.stats.evaluator_updates, 10);
     }
 }

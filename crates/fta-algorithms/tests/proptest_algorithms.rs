@@ -3,8 +3,8 @@
 //! for every input, not just the crafted unit-test cases.
 
 use fta_algorithms::{
-    fgt, gta, iegt, mpta, random_assignment, solve, Algorithm, FgtConfig, GameContext,
-    IegtConfig, MptaConfig, SolveConfig,
+    fgt, gta, iegt, mpta, random_assignment, solve, Algorithm, FgtConfig, GameContext, IegtConfig,
+    MptaConfig, SolveConfig,
 };
 use fta_core::iau::IauEvaluator;
 use fta_core::Instance;
@@ -14,22 +14,20 @@ use proptest::prelude::*;
 
 /// Random small instances driven by a seed and size knobs.
 fn arb_instance() -> impl Strategy<Value = Instance> {
-    (1u64..500, 2usize..12, 4usize..16, 1usize..4).prop_map(
-        |(seed, n_workers, n_dps, max_dp)| {
-            generate_syn(
-                &SynConfig {
-                    n_centers: 1,
-                    n_workers,
-                    n_tasks: n_dps * 6,
-                    n_delivery_points: n_dps,
-                    max_dp,
-                    extent: 3.0,
-                    ..SynConfig::bench_scale()
-                },
-                seed,
-            )
-        },
-    )
+    (1u64..500, 2usize..12, 4usize..16, 1usize..4).prop_map(|(seed, n_workers, n_dps, max_dp)| {
+        generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers,
+                n_tasks: n_dps * 6,
+                n_delivery_points: n_dps,
+                max_dp,
+                extent: 3.0,
+                ..SynConfig::bench_scale()
+            },
+            seed,
+        )
+    })
 }
 
 fn space(instance: &Instance) -> StrategySpace {
@@ -110,16 +108,21 @@ proptest! {
     fn iegt_fixed_point_is_a_replicator_rest_point(instance in arb_instance()) {
         let s = space(&instance);
         let mut ctx = GameContext::new(&s);
-        let trace = iegt(&mut ctx, &IegtConfig::default());
+        let cfg = IegtConfig::default();
+        let trace = iegt(&mut ctx, &cfg);
         prop_assert!(trace.converged);
         let n = ctx.n_workers() as f64;
         let average = ctx.total_payoff() / n;
+        // Mirror the algorithm's scale-aware equality notions: a worker
+        // strictly below the average (beyond the rest slack) must have no
+        // available strategy that clears the improvement threshold.
         for local in 0..ctx.n_workers() {
             let current = ctx.payoff(local);
-            if current < average - 1e-9 {
+            if current < average - cfg.rest_slack(average) {
+                let margin = cfg.improvement_threshold(current);
                 prop_assert!(!ctx
                     .available_strategies(local)
-                    .any(|(_, p)| p > current + f64::EPSILON));
+                    .any(|(_, p)| p > current + margin));
             }
         }
     }
@@ -164,5 +167,44 @@ proptest! {
         let mut ctx = GameContext::new(&s);
         random_assignment(&mut ctx, seed);
         prop_assert!(ctx.to_assignment().validate(&instance).is_ok());
+    }
+
+    #[test]
+    fn game_context_invariants_hold_under_random_strategy_sequences(
+        instance in arb_instance(),
+        ops in prop::collection::vec((0u16..u16::MAX, 0u16..u16::MAX, prop::bool::ANY), 1..40),
+    ) {
+        // After ANY sequence of set_strategy calls, the cached occupancy
+        // mask must equal the OR of the selected strategies' masks, and the
+        // cached payoffs must equal a fresh recomputation from the space.
+        let s = space(&instance);
+        let mut ctx = GameContext::new(&s);
+        for (w, pick, clear) in ops {
+            let local = w as usize % ctx.n_workers();
+            if clear {
+                ctx.set_strategy(local, None);
+            } else {
+                let avail: Vec<(u32, f64)> = ctx.available_strategies(local).collect();
+                if !avail.is_empty() {
+                    let (idx, _) = avail[pick as usize % avail.len()];
+                    ctx.set_strategy(local, Some(idx));
+                }
+            }
+            let mut expect_taken = 0u128;
+            let mut expect_total = 0.0;
+            for l in 0..ctx.n_workers() {
+                let expect_payoff = match ctx.selection(l) {
+                    Some(idx) => {
+                        expect_taken |= s.pool[idx as usize].mask;
+                        s.payoff_of(l, idx).expect("selected strategy must stay valid")
+                    }
+                    None => 0.0,
+                };
+                prop_assert_eq!(ctx.payoff(l), expect_payoff, "worker {}", l);
+                expect_total += expect_payoff;
+            }
+            prop_assert_eq!(ctx.taken_mask(), expect_taken);
+            prop_assert!((ctx.total_payoff() - expect_total).abs() < 1e-9);
+        }
     }
 }

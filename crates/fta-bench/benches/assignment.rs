@@ -23,18 +23,14 @@ fn bench_workers(c: &mut Criterion) {
     for &n_workers in &[20usize, 40, 80] {
         let instance = syn_single_center(n_workers, 60, 3);
         for (name, algorithm) in algorithms() {
-            group.bench_with_input(
-                BenchmarkId::new(name, n_workers),
-                &n_workers,
-                |b, _| {
-                    let cfg = SolveConfig {
-                        vdps: VdpsConfig::pruned(2.0, 3),
-                        algorithm,
-                        parallel: false,
-                    };
-                    b.iter(|| black_box(solve(&instance, &cfg)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n_workers), &n_workers, |b, _| {
+                let cfg = SolveConfig {
+                    vdps: VdpsConfig::pruned(2.0, 3),
+                    algorithm,
+                    parallel: false,
+                };
+                b.iter(|| black_box(solve(&instance, &cfg)));
+            });
         }
     }
     group.finish();

@@ -12,30 +12,22 @@ fn bench_to_equilibrium(c: &mut Criterion) {
     group.sample_size(10);
     for &n_workers in &[20usize, 40, 80] {
         let instance = syn_single_center(n_workers, 60, 9);
-        group.bench_with_input(
-            BenchmarkId::new("FGT", n_workers),
-            &n_workers,
-            |b, _| {
-                let cfg = SolveConfig {
-                    vdps: VdpsConfig::pruned(2.0, 3),
-                    algorithm: Algorithm::Fgt(FgtConfig::default()),
-                    parallel: false,
-                };
-                b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("IEGT", n_workers),
-            &n_workers,
-            |b, _| {
-                let cfg = SolveConfig {
-                    vdps: VdpsConfig::pruned(2.0, 3),
-                    algorithm: Algorithm::Iegt(IegtConfig::default()),
-                    parallel: false,
-                };
-                b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("FGT", n_workers), &n_workers, |b, _| {
+            let cfg = SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm: Algorithm::Fgt(FgtConfig::default()),
+                parallel: false,
+            };
+            b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("IEGT", n_workers), &n_workers, |b, _| {
+            let cfg = SolveConfig {
+                vdps: VdpsConfig::pruned(2.0, 3),
+                algorithm: Algorithm::Iegt(IegtConfig::default()),
+                parallel: false,
+            };
+            b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
+        });
     }
     group.finish();
 }

@@ -12,7 +12,10 @@ fn policies() -> Vec<(&'static str, DispatchPolicy)> {
     vec![
         ("IMMED", DispatchPolicy::Immediate),
         ("GTA", DispatchPolicy::Batch(Algorithm::Gta)),
-        ("FGT", DispatchPolicy::Batch(Algorithm::Fgt(FgtConfig::default()))),
+        (
+            "FGT",
+            DispatchPolicy::Batch(Algorithm::Fgt(FgtConfig::default())),
+        ),
         (
             "IEGT",
             DispatchPolicy::Batch(Algorithm::Iegt(IegtConfig::default())),
@@ -36,20 +39,16 @@ fn bench_simulated_day(c: &mut Criterion) {
             17,
         );
         for (name, policy) in policies() {
-            group.bench_with_input(
-                BenchmarkId::new(name, rate as u64),
-                &rate,
-                |b, _| {
-                    let cfg = SimConfig {
-                        horizon: 4.0,
-                        assignment_period: 0.25,
-                        policy,
-                        vdps: VdpsConfig::pruned(2.0, 3),
-                        parallel: false,
-                    };
-                    b.iter(|| black_box(run(&scenario, &cfg)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, rate as u64), &rate, |b, _| {
+                let cfg = SimConfig {
+                    horizon: 4.0,
+                    assignment_period: 0.25,
+                    policy,
+                    vdps: VdpsConfig::pruned(2.0, 3),
+                    parallel: false,
+                };
+                b.iter(|| black_box(run(&scenario, &cfg)));
+            });
         }
     }
     group.finish();

@@ -13,19 +13,15 @@ fn bench_pruning(c: &mut Criterion) {
     for &n_dps in &[20usize, 40, 60, 80, 100] {
         let instance = syn_single_center(40, n_dps, 7);
         let views = instance.center_views();
-        group.bench_with_input(
-            BenchmarkId::new("pruned_eps2", n_dps),
-            &n_dps,
-            |b, _| {
-                b.iter(|| {
-                    black_box(StrategySpace::build(
-                        &instance,
-                        &views[0],
-                        &VdpsConfig::pruned(2.0, 3),
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pruned_eps2", n_dps), &n_dps, |b, _| {
+            b.iter(|| {
+                black_box(StrategySpace::build(
+                    &instance,
+                    &views[0],
+                    &VdpsConfig::pruned(2.0, 3),
+                ))
+            });
+        });
         group.bench_with_input(BenchmarkId::new("unpruned_W", n_dps), &n_dps, |b, _| {
             b.iter(|| {
                 black_box(StrategySpace::build(

@@ -114,7 +114,10 @@ fn main() -> ExitCode {
         if cli.charts {
             if let ExperimentOutput::Figure(fig) = &output {
                 for panel in &fig.panels {
-                    println!("{}", fta_experiments::render_chart(panel, &fig.x_label, 64, 14));
+                    println!(
+                        "{}",
+                        fta_experiments::render_chart(panel, &fig.x_label, 64, 14)
+                    );
                 }
             }
         }

@@ -1,0 +1,62 @@
+//! Acceptance test for the incremental rival-payoff engine: at `n = 1000`
+//! workers the incremental engine must do at least 5× fewer
+//! evaluator-construction operations per best-response round than the
+//! rebuild engine. (Wall-clock confirmation lives in
+//! `benches/rivalset.rs`; this test pins the work counters, which are
+//! deterministic.)
+
+use fta_algorithms::{solve, Algorithm, BestResponseEngine, FgtConfig, SolveConfig};
+use fta_bench::syn_single_center;
+use fta_vdps::VdpsConfig;
+
+#[test]
+fn incremental_engine_builds_at_least_5x_fewer_evaluators_per_round() {
+    let instance = syn_single_center(1000, 60, 3);
+    let run = |engine: BestResponseEngine| {
+        let cfg = SolveConfig {
+            vdps: VdpsConfig::pruned(2.0, 3),
+            algorithm: Algorithm::Fgt(FgtConfig {
+                // Two rounds and no restarts keep the debug-mode test fast;
+                // the per-round ratio is independent of the round count.
+                max_rounds: 2,
+                restarts: 0,
+                engine,
+                ..FgtConfig::default()
+            }),
+            parallel: false,
+        };
+        solve(&instance, &cfg)
+    };
+
+    let rebuild = run(BestResponseEngine::Rebuild).br_stats;
+    let incremental = run(BestResponseEngine::Incremental).br_stats;
+
+    // Both engines evaluate the same candidates in the same order.
+    assert_eq!(rebuild.rounds, incremental.rounds);
+    assert_eq!(
+        rebuild.candidate_evaluations,
+        incremental.candidate_evaluations
+    );
+    assert!(rebuild.rounds > 0, "FGT did no best-response rounds");
+
+    // Evaluator-construction ops per round: the rebuild engine makes one
+    // O(n) evaluator per worker turn (n per round); the incremental engine
+    // amortises a single build across the whole run and otherwise only
+    // performs O(log n) treap remove/insert pairs, which are maintenance,
+    // not construction.
+    let per_round = |builds: u64, rounds: u64| -> f64 { builds as f64 / rounds as f64 };
+    let rebuild_builds = per_round(rebuild.evaluator_builds, rebuild.rounds);
+    let incremental_builds = per_round(incremental.evaluator_builds, incremental.rounds);
+    assert!(
+        rebuild_builds >= 5.0 * incremental_builds,
+        "expected >=5x fewer evaluator-construction ops per round: \
+         rebuild {rebuild_builds}/round vs incremental {incremental_builds}/round"
+    );
+
+    // Shape checks: exactly one RivalSet build for the whole run, and the
+    // rebuild engine never performs incremental updates.
+    assert_eq!(incremental.evaluator_builds, 1);
+    assert_eq!(rebuild.evaluator_updates, 0);
+    // The rebuild engine constructs one evaluator per worker per round.
+    assert_eq!(rebuild.evaluator_builds, rebuild.rounds * 1000);
+}

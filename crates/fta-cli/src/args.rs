@@ -338,7 +338,10 @@ mod tests {
 
     #[test]
     fn solve_epsilon_none_disables_pruning() {
-        let cmd = parse(&argv("solve city.json --algo gta --epsilon none --parallel")).unwrap();
+        let cmd = parse(&argv(
+            "solve city.json --algo gta --epsilon none --parallel",
+        ))
+        .unwrap();
         match cmd {
             Command::Solve {
                 epsilon, parallel, ..
@@ -378,7 +381,9 @@ mod tests {
     #[test]
     fn help_and_unknown_commands_return_usage() {
         assert!(parse(&argv("--help")).unwrap_err().contains("usage: fta"));
-        assert!(parse(&argv("frobnicate")).unwrap_err().contains("usage: fta"));
+        assert!(parse(&argv("frobnicate"))
+            .unwrap_err()
+            .contains("usage: fta"));
         assert!(parse(&[]).unwrap_err().contains("usage: fta"));
     }
 }

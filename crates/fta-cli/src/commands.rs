@@ -93,11 +93,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             );
             let aggs = inst.dp_aggregates();
             for view in inst.center_views() {
-                let tasks: usize = view
-                    .dps
-                    .iter()
-                    .map(|dp| aggs[dp.index()].task_count)
-                    .sum();
+                let tasks: usize = view.dps.iter().map(|dp| aggs[dp.index()].task_count).sum();
                 let _ = writeln!(
                     out,
                     "  {}: {} workers, {} task-bearing delivery points, {} tasks",
@@ -143,6 +139,19 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 outcome.assign_time,
             );
             text.push_str(&outcome.assignment.summary(&inst, &workers));
+            if !outcome.br_stats.is_empty() {
+                let s = outcome.br_stats;
+                let _ = writeln!(
+                    text,
+                    "best-response work: {} rounds, {} candidate evals, {} switches ({} to null), {} evaluator builds, {} incremental updates",
+                    s.rounds,
+                    s.candidate_evaluations,
+                    s.switches,
+                    s.null_adoptions,
+                    s.evaluator_builds,
+                    s.evaluator_updates,
+                );
+            }
             if let Some(path) = out {
                 save_assignment(path, &outcome.assignment).map_err(|e| e.to_string())?;
                 let _ = writeln!(text, "assignment written to {}", path.display());
@@ -215,8 +224,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             }
             match schedule_route(&inst, center, &dp_ids) {
                 Some(route) => {
-                    let stops: Vec<String> =
-                        route.dps().iter().map(ToString::to_string).collect();
+                    let stops: Vec<String> = route.dps().iter().map(ToString::to_string).collect();
                     Ok(format!(
                         "{} -> {} | travel from center {:.3} h, reward {:.2}, slack {:.3} h\n",
                         center,
@@ -304,6 +312,41 @@ mod tests {
     }
 
     #[test]
+    fn solve_reports_best_response_work_for_game_algorithms() {
+        let instance_path = temp("brwork.json");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 21 --centers 1 --workers 6 --tasks 60 --dps 10 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        // FGT surfaces its equilibrium-loop counters…
+        let cmd = parse(&argv(&format!(
+            "solve {} --algo fgt",
+            instance_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(
+            out.contains("best-response work:"),
+            "missing stats in:\n{out}"
+        );
+        assert!(out.contains("evaluator builds"));
+
+        // …while the non-iterative baseline stays silent.
+        let cmd = parse(&argv(&format!(
+            "solve {} --algo gta",
+            instance_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(!out.contains("best-response work:"));
+
+        let _ = std::fs::remove_file(&instance_path);
+    }
+
+    #[test]
     fn compare_prints_all_algorithms() {
         let instance_path = temp("compare.json");
         let cmd = parse(&argv(&format!(
@@ -352,7 +395,9 @@ mod tests {
             foreign.id.0
         )))
         .unwrap();
-        assert!(execute(&cmd).unwrap_err().contains("another distribution center"));
+        assert!(execute(&cmd)
+            .unwrap_err()
+            .contains("another distribution center"));
 
         let cmd = parse(&argv(&format!(
             "schedule {} --center 0 --dps 9999",

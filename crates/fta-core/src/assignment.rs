@@ -315,7 +315,9 @@ mod tests {
     #[test]
     fn from_iterator_builds_assignment() {
         let inst = instance();
-        let a: Assignment = vec![(WorkerId(0), route(&inst, &[0]))].into_iter().collect();
+        let a: Assignment = vec![(WorkerId(0), route(&inst, &[0]))]
+            .into_iter()
+            .collect();
         assert_eq!(a.assigned_workers(), 1);
     }
 }

@@ -122,7 +122,9 @@ mod tests {
             inst,
             &aggs,
             CenterId(0),
-            dps.iter().map(|&i| DeliveryPointId::from_index(i)).collect(),
+            dps.iter()
+                .map(|&i| DeliveryPointId::from_index(i))
+                .collect(),
         )
         .unwrap()
     }
@@ -195,7 +197,10 @@ mod tests {
 
         let greedy_diff = payoff_difference(&[g1, g2]);
         let fair_diff = payoff_difference(&[f1, f2]);
-        assert!((greedy_diff - 0.71).abs() < 2e-2, "greedy diff {greedy_diff}");
+        assert!(
+            (greedy_diff - 0.71).abs() < 2e-2,
+            "greedy diff {greedy_diff}"
+        );
         assert!((fair_diff - 0.26).abs() < 2e-2, "fair diff {fair_diff}");
 
         let greedy_avg = average_payoff(&[g1, g2]);

@@ -340,7 +340,10 @@ mod tests {
         inst.workers[0].max_dp = 0;
         assert!(matches!(
             inst.validate(),
-            Err(FtaError::InvalidField { field: "max_dp", .. })
+            Err(FtaError::InvalidField {
+                field: "max_dp",
+                ..
+            })
         ));
     }
 
@@ -350,13 +353,19 @@ mod tests {
         inst.tasks[0].reward = -1.0;
         assert!(matches!(
             inst.validate(),
-            Err(FtaError::InvalidField { field: "reward", .. })
+            Err(FtaError::InvalidField {
+                field: "reward",
+                ..
+            })
         ));
         let mut inst = tiny_instance();
         inst.tasks[1].expiry = 0.0;
         assert!(matches!(
             inst.validate(),
-            Err(FtaError::InvalidField { field: "expiry", .. })
+            Err(FtaError::InvalidField {
+                field: "expiry",
+                ..
+            })
         ));
     }
 

@@ -13,7 +13,7 @@
 //! the paper's unweighted counterpart, which the tests pin down.
 
 use crate::fairness::payoff_difference;
-use crate::iau::{IauEvaluator, IauParams};
+use crate::iau::{IauEvaluator, IauParams, RivalSet};
 
 /// Divides each payoff by its worker's priority.
 ///
@@ -53,12 +53,7 @@ pub fn priority_payoff_difference(payoffs: &[f64], priorities: &[f64]) -> f64 {
 /// normalised-payoff space. `own`/`own_priority` describe the deciding
 /// worker; `others` are `(payoff, priority)` pairs of the rival workers.
 #[must_use]
-pub fn priority_iau(
-    own: f64,
-    own_priority: f64,
-    others: &[(f64, f64)],
-    params: IauParams,
-) -> f64 {
+pub fn priority_iau(own: f64, own_priority: f64, others: &[(f64, f64)], params: IauParams) -> f64 {
     assert!(
         own_priority.is_finite() && own_priority > 0.0,
         "priorities must be positive, got {own_priority}"
@@ -115,6 +110,94 @@ impl PriorityIauEvaluator {
     }
 }
 
+/// Incremental priority-aware rival engine: a [`RivalSet`] living in
+/// normalised-payoff space `q = P / ρ`.
+///
+/// The priority-aware analogue of [`RivalSet`] for best-response loops:
+/// insertions and removals take the worker's raw `(payoff, priority)` pair
+/// and store `payoff / priority`; [`PriorityRivalSet::eval`] evaluates the
+/// priority-aware IAU of a candidate raw payoff.
+///
+/// Fairness statistics ([`PriorityRivalSet::payoff_difference`],
+/// [`PriorityRivalSet::potential`]) are computed on normalised payoffs,
+/// matching [`priority_payoff_difference`].
+#[derive(Debug, Clone)]
+pub struct PriorityRivalSet {
+    inner: RivalSet,
+}
+
+impl PriorityRivalSet {
+    /// Builds an empty engine.
+    #[must_use]
+    pub fn new(params: IauParams) -> Self {
+        Self {
+            inner: RivalSet::new(params),
+        }
+    }
+
+    /// Number of workers currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no workers are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Normalises a `(payoff, priority)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive priorities.
+    fn q(payoff: f64, priority: f64) -> f64 {
+        assert!(
+            priority.is_finite() && priority > 0.0,
+            "priorities must be positive, got {priority}"
+        );
+        payoff / priority
+    }
+
+    /// Adds a worker's normalised payoff. `O(log n)`.
+    pub fn insert(&mut self, payoff: f64, priority: f64) {
+        self.inner.insert(Self::q(payoff, priority));
+    }
+
+    /// Removes a worker's normalised payoff. `O(log n)`.
+    pub fn remove(&mut self, payoff: f64, priority: f64) {
+        self.inner.remove(Self::q(payoff, priority));
+    }
+
+    /// Priority-aware IAU of a candidate raw payoff for a worker with the
+    /// given priority, against the stored rivals (the focal worker must
+    /// have been removed first). `O(log n)`.
+    #[must_use]
+    pub fn eval(&self, own_payoff: f64, own_priority: f64) -> f64 {
+        self.inner.eval(Self::q(own_payoff, own_priority))
+    }
+
+    /// Priority-aware payoff difference over the stored workers: Equation 2
+    /// on normalised payoffs, matching [`priority_payoff_difference`].
+    #[must_use]
+    pub fn payoff_difference(&self) -> f64 {
+        self.inner.payoff_difference()
+    }
+
+    /// Potential of the priority-normalised game (`Φ` on `q` values).
+    #[must_use]
+    pub fn potential(&self) -> f64 {
+        self.inner.potential()
+    }
+
+    /// Mean normalised payoff.
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        self.inner.average()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,8 +214,7 @@ mod tests {
         let params = IauParams::default();
         let others = [(4.0, 1.0), (2.5, 1.0)];
         assert!(
-            (priority_iau(1.0, 1.0, &others, params) - iau(1.0, &[4.0, 2.5], params)).abs()
-                < 1e-12
+            (priority_iau(1.0, 1.0, &others, params) - iau(1.0, &[4.0, 2.5], params)).abs() < 1e-12
         );
     }
 
@@ -179,6 +261,44 @@ mod tests {
         let high = priority_iau(6.0, 3.0, &others, params);
         let high_penalty = 6.0 / 3.0 - high;
         assert!(high_penalty < low_penalty);
+    }
+
+    #[test]
+    fn priority_rival_set_matches_direct_formulas() {
+        let params = IauParams {
+            alpha: 0.7,
+            beta: 0.4,
+        };
+        // Workers: (payoff, priority). Focal worker has priority 2.0.
+        let others = [(3.0, 1.5), (8.0, 4.0), (1.0, 0.5)];
+        let own_candidates = [0.0, 1.0, 4.0, 7.5, 20.0];
+        let mut set = PriorityRivalSet::new(params);
+        for &(p, rho) in &others {
+            set.insert(p, rho);
+        }
+        for own in own_candidates {
+            let direct = priority_iau(own, 2.0, &others, params);
+            assert!((set.eval(own, 2.0) - direct).abs() < 1e-10, "own={own}");
+        }
+        // Fairness on normalised payoffs matches the batch definition once
+        // the focal worker joins.
+        set.insert(4.0, 2.0);
+        let payoffs = [3.0, 8.0, 1.0, 4.0];
+        let priorities = [1.5, 4.0, 0.5, 2.0];
+        let want = priority_payoff_difference(&payoffs, &priorities);
+        assert!((set.payoff_difference() - want).abs() < 1e-10);
+        // Remove/insert cycles keep the statistics consistent.
+        set.remove(8.0, 4.0);
+        set.insert(8.0, 4.0);
+        assert!((set.payoff_difference() - want).abs() < 1e-10);
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn priority_rival_set_rejects_bad_priority() {
+        let mut set = PriorityRivalSet::new(IauParams::default());
+        set.insert(1.0, 0.0);
     }
 
     #[test]

@@ -134,10 +134,7 @@ impl Route {
     /// Travel time from the distribution center to the final delivery point.
     #[must_use]
     pub fn travel_from_dc(&self) -> f64 {
-        *self
-            .arrival_offsets
-            .last()
-            .expect("routes are never empty")
+        *self.arrival_offsets.last().expect("routes are never empty")
     }
 
     /// Sum of the rewards of all tasks on the route (`VDPS(w).S` rewards).
@@ -329,9 +326,9 @@ mod tests {
         inst.workers[0].location = Point::new(-2.0, 0.0); // to_dc = 2.0 > slack 1.5
         let r = route(&inst, &[0, 1]);
         match r.validate_for(&inst, WorkerId(0)) {
-            Err(FtaError::DeadlineViolated {
-                delivery_point, ..
-            }) => assert_eq!(delivery_point, DeliveryPointId(1)),
+            Err(FtaError::DeadlineViolated { delivery_point, .. }) => {
+                assert_eq!(delivery_point, DeliveryPointId(1))
+            }
             other => panic!("expected deadline violation, got {other:?}"),
         }
     }

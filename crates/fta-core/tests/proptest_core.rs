@@ -4,7 +4,7 @@
 use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
 use fta_core::fairness::{average_payoff, gini, jain_index, min_max_ratio, payoff_difference};
 use fta_core::geometry::Point;
-use fta_core::iau::{iau, IauEvaluator, IauParams};
+use fta_core::iau::{iau, IauEvaluator, IauParams, RivalSet};
 use fta_core::ids::{CenterId, DeliveryPointId, TaskId, WorkerId};
 use fta_core::instance::Instance;
 use fta_core::route::Route;
@@ -110,6 +110,49 @@ proptest! {
         // equality iff everyone is equal.
         let params = IauParams { alpha, beta };
         prop_assert!(iau(own, &others, params) <= own + 1e-12);
+    }
+
+    #[test]
+    fn rival_set_matches_direct_iau_under_arbitrary_updates(
+        ops in prop::collection::vec((0.0f64..50.0, prop::bool::ANY, 0u16..u16::MAX), 1..50),
+        own in 0.0f64..50.0,
+        alpha in 0.0f64..2.0,
+        beta in 0.0f64..2.0,
+    ) {
+        // Drive a RivalSet through an arbitrary insert/remove sequence and
+        // shadow it with a plain vector: after EVERY operation the
+        // incremental aggregates and the IAU of a probe payoff must match
+        // the direct formulas.
+        let params = IauParams { alpha, beta };
+        let mut set = RivalSet::new(params);
+        let mut shadow: Vec<f64> = Vec::new();
+        for (v, remove, pick) in ops {
+            if remove && !shadow.is_empty() {
+                let victim = shadow.swap_remove(pick as usize % shadow.len());
+                set.remove(victim);
+            } else {
+                set.insert(v);
+                shadow.push(v);
+            }
+            prop_assert_eq!(set.len(), shadow.len());
+            let total: f64 = shadow.iter().sum();
+            prop_assert!((set.total() - total).abs() < 1e-8 * (1.0 + total.abs()));
+            let mut s_direct = 0.0;
+            for i in 0..shadow.len() {
+                for j in (i + 1)..shadow.len() {
+                    s_direct += (shadow[i] - shadow[j]).abs();
+                }
+            }
+            prop_assert!(
+                (set.pairwise_diff_sum() - s_direct).abs() < 1e-8 * (1.0 + s_direct),
+                "S drifted: {} vs {}", set.pairwise_diff_sum(), s_direct
+            );
+            let direct = iau(own, &shadow, params);
+            prop_assert!(
+                (set.eval(own) - direct).abs() < 1e-8 * (1.0 + direct.abs()),
+                "IAU mismatch: {} vs {}", set.eval(own), direct
+            );
+        }
     }
 
     #[test]

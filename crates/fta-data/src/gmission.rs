@@ -129,7 +129,12 @@ pub fn generate_gmission(config: &GMissionConfig, seed: u64) -> Instance {
     };
 
     // …and k-means centroids as delivery points.
-    let clustering = kmeans(&task_locations, config.n_delivery_points, seed ^ 0x9e37, 100);
+    let clustering = kmeans(
+        &task_locations,
+        config.n_delivery_points,
+        seed ^ 0x9e37,
+        100,
+    );
     let delivery_points: Vec<DeliveryPoint> = clustering
         .centroids
         .iter()

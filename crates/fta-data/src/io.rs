@@ -56,8 +56,7 @@ impl From<io::Error> for IoError {
 ///
 /// Returns [`IoError::Io`] on filesystem failures.
 pub fn save_instance(path: &Path, instance: &Instance) -> Result<(), IoError> {
-    let json =
-        serde_json::to_string_pretty(instance).map_err(IoError::Parse)?;
+    let json = serde_json::to_string_pretty(instance).map_err(IoError::Parse)?;
     let tmp = path.with_extension("tmp");
     {
         let mut file = fs::File::create(&tmp)?;
@@ -107,13 +106,9 @@ pub fn save_assignment(path: &Path, assignment: &fta_core::Assignment) -> Result
 ///
 /// Returns [`IoError::Io`] / [`IoError::Parse`] on file problems, and
 /// [`IoError::Invalid`] when the assignment does not fit the instance.
-pub fn load_assignment(
-    path: &Path,
-    instance: &Instance,
-) -> Result<fta_core::Assignment, IoError> {
+pub fn load_assignment(path: &Path, instance: &Instance) -> Result<fta_core::Assignment, IoError> {
     let json = fs::read_to_string(path)?;
-    let assignment: fta_core::Assignment =
-        serde_json::from_str(&json).map_err(IoError::Parse)?;
+    let assignment: fta_core::Assignment = serde_json::from_str(&json).map_err(IoError::Parse)?;
     assignment.validate(instance).map_err(IoError::Invalid)?;
     Ok(assignment)
 }

@@ -58,10 +58,7 @@ pub fn kmeans(points: &[Point], k: usize, seed: u64, max_iters: usize) -> KMeans
     // --- k-means++ seeding ---
     let mut centroids: Vec<Point> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())]);
-    let mut min_d2: Vec<f64> = points
-        .iter()
-        .map(|p| p.distance_sq(centroids[0]))
-        .collect();
+    let mut min_d2: Vec<f64> = points.iter().map(|p| p.distance_sq(centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = min_d2.iter().sum();
         let next = if total <= f64::EPSILON {
@@ -208,10 +205,7 @@ mod tests {
         pts.extend(blob((5.0, 0.0), 0.1, 2, 0.0));
         let res = kmeans(&pts, 6, 3, 100);
         for c in 0..res.centroids.len() {
-            assert!(
-                res.labels.contains(&c),
-                "centroid {c} owns no points"
-            );
+            assert!(res.labels.contains(&c), "centroid {c} owns no points");
         }
     }
 

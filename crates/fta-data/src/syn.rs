@@ -147,9 +147,7 @@ pub fn generate_syn(config: &SynConfig, seed: u64) -> Instance {
     let tasks: Vec<SpatialTask> = (0..config.n_tasks)
         .map(|i| SpatialTask {
             id: TaskId::from_index(i),
-            delivery_point: DeliveryPointId::from_index(
-                rng.gen_range(0..config.n_delivery_points),
-            ),
+            delivery_point: DeliveryPointId::from_index(rng.gen_range(0..config.n_delivery_points)),
             expiry: config.expiry,
             reward: config.reward,
         })

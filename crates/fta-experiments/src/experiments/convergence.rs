@@ -24,6 +24,7 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
         Panel::new("payoff difference"),
         Panel::new("average payoff"),
         Panel::new("strategy changes"),
+        Panel::new(WORK_PANEL),
     ];
 
     let runs = [
@@ -38,9 +39,28 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
             fig.panels[1].push_point(label, x, round.average_payoff);
             fig.panels[2].push_point(label, x, round.moves as f64);
         }
+        // Whole-run best-response work counters: one row per counter
+        // (x = counter index, in the order named by the panel metric).
+        let s = &result.br_stats;
+        let counters = [
+            s.rounds,
+            s.candidate_evaluations,
+            s.switches,
+            s.null_adoptions,
+            s.evaluator_builds,
+            s.evaluator_updates,
+        ];
+        for (i, &value) in counters.iter().enumerate() {
+            fig.panels[3].push_point(label, i as f64, value as f64);
+        }
     }
     fig
 }
+
+/// Metric name of the best-response work panel; the x coordinate indexes
+/// the counters in the order listed here.
+pub const WORK_PANEL: &str =
+    "best-response work [0=rounds, 1=cand evals, 2=switches, 3=null adoptions, 4=eval builds, 5=eval updates]";
 
 #[cfg(test)]
 mod tests {
@@ -64,6 +84,19 @@ mod tests {
         for s in &moves.series {
             let last = s.points.last().unwrap().1;
             assert_eq!(last, 0.0, "{} did not settle", s.label);
+        }
+    }
+
+    #[test]
+    fn work_panel_reports_counters_for_both_algorithms() {
+        let fig = run(&RunnerOptions::fast_test());
+        let work = fig.panel_of(WORK_PANEL).unwrap();
+        for label in ["FGT", "IEGT"] {
+            let s = work.series_of(label).unwrap();
+            assert_eq!(s.points.len(), 6, "{label} missing counters");
+            // rounds (x=0) and candidate evaluations (x=1) must be > 0.
+            assert!(s.points[0].1 > 0.0, "{label} reported zero rounds");
+            assert!(s.points[1].1 > 0.0, "{label} reported zero evaluations");
         }
     }
 

@@ -87,16 +87,15 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
                         vdps_time_ms: outcome.vdps_time.as_secs_f64() * 1e3,
                         assign_time_ms: outcome.assign_time.as_secs_f64() * 1e3,
                         assigned_workers: outcome.assignment.assigned_workers(),
+                        br_stats: outcome.br_stats,
                         trace: outcome.trace,
                     };
                     (result, pdiff)
                 })
                 .collect();
-            let averaged = average_results(
-                &results.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>(),
-            );
-            let mean_pdiff =
-                results.iter().map(|&(_, p)| p).sum::<f64>() / results.len() as f64;
+            let averaged =
+                average_results(&results.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>());
+            let mean_pdiff = results.iter().map(|&(_, p)| p).sum::<f64>() / results.len() as f64;
 
             let x = n_workers as f64;
             fig.panels[0].push_point(label, x, mean_pdiff);

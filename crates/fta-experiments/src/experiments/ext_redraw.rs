@@ -25,11 +25,7 @@ pub const POLICIES: [(&str, RedrawPolicy); 3] = [
 /// Runs the redraw-policy ablation on the GM dataset.
 #[must_use]
 pub fn run(opts: &RunnerOptions) -> FigureData {
-    let mut fig = FigureData::new(
-        "ext3",
-        "IEGT redraw-policy ablation (GM)",
-        "|W|",
-    );
+    let mut fig = FigureData::new("ext3", "IEGT redraw-policy ablation (GM)", "|W|");
     fig.panels = vec![
         Panel::new("payoff difference"),
         Panel::new("average payoff"),

@@ -39,8 +39,14 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
     let policies: [(&str, DispatchPolicy); 4] = [
         ("IMMED", DispatchPolicy::Immediate),
         ("GTA", DispatchPolicy::Batch(Algorithm::Gta)),
-        ("FGT", DispatchPolicy::Batch(Algorithm::Fgt(FgtConfig::default()))),
-        ("IEGT", DispatchPolicy::Batch(Algorithm::Iegt(IegtConfig::default()))),
+        (
+            "FGT",
+            DispatchPolicy::Batch(Algorithm::Fgt(FgtConfig::default())),
+        ),
+        (
+            "IEGT",
+            DispatchPolicy::Batch(Algorithm::Iegt(IegtConfig::default())),
+        ),
     ];
 
     for &rate in &ARRIVAL_RATES {

@@ -1,6 +1,6 @@
 //! Measuring one algorithm on one instance: effectiveness + CPU time.
 
-use fta_algorithms::{solve, Algorithm, ConvergenceTrace, SolveConfig};
+use fta_algorithms::{solve, Algorithm, BestResponseStats, ConvergenceTrace, SolveConfig};
 use fta_core::fairness::FairnessReport;
 use fta_core::{Instance, WorkerId};
 use fta_vdps::VdpsConfig;
@@ -18,6 +18,8 @@ pub struct AlgoResult {
     pub assign_time_ms: f64,
     /// Convergence trace (non-empty for FGT/IEGT).
     pub trace: ConvergenceTrace,
+    /// Best-response work counters (all-zero for the baselines).
+    pub br_stats: BestResponseStats,
     /// Number of workers that received a non-null strategy.
     pub assigned_workers: usize,
 }
@@ -57,12 +59,14 @@ pub fn measure(
         vdps_time_ms: outcome.vdps_time.as_secs_f64() * 1e3,
         assign_time_ms: outcome.assign_time.as_secs_f64() * 1e3,
         assigned_workers: outcome.assignment.assigned_workers(),
+        br_stats: outcome.br_stats,
         trace: outcome.trace,
     }
 }
 
 /// Averages fairness metrics and CPU times over several results of the same
-/// algorithm (one per seed). The trace of the first result is kept.
+/// algorithm (one per seed). The trace of the first result is kept; work
+/// counters are summed (they describe total work done, not a mean).
 ///
 /// # Panics
 ///
@@ -86,6 +90,13 @@ pub fn average_results(results: &[AlgoResult]) -> AlgoResult {
         assigned_workers: (results.iter().map(|r| r.assigned_workers).sum::<usize>()
             + results.len() / 2)
             / results.len(),
+        br_stats: {
+            let mut total = BestResponseStats::default();
+            for r in results {
+                total.merge(&r.br_stats);
+            }
+            total
+        },
         trace: results[0].trace.clone(),
     }
 }
@@ -181,7 +192,13 @@ mod tests {
     #[test]
     fn averaging_is_arithmetic_mean() {
         let inst = instance();
-        let a = measure(&inst, "GTA", Algorithm::Gta, VdpsConfig::pruned(1.5, 3), false);
+        let a = measure(
+            &inst,
+            "GTA",
+            Algorithm::Gta,
+            VdpsConfig::pruned(1.5, 3),
+            false,
+        );
         let mut b = a.clone();
         b.fairness.payoff_difference = a.fairness.payoff_difference + 2.0;
         b.vdps_time_ms = a.vdps_time_ms + 4.0;
@@ -195,7 +212,13 @@ mod tests {
     #[test]
     fn spread_is_zero_for_identical_results_and_positive_otherwise() {
         let inst = instance();
-        let a = measure(&inst, "GTA", Algorithm::Gta, VdpsConfig::pruned(1.5, 3), false);
+        let a = measure(
+            &inst,
+            "GTA",
+            Algorithm::Gta,
+            VdpsConfig::pruned(1.5, 3),
+            false,
+        );
         let same = spread_of(&[a.clone(), a.clone()]);
         assert_eq!(same.payoff_difference, 0.0);
         assert_eq!(same.jain, 0.0);

@@ -136,11 +136,7 @@ impl FigureData {
             for &x in &xs {
                 let _ = write!(out, "{x:>12.3}");
                 for s in &panel.series {
-                    match s
-                        .points
-                        .iter()
-                        .find(|&&(px, _)| (px - x).abs() < 1e-12)
-                    {
+                    match s.points.iter().find(|&&(px, _)| (px - x).abs() < 1e-12) {
                         Some(&(_, y)) => {
                             let _ = write!(out, " {y:>12.4}");
                         }
@@ -284,7 +280,9 @@ mod tests {
         fig.panels.push(p);
         let value: serde_json::Value = serde_json::from_str(&fig.to_json()).unwrap();
         assert_eq!(
-            value["panels"][0]["series"][0]["spread"][0].as_f64().unwrap(),
+            value["panels"][0]["series"][0]["spread"][0]
+                .as_f64()
+                .unwrap(),
             0.5
         );
         // Plain series omit the field entirely.

@@ -153,7 +153,10 @@ pub fn render_svg(panel: &Panel, x_label: &str) -> String {
         );
         for coord in &coords {
             let (cx, cy) = coord.split_once(',').expect("coords are x,y pairs");
-            let _ = writeln!(svg, r#"<circle cx="{cx}" cy="{cy}" r="2.4" fill="{color}"/>"#);
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{cx}" cy="{cy}" r="2.4" fill="{color}"/>"#
+            );
         }
         // Legend entry.
         let lx = MARGIN_LEFT + 8.0 + (idx as f64 % 4.0) * 92.0;

@@ -23,7 +23,10 @@ fn arb_panel() -> impl Strategy<Value = Panel> {
     (
         arb_label(),
         prop::collection::vec(
-            (arb_label(), prop::collection::vec((arb_value(), arb_value()), 0..8)),
+            (
+                arb_label(),
+                prop::collection::vec((arb_value(), arb_value()), 0..8),
+            ),
             0..5,
         ),
     )

@@ -40,8 +40,7 @@ fn plan_immediate(snapshot: &Instance, idle: &[usize]) -> Vec<(usize, Route)> {
                 .iter()
                 .filter(|w| !used[w.index()])
                 .map(|&w| {
-                    let to_dc =
-                        snapshot.travel_time(snapshot.workers[w.index()].location, dc);
+                    let to_dc = snapshot.travel_time(snapshot.workers[w.index()].location, dc);
                     (w, to_dc)
                 })
                 .filter(|&(_, to_dc)| route.is_valid_for_travel(to_dc))
@@ -152,9 +151,7 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
     let mut now = config.assignment_period;
     while now <= config.horizon + 1e-12 {
         // Ingest arrivals up to this round.
-        while next_arrival < scenario.tasks.len()
-            && scenario.tasks[next_arrival].arrival <= now
-        {
+        while next_arrival < scenario.tasks.len() && scenario.tasks[next_arrival].arrival <= now {
             pending.push(Pending {
                 task: scenario.tasks[next_arrival],
             });
@@ -399,7 +396,10 @@ mod tests {
                 assert!(l.routes > 0);
             }
         }
-        assert!(m.tasks_completed > 0, "immediate dispatch delivered nothing");
+        assert!(
+            m.tasks_completed > 0,
+            "immediate dispatch delivered nothing"
+        );
     }
 
     #[test]
@@ -434,12 +434,9 @@ mod tests {
             gta_gini += run(&scenario, &config(Algorithm::Gta))
                 .earnings_fairness()
                 .gini;
-            iegt_gini += run(
-                &scenario,
-                &config(Algorithm::Iegt(IegtConfig::default())),
-            )
-            .earnings_fairness()
-            .gini;
+            iegt_gini += run(&scenario, &config(Algorithm::Iegt(IegtConfig::default())))
+                .earnings_fairness()
+                .gini;
         }
         assert!(
             iegt_gini <= gta_gini + 0.05,

@@ -8,11 +8,11 @@ use proptest::prelude::*;
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
-        1u64..1000,        // seed
-        2usize..10,        // workers
-        4usize..20,        // delivery points
-        10.0f64..120.0,    // arrival rate
-        0.5f64..3.0,       // expiry offset
+        1u64..1000,     // seed
+        2usize..10,     // workers
+        4usize..20,     // delivery points
+        10.0f64..120.0, // arrival rate
+        0.5f64..3.0,    // expiry offset
     )
         .prop_map(|(seed, n_workers, n_dps, rate, expiry)| {
             Scenario::generate(

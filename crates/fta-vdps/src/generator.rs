@@ -25,10 +25,13 @@ impl Vdps {
         self.mask.count_ones() as usize
     }
 
-    /// Always `false`: a VDPS contains at least one delivery point.
+    /// Whether the set contains no delivery points. Generator output always
+    /// has at least one (the DP recursion starts from singletons), but a
+    /// hand-built `Vdps { mask: 0, .. }` must report empty — this used to
+    /// hardcode `false`, contradicting [`Vdps::len`].
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.mask == 0
     }
 }
 
@@ -145,27 +148,26 @@ pub fn generate_c_vdps(
         let mut next: HashMap<(u128, u8), State> = HashMap::new();
         for (&(mask, last), state) in &layers[len - 2] {
             let last = last as usize;
-            let extend_to = |j: usize,
-                                 next: &mut HashMap<(u128, u8), State>,
-                                 stats: &mut GenerationStats| {
-                let arrival = state.arrival + dist(last, j) / speed;
-                if arrival > expiry[j] {
-                    stats.pruned_by_deadline += 1;
-                    return;
-                }
-                let key = (mask | (1u128 << j), j as u8);
-                let candidate = State {
-                    arrival,
-                    parent: last as u8,
+            let extend_to =
+                |j: usize, next: &mut HashMap<(u128, u8), State>, stats: &mut GenerationStats| {
+                    let arrival = state.arrival + dist(last, j) / speed;
+                    if arrival > expiry[j] {
+                        stats.pruned_by_deadline += 1;
+                        return;
+                    }
+                    let key = (mask | (1u128 << j), j as u8);
+                    let candidate = State {
+                        arrival,
+                        parent: last as u8,
+                    };
+                    next.entry(key)
+                        .and_modify(|s| {
+                            if candidate.arrival < s.arrival {
+                                *s = candidate;
+                            }
+                        })
+                        .or_insert(candidate);
                 };
-                next.entry(key)
-                    .and_modify(|s| {
-                        if candidate.arrival < s.arrival {
-                            *s = candidate;
-                        }
-                    })
-                    .or_insert(candidate);
-            };
             match &neighbors {
                 // ε pruning: only actual neighbours are extension
                 // candidates; the rest count as distance-pruned.
@@ -327,11 +329,7 @@ mod tests {
         // Optimal route on a line: 1 → 2 → 3, total 3.0.
         assert_eq!(
             full.route.dps(),
-            &[
-                DeliveryPointId(0),
-                DeliveryPointId(1),
-                DeliveryPointId(2)
-            ]
+            &[DeliveryPointId(0), DeliveryPointId(1), DeliveryPointId(2)]
         );
         assert!((full.route.travel_from_dc() - 3.0).abs() < 1e-12);
     }
@@ -345,11 +343,7 @@ mod tests {
         let full = pool.iter().find(|v| v.mask == 0b111).unwrap();
         assert_eq!(
             full.route.dps(),
-            &[
-                DeliveryPointId(0),
-                DeliveryPointId(1),
-                DeliveryPointId(2)
-            ]
+            &[DeliveryPointId(0), DeliveryPointId(1), DeliveryPointId(2)]
         );
     }
 
@@ -397,6 +391,27 @@ mod tests {
         let (pool, _) = run(&inst, &VdpsConfig::unpruned(2));
         assert!(pool.iter().all(|v| v.len() <= 2));
         assert_eq!(pool.len(), 6); // 3 singletons + 3 pairs
+    }
+
+    #[test]
+    fn is_empty_agrees_with_len() {
+        let inst = line_instance(&[100.0, 100.0]);
+        let (pool, _) = run(&inst, &VdpsConfig::unpruned(2));
+        assert!(!pool.is_empty());
+        for v in &pool {
+            assert!(!v.is_empty(), "generated VDPS must not be empty");
+            assert_eq!(v.len(), v.mask.count_ones() as usize);
+        }
+        // Regression: a zero-mask Vdps must report empty — `is_empty()`
+        // used to hardcode `false`, contradicting `len() == 0`. (Routes
+        // themselves cannot be empty, so reuse a generated one; emptiness
+        // is defined by the mask alone.)
+        let empty = Vdps {
+            mask: 0,
+            route: pool[0].route.clone(),
+        };
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
     }
 
     #[test]

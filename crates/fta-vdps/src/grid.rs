@@ -29,7 +29,10 @@ impl NeighborIndex {
     /// and finite.
     #[must_use]
     pub fn build(points: &[Point], epsilon: f64) -> Self {
-        assert!(points.len() <= 256, "NeighborIndex supports at most 256 points");
+        assert!(
+            points.len() <= 256,
+            "NeighborIndex supports at most 256 points"
+        );
         assert!(
             epsilon.is_finite() && epsilon > 0.0,
             "epsilon must be positive and finite, got {epsilon}"
@@ -112,7 +115,11 @@ mod tests {
             let idx = NeighborIndex::build(&points, eps);
             let naive = naive_neighbors(&points, eps);
             for (i, expected) in naive.iter().enumerate() {
-                assert_eq!(idx.neighbors(i), expected.as_slice(), "eps {eps}, point {i}");
+                assert_eq!(
+                    idx.neighbors(i),
+                    expected.as_slice(),
+                    "eps {eps}, point {i}"
+                );
             }
         }
     }

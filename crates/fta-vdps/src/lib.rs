@@ -40,8 +40,8 @@
 #![deny(unsafe_code)]
 
 pub mod config;
-pub mod grid;
 pub mod generator;
+pub mod grid;
 pub mod naive;
 pub mod schedule;
 pub mod strategy;

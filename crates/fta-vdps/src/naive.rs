@@ -99,11 +99,7 @@ fn permutations(items: &[usize], f: &mut impl FnMut(&[usize])) {
             rest.insert(i, item);
         }
     }
-    go(
-        &mut Vec::with_capacity(items.len()),
-        &mut items.to_vec(),
-        f,
-    );
+    go(&mut Vec::with_capacity(items.len()), &mut items.to_vec(), f);
 }
 
 #[cfg(test)]

@@ -33,7 +33,10 @@ pub fn schedule_route(
 ) -> Option<Route> {
     let n = dps.len();
     assert!(n > 0, "cannot schedule an empty delivery point set");
-    assert!(n <= 20, "schedule_route supports at most 20 delivery points");
+    assert!(
+        n <= 20,
+        "schedule_route supports at most 20 delivery points"
+    );
     {
         let mut sorted = dps.to_vec();
         sorted.sort_unstable();

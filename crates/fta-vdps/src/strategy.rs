@@ -209,8 +209,7 @@ mod tests {
         let inst = instance();
         let s = space(&inst);
         // Worker 0 taking {dp1}: reward 3, travel 0.5 + 2.0 = 2.5 → 1.2.
-        let idx = s
-            .valid[0]
+        let idx = s.valid[0]
             .iter()
             .position(|&i| s.pool[i as usize].mask == 0b10)
             .unwrap();

@@ -53,10 +53,8 @@ fn arb_center() -> impl Strategy<Value = Instance> {
 }
 
 fn arb_config() -> impl Strategy<Value = VdpsConfig> {
-    (prop::option::of(0.5f64..12.0), 1usize..6).prop_map(|(epsilon, max_len)| VdpsConfig {
-        epsilon,
-        max_len,
-    })
+    (prop::option::of(0.5f64..12.0), 1usize..6)
+        .prop_map(|(epsilon, max_len)| VdpsConfig { epsilon, max_len })
 }
 
 proptest! {

@@ -66,7 +66,10 @@ fn syn_defaults_conform_to_table_one() {
         cfg.n_delivery_points / cfg.n_centers,
         scaled.n_delivery_points / scaled.n_centers
     );
-    assert_eq!(cfg.n_workers / cfg.n_centers, scaled.n_workers / scaled.n_centers);
+    assert_eq!(
+        cfg.n_workers / cfg.n_centers,
+        scaled.n_workers / scaled.n_centers
+    );
 }
 
 #[test]

@@ -102,7 +102,10 @@ fn mpta_has_the_highest_average_payoff() {
     let mpta = averaged(|| Algorithm::Mpta(MptaConfig::default()), &SEEDS);
     for (name, avg) in [
         ("GTA", averaged(|| Algorithm::Gta, &SEEDS)),
-        ("FGT", averaged(|| Algorithm::Fgt(FgtConfig::default()), &SEEDS)),
+        (
+            "FGT",
+            averaged(|| Algorithm::Fgt(FgtConfig::default()), &SEEDS),
+        ),
         (
             "IEGT",
             averaged(|| Algorithm::Iegt(IegtConfig::default()), &SEEDS),
