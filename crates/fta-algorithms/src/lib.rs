@@ -49,6 +49,6 @@ pub use iegt::{iegt, IegtConfig, RedrawPolicy};
 pub use mpta::{mpta, MptaConfig};
 pub use pfgt::{pfgt, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
-pub use solver::{solve, Algorithm, SolveConfig, SolveOutcome};
+pub use solver::{solve, solve_with_pool, Algorithm, SolveConfig, SolveOutcome};
 pub use stats::BestResponseStats;
 pub use trace::{ConvergenceTrace, RoundStats};

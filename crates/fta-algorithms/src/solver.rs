@@ -2,9 +2,17 @@
 //!
 //! Task assignment across distribution centers is independent, so the
 //! solver decomposes an [`Instance`] into [`CenterView`]s, builds each
-//! center's [`StrategySpace`], runs the selected algorithm per center
-//! (optionally on one thread per center, as the paper suggests in Section
-//! VII-A), and merges the per-center assignments and convergence traces.
+//! center's [`StrategySpace`], runs the selected algorithm per center,
+//! and merges the per-center assignments and convergence traces.
+//!
+//! With `parallel = true` all per-center jobs are submitted to one shared
+//! [`WorkerPool`] bounded by `available_parallelism()` — never one OS
+//! thread per center — and the *same* pool also serves intra-center DP
+//! layer expansion and per-worker validation inside `fta-vdps`, so a
+//! single giant center no longer serialises a run and a thousand-center
+//! instance no longer oversubscribes the machine. Results are merged in
+//! center order and per-center seeds are salted by center id, so the
+//! outcome is deterministic regardless of thread count.
 
 use crate::context::GameContext;
 use crate::fgt::{fgt, FgtConfig};
@@ -15,9 +23,9 @@ use crate::pfgt::{pfgt, PfgtConfig};
 use crate::random::random_assignment;
 use crate::stats::BestResponseStats;
 use crate::trace::ConvergenceTrace;
-use fta_core::instance::CenterView;
+use fta_core::instance::{CenterView, DpAggregate};
 use fta_core::{Assignment, Instance};
-use fta_vdps::{GenerationStats, StrategySpace, VdpsConfig};
+use fta_vdps::{GenerationStats, StrategySpace, TaskScope, VdpsConfig, WorkerPool};
 use std::time::{Duration, Instant};
 
 /// The assignment algorithm to run per center.
@@ -145,7 +153,13 @@ struct CenterOutcome {
     trace: ConvergenceTrace,
 }
 
-fn solve_center(instance: &Instance, view: &CenterView, config: &SolveConfig) -> CenterOutcome {
+fn solve_center(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: CenterView,
+    config: &SolveConfig,
+    scope: Option<&TaskScope<'_>>,
+) -> CenterOutcome {
     // The generator caps subsets at `min(config cap, workers' max maxDP)`:
     // larger sets can never be assigned.
     let center_max_dp = view
@@ -159,11 +173,12 @@ fn solve_center(instance: &Instance, view: &CenterView, config: &SolveConfig) ->
         ..config.vdps
     };
 
+    let center = view.center;
     let t0 = Instant::now();
-    let space = StrategySpace::build(instance, view, &vdps_cfg);
+    let space = StrategySpace::build_in(instance, aggregates, view, &vdps_cfg, scope);
     let vdps_time = t0.elapsed();
 
-    let algorithm = config.algorithm.salted(u64::from(view.center.0));
+    let algorithm = config.algorithm.salted(u64::from(center.0));
     let t1 = Instant::now();
     let mut ctx = GameContext::new(&space);
     let trace = match algorithm {
@@ -198,26 +213,48 @@ fn solve_center(instance: &Instance, view: &CenterView, config: &SolveConfig) ->
 ///
 /// Deterministic regardless of `config.parallel`: per-center randomness is
 /// salted by the center id, and results are merged in center order.
+///
+/// With `parallel = true` this runs on a [`WorkerPool`] bounded by
+/// `available_parallelism()`; pass a pool explicitly via
+/// [`solve_with_pool`] to control the thread count.
 #[must_use]
 pub fn solve(instance: &Instance, config: &SolveConfig) -> SolveOutcome {
-    let views = instance.center_views();
-    let outcomes: Vec<CenterOutcome> = if config.parallel && views.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = views
-                .iter()
-                .map(|view| scope.spawn(move || solve_center(instance, view, config)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("center solver threads do not panic"))
-                .collect()
-        })
+    let pool = if config.parallel {
+        WorkerPool::new()
     } else {
-        views
-            .iter()
-            .map(|view| solve_center(instance, view, config))
-            .collect()
+        WorkerPool::sequential()
     };
+    solve_with_pool(instance, config, &pool)
+}
+
+/// Like [`solve`], on a caller-provided [`WorkerPool`].
+///
+/// Every piece of parallelism in the run — per-center jobs, intra-center
+/// DP layer expansion, per-worker validation — shares `pool`, so the
+/// number of live OS threads never exceeds `pool.threads()` regardless of
+/// how many centers the instance has. A sequential pool
+/// ([`WorkerPool::sequential`]) runs everything inline on the caller's
+/// thread. The result is identical for every pool size.
+#[must_use]
+pub fn solve_with_pool(
+    instance: &Instance,
+    config: &SolveConfig,
+    pool: &WorkerPool,
+) -> SolveOutcome {
+    let views = instance.center_views();
+    // Computed once per instance, shared by every center job (previously
+    // recomputed inside each center's StrategySpace::build).
+    let aggregates = instance.dp_aggregates();
+    let outcomes: Vec<CenterOutcome> = pool.scope(|ts| {
+        let aggregates = &aggregates;
+        let jobs: Vec<_> = views
+            .into_iter()
+            .map(|view| {
+                move |ts: &TaskScope<'_>| solve_center(instance, aggregates, view, config, Some(ts))
+            })
+            .collect();
+        ts.map(jobs)
+    });
 
     let mut assignment = Assignment::new();
     let mut vdps_time = Duration::ZERO;
@@ -309,6 +346,46 @@ mod tests {
                 algo.name()
             );
         }
+    }
+
+    #[test]
+    fn solve_with_pool_is_thread_count_invariant() {
+        // The container may expose a single core; `with_threads` still
+        // spins up real workers, so this exercises pooled center jobs,
+        // pooled DP layer expansion, and pooled validation.
+        let inst = multi_center_instance();
+        for algo in all_algorithms() {
+            let config = SolveConfig::new(algo);
+            let seq = solve_with_pool(&inst, &config, &WorkerPool::sequential());
+            for threads in [2, 4, 7] {
+                let pooled = solve_with_pool(&inst, &config, &WorkerPool::with_threads(threads));
+                assert_eq!(
+                    seq.assignment,
+                    pooled.assignment,
+                    "{} differs between 1 and {threads} threads",
+                    algo.name()
+                );
+                assert_eq!(
+                    seq.gen_stats.work_counters(),
+                    pooled.gen_stats.work_counters(),
+                    "{} generation work differs between 1 and {threads} threads",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_solve_reports_parallelism_counters() {
+        let inst = multi_center_instance();
+        let outcome = solve_with_pool(
+            &inst,
+            &SolveConfig::new(Algorithm::Gta),
+            &WorkerPool::with_threads(4),
+        );
+        // Chunked expansion only kicks in past the frontier-size threshold;
+        // at minimum the sequential fallback counts one chunk per layer.
+        assert!(outcome.gen_stats.chunks > 0);
     }
 
     #[test]

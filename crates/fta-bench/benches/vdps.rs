@@ -1,16 +1,42 @@
 //! C-VDPS generation benchmarks — the CPU-time story of Figures 2–3:
 //! ε-pruned generation vs the unpruned `-W` variant across delivery-point
-//! counts and ε values.
+//! counts and ε values, plus the ISSUE 2 engine comparison (brute-force
+//! naive / hash-map oracle / flat frontier, sequential and pooled) and a
+//! sequential-vs-pooled whole-solve benchmark on a multi-center instance.
+//!
+//! Set `FTA_BENCH_QUICK=1` for a CI-sized run (small sweeps, few samples).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fta_algorithms::{solve_with_pool, Algorithm, SolveConfig};
 use fta_bench::syn_single_center;
-use fta_vdps::{StrategySpace, VdpsConfig};
+use fta_data::SynConfig;
+use fta_vdps::generator::generate_c_vdps_hashmap;
+use fta_vdps::naive::generate_naive;
+use fta_vdps::{generate_c_vdps_flat, StrategySpace, VdpsConfig, WorkerPool};
 use std::hint::black_box;
+
+/// CI quick mode: tiny sweeps so `cargo bench -- vdps` finishes in seconds.
+fn quick() -> bool {
+    std::env::var_os("FTA_BENCH_QUICK").is_some()
+}
+
+fn sample_size() -> usize {
+    if quick() {
+        3
+    } else {
+        10
+    }
+}
 
 fn bench_pruning(c: &mut Criterion) {
     let mut group = c.benchmark_group("vdps_generation");
-    group.sample_size(10);
-    for &n_dps in &[20usize, 40, 60, 80, 100] {
+    group.sample_size(sample_size());
+    let sizes: &[usize] = if quick() {
+        &[20, 40]
+    } else {
+        &[20, 40, 60, 80, 100]
+    };
+    for &n_dps in sizes {
         let instance = syn_single_center(40, n_dps, 7);
         let views = instance.center_views();
         group.bench_with_input(BenchmarkId::new("pruned_eps2", n_dps), &n_dps, |b, _| {
@@ -37,10 +63,15 @@ fn bench_pruning(c: &mut Criterion) {
 
 fn bench_epsilon_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("vdps_epsilon_sweep");
-    group.sample_size(10);
-    let instance = syn_single_center(40, 100, 11);
+    group.sample_size(sample_size());
+    let instance = syn_single_center(40, if quick() { 40 } else { 100 }, 11);
     let views = instance.center_views();
-    for &eps in &[0.5, 1.0, 2.0, 3.0, 4.0] {
+    let epsilons: &[f64] = if quick() {
+        &[0.5, 2.0]
+    } else {
+        &[0.5, 1.0, 2.0, 3.0, 4.0]
+    };
+    for &eps in epsilons {
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
             b.iter(|| {
                 black_box(StrategySpace::build(
@@ -54,5 +85,99 @@ fn bench_epsilon_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pruning, bench_epsilon_sweep);
+/// ISSUE 2: naive reference vs hash-map oracle vs flat engine (sequential
+/// and pooled) on the unpruned DP — the configuration where generation
+/// cost dominates (Figures 2–3 `-W` CPU panels).
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vdps_engines");
+    group.sample_size(sample_size());
+    let sizes: &[usize] = if quick() { &[20] } else { &[20, 40, 60] };
+    let config = VdpsConfig::unpruned(3);
+    let pool = WorkerPool::new();
+    for &n_dps in sizes {
+        let instance = syn_single_center(40, n_dps, 7);
+        let aggs = instance.dp_aggregates();
+        let views = instance.center_views();
+        // Brute force is only tractable at the smallest size.
+        if n_dps <= 20 {
+            group.bench_with_input(BenchmarkId::new("naive", n_dps), &n_dps, |b, _| {
+                b.iter(|| black_box(generate_naive(&instance, &aggs, &views[0], &config)));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("hashmap", n_dps), &n_dps, |b, _| {
+            b.iter(|| {
+                black_box(generate_c_vdps_hashmap(
+                    &instance, &aggs, &views[0], &config,
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flat", n_dps), &n_dps, |b, _| {
+            b.iter(|| {
+                black_box(generate_c_vdps_flat(
+                    &instance, &aggs, &views[0], &config, None,
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flat_pooled", n_dps), &n_dps, |b, _| {
+            b.iter(|| {
+                pool.scope(|ts| {
+                    black_box(generate_c_vdps_flat(
+                        &instance,
+                        &aggs,
+                        &views[0],
+                        &config,
+                        Some(ts),
+                    ))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+/// ISSUE 2: whole-instance solve on a multi-center instance, sequential vs
+/// the shared bounded worker pool (which replaced the old
+/// one-thread-per-center spawn).
+fn bench_pooled_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_multi_center");
+    group.sample_size(sample_size());
+    let (centers, workers, tasks, dps) = if quick() {
+        (4, 24, 400, 60)
+    } else {
+        (8, 64, 2_000, 200)
+    };
+    let instance = fta_data::generate_syn(
+        &SynConfig {
+            n_centers: centers,
+            n_workers: workers,
+            n_tasks: tasks,
+            n_delivery_points: dps,
+            extent: 8.0,
+            ..SynConfig::bench_scale()
+        },
+        13,
+    );
+    let config = SolveConfig::new(Algorithm::Gta);
+    let sequential = WorkerPool::sequential();
+    let pooled = WorkerPool::new();
+    group.bench_with_input(BenchmarkId::new("sequential", centers), &centers, |b, _| {
+        b.iter(|| black_box(solve_with_pool(&instance, &config, &sequential)));
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("pooled_{}threads", pooled.threads()), centers),
+        &centers,
+        |b, _| {
+            b.iter(|| black_box(solve_with_pool(&instance, &config, &pooled)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pruning,
+    bench_epsilon_sweep,
+    bench_engines,
+    bench_pooled_solve
+);
 criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Writes `BENCH_vdps.json`: a machine-readable snapshot of old-vs-new
+//! C-VDPS generation wall time (hash-map oracle vs flat-frontier engine)
+//! at n ∈ {20, 40, 60} delivery points on the unpruned DP, plus a
+//! sequential-vs-pooled whole-solve comparison on a multi-center
+//! instance, so the perf trajectory of ISSUE 2 is tracked in-repo.
+//!
+//! Usage: `cargo run -p fta-bench --release --bin vdps_snapshot -- [OUT]`
+//! (default OUT: `BENCH_vdps.json`). Set `FTA_BENCH_QUICK=1` to halve the
+//! repetition counts (CI smoke mode).
+
+use fta_algorithms::{solve_with_pool, Algorithm, SolveConfig};
+use fta_bench::syn_single_center;
+use fta_data::SynConfig;
+use fta_vdps::generator::generate_c_vdps_hashmap;
+use fta_vdps::{generate_c_vdps_flat, VdpsConfig, WorkerPool};
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_vdps.json".to_owned());
+    let quick = std::env::var_os("FTA_BENCH_QUICK").is_some();
+    let reps = if quick { 3 } else { 7 };
+    let config = VdpsConfig::unpruned(3);
+
+    // Single-thread engine comparison: old (hashmap) vs new (flat).
+    let mut engines = Vec::new();
+    for n_dps in [20usize, 40, 60] {
+        let instance = syn_single_center(40, n_dps, 7);
+        let aggs = instance.dp_aggregates();
+        let views = instance.center_views();
+        let hashmap_s = best_secs(reps, || {
+            generate_c_vdps_hashmap(&instance, &aggs, &views[0], &config)
+        });
+        let flat_s = best_secs(reps, || {
+            generate_c_vdps_flat(&instance, &aggs, &views[0], &config, None)
+        });
+        let (pool_ref, _) = generate_c_vdps_flat(&instance, &aggs, &views[0], &config, None);
+        engines.push(obj(vec![
+            ("n_dps", Value::UInt(n_dps as u64)),
+            ("vdps_count", Value::UInt(pool_ref.len() as u64)),
+            ("hashmap_ms", Value::Float(hashmap_s * 1e3)),
+            ("flat_ms", Value::Float(flat_s * 1e3)),
+            ("speedup", Value::Float(hashmap_s / flat_s)),
+        ]));
+        eprintln!(
+            "n={n_dps}: hashmap {:.2} ms, flat {:.2} ms ({:.2}x)",
+            hashmap_s * 1e3,
+            flat_s * 1e3,
+            hashmap_s / flat_s
+        );
+    }
+
+    // Whole-solve on a multi-center instance: sequential vs pooled.
+    let instance = fta_data::generate_syn(
+        &SynConfig {
+            n_centers: 8,
+            n_workers: 64,
+            n_tasks: 2_000,
+            n_delivery_points: 200,
+            extent: 8.0,
+            ..SynConfig::bench_scale()
+        },
+        13,
+    );
+    let solve_cfg = SolveConfig::new(Algorithm::Gta);
+    let sequential = WorkerPool::sequential();
+    let pooled = WorkerPool::new();
+    let seq_s = best_secs(reps.min(5), || {
+        solve_with_pool(&instance, &solve_cfg, &sequential)
+    });
+    let par_s = best_secs(reps.min(5), || {
+        solve_with_pool(&instance, &solve_cfg, &pooled)
+    });
+    eprintln!(
+        "multi-center solve: sequential {:.2} ms, pooled({}) {:.2} ms ({:.2}x)",
+        seq_s * 1e3,
+        pooled.threads(),
+        par_s * 1e3,
+        seq_s / par_s
+    );
+
+    let snapshot = obj(vec![
+        (
+            "description",
+            Value::String(
+                "C-VDPS generation wall time, hash-map oracle vs flat-frontier \
+                 engine (unpruned, max_len 3, best-of-N), and sequential vs \
+                 pooled multi-center solve"
+                    .to_owned(),
+            ),
+        ),
+        ("reps", Value::UInt(reps as u64)),
+        ("engines_unpruned", Value::Array(engines)),
+        (
+            "solve_multi_center",
+            obj(vec![
+                ("centers", Value::UInt(8)),
+                ("threads", Value::UInt(pooled.threads() as u64)),
+                ("sequential_ms", Value::Float(seq_s * 1e3)),
+                ("pooled_ms", Value::Float(par_s * 1e3)),
+                ("speedup", Value::Float(seq_s / par_s)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
+    std::fs::write(&out, json + "\n").expect("snapshot file is writable");
+    eprintln!("wrote {out}");
+}

@@ -1,6 +1,7 @@
 //! Argument parsing for the `fta` binary (hand-rolled, dependency-free).
 
 use fta_algorithms::{Algorithm, FgtConfig, IegtConfig, MptaConfig};
+use fta_vdps::VdpsEngine;
 use std::path::PathBuf;
 
 /// The usage banner.
@@ -16,7 +17,7 @@ COMMANDS
       Print an instance's cardinalities and per-center structure.
 
   solve <INSTANCE> [--algo gta|mpta|fgt|iegt|random] [--epsilon E]
-        [--max-len N] [--parallel] [--out FILE]
+        [--max-len N] [--engine flat|hashmap] [--parallel] [--out FILE]
       Run an assignment algorithm; print the summary, optionally write
       the assignment JSON.
 
@@ -24,9 +25,18 @@ COMMANDS
       Find the minimum-travel deadline-feasible visiting order of the
       given delivery points.
 
-  compare <INSTANCE> [--epsilon E] [--max-len N] [--parallel]
+  compare <INSTANCE> [--epsilon E] [--max-len N] [--engine flat|hashmap]
+          [--parallel]
       Run every assignment algorithm on the instance and print a
-      fairness/payoff/CPU comparison table.";
+      fairness/payoff/CPU comparison table.
+
+OPTIONS
+  --engine flat|hashmap   VDPS generator implementation (default: flat,
+      the cache-friendly parallel engine; hashmap is the reference DP —
+      both produce identical pools).
+  --parallel              Run on a worker pool bounded by the number of
+      CPUs (per-center jobs, per-layer DP expansion, and per-worker
+      validation all share the pool).";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +79,8 @@ pub enum Command {
         epsilon: Option<f64>,
         /// VDPS length cap.
         max_len: usize,
+        /// VDPS generator engine.
+        engine: VdpsEngine,
         /// Per-center threading.
         parallel: bool,
         /// Optional assignment output path.
@@ -91,6 +103,8 @@ pub enum Command {
         epsilon: Option<f64>,
         /// VDPS length cap.
         max_len: usize,
+        /// VDPS generator engine.
+        engine: VdpsEngine,
         /// Per-center threading.
         parallel: bool,
     },
@@ -107,6 +121,11 @@ pub fn algorithm_by_name(name: &str) -> Option<Algorithm> {
         "random" => Algorithm::Random { seed: 1 },
         _ => return None,
     })
+}
+
+fn parse_engine(raw: &str) -> Result<VdpsEngine, String> {
+    VdpsEngine::by_name(raw)
+        .ok_or_else(|| format!("unknown engine `{raw}`; expected flat | hashmap"))
 }
 
 fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String>
@@ -178,6 +197,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut algorithm_name = "iegt".to_owned();
             let mut epsilon = Some(2.0);
             let mut max_len = 8usize;
+            let mut engine = VdpsEngine::default();
             let mut parallel = false;
             let mut out = None;
             while let Some(arg) = it.next() {
@@ -195,6 +215,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--max-len" => max_len = parse_num(value("--max-len")?, "--max-len")?,
+                    "--engine" => engine = parse_engine(value("--engine")?)?,
                     "--parallel" => parallel = true,
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
                     other => return Err(format!("unknown solve flag `{other}`")),
@@ -208,6 +229,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 algorithm_name,
                 epsilon,
                 max_len,
+                engine,
                 parallel,
                 out,
             })
@@ -244,6 +266,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let instance = it.next().ok_or("compare needs an instance path")?;
             let mut epsilon = Some(2.0);
             let mut max_len = 8usize;
+            let mut engine = VdpsEngine::default();
             let mut parallel = false;
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
@@ -259,6 +282,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--max-len" => max_len = parse_num(value("--max-len")?, "--max-len")?,
+                    "--engine" => engine = parse_engine(value("--engine")?)?,
                     "--parallel" => parallel = true,
                     other => return Err(format!("unknown compare flag `{other}`")),
                 }
@@ -267,6 +291,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 instance: PathBuf::from(instance),
                 epsilon,
                 max_len,
+                engine,
                 parallel,
             })
         }
@@ -357,6 +382,24 @@ mod tests {
     fn solve_rejects_unknown_algorithm() {
         let err = parse(&argv("solve city.json --algo nope")).unwrap_err();
         assert!(err.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn engine_flag_selects_generator_engine() {
+        match parse(&argv("solve city.json")).unwrap() {
+            Command::Solve { engine, .. } => assert_eq!(engine, VdpsEngine::Flat),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("solve city.json --engine hashmap")).unwrap() {
+            Command::Solve { engine, .. } => assert_eq!(engine, VdpsEngine::Hashmap),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("compare city.json --engine flat")).unwrap() {
+            Command::Compare { engine, .. } => assert_eq!(engine, VdpsEngine::Flat),
+            other => panic!("wrong command {other:?}"),
+        }
+        let err = parse(&argv("solve city.json --engine turbo")).unwrap_err();
+        assert!(err.contains("unknown engine"));
     }
 
     #[test]

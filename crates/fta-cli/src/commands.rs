@@ -111,6 +111,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             algorithm_name,
             epsilon,
             max_len,
+            engine,
             parallel,
             out,
         } => {
@@ -118,6 +119,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let vdps = VdpsConfig {
                 epsilon: *epsilon,
                 max_len: *max_len,
+                engine: *engine,
             };
             let outcome = solve(
                 &inst,
@@ -139,6 +141,24 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 outcome.assign_time,
             );
             text.push_str(&outcome.assignment.summary(&inst, &workers));
+            if outcome.gen_stats.vdps_count > 0 {
+                let g = outcome.gen_stats;
+                let _ = writeln!(
+                    text,
+                    "vdps generation ({} engine): {} sets from {} states, {} extensions ({} distance-pruned, {} deadline-pruned), dp {:.1} ms + routes {:.1} ms, {} chunks, {} steals, {} merge collisions",
+                    engine.name(),
+                    g.vdps_count,
+                    g.states,
+                    g.extensions_tried,
+                    g.pruned_by_distance,
+                    g.pruned_by_deadline,
+                    g.dp_nanos as f64 / 1e6,
+                    g.route_nanos as f64 / 1e6,
+                    g.chunks,
+                    g.steals,
+                    g.merge_collisions,
+                );
+            }
             if !outcome.br_stats.is_empty() {
                 let s = outcome.br_stats;
                 let _ = writeln!(
@@ -162,6 +182,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             instance,
             epsilon,
             max_len,
+            engine,
             parallel,
         } => {
             use fta_algorithms::{Algorithm, FgtConfig, IegtConfig, MptaConfig};
@@ -170,6 +191,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let vdps = VdpsConfig {
                 epsilon: *epsilon,
                 max_len: *max_len,
+                engine: *engine,
             };
             let mut text = format!(
                 "{:<6} {:>10} {:>11} {:>8} {:>10} {:>11}\n",
@@ -343,6 +365,44 @@ mod tests {
         let out = execute(&cmd).unwrap();
         assert!(!out.contains("best-response work:"));
 
+        let _ = std::fs::remove_file(&instance_path);
+    }
+
+    #[test]
+    fn solve_reports_generation_work_for_both_engines() {
+        let instance_path = temp("genwork.json");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 33 --centers 1 --workers 6 --tasks 60 --dps 10 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        let mut summaries = Vec::new();
+        for engine in ["flat", "hashmap"] {
+            let cmd = parse(&argv(&format!(
+                "solve {} --algo gta --engine {engine}",
+                instance_path.display()
+            )))
+            .unwrap();
+            let out = execute(&cmd).unwrap();
+            assert!(
+                out.contains(&format!("vdps generation ({engine} engine):")),
+                "missing generation stats in:\n{out}"
+            );
+            // The work-counter prefix of the stats line (everything before
+            // the timings) must be engine-independent.
+            let line = out
+                .lines()
+                .find(|l| l.starts_with("vdps generation"))
+                .unwrap();
+            let work = line
+                .split_once(" sets from ")
+                .map(|(_, rest)| rest.split_once(", dp ").unwrap().0.to_owned())
+                .unwrap();
+            summaries.push(work);
+        }
+        assert_eq!(summaries[0], summaries[1]);
         let _ = std::fs::remove_file(&instance_path);
     }
 

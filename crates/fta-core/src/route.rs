@@ -62,13 +62,22 @@ impl Route {
             .get(center.index())
             .ok_or(FtaError::UnknownCenter(center))?;
 
-        let mut seen = vec![false; instance.delivery_points.len()];
+        // Duplicate detection: routes are short in practice (the paper's
+        // maxDP is 3), so a quadratic scan over the visited prefix beats
+        // allocating a per-call `seen` bitmap — the generators build tens
+        // of thousands of routes per center and the zeroed allocation
+        // dominated their emission phase. Long routes keep the bitmap.
+        let mut seen = if dps.len() > 16 {
+            Some(vec![false; instance.delivery_points.len()])
+        } else {
+            None
+        };
         let mut arrival_offsets = Vec::with_capacity(dps.len());
         let mut total_reward = 0.0;
         let mut slack = f64::INFINITY;
         let mut t = 0.0;
         let mut prev = dc.location;
-        for &dp_id in &dps {
+        for (i, &dp_id) in dps.iter().enumerate() {
             let dp = instance
                 .delivery_points
                 .get(dp_id.index())
@@ -79,7 +88,11 @@ impl Route {
                     delivery_point: dp_id,
                 });
             }
-            if std::mem::replace(&mut seen[dp_id.index()], true) {
+            let duplicate = match &mut seen {
+                Some(seen) => std::mem::replace(&mut seen[dp_id.index()], true),
+                None => dps[..i].contains(&dp_id),
+            };
+            if duplicate {
                 return Err(FtaError::InvalidField {
                     field: "route.dps",
                     message: format!("delivery point {dp_id} appears twice"),

@@ -61,18 +61,24 @@ pub fn run_algorithm(
 }
 
 /// Runs the paper's four standard algorithms at sweep position `x` over the
-/// per-seed instances, recording each into the figure.
+/// per-seed instances, recording each into the figure. Returns the averaged
+/// results (in [`standard_algorithms`] order) so callers can surface
+/// additional counters — e.g. the VDPS generation work panel of the ε
+/// experiment.
 pub fn run_standard_at(
     fig: &mut FigureData,
     x: f64,
     instances: &[Instance],
     vdps: VdpsConfig,
     opts: &RunnerOptions,
-) {
+) -> Vec<AlgoResult> {
+    let mut results = Vec::new();
     for (label, algorithm) in standard_algorithms() {
         let (result, spread) = run_algorithm(instances, label, algorithm, vdps, opts);
         record(fig, x, &result, &spread);
+        results.push(result);
     }
+    results
 }
 
 /// Generates the dataset's default instance (Table I underlined values),

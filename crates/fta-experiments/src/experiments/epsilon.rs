@@ -11,8 +11,16 @@ use crate::experiments::common::{
 };
 use crate::measure::standard_algorithms;
 use crate::params::{Dataset, RunnerOptions, GM_EPSILON_SWEEP, SYN_EPSILON_SWEEP};
-use crate::report::FigureData;
+use crate::report::{FigureData, Panel};
 use fta_vdps::VdpsConfig;
+
+/// Metric name of the VDPS generation-work panel added to the ε figures:
+/// one series per work counter, plotted against ε, showing how the
+/// distance-constrained pruning strategy trades generation work for
+/// effectiveness (the dominant cost in the paper's Figures 2–3 CPU-time
+/// panels).
+pub const GEN_PANEL: &str =
+    "vdps generation work [series: states, extensions, dist-pruned, ddl-pruned, vdps]";
 
 /// Runs the ε experiment on the given dataset.
 #[must_use]
@@ -23,6 +31,7 @@ pub fn run(dataset: Dataset, opts: &RunnerOptions) -> FigureData {
     };
     let title = format!("Effect of ε ({})", dataset.name());
     let mut fig = new_figure(id, &title, "epsilon (km)");
+    fig.panels.push(Panel::new(GEN_PANEL));
 
     let instances = default_instances(dataset, opts);
 
@@ -43,13 +52,27 @@ pub fn run(dataset: Dataset, opts: &RunnerOptions) -> FigureData {
     }
 
     for &eps in &sweep {
-        run_standard_at(
+        let results = run_standard_at(
             &mut fig,
             eps,
             &instances,
             VdpsConfig::pruned(eps, MAX_LEN_CAP),
             opts,
         );
+        // Generation happens before the assignment algorithm runs, so the
+        // work counters are identical for all four algorithms — surface
+        // them once per ε from the first result.
+        let g = results[0].gen_stats;
+        let gen_panel = fig.panels.last_mut().expect("gen panel was added");
+        for (series, value) in [
+            ("states", g.states),
+            ("extensions", g.extensions_tried),
+            ("dist-pruned", g.pruned_by_distance),
+            ("ddl-pruned", g.pruned_by_deadline),
+            ("vdps", g.vdps_count),
+        ] {
+            gen_panel.push_point(series, eps, value as f64);
+        }
     }
     fig
 }
@@ -107,6 +130,24 @@ mod tests {
             (pruned - unpruned).abs() <= 0.25 * unpruned.abs().max(0.1),
             "GTA at max ε ({pruned}) should approach GTA-W ({unpruned})"
         );
+    }
+
+    #[test]
+    fn generation_work_panel_tracks_pruning() {
+        let mut opts = tiny_opts();
+        opts.seeds = vec![7];
+        let fig = run(Dataset::Gm, &opts);
+        let panel = fig.panel_of(GEN_PANEL).unwrap();
+        for series in ["states", "extensions", "dist-pruned", "ddl-pruned", "vdps"] {
+            let s = panel.series_of(series).unwrap();
+            assert_eq!(s.points.len(), GM_EPSILON_SWEEP.len(), "{series}");
+        }
+        // A larger ε admits every hop a smaller ε admits, so the VDPS pool
+        // can only grow along the sweep.
+        let vdps = panel.series_of("vdps").unwrap();
+        for w in vdps.points.windows(2) {
+            assert!(w[1].1 >= w[0].1, "vdps count must grow with ε: {vdps:?}");
+        }
     }
 
     // The GMissionConfig import asserts the GM default is test-sized.

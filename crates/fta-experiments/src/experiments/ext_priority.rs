@@ -88,6 +88,7 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
                         assign_time_ms: outcome.assign_time.as_secs_f64() * 1e3,
                         assigned_workers: outcome.assignment.assigned_workers(),
                         br_stats: outcome.br_stats,
+                        gen_stats: outcome.gen_stats,
                         trace: outcome.trace,
                     };
                     (result, pdiff)

@@ -3,7 +3,7 @@
 use fta_algorithms::{solve, Algorithm, BestResponseStats, ConvergenceTrace, SolveConfig};
 use fta_core::fairness::FairnessReport;
 use fta_core::{Instance, WorkerId};
-use fta_vdps::VdpsConfig;
+use fta_vdps::{GenerationStats, VdpsConfig};
 
 /// The metrics the paper reports for one `(algorithm, instance)` pair.
 #[derive(Debug, Clone)]
@@ -20,6 +20,9 @@ pub struct AlgoResult {
     pub trace: ConvergenceTrace,
     /// Best-response work counters (all-zero for the baselines).
     pub br_stats: BestResponseStats,
+    /// C-VDPS generation work/timing/parallelism counters, summed over
+    /// centers (and over seeds when averaged).
+    pub gen_stats: GenerationStats,
     /// Number of workers that received a non-null strategy.
     pub assigned_workers: usize,
 }
@@ -60,6 +63,7 @@ pub fn measure(
         assign_time_ms: outcome.assign_time.as_secs_f64() * 1e3,
         assigned_workers: outcome.assignment.assigned_workers(),
         br_stats: outcome.br_stats,
+        gen_stats: outcome.gen_stats,
         trace: outcome.trace,
     }
 }
@@ -94,6 +98,13 @@ pub fn average_results(results: &[AlgoResult]) -> AlgoResult {
             let mut total = BestResponseStats::default();
             for r in results {
                 total.merge(&r.br_stats);
+            }
+            total
+        },
+        gen_stats: {
+            let mut total = GenerationStats::default();
+            for r in results {
+                total.merge(&r.gen_stats);
             }
             total
         },

@@ -1,0 +1,866 @@
+//! The flat-frontier C-VDPS engine: a cache-friendly, optionally parallel
+//! rewrite of Algorithm 1's subset dynamic program.
+//!
+//! The original engine ([`crate::generator::generate_c_vdps_hashmap`])
+//! keeps each DP layer in a `HashMap<(u128, u8), State>`: every candidate
+//! extension pays a SipHash of a 17-byte key plus entry-API churn, the
+//! inner loop recomputes `locs[i].distance(locs[j])` (a `hypot`) per
+//! extension, and a second full pass over all layers builds a
+//! `best_per_mask` HashMap before routes are reconstructed. This module
+//! removes all three costs while producing a **bit-identical pool** (same
+//! masks, same routes, same size-then-mask ordering) and identical work
+//! counters:
+//!
+//! * **Precomputed travel-time matrix.** An `n × n` row-major matrix of
+//!   `d(dp_i, dp_j) / speed` (plus per-point expiry and from-center
+//!   arrays) is built once; the inner loop is then one add, one compare,
+//!   and a table relax. Since the matrix stores exactly the expression
+//!   the hash-map engine evaluates, arrivals are bit-identical.
+//!
+//! * **Mask-bucketed flat frontier.** A layer of subset size `L` is a
+//!   sorted `Vec<u128>` of masks plus a dense slot array with `L` slots
+//!   per mask — slot `rank(mask, j)` (the popcount of `mask` below bit
+//!   `j`) holds the minimal arrival ending at member `j` and its `pre`
+//!   pointer. Deduplication during expansion goes through an
+//!   open-addressed `u128 → group` table with an inline multiply-shift
+//!   hash and linear probing — no SipHash, no per-state allocation. The
+//!   per-mask best ending (the old second-pass `best_per_mask` map) falls
+//!   out of the slot array for free during emission.
+//!
+//! * **Intra-center parallelism.** On a [`crate::pool::TaskScope`] with
+//!   more than one thread, each layer's frontier is expanded in
+//!   contiguous group chunks; every chunk fills a private shard table,
+//!   shards are sorted by mask, and mask-range partitions are merged by
+//!   parallel k-way merge jobs with min-relaxation. Because minimum (with
+//!   the deterministic `(arrival, parent)` tie-break) is associative and
+//!   commutative, the merged frontier is independent of chunking and
+//!   thread count — pooled and sequential runs produce the same pool.
+//!
+//! Ties deserve a note: on *exactly* equal arrivals the hash-map engine
+//! keeps whichever predecessor its nondeterministic iteration order saw
+//! first, while this engine always keeps the smallest predecessor index.
+//! Both choices yield the same travel time; generated instances
+//! (continuous coordinates) make exact ties measure-zero.
+
+use crate::config::VdpsConfig;
+use crate::generator::{GenerationStats, Vdps};
+use crate::grid::NeighborIndex;
+use crate::pool::TaskScope;
+use fta_core::instance::{CenterView, DpAggregate, Instance};
+use fta_core::route::Route;
+use fta_core::DeliveryPointId;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Expansion goes parallel only when a layer has at least this many mask
+/// groups; below that, chunk + merge overhead dominates.
+const PAR_MIN_GROUPS: usize = 64;
+
+/// One dynamic-program slot: minimal arrival time at the slot's member
+/// over all feasible orderings, plus the predecessor (`pre`) index.
+/// `arrival == f64::INFINITY` marks an empty slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    arrival: f64,
+    parent: u8,
+}
+
+const EMPTY: Slot = Slot {
+    arrival: f64::INFINITY,
+    parent: u8::MAX,
+};
+
+impl Slot {
+    /// The deterministic relaxation order: smaller arrival wins; on exact
+    /// ties the smaller predecessor index wins. Min under this order is
+    /// associative + commutative, which is what makes chunked/sharded
+    /// merging order-independent.
+    #[inline]
+    fn beats(&self, other: &Slot) -> bool {
+        self.arrival < other.arrival
+            || (self.arrival == other.arrival && self.parent < other.parent)
+    }
+}
+
+/// Number of set bits of `mask` strictly below bit `j` — the dense slot
+/// index of member `j` within its mask group.
+#[inline]
+fn rank(mask: u128, j: usize) -> usize {
+    (mask & ((1u128 << j) - 1)).count_ones() as usize
+}
+
+/// One finished DP layer: all feasible subsets of size `size`, sorted by
+/// mask, with `size` slots per mask.
+struct Frontier {
+    size: usize,
+    masks: Vec<u128>,
+    slots: Vec<Slot>,
+}
+
+impl Frontier {
+    fn lookup(&self, mask: u128, j: usize) -> Slot {
+        let group = self
+            .masks
+            .binary_search(&mask)
+            .expect("parent pointers only reference existing masks");
+        self.slots[group * self.size + rank(mask, j)]
+    }
+
+    fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.arrival.is_finite()).count()
+    }
+}
+
+/// Fully owned per-center context shared (via `Arc`) with expansion
+/// chunks, so parallel jobs never borrow generator-local state.
+struct Ctx {
+    n: usize,
+    /// Row-major `n × n` travel-time matrix: `tt[last * n + j]`.
+    tt: Vec<f64>,
+    expiry: Vec<f64>,
+    neighbors: Option<NeighborIndex>,
+    full_mask: u128,
+}
+
+/// Work counters produced by one expansion chunk (summed deterministically).
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkCounters {
+    extensions_tried: usize,
+    pruned_by_distance: usize,
+    pruned_by_deadline: usize,
+}
+
+impl ChunkCounters {
+    fn add(&mut self, other: &ChunkCounters) {
+        self.extensions_tried += other.extensions_tried;
+        self.pruned_by_distance += other.pruned_by_distance;
+        self.pruned_by_deadline += other.pruned_by_deadline;
+    }
+}
+
+#[inline]
+fn fold_mask(mask: u128) -> u64 {
+    // Mix the high half before xor-folding so masks differing only in
+    // high bits don't collide into identical low-bit patterns.
+    (mask as u64) ^ ((mask >> 64) as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+/// Inline multiply-shift bucket for a power-of-two table of `1 << bits`.
+#[inline]
+fn bucket(mask: u128, bits: u32) -> usize {
+    (fold_mask(mask).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
+}
+
+/// Open-addressed `u128 mask → group index` table with dense slot storage,
+/// the dedup structure of one expansion chunk.
+struct ShardTable {
+    size: usize,
+    bits: u32,
+    keys: Vec<u128>, // 0 = empty (a VDPS mask is never 0)
+    vals: Vec<u32>,
+    masks: Vec<u128>, // discovery order
+    slots: Vec<Slot>, // masks.len() * size
+}
+
+impl ShardTable {
+    fn with_expected(expected: usize, size: usize) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        Self {
+            size,
+            bits: cap.trailing_zeros(),
+            keys: vec![0u128; cap],
+            vals: vec![0u32; cap],
+            masks: Vec::with_capacity(expected),
+            slots: Vec::with_capacity(expected * size),
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        self.bits = cap.trailing_zeros();
+        self.keys = vec![0u128; cap];
+        self.vals = vec![0u32; cap];
+        for (g, &mask) in self.masks.iter().enumerate() {
+            let mut idx = bucket(mask, self.bits);
+            while self.keys[idx] != 0 {
+                idx = (idx + 1) & (cap - 1);
+            }
+            self.keys[idx] = mask;
+            self.vals[idx] = g as u32;
+        }
+    }
+
+    /// Inserts or relaxes the `(mask, j)` state with `cand`.
+    #[inline]
+    fn relax(&mut self, mask: u128, j: usize, cand: Slot) {
+        // Keep load factor under 3/4.
+        if (self.masks.len() + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let cap_mask = self.keys.len() - 1;
+        let mut idx = bucket(mask, self.bits);
+        loop {
+            let key = self.keys[idx];
+            if key == mask {
+                let slot = &mut self.slots[self.vals[idx] as usize * self.size + rank(mask, j)];
+                if cand.beats(slot) {
+                    *slot = cand;
+                }
+                return;
+            }
+            if key == 0 {
+                let group = self.masks.len() as u32;
+                self.keys[idx] = mask;
+                self.vals[idx] = group;
+                self.masks.push(mask);
+                self.slots.resize(self.slots.len() + self.size, EMPTY);
+                self.slots[group as usize * self.size + rank(mask, j)] = cand;
+                return;
+            }
+            idx = (idx + 1) & cap_mask;
+        }
+    }
+
+    /// Consumes the table into `(masks, slots)` sorted ascending by mask.
+    fn into_sorted(self) -> (Vec<u128>, Vec<Slot>) {
+        let len = self.masks.len();
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        order.sort_unstable_by_key(|&g| self.masks[g as usize]);
+        let mut masks = Vec::with_capacity(len);
+        let mut slots = Vec::with_capacity(len * self.size);
+        for &g in &order {
+            let g = g as usize;
+            masks.push(self.masks[g]);
+            slots.extend_from_slice(&self.slots[g * self.size..(g + 1) * self.size]);
+        }
+        (masks, slots)
+    }
+}
+
+/// Expands the source groups `range` of `layer` into `table`, applying
+/// deadline and ε pruning exactly as the hash-map engine does.
+fn expand_range(
+    ctx: &Ctx,
+    layer: &Frontier,
+    range: std::ops::Range<usize>,
+    table: &mut ShardTable,
+    counters: &mut ChunkCounters,
+) {
+    let n = ctx.n;
+    for g in range {
+        let mask = layer.masks[g];
+        let base = g * layer.size;
+        // Iterate the mask's members in ascending bit order; the slot
+        // rank advances in lockstep.
+        let mut members = mask;
+        let mut slot_idx = base;
+        while members != 0 {
+            let last = members.trailing_zeros() as usize;
+            members &= members - 1;
+            let state = layer.slots[slot_idx];
+            slot_idx += 1;
+            if !state.arrival.is_finite() {
+                continue;
+            }
+            let tt_row = &ctx.tt[last * n..(last + 1) * n];
+            match &ctx.neighbors {
+                Some(index) => {
+                    let free = n - mask.count_ones() as usize;
+                    let mut considered = 0usize;
+                    for &j in index.neighbors(last) {
+                        let j = usize::from(j);
+                        if mask & (1u128 << j) != 0 {
+                            continue;
+                        }
+                        considered += 1;
+                        let arrival = state.arrival + tt_row[j];
+                        if arrival > ctx.expiry[j] {
+                            counters.pruned_by_deadline += 1;
+                            continue;
+                        }
+                        table.relax(
+                            mask | (1u128 << j),
+                            j,
+                            Slot {
+                                arrival,
+                                parent: last as u8,
+                            },
+                        );
+                    }
+                    counters.extensions_tried += free;
+                    counters.pruned_by_distance += free - considered;
+                }
+                None => {
+                    let mut rem = ctx.full_mask & !mask;
+                    while rem != 0 {
+                        let j = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        counters.extensions_tried += 1;
+                        let arrival = state.arrival + tt_row[j];
+                        if arrival > ctx.expiry[j] {
+                            counters.pruned_by_deadline += 1;
+                            continue;
+                        }
+                        table.relax(
+                            mask | (1u128 << j),
+                            j,
+                            Slot {
+                                arrival,
+                                parent: last as u8,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A sorted expansion shard: `(masks ascending, slots)`.
+type Shard = (Vec<u128>, Vec<Slot>);
+
+/// Merges the `[lo, hi)` mask range of every shard by k-way merge with
+/// min-relaxation, returning the merged groups (sorted) and the number of
+/// cross-shard mask collisions folded.
+fn merge_partition(shards: &[Shard], size: usize, lo: u128, hi: u128) -> (Shard, usize) {
+    let ranges: Vec<(usize, usize)> = shards
+        .iter()
+        .map(|(masks, _)| {
+            (
+                masks.partition_point(|&m| m < lo),
+                masks.partition_point(|&m| m < hi),
+            )
+        })
+        .collect();
+    let mut heads: Vec<usize> = ranges.iter().map(|&(start, _)| start).collect();
+    let expected: usize = ranges.iter().map(|&(s, e)| e - s).sum();
+    let mut out_masks: Vec<u128> = Vec::with_capacity(expected);
+    let mut out_slots: Vec<Slot> = Vec::with_capacity(expected * size);
+    let mut collisions = 0usize;
+    loop {
+        // Smallest mask among the shard heads still in range.
+        let mut min_mask = u128::MAX;
+        for (s, shard) in shards.iter().enumerate() {
+            if heads[s] < ranges[s].1 {
+                min_mask = min_mask.min(shard.0[heads[s]]);
+            }
+        }
+        if min_mask == u128::MAX {
+            break;
+        }
+        let group_base = out_slots.len();
+        out_masks.push(min_mask);
+        out_slots.resize(group_base + size, EMPTY);
+        let mut occurrences = 0usize;
+        for (s, shard) in shards.iter().enumerate() {
+            if heads[s] < ranges[s].1 && shard.0[heads[s]] == min_mask {
+                let src = heads[s] * size;
+                for k in 0..size {
+                    let cand = shard.1[src + k];
+                    if cand.beats(&out_slots[group_base + k]) {
+                        out_slots[group_base + k] = cand;
+                    }
+                }
+                heads[s] += 1;
+                occurrences += 1;
+            }
+        }
+        collisions += occurrences - 1;
+    }
+    ((out_masks, out_slots), collisions)
+}
+
+/// Deterministic mask-range partition pivots: sample every shard's sorted
+/// mask list, sort the samples, and pick `parts - 1` evenly spaced pivots.
+fn partition_pivots(shards: &[Shard], parts: usize) -> Vec<u128> {
+    let mut samples: Vec<u128> = Vec::new();
+    for (masks, _) in shards {
+        let step = (masks.len() / (parts * 8).max(1)).max(1);
+        samples.extend(masks.iter().step_by(step).copied());
+    }
+    samples.sort_unstable();
+    samples.dedup();
+    let mut pivots = Vec::with_capacity(parts.saturating_sub(1));
+    for p in 1..parts {
+        let idx = p * samples.len() / parts;
+        if let Some(&pivot) = samples.get(idx) {
+            pivots.push(pivot);
+        }
+    }
+    pivots.dedup();
+    pivots
+}
+
+/// Builds the next layer from `layer` on the pool scope: chunked
+/// expansion into per-thread shard tables, then mask-partitioned merge.
+fn next_layer_pooled(
+    ctx: &Arc<Ctx>,
+    layer: Arc<Frontier>,
+    out_size: usize,
+    scope: &TaskScope<'_>,
+    stats: &mut GenerationStats,
+) -> Frontier {
+    let groups = layer.masks.len();
+    let threads = scope.threads();
+    let chunk_size = (groups / (threads * 4)).max(32);
+    let chunk_count = groups.div_ceil(chunk_size);
+    let expected_per_chunk = (chunk_size * out_size).min(1 << 16);
+
+    // Phase 1: expand chunks into private shard tables (parallel).
+    let jobs: Vec<_> = (0..chunk_count)
+        .map(|c| {
+            let ctx = Arc::clone(ctx);
+            let layer = Arc::clone(&layer);
+            move |_: &TaskScope<'_>| {
+                let range = c * chunk_size..((c + 1) * chunk_size).min(groups);
+                let mut table = ShardTable::with_expected(expected_per_chunk, out_size);
+                let mut counters = ChunkCounters::default();
+                expand_range(&ctx, &layer, range, &mut table, &mut counters);
+                (table.into_sorted(), counters)
+            }
+        })
+        .collect();
+    let (chunk_results, steals) = scope.map_with_steals(jobs);
+    stats.chunks += chunk_count;
+    stats.steals += steals;
+    let mut shards: Vec<Shard> = Vec::with_capacity(chunk_results.len());
+    let mut totals = ChunkCounters::default();
+    for (shard, counters) in chunk_results {
+        totals.add(&counters);
+        if !shard.0.is_empty() {
+            shards.push(shard);
+        }
+    }
+    stats.extensions_tried += totals.extensions_tried;
+    stats.pruned_by_distance += totals.pruned_by_distance;
+    stats.pruned_by_deadline += totals.pruned_by_deadline;
+
+    // Phase 2: merge shards by mask partition (parallel k-way merges).
+    let mut bounds: Vec<u128> = vec![0];
+    bounds.extend(partition_pivots(&shards, threads.max(1)));
+    bounds.push(u128::MAX);
+    let shards = Arc::new(shards);
+    let merge_jobs: Vec<_> = bounds
+        .windows(2)
+        .map(|w| {
+            let shards = Arc::clone(&shards);
+            let (lo, hi) = (w[0], w[1]);
+            move |_: &TaskScope<'_>| merge_partition(&shards, out_size, lo, hi)
+        })
+        .collect();
+    let (merged, merge_steals) = scope.map_with_steals(merge_jobs);
+    stats.steals += merge_steals;
+
+    let mut masks = Vec::new();
+    let mut slots = Vec::new();
+    for ((part_masks, part_slots), collisions) in merged {
+        stats.merge_collisions += collisions;
+        masks.extend(part_masks);
+        slots.extend(part_slots);
+    }
+    Frontier {
+        size: out_size,
+        masks,
+        slots,
+    }
+}
+
+/// Builds the next layer sequentially: a single shard table, sorted once.
+fn next_layer_sequential(
+    ctx: &Ctx,
+    layer: &Frontier,
+    out_size: usize,
+    stats: &mut GenerationStats,
+) -> Frontier {
+    let mut table = ShardTable::with_expected(layer.masks.len().max(8), out_size);
+    let mut counters = ChunkCounters::default();
+    expand_range(ctx, layer, 0..layer.masks.len(), &mut table, &mut counters);
+    stats.chunks += 1;
+    stats.extensions_tried += counters.extensions_tried;
+    stats.pruned_by_distance += counters.pruned_by_distance;
+    stats.pruned_by_deadline += counters.pruned_by_deadline;
+    let (masks, slots) = table.into_sorted();
+    Frontier {
+        size: out_size,
+        masks,
+        slots,
+    }
+}
+
+/// Generates all C-VDPSs of one distribution center with the
+/// flat-frontier engine, optionally parallelising layer expansion on
+/// `scope` (see the module docs for the data layout).
+///
+/// The pool is ordered by subset size, then by mask — bit-identical to
+/// [`crate::generator::generate_c_vdps_hashmap`] — and the work counters
+/// of [`GenerationStats`] match the hash-map engine's exactly.
+///
+/// # Panics
+///
+/// Panics if the center has more than 128 task-bearing delivery points.
+#[must_use]
+pub fn generate_c_vdps_flat(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+    scope: Option<&TaskScope<'_>>,
+) -> (Vec<Vdps>, GenerationStats) {
+    let n = view.dps.len();
+    assert!(
+        n <= 128,
+        "center {} has {n} delivery points; the bitmask DP supports at most 128",
+        view.center
+    );
+    let mut stats = GenerationStats::default();
+    if n == 0 || config.max_len == 0 {
+        return (Vec::new(), stats);
+    }
+    let dp_start = Instant::now();
+
+    let dc = instance.centers[view.center.index()].location;
+    let speed = instance.speed;
+    let locs: Vec<_> = view
+        .dps
+        .iter()
+        .map(|dp| instance.delivery_points[dp.index()].location)
+        .collect();
+    let expiry: Vec<f64> = view
+        .dps
+        .iter()
+        .map(|dp| aggregates[dp.index()].earliest_expiry)
+        .collect();
+    let from_dc: Vec<f64> = locs.iter().map(|&l| dc.travel_time(l, speed)).collect();
+
+    // Flat n×n travel-time matrix. Stored as the exact expression the
+    // hash-map engine evaluates per extension (distance / speed), so
+    // arrivals stay bit-identical. n ≤ 128 keeps this ≤ 128 KiB.
+    let mut tt = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            tt[i * n + j] = locs[i].distance(locs[j]) / speed;
+        }
+    }
+    let neighbors = config.epsilon.map(|eps| NeighborIndex::build(&locs, eps));
+    let full_mask = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+    let ctx = Arc::new(Ctx {
+        n,
+        tt,
+        expiry,
+        neighbors,
+        full_mask,
+    });
+
+    // Layer 1 (Algorithm 1, lines 2–5): reachable singletons, ascending.
+    let mut masks = Vec::new();
+    let mut slots = Vec::new();
+    for (j, &arrival) in from_dc.iter().enumerate() {
+        stats.extensions_tried += 1;
+        if arrival <= ctx.expiry[j] {
+            masks.push(1u128 << j);
+            slots.push(Slot {
+                arrival,
+                parent: u8::MAX,
+            });
+        } else {
+            stats.pruned_by_deadline += 1;
+        }
+    }
+    let mut layers: Vec<Arc<Frontier>> = vec![Arc::new(Frontier {
+        size: 1,
+        masks,
+        slots,
+    })];
+
+    // Layers 2..=max_len (Algorithm 1, lines 6–12).
+    for len in 2..=config.max_len.min(n) {
+        let layer = Arc::clone(&layers[len - 2]);
+        let parallel = scope
+            .filter(|s| s.threads() > 1 && layer.masks.len() >= PAR_MIN_GROUPS)
+            .is_some();
+        let next = if parallel {
+            let scope = scope.expect("parallel implies a scope");
+            next_layer_pooled(&ctx, layer, len, scope, &mut stats)
+        } else {
+            next_layer_sequential(&ctx, &layer, len, &mut stats)
+        };
+        if next.masks.is_empty() {
+            break;
+        }
+        layers.push(Arc::new(next));
+    }
+    stats.states = layers.iter().map(|l| l.occupied()).sum();
+    stats.dp_nanos = u64::try_from(dp_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // Emission: layers are already in subset-size order and each layer is
+    // mask-sorted, so the pool order (size, then mask) needs no sort. The
+    // per-mask best ending is the lexicographic minimum over the group's
+    // occupied slots, folding the old `best_per_mask` pass into the walk.
+    let route_start = Instant::now();
+    let mut pool = Vec::with_capacity(layers.iter().map(|l| l.masks.len()).sum());
+    // Reused backwalk scratch (last → first); routes are ≤ `max_len` long.
+    let mut order_rev: Vec<u8> = Vec::with_capacity(config.max_len);
+    for layer in &layers {
+        for g in 0..layer.masks.len() {
+            let mask = layer.masks[g];
+            let base = g * layer.size;
+            let mut best: Option<(f64, usize)> = None;
+            let mut members = mask;
+            let mut k = 0usize;
+            while members != 0 {
+                let j = members.trailing_zeros() as usize;
+                members &= members - 1;
+                let slot = layer.slots[base + k];
+                k += 1;
+                if slot.arrival.is_finite()
+                    && best.is_none_or(|(arrival, _)| slot.arrival < arrival)
+                {
+                    best = Some((slot.arrival, j));
+                }
+            }
+            let (_, mut last) =
+                best.expect("every frontier group holds at least one feasible state");
+            // Walk `pre` pointers backwards through the layers. The first
+            // hop reads this group's slots directly; only ancestors need
+            // the binary-search `lookup` into their (smaller) layers.
+            order_rev.clear();
+            let mut cur_mask = mask;
+            let mut state = layer.slots[base + rank(mask, last)];
+            loop {
+                order_rev.push(last as u8);
+                if state.parent == u8::MAX {
+                    break;
+                }
+                cur_mask &= !(1u128 << last);
+                last = usize::from(state.parent);
+                state = layers[cur_mask.count_ones() as usize - 1].lookup(cur_mask, last);
+            }
+            let dps: Vec<DeliveryPointId> = order_rev
+                .iter()
+                .rev()
+                .map(|&local| view.dps[usize::from(local)])
+                .collect();
+            let route = Route::build(instance, aggregates, view.center, dps)
+                .expect("DP states only reference valid delivery points");
+            debug_assert!(
+                route.is_center_origin_valid(),
+                "the DP must only emit deadline-feasible sequences"
+            );
+            pool.push(Vdps { mask, route });
+        }
+    }
+    stats.route_nanos = u64::try_from(route_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    stats.vdps_count = pool.len();
+    (pool, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_c_vdps_hashmap;
+    use crate::pool::WorkerPool;
+    use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+    use fta_core::geometry::Point;
+    use fta_core::ids::{CenterId, TaskId, WorkerId};
+
+    /// A deterministic pseudo-random scatter of `n` delivery points.
+    fn scatter_instance(n: usize, seed: u64) -> Instance {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let dps: Vec<DeliveryPoint> = (0..n)
+            .map(|i| DeliveryPoint {
+                id: DeliveryPointId::from_index(i),
+                location: Point::new(next() * 6.0, next() * 6.0),
+                center: CenterId(0),
+            })
+            .collect();
+        let tasks: Vec<SpatialTask> = (0..n)
+            .map(|i| SpatialTask {
+                id: TaskId::from_index(i),
+                delivery_point: DeliveryPointId::from_index(i),
+                expiry: 0.5 + next() * 12.0,
+                reward: 1.0,
+            })
+            .collect();
+        Instance::new(
+            vec![DistributionCenter {
+                id: CenterId(0),
+                location: Point::new(3.0, 3.0),
+            }],
+            vec![Worker {
+                id: WorkerId(0),
+                location: Point::new(3.0, 3.0),
+                max_dp: 4,
+                center: CenterId(0),
+            }],
+            dps,
+            tasks,
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn assert_pools_identical(a: &[Vdps], b: &[Vdps], label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: pool sizes differ");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.mask, y.mask, "{label}: masks differ");
+            assert_eq!(x.route.dps(), y.route.dps(), "{label}: routes differ");
+            assert!(
+                (x.route.travel_from_dc() - y.route.travel_from_dc()).abs() == 0.0,
+                "{label}: travel times not bit-identical on mask {:#b}",
+                x.mask
+            );
+        }
+    }
+
+    #[test]
+    fn flat_matches_hashmap_bit_identically() {
+        for seed in [1u64, 7, 42] {
+            for n in [5usize, 12, 24] {
+                for config in [
+                    VdpsConfig::unpruned(3),
+                    VdpsConfig::unpruned(4),
+                    VdpsConfig::pruned(2.0, 3),
+                    VdpsConfig::pruned(0.8, 4),
+                ] {
+                    let inst = scatter_instance(n, seed);
+                    let aggs = inst.dp_aggregates();
+                    let views = inst.center_views();
+                    let (flat, fs) = generate_c_vdps_flat(&inst, &aggs, &views[0], &config, None);
+                    let (hash, hs) = generate_c_vdps_hashmap(&inst, &aggs, &views[0], &config);
+                    let label = format!("seed {seed}, n {n}, cfg {config:?}");
+                    assert_pools_identical(&flat, &hash, &label);
+                    assert_eq!(
+                        fs.work_counters(),
+                        hs.work_counters(),
+                        "{label}: work counters differ"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_generation_matches_sequential() {
+        let inst = scatter_instance(40, 9);
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        let config = VdpsConfig::unpruned(3);
+        let (seq, seq_stats) = generate_c_vdps_flat(&inst, &aggs, &views[0], &config, None);
+        for threads in [2, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let (par, par_stats) =
+                pool.scope(|ts| generate_c_vdps_flat(&inst, &aggs, &views[0], &config, Some(ts)));
+            assert_pools_identical(&seq, &par, &format!("threads {threads}"));
+            assert_eq!(seq_stats.work_counters(), par_stats.work_counters());
+            assert!(par_stats.chunks >= seq_stats.chunks);
+        }
+    }
+
+    #[test]
+    fn pooled_generation_is_deterministic_across_runs() {
+        let inst = scatter_instance(36, 4);
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        let config = VdpsConfig::pruned(2.5, 4);
+        let pool = WorkerPool::with_threads(4);
+        let (a, _) =
+            pool.scope(|ts| generate_c_vdps_flat(&inst, &aggs, &views[0], &config, Some(ts)));
+        let (b, _) =
+            pool.scope(|ts| generate_c_vdps_flat(&inst, &aggs, &views[0], &config, Some(ts)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_capped_inputs_behave_like_hashmap() {
+        let inst = scatter_instance(6, 3);
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        let (pool, stats) =
+            generate_c_vdps_flat(&inst, &aggs, &views[0], &VdpsConfig::unpruned(0), None);
+        assert!(pool.is_empty());
+        assert_eq!(stats.states, 0);
+
+        let (one, one_stats) =
+            generate_c_vdps_flat(&inst, &aggs, &views[0], &VdpsConfig::unpruned(1), None);
+        let (href, href_stats) =
+            generate_c_vdps_hashmap(&inst, &aggs, &views[0], &VdpsConfig::unpruned(1));
+        assert_pools_identical(&one, &href, "max_len 1");
+        assert_eq!(one_stats.work_counters(), href_stats.work_counters());
+    }
+
+    #[test]
+    fn rank_counts_bits_below() {
+        assert_eq!(rank(0b1011, 0), 0);
+        assert_eq!(rank(0b1011, 1), 1);
+        assert_eq!(rank(0b1011, 3), 2);
+        assert_eq!(rank(u128::MAX, 127), 127);
+    }
+
+    #[test]
+    fn shard_table_relaxes_and_sorts() {
+        let mut table = ShardTable::with_expected(4, 2);
+        // Force growth through many distinct masks.
+        for j in 0..60usize {
+            let mask = (0b11u128) << j;
+            table.relax(
+                mask,
+                j,
+                Slot {
+                    arrival: j as f64,
+                    parent: 0,
+                },
+            );
+        }
+        // Relax an existing state with a better and a worse candidate.
+        table.relax(
+            0b11,
+            0,
+            Slot {
+                arrival: 99.0,
+                parent: 1,
+            },
+        );
+        table.relax(
+            0b11,
+            0,
+            Slot {
+                arrival: -1.0,
+                parent: 1,
+            },
+        );
+        let (masks, slots) = table.into_sorted();
+        assert_eq!(masks.len(), 60);
+        assert!(masks.windows(2).all(|w| w[0] < w[1]));
+        // Group of mask 0b11 is first; member 0 is rank 0.
+        assert_eq!(masks[0], 0b11);
+        assert_eq!(slots[0].arrival, -1.0);
+        // Member 1 (rank 1) of mask 0b11 was never relaxed — stays empty.
+        assert!(slots[1].arrival.is_infinite());
+        assert_eq!(slots[1].parent, u8::MAX);
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_parent() {
+        let better = Slot {
+            arrival: 1.0,
+            parent: 2,
+        };
+        let worse = Slot {
+            arrival: 1.0,
+            parent: 5,
+        };
+        assert!(better.beats(&worse));
+        assert!(!worse.beats(&better));
+        assert!(!better.beats(&better));
+    }
+}

@@ -37,7 +37,13 @@ impl Vdps {
 
 /// Counters describing one generator run, used by the benchmark harness to
 /// compare pruned and unpruned generation (the paper's Figures 2–3 CPU-time
-/// panels).
+/// panels) and, since the flat engine landed, to observe where generation
+/// time goes and how much intra-center parallelism contributed.
+///
+/// The first five fields are *work counters*: they describe the dynamic
+/// program itself and are identical across engines and thread counts (see
+/// [`GenerationStats::work_counters`]). The remaining fields are timing and
+/// parallelism diagnostics and naturally vary run to run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GenerationStats {
     /// Dynamic-program states (`(Q, dp_j)` pairs) materialised.
@@ -50,6 +56,22 @@ pub struct GenerationStats {
     pub pruned_by_deadline: usize,
     /// Number of C-VDPSs produced.
     pub vdps_count: usize,
+    /// Wall time spent in the subset dynamic program (state expansion,
+    /// dedup, frontier construction), nanoseconds.
+    pub dp_nanos: u64,
+    /// Wall time spent reconstructing the minimum-travel routes from the
+    /// finished frontiers, nanoseconds.
+    pub route_nanos: u64,
+    /// Frontier-expansion chunks scheduled (1 per layer when sequential;
+    /// 0 for the hash-map engine, which does not chunk).
+    pub chunks: usize,
+    /// Expansion/merge jobs of this generation executed by a pool thread
+    /// other than the one that submitted them (work-stealing events).
+    pub steals: usize,
+    /// During parallel shard merges: number of `(mask)` groups that were
+    /// discovered by more than one expansion chunk and had to be folded
+    /// together (each extra occurrence counts once).
+    pub merge_collisions: usize,
 }
 
 impl GenerationStats {
@@ -61,6 +83,26 @@ impl GenerationStats {
         self.pruned_by_distance += other.pruned_by_distance;
         self.pruned_by_deadline += other.pruned_by_deadline;
         self.vdps_count += other.vdps_count;
+        self.dp_nanos += other.dp_nanos;
+        self.route_nanos += other.route_nanos;
+        self.chunks += other.chunks;
+        self.steals += other.steals;
+        self.merge_collisions += other.merge_collisions;
+    }
+
+    /// The engine-independent work counters
+    /// `(states, extensions_tried, pruned_by_distance, pruned_by_deadline,
+    /// vdps_count)` — equal across engines and thread counts for the same
+    /// input, unlike the timing/parallelism diagnostics.
+    #[must_use]
+    pub fn work_counters(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.states,
+            self.extensions_tried,
+            self.pruned_by_distance,
+            self.pruned_by_deadline,
+            self.vdps_count,
+        )
     }
 }
 
@@ -74,10 +116,12 @@ struct State {
     parent: u8,
 }
 
-/// Generates all C-VDPSs of one distribution center (Algorithm 1).
+/// Generates all C-VDPSs of one distribution center (Algorithm 1),
+/// dispatching to the engine selected by [`VdpsConfig::engine`].
 ///
 /// Returns the VDPS pool together with generation statistics. The pool is
-/// ordered deterministically: by subset size, then by bitmask value.
+/// ordered deterministically: by subset size, then by bitmask value —
+/// identically for every engine.
 ///
 /// # Panics
 ///
@@ -90,6 +134,50 @@ pub fn generate_c_vdps(
     view: &CenterView,
     config: &VdpsConfig,
 ) -> (Vec<Vdps>, GenerationStats) {
+    generate_c_vdps_in(instance, aggregates, view, config, None)
+}
+
+/// Like [`generate_c_vdps`], optionally running frontier expansion and
+/// shard merges on an active worker-pool scope (flat engine only; the
+/// hash-map oracle is always sequential).
+///
+/// # Panics
+///
+/// Panics if the center has more than 128 task-bearing delivery points.
+#[must_use]
+pub fn generate_c_vdps_in(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+    scope: Option<&crate::pool::TaskScope<'_>>,
+) -> (Vec<Vdps>, GenerationStats) {
+    match config.engine {
+        crate::config::VdpsEngine::Flat => {
+            crate::flat::generate_c_vdps_flat(instance, aggregates, view, config, scope)
+        }
+        crate::config::VdpsEngine::Hashmap => {
+            generate_c_vdps_hashmap(instance, aggregates, view, config)
+        }
+    }
+}
+
+/// The original per-layer `HashMap<(mask, last), State>` implementation of
+/// Algorithm 1, kept as a correctness oracle next to [`crate::naive`]: the
+/// flat engine must reproduce its pool (order included) and its work
+/// counters exactly.
+///
+/// # Panics
+///
+/// Panics if the center has more than 128 task-bearing delivery points.
+#[must_use]
+pub fn generate_c_vdps_hashmap(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+) -> (Vec<Vdps>, GenerationStats) {
+    let dp_start = std::time::Instant::now();
     let n = view.dps.len();
     assert!(
         n <= 128,
@@ -223,7 +311,9 @@ pub fn generate_c_vdps(
 
     let mut masks: Vec<u128> = best_per_mask.keys().copied().collect();
     masks.sort_by_key(|m| (m.count_ones(), *m));
+    stats.dp_nanos = u64::try_from(dp_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
+    let route_start = std::time::Instant::now();
     let mut pool = Vec::with_capacity(masks.len());
     for mask in masks {
         let (mut last, _) = best_per_mask[&mask];
@@ -253,6 +343,7 @@ pub fn generate_c_vdps(
         );
         pool.push(Vdps { mask, route });
     }
+    stats.route_nanos = u64::try_from(route_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     stats.vdps_count = pool.len();
     (pool, stats)
 }

@@ -35,18 +35,63 @@
 //!   feasible states.
 //! * **Length cap**: subsets larger than the largest `maxDP` among the
 //!   center's workers can never be assigned, so generation stops there.
+//!
+//! ## Engines
+//!
+//! Two interchangeable implementations of the DP live side by side,
+//! selected by [`VdpsConfig::engine`]:
+//!
+//! * [`flat`] (default) — the production engine. It precomputes a flat
+//!   n×n travel-time matrix plus per-point expiry/from-center arrays, and
+//!   replaces the per-layer `HashMap<(mask, last), State>` with a
+//!   *mask-bucketed flat frontier*: states of one layer are grouped per
+//!   subset mask (masks kept sorted ascending) with a dense per-last-point
+//!   slot array, so a state is addressed by `(group, rank(mask, last))`
+//!   with no hashing on the read side. New masks are deduplicated through
+//!   an open-addressed `u128 → group` table with an inline multiply-shift
+//!   hash. The per-mask best route falls out of the layout during
+//!   emission, so no second `best_per_mask` pass is needed. Large layers
+//!   are expanded in chunks on the shared [`pool::WorkerPool`]; per-thread
+//!   shard tables are merged by deterministic mask-range partition, which
+//!   keeps the result bit-identical to a sequential run regardless of
+//!   thread count or chunking.
+//! * [`generator::generate_c_vdps_hashmap`] — the original per-layer
+//!   hash-map DP, retained as a fast correctness oracle next to the
+//!   brute-force reference in [`naive`].
+//!
+//! Both engines produce pools that are bit-identical in content *and*
+//! order (subset size, then mask), so downstream FGT/PFGT/IEGT strategy
+//! selections are unchanged by the engine choice.
+//!
+//! ## Worker pool
+//!
+//! [`pool::WorkerPool`] is a bounded, std-only work-stealing pool (no
+//! external dependencies). One pool instance is shared across *all*
+//! parallelism in a solve: per-center strategy-space jobs, intra-center DP
+//! layer expansion, and per-worker validation all submit to the same
+//! scoped queue, so a run never holds more OS threads than
+//! `available_parallelism()` no matter how many centers an instance has.
+//! Submitters help drain the queue while waiting (helping join), which
+//! makes nested submission deadlock-free and keeps one giant center from
+//! serializing the rest of a run.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod flat;
 pub mod generator;
 pub mod grid;
 pub mod naive;
+pub mod pool;
 pub mod schedule;
 pub mod strategy;
 
-pub use config::VdpsConfig;
-pub use generator::{generate_c_vdps, GenerationStats, Vdps};
+pub use config::{VdpsConfig, VdpsEngine};
+pub use flat::generate_c_vdps_flat;
+pub use generator::{
+    generate_c_vdps, generate_c_vdps_hashmap, generate_c_vdps_in, GenerationStats, Vdps,
+};
+pub use pool::{TaskScope, WorkerPool};
 pub use schedule::schedule_route;
 pub use strategy::StrategySpace;

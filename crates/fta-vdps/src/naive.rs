@@ -21,8 +21,9 @@ use fta_core::DeliveryPointId;
 ///
 /// # Panics
 ///
-/// Panics if the center has more than 16 delivery points; the reference
-/// implementation is for validation only.
+/// Panics if the center has more than 20 delivery points; the reference
+/// implementation exists for validation and as a benchmark baseline, and
+/// enumerates all `2^n` masks before filtering by length.
 #[must_use]
 pub fn generate_naive(
     instance: &Instance,
@@ -31,7 +32,7 @@ pub fn generate_naive(
     config: &VdpsConfig,
 ) -> Vec<Vdps> {
     let n = view.dps.len();
-    assert!(n <= 16, "naive generation is restricted to tiny centers");
+    assert!(n <= 20, "naive generation is restricted to tiny centers");
     let dc = instance.centers[view.center.index()].location;
     let speed = instance.speed;
     let locs: Vec<_> = view

@@ -9,10 +9,16 @@
 //! game-theoretic algorithms then consume.
 
 use crate::config::VdpsConfig;
-use crate::generator::{generate_c_vdps, GenerationStats, Vdps};
-use fta_core::instance::{CenterView, Instance};
+use crate::generator::{generate_c_vdps_in, GenerationStats, Vdps};
+use crate::pool::TaskScope;
+use fta_core::instance::{CenterView, DpAggregate, Instance};
 use fta_core::payoff::payoff_for_travel;
 use fta_core::WorkerId;
+use std::sync::Arc;
+
+/// Minimum `workers × pool entries` product before per-worker validation
+/// is worth farming out to the worker pool.
+const PAR_MIN_VALIDATION_WORK: usize = 1 << 12;
 
 /// The strategy spaces of all workers of one distribution center.
 #[derive(Debug, Clone)]
@@ -35,11 +41,32 @@ pub struct StrategySpace {
 
 impl StrategySpace {
     /// Generates the C-VDPS pool for `view` and validates it per worker.
+    ///
+    /// Convenience wrapper over [`StrategySpace::build_in`] that computes
+    /// the delivery-point aggregates itself and runs sequentially.
     #[must_use]
     pub fn build(instance: &Instance, view: &CenterView, config: &VdpsConfig) -> Self {
         let aggregates = instance.dp_aggregates();
-        let (pool, gen_stats) = generate_c_vdps(instance, &aggregates, view, config);
-        Self::from_pool(instance, view, pool, gen_stats)
+        Self::build_in(instance, &aggregates, view.clone(), config, None)
+    }
+
+    /// Generates the C-VDPS pool for `view` and validates it per worker,
+    /// re-using pre-computed delivery-point `aggregates` (computed once per
+    /// *instance*, not once per center) and optionally running generation
+    /// and validation on an active worker-pool scope.
+    ///
+    /// Takes `view` by value: the solver hands each center job its owned
+    /// view, so no clone happens on this path.
+    #[must_use]
+    pub fn build_in(
+        instance: &Instance,
+        aggregates: &[DpAggregate],
+        view: CenterView,
+        config: &VdpsConfig,
+        scope: Option<&TaskScope<'_>>,
+    ) -> Self {
+        let (pool, gen_stats) = generate_c_vdps_in(instance, aggregates, &view, config, scope);
+        Self::from_pool_in(instance, view, pool, gen_stats, scope)
     }
 
     /// Validates a pre-generated pool per worker (used by tests and by the
@@ -51,31 +78,88 @@ impl StrategySpace {
         pool: Vec<Vdps>,
         gen_stats: GenerationStats,
     ) -> Self {
+        Self::from_pool_in(instance, view.clone(), pool, gen_stats, None)
+    }
+
+    /// Validates a pre-generated pool per worker, optionally fanning the
+    /// per-worker validation/payoff precompute out over an active
+    /// worker-pool scope. Results are identical to the sequential path:
+    /// workers are processed in index chunks and reassembled in order.
+    #[must_use]
+    pub fn from_pool_in(
+        instance: &Instance,
+        view: CenterView,
+        pool: Vec<Vdps>,
+        gen_stats: GenerationStats,
+        scope: Option<&TaskScope<'_>>,
+    ) -> Self {
         let dc = instance.centers[view.center.index()].location;
         let worker_to_dc: Vec<f64> = view
             .workers
             .iter()
             .map(|&w| instance.travel_time(instance.workers[w.index()].location, dc))
             .collect();
+        let n_workers = view.workers.len();
 
-        let mut valid = Vec::with_capacity(view.workers.len());
-        let mut payoffs = Vec::with_capacity(view.workers.len());
-        for (local, &w) in view.workers.iter().enumerate() {
-            let max_dp = instance.workers[w.index()].max_dp;
-            let to_dc = worker_to_dc[local];
-            let mut v = Vec::new();
-            let mut p = Vec::new();
-            for (idx, vdps) in pool.iter().enumerate() {
-                if vdps.len() <= max_dp && vdps.route.is_valid_for_travel(to_dc) {
-                    v.push(idx as u32);
-                    p.push(payoff_for_travel(&vdps.route, to_dc));
-                }
-            }
+        let parallel = scope.is_some_and(|s| s.threads() > 1)
+            && n_workers > 1
+            && n_workers.saturating_mul(pool.len()) >= PAR_MIN_VALIDATION_WORK;
+
+        let (pool, per_worker) = if parallel {
+            let scope = scope.expect("parallel implies an active scope");
+            // Per-worker parameters are tiny copies; the pool is shared
+            // read-only via `Arc` so chunk jobs satisfy the scope's `'env`
+            // bound without cloning any `Vdps`.
+            let params: Vec<(usize, f64)> = view
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(local, &w)| (instance.workers[w.index()].max_dp, worker_to_dc[local]))
+                .collect();
+            let shared = Arc::new(pool);
+            let chunk = n_workers.div_ceil(scope.threads() * 2).max(1);
+            let jobs: Vec<_> = params
+                .chunks(chunk)
+                .map(|chunk_params| {
+                    let shared = Arc::clone(&shared);
+                    let chunk_params = chunk_params.to_vec();
+                    move |_: &TaskScope<'_>| {
+                        chunk_params
+                            .into_iter()
+                            .map(|(max_dp, to_dc)| validate_worker(&shared, max_dp, to_dc))
+                            .collect::<Vec<_>>()
+                    }
+                })
+                .collect();
+            let per_worker: Vec<(Vec<u32>, Vec<f64>)> =
+                scope.map(jobs).into_iter().flatten().collect();
+            let pool = Arc::try_unwrap(shared)
+                .expect("all chunk jobs completed, so the pool has one owner again");
+            (pool, per_worker)
+        } else {
+            let per_worker: Vec<(Vec<u32>, Vec<f64>)> = view
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(local, &w)| {
+                    validate_worker(
+                        &pool,
+                        instance.workers[w.index()].max_dp,
+                        worker_to_dc[local],
+                    )
+                })
+                .collect();
+            (pool, per_worker)
+        };
+
+        let mut valid = Vec::with_capacity(n_workers);
+        let mut payoffs = Vec::with_capacity(n_workers);
+        for (v, p) in per_worker {
             valid.push(v);
             payoffs.push(p);
         }
         Self {
-            view: view.clone(),
+            view,
             pool,
             worker_to_dc,
             valid,
@@ -116,6 +200,21 @@ impl StrategySpace {
         let pos = self.valid[local].binary_search(&pool_idx).ok()?;
         Some(self.payoffs[local][pos])
     }
+}
+
+/// One worker's validation pass over the shared pool: which strategies the
+/// worker can execute within every deadline (given its travel time to the
+/// center and its `maxDP`), and the payoff of each.
+fn validate_worker(pool: &[Vdps], max_dp: usize, to_dc: f64) -> (Vec<u32>, Vec<f64>) {
+    let mut v = Vec::new();
+    let mut p = Vec::new();
+    for (idx, vdps) in pool.iter().enumerate() {
+        if vdps.len() <= max_dp && vdps.route.is_valid_for_travel(to_dc) {
+            v.push(idx as u32);
+            p.push(payoff_for_travel(&vdps.route, to_dc));
+        }
+    }
+    (v, p)
 }
 
 #[cfg(test)]

@@ -1,0 +1,149 @@
+//! Paper-scale acceptance tests of the flat-frontier engine (ISSUE 2).
+//!
+//! A single distribution center with ~80 task-bearing delivery points —
+//! the scale of the paper's SYN experiments — is generated
+//! deterministically, and the flat engine must (a) reproduce pinned work
+//! counters exactly, (b) produce pools bit-identical to the hash-map
+//! oracle, and (c) be invariant under pooled parallel execution,
+//! including the parallel per-worker validation path of
+//! `StrategySpace::from_pool_in`.
+
+use fta_core::Instance;
+use fta_data::{generate_syn, SynConfig};
+use fta_vdps::generator::generate_c_vdps_hashmap;
+use fta_vdps::{generate_c_vdps_flat, StrategySpace, Vdps, VdpsConfig, WorkerPool};
+
+/// One SYN center at the scale of the paper's experiments (80 delivery
+/// points, every one task-bearing).
+fn paper_scale_center(seed: u64) -> Instance {
+    generate_syn(
+        &SynConfig {
+            n_centers: 1,
+            n_workers: 24,
+            n_tasks: 1_600,
+            n_delivery_points: 80,
+            extent: 4.0,
+            ..SynConfig::bench_scale()
+        },
+        seed,
+    )
+}
+
+fn assert_pools_bit_identical(a: &[Vdps], b: &[Vdps], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: pool sizes differ");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.mask, y.mask, "{what}: mask order differs");
+        assert_eq!(
+            x.route.dps(),
+            y.route.dps(),
+            "{what}: route differs on mask {:#b}",
+            x.mask
+        );
+        assert_eq!(
+            x.route.travel_from_dc().to_bits(),
+            y.route.travel_from_dc().to_bits(),
+            "{what}: travel time not bit-identical on mask {:#b}",
+            x.mask
+        );
+    }
+}
+
+#[test]
+fn paper_scale_counters_are_pinned_and_engine_independent() {
+    let inst = paper_scale_center(2024);
+    let aggs = inst.dp_aggregates();
+    let views = inst.center_views();
+    assert!(
+        (60..=100).contains(&views[0].dps.len()),
+        "expected a paper-scale center, got {} dps",
+        views[0].dps.len()
+    );
+
+    for (config, pinned) in [
+        // The paper's SYN defaults: ε = 2 km, maxDP = 3 (Table I).
+        (VdpsConfig::pruned(2.0, 3), PINNED_PRUNED),
+        // The unpruned `-W` variant.
+        (VdpsConfig::unpruned(3), PINNED_UNPRUNED),
+    ] {
+        let (flat, flat_stats) = generate_c_vdps_flat(&inst, &aggs, &views[0], &config, None);
+        let (hashed, hashed_stats) = generate_c_vdps_hashmap(&inst, &aggs, &views[0], &config);
+        assert_pools_bit_identical(&flat, &hashed, "flat vs hashmap");
+        assert_eq!(
+            flat_stats.work_counters(),
+            hashed_stats.work_counters(),
+            "engines disagree on work counters (ε = {:?})",
+            config.epsilon
+        );
+        assert_eq!(
+            flat_stats.work_counters(),
+            pinned,
+            "work counters drifted from the pinned acceptance values \
+             (ε = {:?}); a deliberate generator change must update them",
+            config.epsilon
+        );
+    }
+}
+
+/// Pinned `(states, extensions_tried, pruned_by_distance,
+/// pruned_by_deadline, vdps_count)` for `paper_scale_center(2024)` with
+/// ε = 2 km, maxDP = 3.
+const PINNED_PRUNED: (usize, usize, usize, usize, usize) = PINNED[0];
+/// Same center, unpruned (`-W`).
+const PINNED_UNPRUNED: (usize, usize, usize, usize, usize) = PINNED[1];
+const PINNED: [(usize, usize, usize, usize, usize); 2] = [
+    (84_704, 248_512, 118_310, 0, 34_809),
+    (252_741, 499_360, 0, 5_825, 85_400),
+];
+
+#[test]
+fn paper_scale_pools_are_thread_count_invariant() {
+    let inst = paper_scale_center(7);
+    let aggs = inst.dp_aggregates();
+    let views = inst.center_views();
+    let config = VdpsConfig::unpruned(3);
+
+    let (seq, seq_stats) = generate_c_vdps_flat(&inst, &aggs, &views[0], &config, None);
+    assert!(!seq.is_empty());
+    for threads in [2, 4, 8] {
+        let pool = WorkerPool::with_threads(threads);
+        let (par, par_stats) =
+            pool.scope(|ts| generate_c_vdps_flat(&inst, &aggs, &views[0], &config, Some(ts)));
+        assert_pools_bit_identical(&seq, &par, &format!("sequential vs {threads} threads"));
+        assert_eq!(seq_stats.work_counters(), par_stats.work_counters());
+        // At this scale the frontier passes the chunking threshold, so the
+        // pooled run must actually have split layers into multiple chunks.
+        assert!(
+            par_stats.chunks > seq_stats.chunks,
+            "pooled run did not chunk ({} vs {})",
+            par_stats.chunks,
+            seq_stats.chunks
+        );
+    }
+}
+
+#[test]
+fn paper_scale_strategy_space_is_thread_count_invariant() {
+    let inst = paper_scale_center(99);
+    let aggs = inst.dp_aggregates();
+    let views = inst.center_views();
+    let config = VdpsConfig::unpruned(3);
+
+    let seq = StrategySpace::build(&inst, &views[0], &config);
+    // Enough work that `from_pool_in` takes its parallel validation path.
+    assert!(seq.n_workers() * seq.pool.len() >= 1 << 12);
+
+    for threads in [2, 4] {
+        let pool = WorkerPool::with_threads(threads);
+        let par = pool
+            .scope(|ts| StrategySpace::build_in(&inst, &aggs, views[0].clone(), &config, Some(ts)));
+        assert_eq!(seq.valid, par.valid, "{threads} threads: valid sets differ");
+        assert_eq!(seq.n_workers(), par.n_workers());
+        assert_eq!(seq.pool.len(), par.pool.len());
+        for (a, b) in seq.payoffs.iter().zip(par.payoffs.iter()) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "payoff not bit-identical");
+            }
+        }
+    }
+}

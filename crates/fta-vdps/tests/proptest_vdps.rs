@@ -5,9 +5,9 @@ use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker}
 use fta_core::geometry::Point;
 use fta_core::ids::{CenterId, DeliveryPointId, TaskId, WorkerId};
 use fta_core::instance::Instance;
-use fta_vdps::generator::generate_c_vdps;
+use fta_vdps::generator::{generate_c_vdps, generate_c_vdps_hashmap};
 use fta_vdps::naive::generate_naive;
-use fta_vdps::{StrategySpace, VdpsConfig};
+use fta_vdps::{generate_c_vdps_flat, StrategySpace, VdpsConfig, VdpsEngine, WorkerPool};
 use proptest::prelude::*;
 
 /// (x, y, expiry) triples become a random single-center instance.
@@ -53,8 +53,11 @@ fn arb_center() -> impl Strategy<Value = Instance> {
 }
 
 fn arb_config() -> impl Strategy<Value = VdpsConfig> {
-    (prop::option::of(0.5f64..12.0), 1usize..6)
-        .prop_map(|(epsilon, max_len)| VdpsConfig { epsilon, max_len })
+    (prop::option::of(0.5f64..12.0), 1usize..6).prop_map(|(epsilon, max_len)| VdpsConfig {
+        epsilon,
+        max_len,
+        engine: VdpsEngine::default(),
+    })
 }
 
 proptest! {
@@ -115,6 +118,77 @@ proptest! {
             prop_assert!(unpruned_masks.contains(&v.mask));
         }
         prop_assert!(pruned_stats.states <= unpruned_stats.states);
+    }
+
+    /// ISSUE 2 satellite: the flat engine, the hash-map oracle, and the
+    /// brute-force reference produce identical `(mask, route, travel-time)`
+    /// pools — order included — and the two DP engines report identical
+    /// pruning counters, for ε ∈ {None, Some(random)}.
+    #[test]
+    fn all_three_engines_agree_bit_identically(
+        instance in arb_center(),
+        config in arb_config(),
+    ) {
+        let aggs = instance.dp_aggregates();
+        let views = instance.center_views();
+        let naive = generate_naive(&instance, &aggs, &views[0], &config);
+        let (hashed, hashed_stats) =
+            generate_c_vdps_hashmap(&instance, &aggs, &views[0], &config);
+        let (flat, flat_stats) =
+            generate_c_vdps_flat(&instance, &aggs, &views[0], &config, None);
+
+        // Flat vs hashmap: bit-identical pools (mask, route, travel time)
+        // and identical work/pruning counters.
+        prop_assert_eq!(flat.len(), hashed.len(), "flat vs hashmap pool size");
+        for (f, h) in flat.iter().zip(hashed.iter()) {
+            prop_assert_eq!(f.mask, h.mask);
+            prop_assert_eq!(f.route.dps(), h.route.dps(), "route differs on mask {:#b}", f.mask);
+            prop_assert_eq!(
+                f.route.travel_from_dc().to_bits(),
+                h.route.travel_from_dc().to_bits(),
+                "travel time not bit-identical on mask {:#b}", f.mask
+            );
+        }
+        prop_assert_eq!(flat_stats.work_counters(), hashed_stats.work_counters());
+
+        // Both DP engines vs the brute-force reference (travel times agree
+        // up to float tolerance; the reference computes them differently).
+        prop_assert_eq!(naive.len(), flat.len(), "flat vs naive pool size");
+        for (n, f) in naive.iter().zip(flat.iter()) {
+            prop_assert_eq!(n.mask, f.mask);
+            prop_assert!(
+                (n.route.travel_from_dc() - f.route.travel_from_dc()).abs() < 1e-9,
+                "travel time differs from reference on mask {:#b}", n.mask
+            );
+        }
+    }
+
+    /// Pooled flat-engine generation is bit-identical to sequential
+    /// generation regardless of worker count.
+    #[test]
+    fn pooled_flat_generation_is_thread_count_invariant(
+        instance in arb_center(),
+        config in arb_config(),
+        threads in 2usize..6,
+    ) {
+        let aggs = instance.dp_aggregates();
+        let views = instance.center_views();
+        let (seq, seq_stats) =
+            generate_c_vdps_flat(&instance, &aggs, &views[0], &config, None);
+        let pool = WorkerPool::with_threads(threads);
+        let (par, par_stats) = pool.scope(|ts| {
+            generate_c_vdps_flat(&instance, &aggs, &views[0], &config, Some(ts))
+        });
+        prop_assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            prop_assert_eq!(a.mask, b.mask);
+            prop_assert_eq!(a.route.dps(), b.route.dps());
+            prop_assert_eq!(
+                a.route.travel_from_dc().to_bits(),
+                b.route.travel_from_dc().to_bits()
+            );
+        }
+        prop_assert_eq!(seq_stats.work_counters(), par_stats.work_counters());
     }
 
     #[test]
