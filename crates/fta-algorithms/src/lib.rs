@@ -37,6 +37,7 @@ pub mod iegt;
 pub mod mpta;
 pub mod pfgt;
 pub mod random;
+pub mod report;
 pub mod solver;
 pub mod stats;
 pub mod trace;
@@ -49,6 +50,7 @@ pub use iegt::{iegt, IegtConfig, RedrawPolicy};
 pub use mpta::{mpta, MptaConfig};
 pub use pfgt::{pfgt, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
+pub use report::SolveReport;
 pub use solver::{solve, solve_with_pool, Algorithm, SolveConfig, SolveOutcome};
 pub use stats::BestResponseStats;
 pub use trace::{ConvergenceTrace, RoundStats};

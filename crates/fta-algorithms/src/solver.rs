@@ -174,12 +174,15 @@ fn solve_center(
     };
 
     let center = view.center;
+    let center_u32 = center.index() as u32;
+    let _center_span = fta_obs::span_center("solver.center", center_u32);
     let t0 = Instant::now();
     let space = StrategySpace::build_in(instance, aggregates, view, &vdps_cfg, scope);
     let vdps_time = t0.elapsed();
 
     let algorithm = config.algorithm.salted(u64::from(center.0));
     let t1 = Instant::now();
+    let assign_span = fta_obs::span_center("solver.assign", center_u32);
     let mut ctx = GameContext::new(&space);
     let trace = match algorithm {
         Algorithm::Gta => {
@@ -198,7 +201,26 @@ fn solve_center(
             ConvergenceTrace::default()
         }
     };
+    drop(assign_span);
     let assign_time = t1.elapsed();
+
+    // Round events are replayed from the kept trace (the winning restart)
+    // rather than emitted inside the best-response loops: the hot path
+    // stays counter-free and the telemetry matches what the trace reports.
+    if fta_obs::enabled() {
+        let algo_name = algorithm.name();
+        for r in &trace.rounds {
+            fta_obs::round_event(
+                algo_name,
+                center_u32,
+                r.round.min(u32::MAX as usize) as u32,
+                r.moves as u64,
+                r.payoff_difference,
+                r.average_payoff,
+                r.potential,
+            );
+        }
+    }
 
     CenterOutcome {
         assignment: ctx.to_assignment(),
@@ -241,6 +263,7 @@ pub fn solve_with_pool(
     config: &SolveConfig,
     pool: &WorkerPool,
 ) -> SolveOutcome {
+    let _solve_span = fta_obs::span("solver.solve");
     let views = instance.center_views();
     // Computed once per instance, shared by every center job (previously
     // recomputed inside each center's StrategySpace::build).
@@ -274,6 +297,16 @@ pub fn solve_with_pool(
                 None => trace = Some(outcome.trace),
             }
         }
+    }
+    if fta_obs::enabled() {
+        // Best-response work counters, aggregated over every center and
+        // restart. `counter` drops zero deltas, so baselines emit nothing.
+        fta_obs::counter("br.rounds", br_stats.rounds);
+        fta_obs::counter("br.candidate_evaluations", br_stats.candidate_evaluations);
+        fta_obs::counter("br.switches", br_stats.switches);
+        fta_obs::counter("br.null_adoptions", br_stats.null_adoptions);
+        fta_obs::counter("br.evaluator_builds", br_stats.evaluator_builds);
+        fta_obs::counter("br.evaluator_updates", br_stats.evaluator_updates);
     }
     SolveOutcome {
         assignment,

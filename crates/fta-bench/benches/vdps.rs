@@ -173,11 +173,64 @@ fn bench_pooled_solve(c: &mut Criterion) {
     group.finish();
 }
 
+/// ISSUE 3: telemetry overhead on the generation hot path.
+/// `recording_off` is the production configuration — no recorder is
+/// installed, so every instrumentation point costs one relaxed atomic
+/// load — and must track the plain pre-telemetry numbers;
+/// `recording_on` measures the full TLS-buffered recording pipeline.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vdps_telemetry");
+    group.sample_size(sample_size());
+    let n_dps = if quick() { 20 } else { 40 };
+    let instance = syn_single_center(40, n_dps, 7);
+    let aggs = instance.dp_aggregates();
+    let views = instance.center_views();
+    let config = VdpsConfig::unpruned(3);
+    group.bench_with_input(BenchmarkId::new("recording_off", n_dps), &n_dps, |b, _| {
+        assert!(!fta_obs::enabled(), "no recorder may be active here");
+        b.iter(|| {
+            black_box(generate_c_vdps_flat(
+                &instance, &aggs, &views[0], &config, None,
+            ))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("recording_on", n_dps), &n_dps, |b, _| {
+        let recorder = fta_obs::Recorder::install();
+        b.iter(|| {
+            black_box(generate_c_vdps_flat(
+                &instance, &aggs, &views[0], &config, None,
+            ))
+        });
+        let snapshot = recorder.finish();
+        assert!(snapshot.counter("vdps.states") > 0);
+    });
+    group.finish();
+
+    // CI quick-mode hard bound: a disabled emit is one relaxed load plus
+    // a branch, so leaving the instrumentation compiled in cannot shift
+    // the paper's CPU-time plots. Budget is deliberately generous to
+    // stay flake-free on shared runners.
+    if quick() {
+        let iters = 1_000_000u64;
+        let t = std::time::Instant::now();
+        for i in 0..iters {
+            fta_obs::counter("bench.disabled_probe", black_box(i) | 1);
+        }
+        let ns_per_op = t.elapsed().as_nanos() as f64 / f64::from(u32::try_from(iters).unwrap());
+        assert!(
+            ns_per_op < 50.0,
+            "disabled telemetry emit costs {ns_per_op:.1} ns/op (budget 50 ns)"
+        );
+        println!("disabled-emit cost: {ns_per_op:.2} ns/op (budget 50 ns)");
+    }
+}
+
 criterion_group!(
     benches,
     bench_pruning,
     bench_epsilon_sweep,
     bench_engines,
-    bench_pooled_solve
+    bench_pooled_solve,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

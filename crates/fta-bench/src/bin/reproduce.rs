@@ -98,7 +98,7 @@ fn main() -> ExitCode {
 
     for dir in [&cli.json_dir, &cli.csv_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
+            fta_obs::error!("cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
@@ -107,7 +107,7 @@ fn main() -> ExitCode {
     for exp in &cli.experiments {
         let t0 = Instant::now();
         let Some(output) = run(exp, &cli.opts) else {
-            eprintln!("unknown experiment `{exp}`");
+            fta_obs::error!("unknown experiment `{exp}`");
             return ExitCode::FAILURE;
         };
         println!("{}", output.render());
@@ -121,7 +121,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("[{exp} completed in {:.1?}]\n", t0.elapsed());
+        fta_obs::info!("[{exp} completed in {:.1?}]", t0.elapsed());
         if let ExperimentOutput::Figure(fig) = &output {
             let exports: [(&Option<PathBuf>, &str, String); 2] = [
                 (&cli.json_dir, "json", fig.to_json()),
@@ -131,7 +131,7 @@ fn main() -> ExitCode {
                 let Some(dir) = dir else { continue };
                 let path = dir.join(format!("{exp}.{ext}"));
                 if let Err(e) = std::fs::write(&path, content) {
-                    eprintln!("cannot write {}: {e}", path.display());
+                    fta_obs::error!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
             }
@@ -143,10 +143,10 @@ fn main() -> ExitCode {
     if let Some(path) = &cli.html {
         let html = fta_experiments::render_html(&html_figures);
         if let Err(e) = std::fs::write(path, html) {
-            eprintln!("cannot write {}: {e}", path.display());
+            fta_obs::error!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("[wrote HTML report to {}]", path.display());
+        fta_obs::info!("[wrote HTML report to {}]", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -157,7 +157,7 @@ fn main() -> ExitCode {
         }
     } else {
         let Some(policy) = policy_by_name(&cli.algo) else {
-            eprintln!("unknown algorithm `{}`\n{}", cli.algo, usage());
+            fta_obs::error!("unknown algorithm `{}`\n{}", cli.algo, usage());
             return ExitCode::FAILURE;
         };
         let metrics = run(&scenario, &sim_config(policy));

@@ -3,6 +3,8 @@
 //! at n ∈ {20, 40, 60} delivery points on the unpruned DP, plus a
 //! sequential-vs-pooled whole-solve comparison on a multi-center
 //! instance, so the perf trajectory of ISSUE 2 is tracked in-repo.
+//! Each flat-engine entry also embeds a telemetry span breakdown
+//! (dp vs route vs merge milliseconds) captured via `fta-obs`.
 //!
 //! Usage: `cargo run -p fta-bench --release --bin vdps_snapshot -- [OUT]`
 //! (default OUT: `BENCH_vdps.json`). Set `FTA_BENCH_QUICK=1` to halve the
@@ -52,15 +54,32 @@ fn main() {
         let flat_s = best_secs(reps, || {
             generate_c_vdps_flat(&instance, &aggs, &views[0], &config, None)
         });
+        // One instrumented run: the telemetry spans split the flat
+        // engine's wall time into its dp / route / merge phases.
+        let recorder = fta_obs::Recorder::install();
         let (pool_ref, _) = generate_c_vdps_flat(&instance, &aggs, &views[0], &config, None);
+        let telemetry = recorder.finish();
+        let span_ms = |name: &str| Value::Float(telemetry.span_nanos(name) as f64 / 1e6);
         engines.push(obj(vec![
             ("n_dps", Value::UInt(n_dps as u64)),
             ("vdps_count", Value::UInt(pool_ref.len() as u64)),
             ("hashmap_ms", Value::Float(hashmap_s * 1e3)),
             ("flat_ms", Value::Float(flat_s * 1e3)),
             ("speedup", Value::Float(hashmap_s / flat_s)),
+            (
+                "flat_span_breakdown_ms",
+                obj(vec![
+                    ("dp", span_ms("vdps.dp")),
+                    ("routes", span_ms("vdps.routes")),
+                    ("merge", span_ms("vdps.merge")),
+                ]),
+            ),
+            (
+                "dp_layers",
+                Value::UInt(telemetry.span_count("vdps.layer") as u64),
+            ),
         ]));
-        eprintln!(
+        fta_obs::info!(
             "n={n_dps}: hashmap {:.2} ms, flat {:.2} ms ({:.2}x)",
             hashmap_s * 1e3,
             flat_s * 1e3,
@@ -89,7 +108,7 @@ fn main() {
     let par_s = best_secs(reps.min(5), || {
         solve_with_pool(&instance, &solve_cfg, &pooled)
     });
-    eprintln!(
+    fta_obs::info!(
         "multi-center solve: sequential {:.2} ms, pooled({}) {:.2} ms ({:.2}x)",
         seq_s * 1e3,
         pooled.threads(),
@@ -122,5 +141,5 @@ fn main() {
     ]);
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, json + "\n").expect("snapshot file is writable");
-    eprintln!("wrote {out}");
+    fta_obs::info!("wrote {out}");
 }

@@ -18,8 +18,16 @@ COMMANDS
 
   solve <INSTANCE> [--algo gta|mpta|fgt|iegt|random] [--epsilon E]
         [--max-len N] [--engine flat|hashmap] [--parallel] [--out FILE]
+        [--trace-out FILE] [--metrics-out FILE]
       Run an assignment algorithm; print the summary, optionally write
-      the assignment JSON.
+      the assignment JSON. With --trace-out / --metrics-out a telemetry
+      recorder captures the run and writes a JSONL span/round trace and
+      a Prometheus text snapshot.
+
+  obs-dump <TRACE> [--chrome]
+      Summarise a JSONL telemetry trace written by solve --trace-out
+      (span totals, counters, round events); --chrome instead emits
+      Chrome trace-event JSON for chrome://tracing / Perfetto.
 
   schedule <INSTANCE> --center C --dps A,B,C
       Find the minimum-travel deadline-feasible visiting order of the
@@ -85,6 +93,17 @@ pub enum Command {
         parallel: bool,
         /// Optional assignment output path.
         out: Option<PathBuf>,
+        /// Optional JSONL telemetry trace output path.
+        trace_out: Option<PathBuf>,
+        /// Optional Prometheus text snapshot output path.
+        metrics_out: Option<PathBuf>,
+    },
+    /// `fta obs-dump`
+    ObsDump {
+        /// Trace path (JSONL, schema `fta-obs-trace`).
+        trace: PathBuf,
+        /// Emit Chrome trace-event JSON instead of the summary.
+        chrome: bool,
     },
     /// `fta schedule`
     Schedule {
@@ -200,6 +219,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut engine = VdpsEngine::default();
             let mut parallel = false;
             let mut out = None;
+            let mut trace_out = None;
+            let mut metrics_out = None;
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -218,6 +239,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--engine" => engine = parse_engine(value("--engine")?)?,
                     "--parallel" => parallel = true,
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+                    "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
                     other => return Err(format!("unknown solve flag `{other}`")),
                 }
             }
@@ -232,6 +255,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 engine,
                 parallel,
                 out,
+                trace_out,
+                metrics_out,
+            })
+        }
+        "obs-dump" => {
+            let trace = it.next().ok_or("obs-dump needs a trace path")?;
+            let mut chrome = false;
+            for arg in it {
+                match arg.as_str() {
+                    "--chrome" => chrome = true,
+                    other => return Err(format!("unknown obs-dump flag `{other}`")),
+                }
+            }
+            Ok(Command::ObsDump {
+                trace: PathBuf::from(trace),
+                chrome,
             })
         }
         "schedule" => {
@@ -400,6 +439,57 @@ mod tests {
         }
         let err = parse(&argv("solve city.json --engine turbo")).unwrap_err();
         assert!(err.contains("unknown engine"));
+    }
+
+    #[test]
+    fn solve_accepts_telemetry_outputs() {
+        let cmd = parse(&argv(
+            "solve city.json --algo gta --trace-out t.jsonl --metrics-out m.prom",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Solve {
+                trace_out,
+                metrics_out,
+                ..
+            } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+                assert_eq!(metrics_out, Some(PathBuf::from("m.prom")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Both default to off.
+        match parse(&argv("solve city.json")).unwrap() {
+            Command::Solve {
+                trace_out,
+                metrics_out,
+                ..
+            } => {
+                assert!(trace_out.is_none());
+                assert!(metrics_out.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_obs_dump() {
+        assert_eq!(
+            parse(&argv("obs-dump trace.jsonl")).unwrap(),
+            Command::ObsDump {
+                trace: PathBuf::from("trace.jsonl"),
+                chrome: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("obs-dump trace.jsonl --chrome")).unwrap(),
+            Command::ObsDump {
+                trace: PathBuf::from("trace.jsonl"),
+                chrome: true,
+            }
+        );
+        assert!(parse(&argv("obs-dump")).is_err());
+        assert!(parse(&argv("obs-dump t.jsonl --nope")).is_err());
     }
 
     #[test]

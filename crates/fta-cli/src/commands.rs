@@ -114,6 +114,8 @@ pub fn execute(command: &Command) -> Result<String, String> {
             engine,
             parallel,
             out,
+            trace_out,
+            metrics_out,
         } => {
             let inst = load_instance(instance).map_err(|e| e.to_string())?;
             let vdps = VdpsConfig {
@@ -121,6 +123,10 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 max_len: *max_len,
                 engine: *engine,
             };
+            // Install the telemetry recorder only when a sink was asked
+            // for; otherwise the emit paths stay single-atomic-load cheap.
+            let recorder =
+                (trace_out.is_some() || metrics_out.is_some()).then(fta_obs::Recorder::install);
             let outcome = solve(
                 &inst,
                 &SolveConfig {
@@ -129,52 +135,103 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     parallel: *parallel,
                 },
             );
+            let snapshot = recorder.map(fta_obs::Recorder::finish);
             outcome
                 .assignment
                 .validate(&inst)
                 .map_err(|e| format!("internal error: invalid assignment: {e}"))?;
             let workers: Vec<WorkerId> = inst.workers.iter().map(|w| w.id).collect();
-            let mut text = format!(
-                "{algorithm_name} on {} ({:.1?} VDPS + {:.1?} assignment):\n",
-                instance.display(),
-                outcome.vdps_time,
-                outcome.assign_time,
-            );
+            let label = format!("{algorithm_name} on {}", instance.display());
+            let mut text = String::new();
+            let report = fta_algorithms::SolveReport::new(&outcome)
+                .label(&label)
+                .engine(engine.name())
+                .to_string();
+            // Header first, assignment summary, then the stats lines.
+            let mut lines = report.splitn(2, '\n');
+            text.push_str(lines.next().unwrap_or_default());
+            text.push('\n');
             text.push_str(&outcome.assignment.summary(&inst, &workers));
-            if outcome.gen_stats.vdps_count > 0 {
-                let g = outcome.gen_stats;
-                let _ = writeln!(
-                    text,
-                    "vdps generation ({} engine): {} sets from {} states, {} extensions ({} distance-pruned, {} deadline-pruned), dp {:.1} ms + routes {:.1} ms, {} chunks, {} steals, {} merge collisions",
-                    engine.name(),
-                    g.vdps_count,
-                    g.states,
-                    g.extensions_tried,
-                    g.pruned_by_distance,
-                    g.pruned_by_deadline,
-                    g.dp_nanos as f64 / 1e6,
-                    g.route_nanos as f64 / 1e6,
-                    g.chunks,
-                    g.steals,
-                    g.merge_collisions,
-                );
-            }
-            if !outcome.br_stats.is_empty() {
-                let s = outcome.br_stats;
-                let _ = writeln!(
-                    text,
-                    "best-response work: {} rounds, {} candidate evals, {} switches ({} to null), {} evaluator builds, {} incremental updates",
-                    s.rounds,
-                    s.candidate_evaluations,
-                    s.switches,
-                    s.null_adoptions,
-                    s.evaluator_builds,
-                    s.evaluator_updates,
-                );
-            }
+            text.push_str(lines.next().unwrap_or_default());
             if let Some(path) = out {
                 save_assignment(path, &outcome.assignment).map_err(|e| e.to_string())?;
                 let _ = writeln!(text, "assignment written to {}", path.display());
+            }
+            if let Some(snapshot) = snapshot {
+                if let Some(path) = trace_out {
+                    fta_obs::trace::write_file(&snapshot, path).map_err(|e| e.to_string())?;
+                    let _ = writeln!(
+                        text,
+                        "telemetry trace ({} spans, {} round events) written to {}",
+                        snapshot.spans.len(),
+                        snapshot.rounds.len(),
+                        path.display()
+                    );
+                }
+                if let Some(path) = metrics_out {
+                    std::fs::write(path, snapshot.to_prometheus()).map_err(|e| e.to_string())?;
+                    let _ = writeln!(text, "metrics snapshot written to {}", path.display());
+                }
+            }
+            Ok(text)
+        }
+        Command::ObsDump { trace, chrome } => {
+            let parsed = fta_obs::trace::parse_file(trace).map_err(|e| e.to_string())?;
+            if *chrome {
+                return Ok(fta_obs::trace::to_chrome_trace(&parsed) + "\n");
+            }
+            let mut text = format!(
+                "{} v{} trace: {} spans, {} round events, epoch {} ms\n",
+                fta_obs::trace::SCHEMA_NAME,
+                parsed.version,
+                parsed.spans.len(),
+                parsed.rounds.len(),
+                parsed.epoch_unix_ms,
+            );
+            // Span totals by name.
+            let mut totals: std::collections::BTreeMap<&str, (u64, u64)> =
+                std::collections::BTreeMap::new();
+            for span in &parsed.spans {
+                let entry = totals.entry(span.name.as_str()).or_default();
+                entry.0 += 1;
+                entry.1 += span.duration_nanos;
+            }
+            for (name, (count, nanos)) in totals {
+                let _ = writeln!(
+                    text,
+                    "  span {name:<24} {count:>7} x  {:>10.3} ms total",
+                    nanos as f64 / 1e6
+                );
+            }
+            for (name, value) in &parsed.counters {
+                let _ = writeln!(text, "  counter {name:<24} {value}");
+            }
+            for (name, value) in &parsed.gauges {
+                let _ = writeln!(text, "  gauge {name:<26} {value} (max)");
+            }
+            for (name, hist) in &parsed.hists {
+                let mean = if hist.count > 0 {
+                    hist.sum as f64 / hist.count as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    text,
+                    "  hist {name:<27} {} samples, mean {mean:.0} ns",
+                    hist.count
+                );
+            }
+            let mut algos: Vec<&str> = parsed.rounds.iter().map(|r| r.algo.as_str()).collect();
+            algos.sort_unstable();
+            algos.dedup();
+            for algo in algos {
+                let n = parsed.rounds_for(algo).count();
+                let last = parsed.rounds_for(algo).last();
+                let _ = writeln!(
+                    text,
+                    "  rounds {algo:<25} {n} events, final P_dif {:.4}",
+                    last.map_or(f64::NAN, |r| r.payoff_difference)
+                );
             }
             Ok(text)
         }
@@ -404,6 +461,73 @@ mod tests {
         }
         assert_eq!(summaries[0], summaries[1]);
         let _ = std::fs::remove_file(&instance_path);
+    }
+
+    /// End-to-end telemetry: `solve --trace-out --metrics-out` writes a
+    /// parseable JSONL trace and a Prometheus snapshot, and `obs-dump` can
+    /// summarise / Chrome-convert the trace.
+    ///
+    /// The observability recorder is process-global, so this must remain
+    /// the only recorder-installing test in the `fta-cli` test binary.
+    #[test]
+    fn solve_writes_trace_and_metrics_and_obs_dump_reads_them() {
+        let instance_path = temp("telemetry.json");
+        let trace_path = temp("telemetry-trace.jsonl");
+        let metrics_path = temp("telemetry-metrics.prom");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 41 --centers 2 --workers 8 --tasks 80 --dps 12 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        let cmd = parse(&argv(&format!(
+            "solve {} --algo iegt --trace-out {} --metrics-out {}",
+            instance_path.display(),
+            trace_path.display(),
+            metrics_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(
+            out.contains("telemetry trace ("),
+            "missing trace line:\n{out}"
+        );
+        assert!(out.contains("metrics snapshot written to"));
+
+        // The trace parses against the versioned schema and holds one
+        // solver span per center plus IEGT round events.
+        let parsed = fta_obs::trace::parse_file(&trace_path).unwrap();
+        assert_eq!(parsed.version, fta_obs::trace::SCHEMA_VERSION);
+        assert!(parsed.spans_named("solver.center").count() >= 2);
+        assert!(parsed.spans_named("vdps.generate").next().is_some());
+        assert!(parsed.rounds_for("IEGT").next().is_some());
+        assert!(parsed.counters.contains_key("vdps.count"));
+        assert!(parsed.counters.contains_key("br.rounds"));
+
+        // The metrics file is well-formed Prometheus exposition text.
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        let families = fta_obs::trace::validate_prometheus(&prom).unwrap();
+        assert!(families > 0, "expected at least one metric family");
+
+        // obs-dump: human summary and Chrome conversion both work.
+        let cmd = parse(&argv(&format!("obs-dump {}", trace_path.display()))).unwrap();
+        let summary = execute(&cmd).unwrap();
+        assert!(summary.contains("solver.center"));
+        assert!(summary.contains("br.rounds"));
+        let cmd = parse(&argv(&format!(
+            "obs-dump {} --chrome",
+            trace_path.display()
+        )))
+        .unwrap();
+        let chrome = execute(&cmd).unwrap();
+        assert!(chrome.trim_start().starts_with('{'));
+        assert!(chrome.contains("traceEvents"));
+        assert!(chrome.contains("\"ph\":\"X\""));
+
+        let _ = std::fs::remove_file(&instance_path);
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&metrics_path);
     }
 
     #[test]

@@ -11,7 +11,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(message) => {
-                eprintln!("error: {message}");
+                fta_obs::error!("{message}");
                 ExitCode::FAILURE
             }
         },

@@ -46,6 +46,8 @@ pub fn measure(
     vdps: VdpsConfig,
     parallel: bool,
 ) -> AlgoResult {
+    let _span = fta_obs::span("experiments.measure");
+    let _timer = fta_obs::hist_timer("experiments.measure_nanos");
     let outcome = solve(
         instance,
         &SolveConfig {

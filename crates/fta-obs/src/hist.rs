@@ -1,0 +1,205 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! 65 buckets: bucket 0 holds exact zeros, bucket `i` (1 ≤ i ≤ 64)
+//! holds values in `[2^(i-1), 2^i)`. Every `u64` maps to exactly one
+//! bucket with two instructions (`leading_zeros` + subtract), so
+//! recording is branch-light and allocation-free, and two histograms
+//! merge by elementwise addition.
+
+/// Number of buckets in a [`Histogram`] (zeros + one per power of two).
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts; see [`bucket_index`] for the mapping.
+    pub buckets: [u64; BUCKETS],
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+}
+
+/// Bucket index for a sample: 0 for 0, otherwise `64 - leading_zeros(v)`
+/// so that `v ∈ [2^(i-1), 2^i)` lands in bucket `i`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, as used for Prometheus `le`
+/// labels: bucket 0 ≤ 0, bucket i ≤ 2^i − 1 (bucket 64 ≤ `u64::MAX`).
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Fold another histogram into this one (elementwise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (inclusive) of the smallest bucket whose cumulative
+    /// count reaches `q · count` — a coarse quantile (within 2×).
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target.max(1) {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// `(bucket_index, count)` pairs for non-empty buckets (sparse form,
+    /// as serialized in the JSONL trace).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_map_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..=64usize {
+            // Lower edge of bucket i is 2^(i-1); its predecessor is in i-1.
+            let low = 1u64 << (i - 1);
+            assert_eq!(bucket_index(low), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(low - 1), i - 1, "below bucket {i}");
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "upper bound of {i}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_and_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 5, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1031);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert!((h.mean() - 1031.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3, 9, 200] {
+            a.record(v);
+        }
+        for v in [0, 3, 4096] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.sum, a.sum + b.sum);
+        for i in 0..BUCKETS {
+            assert_eq!(merged.buckets[i], a.buckets[i] + b.buckets[i], "bucket {i}");
+        }
+        // Merging an empty histogram is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::new());
+        assert_eq!(with_empty, a);
+    }
+
+    #[test]
+    fn saturating_sum_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.buckets[64], 2);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile_upper_bound(0.5);
+        let q99 = h.quantile_upper_bound(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 >= 999);
+        assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+}

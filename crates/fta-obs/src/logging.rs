@@ -1,0 +1,133 @@
+//! Leveled stderr logging behind the [`crate::log!`] macro family.
+//!
+//! The maximum level is read once from the `FTA_LOG` environment
+//! variable (`error`, `warn`, `info`, `debug`, or `off`; default
+//! `info`) and cached in an atomic, so a filtered-out log line costs
+//! one relaxed load. Diagnostics go to stderr; user-facing result
+//! output belongs on stdout and must not use these macros.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures. Never filtered out
+    /// (except by `FTA_LOG=off`).
+    Error = 0,
+    /// Suspicious conditions worth surfacing by default.
+    Warn = 1,
+    /// Progress diagnostics; shown by default.
+    Info = 2,
+    /// Verbose tracing; hidden unless `FTA_LOG=debug`.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case name, as used in `FTA_LOG` and line prefixes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+const UNINITIALIZED: u8 = u8::MAX;
+/// `FTA_LOG=off` sentinel: below even `Error`.
+const OFF: u8 = 100;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINITIALIZED);
+
+fn parse_level(value: &str) -> u8 {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" => OFF,
+        "error" => Level::Error as u8,
+        "warn" | "warning" => Level::Warn as u8,
+        "" | "info" => Level::Info as u8,
+        "debug" | "trace" => Level::Debug as u8,
+        _ => Level::Info as u8,
+    }
+}
+
+fn max_level_raw() -> u8 {
+    let cached = MAX_LEVEL.load(Ordering::Relaxed);
+    if cached != UNINITIALIZED {
+        return cached;
+    }
+    let parsed = std::env::var("FTA_LOG")
+        .map(|v| parse_level(&v))
+        .unwrap_or(Level::Info as u8);
+    // A racing first call parses the same env var; last store wins.
+    MAX_LEVEL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// True when lines at `level` should be written under the current
+/// `FTA_LOG` filter.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    let max = max_level_raw();
+    max != OFF && (level as u8) <= max
+}
+
+/// Override the level filter programmatically (wins over `FTA_LOG`;
+/// `None` silences everything). Intended for tests and embedding.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Write one formatted line to stderr with a `level:` prefix. Called
+/// by [`crate::log!`] after the level check; prefer the macros.
+pub fn write(level: Level, args: fmt::Arguments<'_>) {
+    eprintln!("{}: {args}", level.as_str());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(parse_level("debug"), Level::Debug as u8);
+        assert_eq!(parse_level("WARN"), Level::Warn as u8);
+        assert_eq!(parse_level(" info "), Level::Info as u8);
+        assert_eq!(parse_level("error"), Level::Error as u8);
+        assert_eq!(parse_level("off"), OFF);
+        assert_eq!(parse_level("unknown"), Level::Info as u8);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn set_max_level_filters() {
+        let _guard = crate::recorder::test_lock::serialize_recorder_tests();
+        set_max_level(Some(Level::Warn));
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_max_level(None);
+        assert!(!level_enabled(Level::Error));
+        set_max_level(Some(Level::Debug));
+        assert!(level_enabled(Level::Debug));
+        // Leave the default behind for other tests in this binary.
+        set_max_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn macros_compile_and_respect_filter() {
+        let _guard = crate::recorder::test_lock::serialize_recorder_tests();
+        set_max_level(Some(Level::Info));
+        crate::info!("info line with arg {}", 42);
+        crate::debug!(
+            "filtered out, but formatting must still compile {:?}",
+            (1, 2)
+        );
+        crate::log!(Level::Warn, "explicit level");
+        crate::error!("error line");
+        crate::warn!("warn line");
+    }
+}

@@ -1,0 +1,325 @@
+//! The accumulated view of one recording session: counters, gauges,
+//! histograms, closed spans, and solver round events, plus the
+//! Prometheus text exposition.
+
+use crate::hist::{bucket_upper_bound, Histogram};
+use crate::recorder::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A closed span as stored in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name.
+    pub name: &'static str,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Per-thread id assigned on first emit.
+    pub thread: u64,
+    /// Center attribution, if any.
+    pub center: Option<u32>,
+    /// DP-layer attribution, if any.
+    pub layer: Option<u32>,
+    /// Nanoseconds since the recorder epoch.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+/// One best-response round event as stored in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Algorithm name (`"FGT"`, `"PFGT"`, `"IEGT"`).
+    pub algo: &'static str,
+    /// Center the loop ran for.
+    pub center: u32,
+    /// 1-based round number within the current (re)start.
+    pub round: u32,
+    /// Strategy switches performed this round.
+    pub moves: u64,
+    /// Max−min payoff difference after the round.
+    pub payoff_difference: f64,
+    /// Average worker payoff after the round.
+    pub average_payoff: f64,
+    /// Potential-function value after the round.
+    pub potential: f64,
+}
+
+/// Everything one recording session accumulated, in deterministic
+/// (name-sorted) map order. Spans and rounds keep accumulator arrival
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Unix milliseconds at recorder install (trace-header metadata).
+    pub epoch_unix_ms: u64,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Max-aggregated gauges by name.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Log2 histograms by name.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// All closed spans.
+    pub spans: Vec<SpanRecord>,
+    /// All solver round events.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one event in (called by the accumulator thread).
+    pub fn apply(&mut self, event: &Event) {
+        match *event {
+            Event::Counter { name, delta } => {
+                *self.counters.entry(name).or_insert(0) += delta;
+            }
+            Event::GaugeMax { name, value } => {
+                let slot = self.gauges.entry(name).or_insert(0);
+                *slot = (*slot).max(value);
+            }
+            Event::Hist { name, value } => {
+                self.histograms.entry(name).or_default().record(value);
+            }
+            Event::Span {
+                name,
+                id,
+                parent,
+                thread,
+                center,
+                layer,
+                start_nanos,
+                duration_nanos,
+            } => self.spans.push(SpanRecord {
+                name,
+                id,
+                parent,
+                thread,
+                center,
+                layer,
+                start_nanos,
+                duration_nanos,
+            }),
+            Event::Round {
+                algo,
+                center,
+                round,
+                moves,
+                payoff_difference,
+                average_payoff,
+                potential,
+            } => self.rounds.push(RoundRecord {
+                algo,
+                center,
+                round,
+                moves,
+                payoff_difference,
+                average_payoff,
+                potential,
+            }),
+        }
+    }
+
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.rounds.is_empty()
+    }
+
+    /// Value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of gauge `name`, if ever sampled.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Number of closed spans named `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Total duration of all spans named `name`, in nanoseconds.
+    /// Overlapping spans (e.g. per-chunk spans on parallel workers)
+    /// sum their wall-clock independently.
+    pub fn span_nanos(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration_nanos)
+            .sum()
+    }
+
+    /// `(count, total_nanos)` aggregates per span name, name-sorted.
+    pub fn span_totals(&self) -> BTreeMap<&'static str, (u64, u64)> {
+        let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for span in &self.spans {
+            let slot = totals.entry(span.name).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += span.duration_nanos;
+        }
+        totals
+    }
+
+    /// Render the snapshot as Prometheus text exposition (version 0.0.4):
+    /// counters as `fta_<name>_total`, gauges as `fta_<name>`, span
+    /// aggregates as `fta_span_<name>_{total,nanos_total}`, and
+    /// histograms as `fta_<name>` with cumulative `_bucket{le="…"}`
+    /// lines plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = metric_name(name);
+            let _ = writeln!(out, "# TYPE {metric}_total counter");
+            let _ = writeln!(out, "{metric}_total {value}");
+        }
+        for (name, value) in &self.gauges {
+            let metric = metric_name(name);
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        for (name, (count, nanos)) in &self.span_totals() {
+            let metric = format!("fta_span_{}", sanitize(name));
+            let _ = writeln!(out, "# TYPE {metric}_total counter");
+            let _ = writeln!(out, "{metric}_total {count}");
+            let _ = writeln!(out, "# TYPE {metric}_nanos_total counter");
+            let _ = writeln!(out, "{metric}_nanos_total {nanos}");
+        }
+        for (name, hist) in &self.histograms {
+            let metric = metric_name(name);
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let mut cumulative = 0u64;
+            for (index, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper_bound(index)
+                );
+            }
+            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{metric}_sum {}", hist.sum);
+            let _ = writeln!(out, "{metric}_count {}", hist.count);
+        }
+        out
+    }
+}
+
+/// `fta_<sanitized name>`.
+fn metric_name(name: &str) -> String {
+    format!("fta_{}", sanitize(name))
+}
+
+/// Map an event name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z0-9_:]`); everything else becomes `_`.
+pub fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.apply(&Event::Counter {
+            name: "vdps.states",
+            delta: 40,
+        });
+        snap.apply(&Event::Counter {
+            name: "vdps.states",
+            delta: 2,
+        });
+        snap.apply(&Event::GaugeMax {
+            name: "pool.queue_depth",
+            value: 5,
+        });
+        snap.apply(&Event::GaugeMax {
+            name: "pool.queue_depth",
+            value: 3,
+        });
+        snap.apply(&Event::Hist {
+            name: "sim.assign_nanos",
+            value: 3,
+        });
+        snap.apply(&Event::Hist {
+            name: "sim.assign_nanos",
+            value: 1000,
+        });
+        snap.apply(&Event::Span {
+            name: "vdps.generate",
+            id: 1,
+            parent: None,
+            thread: 1,
+            center: Some(0),
+            layer: None,
+            start_nanos: 10,
+            duration_nanos: 500,
+        });
+        snap
+    }
+
+    #[test]
+    fn apply_aggregates_by_kind() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("vdps.states"), 42);
+        assert_eq!(snap.gauge("pool.queue_depth"), Some(5));
+        assert_eq!(snap.histograms["sim.assign_nanos"].count, 2);
+        assert_eq!(snap.span_count("vdps.generate"), 1);
+        assert_eq!(snap.span_nanos("vdps.generate"), 500);
+        assert_eq!(snap.span_totals()["vdps.generate"], (1, 500));
+        assert!(!snap.is_empty());
+        assert!(Snapshot::new().is_empty());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_parseable_shape() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE fta_vdps_states_total counter"));
+        assert!(text.contains("fta_vdps_states_total 42"));
+        assert!(text.contains("# TYPE fta_pool_queue_depth gauge"));
+        assert!(text.contains("fta_pool_queue_depth 5"));
+        assert!(text.contains("fta_span_vdps_generate_total 1"));
+        assert!(text.contains("fta_span_vdps_generate_nanos_total 500"));
+        assert!(text.contains("# TYPE fta_sim_assign_nanos histogram"));
+        // Bucket for value 3 has upper bound 3 (=2^2-1); cumulative 1.
+        assert!(text.contains("fta_sim_assign_nanos_bucket{le=\"3\"} 1"));
+        // Value 1000 lands in [512,1024), upper bound 1023; cumulative 2.
+        assert!(text.contains("fta_sim_assign_nanos_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("fta_sim_assign_nanos_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("fta_sim_assign_nanos_sum 1003"));
+        assert!(text.contains("fta_sim_assign_nanos_count 2"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+    }
+
+    #[test]
+    fn sanitize_maps_to_metric_alphabet() {
+        assert_eq!(sanitize("vdps.dedup-probes/x"), "vdps_dedup_probes_x");
+        assert_eq!(sanitize("already_ok:name1"), "already_ok:name1");
+    }
+}

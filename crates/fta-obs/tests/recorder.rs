@@ -1,0 +1,117 @@
+//! Concurrency and lifecycle tests for the global recorder.
+//!
+//! The recorder is process-global, so every test here serializes on
+//! `TEST_LOCK` (cargo runs tests in one binary on parallel threads).
+
+use fta_obs::{counter, observe_nanos, span_center, Recorder};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// 8 threads each emit thousands of events through their thread-local
+/// buffers; after joining them, `finish()` must account for every
+/// single event — the accumulator drains all batches sent before the
+/// channel closes, and thread-local destructors flush partial batches.
+#[test]
+fn no_events_lost_across_eight_threads() {
+    let _guard = lock();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+
+    let recorder = Recorder::install();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter("conc.increments", 1);
+                    observe_nanos("conc.samples", i);
+                    if i % 100 == 0 {
+                        let _span = span_center("conc.span", t as u32);
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("emitting thread panicked");
+    }
+    let snapshot = recorder.finish();
+
+    assert_eq!(snapshot.counter("conc.increments"), THREADS * PER_THREAD);
+    let hist = snapshot
+        .histograms
+        .get("conc.samples")
+        .expect("histogram recorded");
+    assert_eq!(hist.count, THREADS * PER_THREAD);
+    // Sum of 0..PER_THREAD per thread.
+    assert_eq!(hist.sum, THREADS * (PER_THREAD * (PER_THREAD - 1) / 2));
+    assert_eq!(
+        snapshot.span_count("conc.span"),
+        (THREADS * PER_THREAD.div_ceil(100)) as usize
+    );
+    // Spans carry per-thread ids: all 8 emitters are distinct.
+    let mut threads: Vec<u64> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == "conc.span")
+        .map(|s| s.thread)
+        .collect();
+    threads.sort_unstable();
+    threads.dedup();
+    assert_eq!(threads.len(), THREADS as usize);
+}
+
+/// With no recorder installed, emitting is a no-op: a recorder
+/// installed afterwards sees nothing from before its install.
+#[test]
+fn no_recorder_means_no_events() {
+    let _guard = lock();
+    counter("noop.before", 10);
+    observe_nanos("noop.hist", 5);
+    {
+        let _span = span_center("noop.span", 1);
+    }
+    let recorder = Recorder::install();
+    let snapshot = recorder.finish();
+    assert_eq!(snapshot.counter("noop.before"), 0);
+    assert!(!snapshot.histograms.contains_key("noop.hist"));
+    assert_eq!(snapshot.span_count("noop.span"), 0);
+    assert!(snapshot.is_empty(), "expected empty snapshot: {snapshot:?}");
+}
+
+/// Back-to-back recording sessions are independent: the second sees
+/// neither the first session's events nor stale thread-local state.
+#[test]
+fn sessions_are_isolated() {
+    let _guard = lock();
+    let first = Recorder::install();
+    counter("iso.first", 1);
+    let first_snap = first.finish();
+    assert_eq!(first_snap.counter("iso.first"), 1);
+    assert_eq!(first_snap.counter("iso.second"), 0);
+
+    let second = Recorder::install();
+    counter("iso.second", 2);
+    let second_snap = second.finish();
+    assert_eq!(second_snap.counter("iso.first"), 0);
+    assert_eq!(second_snap.counter("iso.second"), 2);
+}
+
+/// Events below the flush threshold still arrive (finish flushes the
+/// calling thread; joined threads flush via TLS destructors).
+#[test]
+fn partial_batches_flush_on_finish() {
+    let _guard = lock();
+    let recorder = Recorder::install();
+    counter("partial.main", 1); // far below FLUSH_THRESHOLD
+    let worker = thread::spawn(|| counter("partial.worker", 1));
+    worker.join().unwrap();
+    let snapshot = recorder.finish();
+    assert_eq!(snapshot.counter("partial.main"), 1);
+    assert_eq!(snapshot.counter("partial.worker"), 1);
+}

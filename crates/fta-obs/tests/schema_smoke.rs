@@ -1,0 +1,120 @@
+//! Schema smoke test: validates JSONL trace and Prometheus exposition
+//! artifacts.
+//!
+//! Two modes:
+//!
+//! 1. **Self-contained** (always runs): records a small session,
+//!    writes both sink formats to a temp directory, and validates them
+//!    with the checked-in parser/validator.
+//! 2. **External** (CI `obs smoke` step): when `FTA_OBS_TRACE` /
+//!    `FTA_OBS_PROM` point at files produced by a real
+//!    `fta solve --trace-out … --metrics-out …` run, those files are
+//!    validated too — including the acceptance-level requirements
+//!    (≥ 1 span per center, per-round solver events, and counters
+//!    covering generation, best response, and the worker pool).
+
+use fta_obs::trace::{self, validate_prometheus};
+use fta_obs::{counter, observe_nanos, round_event, span_center, Recorder};
+use std::path::PathBuf;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fta-obs-smoke-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn self_contained_artifacts_validate() {
+    // Sole recorder user in this test binary; no lock needed.
+    let recorder = Recorder::install();
+    for center in 0..3u32 {
+        let _span = span_center("smoke.center", center);
+        counter("smoke.states", 10 + u64::from(center));
+        observe_nanos("smoke.latency_nanos", 1_000 * u64::from(center + 1));
+        for round in 1..=2u32 {
+            round_event("FGT", center, round, 5, 0.5, 1.0, 2.0);
+        }
+    }
+    let snapshot = recorder.finish();
+
+    let dir = temp_dir();
+    let trace_path = dir.join("trace.jsonl");
+    let prom_path = dir.join("metrics.prom");
+    trace::write_file(&snapshot, &trace_path).expect("write trace");
+    std::fs::write(&prom_path, snapshot.to_prometheus()).expect("write prom");
+
+    let parsed = trace::parse_file(&trace_path).expect("trace validates");
+    assert_eq!(parsed.version, trace::SCHEMA_VERSION);
+    assert_eq!(parsed.spans_named("smoke.center").count(), 3);
+    assert_eq!(parsed.rounds_for("FGT").count(), 6);
+    assert_eq!(parsed.counters["smoke.states"], 10 + 11 + 12);
+    assert_eq!(parsed.hists["smoke.latency_nanos"].count, 3);
+
+    let prom = std::fs::read_to_string(&prom_path).unwrap();
+    let samples = validate_prometheus(&prom).expect("prometheus validates");
+    assert!(samples > 0);
+    assert!(prom.contains("fta_smoke_states_total 33"));
+
+    // Chrome conversion stays valid JSON with one event per span.
+    let chrome = trace::to_chrome_trace(&parsed);
+    let v: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+    assert_eq!(
+        v.field("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .map(Vec::len),
+        Some(3)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CI hands real solver artifacts in via env vars; skip silently when
+/// they are absent (local `cargo test`).
+#[test]
+fn external_artifacts_validate_when_provided() {
+    if let Ok(trace_path) = std::env::var("FTA_OBS_TRACE") {
+        let parsed = trace::parse_file(trace_path.as_ref())
+            .unwrap_or_else(|e| panic!("{trace_path} is not a valid trace: {e}"));
+        assert!(
+            !parsed.spans.is_empty(),
+            "solver trace {trace_path} contains no spans"
+        );
+        // ≥ 1 span per center: every center a solve span was attributed
+        // to also has center-attributed work under it.
+        let centers: std::collections::BTreeSet<u32> =
+            parsed.spans.iter().filter_map(|s| s.center).collect();
+        assert!(
+            !centers.is_empty(),
+            "no center-attributed spans in {trace_path}"
+        );
+        assert!(
+            !parsed.rounds.is_empty(),
+            "no per-round solver events in {trace_path}"
+        );
+        assert!(
+            parsed.counters.keys().any(|k| k.starts_with("vdps.")),
+            "no generation counters in {trace_path}"
+        );
+        assert!(
+            parsed.counters.keys().any(|k| k.starts_with("br.")),
+            "no best-response counters in {trace_path}"
+        );
+    }
+    if let Ok(prom_path) = std::env::var("FTA_OBS_PROM") {
+        let text = std::fs::read_to_string(&prom_path)
+            .unwrap_or_else(|e| panic!("cannot read {prom_path}: {e}"));
+        let samples = validate_prometheus(&text)
+            .unwrap_or_else(|e| panic!("{prom_path} is not valid exposition: {e}"));
+        assert!(samples > 0);
+        for family in ["fta_vdps_", "fta_br_", "fta_pool_"] {
+            assert!(text.contains(family), "{prom_path} lacks {family}* metrics");
+        }
+    }
+}

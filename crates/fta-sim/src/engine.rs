@@ -171,6 +171,9 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
         let idle: Vec<usize> = (0..n_workers).filter(|&w| busy_until[w] <= now).collect();
         if !idle.is_empty() && !pending.is_empty() {
             rounds += 1;
+            let _tick_span = fta_obs::span("sim.tick");
+            fta_obs::counter("sim.rounds", 1);
+            fta_obs::gauge_max("sim.pending_peak", pending.len() as u64);
             let snapshot_workers: Vec<Worker> = idle
                 .iter()
                 .enumerate()
@@ -200,25 +203,30 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
             )
             .expect("snapshots preserve all instance invariants");
 
-            // Plan routes: (original worker index, route) pairs.
-            let planned: Vec<(usize, Route)> = match config.policy {
-                DispatchPolicy::Batch(algorithm) => {
-                    let outcome = solve(
-                        &instance,
-                        &SolveConfig {
-                            vdps: config.vdps,
-                            algorithm,
-                            parallel: config.parallel,
-                        },
-                    );
-                    debug_assert!(outcome.assignment.validate(&instance).is_ok());
-                    outcome
-                        .assignment
-                        .iter()
-                        .map(|(w, route)| (idle[w.index()], route.clone()))
-                        .collect()
+            // Plan routes: (original worker index, route) pairs. The
+            // timer feeds the per-tick assignment latency histogram
+            // (both dispatch policies, so they can be compared).
+            let planned: Vec<(usize, Route)> = {
+                let _assign_timer = fta_obs::hist_timer("sim.assign_nanos");
+                match config.policy {
+                    DispatchPolicy::Batch(algorithm) => {
+                        let outcome = solve(
+                            &instance,
+                            &SolveConfig {
+                                vdps: config.vdps,
+                                algorithm,
+                                parallel: config.parallel,
+                            },
+                        );
+                        debug_assert!(outcome.assignment.validate(&instance).is_ok());
+                        outcome
+                            .assignment
+                            .iter()
+                            .map(|(w, route)| (idle[w.index()], route.clone()))
+                            .collect()
+                    }
+                    DispatchPolicy::Immediate => plan_immediate(&instance, &idle),
                 }
-                DispatchPolicy::Immediate => plan_immediate(&instance, &idle),
             };
 
             // Apply each planned route.

@@ -123,11 +123,18 @@ struct Ctx {
 }
 
 /// Work counters produced by one expansion chunk (summed deterministically).
+///
+/// `probes` is an observability-only diagnostic (dedup-table probe steps):
+/// it depends on sharding and therefore on chunking/thread count, so it is
+/// published to the telemetry recorder but deliberately kept out of
+/// [`GenerationStats`], whose work counters are engine- and
+/// thread-invariant.
 #[derive(Debug, Clone, Copy, Default)]
 struct ChunkCounters {
     extensions_tried: usize,
     pruned_by_distance: usize,
     pruned_by_deadline: usize,
+    probes: u64,
 }
 
 impl ChunkCounters {
@@ -135,6 +142,7 @@ impl ChunkCounters {
         self.extensions_tried += other.extensions_tried;
         self.pruned_by_distance += other.pruned_by_distance;
         self.pruned_by_deadline += other.pruned_by_deadline;
+        self.probes += other.probes;
     }
 }
 
@@ -160,6 +168,10 @@ struct ShardTable {
     vals: Vec<u32>,
     masks: Vec<u128>, // discovery order
     slots: Vec<Slot>, // masks.len() * size
+    /// Probe steps taken by [`ShardTable::relax`] lookups (one per slot
+    /// inspected, hit or miss) — the open-addressed table's clustering
+    /// diagnostic, surfaced as the `vdps.dedup_probes` counter.
+    probes: u64,
 }
 
 impl ShardTable {
@@ -172,6 +184,7 @@ impl ShardTable {
             vals: vec![0u32; cap],
             masks: Vec::with_capacity(expected),
             slots: Vec::with_capacity(expected * size),
+            probes: 0,
         }
     }
 
@@ -200,6 +213,7 @@ impl ShardTable {
         let cap_mask = self.keys.len() - 1;
         let mut idx = bucket(mask, self.bits);
         loop {
+            self.probes += 1;
             let key = self.keys[idx];
             if key == mask {
                 let slot = &mut self.slots[self.vals[idx] as usize * self.size + rank(mask, j)];
@@ -416,6 +430,7 @@ fn next_layer_pooled(
                 let mut table = ShardTable::with_expected(expected_per_chunk, out_size);
                 let mut counters = ChunkCounters::default();
                 expand_range(&ctx, &layer, range, &mut table, &mut counters);
+                counters.probes = table.probes;
                 (table.into_sorted(), counters)
             }
         })
@@ -434,8 +449,11 @@ fn next_layer_pooled(
     stats.extensions_tried += totals.extensions_tried;
     stats.pruned_by_distance += totals.pruned_by_distance;
     stats.pruned_by_deadline += totals.pruned_by_deadline;
+    fta_obs::counter("vdps.dedup_probes", totals.probes);
 
     // Phase 2: merge shards by mask partition (parallel k-way merges).
+    let _merge_span = fta_obs::span("vdps.merge");
+    let merge_start = Instant::now();
     let mut bounds: Vec<u128> = vec![0];
     bounds.extend(partition_pivots(&shards, threads.max(1)));
     bounds.push(u128::MAX);
@@ -458,6 +476,7 @@ fn next_layer_pooled(
         masks.extend(part_masks);
         slots.extend(part_slots);
     }
+    stats.merge_nanos += u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     Frontier {
         size: out_size,
         masks,
@@ -479,6 +498,7 @@ fn next_layer_sequential(
     stats.extensions_tried += counters.extensions_tried;
     stats.pruned_by_distance += counters.pruned_by_distance;
     stats.pruned_by_deadline += counters.pruned_by_deadline;
+    fta_obs::counter("vdps.dedup_probes", table.probes);
     let (masks, slots) = table.into_sorted();
     Frontier {
         size: out_size,
@@ -516,6 +536,9 @@ pub fn generate_c_vdps_flat(
     if n == 0 || config.max_len == 0 {
         return (Vec::new(), stats);
     }
+    let center_u32 = view.center.index() as u32;
+    let _generate_span = fta_obs::span_center("vdps.generate", center_u32);
+    let dp_span = fta_obs::span_center("vdps.dp", center_u32);
     let dp_start = Instant::now();
 
     let dc = instance.centers[view.center.index()].location;
@@ -578,6 +601,7 @@ pub fn generate_c_vdps_flat(
 
     // Layers 2..=max_len (Algorithm 1, lines 6–12).
     for len in 2..=config.max_len.min(n) {
+        let _layer_span = fta_obs::span_layer("vdps.layer", center_u32, len as u32);
         let layer = Arc::clone(&layers[len - 2]);
         let parallel = scope
             .filter(|s| s.threads() > 1 && layer.masks.len() >= PAR_MIN_GROUPS)
@@ -595,6 +619,8 @@ pub fn generate_c_vdps_flat(
     }
     stats.states = layers.iter().map(|l| l.occupied()).sum();
     stats.dp_nanos = u64::try_from(dp_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    drop(dp_span);
+    let route_span = fta_obs::span_center("vdps.routes", center_u32);
 
     // Emission: layers are already in subset-size order and each layer is
     // mask-sorted, so the pool order (size, then mask) needs no sort. The
@@ -654,7 +680,9 @@ pub fn generate_c_vdps_flat(
         }
     }
     stats.route_nanos = u64::try_from(route_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    drop(route_span);
     stats.vdps_count = pool.len();
+    crate::generator::emit_generation_counters(&stats);
     (pool, stats)
 }
 

@@ -72,6 +72,10 @@ pub struct GenerationStats {
     /// discovered by more than one expansion chunk and had to be folded
     /// together (each extra occurrence counts once).
     pub merge_collisions: usize,
+    /// Wall time spent in the parallel shard-merge phase (a subset of
+    /// [`GenerationStats::dp_nanos`]), nanoseconds. 0 for sequential and
+    /// hash-map runs, which never shard.
+    pub merge_nanos: u64,
 }
 
 impl GenerationStats {
@@ -88,6 +92,7 @@ impl GenerationStats {
         self.chunks += other.chunks;
         self.steals += other.steals;
         self.merge_collisions += other.merge_collisions;
+        self.merge_nanos += other.merge_nanos;
     }
 
     /// The engine-independent work counters
@@ -104,6 +109,24 @@ impl GenerationStats {
             self.vdps_count,
         )
     }
+}
+
+/// Publishes one generation run's counters to the installed telemetry
+/// recorder (no-op when none is installed). Called once per
+/// center-generation by both engines, so the hot loops stay plain-field
+/// counter arithmetic.
+pub(crate) fn emit_generation_counters(stats: &GenerationStats) {
+    if !fta_obs::enabled() {
+        return;
+    }
+    fta_obs::counter("vdps.states", stats.states as u64);
+    fta_obs::counter("vdps.extensions_tried", stats.extensions_tried as u64);
+    fta_obs::counter("vdps.pruned_distance", stats.pruned_by_distance as u64);
+    fta_obs::counter("vdps.pruned_deadline", stats.pruned_by_deadline as u64);
+    fta_obs::counter("vdps.count", stats.vdps_count as u64);
+    fta_obs::counter("vdps.chunks", stats.chunks as u64);
+    fta_obs::counter("vdps.merge_collisions", stats.merge_collisions as u64);
+    fta_obs::counter("pool.steals", stats.steals as u64);
 }
 
 /// A dynamic-program state: minimal arrival time at `last` over all
@@ -188,6 +211,9 @@ pub fn generate_c_vdps_hashmap(
     if n == 0 || config.max_len == 0 {
         return (Vec::new(), stats);
     }
+    let center_u32 = view.center.index() as u32;
+    let _generate_span = fta_obs::span_center("vdps.generate", center_u32);
+    let dp_span = fta_obs::span_center("vdps.dp", center_u32);
 
     let dc = instance.centers[view.center.index()].location;
     let speed = instance.speed;
@@ -312,7 +338,9 @@ pub fn generate_c_vdps_hashmap(
     let mut masks: Vec<u128> = best_per_mask.keys().copied().collect();
     masks.sort_by_key(|m| (m.count_ones(), *m));
     stats.dp_nanos = u64::try_from(dp_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    drop(dp_span);
 
+    let route_span = fta_obs::span_center("vdps.routes", center_u32);
     let route_start = std::time::Instant::now();
     let mut pool = Vec::with_capacity(masks.len());
     for mask in masks {
@@ -344,7 +372,9 @@ pub fn generate_c_vdps_hashmap(
         pool.push(Vdps { mask, route });
     }
     stats.route_nanos = u64::try_from(route_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    drop(route_span);
     stats.vdps_count = pool.len();
+    emit_generation_counters(&stats);
     (pool, stats)
 }
 

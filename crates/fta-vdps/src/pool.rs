@@ -148,7 +148,12 @@ impl<'env> TaskScope<'env> {
     }
 
     /// Dedicated worker-thread loop: run queued jobs until shutdown.
+    ///
+    /// Park waits (empty-queue condvar timeouts) are counted locally and
+    /// published as the `pool.parks` counter at shutdown, so the loop
+    /// itself emits no telemetry.
     fn worker_loop(&self) {
+        let mut parks = 0u64;
         let mut guard = self.queue.lock().expect("pool queue poisoned");
         loop {
             if let Some(job) = guard.pop_front() {
@@ -158,8 +163,11 @@ impl<'env> TaskScope<'env> {
                 self.cv.notify_all();
                 guard = self.queue.lock().expect("pool queue poisoned");
             } else if self.shutdown.load(Ordering::SeqCst) {
+                drop(guard);
+                fta_obs::counter("pool.parks", parks);
                 return;
             } else {
+                parks += 1;
                 guard = self
                     .cv
                     .wait_timeout(guard, Duration::from_millis(1))
@@ -196,7 +204,10 @@ impl<'env> TaskScope<'env> {
             return (Vec::new(), 0);
         }
         if self.threads <= 1 || n == 1 {
-            // Inline fast path: no queueing, no synchronization.
+            // Inline fast path: no queueing, no synchronization. Still
+            // one batch as far as telemetry is concerned, so pool
+            // counters exist even for single-threaded runs.
+            fta_obs::counter("pool.batches", 1);
             return (jobs.into_iter().map(|job| job(self)).collect(), 0);
         }
 
@@ -204,6 +215,7 @@ impl<'env> TaskScope<'env> {
         let pending = Arc::new(AtomicUsize::new(n));
         let batch_steals = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let queue_depth;
         {
             let mut q = self.queue.lock().expect("pool queue poisoned");
             for (i, job) in jobs.into_iter().enumerate() {
@@ -222,9 +234,14 @@ impl<'env> TaskScope<'env> {
                     let _ = tx.send((i, out));
                 }));
             }
+            queue_depth = q.len();
             self.cv.notify_all();
         }
         drop(tx);
+        // Emitted outside the queue lock: depth right after this batch
+        // was enqueued (max-aggregated → peak backlog of the run).
+        fta_obs::gauge_max("pool.queue_depth", queue_depth as u64);
+        fta_obs::counter("pool.batches", 1);
 
         // Help until the whole batch has completed.
         while pending.load(Ordering::Acquire) > 0 {

@@ -93,6 +93,7 @@ impl StrategySpace {
         gen_stats: GenerationStats,
         scope: Option<&TaskScope<'_>>,
     ) -> Self {
+        let _span = fta_obs::span_center("vdps.strategy_space", view.center.index() as u32);
         let dc = instance.centers[view.center.index()].location;
         let worker_to_dc: Vec<f64> = view
             .workers

@@ -22,7 +22,9 @@
 //! * [`experiments`] (`fta-experiments`) — the paper's evaluation as a
 //!   library;
 //! * [`sim`] (`fta-sim`) — a discrete-event platform simulator streaming
-//!   tasks through periodic assignment rounds (longitudinal fairness).
+//!   tasks through periodic assignment rounds (longitudinal fairness);
+//! * [`obs`] (`fta-obs`) — opt-in telemetry: scoped spans, counters, and
+//!   latency histograms with JSONL trace export and Prometheus snapshots.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +60,7 @@ pub use fta_algorithms as algorithms;
 pub use fta_core as core;
 pub use fta_data as data;
 pub use fta_experiments as experiments;
+pub use fta_obs as obs;
 pub use fta_sim as sim;
 pub use fta_vdps as vdps;
 
@@ -73,6 +76,7 @@ pub mod prelude {
     };
     pub use fta_data::{generate_gmission, generate_syn, GMissionConfig, SynConfig};
     pub use fta_experiments::{Dataset, RunnerOptions};
+    pub use fta_obs::Recorder;
     pub use fta_vdps::{StrategySpace, VdpsConfig};
 }
 
