@@ -1,0 +1,317 @@
+//! Graceful degradation: the ladder a budgeted solve descends instead of
+//! failing.
+//!
+//! A production dispatcher cannot afford a solve that dies — or one that
+//! runs forever. When a [`fta_core::SolveBudget`] is exhausted or a
+//! per-center computation panics, the solver walks down a fixed ladder of
+//! cheaper formulations and reports every step it took:
+//!
+//! 1. [`LadderRung::Full`] — the configured algorithm over the full
+//!    (ε-pruned) strategy space; nothing degraded.
+//! 2. [`LadderRung::DegradedVdps`] — the VDPS pool was truncated at a DP
+//!    layer boundary (state cap or deadline hit mid-generation); the
+//!    configured algorithm runs over the smaller pool.
+//! 3. [`LadderRung::Gta`] — the wall-clock deadline passed before the
+//!    equilibrium loop could start, so the iterative algorithm
+//!    (FGT/PFGT/IEGT) is replaced by one greedy pass.
+//! 4. [`LadderRung::ImmediateSingleStop`] — the deadline passed before
+//!    generation even began (or a panic forced a retry): each worker gets
+//!    at most one single-delivery-point route, assigned greedily.
+//! 5. [`LadderRung::Skipped`] — the center panicked twice; it contributes
+//!    an empty assignment and a [`DegradationEvent::CenterSkipped`].
+//!
+//! Every transition emits a [`DegradationEvent`] into the
+//! [`DegradationReport`] carried on
+//! [`SolveOutcome`](crate::solver::SolveOutcome), so a caller can tell a
+//! pristine result from a best-effort one without parsing logs.
+
+use fta_core::CenterId;
+use std::fmt;
+
+/// How far down the degradation ladder one center's solve descended.
+///
+/// Ordered from best to worst: `Full < DegradedVdps < Gta <
+/// ImmediateSingleStop < Skipped` (derived ordering follows declaration
+/// order), so merging per-center rungs with `max` yields the worst rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum LadderRung {
+    /// Configured algorithm, full strategy space — nothing degraded.
+    #[default]
+    Full,
+    /// Configured algorithm over a truncated VDPS pool.
+    DegradedVdps,
+    /// Greedy assignment replaced the configured iterative algorithm.
+    Gta,
+    /// Greedy single-delivery-point routes only.
+    ImmediateSingleStop,
+    /// The center was quarantined after repeated panics; empty assignment.
+    Skipped,
+}
+
+impl LadderRung {
+    /// Short display name for reports and traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Full => "full",
+            Self::DegradedVdps => "degraded-vdps",
+            Self::Gta => "gta-fallback",
+            Self::ImmediateSingleStop => "immediate-single-stop",
+            Self::Skipped => "skipped",
+        }
+    }
+
+    /// Whether this rung is anything other than the full solve.
+    #[must_use]
+    pub fn is_degraded(self) -> bool {
+        self != Self::Full
+    }
+}
+
+impl fmt::Display for LadderRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One degradation step taken while solving one center.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradationEvent {
+    /// VDPS generation stopped at a layer boundary before exhausting the
+    /// subset space (state cap reached or deadline passed mid-generation).
+    VdpsTruncated {
+        /// The affected distribution center.
+        center: CenterId,
+    },
+    /// The equilibrium loop was stopped by the budget (round cap or
+    /// deadline) before converging; the partial selection was kept.
+    RoundsCapped {
+        /// The affected distribution center.
+        center: CenterId,
+    },
+    /// The configured iterative algorithm was replaced by greedy
+    /// assignment because the deadline passed after VDPS generation.
+    FellBackToGta {
+        /// The affected distribution center.
+        center: CenterId,
+    },
+    /// The center was solved with single-delivery-point routes only
+    /// (deadline passed before generation, or panic-retry path).
+    FellBackToImmediate {
+        /// The affected distribution center.
+        center: CenterId,
+    },
+    /// The center's solve panicked; the panic was caught and the center
+    /// retried once at [`LadderRung::ImmediateSingleStop`].
+    PanicQuarantined {
+        /// The affected distribution center.
+        center: CenterId,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The center's retry panicked too; it contributes nothing to the
+    /// assignment.
+    CenterSkipped {
+        /// The affected distribution center.
+        center: CenterId,
+        /// The panic payload of the failed retry.
+        message: String,
+    },
+}
+
+impl DegradationEvent {
+    /// The distribution center the event concerns.
+    #[must_use]
+    pub fn center(&self) -> CenterId {
+        match self {
+            Self::VdpsTruncated { center }
+            | Self::RoundsCapped { center }
+            | Self::FellBackToGta { center }
+            | Self::FellBackToImmediate { center }
+            | Self::PanicQuarantined { center, .. }
+            | Self::CenterSkipped { center, .. } => *center,
+        }
+    }
+
+    /// Short machine-readable kind tag (used in traces and tests).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::VdpsTruncated { .. } => "vdps_truncated",
+            Self::RoundsCapped { .. } => "rounds_capped",
+            Self::FellBackToGta { .. } => "fell_back_to_gta",
+            Self::FellBackToImmediate { .. } => "fell_back_to_immediate",
+            Self::PanicQuarantined { .. } => "panic_quarantined",
+            Self::CenterSkipped { .. } => "center_skipped",
+        }
+    }
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::VdpsTruncated { center } => {
+                write!(f, "{center}: VDPS pool truncated at a layer boundary")
+            }
+            Self::RoundsCapped { center } => {
+                write!(f, "{center}: equilibrium loop stopped by the budget")
+            }
+            Self::FellBackToGta { center } => {
+                write!(f, "{center}: fell back to greedy assignment")
+            }
+            Self::FellBackToImmediate { center } => {
+                write!(f, "{center}: fell back to single-stop routes")
+            }
+            Self::PanicQuarantined { center, message } => {
+                write!(
+                    f,
+                    "{center}: panic quarantined ({message}); retried degraded"
+                )
+            }
+            Self::CenterSkipped { center, message } => {
+                write!(f, "{center}: skipped after repeated panic ({message})")
+            }
+        }
+    }
+}
+
+/// Everything that went *less than perfectly* during a solve.
+///
+/// Empty exactly when the solve ran at [`LadderRung::Full`] on every
+/// center — which is guaranteed whenever the budget is unlimited, no
+/// fault is injected, and no center panics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Events in center order (and, per center, in the order they fired).
+    pub events: Vec<DegradationEvent>,
+}
+
+impl DegradationReport {
+    /// Whether nothing degraded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: DegradationEvent) {
+        self.events.push(event);
+    }
+
+    /// Appends all of `other`'s events (used when merging center
+    /// outcomes, and by the retry path to keep first-attempt events).
+    pub fn merge(&mut self, other: DegradationReport) {
+        self.events.extend(other.events);
+    }
+
+    /// The distinct centers that degraded, ascending.
+    #[must_use]
+    pub fn degraded_centers(&self) -> Vec<CenterId> {
+        let mut ids: Vec<CenterId> = self.events.iter().map(DegradationEvent::center).collect();
+        ids.sort_unstable_by_key(|c| c.0);
+        ids.dedup();
+        ids
+    }
+
+    /// Number of panics caught (quarantined or skipped).
+    #[must_use]
+    pub fn panics_caught(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    DegradationEvent::PanicQuarantined { .. }
+                        | DegradationEvent::CenterSkipped { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Whether any event is budget-driven (truncation, round cap, or an
+    /// algorithm fallback) as opposed to panic-driven.
+    #[must_use]
+    pub fn budget_exhausted(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                DegradationEvent::VdpsTruncated { .. }
+                    | DegradationEvent::RoundsCapped { .. }
+                    | DegradationEvent::FellBackToGta { .. }
+                    | DegradationEvent::FellBackToImmediate { .. }
+            )
+        })
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "no degradation");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_ordering_follows_the_ladder() {
+        assert!(LadderRung::Full < LadderRung::DegradedVdps);
+        assert!(LadderRung::DegradedVdps < LadderRung::Gta);
+        assert!(LadderRung::Gta < LadderRung::ImmediateSingleStop);
+        assert!(LadderRung::ImmediateSingleStop < LadderRung::Skipped);
+        assert!(!LadderRung::Full.is_degraded());
+        assert!(LadderRung::default() == LadderRung::Full);
+        assert!(LadderRung::Skipped.is_degraded());
+    }
+
+    #[test]
+    fn report_aggregates_centers_and_panics() {
+        let mut r = DegradationReport::default();
+        assert!(r.is_empty());
+        assert!(!r.budget_exhausted());
+        r.push(DegradationEvent::VdpsTruncated {
+            center: CenterId(2),
+        });
+        r.push(DegradationEvent::PanicQuarantined {
+            center: CenterId(0),
+            message: "boom".into(),
+        });
+        r.push(DegradationEvent::CenterSkipped {
+            center: CenterId(0),
+            message: "boom again".into(),
+        });
+        assert_eq!(r.degraded_centers(), vec![CenterId(0), CenterId(2)]);
+        assert_eq!(r.panics_caught(), 2);
+        assert!(r.budget_exhausted());
+        let text = r.to_string();
+        assert!(text.contains("panic quarantined"));
+        assert!(text.contains("truncated"));
+    }
+
+    #[test]
+    fn merge_preserves_event_order() {
+        let mut a = DegradationReport::default();
+        a.push(DegradationEvent::FellBackToGta {
+            center: CenterId(1),
+        });
+        let mut b = DegradationReport::default();
+        b.push(DegradationEvent::RoundsCapped {
+            center: CenterId(3),
+        });
+        a.merge(b);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events[0].kind(), "fell_back_to_gta");
+        assert_eq!(a.events[1].kind(), "rounds_capped");
+        assert_eq!(a.events[1].center(), CenterId(3));
+    }
+}

@@ -19,6 +19,7 @@ use crate::random::random_init;
 use crate::stats::BestResponseStats;
 use crate::trace::ConvergenceTrace;
 use fta_core::iau::{IauEvaluator, IauParams, RivalSet};
+use fta_core::CancelToken;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -101,11 +102,30 @@ pub fn iau_potential(payoffs: &[f64], params: IauParams) -> f64 {
 /// computed from different random initialisations and the one best under
 /// the FTA objective is kept.
 pub fn fgt<'a>(ctx: &mut GameContext<'a>, config: &FgtConfig) -> ConvergenceTrace {
+    fgt_bounded(ctx, config, None)
+}
+
+/// [`fgt`] under cooperative cancellation: the best-response loop checks
+/// `cancel` once per round and between restarts, stops early when it
+/// trips, and marks the trace [`ConvergenceTrace::cancelled`]. The
+/// selection reached so far is kept (it is always a valid partial
+/// assignment). `cancel = None` is bit-identical to [`fgt`].
+pub fn fgt_bounded<'a>(
+    ctx: &mut GameContext<'a>,
+    config: &FgtConfig,
+    cancel: Option<&CancelToken>,
+) -> ConvergenceTrace {
     let mut total_stats = BestResponseStats::default();
     let mut best: Option<(GameContext<'a>, ConvergenceTrace, f64, f64)> = None;
     for attempt in 0..=config.restarts {
         let mut trial = GameContext::new(ctx.space());
-        let trace = fgt_once(&mut trial, config, config.seed.wrapping_add(attempt as u64));
+        let trace = fgt_once(
+            &mut trial,
+            config,
+            config.seed.wrapping_add(attempt as u64),
+            cancel,
+        );
+        let cancelled = trace.cancelled;
         total_stats.merge(&trace.stats);
         let diff = fta_core::fairness::payoff_difference(trial.payoffs());
         let avg = fta_core::fairness::average_payoff(trial.payoffs());
@@ -115,21 +135,33 @@ pub fn fgt<'a>(ctx: &mut GameContext<'a>, config: &FgtConfig) -> ConvergenceTrac
         if improves {
             best = Some((trial, trace, diff, avg));
         }
+        if cancelled {
+            // No further restarts under an expired budget.
+            break;
+        }
     }
+    let cut_short = cancel.is_some_and(CancelToken::is_cancelled);
     let (winner, mut trace, _, _) = best.expect("at least one attempt always runs");
     *ctx = winner;
     // The trace rounds describe the winning run, but the work counters
-    // account for every restart performed.
+    // account for every restart performed — and cancellation is reported
+    // even when the kept (earlier) run finished before the budget expired.
     trace.stats = total_stats;
+    trace.cancelled = trace.cancelled || cut_short;
     trace
 }
 
 /// One best-response run from one random initialisation, dispatched to the
 /// configured [`BestResponseEngine`].
-fn fgt_once(ctx: &mut GameContext<'_>, config: &FgtConfig, seed: u64) -> ConvergenceTrace {
+fn fgt_once(
+    ctx: &mut GameContext<'_>,
+    config: &FgtConfig,
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> ConvergenceTrace {
     match config.engine {
-        BestResponseEngine::Rebuild => fgt_once_rebuild(ctx, config, seed),
-        BestResponseEngine::Incremental => fgt_once_incremental(ctx, config, seed),
+        BestResponseEngine::Rebuild => fgt_once_rebuild(ctx, config, seed, cancel),
+        BestResponseEngine::Incremental => fgt_once_incremental(ctx, config, seed, cancel),
     }
 }
 
@@ -142,7 +174,12 @@ fn new_trace(config: &FgtConfig) -> ConvergenceTrace {
 }
 
 /// Legacy engine: a fresh [`IauEvaluator`] per worker per round.
-fn fgt_once_rebuild(ctx: &mut GameContext<'_>, config: &FgtConfig, seed: u64) -> ConvergenceTrace {
+fn fgt_once_rebuild(
+    ctx: &mut GameContext<'_>,
+    config: &FgtConfig,
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
     random_init(ctx, &mut rng);
 
@@ -199,6 +236,10 @@ fn fgt_once_rebuild(ctx: &mut GameContext<'_>, config: &FgtConfig, seed: u64) ->
             trace.converged = true;
             break;
         }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            trace.cancelled = true;
+            break;
+        }
     }
     trace
 }
@@ -214,6 +255,7 @@ fn fgt_once_incremental(
     ctx: &mut GameContext<'_>,
     config: &FgtConfig,
     seed: u64,
+    cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
     random_init(ctx, &mut rng);
@@ -272,6 +314,10 @@ fn fgt_once_incremental(
         );
         if moves == 0 {
             trace.converged = true;
+            break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            trace.cancelled = true;
             break;
         }
     }

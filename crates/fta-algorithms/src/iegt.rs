@@ -15,6 +15,7 @@ use crate::context::GameContext;
 use crate::random::random_init;
 use crate::trace::ConvergenceTrace;
 use fta_core::iau::{IauParams, RivalSet};
+use fta_core::CancelToken;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -88,6 +89,19 @@ impl IegtConfig {
 /// selection (an improved evolutionary equilibrium unless the round cap was
 /// hit) is left in `ctx`.
 pub fn iegt(ctx: &mut GameContext<'_>, config: &IegtConfig) -> ConvergenceTrace {
+    iegt_bounded(ctx, config, None)
+}
+
+/// [`iegt`] under cooperative cancellation: the replicator loop checks
+/// `cancel` once per round and stops early (with the trace marked
+/// [`ConvergenceTrace::cancelled`]) when it trips. The population state
+/// reached so far is kept — it is always a valid partial assignment.
+/// `cancel = None` is bit-identical to [`iegt`].
+pub fn iegt_bounded(
+    ctx: &mut GameContext<'_>,
+    config: &IegtConfig,
+    cancel: Option<&CancelToken>,
+) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(config.seed);
     random_init(ctx, &mut rng);
 
@@ -130,14 +144,12 @@ pub fn iegt(ctx: &mut GameContext<'_>, config: &IegtConfig) -> ConvergenceTrace 
             }
             let choice = match config.redraw {
                 RedrawPolicy::UniformBetter => better.choose(&mut rng).copied(),
-                RedrawPolicy::MinimalBetter => better
-                    .iter()
-                    .copied()
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("payoffs are not NaN")),
-                RedrawPolicy::BestAvailable => better
-                    .iter()
-                    .copied()
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("payoffs are not NaN")),
+                RedrawPolicy::MinimalBetter => {
+                    better.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1))
+                }
+                RedrawPolicy::BestAvailable => {
+                    better.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))
+                }
             };
             if let Some((idx, _)) = choice {
                 ctx.set_strategy(local, Some(idx));
@@ -159,6 +171,10 @@ pub fn iegt(ctx: &mut GameContext<'_>, config: &IegtConfig) -> ConvergenceTrace 
         // population, or no worker changed strategy this round.
         if all_at_rest || moves == 0 {
             trace.converged = true;
+            break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            trace.cancelled = true;
             break;
         }
     }

@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod context;
+pub mod degrade;
 pub mod exact;
 pub mod fgt;
 pub mod gta;
@@ -43,14 +44,15 @@ pub mod stats;
 pub mod trace;
 
 pub use context::GameContext;
+pub use degrade::{DegradationEvent, DegradationReport, LadderRung};
 pub use exact::{exact_search, ExactObjective};
-pub use fgt::{fgt, BestResponseEngine, FgtConfig};
+pub use fgt::{fgt, fgt_bounded, BestResponseEngine, FgtConfig};
 pub use gta::gta;
-pub use iegt::{iegt, IegtConfig, RedrawPolicy};
+pub use iegt::{iegt, iegt_bounded, IegtConfig, RedrawPolicy};
 pub use mpta::{mpta, MptaConfig};
-pub use pfgt::{pfgt, PfgtConfig, PrioritySpec};
+pub use pfgt::{pfgt, pfgt_bounded, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
 pub use report::SolveReport;
-pub use solver::{solve, solve_with_pool, Algorithm, SolveConfig, SolveOutcome};
+pub use solver::{solve, solve_with_pool, Algorithm, PanicInjection, SolveConfig, SolveOutcome};
 pub use stats::BestResponseStats;
 pub use trace::{ConvergenceTrace, RoundStats};

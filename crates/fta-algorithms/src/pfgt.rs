@@ -15,7 +15,7 @@ use crate::stats::BestResponseStats;
 use crate::trace::ConvergenceTrace;
 use fta_core::iau::RivalSet;
 use fta_core::priority::{priority_payoff_difference, PriorityIauEvaluator, PriorityRivalSet};
-use fta_core::WorkerId;
+use fta_core::{CancelToken, WorkerId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,6 +80,18 @@ impl Default for PfgtConfig {
 /// Runs PFGT on a fresh context; the equilibrium best under the
 /// priority-aware FTA objective across restarts is kept.
 pub fn pfgt<'a>(ctx: &mut GameContext<'a>, config: &PfgtConfig) -> ConvergenceTrace {
+    pfgt_bounded(ctx, config, None)
+}
+
+/// [`pfgt`] under cooperative cancellation: checks `cancel` once per
+/// best-response round and between restarts, stopping early (with the
+/// trace marked [`ConvergenceTrace::cancelled`]) when it trips.
+/// `cancel = None` is bit-identical to [`pfgt`].
+pub fn pfgt_bounded<'a>(
+    ctx: &mut GameContext<'a>,
+    config: &PfgtConfig,
+    cancel: Option<&CancelToken>,
+) -> ConvergenceTrace {
     let priorities: Vec<f64> = (0..ctx.n_workers())
         .map(|local| config.priorities.of(ctx.space().worker_id(local)))
         .collect();
@@ -93,7 +105,9 @@ pub fn pfgt<'a>(ctx: &mut GameContext<'a>, config: &PfgtConfig) -> ConvergenceTr
             config,
             &priorities,
             config.base.seed.wrapping_add(attempt as u64),
+            cancel,
         );
+        let cancelled = trace.cancelled;
         total_stats.merge(&trace.stats);
         let diff = priority_payoff_difference(trial.payoffs(), &priorities);
         let avg = fta_core::fairness::average_payoff(trial.payoffs());
@@ -103,10 +117,15 @@ pub fn pfgt<'a>(ctx: &mut GameContext<'a>, config: &PfgtConfig) -> ConvergenceTr
         if improves {
             best = Some((trial, trace, diff, avg));
         }
+        if cancelled {
+            break;
+        }
     }
+    let cut_short = cancel.is_some_and(CancelToken::is_cancelled);
     let (winner, mut trace, _, _) = best.expect("at least one attempt always runs");
     *ctx = winner;
     trace.stats = total_stats;
+    trace.cancelled = trace.cancelled || cut_short;
     trace
 }
 
@@ -115,10 +134,13 @@ fn pfgt_once(
     config: &PfgtConfig,
     priorities: &[f64],
     seed: u64,
+    cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     match config.base.engine {
-        BestResponseEngine::Rebuild => pfgt_once_rebuild(ctx, config, priorities, seed),
-        BestResponseEngine::Incremental => pfgt_once_incremental(ctx, config, priorities, seed),
+        BestResponseEngine::Rebuild => pfgt_once_rebuild(ctx, config, priorities, seed, cancel),
+        BestResponseEngine::Incremental => {
+            pfgt_once_incremental(ctx, config, priorities, seed, cancel)
+        }
     }
 }
 
@@ -136,6 +158,7 @@ fn pfgt_once_rebuild(
     config: &PfgtConfig,
     priorities: &[f64],
     seed: u64,
+    cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
     random_init(ctx, &mut rng);
@@ -188,6 +211,10 @@ fn pfgt_once_rebuild(
             trace.converged = true;
             break;
         }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            trace.cancelled = true;
+            break;
+        }
     }
     trace
 }
@@ -200,6 +227,7 @@ fn pfgt_once_incremental(
     config: &PfgtConfig,
     priorities: &[f64],
     seed: u64,
+    cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
     random_init(ctx, &mut rng);
@@ -272,6 +300,10 @@ fn pfgt_once_incremental(
         );
         if moves == 0 {
             trace.converged = true;
+            break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            trace.cancelled = true;
             break;
         }
     }

@@ -121,6 +121,15 @@ impl fmt::Display for SolveReport<'_> {
                 last.average_payoff,
             )?;
         }
+        if !o.degradation.is_empty() {
+            writeln!(
+                f,
+                "degradation: {} events over {} centers — {}",
+                o.degradation.events.len(),
+                o.degradation.degraded_centers().len(),
+                o.degradation,
+            )?;
+        }
         Ok(())
     }
 }

@@ -15,17 +15,19 @@
 //! outcome is deterministic regardless of thread count.
 
 use crate::context::GameContext;
-use crate::fgt::{fgt, FgtConfig};
+use crate::degrade::{DegradationEvent, DegradationReport, LadderRung};
+use crate::fgt::{fgt_bounded, FgtConfig};
 use crate::gta::gta;
-use crate::iegt::{iegt, IegtConfig};
+use crate::iegt::{iegt_bounded, IegtConfig};
 use crate::mpta::{mpta, MptaConfig};
-use crate::pfgt::{pfgt, PfgtConfig};
+use crate::pfgt::{pfgt_bounded, PfgtConfig};
 use crate::random::random_assignment;
 use crate::stats::BestResponseStats;
 use crate::trace::ConvergenceTrace;
 use fta_core::instance::{CenterView, DpAggregate};
-use fta_core::{Assignment, Instance};
-use fta_vdps::{GenerationStats, StrategySpace, TaskScope, VdpsConfig, WorkerPool};
+use fta_core::{Assignment, CancelToken, CenterId, Instance, SolveBudget};
+use fta_vdps::{GenControl, GenerationStats, StrategySpace, TaskScope, VdpsConfig, WorkerPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// The assignment algorithm to run per center.
@@ -92,6 +94,59 @@ impl Algorithm {
             Self::Random { seed } => Self::Random { seed: mix(seed) },
         }
     }
+
+    /// Clamps every internal round cap to `cap` (the budget's
+    /// [`SolveBudget::max_rounds`]); non-iterative variants are unchanged.
+    #[must_use]
+    fn with_round_cap(self, cap: usize) -> Self {
+        match self {
+            Self::Mpta(c) => Self::Mpta(MptaConfig {
+                max_rounds: c.max_rounds.min(cap),
+                ..c
+            }),
+            Self::Fgt(c) => Self::Fgt(FgtConfig {
+                max_rounds: c.max_rounds.min(cap),
+                ..c
+            }),
+            Self::Pfgt(c) => Self::Pfgt(PfgtConfig {
+                base: FgtConfig {
+                    max_rounds: c.base.max_rounds.min(cap),
+                    ..c.base
+                },
+                ..c
+            }),
+            Self::Iegt(c) => Self::Iegt(IegtConfig {
+                max_rounds: c.max_rounds.min(cap),
+                ..c
+            }),
+            other => other,
+        }
+    }
+
+    /// The round cap the algorithm will actually run under (`None` for
+    /// the non-iterative baselines).
+    #[must_use]
+    fn round_cap(&self) -> Option<usize> {
+        match self {
+            Self::Mpta(c) => Some(c.max_rounds),
+            Self::Fgt(c) => Some(c.max_rounds),
+            Self::Pfgt(c) => Some(c.base.max_rounds),
+            Self::Iegt(c) => Some(c.max_rounds),
+            Self::Gta | Self::Random { .. } => None,
+        }
+    }
+}
+
+/// Deterministic chaos knob for tests and drills: makes the solve of one
+/// center panic, exercising the quarantine/retry path without unsafe
+/// tricks or real bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// Index of the center whose solve panics.
+    pub center: u32,
+    /// Panic again on the degraded retry, forcing the center to be
+    /// skipped entirely.
+    pub also_on_retry: bool,
 }
 
 /// Full solver configuration.
@@ -103,18 +158,31 @@ pub struct SolveConfig {
     pub algorithm: Algorithm,
     /// Run distribution centers on separate threads.
     pub parallel: bool,
+    /// Resource caps; [`SolveBudget::UNLIMITED`] (the default) makes the
+    /// solve bit-identical to an unbudgeted build.
+    pub budget: SolveBudget,
+    /// Test-only fault injection; `None` (the default) in production.
+    pub inject_panic: Option<PanicInjection>,
 }
 
 impl SolveConfig {
-    /// Convenience constructor with default VDPS settings and sequential
-    /// execution.
+    /// Convenience constructor with default VDPS settings, sequential
+    /// execution, and no budget or fault injection.
     #[must_use]
     pub fn new(algorithm: Algorithm) -> Self {
         Self {
             vdps: VdpsConfig::default(),
             algorithm,
             parallel: false,
+            budget: SolveBudget::UNLIMITED,
+            inject_panic: None,
         }
+    }
+
+    /// Returns a copy with the given budget.
+    #[must_use]
+    pub fn with_budget(self, budget: SolveBudget) -> Self {
+        Self { budget, ..self }
     }
 }
 
@@ -134,6 +202,13 @@ pub struct SolveOutcome {
     pub br_stats: BestResponseStats,
     /// Merged convergence trace (FGT/IEGT only; empty for the baselines).
     pub trace: ConvergenceTrace,
+    /// Everything that went less than perfectly: budget-driven
+    /// degradations and quarantined panics, in center order. Empty when
+    /// the budget is unlimited and nothing panicked.
+    pub degradation: DegradationReport,
+    /// The degradation-ladder rung each center was solved at, in center
+    /// order. All [`LadderRung::Full`] on a clean run.
+    pub rungs: Vec<(CenterId, LadderRung)>,
 }
 
 impl SolveOutcome {
@@ -142,24 +217,141 @@ impl SolveOutcome {
     pub fn total_time(&self) -> Duration {
         self.vdps_time + self.assign_time
     }
+
+    /// Whether any center was solved below [`LadderRung::Full`] or any
+    /// degradation event fired.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.degradation.is_empty() || self.rungs.iter().any(|&(_, r)| r.is_degraded())
+    }
 }
 
 /// Per-center result, merged by [`solve`].
 struct CenterOutcome {
+    center: CenterId,
     assignment: Assignment,
     vdps_time: Duration,
     assign_time: Duration,
     gen_stats: GenerationStats,
     trace: ConvergenceTrace,
+    report: DegradationReport,
+    rung: LadderRung,
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fires the configured [`PanicInjection`] when it targets `center`.
+fn maybe_inject(config: &SolveConfig, center: CenterId, retrying: bool) {
+    if let Some(inj) = config.inject_panic {
+        if inj.center == center.0 && (!retrying || inj.also_on_retry) {
+            panic!(
+                "injected center fault (center {}, retry {retrying})",
+                inj.center
+            );
+        }
+    }
+}
+
+/// Panic-isolating wrapper around [`solve_center_attempt`]: a panicking
+/// center is quarantined (reported, retried once at
+/// [`LadderRung::ImmediateSingleStop`]) instead of poisoning the whole
+/// round; a second panic skips the center with an empty assignment.
 fn solve_center(
     instance: &Instance,
     aggregates: &[DpAggregate],
     view: CenterView,
     config: &SolveConfig,
     scope: Option<&TaskScope<'_>>,
+    cancel: Option<&CancelToken>,
 ) -> CenterOutcome {
+    let center = view.center;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        solve_center_attempt(
+            instance,
+            aggregates,
+            view.clone(),
+            config,
+            scope,
+            cancel,
+            false,
+        )
+    }));
+    let payload = match attempt {
+        Ok(outcome) => return outcome,
+        Err(payload) => payload,
+    };
+    fta_obs::counter("pool.panics_caught", 1);
+    let mut report = DegradationReport::default();
+    report.push(DegradationEvent::PanicQuarantined {
+        center,
+        message: panic_message(payload.as_ref()),
+    });
+    let retry = catch_unwind(AssertUnwindSafe(|| {
+        solve_center_attempt(instance, aggregates, view, config, scope, cancel, true)
+    }));
+    match retry {
+        Ok(mut outcome) => {
+            report.merge(std::mem::take(&mut outcome.report));
+            outcome.report = report;
+            outcome
+        }
+        Err(payload) => {
+            fta_obs::counter("pool.panics_caught", 1);
+            report.push(DegradationEvent::CenterSkipped {
+                center,
+                message: panic_message(payload.as_ref()),
+            });
+            CenterOutcome {
+                center,
+                assignment: Assignment::new(),
+                vdps_time: Duration::ZERO,
+                assign_time: Duration::ZERO,
+                gen_stats: GenerationStats::default(),
+                trace: ConvergenceTrace::default(),
+                report,
+                rung: LadderRung::Skipped,
+            }
+        }
+    }
+}
+
+/// One attempt at solving a center, descending the degradation ladder as
+/// the budget demands. `retrying = true` (the post-panic path) forces the
+/// bottom useful rung: single-delivery-point routes assigned greedily.
+fn solve_center_attempt(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: CenterView,
+    config: &SolveConfig,
+    scope: Option<&TaskScope<'_>>,
+    cancel: Option<&CancelToken>,
+    retrying: bool,
+) -> CenterOutcome {
+    let center = view.center;
+    maybe_inject(config, center, retrying);
+
+    let mut report = DegradationReport::default();
+    let mut rung = LadderRung::Full;
+
+    // Bottom rung pre-check: deadline already passed before generation
+    // (or this is the post-panic retry) — fall straight to greedy
+    // single-stop routes, the cheapest formulation that still serves
+    // every worker one delivery point.
+    let immediate = retrying || cancel.is_some_and(CancelToken::is_cancelled);
+    if immediate {
+        rung = LadderRung::ImmediateSingleStop;
+        report.push(DegradationEvent::FellBackToImmediate { center });
+    }
+
     // The generator caps subsets at `min(config cap, workers' max maxDP)`:
     // larger sets can never be assigned.
     let center_max_dp = view
@@ -168,19 +360,50 @@ fn solve_center(
         .map(|&w| instance.workers[w.index()].max_dp)
         .max()
         .unwrap_or(0);
+    let configured_len = if immediate { 1 } else { config.vdps.max_len };
     let vdps_cfg = VdpsConfig {
-        max_len: config.vdps.max_len.min(center_max_dp),
+        max_len: configured_len.min(center_max_dp),
         ..config.vdps
     };
 
-    let center = view.center;
     let center_u32 = center.index() as u32;
     let _center_span = fta_obs::span_center("solver.center", center_u32);
     let t0 = Instant::now();
-    let space = StrategySpace::build_in(instance, aggregates, view, &vdps_cfg, scope);
+    let control = GenControl {
+        token: cancel,
+        max_states: config.budget.max_states,
+    };
+    let space =
+        StrategySpace::build_budgeted(instance, aggregates, view, &vdps_cfg, scope, control);
     let vdps_time = t0.elapsed();
+    if space.gen_stats.truncations > 0 {
+        rung = rung.max(LadderRung::DegradedVdps);
+        report.push(DegradationEvent::VdpsTruncated { center });
+    }
 
-    let algorithm = config.algorithm.salted(u64::from(center.0));
+    let mut algorithm = config.algorithm.salted(u64::from(center.0));
+    if let Some(cap) = config.budget.max_rounds {
+        algorithm = algorithm.with_round_cap(cap);
+    }
+    if immediate {
+        // Single-stop rung: one greedy pass, no equilibrium loop.
+        algorithm = Algorithm::Gta;
+    } else if cancel.is_some_and(CancelToken::is_cancelled)
+        && matches!(
+            algorithm,
+            Algorithm::Fgt(_) | Algorithm::Pfgt(_) | Algorithm::Iegt(_)
+        )
+    {
+        // The deadline passed during generation: there is no time left
+        // for an equilibrium loop, but a greedy pass over the (possibly
+        // truncated) pool is nearly free and strictly better than
+        // returning nothing.
+        algorithm = Algorithm::Gta;
+        rung = rung.max(LadderRung::Gta);
+        report.push(DegradationEvent::FellBackToGta { center });
+    }
+
+    let effective_cap = algorithm.round_cap();
     let t1 = Instant::now();
     let assign_span = fta_obs::span_center("solver.assign", center_u32);
     let mut ctx = GameContext::new(&space);
@@ -193,9 +416,9 @@ fn solve_center(
             mpta(&mut ctx, &cfg);
             ConvergenceTrace::default()
         }
-        Algorithm::Fgt(cfg) => fgt(&mut ctx, &cfg),
-        Algorithm::Pfgt(cfg) => pfgt(&mut ctx, &cfg),
-        Algorithm::Iegt(cfg) => iegt(&mut ctx, &cfg),
+        Algorithm::Fgt(cfg) => fgt_bounded(&mut ctx, &cfg, cancel),
+        Algorithm::Pfgt(cfg) => pfgt_bounded(&mut ctx, &cfg, cancel),
+        Algorithm::Iegt(cfg) => iegt_bounded(&mut ctx, &cfg, cancel),
         Algorithm::Random { seed } => {
             random_assignment(&mut ctx, seed);
             ConvergenceTrace::default()
@@ -203,6 +426,18 @@ fn solve_center(
     };
     drop(assign_span);
     let assign_time = t1.elapsed();
+
+    // Budget-driven early exit from the equilibrium loop: either the
+    // cancel token tripped mid-loop, or the budget's round cap bound the
+    // run before convergence.
+    let capped_by_budget = config.budget.max_rounds.is_some()
+        && !trace.converged
+        && effective_cap
+            .zip(trace.last())
+            .is_some_and(|(cap, last)| last.round >= cap);
+    if trace.cancelled || capped_by_budget {
+        report.push(DegradationEvent::RoundsCapped { center });
+    }
 
     // Round events are replayed from the kept trace (the winning restart)
     // rather than emitted inside the best-response loops: the hot path
@@ -223,11 +458,14 @@ fn solve_center(
     }
 
     CenterOutcome {
+        center,
         assignment: ctx.to_assignment(),
         vdps_time,
         assign_time,
         gen_stats: space.gen_stats,
         trace,
+        report,
+        rung,
     }
 }
 
@@ -264,6 +502,14 @@ pub fn solve_with_pool(
     pool: &WorkerPool,
 ) -> SolveOutcome {
     let _solve_span = fta_obs::span("solver.solve");
+    // One cancellation token per solve; `None` when the budget is
+    // unlimited so the hot paths skip even the atomic load.
+    let token = if config.budget.is_unlimited() {
+        None
+    } else {
+        Some(config.budget.token())
+    };
+    let cancel = token.as_ref();
     let views = instance.center_views();
     // Computed once per instance, shared by every center job (previously
     // recomputed inside each center's StrategySpace::build).
@@ -273,7 +519,9 @@ pub fn solve_with_pool(
         let jobs: Vec<_> = views
             .into_iter()
             .map(|view| {
-                move |ts: &TaskScope<'_>| solve_center(instance, aggregates, view, config, Some(ts))
+                move |ts: &TaskScope<'_>| {
+                    solve_center(instance, aggregates, view, config, Some(ts), cancel)
+                }
             })
             .collect();
         ts.map(jobs)
@@ -285,12 +533,16 @@ pub fn solve_with_pool(
     let mut gen_stats = GenerationStats::default();
     let mut br_stats = BestResponseStats::default();
     let mut trace: Option<ConvergenceTrace> = None;
+    let mut degradation = DegradationReport::default();
+    let mut rungs = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         assignment.merge(outcome.assignment);
         vdps_time += outcome.vdps_time;
         assign_time += outcome.assign_time;
         gen_stats.merge(&outcome.gen_stats);
         br_stats.merge(&outcome.trace.stats);
+        degradation.merge(outcome.report);
+        rungs.push((outcome.center, outcome.rung));
         if !outcome.trace.is_empty() {
             match &mut trace {
                 Some(t) => t.merge_parallel(&outcome.trace),
@@ -307,6 +559,13 @@ pub fn solve_with_pool(
         fta_obs::counter("br.null_adoptions", br_stats.null_adoptions);
         fta_obs::counter("br.evaluator_builds", br_stats.evaluator_builds);
         fta_obs::counter("br.evaluator_updates", br_stats.evaluator_updates);
+        // Degradation counters: centers solved below the full rung, and
+        // whether the budget actually bound anywhere.
+        let degraded = rungs.iter().filter(|&&(_, r)| r.is_degraded()).count();
+        fta_obs::counter("solve.degraded", degraded as u64);
+        let exhausted =
+            degradation.budget_exhausted() || token.as_ref().is_some_and(CancelToken::is_cancelled);
+        fta_obs::counter("budget.exhausted", u64::from(exhausted));
     }
     SolveOutcome {
         assignment,
@@ -315,6 +574,8 @@ pub fn solve_with_pool(
         gen_stats,
         br_stats,
         trace: trace.unwrap_or_default(),
+        degradation,
+        rungs,
     }
 }
 
@@ -530,5 +791,199 @@ mod tests {
         for (_, route) in outcome.assignment.iter() {
             assert!(route.len() <= 2);
         }
+    }
+
+    #[test]
+    fn unbudgeted_solve_reports_no_degradation() {
+        let inst = multi_center_instance();
+        for algo in all_algorithms() {
+            let outcome = solve(&inst, &SolveConfig::new(algo));
+            assert!(!outcome.is_degraded(), "{} degraded", algo.name());
+            assert!(outcome.degradation.is_empty());
+            assert_eq!(outcome.rungs.len(), inst.centers.len());
+            assert!(outcome.rungs.iter().all(|&(_, r)| r == LadderRung::Full));
+            // An explicit unlimited budget is the same as no budget.
+            let explicit = solve(
+                &inst,
+                &SolveConfig::new(algo).with_budget(SolveBudget::UNLIMITED),
+            );
+            assert_eq!(outcome.assignment, explicit.assignment);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_immediate_single_stop() {
+        // A 0 ms wall budget is cancelled before any center starts: every
+        // center descends to greedy single-stop routes, yet the partial
+        // assignment is still valid.
+        let inst = multi_center_instance();
+        let cfg = SolveConfig::new(Algorithm::Fgt(FgtConfig::default()))
+            .with_budget(SolveBudget::wall_ms(0));
+        let outcome = solve(&inst, &cfg);
+        assert!(outcome.assignment.validate(&inst).is_ok());
+        assert!(outcome.is_degraded());
+        assert!(outcome
+            .rungs
+            .iter()
+            .all(|&(_, r)| r == LadderRung::ImmediateSingleStop));
+        assert_eq!(
+            outcome
+                .degradation
+                .events
+                .iter()
+                .filter(|e| e.kind() == "fell_back_to_immediate")
+                .count(),
+            inst.centers.len()
+        );
+        // Single-stop rung: every assigned route has exactly one stop.
+        for (_, route) in outcome.assignment.iter() {
+            assert_eq!(route.len(), 1);
+        }
+    }
+
+    #[test]
+    fn state_cap_degrades_vdps_and_stays_deterministic() {
+        // A tiny deterministic state cap truncates generation at a layer
+        // boundary; the configured algorithm still runs and the result is
+        // reproducible (no wall-clock in the loop).
+        let inst = multi_center_instance();
+        let cfg = SolveConfig::new(Algorithm::Fgt(FgtConfig::default())).with_budget(SolveBudget {
+            max_states: Some(8),
+            ..SolveBudget::UNLIMITED
+        });
+        let a = solve(&inst, &cfg);
+        let b = solve(&inst, &cfg);
+        assert_eq!(
+            a.assignment, b.assignment,
+            "state cap must be deterministic"
+        );
+        assert!(a.assignment.validate(&inst).is_ok());
+        assert!(a
+            .degradation
+            .events
+            .iter()
+            .any(|e| e.kind() == "vdps_truncated"));
+        assert!(a.rungs.iter().any(|&(_, r)| r == LadderRung::DegradedVdps));
+        // Truncation caps pool size but the solve still serves workers.
+        assert!(a.gen_stats.vdps_count > 0);
+    }
+
+    #[test]
+    fn round_cap_budget_stops_the_equilibrium_loop() {
+        let inst = multi_center_instance();
+        let cfg =
+            SolveConfig::new(Algorithm::Iegt(IegtConfig::default())).with_budget(SolveBudget {
+                max_rounds: Some(1),
+                ..SolveBudget::UNLIMITED
+            });
+        let outcome = solve(&inst, &cfg);
+        assert!(outcome.assignment.validate(&inst).is_ok());
+        // At most the initialisation round plus one evolution round.
+        assert!(outcome.trace.len() <= 2, "rounds: {}", outcome.trace.len());
+        // Determinism: the cap is not wall-clock driven.
+        let again = solve(&inst, &cfg);
+        assert_eq!(outcome.assignment, again.assignment);
+    }
+
+    #[test]
+    fn injected_panic_quarantines_one_center_and_keeps_the_rest() {
+        let inst = multi_center_instance();
+        let clean = solve(
+            &inst,
+            &SolveConfig::new(Algorithm::Fgt(FgtConfig::default())),
+        );
+        let faulty = solve(
+            &inst,
+            &SolveConfig {
+                inject_panic: Some(PanicInjection {
+                    center: 1,
+                    also_on_retry: false,
+                }),
+                ..SolveConfig::new(Algorithm::Fgt(FgtConfig::default()))
+            },
+        );
+        assert!(faulty.assignment.validate(&inst).is_ok());
+        // Healthy centers are bit-identical to the clean run.
+        for (worker, route) in clean.assignment.iter() {
+            if route.center() != CenterId(1) {
+                assert_eq!(
+                    faulty.assignment.route_of(worker),
+                    Some(route),
+                    "healthy-center route changed for {worker}"
+                );
+            }
+        }
+        // The poisoned center was retried at the bottom rung: single stops.
+        for (_, route) in faulty.assignment.iter() {
+            if route.center() == CenterId(1) {
+                assert_eq!(route.len(), 1);
+            }
+        }
+        assert_eq!(faulty.degradation.panics_caught(), 1);
+        assert!(faulty
+            .degradation
+            .events
+            .iter()
+            .any(|e| e.kind() == "panic_quarantined" && e.center() == CenterId(1)));
+        let rung_of = |c: u32| {
+            faulty
+                .rungs
+                .iter()
+                .find(|&&(id, _)| id == CenterId(c))
+                .map(|&(_, r)| r)
+                .expect("rung recorded")
+        };
+        assert_eq!(rung_of(0), LadderRung::Full);
+        assert_eq!(rung_of(1), LadderRung::ImmediateSingleStop);
+        assert_eq!(rung_of(2), LadderRung::Full);
+    }
+
+    #[test]
+    fn double_panic_skips_the_center_without_killing_the_solve() {
+        let inst = multi_center_instance();
+        let outcome = solve(
+            &inst,
+            &SolveConfig {
+                inject_panic: Some(PanicInjection {
+                    center: 1,
+                    also_on_retry: true,
+                }),
+                ..SolveConfig::new(Algorithm::Gta)
+            },
+        );
+        assert!(outcome.assignment.validate(&inst).is_ok());
+        // Nobody from the skipped center is assigned.
+        for (_, route) in outcome.assignment.iter() {
+            assert_ne!(route.center(), CenterId(1));
+        }
+        // But the healthy centers are served.
+        assert!(outcome.assignment.assigned_workers() > 0);
+        assert_eq!(outcome.degradation.panics_caught(), 2);
+        assert!(outcome
+            .degradation
+            .events
+            .iter()
+            .any(|e| e.kind() == "center_skipped"));
+        assert!(outcome
+            .rungs
+            .iter()
+            .any(|&(id, r)| id == CenterId(1) && r == LadderRung::Skipped));
+    }
+
+    #[test]
+    fn panic_isolation_works_under_a_threaded_pool_too() {
+        let inst = multi_center_instance();
+        let config = SolveConfig {
+            inject_panic: Some(PanicInjection {
+                center: 0,
+                also_on_retry: false,
+            }),
+            ..SolveConfig::new(Algorithm::Gta)
+        };
+        let seq = solve_with_pool(&inst, &config, &WorkerPool::sequential());
+        let par = solve_with_pool(&inst, &config, &WorkerPool::with_threads(4));
+        assert_eq!(seq.assignment, par.assignment);
+        assert_eq!(seq.degradation, par.degradation);
+        assert_eq!(seq.rungs, par.rungs);
     }
 }

@@ -39,6 +39,12 @@ pub struct ConvergenceTrace {
     /// Whether the run reached its fixed point (no moves / replicator rest
     /// point) rather than the round cap.
     pub converged: bool,
+    /// Whether the run was cut short by a [`fta_core::CancelToken`]
+    /// (wall-clock budget or external cancellation) before reaching either
+    /// its fixed point or its round cap. Mutually exclusive with
+    /// `converged` for a single run; a merged trace can carry both when
+    /// different centers ended differently.
+    pub cancelled: bool,
     /// Counters of the best-response work performed by the run(s) behind
     /// this trace (summed across restarts and merged centers).
     pub stats: BestResponseStats,
@@ -159,6 +165,7 @@ impl ConvergenceTrace {
         }
         self.rounds = merged;
         self.converged = self.converged && other.converged;
+        self.cancelled = self.cancelled || other.cancelled;
     }
 }
 

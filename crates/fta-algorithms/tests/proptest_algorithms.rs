@@ -7,7 +7,7 @@ use fta_algorithms::{
     MptaConfig, SolveConfig,
 };
 use fta_core::iau::IauEvaluator;
-use fta_core::Instance;
+use fta_core::{Instance, SolveBudget};
 use fta_data::{generate_syn, SynConfig};
 use fta_vdps::{StrategySpace, VdpsConfig};
 use proptest::prelude::*;
@@ -53,9 +53,56 @@ proptest! {
                     vdps: VdpsConfig::unpruned(4),
                     algorithm,
                     parallel: false,
+                    ..SolveConfig::new(Algorithm::Gta)
                 },
             );
             prop_assert!(outcome.assignment.validate(&instance).is_ok());
+        }
+    }
+
+    /// A budget-exhausted solve may degrade all the way down the ladder
+    /// but must still return a *valid* partial assignment: deadline-feasible
+    /// routes, disjoint delivery points, workers bound to their own center.
+    #[test]
+    fn budget_exhausted_solves_return_valid_partial_assignments(
+        instance in arb_instance(),
+        budget_kind in 0usize..4,
+        cap in 1usize..16,
+    ) {
+        let budget = match budget_kind {
+            0 => SolveBudget::wall_ms(0),
+            1 => SolveBudget { max_states: Some(cap), ..SolveBudget::UNLIMITED },
+            2 => SolveBudget { max_rounds: Some(cap % 3), ..SolveBudget::UNLIMITED },
+            _ => SolveBudget {
+                wall_ms: Some(0),
+                max_states: Some(cap),
+                max_rounds: Some(1),
+            },
+        };
+        for algorithm in [
+            Algorithm::Gta,
+            Algorithm::Fgt(FgtConfig::default()),
+            Algorithm::Iegt(IegtConfig::default()),
+        ] {
+            let cfg = SolveConfig {
+                vdps: VdpsConfig::unpruned(4),
+                algorithm,
+                parallel: false,
+                budget,
+                ..SolveConfig::new(Algorithm::Gta)
+            };
+            let outcome = solve(&instance, &cfg);
+            prop_assert!(
+                outcome.assignment.validate(&instance).is_ok(),
+                "budget {budget:?} broke assignment validity"
+            );
+            // State-cap and round-cap budgets are deterministic (wall-clock
+            // budgets are not): identical runs give identical assignments.
+            if budget.wall_ms.is_none() {
+                let again = solve(&instance, &cfg);
+                prop_assert_eq!(&outcome.assignment, &again.assignment);
+                prop_assert_eq!(&outcome.degradation.events, &again.degradation.events);
+            }
         }
     }
 
@@ -150,6 +197,7 @@ proptest! {
                         vdps: VdpsConfig::unpruned(4),
                         algorithm,
                         parallel: false,
+                        ..SolveConfig::new(Algorithm::Gta)
                     },
                 )
                 .assignment

@@ -25,6 +25,7 @@ fn bench_redraw_policies(c: &mut Criterion) {
                     ..IegtConfig::default()
                 }),
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             };
             b.iter(|| black_box(solve(&instance, &cfg)));
         });
@@ -48,6 +49,7 @@ fn bench_fgt_restarts(c: &mut Criterion) {
                         ..FgtConfig::default()
                     }),
                     parallel: false,
+                    ..SolveConfig::new(Algorithm::Gta)
                 };
                 b.iter(|| black_box(solve(&instance, &cfg)));
             },
@@ -73,6 +75,7 @@ fn bench_iau_weights(c: &mut Criterion) {
                     ..FgtConfig::default()
                 }),
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             };
             b.iter(|| black_box(solve(&instance, &cfg)));
         });

@@ -28,6 +28,7 @@ fn bench_workers(c: &mut Criterion) {
                     vdps: VdpsConfig::pruned(2.0, 3),
                     algorithm,
                     parallel: false,
+                    ..SolveConfig::new(Algorithm::Gta)
                 };
                 b.iter(|| black_box(solve(&instance, &cfg)));
             });
@@ -46,6 +47,7 @@ fn bench_gm_default(c: &mut Criterion) {
                 vdps: VdpsConfig::pruned(0.6, 3),
                 algorithm,
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             };
             b.iter(|| black_box(solve(&instance, &cfg)));
         });

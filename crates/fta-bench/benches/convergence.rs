@@ -17,6 +17,7 @@ fn bench_to_equilibrium(c: &mut Criterion) {
                 vdps: VdpsConfig::pruned(2.0, 3),
                 algorithm: Algorithm::Fgt(FgtConfig::default()),
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             };
             b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
         });
@@ -25,6 +26,7 @@ fn bench_to_equilibrium(c: &mut Criterion) {
                 vdps: VdpsConfig::pruned(2.0, 3),
                 algorithm: Algorithm::Iegt(IegtConfig::default()),
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             };
             b.iter(|| black_box(solve(&instance, &cfg).trace.len()));
         });

@@ -46,6 +46,7 @@ fn bench_simulated_day(c: &mut Criterion) {
                     policy,
                     vdps: VdpsConfig::pruned(2.0, 3),
                     parallel: false,
+                    ..SimConfig::day(fta_algorithms::Algorithm::Gta)
                 };
                 b.iter(|| black_box(run(&scenario, &cfg)));
             });

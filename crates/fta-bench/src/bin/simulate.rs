@@ -147,6 +147,7 @@ fn main() -> ExitCode {
         policy,
         vdps: VdpsConfig::default(),
         parallel: false,
+        ..SimConfig::day(fta_algorithms::Algorithm::Gta)
     };
 
     if cli.compare {

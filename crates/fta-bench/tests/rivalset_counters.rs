@@ -24,6 +24,7 @@ fn incremental_engine_builds_at_least_5x_fewer_evaluators_per_round() {
                 ..FgtConfig::default()
             }),
             parallel: false,
+            ..SolveConfig::new(Algorithm::Gta)
         };
         solve(&instance, &cfg)
     };

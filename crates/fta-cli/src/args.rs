@@ -18,11 +18,25 @@ COMMANDS
 
   solve <INSTANCE> [--algo gta|mpta|fgt|iegt|random] [--epsilon E]
         [--max-len N] [--engine flat|hashmap] [--parallel] [--out FILE]
+        [--budget-ms MS] [--max-states N] [--max-rounds N]
         [--trace-out FILE] [--metrics-out FILE]
       Run an assignment algorithm; print the summary, optionally write
       the assignment JSON. With --trace-out / --metrics-out a telemetry
       recorder captures the run and writes a JSONL span/round trace and
-      a Prometheus text snapshot.
+      a Prometheus text snapshot. --budget-ms / --max-states /
+      --max-rounds bound the solve; on exhaustion the solver degrades
+      gracefully (truncated VDPS, GTA fallback, single-stop routes) and
+      reports the degradation events instead of overrunning.
+
+  simulate [--algo gta|mpta|fgt|iegt|random|immediate] [--seed S]
+           [--hours H] [--period-min M] [--workers N] [--dps N]
+           [--rate R] [--faults] [--fault-seed S] [--budget-ms MS]
+           [--trace-out FILE]
+      Run the streaming platform simulator for a working day and print
+      the longitudinal metrics. --faults enables the seeded
+      fault-injection plan (worker no-shows, mid-route dropouts, task
+      cancellations, travel-time inflation) with requeue-on-failure;
+      --budget-ms runs every assignment round under a wall-clock budget.
 
   obs-dump <TRACE> [--chrome]
       Summarise a JSONL telemetry trace written by solve --trace-out
@@ -91,12 +105,43 @@ pub enum Command {
         engine: VdpsEngine,
         /// Per-center threading.
         parallel: bool,
+        /// Wall-clock budget for the whole solve, milliseconds.
+        budget_ms: Option<u64>,
+        /// Per-center cap on retained VDPS DP states.
+        max_states: Option<usize>,
+        /// Cap on best-response rounds per equilibrium loop.
+        max_rounds: Option<usize>,
         /// Optional assignment output path.
         out: Option<PathBuf>,
         /// Optional JSONL telemetry trace output path.
         trace_out: Option<PathBuf>,
         /// Optional Prometheus text snapshot output path.
         metrics_out: Option<PathBuf>,
+    },
+    /// `fta simulate`
+    Simulate {
+        /// Dispatch policy name (`immediate` or an algorithm name).
+        policy: String,
+        /// Scenario seed.
+        seed: u64,
+        /// Simulated horizon, hours.
+        hours: f64,
+        /// Assignment period, minutes.
+        period_minutes: f64,
+        /// Number of couriers.
+        workers: usize,
+        /// Number of delivery points.
+        dps: usize,
+        /// Task arrivals per hour.
+        rate: f64,
+        /// Enable the stress fault plan.
+        faults: bool,
+        /// Seed of the fault plan (defaults to the scenario seed).
+        fault_seed: Option<u64>,
+        /// Per-round wall-clock solve budget, milliseconds.
+        budget_ms: Option<u64>,
+        /// Optional JSONL telemetry trace output path.
+        trace_out: Option<PathBuf>,
     },
     /// `fta obs-dump`
     ObsDump {
@@ -218,6 +263,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut max_len = 8usize;
             let mut engine = VdpsEngine::default();
             let mut parallel = false;
+            let mut budget_ms = None;
+            let mut max_states = None;
+            let mut max_rounds = None;
             let mut out = None;
             let mut trace_out = None;
             let mut metrics_out = None;
@@ -238,6 +286,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--max-len" => max_len = parse_num(value("--max-len")?, "--max-len")?,
                     "--engine" => engine = parse_engine(value("--engine")?)?,
                     "--parallel" => parallel = true,
+                    "--budget-ms" => {
+                        budget_ms = Some(parse_num(value("--budget-ms")?, "--budget-ms")?);
+                    }
+                    "--max-states" => {
+                        max_states = Some(parse_num(value("--max-states")?, "--max-states")?);
+                    }
+                    "--max-rounds" => {
+                        max_rounds = Some(parse_num(value("--max-rounds")?, "--max-rounds")?);
+                    }
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
                     "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
                     "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
@@ -254,9 +311,69 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 max_len,
                 engine,
                 parallel,
+                budget_ms,
+                max_states,
+                max_rounds,
                 out,
                 trace_out,
                 metrics_out,
+            })
+        }
+        "simulate" => {
+            let mut policy = "iegt".to_owned();
+            let mut seed = 42u64;
+            let mut hours = 2.0f64;
+            let mut period_minutes = 15.0f64;
+            let mut workers = 12usize;
+            let mut dps = 24usize;
+            let mut rate = 80.0f64;
+            let mut faults = false;
+            let mut fault_seed = None;
+            let mut budget_ms = None;
+            let mut trace_out = None;
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--algo" => policy = value("--algo")?.clone(),
+                    "--seed" => seed = parse_num(value("--seed")?, "--seed")?,
+                    "--hours" => hours = parse_num(value("--hours")?, "--hours")?,
+                    "--period-min" => {
+                        period_minutes = parse_num(value("--period-min")?, "--period-min")?;
+                    }
+                    "--workers" => workers = parse_num(value("--workers")?, "--workers")?,
+                    "--dps" => dps = parse_num(value("--dps")?, "--dps")?,
+                    "--rate" => rate = parse_num(value("--rate")?, "--rate")?,
+                    "--faults" => faults = true,
+                    "--fault-seed" => {
+                        fault_seed = Some(parse_num(value("--fault-seed")?, "--fault-seed")?);
+                    }
+                    "--budget-ms" => {
+                        budget_ms = Some(parse_num(value("--budget-ms")?, "--budget-ms")?);
+                    }
+                    "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+                    other => return Err(format!("unknown simulate flag `{other}`")),
+                }
+            }
+            if policy != "immediate" && algorithm_by_name(&policy).is_none() {
+                return Err(format!("unknown policy `{policy}`"));
+            }
+            if hours <= 0.0 || period_minutes <= 0.0 {
+                return Err("simulate needs positive --hours and --period-min".into());
+            }
+            Ok(Command::Simulate {
+                policy,
+                seed,
+                hours,
+                period_minutes,
+                workers,
+                dps,
+                rate,
+                faults,
+                fault_seed,
+                budget_ms,
+                trace_out,
             })
         }
         "obs-dump" => {
@@ -509,6 +626,100 @@ mod tests {
     fn schedule_requires_center_and_dps() {
         assert!(parse(&argv("schedule city.json --dps 1")).is_err());
         assert!(parse(&argv("schedule city.json --center 0")).is_err());
+    }
+
+    #[test]
+    fn solve_parses_budget_flags() {
+        let cmd = parse(&argv(
+            "solve city.json --algo fgt --budget-ms 250 --max-states 5000 --max-rounds 20",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Solve {
+                budget_ms,
+                max_states,
+                max_rounds,
+                ..
+            } => {
+                assert_eq!(budget_ms, Some(250));
+                assert_eq!(max_states, Some(5000));
+                assert_eq!(max_rounds, Some(20));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // All default to unlimited.
+        match parse(&argv("solve city.json")).unwrap() {
+            Command::Solve {
+                budget_ms,
+                max_states,
+                max_rounds,
+                ..
+            } => {
+                assert!(budget_ms.is_none());
+                assert!(max_states.is_none());
+                assert!(max_rounds.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simulate_with_faults_and_budget() {
+        let cmd = parse(&argv(
+            "simulate --algo gta --seed 7 --hours 1.5 --period-min 10 --workers 9 \
+             --dps 18 --rate 50 --faults --fault-seed 99 --budget-ms 5 --trace-out t.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                policy,
+                seed,
+                hours,
+                period_minutes,
+                workers,
+                dps,
+                rate,
+                faults,
+                fault_seed,
+                budget_ms,
+                trace_out,
+            } => {
+                assert_eq!(policy, "gta");
+                assert_eq!(seed, 7);
+                assert!((hours - 1.5).abs() < 1e-12);
+                assert!((period_minutes - 10.0).abs() < 1e-12);
+                assert_eq!(workers, 9);
+                assert_eq!(dps, 18);
+                assert!((rate - 50.0).abs() < 1e-12);
+                assert!(faults);
+                assert_eq!(fault_seed, Some(99));
+                assert_eq!(budget_ms, Some(5));
+                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_defaults_and_rejections() {
+        match parse(&argv("simulate")).unwrap() {
+            Command::Simulate {
+                policy,
+                faults,
+                fault_seed,
+                budget_ms,
+                ..
+            } => {
+                assert_eq!(policy, "iegt");
+                assert!(!faults);
+                assert!(fault_seed.is_none());
+                assert!(budget_ms.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("simulate --algo immediate")).is_ok());
+        assert!(parse(&argv("simulate --algo nope")).is_err());
+        assert!(parse(&argv("simulate --hours 0")).is_err());
     }
 
     #[test]

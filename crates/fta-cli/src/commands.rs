@@ -2,7 +2,7 @@
 
 use crate::args::Command;
 use fta_algorithms::{solve, SolveConfig};
-use fta_core::{CenterId, DeliveryPointId, WorkerId};
+use fta_core::{CenterId, DeliveryPointId, SolveBudget, WorkerId};
 use fta_data::io::{load_instance, save_assignment, save_instance};
 use fta_data::{generate_gmission, generate_syn, GMissionConfig, SynConfig};
 use fta_vdps::{schedule_route, VdpsConfig};
@@ -113,6 +113,9 @@ pub fn execute(command: &Command) -> Result<String, String> {
             max_len,
             engine,
             parallel,
+            budget_ms,
+            max_states,
+            max_rounds,
             out,
             trace_out,
             metrics_out,
@@ -123,6 +126,11 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 max_len: *max_len,
                 engine: *engine,
             };
+            let budget = SolveBudget {
+                wall_ms: *budget_ms,
+                max_states: *max_states,
+                max_rounds: *max_rounds,
+            };
             // Install the telemetry recorder only when a sink was asked
             // for; otherwise the emit paths stay single-atomic-load cheap.
             let recorder =
@@ -131,8 +139,9 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 &inst,
                 &SolveConfig {
                     vdps,
-                    algorithm: *algorithm,
                     parallel: *parallel,
+                    budget,
+                    ..SolveConfig::new(*algorithm)
                 },
             );
             let snapshot = recorder.map(fta_obs::Recorder::finish);
@@ -172,6 +181,108 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     std::fs::write(path, snapshot.to_prometheus()).map_err(|e| e.to_string())?;
                     let _ = writeln!(text, "metrics snapshot written to {}", path.display());
                 }
+            }
+            Ok(text)
+        }
+        Command::Simulate {
+            policy,
+            seed,
+            hours,
+            period_minutes,
+            workers,
+            dps,
+            rate,
+            faults,
+            fault_seed,
+            budget_ms,
+            trace_out,
+        } => {
+            use fta_sim::{DispatchPolicy, FaultPlan, Scenario, ScenarioConfig, SimConfig};
+            let scenario = Scenario::generate(
+                &ScenarioConfig {
+                    n_workers: *workers,
+                    n_delivery_points: *dps,
+                    arrival_rate: *rate,
+                    ..ScenarioConfig::default()
+                },
+                *hours,
+                *seed,
+            );
+            let dispatch = if policy == "immediate" {
+                DispatchPolicy::Immediate
+            } else {
+                let algorithm = crate::args::algorithm_by_name(policy)
+                    .ok_or_else(|| format!("unknown policy `{policy}`"))?;
+                DispatchPolicy::Batch(algorithm)
+            };
+            let mut config = SimConfig {
+                horizon: *hours,
+                assignment_period: period_minutes / 60.0,
+                policy: dispatch,
+                vdps: VdpsConfig::pruned(2.0, 3),
+                ..SimConfig::day(fta_algorithms::Algorithm::Gta)
+            };
+            if let Some(ms) = budget_ms {
+                config.budget = SolveBudget::wall_ms(*ms);
+            }
+            if *faults {
+                config.faults = Some(FaultPlan::stress(fault_seed.unwrap_or(*seed)));
+            }
+            let recorder = trace_out.is_some().then(fta_obs::Recorder::install);
+            let metrics = fta_sim::run(&scenario, &config);
+            let snapshot = recorder.map(fta_obs::Recorder::finish);
+
+            let mut text = format!(
+                "simulated {hours:.1} h, {} rounds ({policy} every {period_minutes:.0} min, {} couriers)\n",
+                metrics.rounds, workers,
+            );
+            let _ = writeln!(
+                text,
+                "tasks: {} arrived, {} completed ({:.1}%), {} expired, {} pending, {} cancelled, {} abandoned",
+                metrics.tasks_arrived,
+                metrics.tasks_completed,
+                100.0 * metrics.completion_rate(),
+                metrics.tasks_expired,
+                metrics.tasks_pending,
+                metrics.tasks_cancelled,
+                metrics.tasks_abandoned,
+            );
+            if config.faults.is_some() {
+                let _ = writeln!(
+                    text,
+                    "faults: {} no-shows, {} dropouts, {} requeues, {} tasks lost",
+                    metrics.worker_no_shows,
+                    metrics.route_dropouts,
+                    metrics.reassignments,
+                    metrics.tasks_lost_to_faults(),
+                );
+            }
+            if !config.budget.is_unlimited() {
+                let _ = writeln!(
+                    text,
+                    "degradation: {} of {} rounds degraded under the {} ms budget",
+                    metrics.degraded_rounds,
+                    metrics.rounds,
+                    config.budget.wall_ms.unwrap_or_default(),
+                );
+            }
+            let fairness = metrics.earnings_fairness();
+            let _ = writeln!(
+                text,
+                "earnings fairness: P_dif {:.4}, gini {:.4}, mean utilization {:.1}%",
+                fairness.payoff_difference,
+                fairness.gini,
+                100.0 * metrics.mean_utilization(),
+            );
+            if let (Some(snapshot), Some(path)) = (snapshot, trace_out.as_ref()) {
+                fta_obs::trace::write_file(&snapshot, path).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    text,
+                    "telemetry trace ({} spans, {} counters) written to {}",
+                    snapshot.spans.len(),
+                    snapshot.counters.len(),
+                    path.display()
+                );
             }
             Ok(text)
         }
@@ -264,8 +375,8 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     &inst,
                     &SolveConfig {
                         vdps,
-                        algorithm,
                         parallel: *parallel,
+                        ..SolveConfig::new(algorithm)
                     },
                 );
                 let report = outcome.assignment.fairness(&inst, &workers);
@@ -302,7 +413,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 }
             }
             match schedule_route(&inst, center, &dp_ids) {
-                Some(route) => {
+                Ok(Some(route)) => {
                     let stops: Vec<String> = route.dps().iter().map(ToString::to_string).collect();
                     Ok(format!(
                         "{} -> {} | travel from center {:.3} h, reward {:.2}, slack {:.3} h\n",
@@ -313,7 +424,8 @@ pub fn execute(command: &Command) -> Result<String, String> {
                         route.slack(),
                     ))
                 }
-                None => Err("no deadline-feasible visiting order exists for that set".into()),
+                Ok(None) => Err("no deadline-feasible visiting order exists for that set".into()),
+                Err(e) => Err(format!("invalid delivery-point set: {e}")),
             }
         }
     }
@@ -547,6 +659,67 @@ mod tests {
         }
         assert!(out.contains("P_dif"));
         let _ = std::fs::remove_file(&instance_path);
+    }
+
+    #[test]
+    fn solve_with_exhausted_budget_degrades_but_succeeds() {
+        let instance_path = temp("budget.json");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 13 --centers 2 --workers 8 --tasks 80 --dps 12 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        // A zero wall-clock budget forces every center onto the bottom
+        // rung; the command still exits successfully with a valid plan.
+        let cmd = parse(&argv(&format!(
+            "solve {} --algo iegt --budget-ms 0",
+            instance_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("degradation:"), "missing report in:\n{out}");
+        assert!(out.contains("fell back to single-stop routes"));
+
+        // Unbudgeted solves print no degradation line.
+        let cmd = parse(&argv(&format!(
+            "solve {} --algo iegt",
+            instance_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(!out.contains("degradation:"));
+
+        let _ = std::fs::remove_file(&instance_path);
+    }
+
+    #[test]
+    fn simulate_reports_faults_and_degradation() {
+        // No --trace-out here: the recorder is process-global and owned by
+        // the telemetry test.
+        let cmd = parse(&argv(
+            "simulate --algo gta --seed 3 --hours 1 --period-min 15 --workers 6 \
+             --dps 12 --rate 40 --faults --fault-seed 5 --budget-ms 0",
+        ))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("tasks:"), "missing task line in:\n{out}");
+        assert!(out.contains("faults:"), "missing fault line in:\n{out}");
+        assert!(
+            out.contains("rounds degraded under the 0 ms budget"),
+            "missing degradation line in:\n{out}"
+        );
+        assert!(out.contains("earnings fairness:"));
+
+        // Pristine runs print neither of the robustness lines.
+        let cmd = parse(&argv(
+            "simulate --algo gta --seed 3 --hours 1 --workers 6 --dps 12 --rate 40",
+        ))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(!out.contains("faults:"));
+        assert!(!out.contains("degraded under"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! fta solve city.json --algo iegt --out plan.json
 //! fta schedule city.json --center 0 --dps 3,7,12 # sequence a dp set
 //! fta compare city.json                          # all algorithms side by side
+//! fta simulate --algo iegt --faults --budget-ms 5 # a bad day, survived
 //! ```
 //!
 //! All argument parsing and command logic lives in this library crate so it

@@ -1,0 +1,197 @@
+//! Solve budgets and cooperative cancellation.
+//!
+//! The paper's algorithms are allowed to run unboundedly; a production
+//! dispatcher is not. A [`SolveBudget`] caps the resources one solve may
+//! consume — wall-clock time, DP state count during VDPS generation, and
+//! best-response/replicator rounds — and a [`CancelToken`] carries the
+//! budget's wall-clock deadline (plus any external cancellation request)
+//! into the hot loops, which check it at *layer*/*round* granularity so
+//! the common path stays branch-cheap and results stay bit-identical
+//! when no budget is configured.
+//!
+//! Budget exhaustion is not an error: solvers are expected to *degrade*
+//! (truncate the strategy pool, stop iterating, fall back to a simpler
+//! algorithm) and report what happened instead of dying.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource caps for one solve. `None` fields are unbounded; the default
+/// budget is fully unbounded, in which case the solve pipeline behaves
+/// bit-identically to an unbudgeted build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Wall-clock budget for the whole solve, in milliseconds.
+    pub wall_ms: Option<u64>,
+    /// Maximum number of DP states a single center's VDPS generation may
+    /// materialise before the pool is truncated at a layer boundary.
+    /// This cap is deterministic (independent of wall-clock and thread
+    /// count), unlike `wall_ms`.
+    pub max_states: Option<usize>,
+    /// Cap on best-response / replicator rounds per equilibrium loop,
+    /// applied on top of each algorithm's own `max_rounds`.
+    pub max_rounds: Option<usize>,
+}
+
+impl SolveBudget {
+    /// The fully unbounded budget (the default).
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        wall_ms: None,
+        max_states: None,
+        max_rounds: None,
+    };
+
+    /// A budget bounded only by wall-clock time.
+    #[must_use]
+    pub fn wall_ms(ms: u64) -> Self {
+        SolveBudget {
+            wall_ms: Some(ms),
+            ..Self::UNLIMITED
+        }
+    }
+
+    /// Whether every cap is `None` (the solve runs exactly as unbudgeted).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::UNLIMITED
+    }
+
+    /// Creates the cancellation token for one solve under this budget,
+    /// arming the wall-clock deadline if `wall_ms` is set.
+    #[must_use]
+    pub fn token(&self) -> CancelToken {
+        match self.wall_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        }
+    }
+}
+
+/// A shared, cheap-to-clone cancellation token.
+///
+/// Combines an explicit [`cancel`](CancelToken::cancel) flag with an
+/// optional wall-clock deadline. [`is_cancelled`](CancelToken::is_cancelled)
+/// latches the flag once the deadline passes, so all clones observe
+/// cancellation consistently after the first expired check.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; only [`cancel`](CancelToken::cancel)
+    /// trips it.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that trips automatically once `budget` wall-clock time has
+    /// elapsed (measured from construction).
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Requests cancellation: every clone's `is_cancelled` returns `true`
+    /// from now on.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    /// A passed deadline latches the cancelled flag.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.inner.cancelled.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The remaining time before the deadline trips, if one is armed.
+    /// `Duration::ZERO` once expired; `None` when no deadline exists.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(SolveBudget::default().is_unlimited());
+        assert!(SolveBudget::UNLIMITED.is_unlimited());
+        assert!(!SolveBudget::wall_ms(5).is_unlimited());
+    }
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_is_observed_by_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled());
+        // Latches: subsequent checks stay cancelled.
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn far_deadline_does_not_trip() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(token.remaining().expect("deadline armed") > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn budget_token_arms_deadline_only_when_wall_ms_set() {
+        assert!(SolveBudget::UNLIMITED.token().remaining().is_none());
+        assert!(SolveBudget::wall_ms(10_000).token().remaining().is_some());
+    }
+}

@@ -72,6 +72,20 @@ pub enum FtaError {
     /// A task is referenced but missing (e.g. a delivery point with no task
     /// set where one is required).
     UnknownTask(TaskId),
+    /// A solve phase ran out of budget (wall-clock deadline, state cap,
+    /// or round cap) and had to stop early.
+    BudgetExhausted {
+        /// The phase that hit its cap ("vdps", "assignment", ...).
+        phase: &'static str,
+    },
+    /// A per-center solve panicked and was quarantined by the panic
+    /// isolation layer instead of aborting the whole round.
+    CenterPanicked {
+        /// The distribution center whose solve panicked.
+        center: CenterId,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for FtaError {
@@ -124,6 +138,12 @@ impl fmt::Display for FtaError {
                 "{worker} assigned {delivery_point}, which belongs to a different distribution center"
             ),
             Self::UnknownTask(id) => write!(f, "unknown task {id}"),
+            Self::BudgetExhausted { phase } => {
+                write!(f, "solve budget exhausted during {phase}")
+            }
+            Self::CenterPanicked { center, message } => {
+                write!(f, "solve for {center} panicked: {message}")
+            }
         }
     }
 }

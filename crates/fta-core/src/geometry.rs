@@ -40,6 +40,14 @@ impl Point {
         dx * dx + dy * dy
     }
 
+    /// Whether both coordinates are finite (not NaN and not infinite).
+    /// Instances with non-finite coordinates are rejected at validation
+    /// time so the DP and payoff layers never see NaN travel times.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
     /// Travel time from `self` to `other` at `speed` km/h (`c(a, b)` in the
     /// paper), in hours.
     ///

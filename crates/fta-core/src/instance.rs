@@ -112,6 +112,12 @@ impl Instance {
                     found: c.id.0,
                 });
             }
+            if !c.location.is_finite() {
+                return Err(FtaError::InvalidField {
+                    field: "location",
+                    message: format!("{} has non-finite coordinates {:?}", c.id, c.location),
+                });
+            }
         }
         for (i, w) in self.workers.iter().enumerate() {
             if w.id.index() != i {
@@ -130,6 +136,12 @@ impl Instance {
                     message: format!("{} has maxDP = 0; must be at least 1", w.id),
                 });
             }
+            if !w.location.is_finite() {
+                return Err(FtaError::InvalidField {
+                    field: "location",
+                    message: format!("{} has non-finite coordinates {:?}", w.id, w.location),
+                });
+            }
         }
         for (i, dp) in self.delivery_points.iter().enumerate() {
             if dp.id.index() != i {
@@ -141,6 +153,12 @@ impl Instance {
             }
             if dp.center.index() >= self.centers.len() {
                 return Err(FtaError::UnknownCenter(dp.center));
+            }
+            if !dp.location.is_finite() {
+                return Err(FtaError::InvalidField {
+                    field: "location",
+                    message: format!("{} has non-finite coordinates {:?}", dp.id, dp.location),
+                });
             }
         }
         for (i, t) in self.tasks.iter().enumerate() {

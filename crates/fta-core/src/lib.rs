@@ -32,6 +32,7 @@
 #![deny(unsafe_code)]
 
 pub mod assignment;
+pub mod budget;
 pub mod builder;
 pub mod entities;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod priority;
 pub mod route;
 
 pub use assignment::Assignment;
+pub use budget::{CancelToken, SolveBudget};
 pub use entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
 pub use error::{FtaError, Result};
 pub use fairness::FairnessReport;

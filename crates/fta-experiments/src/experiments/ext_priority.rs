@@ -75,6 +75,7 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
                             vdps,
                             algorithm,
                             parallel: opts.parallel,
+                            ..SolveConfig::new(Algorithm::Gta)
                         },
                     );
                     let workers: Vec<WorkerId> = inst.workers.iter().map(|w| w.id).collect();

@@ -81,6 +81,7 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
                         policy,
                         vdps: VdpsConfig::pruned(2.0, 3),
                         parallel: opts.parallel,
+                        ..SimConfig::day(fta_algorithms::Algorithm::Gta)
                     },
                 );
                 let fairness = metrics.earnings_fairness();

@@ -37,6 +37,7 @@ pub fn render() -> String {
                 vdps: VdpsConfig::unpruned(3),
                 algorithm,
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         let payoffs = outcome.assignment.payoffs(&instance, &workers);
@@ -94,6 +95,7 @@ mod tests {
                     vdps: VdpsConfig::unpruned(3),
                     algorithm,
                     parallel: false,
+                    ..SolveConfig::new(Algorithm::Gta)
                 },
             )
             .assignment

@@ -54,6 +54,7 @@ pub fn measure(
             vdps,
             algorithm,
             parallel,
+            ..SolveConfig::new(algorithm)
         },
     );
     let workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();

@@ -1,14 +1,17 @@
 //! The discrete-event loop: periodic snapshot → solve → apply.
 
+use crate::faults::FaultPlan;
 use crate::metrics::{DayMetrics, WorkerLedger};
 use crate::scenario::{ArrivingTask, Scenario};
 use fta_algorithms::{solve, Algorithm, SolveConfig};
 use fta_core::entities::{SpatialTask, Worker};
 use fta_core::geometry::Point;
-use fta_core::ids::{TaskId, WorkerId};
+use fta_core::ids::{DeliveryPointId, TaskId, WorkerId};
 use fta_core::route::Route;
-use fta_core::Instance;
+use fta_core::{Instance, SolveBudget};
 use fta_vdps::VdpsConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Plans single-stop routes for the [`DispatchPolicy::Immediate`] baseline:
 /// per center, delivery points are served in earliest-deadline order, each
@@ -25,8 +28,7 @@ fn plan_immediate(snapshot: &Instance, idle: &[usize]) -> Vec<(usize, Route)> {
         dps.sort_by(|a, b| {
             aggs[a.index()]
                 .earliest_expiry
-                .partial_cmp(&aggs[b.index()].earliest_expiry)
-                .expect("expiries are not NaN")
+                .total_cmp(&aggs[b.index()].earliest_expiry)
         });
         for dp in dps {
             let route = Route::build(snapshot, &aggs, view.center, vec![dp])
@@ -44,7 +46,7 @@ fn plan_immediate(snapshot: &Instance, idle: &[usize]) -> Vec<(usize, Route)> {
                     (w, to_dc)
                 })
                 .filter(|&(_, to_dc)| route.is_valid_for_travel(to_dc))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are not NaN"));
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             if let Some((w, _)) = candidate {
                 used[w.index()] = true;
                 planned.push((idle[w.index()], route));
@@ -81,6 +83,15 @@ pub struct SimConfig {
     /// Solve distribution centers on separate threads (batch policies
     /// only).
     pub parallel: bool,
+    /// Per-round solve budget (batch policies only). Rounds whose solve
+    /// degrades down the ladder are counted in
+    /// [`DayMetrics::degraded_rounds`]. Defaults to
+    /// [`SolveBudget::UNLIMITED`], which leaves the solver untouched.
+    pub budget: SolveBudget,
+    /// Optional fault injection (see [`FaultPlan`]). `None` — the
+    /// default — runs the pristine simulation, bit-identical to builds
+    /// without the fault layer.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -93,7 +104,23 @@ impl SimConfig {
             policy: DispatchPolicy::Batch(algorithm),
             vdps: VdpsConfig::default(),
             parallel: false,
+            budget: SolveBudget::UNLIMITED,
+            faults: None,
         }
+    }
+
+    /// Sets the per-round solve budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables fault injection with the given plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 
@@ -104,6 +131,51 @@ pub type SimReport = DayMetrics;
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     task: ArrivingTask,
+    /// Instant at which the requester cancels this task, if the fault
+    /// plan decided so at ingest.
+    cancel_at: Option<f64>,
+    /// Times this task has been requeued after a failed route.
+    retries: u32,
+    /// Retry backoff: the task is excluded from round snapshots until
+    /// this instant.
+    eligible_after: f64,
+}
+
+/// Builds a [`Pending`] entry, drawing the cancellation fate from the
+/// fault RNG when a plan with `p_cancel > 0` is active.
+fn make_pending(task: ArrivingTask, plan: Option<&FaultPlan>, rng: Option<&mut StdRng>) -> Pending {
+    let cancel_at = match (plan, rng) {
+        (Some(plan), Some(rng)) if plan.p_cancel > 0.0 => {
+            if rng.gen_range(0.0..1.0) < plan.p_cancel {
+                Some(if task.deadline > task.arrival {
+                    rng.gen_range(task.arrival..task.deadline)
+                } else {
+                    task.arrival
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    Pending {
+        task,
+        cancel_at,
+        retries: 0,
+        eligible_after: 0.0,
+    }
+}
+
+/// A log-normal multiplicative factor with median 1 (Box–Muller), or
+/// exactly 1 when `sigma` is zero (no RNG draw in that case).
+fn lognormal_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
 }
 
 /// Runs the simulation.
@@ -128,35 +200,77 @@ struct Pending {
 /// assert!(metrics.completion_rate() <= 1.0);
 /// ```
 ///
+/// # Faults and budgets
+///
+/// With [`SimConfig::faults`] set, the engine layers a deterministic
+/// adversary over the day (see [`FaultPlan`]): assigned routes may be
+/// refused outright (*no-show*) or abandoned after a prefix of stops
+/// (*dropout*), in which case the undelivered tasks are **requeued** with
+/// a backoff window and a bounded retry count, after which they are
+/// abandoned. Requesters may cancel tasks, and executed travel times may
+/// be inflated log-normally (delaying the worker's return to the idle
+/// pool). With [`SimConfig::budget`] set, every round's solve runs under
+/// that budget and rounds that degrade are counted. Both default to off,
+/// in which case this function behaves identically to the pristine
+/// engine.
+///
 /// # Panics
 ///
-/// Panics if the horizon or the assignment period is not positive.
+/// Panics if the horizon or the assignment period is not positive, or if
+/// the fault plan fails [`FaultPlan::validate`].
 #[must_use]
 pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
     assert!(
         config.horizon > 0.0 && config.assignment_period > 0.0,
         "horizon and assignment period must be positive"
     );
+    if let Some(plan) = &config.faults {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+    }
     let n_workers = scenario.workers.len();
     let mut ledgers = vec![WorkerLedger::default(); n_workers];
     let mut busy_until = vec![0.0_f64; n_workers];
     let mut location: Vec<Point> = scenario.workers.iter().map(|w| w.location).collect();
 
+    let plan = config.faults;
+    let mut fault_rng: Option<StdRng> = plan.map(|p| StdRng::seed_from_u64(p.seed));
+
     let mut pending: Vec<Pending> = Vec::new();
     let mut next_arrival = 0usize;
     let mut tasks_completed = 0usize;
     let mut tasks_expired = 0usize;
+    let mut tasks_cancelled = 0usize;
+    let mut tasks_abandoned = 0usize;
+    let mut reassignments = 0usize;
+    let mut worker_no_shows = 0usize;
+    let mut route_dropouts = 0usize;
+    let mut degraded_rounds = 0usize;
     let mut rounds = 0usize;
 
     let mut now = config.assignment_period;
     while now <= config.horizon + 1e-12 {
         // Ingest arrivals up to this round.
         while next_arrival < scenario.tasks.len() && scenario.tasks[next_arrival].arrival <= now {
-            pending.push(Pending {
-                task: scenario.tasks[next_arrival],
-            });
+            pending.push(make_pending(
+                scenario.tasks[next_arrival],
+                plan.as_ref(),
+                fault_rng.as_mut(),
+            ));
             next_arrival += 1;
         }
+        // Requester cancellations fire before the expiry sweep (a task
+        // cancelled before its deadline counts as cancelled, not expired).
+        pending.retain(|p| {
+            if p.cancel_at.is_some_and(|c| c <= now) {
+                tasks_cancelled += 1;
+                fta_obs::counter("sim.cancelled", 1);
+                false
+            } else {
+                true
+            }
+        });
         // Drop tasks that expired while waiting.
         pending.retain(|p| {
             if p.task.deadline <= now {
@@ -167,9 +281,10 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
             }
         });
 
-        // Snapshot idle workers.
+        // Snapshot idle workers and backoff-eligible pending tasks.
         let idle: Vec<usize> = (0..n_workers).filter(|&w| busy_until[w] <= now).collect();
-        if !idle.is_empty() && !pending.is_empty() {
+        let any_eligible = pending.iter().any(|p| p.eligible_after <= now);
+        if !idle.is_empty() && any_eligible {
             rounds += 1;
             let _tick_span = fta_obs::span("sim.tick");
             fta_obs::counter("sim.rounds", 1);
@@ -186,6 +301,7 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
                 .collect();
             let snapshot_tasks: Vec<SpatialTask> = pending
                 .iter()
+                .filter(|p| p.eligible_after <= now)
                 .enumerate()
                 .map(|(dense, p)| SpatialTask {
                     id: TaskId::from_index(dense),
@@ -216,9 +332,15 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
                                 vdps: config.vdps,
                                 algorithm,
                                 parallel: config.parallel,
+                                budget: config.budget,
+                                ..SolveConfig::new(Algorithm::Gta)
                             },
                         );
                         debug_assert!(outcome.assignment.validate(&instance).is_ok());
+                        if outcome.is_degraded() {
+                            degraded_rounds += 1;
+                            fta_obs::counter("sim.degraded_rounds", 1);
+                        }
                         outcome
                             .assignment
                             .iter()
@@ -229,33 +351,104 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
                 }
             };
 
-            // Apply each planned route.
-            let mut delivered_dps: Vec<fta_core::DeliveryPointId> = Vec::new();
+            // Apply each planned route, subjecting it to the fault plan:
+            // a no-show leaves the worker idle and fails every stop; a
+            // dropout delivers a prefix of stops and fails the rest;
+            // inflation stretches the executed travel time.
+            let mut delivered_dps: Vec<DeliveryPointId> = Vec::new();
+            let mut failed_dps: Vec<DeliveryPointId> = Vec::new();
             for (orig, route) in &planned {
                 let orig = *orig;
+                let mut served: &[DeliveryPointId] = route.dps();
+                if let (Some(plan), Some(rng)) = (plan.as_ref(), fault_rng.as_mut()) {
+                    if plan.p_no_show > 0.0 && rng.gen_range(0.0..1.0) < plan.p_no_show {
+                        worker_no_shows += 1;
+                        fta_obs::counter("sim.no_shows", 1);
+                        failed_dps.extend_from_slice(route.dps());
+                        continue; // the worker never moves and stays idle
+                    }
+                    if plan.p_dropout > 0.0 && rng.gen_range(0.0..1.0) < plan.p_dropout {
+                        route_dropouts += 1;
+                        fta_obs::counter("sim.dropouts", 1);
+                        let stops = rng.gen_range(0..route.len());
+                        served = &route.dps()[..stops];
+                        failed_dps.extend_from_slice(&route.dps()[stops..]);
+                    }
+                }
                 let dc = scenario.centers[route.center().index()].location;
                 let to_dc = location[orig].travel_time(dc, scenario.config.speed);
-                let total = to_dc + route.travel_from_dc();
-                busy_until[orig] = now + total;
-                let last_dp = *route.dps().last().expect("routes are non-empty");
-                location[orig] = scenario.delivery_points[last_dp.index()].location;
+                // Completed routes reuse the precomputed route time (the
+                // pristine code path, bit-for-bit); truncated routes are
+                // re-walked leg by leg up to the last stop served.
+                let travel = if served.len() == route.len() {
+                    to_dc + route.travel_from_dc()
+                } else {
+                    let mut t = to_dc;
+                    let mut at = dc;
+                    for dp in served {
+                        let next = scenario.delivery_points[dp.index()].location;
+                        t += at.travel_time(next, scenario.config.speed);
+                        at = next;
+                    }
+                    t
+                };
+                let travel = match (plan.as_ref(), fault_rng.as_mut()) {
+                    (Some(plan), Some(rng)) => travel * lognormal_factor(rng, plan.travel_sigma),
+                    _ => travel,
+                };
+                busy_until[orig] = now + travel;
+                location[orig] = match served.last() {
+                    Some(dp) => scenario.delivery_points[dp.index()].location,
+                    // Dropped out before the first stop: stranded at the dc.
+                    None => dc,
+                };
 
+                let on_manifest = |p: &Pending| {
+                    p.eligible_after <= now && served.contains(&p.task.delivery_point)
+                };
                 let ledger = &mut ledgers[orig];
-                ledger.earnings += route.total_reward();
-                ledger.busy_hours += total;
+                ledger.earnings += if served.len() == route.len() {
+                    route.total_reward()
+                } else {
+                    pending
+                        .iter()
+                        .filter(|p| on_manifest(p))
+                        .map(|p| p.task.reward)
+                        .sum()
+                };
+                ledger.busy_hours += travel;
                 ledger.routes += 1;
-                ledger.tasks_delivered += pending
-                    .iter()
-                    .filter(|p| route.dps().contains(&p.task.delivery_point))
-                    .count();
-                delivered_dps.extend_from_slice(route.dps());
+                ledger.tasks_delivered += pending.iter().filter(|p| on_manifest(p)).count();
+                delivered_dps.extend_from_slice(served);
             }
             // All pending tasks at a served delivery point are delivered
             // (Definition 2: a route serves the full task set of each dp).
             if !delivered_dps.is_empty() {
                 let before = pending.len();
-                pending.retain(|p| !delivered_dps.contains(&p.task.delivery_point));
+                pending.retain(|p| {
+                    !(p.eligible_after <= now && delivered_dps.contains(&p.task.delivery_point))
+                });
                 tasks_completed += before - pending.len();
+            }
+            // Requeue-on-failure with bounded retries: every task on a
+            // failed manifest either returns to the pool with a backoff
+            // window or, once its retry budget is spent, is abandoned.
+            if !failed_dps.is_empty() {
+                let plan = plan.expect("failed stops can only come from a fault plan");
+                pending.retain_mut(|p| {
+                    if p.eligible_after <= now && failed_dps.contains(&p.task.delivery_point) {
+                        if p.retries >= plan.max_retries {
+                            tasks_abandoned += 1;
+                            fta_obs::counter("sim.abandoned", 1);
+                            return false;
+                        }
+                        p.retries += 1;
+                        p.eligible_after = now + plan.backoff;
+                        reassignments += 1;
+                        fta_obs::counter("sim.retries", 1);
+                    }
+                    true
+                });
             }
         }
         now += config.assignment_period;
@@ -264,16 +457,21 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
     // Arrivals after the final assignment round were never snapshotted;
     // ingest them so the end-of-horizon accounting covers every task.
     while next_arrival < scenario.tasks.len() {
-        pending.push(Pending {
-            task: scenario.tasks[next_arrival],
-        });
+        pending.push(make_pending(
+            scenario.tasks[next_arrival],
+            plan.as_ref(),
+            fault_rng.as_mut(),
+        ));
         next_arrival += 1;
     }
 
-    // Anything past its deadline at the horizon is lost; the rest pends.
+    // Cancellation fires first, then anything past its deadline at the
+    // horizon is lost; the rest pends.
     let mut tasks_pending = 0usize;
     for p in &pending {
-        if p.task.deadline <= config.horizon {
+        if p.cancel_at.is_some_and(|c| c <= config.horizon) {
+            tasks_cancelled += 1;
+        } else if p.task.deadline <= config.horizon {
             tasks_expired += 1;
         } else {
             tasks_pending += 1;
@@ -286,6 +484,12 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
         tasks_completed,
         tasks_expired,
         tasks_pending,
+        tasks_cancelled,
+        tasks_abandoned,
+        reassignments,
+        worker_no_shows,
+        route_dropouts,
+        degraded_rounds,
         rounds,
         horizon: config.horizon,
     }
@@ -315,9 +519,8 @@ mod tests {
         SimConfig {
             horizon: 2.0,
             assignment_period: 0.25,
-            policy: DispatchPolicy::Batch(algorithm),
             vdps: VdpsConfig::pruned(1.5, 3),
-            parallel: false,
+            ..SimConfig::day(algorithm)
         }
     }
 
@@ -408,6 +611,130 @@ mod tests {
             m.tasks_completed > 0,
             "immediate dispatch delivered nothing"
         );
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_per_seed() {
+        let scenario = small_scenario(11);
+        let cfg = config(Algorithm::Gta).with_faults(FaultPlan::stress(77));
+        let a = run(&scenario, &cfg);
+        let b = run(&scenario, &cfg);
+        assert_eq!(a, b, "same fault seed must reproduce the same day");
+        let c = run(
+            &scenario,
+            &config(Algorithm::Gta).with_faults(FaultPlan::stress(78)),
+        );
+        assert_ne!(a, c, "different fault seeds should diverge");
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_changes_nothing() {
+        let scenario = small_scenario(12);
+        let pristine = run(&scenario, &config(Algorithm::Gta));
+        let with_inert_plan = run(
+            &scenario,
+            &config(Algorithm::Gta).with_faults(FaultPlan::none(123)),
+        );
+        assert_eq!(pristine, with_inert_plan);
+    }
+
+    #[test]
+    fn faults_conserve_task_accounting() {
+        let scenario = small_scenario(13);
+        let m = run(
+            &scenario,
+            &config(Algorithm::Gta).with_faults(FaultPlan::stress(5)),
+        );
+        assert!(m.is_conserved(), "accounting broken: {m:?}");
+        assert!(
+            m.worker_no_shows + m.route_dropouts > 0,
+            "stress plan injected no route faults over a 2 h day"
+        );
+        assert!(
+            m.reassignments + m.tasks_abandoned > 0,
+            "route faults produced neither requeues nor abandonments"
+        );
+        let delivered: usize = m.ledgers.iter().map(|l| l.tasks_delivered).sum();
+        assert_eq!(delivered, m.tasks_completed);
+    }
+
+    #[test]
+    fn zero_retry_budget_abandons_on_first_failure() {
+        let scenario = small_scenario(14);
+        let plan = FaultPlan {
+            p_no_show: 1.0, // every route fails before starting
+            max_retries: 0, // and every failure abandons its tasks
+            ..FaultPlan::none(3)
+        };
+        let m = run(&scenario, &config(Algorithm::Gta).with_faults(plan));
+        assert_eq!(m.tasks_completed, 0, "no route ever starts");
+        assert_eq!(m.reassignments, 0, "zero retry budget forbids requeues");
+        assert!(m.tasks_abandoned > 0);
+        assert!(m.worker_no_shows > 0);
+        assert!(m.is_conserved());
+        // No-show workers never move or accrue hours.
+        for l in &m.ledgers {
+            assert_eq!(l.tasks_delivered, 0);
+            assert!(l.busy_hours == 0.0);
+        }
+    }
+
+    #[test]
+    fn retries_requeue_before_abandoning() {
+        let scenario = small_scenario(15);
+        let plan = FaultPlan {
+            p_no_show: 1.0,
+            max_retries: 2,
+            backoff: 0.25,
+            ..FaultPlan::none(3)
+        };
+        let m = run(&scenario, &config(Algorithm::Gta).with_faults(plan));
+        assert_eq!(m.tasks_completed, 0);
+        assert!(m.reassignments > 0, "with retries left, failures requeue");
+        assert!(m.is_conserved());
+    }
+
+    #[test]
+    fn cancellations_remove_tasks_before_dispatch() {
+        let scenario = small_scenario(16);
+        let plan = FaultPlan {
+            p_cancel: 1.0, // every task is cancelled some time before its deadline
+            ..FaultPlan::none(4)
+        };
+        let m = run(&scenario, &config(Algorithm::Gta).with_faults(plan));
+        assert!(m.tasks_cancelled > 0);
+        assert!(m.is_conserved());
+    }
+
+    #[test]
+    fn budgeted_rounds_degrade_and_stay_deterministic() {
+        use fta_core::SolveBudget;
+        let scenario = small_scenario(17);
+        let cfg =
+            config(Algorithm::Iegt(IegtConfig::default())).with_budget(SolveBudget::wall_ms(0));
+        let a = run(&scenario, &cfg);
+        let b = run(&scenario, &cfg);
+        assert_eq!(
+            a, b,
+            "an already-expired deadline degrades deterministically"
+        );
+        assert!(a.rounds > 0);
+        assert_eq!(
+            a.degraded_rounds, a.rounds,
+            "every budgeted round should fall to the bottom rung"
+        );
+        assert!(a.is_conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plan_is_rejected() {
+        let scenario = small_scenario(18);
+        let plan = FaultPlan {
+            p_no_show: 2.0,
+            ..FaultPlan::none(0)
+        };
+        let _ = run(&scenario, &config(Algorithm::Gta).with_faults(plan));
     }
 
     #[test]

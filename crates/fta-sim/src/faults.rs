@@ -1,0 +1,167 @@
+//! Seeded fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes a deterministic stochastic adversary layered
+//! over a simulation run: couriers who accept a route and never start it,
+//! couriers who abandon mid-route, requesters who cancel tasks after
+//! posting them, and travel times that come in worse than planned. The
+//! plan carries its own seed, so the same `(Scenario, SimConfig)` pair
+//! always produces the same faults and therefore the same
+//! [`DayMetrics`](crate::DayMetrics) — chaos, but reproducible chaos.
+//!
+//! The engine reacts with *requeue-on-failure*: tasks on a failed route
+//! return to the pending pool with a retry counter and a backoff window,
+//! and are abandoned once the retry budget is exhausted. See
+//! [`run`](crate::run) for the exact mechanics.
+
+/// A deterministic fault-injection plan for one simulation run.
+///
+/// All probabilities are per-event Bernoulli draws from a dedicated RNG
+/// seeded with [`FaultPlan::seed`]; setting every rate to zero yields a
+/// plan that provably changes nothing (the fault RNG never feeds back
+/// into dispatch decisions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG (independent of the scenario seed).
+    pub seed: u64,
+    /// Probability that an assigned worker never starts the route
+    /// (a *no-show*): the worker stays idle and every task on the route
+    /// is requeued.
+    pub p_no_show: f64,
+    /// Probability that a worker abandons a started route partway
+    /// (a *dropout*): a uniformly drawn prefix of stops is delivered and
+    /// the tasks at the remaining stops are requeued.
+    pub p_dropout: f64,
+    /// Probability that an arriving task is cancelled by its requester
+    /// at a uniformly drawn instant between arrival and deadline.
+    pub p_cancel: f64,
+    /// Log-normal travel-time inflation: each executed route's travel
+    /// time is multiplied by `exp(travel_sigma * z)` with `z` standard
+    /// normal. Zero disables inflation. Inflation delays the worker's
+    /// return to the idle pool (and accrues busy hours) but does not
+    /// retroactively fail deliveries.
+    pub travel_sigma: f64,
+    /// How many times a task may be requeued after failed routes before
+    /// it is abandoned. `0` means any failure abandons the task.
+    pub max_retries: u32,
+    /// Hours a requeued task must wait before it is eligible for
+    /// reassignment (a retry backoff).
+    pub backoff: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            p_no_show: 0.0,
+            p_dropout: 0.0,
+            p_cancel: 0.0,
+            travel_sigma: 0.0,
+            max_retries: 0,
+            backoff: 0.0,
+        }
+    }
+
+    /// A stress preset: 10% no-shows, 5% dropouts, 5% cancellations,
+    /// moderate travel inflation, two retries with a 15-minute backoff.
+    #[must_use]
+    pub fn stress(seed: u64) -> Self {
+        Self {
+            seed,
+            p_no_show: 0.10,
+            p_dropout: 0.05,
+            p_cancel: 0.05,
+            travel_sigma: 0.25,
+            max_retries: 2,
+            backoff: 0.25,
+        }
+    }
+
+    /// Whether every fault channel is disabled.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.p_no_show == 0.0
+            && self.p_dropout == 0.0
+            && self.p_cancel == 0.0
+            && self.travel_sigma == 0.0
+    }
+
+    /// Validates the plan: probabilities in `[0, 1]`, non-negative and
+    /// finite sigma/backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("p_no_show", self.p_no_show),
+            ("p_dropout", self.p_dropout),
+            ("p_cancel", self.p_cancel),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        if !self.travel_sigma.is_finite() || self.travel_sigma < 0.0 {
+            return Err(format!(
+                "travel_sigma must be finite and >= 0, got {}",
+                self.travel_sigma
+            ));
+        }
+        if !self.backoff.is_finite() || self.backoff < 0.0 {
+            return Err(format!(
+                "backoff must be finite and >= 0, got {}",
+                self.backoff
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none_and_valid() {
+        let p = FaultPlan::none(1);
+        assert!(p.is_none());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn stress_is_faulty_and_valid() {
+        let p = FaultPlan::stress(1);
+        assert!(!p.is_none());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_fields() {
+        assert!(FaultPlan {
+            p_no_show: 1.5,
+            ..FaultPlan::none(0)
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            p_cancel: -0.1,
+            ..FaultPlan::none(0)
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            travel_sigma: f64::NAN,
+            ..FaultPlan::none(0)
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            backoff: -1.0,
+            ..FaultPlan::none(0)
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -18,7 +18,11 @@
 //!   complete or expire);
 //! * [`metrics`] — longitudinal outcomes: per-worker cumulative earnings,
 //!   task completion/expiration counts, utilisation, and end-of-day
-//!   earnings fairness.
+//!   earnings fairness;
+//! * [`faults`] — a seeded fault-injection layer (worker no-shows,
+//!   mid-route dropouts, task cancellations, log-normal travel-time
+//!   inflation) with requeue-on-failure and bounded retries, for testing
+//!   how the assignment algorithms hold up on a bad day.
 //!
 //! The headline use: compare GTA and IEGT not on one assignment but on a
 //! simulated working day, where the paper's motivation — fair payoffs keep
@@ -29,9 +33,11 @@
 #![deny(unsafe_code)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod scenario;
 
 pub use engine::{run, DispatchPolicy, SimConfig, SimReport};
+pub use faults::FaultPlan;
 pub use metrics::{DayMetrics, WorkerLedger};
 pub use scenario::{Scenario, ScenarioConfig};

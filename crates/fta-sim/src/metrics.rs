@@ -17,7 +17,11 @@ pub struct WorkerLedger {
 }
 
 /// End-of-horizon metrics of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Task accounting is conserved even under fault injection:
+/// `tasks_completed + tasks_expired + tasks_pending + tasks_cancelled +
+/// tasks_abandoned == tasks_arrived`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DayMetrics {
     /// One ledger per worker, indexed by [`WorkerId`].
     pub ledgers: Vec<WorkerLedger>,
@@ -29,6 +33,21 @@ pub struct DayMetrics {
     pub tasks_expired: usize,
     /// Tasks still pending when the horizon ended.
     pub tasks_pending: usize,
+    /// Tasks cancelled by their requester (fault injection).
+    pub tasks_cancelled: usize,
+    /// Tasks dropped after exhausting their requeue retry budget
+    /// (fault injection).
+    pub tasks_abandoned: usize,
+    /// Task-requeue events: each time a failed route returned a task to
+    /// the pending pool for another attempt.
+    pub reassignments: usize,
+    /// Routes whose assigned worker never started them (fault injection).
+    pub worker_no_shows: usize,
+    /// Routes abandoned partway by their worker (fault injection).
+    pub route_dropouts: usize,
+    /// Assignment rounds whose solve degraded down the ladder (budgeted
+    /// runs only; see `fta_algorithms::DegradationReport`).
+    pub degraded_rounds: usize,
     /// Number of assignment rounds executed.
     pub rounds: usize,
     /// Simulated horizon, hours.
@@ -43,6 +62,26 @@ impl DayMetrics {
             return 1.0;
         }
         self.tasks_completed as f64 / self.tasks_arrived as f64
+    }
+
+    /// Tasks lost to faults: cancelled by requesters plus abandoned after
+    /// exhausting their retry budget.
+    #[must_use]
+    pub fn tasks_lost_to_faults(&self) -> usize {
+        self.tasks_cancelled + self.tasks_abandoned
+    }
+
+    /// Whether the task accounting identity holds (`completed + expired +
+    /// pending + cancelled + abandoned == arrived`). Always true for
+    /// engine-produced metrics; useful as a test invariant.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.tasks_completed
+            + self.tasks_expired
+            + self.tasks_pending
+            + self.tasks_cancelled
+            + self.tasks_abandoned
+            == self.tasks_arrived
     }
 
     /// Per-worker earnings, in worker-id order.
@@ -78,11 +117,7 @@ impl DayMetrics {
             .iter()
             .enumerate()
             .filter(|(_, l)| l.earnings > 0.0)
-            .max_by(|a, b| {
-                a.1.earnings
-                    .partial_cmp(&b.1.earnings)
-                    .expect("earnings are not NaN")
-            })
+            .max_by(|a, b| a.1.earnings.total_cmp(&b.1.earnings))
             .map(|(i, l)| (WorkerId::from_index(i), l.earnings))
     }
 }
@@ -108,6 +143,7 @@ mod tests {
             tasks_pending: 1,
             rounds: 4,
             horizon: 8.0,
+            ..DayMetrics::default()
         }
     }
 
@@ -119,15 +155,7 @@ mod tests {
 
     #[test]
     fn empty_day_is_vacuously_complete() {
-        let m = DayMetrics {
-            ledgers: vec![],
-            tasks_arrived: 0,
-            tasks_completed: 0,
-            tasks_expired: 0,
-            tasks_pending: 0,
-            rounds: 0,
-            horizon: 0.0,
-        };
+        let m = DayMetrics::default();
         assert_eq!(m.completion_rate(), 1.0);
         assert_eq!(m.mean_utilization(), 0.0);
         assert!(m.top_earner().is_none());
@@ -145,6 +173,28 @@ mod tests {
     fn utilization_is_busy_over_horizon() {
         let m = metrics(&[1.0, 1.0]);
         assert!((m.mean_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_accounts_for_fault_losses() {
+        let mut m = metrics(&[1.0]);
+        assert!(m.is_conserved());
+        m.tasks_cancelled = 1;
+        assert!(!m.is_conserved());
+        m.tasks_arrived += 1;
+        assert!(m.is_conserved());
+        m.tasks_abandoned = 2;
+        m.tasks_arrived += 2;
+        assert!(m.is_conserved());
+        assert_eq!(m.tasks_lost_to_faults(), 3);
+    }
+
+    #[test]
+    fn top_earner_is_nan_robust() {
+        let m = metrics(&[1.0, f64::NAN, 3.0]);
+        // total_cmp orders NaN above every finite value; the point is that
+        // this must not panic even on poisoned ledgers.
+        assert!(m.top_earner().is_some());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! physical plausibility must hold for every scenario and policy.
 
 use fta_algorithms::{Algorithm, IegtConfig};
-use fta_sim::{run, Scenario, ScenarioConfig, SimConfig};
+use fta_sim::{run, FaultPlan, Scenario, ScenarioConfig, SimConfig};
 use fta_vdps::VdpsConfig;
 use proptest::prelude::*;
 
@@ -40,8 +40,37 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
             Algorithm::Gta
         }),
         vdps: VdpsConfig::pruned(1.5, 3),
-        parallel: false,
+        ..SimConfig::day(Algorithm::Gta)
     })
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultPlan> {
+    (
+        (
+            0u64..1000,  // fault seed
+            0.0f64..0.5, // no-show rate
+            0.0f64..0.5, // dropout rate
+            0.0f64..0.5, // cancel rate
+        ),
+        (
+            0.0f64..0.5, // travel sigma
+            0u32..4,     // retry budget
+            0.0f64..0.5, // backoff hours
+        ),
+    )
+        .prop_map(
+            |((seed, p_no_show, p_dropout, p_cancel), (travel_sigma, max_retries, backoff))| {
+                FaultPlan {
+                    seed,
+                    p_no_show,
+                    p_dropout,
+                    p_cancel,
+                    travel_sigma,
+                    max_retries,
+                    backoff,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -92,5 +121,26 @@ proptest! {
     #[test]
     fn runs_are_deterministic(scenario in arb_scenario(), config in arb_config()) {
         prop_assert_eq!(run(&scenario, &config), run(&scenario, &config));
+    }
+
+    #[test]
+    fn faulted_runs_conserve_tasks_and_are_deterministic(
+        scenario in arb_scenario(),
+        config in arb_config(),
+        plan in arb_faults(),
+    ) {
+        let cfg = config.with_faults(plan);
+        let m = run(&scenario, &cfg);
+        prop_assert_eq!(m.tasks_arrived, scenario.tasks.len());
+        prop_assert!(
+            m.is_conserved(),
+            "completed {} + expired {} + pending {} + cancelled {} + abandoned {} != arrived {}",
+            m.tasks_completed, m.tasks_expired, m.tasks_pending,
+            m.tasks_cancelled, m.tasks_abandoned, m.tasks_arrived
+        );
+        let delivered: usize = m.ledgers.iter().map(|l| l.tasks_delivered).sum();
+        prop_assert_eq!(delivered, m.tasks_completed);
+        // Same scenario + same fault seed reproduces the same day.
+        prop_assert_eq!(m, run(&scenario, &cfg));
     }
 }

@@ -43,7 +43,7 @@
 //! (continuous coordinates) make exact ties measure-zero.
 
 use crate::config::VdpsConfig;
-use crate::generator::{GenerationStats, Vdps};
+use crate::generator::{GenControl, GenerationStats, Vdps};
 use crate::grid::NeighborIndex;
 use crate::pool::TaskScope;
 use fta_core::instance::{CenterView, DpAggregate, Instance};
@@ -526,6 +526,26 @@ pub fn generate_c_vdps_flat(
     config: &VdpsConfig,
     scope: Option<&TaskScope<'_>>,
 ) -> (Vec<Vdps>, GenerationStats) {
+    generate_c_vdps_flat_budgeted(instance, aggregates, view, config, scope, GenControl::NONE)
+}
+
+/// [`generate_c_vdps_flat`] with a [`GenControl`] checked between DP
+/// layers: once the control trips (state cap reached or the cancellation
+/// token fired), no further layer is expanded and the completed layers
+/// emit as a valid, truncated pool.
+///
+/// # Panics
+///
+/// Panics if the center has more than 128 task-bearing delivery points.
+#[must_use]
+pub fn generate_c_vdps_flat_budgeted(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+    scope: Option<&TaskScope<'_>>,
+    control: GenControl<'_>,
+) -> (Vec<Vdps>, GenerationStats) {
     let n = view.dps.len();
     assert!(
         n <= 128,
@@ -599,8 +619,15 @@ pub fn generate_c_vdps_flat(
         slots,
     })];
 
-    // Layers 2..=max_len (Algorithm 1, lines 6–12).
+    // Layers 2..=max_len (Algorithm 1, lines 6–12). The budget control is
+    // checked between layers: completed layers always emit, so a
+    // truncated run still yields a valid (smaller) pool.
+    let mut states_so_far = layers[0].occupied();
     for len in 2..=config.max_len.min(n) {
+        if control.should_stop(states_so_far) {
+            stats.truncations = 1;
+            break;
+        }
         let _layer_span = fta_obs::span_layer("vdps.layer", center_u32, len as u32);
         let layer = Arc::clone(&layers[len - 2]);
         let parallel = scope
@@ -615,6 +642,7 @@ pub fn generate_c_vdps_flat(
         if next.masks.is_empty() {
             break;
         }
+        states_so_far += next.occupied();
         layers.push(Arc::new(next));
     }
     stats.states = layers.iter().map(|l| l.occupied()).sum();

@@ -2,10 +2,46 @@
 
 use crate::config::VdpsConfig;
 use crate::grid::NeighborIndex;
+use fta_core::budget::CancelToken;
 use fta_core::instance::{CenterView, DpAggregate, Instance};
 use fta_core::route::Route;
 use fta_core::DeliveryPointId;
 use std::collections::HashMap;
+
+/// Optional budget controls for one generation run, checked at *layer*
+/// boundaries of the subset DP. The default (`GenControl::NONE`) performs
+/// no checks at all, keeping the unbudgeted path bit-identical to builds
+/// that predate budgets.
+///
+/// When a control trips, generation *truncates*: the layers built so far
+/// are emitted as a complete, valid (just smaller) pool — every strategy
+/// in it is still deadline-feasible — and
+/// [`GenerationStats::truncations`] records the cut.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenControl<'a> {
+    /// Cooperative cancellation (wall-clock deadline or external cancel).
+    pub token: Option<&'a CancelToken>,
+    /// Deterministic cap on materialised DP states: once the completed
+    /// layers hold at least this many states, no further layer is built.
+    /// Independent of wall-clock and thread count, unlike `token`.
+    pub max_states: Option<usize>,
+}
+
+impl GenControl<'_> {
+    /// No controls: generation runs exactly as unbudgeted.
+    pub const NONE: GenControl<'static> = GenControl {
+        token: None,
+        max_states: None,
+    };
+
+    /// Whether generation should stop before building the next layer,
+    /// given the number of DP states materialised so far.
+    #[must_use]
+    pub fn should_stop(&self, states_so_far: usize) -> bool {
+        self.max_states.is_some_and(|cap| states_so_far >= cap)
+            || self.token.is_some_and(CancelToken::is_cancelled)
+    }
+}
 
 /// One center-origin Valid Delivery Point Set: the set itself (as a bitmask
 /// over the [`CenterView`]'s local delivery-point indices) and the
@@ -76,6 +112,11 @@ pub struct GenerationStats {
     /// [`GenerationStats::dp_nanos`]), nanoseconds. 0 for sequential and
     /// hash-map runs, which never shard.
     pub merge_nanos: u64,
+    /// Generation runs that stopped at a layer boundary because a
+    /// [`GenControl`] tripped (0 or 1 per center; additive under
+    /// [`GenerationStats::merge`]). A truncated pool is still valid —
+    /// it just lacks the larger subsets.
+    pub truncations: usize,
 }
 
 impl GenerationStats {
@@ -93,6 +134,7 @@ impl GenerationStats {
         self.steals += other.steals;
         self.merge_collisions += other.merge_collisions;
         self.merge_nanos += other.merge_nanos;
+        self.truncations += other.truncations;
     }
 
     /// The engine-independent work counters
@@ -127,6 +169,9 @@ pub(crate) fn emit_generation_counters(stats: &GenerationStats) {
     fta_obs::counter("vdps.chunks", stats.chunks as u64);
     fta_obs::counter("vdps.merge_collisions", stats.merge_collisions as u64);
     fta_obs::counter("pool.steals", stats.steals as u64);
+    if stats.truncations > 0 {
+        fta_obs::counter("vdps.truncated", stats.truncations as u64);
+    }
 }
 
 /// A dynamic-program state: minimal arrival time at `last` over all
@@ -175,12 +220,33 @@ pub fn generate_c_vdps_in(
     config: &VdpsConfig,
     scope: Option<&crate::pool::TaskScope<'_>>,
 ) -> (Vec<Vdps>, GenerationStats) {
+    generate_c_vdps_budgeted(instance, aggregates, view, config, scope, GenControl::NONE)
+}
+
+/// Like [`generate_c_vdps_in`], additionally honouring a [`GenControl`]:
+/// the layer loop of either engine checks the control between DP layers
+/// and truncates the pool when it trips (see [`GenControl`] for the
+/// semantics). With `GenControl::NONE` the output is bit-identical to
+/// [`generate_c_vdps_in`].
+///
+/// # Panics
+///
+/// Panics if the center has more than 128 task-bearing delivery points.
+#[must_use]
+pub fn generate_c_vdps_budgeted(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+    scope: Option<&crate::pool::TaskScope<'_>>,
+    control: GenControl<'_>,
+) -> (Vec<Vdps>, GenerationStats) {
     match config.engine {
-        crate::config::VdpsEngine::Flat => {
-            crate::flat::generate_c_vdps_flat(instance, aggregates, view, config, scope)
-        }
+        crate::config::VdpsEngine::Flat => crate::flat::generate_c_vdps_flat_budgeted(
+            instance, aggregates, view, config, scope, control,
+        ),
         crate::config::VdpsEngine::Hashmap => {
-            generate_c_vdps_hashmap(instance, aggregates, view, config)
+            generate_c_vdps_hashmap_budgeted(instance, aggregates, view, config, control)
         }
     }
 }
@@ -199,6 +265,23 @@ pub fn generate_c_vdps_hashmap(
     aggregates: &[DpAggregate],
     view: &CenterView,
     config: &VdpsConfig,
+) -> (Vec<Vdps>, GenerationStats) {
+    generate_c_vdps_hashmap_budgeted(instance, aggregates, view, config, GenControl::NONE)
+}
+
+/// [`generate_c_vdps_hashmap`] with a [`GenControl`] checked between DP
+/// layers.
+///
+/// # Panics
+///
+/// Panics if the center has more than 128 task-bearing delivery points.
+#[must_use]
+pub fn generate_c_vdps_hashmap_budgeted(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+    control: GenControl<'_>,
 ) -> (Vec<Vdps>, GenerationStats) {
     let dp_start = std::time::Instant::now();
     let n = view.dps.len();
@@ -257,8 +340,15 @@ pub fn generate_c_vdps_hashmap(
     }
     layers.push(first);
 
-    // Layers 2..=max_len (Algorithm 1, lines 6–12).
+    // Layers 2..=max_len (Algorithm 1, lines 6–12). The budget control is
+    // checked at layer granularity: completed layers always emit, so a
+    // truncated run still yields a valid (smaller) pool.
+    let mut states_so_far = layers[0].len();
     for len in 2..=config.max_len.min(n) {
+        if control.should_stop(states_so_far) {
+            stats.truncations = 1;
+            break;
+        }
         let mut next: HashMap<(u128, u8), State> = HashMap::new();
         for (&(mask, last), state) in &layers[len - 2] {
             let last = last as usize;
@@ -313,6 +403,7 @@ pub fn generate_c_vdps_hashmap(
         if next.is_empty() {
             break;
         }
+        states_so_far += next.len();
         layers.push(next);
     }
     stats.states = layers.iter().map(HashMap::len).sum();

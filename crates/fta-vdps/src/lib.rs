@@ -88,9 +88,10 @@ pub mod schedule;
 pub mod strategy;
 
 pub use config::{VdpsConfig, VdpsEngine};
-pub use flat::generate_c_vdps_flat;
+pub use flat::{generate_c_vdps_flat, generate_c_vdps_flat_budgeted};
 pub use generator::{
-    generate_c_vdps, generate_c_vdps_hashmap, generate_c_vdps_in, GenerationStats, Vdps,
+    generate_c_vdps, generate_c_vdps_budgeted, generate_c_vdps_hashmap,
+    generate_c_vdps_hashmap_budgeted, generate_c_vdps_in, GenControl, GenerationStats, Vdps,
 };
 pub use pool::{TaskScope, WorkerPool};
 pub use schedule::schedule_route;

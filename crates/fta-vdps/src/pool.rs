@@ -22,8 +22,16 @@
 //! Nesting is safe: jobs receive the [`TaskScope`] they run on and may
 //! call `map` recursively. Because helpers run queued jobs while waiting,
 //! the pool cannot deadlock on nested fan-outs.
+//!
+//! **Panic isolation**: a panicking job is caught on the thread that ran
+//! it (`catch_unwind`), counted as `pool.panics_caught`, and re-raised on
+//! the *submitting* thread when its `map` collects results. Worker
+//! threads never die, the scope stays usable for subsequent batches, and
+//! higher layers (the per-center solver) can quarantine the re-raised
+//! panic without losing the rest of the round.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -94,10 +102,19 @@ impl WorkerPool {
             for _ in 1..self.threads {
                 s.spawn(|| ts.worker_loop());
             }
-            let result = f(&ts);
-            ts.shutdown.store(true, Ordering::SeqCst);
-            ts.cv.notify_all();
-            result
+            // Shut the workers down even when `f` unwinds: without the
+            // guard, a panicking closure would leave the worker threads
+            // spinning on the condvar forever and `thread::scope` would
+            // hang joining them instead of propagating the panic.
+            struct ShutdownGuard<'a, 'env>(&'a TaskScope<'env>);
+            impl Drop for ShutdownGuard<'_, '_> {
+                fn drop(&mut self) {
+                    self.0.shutdown.store(true, Ordering::SeqCst);
+                    self.0.cv.notify_all();
+                }
+            }
+            let _guard = ShutdownGuard(&ts);
+            f(&ts)
         })
     }
 }
@@ -214,7 +231,7 @@ impl<'env> TaskScope<'env> {
         let submitter = std::thread::current().id();
         let pending = Arc::new(AtomicUsize::new(n));
         let batch_steals = Arc::new(AtomicUsize::new(0));
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
         let queue_depth;
         {
             let mut q = self.queue.lock().expect("pool queue poisoned");
@@ -228,7 +245,14 @@ impl<'env> TaskScope<'env> {
                         batch_steals.fetch_add(1, Ordering::Relaxed);
                         ts.steals.fetch_add(1, Ordering::Relaxed);
                     }
-                    let out = job(ts);
+                    // Panic isolation: a panicking job must not unwind
+                    // through `worker_loop` — that would kill a scoped
+                    // worker thread (and with it the whole scope). The
+                    // payload travels back to the submitter, which
+                    // re-raises it on its own thread, where higher-level
+                    // quarantine logic (`catch_unwind` around a center
+                    // solve) can contain it.
+                    let out = catch_unwind(AssertUnwindSafe(|| job(ts)));
                     // A send can only fail if the submitter already gave
                     // up (panic unwinding); dropping the result is fine.
                     let _ = tx.send((i, out));
@@ -268,14 +292,32 @@ impl<'env> TaskScope<'env> {
             }
         }
 
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
         for (i, value) in rx.try_iter() {
             slots[i] = Some(value);
         }
-        let results = slots
-            .into_iter()
-            .map(|s| s.expect("every pool job reports exactly one result"))
-            .collect();
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut panics = 0u64;
+        for s in slots {
+            match s.expect("every pool job reports exactly one result") {
+                Ok(value) => results.push(value),
+                Err(payload) => {
+                    panics += 1;
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            // The panic crossed threads without killing the scope — record
+            // it, then re-raise on the submitting thread. The remaining
+            // jobs of the batch all completed (or panicked) before this
+            // point, so no worker is left holding batch state.
+            fta_obs::counter("pool.panics_caught", panics);
+            resume_unwind(payload);
+        }
         (results, batch_steals.load(Ordering::Relaxed))
     }
 }
@@ -387,6 +429,33 @@ mod tests {
                 ts.map(jobs)
             });
             assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_job_propagates_to_submitter_without_killing_scope() {
+        for threads in [2, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let out = pool.scope(|ts| {
+                // First batch: one job panics. The panic must surface at
+                // the `map` callsite (this thread), not abort the scope.
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let jobs: Vec<_> = (0..8u64)
+                        .map(|i| {
+                            move |_: &TaskScope<'_>| {
+                                assert!(i != 3, "injected job failure");
+                                i
+                            }
+                        })
+                        .collect();
+                    ts.map(jobs)
+                }));
+                assert!(caught.is_err(), "the batch panic must propagate");
+                // The scope is still healthy: a second batch completes.
+                let jobs: Vec<_> = (0..8u64).map(|i| move |_: &TaskScope<'_>| i * 2).collect();
+                ts.map(jobs)
+            });
+            assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<u64>>());
         }
     }
 

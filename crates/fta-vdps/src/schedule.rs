@@ -9,51 +9,74 @@
 
 use fta_core::instance::Instance;
 use fta_core::route::Route;
-use fta_core::{CenterId, DeliveryPointId};
+use fta_core::{CenterId, DeliveryPointId, FtaError};
 use std::collections::HashMap;
 
 /// Finds the minimum-travel-time deadline-feasible visiting order of
-/// `dps`, starting from `center`, or `None` if no ordering meets every
-/// delivery point's earliest task expiry (i.e. the set is not a C-VDPS).
+/// `dps`, starting from `center`. Returns `Ok(None)` if no ordering meets
+/// every delivery point's earliest task expiry (i.e. the set is not a
+/// C-VDPS).
 ///
 /// The returned [`Route`] is the same representative the paper keeps per
 /// VDPS: the sequence with the lowest total travel time, which maximises
 /// worker payoff (Definition 7).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `dps` is empty, contains duplicates, exceeds 20 delivery
-/// points (the exact DP is exponential in the set size; the paper's
-/// `maxDP` is at most 4), or references another center's delivery points.
-#[must_use]
+/// Returns [`FtaError`] if `dps` is empty, contains duplicates, exceeds
+/// 20 delivery points (the exact DP is exponential in the set size; the
+/// paper's `maxDP` is at most 4), references an unknown center or
+/// delivery point, or references another center's delivery points.
+/// These used to be panics; a dispatcher feeding operator input should
+/// get a report, not a crash.
 pub fn schedule_route(
     instance: &Instance,
     center: CenterId,
     dps: &[DeliveryPointId],
-) -> Option<Route> {
+) -> Result<Option<Route>, FtaError> {
     let n = dps.len();
-    assert!(n > 0, "cannot schedule an empty delivery point set");
-    assert!(
-        n <= 20,
-        "schedule_route supports at most 20 delivery points"
-    );
+    if n == 0 {
+        return Err(FtaError::InvalidField {
+            field: "dps",
+            message: "cannot schedule an empty delivery point set".to_string(),
+        });
+    }
+    if n > 20 {
+        return Err(FtaError::InvalidField {
+            field: "dps",
+            message: format!("schedule_route supports at most 20 delivery points, got {n}"),
+        });
+    }
     {
         let mut sorted = dps.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), n, "delivery point set contains duplicates");
+        if sorted.len() != n {
+            return Err(FtaError::InvalidField {
+                field: "dps",
+                message: "delivery point set contains duplicates".to_string(),
+            });
+        }
+    }
+    if center.index() >= instance.centers.len() {
+        return Err(FtaError::UnknownCenter(center));
     }
     let aggregates = instance.dp_aggregates();
     let dc = instance.centers[center.index()].location;
     let speed = instance.speed;
-    let locs: Vec<_> = dps
-        .iter()
-        .map(|dp| {
-            let d = &instance.delivery_points[dp.index()];
-            assert_eq!(d.center, center, "{dp} belongs to another center");
-            d.location
-        })
-        .collect();
+    let mut locs = Vec::with_capacity(n);
+    for dp in dps {
+        let Some(d) = instance.delivery_points.get(dp.index()) else {
+            return Err(FtaError::UnknownDeliveryPoint(*dp));
+        };
+        if d.center != center {
+            return Err(FtaError::InvalidField {
+                field: "dps",
+                message: format!("{dp} belongs to {}, not {center}", d.center),
+            });
+        }
+        locs.push(d.location);
+    }
     let expiry: Vec<f64> = dps
         .iter()
         .map(|dp| aggregates[dp.index()].earliest_expiry)
@@ -95,11 +118,17 @@ pub fn schedule_route(
         }
     }
 
-    // Best complete tour and path reconstruction.
-    let (&(_, mut last), _) = best
+    // Best complete tour and path reconstruction. `total_cmp` instead of
+    // `partial_cmp(..).expect(..)`: arrival times are finite by
+    // construction (validated instances have finite coordinates and
+    // positive speed), but scheduling must never panic on a comparison.
+    let Some((&(_, mut last), _)) = best
         .iter()
         .filter(|&(&(mask, _), _)| mask == full)
-        .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("times are not NaN"))?;
+        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+    else {
+        return Ok(None);
+    };
     let mut order_rev = Vec::with_capacity(n);
     let mut mask = full;
     loop {
@@ -113,10 +142,9 @@ pub fn schedule_route(
     }
     order_rev.reverse();
     let sequence: Vec<DeliveryPointId> = order_rev.into_iter().map(|i| dps[i]).collect();
-    let route = Route::build(instance, &aggregates, center, sequence)
-        .expect("scheduled sequences reference valid delivery points");
+    let route = Route::build(instance, &aggregates, center, sequence)?;
     debug_assert!(route.is_center_origin_valid());
-    Some(route)
+    Ok(Some(route))
 }
 
 #[cfg(test)]
@@ -152,6 +180,7 @@ mod tests {
                 // Shuffle the order: scheduling must not depend on it.
                 dps.reverse();
                 let scheduled = schedule_route(&inst, views[0].center, &dps)
+                    .expect("well-formed input")
                     .expect("generator-emitted sets are schedulable");
                 assert!(
                     (scheduled.travel_from_dc() - vdps.route.travel_from_dc()).abs() < 1e-9,
@@ -172,7 +201,9 @@ mod tests {
         }
         let views = inst.center_views();
         let dps: Vec<DeliveryPointId> = views[0].dps[..2].to_vec();
-        assert!(schedule_route(&inst, views[0].center, &dps).is_none());
+        assert!(schedule_route(&inst, views[0].center, &dps)
+            .expect("well-formed input")
+            .is_none());
     }
 
     #[test]
@@ -180,24 +211,52 @@ mod tests {
         let inst = instance(5);
         let views = inst.center_views();
         let dp = views[0].dps[0];
-        let route = schedule_route(&inst, views[0].center, &[dp]).unwrap();
+        let route = schedule_route(&inst, views[0].center, &[dp])
+            .unwrap()
+            .unwrap();
         assert_eq!(route.dps(), &[dp]);
     }
 
     #[test]
-    #[should_panic(expected = "duplicates")]
     fn rejects_duplicate_delivery_points() {
         let inst = instance(6);
         let views = inst.center_views();
         let dp = views[0].dps[0];
-        let _ = schedule_route(&inst, views[0].center, &[dp, dp]);
+        let err = schedule_route(&inst, views[0].center, &[dp, dp])
+            .expect_err("duplicates must be rejected, not scheduled");
+        assert!(err.to_string().contains("duplicates"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn rejects_empty_sets() {
         let inst = instance(7);
         let views = inst.center_views();
-        let _ = schedule_route(&inst, views[0].center, &[]);
+        let err = schedule_route(&inst, views[0].center, &[])
+            .expect_err("empty sets must be rejected, not scheduled");
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_and_foreign_references() {
+        let inst = instance(8);
+        let views = inst.center_views();
+        // Unknown delivery point id.
+        let bogus = DeliveryPointId(u32::MAX);
+        assert!(matches!(
+            schedule_route(&inst, views[0].center, &[bogus]),
+            Err(FtaError::UnknownDeliveryPoint(_))
+        ));
+        // Unknown center id.
+        let dp = views[0].dps[0];
+        assert!(matches!(
+            schedule_route(&inst, CenterId(99), &[dp]),
+            Err(FtaError::UnknownCenter(_))
+        ));
+        // Oversized set.
+        let many: Vec<DeliveryPointId> = (0..21).map(DeliveryPointId::from_index).collect();
+        assert!(matches!(
+            schedule_route(&inst, views[0].center, &many),
+            Err(FtaError::InvalidField { field: "dps", .. })
+        ));
     }
 }

@@ -9,7 +9,7 @@
 //! game-theoretic algorithms then consume.
 
 use crate::config::VdpsConfig;
-use crate::generator::{generate_c_vdps_in, GenerationStats, Vdps};
+use crate::generator::{generate_c_vdps_budgeted, GenControl, GenerationStats, Vdps};
 use crate::pool::TaskScope;
 use fta_core::instance::{CenterView, DpAggregate, Instance};
 use fta_core::payoff::payoff_for_travel;
@@ -65,7 +65,24 @@ impl StrategySpace {
         config: &VdpsConfig,
         scope: Option<&TaskScope<'_>>,
     ) -> Self {
-        let (pool, gen_stats) = generate_c_vdps_in(instance, aggregates, &view, config, scope);
+        Self::build_budgeted(instance, aggregates, view, config, scope, GenControl::NONE)
+    }
+
+    /// [`StrategySpace::build_in`] with a [`GenControl`] threaded into the
+    /// C-VDPS generation: when the control trips, the pool is truncated at
+    /// a layer boundary and validation proceeds over the smaller pool.
+    /// `GenControl::NONE` is bit-identical to [`StrategySpace::build_in`].
+    #[must_use]
+    pub fn build_budgeted(
+        instance: &Instance,
+        aggregates: &[DpAggregate],
+        view: CenterView,
+        config: &VdpsConfig,
+        scope: Option<&TaskScope<'_>>,
+        control: GenControl<'_>,
+    ) -> Self {
+        let (pool, gen_stats) =
+            generate_c_vdps_budgeted(instance, aggregates, &view, config, scope, control);
         Self::from_pool_in(instance, view, pool, gen_stats, scope)
     }
 

@@ -40,8 +40,7 @@
 //!     &instance,
 //!     &SolveConfig {
 //!         vdps: VdpsConfig::unpruned(3),
-//!         algorithm: Algorithm::Iegt(IegtConfig::default()),
-//!         parallel: false,
+//!         ..SolveConfig::new(Algorithm::Iegt(IegtConfig::default()))
 //!     },
 //! );
 //! assert!(outcome.assignment.validate(&instance).is_ok());
@@ -67,16 +66,18 @@ pub use fta_vdps as vdps;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use fta_algorithms::{
-        solve, Algorithm, FgtConfig, GameContext, IegtConfig, MptaConfig, RedrawPolicy,
-        SolveConfig, SolveOutcome,
+        solve, Algorithm, DegradationEvent, DegradationReport, FgtConfig, GameContext, IegtConfig,
+        LadderRung, MptaConfig, PanicInjection, RedrawPolicy, SolveConfig, SolveOutcome,
     };
     pub use fta_core::{
-        Assignment, CenterId, DeliveryPoint, DeliveryPointId, DistributionCenter, FairnessReport,
-        FtaError, IauParams, Instance, Point, Route, SpatialTask, TaskId, Worker, WorkerId,
+        Assignment, CancelToken, CenterId, DeliveryPoint, DeliveryPointId, DistributionCenter,
+        FairnessReport, FtaError, IauParams, Instance, Point, Route, SolveBudget, SpatialTask,
+        TaskId, Worker, WorkerId,
     };
     pub use fta_data::{generate_gmission, generate_syn, GMissionConfig, SynConfig};
     pub use fta_experiments::{Dataset, RunnerOptions};
     pub use fta_obs::Recorder;
+    pub use fta_sim::FaultPlan;
     pub use fta_vdps::{StrategySpace, VdpsConfig};
 }
 

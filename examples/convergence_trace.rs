@@ -40,6 +40,7 @@ fn main() {
                 vdps: VdpsConfig::pruned(2.0, 3),
                 algorithm,
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         println!("{label}");

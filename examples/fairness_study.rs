@@ -58,6 +58,7 @@ fn main() {
                     ..FgtConfig::default()
                 }),
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         let report = outcome.assignment.fairness(&instance, &workers);

@@ -50,6 +50,7 @@ fn main() {
                 vdps: VdpsConfig::pruned(2.0, 3),
                 algorithm,
                 parallel: true,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         let elapsed = t0.elapsed();

@@ -48,6 +48,7 @@ fn main() {
             vdps: VdpsConfig::pruned(0.6, 3),
             algorithm: Algorithm::Iegt(IegtConfig::default()),
             parallel: false,
+            ..SolveConfig::new(Algorithm::Gta)
         },
     );
     outcome

@@ -72,6 +72,7 @@ fn main() {
                 vdps: VdpsConfig::pruned(0.6, 3),
                 algorithm,
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         let payoffs = outcome.assignment.payoffs(&instance, &workers);

@@ -65,6 +65,7 @@ fn main() {
                 vdps: VdpsConfig::unpruned(3),
                 algorithm,
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         outcome

@@ -49,6 +49,7 @@ fn main() {
                 policy: fta_sim::DispatchPolicy::Batch(algorithm),
                 vdps: VdpsConfig::pruned(2.0, 3),
                 parallel: false,
+                ..SimConfig::day(algorithm)
             },
         );
         let fairness = metrics.earnings_fairness();

@@ -143,6 +143,7 @@ fn heuristics_bracket_the_exact_optimum_on_tiny_instances() {
                     vdps: VdpsConfig::unpruned(2),
                     algorithm,
                     parallel: false,
+                    ..SolveConfig::new(Algorithm::Gta)
                 },
             );
             let report = outcome.assignment.fairness(&instance, &workers);

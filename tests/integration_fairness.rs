@@ -33,6 +33,7 @@ fn averaged(algorithm_of: impl Fn() -> Algorithm, seeds: &[u64]) -> Averages {
                 vdps: VdpsConfig::pruned(2.0, 3),
                 algorithm: algorithm_of(),
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         let report = outcome.assignment.fairness(&instance, &workers);

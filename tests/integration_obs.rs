@@ -38,6 +38,7 @@ fn solve_recorded(inst: &Instance, algorithm: Algorithm, parallel: bool) -> fta:
             vdps: VdpsConfig::default(),
             algorithm,
             parallel,
+            ..SolveConfig::new(Algorithm::Gta)
         },
     );
     assert!(outcome.assignment.validate(inst).is_ok());
@@ -133,6 +134,56 @@ fn parallel_solve_loses_no_events() {
     }
     assert_eq!(par.span_count("solver.center"), 4);
     assert_eq!(par.span_count("vdps.generate"), 4);
+}
+
+#[test]
+fn budgeted_and_panicking_solve_emits_robustness_counters() {
+    let _guard = lock();
+    let inst = instance(3, 13);
+
+    // Exhausted budget + a poisoned center that panics on both attempts:
+    // the solve must still complete, and the robustness counters must land
+    // in the snapshot and the Prometheus rendering.
+    let recorder = Recorder::install();
+    let outcome = solve(
+        &inst,
+        &SolveConfig {
+            budget: SolveBudget::wall_ms(0),
+            inject_panic: Some(PanicInjection {
+                center: 1,
+                also_on_retry: true,
+            }),
+            ..SolveConfig::new(Algorithm::Iegt(IegtConfig::default()))
+        },
+    );
+    let snapshot = recorder.finish();
+
+    assert!(outcome.assignment.validate(&inst).is_ok());
+    assert!(outcome.is_degraded());
+    assert_eq!(outcome.degradation.panics_caught(), 2);
+
+    assert!(
+        snapshot.counter("solve.degraded") >= 2,
+        "at least the two healthy centers degrade under a 0 ms budget"
+    );
+    assert_eq!(snapshot.counter("budget.exhausted"), 1);
+    assert_eq!(snapshot.counter("pool.panics_caught"), 2);
+
+    let prom = snapshot.to_prometheus();
+    fta::obs::trace::validate_prometheus(&prom).unwrap();
+    for needle in [
+        "fta_solve_degraded",
+        "fta_budget_exhausted",
+        "fta_pool_panics_caught",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in:\n{prom}");
+    }
+
+    // An unbudgeted, fault-free recorded solve emits none of them.
+    let clean = solve_recorded(&inst, Algorithm::Iegt(IegtConfig::default()), false);
+    assert_eq!(clean.counter("solve.degraded"), 0);
+    assert_eq!(clean.counter("budget.exhausted"), 0);
+    assert_eq!(clean.counter("pool.panics_caught"), 0);
 }
 
 #[test]

@@ -29,6 +29,7 @@ fn full_table_one_scale_solves_and_validates() {
                 vdps: VdpsConfig::pruned(2.0, 3),
                 algorithm,
                 parallel: true,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         let elapsed = t0.elapsed();
@@ -60,6 +61,7 @@ fn paper_scale_fairness_ranking_holds() {
                 vdps: VdpsConfig::pruned(2.0, 3),
                 algorithm,
                 parallel: true,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         )
         .assignment

@@ -38,6 +38,7 @@ fn every_algorithm_yields_valid_assignments_across_seeds() {
                     vdps: VdpsConfig::pruned(2.0, 3),
                     algorithm,
                     parallel: false,
+                    ..SolveConfig::new(Algorithm::Gta)
                 },
             );
             assert!(
@@ -57,6 +58,7 @@ fn assignments_respect_max_dp_and_deadlines_per_route() {
             vdps: VdpsConfig::pruned(2.0, 3),
             algorithm: Algorithm::Gta,
             parallel: false,
+            ..SolveConfig::new(Algorithm::Gta)
         },
     );
     let aggs = instance.dp_aggregates();
@@ -91,6 +93,7 @@ fn pruning_with_huge_epsilon_equals_no_pruning() {
                 vdps,
                 algorithm: Algorithm::Gta,
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         )
         .assignment
@@ -125,6 +128,7 @@ fn solver_timings_and_stats_are_populated() {
             vdps: VdpsConfig::pruned(2.0, 3),
             algorithm: Algorithm::Iegt(IegtConfig::default()),
             parallel: true,
+            ..SolveConfig::new(Algorithm::Gta)
         },
     );
     assert!(outcome.gen_stats.vdps_count > 0);
@@ -144,6 +148,7 @@ fn gmission_pipeline_end_to_end() {
                 vdps: VdpsConfig::pruned(0.6, 3),
                 algorithm,
                 parallel: false,
+                ..SolveConfig::new(Algorithm::Gta)
             },
         );
         assert!(
