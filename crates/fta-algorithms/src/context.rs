@@ -9,6 +9,16 @@
 use fta_core::{Assignment, WorkerId};
 use fta_vdps::StrategySpace;
 
+/// Counters describing one monotone descending scan over a worker's
+/// payoff-sorted strategy list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescScan {
+    /// Slots examined (including the one that terminated the scan).
+    pub scanned: u64,
+    /// Whether the scan stopped before exhausting the worker's list.
+    pub early_exit: bool,
+}
+
 /// Mutable selection state over one center's strategy space.
 #[derive(Debug, Clone)]
 pub struct GameContext<'a> {
@@ -20,6 +30,23 @@ pub struct GameContext<'a> {
     taken: u128,
     /// Cached payoff per local worker (`0.0` for null).
     payoffs: Vec<f64>,
+    /// Cached mask per local worker (`0` for null) — avoids the
+    /// `pool[idx].mask` indirection on every availability probe.
+    own_masks: Vec<u128>,
+    /// Running sum of `payoffs` maintained on [`GameContext::set_strategy`]
+    /// (replaces the former O(n) re-fold per [`GameContext::total_payoff`]
+    /// call). Floating-point drift versus a fresh fold is bounded by a few
+    /// ulps per switch, far below every decision margin in this crate.
+    total: f64,
+    /// Per-slot count of delivery-point bits shared with *other* workers'
+    /// current selections (`popcount(mask[slot] & (taken \ own(owner)))`),
+    /// maintained incrementally through the space's inverted conflict
+    /// index. Empty when the space is below the crossover threshold and
+    /// availability falls back to the mask scan.
+    conflicts: Vec<u32>,
+    /// Per-slot conflict-counter adjustments performed so far (the
+    /// `br.index_updates` statistic).
+    index_updates: u64,
 }
 
 impl<'a> GameContext<'a> {
@@ -27,11 +54,21 @@ impl<'a> GameContext<'a> {
     #[must_use]
     pub fn new(space: &'a StrategySpace) -> Self {
         let n = space.n_workers();
+        let conflicts = if space.conflict_sets().is_some() {
+            // All workers start on null, so nothing conflicts yet.
+            vec![0u32; space.total_slots()]
+        } else {
+            Vec::new()
+        };
         Self {
             space,
             selection: vec![None; n],
             taken: 0,
             payoffs: vec![0.0; n],
+            own_masks: vec![0; n],
+            total: 0.0,
+            conflicts,
+            index_updates: 0,
         }
     }
 
@@ -65,10 +102,10 @@ impl<'a> GameContext<'a> {
         &self.payoffs
     }
 
-    /// Sum of all workers' payoffs.
+    /// Sum of all workers' payoffs (maintained incrementally).
     #[must_use]
     pub fn total_payoff(&self) -> f64 {
-        self.payoffs.iter().sum()
+        self.total
     }
 
     /// Whether pool entry `pool_idx` would be disjoint from every *other*
@@ -77,14 +114,29 @@ impl<'a> GameContext<'a> {
     #[must_use]
     pub fn is_available(&self, local: usize, pool_idx: u32) -> bool {
         let candidate = self.space.pool[pool_idx as usize].mask;
-        let own = self.own_mask(local);
+        let own = self.own_masks[local];
         candidate & (self.taken & !own) == 0
     }
 
     /// The mask currently held by the `local`-th worker (0 for null).
     #[must_use]
     pub fn own_mask(&self, local: usize) -> u128 {
-        self.selection[local].map_or(0, |idx| self.space.pool[idx as usize].mask)
+        self.own_masks[local]
+    }
+
+    /// Whether the incremental conflict index is active for this context
+    /// (the space cleared the crossover threshold and built its inverted
+    /// index).
+    #[must_use]
+    pub fn index_active(&self) -> bool {
+        !self.conflicts.is_empty()
+    }
+
+    /// Conflict-counter adjustments performed so far (each ±1 applied to a
+    /// slot's counter counts once).
+    #[must_use]
+    pub fn index_updates(&self) -> u64 {
+        self.index_updates
     }
 
     /// The union of the delivery-point masks of every worker's current
@@ -105,8 +157,9 @@ impl<'a> GameContext<'a> {
     /// set or conflicts with another worker's selection.
     pub fn set_strategy(&mut self, local: usize, strategy: Option<u32>) -> Option<u32> {
         let prev = self.selection[local];
-        self.taken &= !self.own_mask(local);
-        match strategy {
+        let prev_mask = self.own_masks[local];
+        self.taken &= !prev_mask;
+        let (new_mask, payoff) = match strategy {
             Some(idx) => {
                 let payoff = self
                     .space
@@ -118,30 +171,188 @@ impl<'a> GameContext<'a> {
                     0,
                     "strategy conflicts with another worker's selection"
                 );
-                self.taken |= mask;
-                self.selection[local] = Some(idx);
-                self.payoffs[local] = payoff;
+                (mask, payoff)
             }
-            None => {
-                self.selection[local] = None;
-                self.payoffs[local] = 0.0;
-            }
+            None => (0, 0.0),
+        };
+        self.taken |= new_mask;
+        self.selection[local] = strategy;
+        self.total += payoff - self.payoffs[local];
+        self.payoffs[local] = payoff;
+        self.own_masks[local] = new_mask;
+        if !self.conflicts.is_empty() && prev_mask != new_mask {
+            self.apply_mask_delta(local, prev_mask, new_mask);
         }
         prev
     }
 
+    /// Propagates a worker's mask change through the inverted conflict
+    /// index: every slot containing a newly-taken bit gains a conflict,
+    /// every slot containing a freed bit loses one. The mover's own slots
+    /// are skipped — their counters track conflicts with *other* workers
+    /// only, which is exactly the availability predicate.
+    fn apply_mask_delta(&mut self, local: usize, prev: u128, new: u128) {
+        let space: &'a StrategySpace = self.space;
+        let sets = space
+            .conflict_sets()
+            .expect("conflict counters imply an inverted index");
+        let range = space.slot_range(local);
+        let mut added = new & !prev;
+        while added != 0 {
+            let bit = added.trailing_zeros();
+            for &slot in sets.slots_of(bit) {
+                let s = slot as usize;
+                if !range.contains(&s) {
+                    self.conflicts[s] += 1;
+                    self.index_updates += 1;
+                }
+            }
+            added &= added - 1;
+        }
+        let mut removed = prev & !new;
+        while removed != 0 {
+            let bit = removed.trailing_zeros();
+            for &slot in sets.slots_of(bit) {
+                let s = slot as usize;
+                if !range.contains(&s) {
+                    self.conflicts[s] -= 1;
+                    self.index_updates += 1;
+                }
+            }
+            removed &= removed - 1;
+        }
+    }
+
     /// Iterator over the pool indices of the `local`-th worker's valid
-    /// strategies that are currently available (disjoint from others).
+    /// strategies that are currently available (disjoint from others), in
+    /// ascending pool-index order. Streams the space's flat SoA slices;
+    /// availability comes from the incremental conflict counters when the
+    /// index is active and from a linear mask scan otherwise (identical
+    /// results either way).
     pub fn available_strategies(&self, local: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
-        let other_taken = self.taken & !self.own_mask(local);
-        self.space.valid[local]
-            .iter()
-            .zip(&self.space.payoffs[local])
-            .filter(move |(&idx, _)| self.space.pool[idx as usize].mask & other_taken == 0)
-            .map(|(&idx, &p)| (idx, p))
+        let valid = self.space.valid_of(local);
+        let payoffs = self.space.payoffs_of(local);
+        let masks = self.space.masks_of(local);
+        let other_taken = self.taken & !self.own_masks[local];
+        let conflicts: &[u32] = if self.conflicts.is_empty() {
+            &[]
+        } else {
+            &self.conflicts[self.space.slot_range(local)]
+        };
+        (0..valid.len()).filter_map(move |pos| {
+            let open = if conflicts.is_empty() {
+                masks[pos] & other_taken == 0
+            } else {
+                conflicts[pos] == 0
+            };
+            open.then(|| (valid[pos], payoffs[pos]))
+        })
+    }
+
+    /// The highest-payoff *available* strategy of the `local`-th worker:
+    /// a first-hit scan over the space's payoff-descending slot order with
+    /// early exit (payoff ties resolve to the lowest pool index, matching
+    /// the exhaustive engines' first-strict-maximum rule). Returns the
+    /// winning `(pool index, payoff)` — or `None` when nothing is
+    /// available — plus the scan counters.
+    #[must_use]
+    pub fn best_available_desc(&self, local: usize) -> (Option<(u32, f64)>, DescScan) {
+        let pool_idx = self.space.desc_pool_of(local);
+        let payoffs = self.space.desc_payoffs_of(local);
+        let len = pool_idx.len();
+        let mut scanned = 0u64;
+        if self.conflicts.is_empty() {
+            let masks = self.space.desc_masks_of(local);
+            let other_taken = self.taken & !self.own_masks[local];
+            for pos in 0..len {
+                scanned += 1;
+                if masks[pos] & other_taken == 0 {
+                    return (
+                        Some((pool_idx[pos], payoffs[pos])),
+                        DescScan {
+                            scanned,
+                            early_exit: pos + 1 < len,
+                        },
+                    );
+                }
+            }
+        } else {
+            let slots = self.space.desc_slots_of(local);
+            for pos in 0..len {
+                scanned += 1;
+                if self.conflicts[slots[pos] as usize] == 0 {
+                    return (
+                        Some((pool_idx[pos], payoffs[pos])),
+                        DescScan {
+                            scanned,
+                            early_exit: pos + 1 < len,
+                        },
+                    );
+                }
+            }
+        }
+        (
+            None,
+            DescScan {
+                scanned,
+                early_exit: false,
+            },
+        )
+    }
+
+    /// Collects every *available* strategy of the `local`-th worker whose
+    /// payoff strictly exceeds `threshold`, scanning the payoff-descending
+    /// order and stopping at the first payoff at or below the threshold
+    /// (monotone early exit). The collected candidates are sorted back to
+    /// ascending pool-index order so callers observe exactly the sequence
+    /// the exhaustive ascending filter would have produced.
+    pub fn better_available_desc(
+        &self,
+        local: usize,
+        threshold: f64,
+        out: &mut Vec<(u32, f64)>,
+    ) -> DescScan {
+        out.clear();
+        let pool_idx = self.space.desc_pool_of(local);
+        let payoffs = self.space.desc_payoffs_of(local);
+        let masks = self.space.desc_masks_of(local);
+        let slots = self.space.desc_slots_of(local);
+        let use_index = !self.conflicts.is_empty();
+        let other_taken = self.taken & !self.own_masks[local];
+        let len = pool_idx.len();
+        let mut scanned = 0u64;
+        let mut early_exit = false;
+        for pos in 0..len {
+            scanned += 1;
+            let p = payoffs[pos];
+            // Payoffs are finite (validated at instance construction), so
+            // `p <= threshold` is exactly the negation of the exhaustive
+            // filter's strict `p > threshold`.
+            if p <= threshold {
+                early_exit = pos + 1 < len;
+                break;
+            }
+            let open = if use_index {
+                self.conflicts[slots[pos] as usize] == 0
+            } else {
+                masks[pos] & other_taken == 0
+            };
+            if open {
+                out.push((pool_idx[pos], p));
+            }
+        }
+        out.sort_unstable_by_key(|&(idx, _)| idx);
+        DescScan {
+            scanned,
+            early_exit,
+        }
     }
 
     /// Materialises the current selection as an [`Assignment`].
+    ///
+    /// Routes are shared with the strategy-space pool (`Arc` refcount
+    /// bumps), so this is O(assigned workers · log n) map insertion with
+    /// no per-route allocation.
     #[must_use]
     pub fn to_assignment(&self) -> Assignment {
         self.selection
@@ -151,7 +362,7 @@ impl<'a> GameContext<'a> {
                 sel.map(|idx| {
                     (
                         self.space.worker_id(local),
-                        self.space.pool[idx as usize].route.clone(),
+                        std::sync::Arc::clone(&self.space.pool[idx as usize].route),
                     )
                 })
             })
@@ -270,7 +481,7 @@ mod tests {
         let s = space(&inst);
         let mut ctx = GameContext::new(&s);
         let all: Vec<u32> = ctx.available_strategies(1).map(|(i, _)| i).collect();
-        assert_eq!(all.len(), s.valid[1].len());
+        assert_eq!(all.len(), s.strategy_count(1));
         let dp2 = s.pool.iter().position(|v| v.mask == 0b100).unwrap() as u32;
         ctx.set_strategy(0, Some(dp2));
         let remaining: Vec<u32> = ctx.available_strategies(1).map(|(i, _)| i).collect();
@@ -298,6 +509,88 @@ mod tests {
         for (cached, fresh) in ctx.payoffs().iter().zip(payoffs.iter()) {
             assert!((cached - fresh).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn running_total_matches_fold_and_own_mask_cache_is_exact() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let dp0 = s.pool.iter().position(|v| v.mask == 0b001).unwrap() as u32;
+        let dp12 = s.pool.iter().position(|v| v.mask == 0b110).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp0));
+        ctx.set_strategy(1, Some(dp12));
+        let fold: f64 = ctx.payoffs().iter().sum();
+        assert!((ctx.total_payoff() - fold).abs() < 1e-12);
+        assert_eq!(ctx.own_mask(0), 0b001);
+        assert_eq!(ctx.own_mask(1), 0b110);
+        ctx.set_strategy(0, None);
+        let fold: f64 = ctx.payoffs().iter().sum();
+        assert!((ctx.total_payoff() - fold).abs() < 1e-12);
+        assert_eq!(ctx.own_mask(0), 0);
+    }
+
+    #[test]
+    fn best_available_desc_matches_exhaustive_argmax() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        // With nothing taken, the scan must return the max-payoff strategy
+        // (first strict maximum in ascending order on ties).
+        for local in 0..ctx.n_workers() {
+            let expect = ctx.available_strategies(local).fold(
+                None::<(u32, f64)>,
+                |acc, (idx, p)| match acc {
+                    Some((_, bp)) if p <= bp => acc,
+                    _ => Some((idx, p)),
+                },
+            );
+            let (got, scan) = ctx.best_available_desc(local);
+            assert_eq!(got, expect, "worker {local}");
+            assert!(scan.scanned >= 1);
+        }
+        // Occupy dps so some strategies are blocked, and re-check.
+        let dp12 = s.pool.iter().position(|v| v.mask == 0b110).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp12));
+        let expect =
+            ctx.available_strategies(1)
+                .fold(None::<(u32, f64)>, |acc, (idx, p)| match acc {
+                    Some((_, bp)) if p <= bp => acc,
+                    _ => Some((idx, p)),
+                });
+        let (got, _) = ctx.best_available_desc(1);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn better_available_desc_matches_exhaustive_filter() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let dp0 = s.pool.iter().position(|v| v.mask == 0b001).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp0));
+        for threshold in [0.0, 0.5, 1.0, 2.0, 100.0] {
+            let expect: Vec<(u32, f64)> = ctx
+                .available_strategies(1)
+                .filter(|&(_, p)| p > threshold)
+                .collect();
+            let mut got = Vec::new();
+            ctx.better_available_desc(1, threshold, &mut got);
+            assert_eq!(got, expect, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn small_spaces_skip_the_conflict_index() {
+        let inst = three_dp_instance();
+        let s = space(&inst);
+        assert!(s.total_slots() < fta_vdps::CONFLICT_INDEX_MIN_SLOTS);
+        assert!(s.conflict_sets().is_none());
+        let mut ctx = GameContext::new(&s);
+        assert!(!ctx.index_active());
+        let dp0 = s.pool.iter().position(|v| v.mask == 0b001).unwrap() as u32;
+        ctx.set_strategy(0, Some(dp0));
+        assert_eq!(ctx.index_updates(), 0);
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn exact_search(
     let suffix_max: Vec<f64> = {
         let mut suffix = vec![0.0; n + 1];
         for local in (0..n).rev() {
-            let own_max = ctx.space().payoffs[local]
+            let own_max = ctx
+                .space()
+                .payoffs_of(local)
                 .iter()
                 .copied()
                 .fold(0.0_f64, f64::max);

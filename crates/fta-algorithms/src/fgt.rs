@@ -25,10 +25,10 @@ use rand::SeedableRng;
 
 /// How the best-response loop evaluates candidate utilities.
 ///
-/// Both engines visit the same candidates in the same order and apply the
-/// same strict-improvement rule, so they compute identical equilibria for a
-/// fixed seed (asserted by the engine-equivalence tests); they differ only
-/// in evaluator maintenance cost.
+/// All engines apply the same strict-improvement rule and produce the same
+/// sequence of strategy switches for a fixed seed (asserted by the
+/// engine-equivalence tests and proptests); they differ only in how much
+/// work a worker's deliberation costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BestResponseEngine {
     /// Rebuild a sorted [`IauEvaluator`] over the `n−1` rivals for every
@@ -36,9 +36,76 @@ pub enum BestResponseEngine {
     Rebuild,
     /// Maintain one [`RivalSet`] across the whole run and update it with
     /// two `O(log n)` point operations per worker turn: `O(n log n)`
-    /// maintenance per round.
-    #[default]
+    /// maintenance per round — but still evaluate the IAU of *every*
+    /// available candidate.
     Incremental,
+    /// Monotone fast path: because the IAU is strictly increasing in the
+    /// own payoff whenever `β < 1` and `α ≥ 0` (see
+    /// [`fastpath_sound`]), the best response is simply the
+    /// highest-payoff available strategy — a first-hit scan over the
+    /// payoff-descending slot order with early exit and exactly two IAU
+    /// evaluations per turn. When the IAU parameters leave the sound
+    /// regime the run transparently falls back to the [`Incremental`]
+    /// loop, bit-identically (observable as
+    /// `BestResponseStats::fastpath_rounds == 0`).
+    ///
+    /// [`Incremental`]: BestResponseEngine::Incremental
+    #[default]
+    FastPath,
+}
+
+impl BestResponseEngine {
+    /// Stable lowercase name used by the CLI and the solve report.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Rebuild => "exhaustive",
+            Self::Incremental => "incremental",
+            Self::FastPath => "fastpath",
+        }
+    }
+}
+
+/// Whether the monotone fast path is sound for the given IAU weights.
+///
+/// # Monotonicity proof
+///
+/// Fix the rivals' payoffs `r_1 ≤ … ≤ r_{n−1}` and view Equation 5 as a
+/// function of the own payoff `p`:
+///
+/// ```text
+/// U(p) = p − α/(n−1) · Σ_{r_j > p} (r_j − p) − β/(n−1) · Σ_{r_j < p} (p − r_j)
+/// ```
+///
+/// `U` is continuous and piecewise linear in `p`, with kinks only at rival
+/// payoffs. On any open interval between consecutive rivals let `k_above`
+/// (`k_below`) be the number of rivals strictly above (below) `p`; then
+///
+/// ```text
+/// dU/dp = 1 + α·k_above/(n−1) − β·k_below/(n−1).
+/// ```
+///
+/// Since `k_below ≤ n−1` and `k_above ≥ 0`, `dU/dp ≥ 1 − β` whenever
+/// `α ≥ 0`; for `β < 1` every linear piece therefore has strictly positive
+/// slope and `U` is *strictly increasing* in `p`. The argmax of `U` over
+/// the candidate set `{0} ∪ {available payoffs}` is then exactly the
+/// maximum-payoff candidate, and the exhaustive engines' tie-break (first
+/// strict maximum over null followed by candidates in ascending pool-index
+/// order) is reproduced by scanning the payoff-descending order — ties
+/// sorted by ascending pool index — and taking the first available hit,
+/// adopting null unless its payoff strictly exceeds 0. The same argument
+/// applies to the priority-aware IAU, which evaluates inequity on the
+/// normalised payoffs `q = p/ρ` with `ρ > 0` (a strictly increasing map),
+/// and trivially to IEGT's raw-payoff utilities.
+///
+/// The equivalence is exact in real arithmetic; in floating point it holds
+/// unless two candidate utilities within one turn round to the *same* f64
+/// despite distinct payoffs, which requires payoff gaps on the order of an
+/// ulp of the inequity sums (property-tested never to occur on generated
+/// instances).
+#[must_use]
+pub fn fastpath_sound(params: IauParams) -> bool {
+    params.beta < 1.0 && params.alpha >= 0.0
 }
 
 /// Configuration of the FGT best-response run.
@@ -162,6 +229,15 @@ fn fgt_once(
     match config.engine {
         BestResponseEngine::Rebuild => fgt_once_rebuild(ctx, config, seed, cancel),
         BestResponseEngine::Incremental => fgt_once_incremental(ctx, config, seed, cancel),
+        BestResponseEngine::FastPath => {
+            if fastpath_sound(config.iau) {
+                fgt_once_fastpath(ctx, config, seed, cancel)
+            } else {
+                // Out of the monotone regime: fall back bit-identically to
+                // exhaustive IAU evaluation (fastpath_rounds stays 0).
+                fgt_once_incremental(ctx, config, seed, cancel)
+            }
+        }
     }
 }
 
@@ -181,6 +257,7 @@ fn fgt_once_rebuild(
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
+    let index_updates_before = ctx.index_updates();
     random_init(ctx, &mut rng);
 
     let mut trace = new_trace(config);
@@ -206,6 +283,8 @@ fn fgt_once_rebuild(
 
             let current_utility = eval.eval(ctx.payoff(local));
             // Candidate set: null (payoff 0) plus every available VDPS.
+            // The availability filter probes the worker's entire list.
+            trace.stats.candidates_scanned += ctx.space().strategy_count(local) as u64;
             let mut best: Option<(Option<u32>, f64)> = Some((None, eval.eval(0.0)));
             trace.stats.candidate_evaluations += 2;
             for (idx, payoff) in ctx.available_strategies(local) {
@@ -241,6 +320,7 @@ fn fgt_once_rebuild(
             break;
         }
     }
+    trace.stats.index_updates += ctx.index_updates() - index_updates_before;
     trace
 }
 
@@ -258,6 +338,7 @@ fn fgt_once_incremental(
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
+    let index_updates_before = ctx.index_updates();
     random_init(ctx, &mut rng);
 
     let mut trace = new_trace(config);
@@ -282,6 +363,7 @@ fn fgt_once_incremental(
             trace.stats.evaluator_updates += 1;
 
             let current_utility = rivals.eval(own);
+            trace.stats.candidates_scanned += ctx.space().strategy_count(local) as u64;
             let mut best: Option<(Option<u32>, f64)> = Some((None, rivals.eval(0.0)));
             trace.stats.candidate_evaluations += 2;
             for (idx, payoff) in ctx.available_strategies(local) {
@@ -321,6 +403,99 @@ fn fgt_once_incremental(
             break;
         }
     }
+    trace.stats.index_updates += ctx.index_updates() - index_updates_before;
+    trace
+}
+
+/// Monotone fast-path engine: one [`RivalSet`] maintained across the run
+/// (exactly like the incremental engine, so the trace summaries are
+/// bit-identical), but the best response is found *without* evaluating the
+/// IAU of every candidate: by the monotonicity argument documented on
+/// [`fastpath_sound`], the utility-argmax equals the payoff-argmax, so a
+/// first-hit scan over the payoff-descending slot order (early exit at the
+/// first available slot) identifies the candidate, and only two IAU
+/// evaluations remain per turn — the current utility and the candidate's.
+/// The strict-improvement switch rule is then applied to the same floats
+/// the exhaustive engines would have computed.
+///
+/// Only dispatched when [`fastpath_sound`] holds for the configured IAU
+/// weights; [`fgt_once`] otherwise falls back to the incremental loop.
+fn fgt_once_fastpath(
+    ctx: &mut GameContext<'_>,
+    config: &FgtConfig,
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> ConvergenceTrace {
+    debug_assert!(fastpath_sound(config.iau));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let index_updates_before = ctx.index_updates();
+    random_init(ctx, &mut rng);
+
+    let mut trace = new_trace(config);
+    let mut rivals = RivalSet::with_payoffs(ctx.payoffs(), config.iau);
+    trace.stats.evaluator_builds += 1;
+    trace.snapshot(ctx.payoffs());
+    trace.record_summary(
+        0,
+        0,
+        rivals.payoff_difference(),
+        rivals.average(),
+        rivals.potential(),
+    );
+
+    let n = ctx.n_workers();
+    for round in 1..=config.max_rounds {
+        trace.stats.rounds += 1;
+        trace.stats.fastpath_rounds += 1;
+        let mut moves = 0;
+        for local in 0..n {
+            let own = ctx.payoff(local);
+            rivals.remove(own);
+            trace.stats.evaluator_updates += 1;
+
+            let current_utility = rivals.eval(own);
+            // Monotone best response: highest-payoff available strategy,
+            // null unless its payoff strictly exceeds 0.
+            let (found, scan) = ctx.best_available_desc(local);
+            trace.stats.candidates_scanned += scan.scanned;
+            if scan.early_exit {
+                trace.stats.early_exits += 1;
+            }
+            let (choice, utility) = match found {
+                Some((idx, payoff)) if payoff > 0.0 => (Some(idx), rivals.eval(payoff)),
+                _ => (None, rivals.eval(0.0)),
+            };
+            trace.stats.candidate_evaluations += 2;
+            if utility > current_utility + config.min_improvement && choice != ctx.selection(local)
+            {
+                ctx.set_strategy(local, choice);
+                moves += 1;
+                trace.stats.switches += 1;
+                if choice.is_none() {
+                    trace.stats.null_adoptions += 1;
+                }
+            }
+            rivals.insert(ctx.payoff(local));
+            trace.stats.evaluator_updates += 1;
+        }
+        trace.snapshot(ctx.payoffs());
+        trace.record_summary(
+            round,
+            moves,
+            rivals.payoff_difference(),
+            rivals.average(),
+            rivals.potential(),
+        );
+        if moves == 0 {
+            trace.converged = true;
+            break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            trace.cancelled = true;
+            break;
+        }
+    }
+    trace.stats.index_updates += ctx.index_updates() - index_updates_before;
     trace
 }
 
@@ -348,6 +523,58 @@ mod tests {
     fn space(inst: &Instance) -> StrategySpace {
         let views = inst.center_views();
         StrategySpace::build(inst, &views[0], &VdpsConfig::unpruned(3))
+    }
+
+    #[test]
+    fn engines_agree_when_the_conflict_index_is_active() {
+        // A sparse-but-large space that clears BOTH halves of the conflict
+        // index crossover: `max_dp = 1` makes every strategy a singleton,
+        // so with ~120 delivery points and ~60 workers the slot count
+        // exceeds CONFLICT_INDEX_MIN_SLOTS while each bit's posting list
+        // stays around the worker count (<= CONFLICT_INDEX_MAX_SLOTS_PER_BIT).
+        let inst = generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 60,
+                n_tasks: 1_200,
+                n_delivery_points: 120,
+                max_dp: 1,
+                extent: 2.0,
+                ..SynConfig::bench_scale()
+            },
+            9,
+        );
+        let views = inst.center_views();
+        let s = StrategySpace::build(&inst, &views[0], &VdpsConfig::unpruned(1));
+        assert!(
+            s.total_slots() >= fta_vdps::CONFLICT_INDEX_MIN_SLOTS,
+            "fixture too small ({} slots) to activate the index",
+            s.total_slots()
+        );
+        assert!(
+            s.conflict_sets().is_some(),
+            "fixture too dense to activate the index"
+        );
+        let run = |engine| {
+            let mut ctx = GameContext::new(&s);
+            let trace = fgt(
+                &mut ctx,
+                &FgtConfig {
+                    engine,
+                    ..FgtConfig::default()
+                },
+            );
+            (ctx.to_assignment(), trace)
+        };
+        let (inc_asg, inc) = run(BestResponseEngine::Incremental);
+        let (fast_asg, fast) = run(BestResponseEngine::FastPath);
+        assert_eq!(inc_asg, fast_asg, "index-backed engines diverged");
+        assert_eq!(inc.len(), fast.len());
+        // The index really was maintained: strategy switches propagated
+        // conflict-counter deltas through the inverted bit lists.
+        assert!(inc.stats.switches > 0);
+        assert!(inc.stats.index_updates > 0, "index never updated");
+        assert_eq!(inc.stats.index_updates, fast.stats.index_updates);
     }
 
     #[test]
@@ -545,6 +772,118 @@ mod tests {
         );
         assert_eq!(rebuild.evaluator_updates, 0);
         assert!(incremental.evaluator_updates > 0);
+    }
+
+    #[test]
+    fn fastpath_engine_matches_both_exhaustive_engines() {
+        // Tentpole acceptance: identical selections, traces, and payoffs
+        // across all three engines for fixed seeds (β = 0.5 < 1).
+        for seed in [11, 12, 13, 14, 15] {
+            let inst = instance(seed);
+            let s = space(&inst);
+            let run = |engine| {
+                let mut ctx = GameContext::new(&s);
+                let trace = fgt(
+                    &mut ctx,
+                    &FgtConfig {
+                        engine,
+                        ..FgtConfig::default()
+                    },
+                );
+                let payoffs: Vec<u64> = ctx.payoffs().iter().map(|p| p.to_bits()).collect();
+                (ctx.to_assignment(), trace.rounds, trace.converged, payoffs)
+            };
+            let (r_asg, r_rounds, r_conv, r_pay) = run(BestResponseEngine::Rebuild);
+            let (i_asg, i_rounds, i_conv, i_pay) = run(BestResponseEngine::Incremental);
+            let (f_asg, f_rounds, f_conv, f_pay) = run(BestResponseEngine::FastPath);
+            assert_eq!(r_asg, f_asg, "seed {seed}: fastpath vs rebuild diverge");
+            assert_eq!(i_asg, f_asg, "seed {seed}: fastpath vs incremental diverge");
+            assert_eq!(i_rounds, f_rounds, "seed {seed}: round summaries diverge");
+            assert_eq!(r_rounds.len(), f_rounds.len());
+            assert_eq!((r_conv, i_conv), (f_conv, f_conv));
+            assert_eq!(r_pay, f_pay, "seed {seed}: payoffs not bit-identical");
+            assert_eq!(i_pay, f_pay);
+        }
+    }
+
+    #[test]
+    fn fastpath_scans_fewer_candidates_and_counts_rounds() {
+        let inst = instance(16);
+        let s = space(&inst);
+        let run = |engine| {
+            let mut ctx = GameContext::new(&s);
+            fgt(
+                &mut ctx,
+                &FgtConfig {
+                    engine,
+                    ..FgtConfig::default()
+                },
+            )
+            .stats
+        };
+        let incremental = run(BestResponseEngine::Incremental);
+        let fast = run(BestResponseEngine::FastPath);
+        assert_eq!(incremental.fastpath_rounds, 0);
+        assert_eq!(incremental.early_exits, 0);
+        assert_eq!(fast.fastpath_rounds, fast.rounds);
+        assert_eq!(fast.rounds, incremental.rounds);
+        assert_eq!(fast.switches, incremental.switches);
+        assert!(fast.candidates_scanned > 0);
+        assert!(
+            fast.candidates_scanned < incremental.candidates_scanned,
+            "fast path scanned {} vs exhaustive {}",
+            fast.candidates_scanned,
+            incremental.candidates_scanned
+        );
+        // Exactly two IAU evaluations per worker turn on the fast path.
+        assert_eq!(
+            fast.candidate_evaluations,
+            2 * fast.rounds * s.n_workers() as u64
+        );
+    }
+
+    #[test]
+    fn unsound_iau_weights_fall_back_to_exhaustive_evaluation() {
+        // β ≥ 1 breaks monotonicity (a worker can prefer a *lower* payoff
+        // to reduce guilt), so the FastPath engine must run the exhaustive
+        // loop — provably, via fastpath_rounds == 0 — and match the
+        // Incremental engine bit-for-bit.
+        assert!(!fastpath_sound(IauParams {
+            alpha: 0.5,
+            beta: 1.0
+        }));
+        assert!(!fastpath_sound(IauParams {
+            alpha: -0.1,
+            beta: 0.5
+        }));
+        assert!(fastpath_sound(IauParams {
+            alpha: 0.0,
+            beta: 0.999
+        }));
+        let inst = instance(18);
+        let s = space(&inst);
+        let guilty = IauParams {
+            alpha: 0.5,
+            beta: 1.3,
+        };
+        let run = |engine| {
+            let mut ctx = GameContext::new(&s);
+            let trace = fgt(
+                &mut ctx,
+                &FgtConfig {
+                    engine,
+                    iau: guilty,
+                    ..FgtConfig::default()
+                },
+            );
+            (ctx.to_assignment(), trace.rounds, trace.stats)
+        };
+        let (i_asg, i_rounds, i_stats) = run(BestResponseEngine::Incremental);
+        let (f_asg, f_rounds, f_stats) = run(BestResponseEngine::FastPath);
+        assert_eq!(f_stats.fastpath_rounds, 0, "fallback must not fast-path");
+        assert_eq!(f_asg, i_asg);
+        assert_eq!(f_rounds, i_rounds);
+        assert_eq!(f_stats, i_stats);
     }
 
     #[test]

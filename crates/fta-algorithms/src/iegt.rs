@@ -12,6 +12,7 @@
 //! (Algorithm 3, line 27).
 
 use crate::context::GameContext;
+use crate::fgt::BestResponseEngine;
 use crate::random::random_init;
 use crate::trace::ConvergenceTrace;
 use fta_core::iau::{IauParams, RivalSet};
@@ -48,6 +49,14 @@ pub struct IegtConfig {
     /// Tolerance under which payoffs count as "equal to the average" when
     /// testing the `σ̇ = 0` rest point.
     pub equality_tolerance: f64,
+    /// Candidate-enumeration engine for the evolution loop. IEGT's
+    /// utilities are raw payoffs — trivially strictly increasing in the
+    /// own payoff — so [`BestResponseEngine::FastPath`] is always sound
+    /// here: the strictly-better candidate set is a prefix of the
+    /// payoff-descending slot order and the scan early-exits at the first
+    /// payoff at or below the threshold. The other two variants run the
+    /// classic full-list filter.
+    pub engine: BestResponseEngine,
 }
 
 impl Default for IegtConfig {
@@ -57,6 +66,7 @@ impl Default for IegtConfig {
             seed: 0x4945_4754, // "IEGT"
             redraw: RedrawPolicy::UniformBetter,
             equality_tolerance: 1e-9,
+            engine: BestResponseEngine::default(),
         }
     }
 }
@@ -103,6 +113,7 @@ pub fn iegt_bounded(
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let index_updates_before = ctx.index_updates();
     random_init(ctx, &mut rng);
 
     let mut trace = ConvergenceTrace::default();
@@ -120,9 +131,18 @@ pub fn iegt_bounded(
         population.total(),
     );
 
+    // The fast path is always sound for IEGT (raw payoffs); the other two
+    // engines run the classic full-list filter. Both branches produce the
+    // same `better` set in the same (ascending pool-index) order, so the
+    // redraw — including the rng stream — is engine-invariant.
+    let fastpath = config.engine == BestResponseEngine::FastPath;
+    let mut better: Vec<(u32, f64)> = Vec::new();
     let n = ctx.n_workers();
     for round in 1..=config.max_rounds {
         trace.stats.rounds += 1;
+        if fastpath {
+            trace.stats.fastpath_rounds += 1;
+        }
         let average = population.average();
         let mut moves = 0;
         let mut all_at_rest = true;
@@ -135,11 +155,21 @@ pub fn iegt_bounded(
             }
             all_at_rest = false;
             let margin = config.improvement_threshold(current);
-            let mut better: Vec<(u32, f64)> = Vec::new();
-            for (idx, p) in ctx.available_strategies(local) {
-                trace.stats.candidate_evaluations += 1;
-                if p > current + margin {
-                    better.push((idx, p));
+            let threshold = current + margin;
+            if fastpath {
+                let scan = ctx.better_available_desc(local, threshold, &mut better);
+                trace.stats.candidates_scanned += scan.scanned;
+                if scan.early_exit {
+                    trace.stats.early_exits += 1;
+                }
+            } else {
+                better.clear();
+                trace.stats.candidates_scanned += ctx.space().strategy_count(local) as u64;
+                for (idx, p) in ctx.available_strategies(local) {
+                    trace.stats.candidate_evaluations += 1;
+                    if p > threshold {
+                        better.push((idx, p));
+                    }
                 }
             }
             let choice = match config.redraw {
@@ -178,6 +208,7 @@ pub fn iegt_bounded(
             break;
         }
     }
+    trace.stats.index_updates += ctx.index_updates() - index_updates_before;
     trace
 }
 
@@ -328,6 +359,44 @@ mod tests {
             );
             assert!(trace.converged, "{policy:?} did not converge");
             assert!(ctx.to_assignment().validate(&inst).is_ok());
+        }
+    }
+
+    #[test]
+    fn fastpath_matches_incremental_evolution_exactly() {
+        // IEGT evolves on raw payoffs, so the monotone fast path is always
+        // sound. The descending scan collects *exactly* the candidates the
+        // exhaustive filter admits (same threshold float, same ascending
+        // order after the re-sort), so the shared rng stream draws the same
+        // redraws and the evolution is bit-identical.
+        for seed in [41, 42, 43] {
+            let inst = instance(seed);
+            let s = space(&inst);
+            let run = |engine| {
+                let mut ctx = GameContext::new(&s);
+                let trace = iegt(
+                    &mut ctx,
+                    &IegtConfig {
+                        engine,
+                        ..IegtConfig::default()
+                    },
+                );
+                (ctx.to_assignment(), ctx.total_payoff().to_bits(), trace)
+            };
+            let (inc_asg, inc_bits, inc) = run(BestResponseEngine::Incremental);
+            let (fast_asg, fast_bits, fast) = run(BestResponseEngine::FastPath);
+            assert_eq!(inc_asg, fast_asg, "seed {seed}: assignments diverge");
+            assert_eq!(inc_bits, fast_bits, "seed {seed}: payoffs diverge");
+            assert_eq!(inc.len(), fast.len(), "seed {seed}: round counts diverge");
+            assert_eq!(inc.stats.switches, fast.stats.switches);
+            assert_eq!(inc.stats.fastpath_rounds, 0);
+            assert_eq!(fast.stats.fastpath_rounds, fast.stats.rounds);
+            assert!(
+                fast.stats.candidates_scanned <= inc.stats.candidates_scanned,
+                "seed {seed}: fastpath scanned {} vs exhaustive {}",
+                fast.stats.candidates_scanned,
+                inc.stats.candidates_scanned
+            );
         }
     }
 

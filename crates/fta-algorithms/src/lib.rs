@@ -43,10 +43,10 @@ pub mod solver;
 pub mod stats;
 pub mod trace;
 
-pub use context::GameContext;
+pub use context::{DescScan, GameContext};
 pub use degrade::{DegradationEvent, DegradationReport, LadderRung};
 pub use exact::{exact_search, ExactObjective};
-pub use fgt::{fgt, fgt_bounded, BestResponseEngine, FgtConfig};
+pub use fgt::{fastpath_sound, fgt, fgt_bounded, BestResponseEngine, FgtConfig};
 pub use gta::gta;
 pub use iegt::{iegt, iegt_bounded, IegtConfig, RedrawPolicy};
 pub use mpta::{mpta, MptaConfig};

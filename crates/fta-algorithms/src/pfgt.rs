@@ -141,6 +141,15 @@ fn pfgt_once(
         BestResponseEngine::Incremental => {
             pfgt_once_incremental(ctx, config, priorities, seed, cancel)
         }
+        BestResponseEngine::FastPath => {
+            if crate::fgt::fastpath_sound(config.base.iau) {
+                pfgt_once_fastpath(ctx, config, priorities, seed, cancel)
+            } else {
+                // Out of the monotone regime: exhaustive fallback,
+                // bit-identical (fastpath_rounds stays 0).
+                pfgt_once_incremental(ctx, config, priorities, seed, cancel)
+            }
+        }
     }
 }
 
@@ -161,6 +170,7 @@ fn pfgt_once_rebuild(
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
+    let index_updates_before = ctx.index_updates();
     random_init(ctx, &mut rng);
 
     let potential = |payoffs: &[f64]| {
@@ -185,6 +195,7 @@ fn pfgt_once_rebuild(
             trace.stats.evaluator_builds += 1;
 
             let current_utility = eval.eval(ctx.payoff(local));
+            trace.stats.candidates_scanned += ctx.space().strategy_count(local) as u64;
             let mut best: Option<(Option<u32>, f64)> = Some((None, eval.eval(0.0)));
             trace.stats.candidate_evaluations += 2;
             for (idx, payoff) in ctx.available_strategies(local) {
@@ -216,6 +227,7 @@ fn pfgt_once_rebuild(
             break;
         }
     }
+    trace.stats.index_updates += ctx.index_updates() - index_updates_before;
     trace
 }
 
@@ -230,6 +242,7 @@ fn pfgt_once_incremental(
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     let mut rng = StdRng::seed_from_u64(seed);
+    let index_updates_before = ctx.index_updates();
     random_init(ctx, &mut rng);
 
     let mut trace = new_trace(config);
@@ -261,6 +274,7 @@ fn pfgt_once_incremental(
             trace.stats.evaluator_updates += 1;
 
             let current_utility = q_rivals.eval(own, rho);
+            trace.stats.candidates_scanned += ctx.space().strategy_count(local) as u64;
             let mut best: Option<(Option<u32>, f64)> = Some((None, q_rivals.eval(0.0, rho)));
             trace.stats.candidate_evaluations += 2;
             for (idx, payoff) in ctx.available_strategies(local) {
@@ -307,6 +321,105 @@ fn pfgt_once_incremental(
             break;
         }
     }
+    trace.stats.index_updates += ctx.index_updates() - index_updates_before;
+    trace
+}
+
+/// Monotone fast-path engine for PFGT: identical evaluator maintenance to
+/// [`pfgt_once_incremental`] (so traces are bit-identical), but the best
+/// response is the highest-payoff available strategy found by a first-hit
+/// scan over the payoff-descending slot order. Soundness: the priority IAU
+/// perceives inequity on the normalised payoffs `q = p/ρ` with `ρ > 0`, a
+/// strictly increasing map, so the monotonicity argument of
+/// [`crate::fgt::fastpath_sound`] carries over verbatim for `β < 1`,
+/// `α ≥ 0`.
+fn pfgt_once_fastpath(
+    ctx: &mut GameContext<'_>,
+    config: &PfgtConfig,
+    priorities: &[f64],
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> ConvergenceTrace {
+    debug_assert!(crate::fgt::fastpath_sound(config.base.iau));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let index_updates_before = ctx.index_updates();
+    random_init(ctx, &mut rng);
+
+    let mut trace = new_trace(config);
+    let mut q_rivals = PriorityRivalSet::new(config.base.iau);
+    for (local, &p) in ctx.payoffs().iter().enumerate() {
+        q_rivals.insert(p, priorities[local]);
+    }
+    let mut raw = RivalSet::with_payoffs(ctx.payoffs(), config.base.iau);
+    trace.stats.evaluator_builds += 2;
+
+    trace.snapshot(ctx.payoffs());
+    trace.record_summary(
+        0,
+        0,
+        raw.payoff_difference(),
+        raw.average(),
+        q_rivals.potential(),
+    );
+
+    let n = ctx.n_workers();
+    for round in 1..=config.base.max_rounds {
+        trace.stats.rounds += 1;
+        trace.stats.fastpath_rounds += 1;
+        let mut moves = 0;
+        for (local, &rho) in priorities.iter().enumerate().take(n) {
+            let own = ctx.payoff(local);
+            q_rivals.remove(own, rho);
+            trace.stats.evaluator_updates += 1;
+
+            let current_utility = q_rivals.eval(own, rho);
+            let (found, scan) = ctx.best_available_desc(local);
+            trace.stats.candidates_scanned += scan.scanned;
+            if scan.early_exit {
+                trace.stats.early_exits += 1;
+            }
+            let (choice, utility) = match found {
+                Some((idx, payoff)) if payoff > 0.0 => (Some(idx), q_rivals.eval(payoff, rho)),
+                _ => (None, q_rivals.eval(0.0, rho)),
+            };
+            trace.stats.candidate_evaluations += 2;
+            if utility > current_utility + config.base.min_improvement
+                && choice != ctx.selection(local)
+            {
+                ctx.set_strategy(local, choice);
+                moves += 1;
+                trace.stats.switches += 1;
+                if choice.is_none() {
+                    trace.stats.null_adoptions += 1;
+                }
+            }
+            let adopted = ctx.payoff(local);
+            q_rivals.insert(adopted, rho);
+            trace.stats.evaluator_updates += 1;
+            if adopted != own {
+                raw.remove(own);
+                raw.insert(adopted);
+                trace.stats.evaluator_updates += 2;
+            }
+        }
+        trace.snapshot(ctx.payoffs());
+        trace.record_summary(
+            round,
+            moves,
+            raw.payoff_difference(),
+            raw.average(),
+            q_rivals.potential(),
+        );
+        if moves == 0 {
+            trace.converged = true;
+            break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            trace.cancelled = true;
+            break;
+        }
+    }
+    trace.stats.index_updates += ctx.index_updates() - index_updates_before;
     trace
 }
 
@@ -456,9 +569,47 @@ mod tests {
             };
             let (a_asg, a_len) = run(BestResponseEngine::Rebuild);
             let (b_asg, b_len) = run(BestResponseEngine::Incremental);
+            let (c_asg, c_len) = run(BestResponseEngine::FastPath);
             assert_eq!(a_asg, b_asg, "seed {seed}: assignments diverge");
             assert_eq!(a_len, b_len, "seed {seed}: round counts diverge");
+            assert_eq!(b_asg, c_asg, "seed {seed}: fastpath assignment diverges");
+            assert_eq!(b_len, c_len, "seed {seed}: fastpath round count diverges");
         }
+    }
+
+    #[test]
+    fn fastpath_respects_priorities_and_scans_less() {
+        use crate::fgt::BestResponseEngine;
+        let inst = instance(35);
+        let s = space(&inst);
+        let run = |engine| {
+            let mut ctx = GameContext::new(&s);
+            let trace = pfgt(
+                &mut ctx,
+                &PfgtConfig {
+                    base: FgtConfig {
+                        engine,
+                        ..FgtConfig::default()
+                    },
+                    priorities: PrioritySpec::ByWorker(tiered),
+                },
+            );
+            (ctx.to_assignment(), trace)
+        };
+        let (inc_asg, inc) = run(BestResponseEngine::Incremental);
+        let (fast_asg, fast) = run(BestResponseEngine::FastPath);
+        assert_eq!(inc_asg, fast_asg, "fastpath equilibrium diverges");
+        assert_eq!(inc.stats.rounds, fast.stats.rounds);
+        assert_eq!(inc.stats.switches, fast.stats.switches);
+        assert_eq!(inc.stats.fastpath_rounds, 0);
+        assert_eq!(fast.stats.fastpath_rounds, fast.stats.rounds);
+        assert!(
+            fast.stats.candidates_scanned > 0
+                && fast.stats.candidates_scanned < inc.stats.candidates_scanned,
+            "fastpath scanned {} vs exhaustive {}",
+            fast.stats.candidates_scanned,
+            inc.stats.candidates_scanned
+        );
     }
 
     #[test]

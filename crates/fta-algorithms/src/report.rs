@@ -34,6 +34,7 @@ pub struct SolveReport<'a> {
     outcome: &'a SolveOutcome,
     label: Option<&'a str>,
     engine: Option<&'a str>,
+    br_engine: Option<(&'a str, bool)>,
 }
 
 impl<'a> SolveReport<'a> {
@@ -44,6 +45,7 @@ impl<'a> SolveReport<'a> {
             outcome,
             label: None,
             engine: None,
+            br_engine: None,
         }
     }
 
@@ -58,6 +60,16 @@ impl<'a> SolveReport<'a> {
     #[must_use]
     pub fn engine(mut self, engine: &'a str) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Names the best-response engine and whether the configured IAU
+    /// weights make the monotone fast path sound ([`crate::fastpath_sound`]).
+    /// Rendered on the best-response work line, so baselines that never
+    /// enter an equilibrium loop stay silent.
+    #[must_use]
+    pub fn br_engine(mut self, engine: &'a str, fastpath_eligible: bool) -> Self {
+        self.br_engine = Some((engine, fastpath_eligible));
         self
     }
 }
@@ -100,15 +112,30 @@ impl fmt::Display for SolveReport<'_> {
         }
         if !o.br_stats.is_empty() {
             let s = &o.br_stats;
+            if let Some((engine, eligible)) = self.br_engine {
+                writeln!(
+                    f,
+                    "best-response engine: {engine} (fast path {})",
+                    if eligible {
+                        "eligible"
+                    } else {
+                        "ineligible: exhaustive fallback"
+                    },
+                )?;
+            }
             writeln!(
                 f,
-                "best-response work: {} rounds, {} candidate evals, {} switches ({} to null), {} evaluator builds, {} incremental updates",
+                "best-response work: {} rounds, {} candidate evals, {} switches ({} to null), {} evaluator builds, {} incremental updates, {} slots scanned, {} early exits, {} index updates, {} fast-path rounds",
                 s.rounds,
                 s.candidate_evaluations,
                 s.switches,
                 s.null_adoptions,
                 s.evaluator_builds,
                 s.evaluator_updates,
+                s.candidates_scanned,
+                s.early_exits,
+                s.index_updates,
+                s.fastpath_rounds,
             )?;
         }
         if let Some(last) = o.trace.last() {
@@ -183,7 +210,28 @@ mod tests {
         let text = SolveReport::new(&o).to_string();
         assert!(text.contains("best-response work:"));
         assert!(text.contains("evaluator builds"));
+        assert!(text.contains("slots scanned"));
+        assert!(text.contains("fast-path rounds"));
         assert!(text.contains("convergence:"));
         assert!(text.contains("converged=true"));
+        // Engine echo is opt-in.
+        assert!(!text.contains("best-response engine:"));
+    }
+
+    #[test]
+    fn br_engine_echo_reports_name_and_eligibility() {
+        let o = outcome(Algorithm::Fgt(FgtConfig::default()));
+        let text = SolveReport::new(&o).br_engine("fastpath", true).to_string();
+        assert!(text.contains("best-response engine: fastpath (fast path eligible)"));
+        let text = SolveReport::new(&o)
+            .br_engine("exhaustive", false)
+            .to_string();
+        assert!(text.contains(
+            "best-response engine: exhaustive (fast path ineligible: exhaustive fallback)"
+        ));
+        // Baselines stay silent even with an engine attached.
+        let o = outcome(Algorithm::Gta);
+        let text = SolveReport::new(&o).br_engine("fastpath", true).to_string();
+        assert!(!text.contains("best-response engine:"));
     }
 }

@@ -559,6 +559,10 @@ pub fn solve_with_pool(
         fta_obs::counter("br.null_adoptions", br_stats.null_adoptions);
         fta_obs::counter("br.evaluator_builds", br_stats.evaluator_builds);
         fta_obs::counter("br.evaluator_updates", br_stats.evaluator_updates);
+        fta_obs::counter("br.candidates_scanned", br_stats.candidates_scanned);
+        fta_obs::counter("br.early_exits", br_stats.early_exits);
+        fta_obs::counter("br.index_updates", br_stats.index_updates);
+        fta_obs::counter("br.fastpath_rounds", br_stats.fastpath_rounds);
         // Degradation counters: centers solved below the full rung, and
         // whether the budget actually bound anywhere.
         let degraded = rungs.iter().filter(|&&(_, r)| r.is_degraded()).count();

@@ -35,6 +35,22 @@ pub struct BestResponseStats {
     /// Incremental evaluator maintenance operations (one per payoff
     /// removed from or inserted into a rival structure).
     pub evaluator_updates: u64,
+    /// Strategy slots examined for availability during best-response
+    /// deliberation. The exhaustive engines probe a worker's *entire*
+    /// valid list per turn; the monotone fast path stops at the first
+    /// available slot of the payoff-descending order.
+    pub candidates_scanned: u64,
+    /// Fast-path scans that terminated before exhausting the worker's
+    /// strategy list (the monotone early exit paying off).
+    pub early_exits: u64,
+    /// Per-slot conflict-counter adjustments applied through the inverted
+    /// DP-bit index on strategy switches (zero when the space is below the
+    /// index crossover and availability is mask-scanned).
+    pub index_updates: u64,
+    /// Rounds executed under the monotone fast-path loop. Stays zero when
+    /// the IAU parameters make the fast path unsound (`β ≥ 1` or `α < 0`)
+    /// and the run fell back to exhaustive evaluation.
+    pub fastpath_rounds: u64,
 }
 
 impl BestResponseStats {
@@ -46,6 +62,10 @@ impl BestResponseStats {
         self.null_adoptions += other.null_adoptions;
         self.evaluator_builds += other.evaluator_builds;
         self.evaluator_updates += other.evaluator_updates;
+        self.candidates_scanned += other.candidates_scanned;
+        self.early_exits += other.early_exits;
+        self.index_updates += other.index_updates;
+        self.fastpath_rounds += other.fastpath_rounds;
     }
 
     /// Whether no work was recorded (e.g. a baseline algorithm ran).
@@ -68,6 +88,10 @@ mod tests {
             null_adoptions: 1,
             evaluator_builds: 2,
             evaluator_updates: 8,
+            candidates_scanned: 20,
+            early_exits: 5,
+            index_updates: 7,
+            fastpath_rounds: 1,
         };
         let b = BestResponseStats {
             rounds: 2,
@@ -76,6 +100,10 @@ mod tests {
             null_adoptions: 0,
             evaluator_builds: 1,
             evaluator_updates: 4,
+            candidates_scanned: 10,
+            early_exits: 2,
+            index_updates: 3,
+            fastpath_rounds: 2,
         };
         a.merge(&b);
         assert_eq!(
@@ -87,6 +115,10 @@ mod tests {
                 null_adoptions: 1,
                 evaluator_builds: 3,
                 evaluator_updates: 12,
+                candidates_scanned: 30,
+                early_exits: 7,
+                index_updates: 10,
+                fastpath_rounds: 3,
             }
         );
     }

@@ -12,6 +12,11 @@ use fta_data::{generate_syn, SynConfig};
 use fta_vdps::{StrategySpace, VdpsConfig};
 use proptest::prelude::*;
 
+/// Everything one best-response engine produces that another engine must
+/// reproduce: selections, payoff bits, per-round trace summaries
+/// (moves, `P_dif` bits, average-payoff bits), and convergence.
+type EngineRun = (Vec<Option<u32>>, Vec<u64>, Vec<(usize, u64, u64)>, bool);
+
 /// Random small instances driven by a seed and size knobs.
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (1u64..500, 2usize..12, 4usize..16, 1usize..4).prop_map(|(seed, n_workers, n_dps, max_dp)| {
@@ -254,5 +259,76 @@ proptest! {
             prop_assert_eq!(ctx.taken_mask(), expect_taken);
             prop_assert!((ctx.total_payoff() - expect_total).abs() < 1e-9);
         }
+    }
+
+    /// Engine-equivalence property (the fast path's correctness contract):
+    /// for any sound IAU weights (`α ≥ 0`, `β < 1`), the monotone fast
+    /// path must reproduce the exhaustive engines *bit for bit* — same
+    /// selections, same per-round trace summaries, same payoff vectors.
+    #[test]
+    fn fastpath_engine_is_bit_identical_for_sound_iau_weights(
+        instance in arb_instance(),
+        alpha in 0.0f64..4.0,
+        beta in 0.0f64..1.0,
+    ) {
+        let iau = fta_core::iau::IauParams { alpha, beta };
+        prop_assert!(fta_algorithms::fastpath_sound(iau));
+        let s = space(&instance);
+        let run = |engine| {
+            let mut ctx = GameContext::new(&s);
+            let trace = fgt(&mut ctx, &FgtConfig { iau, engine, ..FgtConfig::default() });
+            let selections: Vec<Option<u32>> =
+                (0..ctx.n_workers()).map(|l| ctx.selection(l)).collect();
+            let payoff_bits: Vec<u64> =
+                (0..ctx.n_workers()).map(|l| ctx.payoff(l).to_bits()).collect();
+            let summaries: Vec<(usize, u64, u64)> = trace
+                .rounds
+                .iter()
+                .map(|r| (r.moves, r.payoff_difference.to_bits(), r.average_payoff.to_bits()))
+                .collect();
+            (selections, payoff_bits, summaries, trace.converged)
+        };
+        let rebuild = run(fta_algorithms::BestResponseEngine::Rebuild);
+        let incremental = run(fta_algorithms::BestResponseEngine::Incremental);
+        let fastpath = run(fta_algorithms::BestResponseEngine::FastPath);
+        // The rebuild engine recomputes round summaries from scratch while
+        // the incremental engines maintain them, so their summary *floats*
+        // may differ by an ulp; selections, payoffs, move counts, and
+        // convergence must still agree exactly.
+        prop_assert_eq!(&rebuild.0, &incremental.0, "rebuild selections diverged");
+        prop_assert_eq!(&rebuild.1, &incremental.1, "rebuild payoffs diverged");
+        let moves =
+            |r: &EngineRun| r.2.iter().map(|&(m, _, _)| m).collect::<Vec<usize>>();
+        prop_assert_eq!(moves(&rebuild), moves(&incremental), "rebuild moves diverged");
+        prop_assert_eq!(rebuild.3, incremental.3, "rebuild convergence diverged");
+        // The fast path mirrors the incremental engine's rival structure
+        // operation for operation, so it must be bit-identical to it —
+        // trace summaries included.
+        prop_assert_eq!(&incremental, &fastpath, "fastpath diverged");
+    }
+
+    /// Unsound IAU weights (`β ≥ 1`, where IAU utility is no longer
+    /// monotone in own payoff) must make the `FastPath` engine fall back
+    /// to exhaustive evaluation: zero fast-path rounds, and the outcome
+    /// identical to the `Incremental` engine it delegates to.
+    #[test]
+    fn fastpath_engine_falls_back_when_beta_is_large(
+        instance in arb_instance(),
+        beta in 1.0f64..3.0,
+    ) {
+        let iau = fta_core::iau::IauParams { alpha: 0.5, beta };
+        prop_assert!(!fta_algorithms::fastpath_sound(iau));
+        let s = space(&instance);
+        let run = |engine| {
+            let mut ctx = GameContext::new(&s);
+            let trace = fgt(&mut ctx, &FgtConfig { iau, engine, ..FgtConfig::default() });
+            (ctx.to_assignment(), trace)
+        };
+        let (inc_asg, inc) = run(fta_algorithms::BestResponseEngine::Incremental);
+        let (fast_asg, fast) = run(fta_algorithms::BestResponseEngine::FastPath);
+        prop_assert_eq!(fast.stats.fastpath_rounds, 0, "unsound weights took the fast path");
+        prop_assert_eq!(fast.stats.early_exits, 0);
+        prop_assert_eq!(inc_asg, fast_asg);
+        prop_assert_eq!(inc.stats, fast.stats);
     }
 }

@@ -1,6 +1,6 @@
 //! Argument parsing for the `fta` binary (hand-rolled, dependency-free).
 
-use fta_algorithms::{Algorithm, FgtConfig, IegtConfig, MptaConfig};
+use fta_algorithms::{Algorithm, BestResponseEngine, FgtConfig, IegtConfig, MptaConfig};
 use fta_vdps::VdpsEngine;
 use std::path::PathBuf;
 
@@ -17,8 +17,9 @@ COMMANDS
       Print an instance's cardinalities and per-center structure.
 
   solve <INSTANCE> [--algo gta|mpta|fgt|iegt|random] [--epsilon E]
-        [--max-len N] [--engine flat|hashmap] [--parallel] [--out FILE]
-        [--budget-ms MS] [--max-states N] [--max-rounds N]
+        [--max-len N] [--engine flat|hashmap]
+        [--br-engine auto|exhaustive|incremental|fastpath] [--parallel]
+        [--out FILE] [--budget-ms MS] [--max-states N] [--max-rounds N]
         [--trace-out FILE] [--metrics-out FILE]
       Run an assignment algorithm; print the summary, optionally write
       the assignment JSON. With --trace-out / --metrics-out a telemetry
@@ -56,6 +57,10 @@ OPTIONS
   --engine flat|hashmap   VDPS generator implementation (default: flat,
       the cache-friendly parallel engine; hashmap is the reference DP —
       both produce identical pools).
+  --br-engine auto|exhaustive|incremental|fastpath   Best-response
+      engine of the equilibrium loops (fgt/iegt only; default: auto =
+      fastpath, which self-falls-back to the exhaustive evaluation when
+      the IAU weights make the monotone scan unsound, i.e. β ≥ 1).
   --parallel              Run on a worker pool bounded by the number of
       CPUs (per-center jobs, per-layer DP expansion, and per-worker
       validation all share the pool).";
@@ -103,6 +108,9 @@ pub enum Command {
         max_len: usize,
         /// VDPS generator engine.
         engine: VdpsEngine,
+        /// Best-response engine of the equilibrium loops (`--br-engine`;
+        /// `auto` resolves to the self-guarding fast path).
+        br_engine: BestResponseEngine,
         /// Per-center threading.
         parallel: bool,
         /// Wall-clock budget for the whole solve, milliseconds.
@@ -192,6 +200,23 @@ fn parse_engine(raw: &str) -> Result<VdpsEngine, String> {
         .ok_or_else(|| format!("unknown engine `{raw}`; expected flat | hashmap"))
 }
 
+fn parse_br_engine(raw: &str) -> Result<BestResponseEngine, String> {
+    Ok(match raw {
+        // `auto` and `fastpath` are the same engine: FastPath guards its
+        // own soundness and falls back to the exhaustive evaluation when
+        // the IAU weights demand it, so there is nothing extra for the
+        // CLI to decide.
+        "auto" | "fastpath" => BestResponseEngine::FastPath,
+        "incremental" => BestResponseEngine::Incremental,
+        "exhaustive" => BestResponseEngine::Rebuild,
+        other => {
+            return Err(format!(
+                "unknown best-response engine `{other}`; expected auto | exhaustive | incremental | fastpath"
+            ))
+        }
+    })
+}
+
 fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
@@ -262,6 +287,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut epsilon = Some(2.0);
             let mut max_len = 8usize;
             let mut engine = VdpsEngine::default();
+            let mut br_engine = BestResponseEngine::default();
             let mut parallel = false;
             let mut budget_ms = None;
             let mut max_states = None;
@@ -285,6 +311,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--max-len" => max_len = parse_num(value("--max-len")?, "--max-len")?,
                     "--engine" => engine = parse_engine(value("--engine")?)?,
+                    "--br-engine" => br_engine = parse_br_engine(value("--br-engine")?)?,
                     "--parallel" => parallel = true,
                     "--budget-ms" => {
                         budget_ms = Some(parse_num(value("--budget-ms")?, "--budget-ms")?);
@@ -310,6 +337,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 epsilon,
                 max_len,
                 engine,
+                br_engine,
                 parallel,
                 budget_ms,
                 max_states,
@@ -556,6 +584,31 @@ mod tests {
         }
         let err = parse(&argv("solve city.json --engine turbo")).unwrap_err();
         assert!(err.contains("unknown engine"));
+    }
+
+    #[test]
+    fn br_engine_flag_selects_best_response_engine() {
+        // Default is `auto` = the self-guarding fast path.
+        match parse(&argv("solve city.json")).unwrap() {
+            Command::Solve { br_engine, .. } => {
+                assert_eq!(br_engine, BestResponseEngine::FastPath);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cases = [
+            ("auto", BestResponseEngine::FastPath),
+            ("fastpath", BestResponseEngine::FastPath),
+            ("incremental", BestResponseEngine::Incremental),
+            ("exhaustive", BestResponseEngine::Rebuild),
+        ];
+        for (name, expected) in cases {
+            match parse(&argv(&format!("solve city.json --br-engine {name}"))).unwrap() {
+                Command::Solve { br_engine, .. } => assert_eq!(br_engine, expected, "{name}"),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        let err = parse(&argv("solve city.json --br-engine turbo")).unwrap_err();
+        assert!(err.contains("unknown best-response engine"));
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             epsilon,
             max_len,
             engine,
+            br_engine,
             parallel,
             budget_ms,
             max_states,
@@ -120,7 +121,29 @@ pub fn execute(command: &Command) -> Result<String, String> {
             trace_out,
             metrics_out,
         } => {
+            use fta_algorithms::{fastpath_sound, Algorithm};
             let inst = load_instance(instance).map_err(|e| e.to_string())?;
+            // Thread the requested best-response engine into whichever
+            // equilibrium loop the algorithm runs (baselines have none),
+            // and remember whether the monotone fast path is sound for
+            // the configured utilities so the report can echo it.
+            let mut algorithm = *algorithm;
+            let fastpath_eligible = match &mut algorithm {
+                Algorithm::Fgt(cfg) => {
+                    cfg.engine = *br_engine;
+                    fastpath_sound(cfg.iau)
+                }
+                Algorithm::Pfgt(cfg) => {
+                    cfg.base.engine = *br_engine;
+                    fastpath_sound(cfg.base.iau)
+                }
+                Algorithm::Iegt(cfg) => {
+                    cfg.engine = *br_engine;
+                    // IEGT utilities are raw payoffs: always monotone.
+                    true
+                }
+                _ => true,
+            };
             let vdps = VdpsConfig {
                 epsilon: *epsilon,
                 max_len: *max_len,
@@ -141,7 +164,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     vdps,
                     parallel: *parallel,
                     budget,
-                    ..SolveConfig::new(*algorithm)
+                    ..SolveConfig::new(algorithm)
                 },
             );
             let snapshot = recorder.map(fta_obs::Recorder::finish);
@@ -155,6 +178,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let report = fta_algorithms::SolveReport::new(&outcome)
                 .label(&label)
                 .engine(engine.name())
+                .br_engine(br_engine.name(), fastpath_eligible)
                 .to_string();
             // Header first, assignment summary, then the stats lines.
             let mut lines = report.splitn(2, '\n');
@@ -524,6 +548,13 @@ mod tests {
             "missing stats in:\n{out}"
         );
         assert!(out.contains("evaluator builds"));
+        assert!(out.contains("fast-path rounds"));
+        // The default engine is the self-guarding fast path, and the
+        // paper's default IAU weights (β = 0.5) make it sound.
+        assert!(
+            out.contains("best-response engine: fastpath (fast path eligible)"),
+            "missing engine echo in:\n{out}"
+        );
 
         // …while the non-iterative baseline stays silent.
         let cmd = parse(&argv(&format!(
@@ -533,6 +564,43 @@ mod tests {
         .unwrap();
         let out = execute(&cmd).unwrap();
         assert!(!out.contains("best-response work:"));
+        assert!(!out.contains("best-response engine:"));
+
+        let _ = std::fs::remove_file(&instance_path);
+    }
+
+    #[test]
+    fn br_engine_flag_switches_engines_without_changing_the_equilibrium() {
+        let instance_path = temp("brengine.json");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 27 --centers 1 --workers 6 --tasks 60 --dps 10 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        let run = |flag: &str| {
+            let cmd = parse(&argv(&format!(
+                "solve {} --algo fgt{flag}",
+                instance_path.display()
+            )))
+            .unwrap();
+            execute(&cmd).unwrap()
+        };
+        let fast = run(" --br-engine fastpath");
+        let exhaustive = run(" --br-engine exhaustive");
+        assert!(fast.contains("best-response engine: fastpath"));
+        assert!(exhaustive.contains("best-response engine: exhaustive"));
+
+        // All engines converge to the same equilibrium; the rendered
+        // convergence line (P_dif, average payoff) must agree.
+        let convergence = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("convergence:"))
+                .map(str::to_owned)
+                .expect("convergence line present")
+        };
+        assert_eq!(convergence(&fast), convergence(&exhaustive));
 
         let _ = std::fs::remove_file(&instance_path);
     }

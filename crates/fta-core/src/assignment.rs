@@ -8,6 +8,7 @@ use crate::payoff::worker_payoff;
 use crate::route::Route;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A spatial task assignment: a set of `(worker, VDPS)` pairs with pairwise
 /// disjoint delivery point sets (Definition 8).
@@ -15,9 +16,14 @@ use std::collections::BTreeMap;
 /// Workers playing the `null` strategy (no delivery tasks) are simply absent
 /// from the map; their payoff is `0`. A `BTreeMap` keeps iteration order
 /// deterministic, which makes every metric and report reproducible.
+///
+/// Routes are stored behind [`Arc`] so that materialising an assignment
+/// from a strategy-space pool, merging per-center solutions, and handing
+/// planned routes to the simulator all share one allocation per route
+/// instead of deep-copying the stop vector at every boundary.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Assignment {
-    choices: BTreeMap<WorkerId, Route>,
+    choices: BTreeMap<WorkerId, Arc<Route>>,
 }
 
 impl Assignment {
@@ -28,20 +34,21 @@ impl Assignment {
     }
 
     /// Assigns `route` to `worker`, replacing any previous route. Returns
-    /// the previous route, if any.
-    pub fn assign(&mut self, worker: WorkerId, route: Route) -> Option<Route> {
-        self.choices.insert(worker, route)
+    /// the previous route, if any. Accepts either an owned [`Route`] or an
+    /// already-shared [`Arc<Route>`] (the latter is a refcount bump).
+    pub fn assign(&mut self, worker: WorkerId, route: impl Into<Arc<Route>>) -> Option<Arc<Route>> {
+        self.choices.insert(worker, route.into())
     }
 
     /// Reverts `worker` to the `null` strategy; returns the removed route.
-    pub fn unassign(&mut self, worker: WorkerId) -> Option<Route> {
+    pub fn unassign(&mut self, worker: WorkerId) -> Option<Arc<Route>> {
         self.choices.remove(&worker)
     }
 
     /// The route assigned to `worker`, if any.
     #[must_use]
     pub fn route_of(&self, worker: WorkerId) -> Option<&Route> {
-        self.choices.get(&worker)
+        self.choices.get(&worker).map(Arc::as_ref)
     }
 
     /// Number of workers with a non-null strategy.
@@ -52,7 +59,15 @@ impl Assignment {
 
     /// Iterates over `(worker, route)` pairs in worker-id order.
     pub fn iter(&self) -> impl Iterator<Item = (WorkerId, &Route)> {
-        self.choices.iter().map(|(&w, r)| (w, r))
+        self.choices.iter().map(|(&w, r)| (w, r.as_ref()))
+    }
+
+    /// Iterates over `(worker, route)` pairs in worker-id order, yielding
+    /// shared handles. Cloning the yielded [`Arc`] is a refcount bump, not
+    /// a deep copy — the simulator uses this to keep per-tick planned
+    /// routes alive past the assignment itself.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (WorkerId, Arc<Route>)> + '_ {
+        self.choices.iter().map(|(&w, r)| (w, Arc::clone(r)))
     }
 
     /// Merges another assignment into this one (used to combine per-center
@@ -87,13 +102,13 @@ impl Assignment {
     /// Total number of delivery points covered by the assignment.
     #[must_use]
     pub fn covered_dps(&self) -> usize {
-        self.choices.values().map(Route::len).sum()
+        self.choices.values().map(|r| r.len()).sum()
     }
 
     /// Total reward collected by all workers.
     #[must_use]
     pub fn total_reward(&self) -> f64 {
-        self.choices.values().map(Route::total_reward).sum()
+        self.choices.values().map(|r| r.total_reward()).sum()
     }
 
     /// Renders a human-readable summary: one line per assigned worker with
@@ -155,6 +170,14 @@ impl Assignment {
 
 impl FromIterator<(WorkerId, Route)> for Assignment {
     fn from_iter<T: IntoIterator<Item = (WorkerId, Route)>>(iter: T) -> Self {
+        Self {
+            choices: iter.into_iter().map(|(w, r)| (w, Arc::new(r))).collect(),
+        }
+    }
+}
+
+impl FromIterator<(WorkerId, Arc<Route>)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (WorkerId, Arc<Route>)>>(iter: T) -> Self {
         Self {
             choices: iter.into_iter().collect(),
         }

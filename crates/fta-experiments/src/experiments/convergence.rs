@@ -49,6 +49,10 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
             s.null_adoptions,
             s.evaluator_builds,
             s.evaluator_updates,
+            s.candidates_scanned,
+            s.early_exits,
+            s.index_updates,
+            s.fastpath_rounds,
         ];
         for (i, &value) in counters.iter().enumerate() {
             fig.panels[3].push_point(label, i as f64, value as f64);
@@ -59,8 +63,9 @@ pub fn run(opts: &RunnerOptions) -> FigureData {
 
 /// Metric name of the best-response work panel; the x coordinate indexes
 /// the counters in the order listed here.
-pub const WORK_PANEL: &str =
-    "best-response work [0=rounds, 1=cand evals, 2=switches, 3=null adoptions, 4=eval builds, 5=eval updates]";
+pub const WORK_PANEL: &str = "best-response work [0=rounds, 1=cand evals, 2=switches, \
+     3=null adoptions, 4=eval builds, 5=eval updates, 6=cand scanned, 7=early exits, \
+     8=index updates, 9=fastpath rounds]";
 
 #[cfg(test)]
 mod tests {
@@ -93,10 +98,15 @@ mod tests {
         let work = fig.panel_of(WORK_PANEL).unwrap();
         for label in ["FGT", "IEGT"] {
             let s = work.series_of(label).unwrap();
-            assert_eq!(s.points.len(), 6, "{label} missing counters");
-            // rounds (x=0) and candidate evaluations (x=1) must be > 0.
+            assert_eq!(s.points.len(), 10, "{label} missing counters");
+            // rounds (x=0) and candidates scanned (x=6) must be > 0. (The
+            // IEGT fast path evolves without evaluating IAU utilities, so
+            // candidate evaluations may legitimately be zero for it.)
             assert!(s.points[0].1 > 0.0, "{label} reported zero rounds");
-            assert!(s.points[1].1 > 0.0, "{label} reported zero evaluations");
+            assert!(s.points[6].1 > 0.0, "{label} reported zero scans");
+            // Both default configurations are fast-path eligible: every
+            // recorded round ran under the monotone loop.
+            assert_eq!(s.points[9].1, s.points[0].1, "{label} left the fast path");
         }
     }
 

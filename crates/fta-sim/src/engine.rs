@@ -12,13 +12,14 @@ use fta_core::{Instance, SolveBudget};
 use fta_vdps::VdpsConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Plans single-stop routes for the [`DispatchPolicy::Immediate`] baseline:
 /// per center, delivery points are served in earliest-deadline order, each
 /// by the nearest idle worker whose initial leg still meets the deadline.
 /// Returns `(original worker index, route)` pairs; `idle` maps the
 /// snapshot's dense worker ids back to scenario indices.
-fn plan_immediate(snapshot: &Instance, idle: &[usize]) -> Vec<(usize, Route)> {
+fn plan_immediate(snapshot: &Instance, idle: &[usize]) -> Vec<(usize, Arc<Route>)> {
     let aggs = snapshot.dp_aggregates();
     let mut used = vec![false; snapshot.workers.len()];
     let mut planned = Vec::new();
@@ -49,7 +50,7 @@ fn plan_immediate(snapshot: &Instance, idle: &[usize]) -> Vec<(usize, Route)> {
                 .min_by(|a, b| a.1.total_cmp(&b.1));
             if let Some((w, _)) = candidate {
                 used[w.index()] = true;
-                planned.push((idle[w.index()], route));
+                planned.push((idle[w.index()], Arc::new(route)));
             }
         }
     }
@@ -322,7 +323,7 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
             // Plan routes: (original worker index, route) pairs. The
             // timer feeds the per-tick assignment latency histogram
             // (both dispatch policies, so they can be compared).
-            let planned: Vec<(usize, Route)> = {
+            let planned: Vec<(usize, Arc<Route>)> = {
                 let _assign_timer = fta_obs::hist_timer("sim.assign_nanos");
                 match config.policy {
                     DispatchPolicy::Batch(algorithm) => {
@@ -343,8 +344,8 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
                         }
                         outcome
                             .assignment
-                            .iter()
-                            .map(|(w, route)| (idle[w.index()], route.clone()))
+                            .iter_shared()
+                            .map(|(w, route)| (idle[w.index()], route))
                             .collect()
                     }
                     DispatchPolicy::Immediate => plan_immediate(&instance, &idle),

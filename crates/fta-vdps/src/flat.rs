@@ -704,7 +704,10 @@ pub fn generate_c_vdps_flat_budgeted(
                 route.is_center_origin_valid(),
                 "the DP must only emit deadline-feasible sequences"
             );
-            pool.push(Vdps { mask, route });
+            pool.push(Vdps {
+                mask,
+                route: std::sync::Arc::new(route),
+            });
         }
     }
     stats.route_nanos = u64::try_from(route_start.elapsed().as_nanos()).unwrap_or(u64::MAX);

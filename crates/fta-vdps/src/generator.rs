@@ -46,12 +46,17 @@ impl GenControl<'_> {
 /// One center-origin Valid Delivery Point Set: the set itself (as a bitmask
 /// over the [`CenterView`]'s local delivery-point indices) and the
 /// minimum-travel-time route that certifies its validity.
+///
+/// The route sits behind an [`Arc`](std::sync::Arc) so that materialising
+/// an [`Assignment`](fta_core::Assignment) from the pool (and every
+/// downstream consumer of assigned routes) shares the one allocation made
+/// at generation time instead of deep-copying the stop vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Vdps {
     /// Bitmask over local delivery-point indices (`view.dps` order).
     pub mask: u128,
     /// The minimum-travel-time deadline-feasible visiting sequence.
-    pub route: Route,
+    pub route: std::sync::Arc<Route>,
 }
 
 impl Vdps {
@@ -460,7 +465,10 @@ pub fn generate_c_vdps_hashmap_budgeted(
             route.is_center_origin_valid(),
             "the DP must only emit deadline-feasible sequences"
         );
-        pool.push(Vdps { mask, route });
+        pool.push(Vdps {
+            mask,
+            route: std::sync::Arc::new(route),
+        });
     }
     stats.route_nanos = u64::try_from(route_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     drop(route_span);

@@ -95,4 +95,6 @@ pub use generator::{
 };
 pub use pool::{TaskScope, WorkerPool};
 pub use schedule::schedule_route;
-pub use strategy::StrategySpace;
+pub use strategy::{
+    ConflictSets, StrategySpace, CONFLICT_INDEX_MAX_SLOTS_PER_BIT, CONFLICT_INDEX_MIN_SLOTS,
+};

@@ -78,7 +78,10 @@ pub fn generate_naive(
             let dps: Vec<DeliveryPointId> = order.iter().map(|&i| view.dps[i]).collect();
             let route = Route::build(instance, aggregates, view.center, dps)
                 .expect("enumerated delivery points are valid");
-            result.push(Vdps { mask, route });
+            result.push(Vdps {
+                mask,
+                route: std::sync::Arc::new(route),
+            });
         }
     }
     result

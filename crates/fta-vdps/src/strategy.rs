@@ -20,7 +20,101 @@ use std::sync::Arc;
 /// is worth farming out to the worker pool.
 const PAR_MIN_VALIDATION_WORK: usize = 1 << 12;
 
+/// Crossover heuristic for the incremental conflict index: below this many
+/// total (worker, strategy) slots the plain `mask & other_taken` scan is
+/// already cache-resident and cheaper than maintaining per-slot conflict
+/// counters, so no index is built and `GameContext` falls back to the mask
+/// scan. At or above it, availability flips are propagated in O(affected
+/// slots) through the inverted DP-bit → slot lists instead of re-deriving
+/// availability from scratch per probe.
+pub const CONFLICT_INDEX_MIN_SLOTS: usize = 1 << 12;
+
+/// Density half of the crossover heuristic: the conflict index is only
+/// built when each delivery-point bit appears in at most this many slots
+/// on average. An availability probe through the index (one `u32` load)
+/// costs about the same as the `u128` mask AND it replaces, so the index's
+/// value is bounded — while its maintenance cost on every strategy switch
+/// is O(Σ posting-list length over the affected bits). In dense spaces
+/// (few DPs shared by tens of thousands of strategy slots, the typical
+/// shape of an FTA center at paper scale) that per-switch walk dwarfs any
+/// probe savings and the mask scan wins outright, so the index is reserved
+/// for sparse spaces where posting lists stay short.
+pub const CONFLICT_INDEX_MAX_SLOTS_PER_BIT: usize = 64;
+
+/// Immutable inverted index from delivery-point bit to the strategy slots
+/// whose masks contain that bit, in CSR layout over the center-local bit
+/// space. Built once per [`StrategySpace`] (when the space is large enough
+/// to clear [`CONFLICT_INDEX_MIN_SLOTS`]); the *mutable* per-slot conflict
+/// counters live in the game context that plays over the space.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictSets {
+    /// CSR row starts: bit `b`'s slots are
+    /// `slots[starts[b] as usize..starts[b + 1] as usize]`.
+    starts: Vec<u32>,
+    /// Concatenated global slot ids, ascending within each bit row.
+    slots: Vec<u32>,
+}
+
+impl ConflictSets {
+    /// The global slot ids whose masks contain delivery-point bit `bit`.
+    #[must_use]
+    pub fn slots_of(&self, bit: u32) -> &[u32] {
+        let b = bit as usize;
+        &self.slots[self.starts[b] as usize..self.starts[b + 1] as usize]
+    }
+
+    /// Number of delivery-point bits indexed.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Total number of (bit, slot) incidences.
+    #[must_use]
+    pub fn n_entries(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn build(n_bits: usize, slot_masks: &[u128]) -> Self {
+        let mut counts = vec![0u32; n_bits + 1];
+        for &mask in slot_masks {
+            let mut m = mask;
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                counts[bit + 1] += 1;
+                m &= m - 1;
+            }
+        }
+        for b in 0..n_bits {
+            counts[b + 1] += counts[b];
+        }
+        let starts = counts;
+        let mut cursor = starts.clone();
+        let mut slots = vec![0u32; *starts.last().unwrap_or(&0) as usize];
+        for (slot, &mask) in slot_masks.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                slots[cursor[bit] as usize] = slot as u32;
+                cursor[bit] += 1;
+                m &= m - 1;
+            }
+        }
+        Self { starts, slots }
+    }
+}
+
 /// The strategy spaces of all workers of one distribution center.
+///
+/// Per-worker strategy data lives in a structure-of-arrays layout: one
+/// flat, contiguous vector per attribute (pool index, payoff, delivery-point
+/// mask) with `offsets` delimiting each worker's *slot range*. Within a
+/// worker's range the slots are ordered by ascending pool index — the
+/// canonical iteration order every algorithm observes — and a second,
+/// payoff-descending permutation (ties broken by ascending pool index) is
+/// precomputed for the monotone best-response fast path. Both the
+/// exhaustive fallback scan and the fast path therefore stream cache-linear
+/// memory instead of chasing `pool[idx].mask` indirections.
 #[derive(Debug, Clone)]
 pub struct StrategySpace {
     /// The center view this space was built from.
@@ -29,12 +123,29 @@ pub struct StrategySpace {
     pub pool: Vec<Vdps>,
     /// Travel time from each local worker to the distribution center.
     pub worker_to_dc: Vec<f64>,
-    /// Per local worker: indices into `pool` of the strategies valid for
-    /// that worker (ascending).
-    pub valid: Vec<Vec<u32>>,
-    /// Per local worker: payoff of each valid strategy, parallel to
-    /// `valid`.
-    pub payoffs: Vec<Vec<f64>>,
+    /// Slot ranges: worker `local` owns slots
+    /// `offsets[local]..offsets[local + 1]` in every flat vector below.
+    offsets: Vec<u32>,
+    /// Flat pool indices, ascending within each worker's range.
+    slot_pool: Vec<u32>,
+    /// Flat payoffs, parallel to `slot_pool`.
+    slot_payoffs: Vec<f64>,
+    /// Flat delivery-point masks (`pool[slot_pool[s]].mask` memoised),
+    /// parallel to `slot_pool`.
+    slot_masks: Vec<u128>,
+    /// Payoff-descending permutation of each worker's slots: pool indices,
+    /// ties broken by ascending pool index.
+    desc_pool: Vec<u32>,
+    /// Payoffs parallel to `desc_pool` (non-increasing per worker).
+    desc_payoffs: Vec<f64>,
+    /// Masks parallel to `desc_pool`.
+    desc_masks: Vec<u128>,
+    /// Canonical slot ids parallel to `desc_pool` (maps a descending-scan
+    /// position back to its conflict-counter slot).
+    desc_slots: Vec<u32>,
+    /// Inverted DP-bit → slot index; `None` below the
+    /// [`CONFLICT_INDEX_MIN_SLOTS`] crossover.
+    conflict_sets: Option<ConflictSets>,
     /// Statistics from the underlying C-VDPS generation run.
     pub gen_stats: GenerationStats,
 }
@@ -170,18 +281,58 @@ impl StrategySpace {
             (pool, per_worker)
         };
 
-        let mut valid = Vec::with_capacity(n_workers);
-        let mut payoffs = Vec::with_capacity(n_workers);
-        for (v, p) in per_worker {
-            valid.push(v);
-            payoffs.push(p);
+        // Assemble the flat SoA layout: ascending-pool-index slots per
+        // worker plus the payoff-descending permutation for the monotone
+        // fast path.
+        let total: usize = per_worker.iter().map(|(v, _)| v.len()).sum();
+        let mut offsets = Vec::with_capacity(n_workers + 1);
+        let mut slot_pool = Vec::with_capacity(total);
+        let mut slot_payoffs = Vec::with_capacity(total);
+        let mut slot_masks = Vec::with_capacity(total);
+        let mut desc_pool = Vec::with_capacity(total);
+        let mut desc_payoffs = Vec::with_capacity(total);
+        let mut desc_masks = Vec::with_capacity(total);
+        let mut desc_slots = Vec::with_capacity(total);
+        offsets.push(0u32);
+        let mut order: Vec<u32> = Vec::new();
+        for (v, p) in &per_worker {
+            let base = slot_pool.len();
+            slot_pool.extend_from_slice(v);
+            slot_payoffs.extend_from_slice(p);
+            slot_masks.extend(v.iter().map(|&idx| pool[idx as usize].mask));
+            // Payoff-descending permutation; the base order is ascending
+            // pool index, so a stable sort by descending payoff breaks
+            // payoff ties by ascending pool index.
+            order.clear();
+            order.extend(0..v.len() as u32);
+            order.sort_by(|&a, &b| p[b as usize].total_cmp(&p[a as usize]));
+            desc_pool.extend(order.iter().map(|&i| v[i as usize]));
+            desc_payoffs.extend(order.iter().map(|&i| p[i as usize]));
+            desc_masks.extend(order.iter().map(|&i| slot_masks[base + i as usize]));
+            desc_slots.extend(order.iter().map(|&i| (base + i as usize) as u32));
+            offsets.push(slot_pool.len() as u32);
         }
+        // Two-sided crossover: the index must be big enough to beat the
+        // cache-resident mask scan, yet sparse enough that per-switch
+        // maintenance (a walk of every affected bit's posting list) stays
+        // cheap relative to the probes it accelerates.
+        let entries: usize = slot_masks.iter().map(|m| m.count_ones() as usize).sum();
+        let sparse = entries <= view.dps.len().max(1) * CONFLICT_INDEX_MAX_SLOTS_PER_BIT;
+        let conflict_sets = (total >= CONFLICT_INDEX_MIN_SLOTS && sparse)
+            .then(|| ConflictSets::build(view.dps.len(), &slot_masks));
         Self {
             view,
             pool,
             worker_to_dc,
-            valid,
-            payoffs,
+            offsets,
+            slot_pool,
+            slot_payoffs,
+            slot_masks,
+            desc_pool,
+            desc_payoffs,
+            desc_masks,
+            desc_slots,
+            conflict_sets,
             gen_stats,
         }
     }
@@ -198,25 +349,119 @@ impl StrategySpace {
         self.view.workers[local]
     }
 
+    /// The slot range (indices into the flat vectors) owned by the
+    /// `local`-th worker.
+    #[must_use]
+    pub fn slot_range(&self, local: usize) -> std::ops::Range<usize> {
+        self.offsets[local] as usize..self.offsets[local + 1] as usize
+    }
+
+    /// Total number of (worker, strategy) slots across all workers.
+    #[must_use]
+    pub fn total_slots(&self) -> usize {
+        self.slot_pool.len()
+    }
+
+    /// The pool indices of the `local`-th worker's valid strategies,
+    /// ascending (the canonical iteration order).
+    #[must_use]
+    pub fn valid_of(&self, local: usize) -> &[u32] {
+        &self.slot_pool[self.slot_range(local)]
+    }
+
+    /// Payoffs parallel to [`StrategySpace::valid_of`].
+    #[must_use]
+    pub fn payoffs_of(&self, local: usize) -> &[f64] {
+        &self.slot_payoffs[self.slot_range(local)]
+    }
+
+    /// Delivery-point masks parallel to [`StrategySpace::valid_of`].
+    #[must_use]
+    pub fn masks_of(&self, local: usize) -> &[u128] {
+        &self.slot_masks[self.slot_range(local)]
+    }
+
+    /// The full flat mask vector (all workers' slots, ascending pool index
+    /// within each worker's [`StrategySpace::slot_range`]).
+    #[must_use]
+    pub fn slot_masks(&self) -> &[u128] {
+        &self.slot_masks
+    }
+
+    /// The full flat pool-index vector, parallel to
+    /// [`StrategySpace::slot_masks`].
+    #[must_use]
+    pub fn slot_pool(&self) -> &[u32] {
+        &self.slot_pool
+    }
+
+    /// Pool indices of the `local`-th worker's valid strategies in
+    /// payoff-descending order, ties broken by ascending pool index (the
+    /// monotone fast-path scan order).
+    #[must_use]
+    pub fn desc_pool_of(&self, local: usize) -> &[u32] {
+        &self.desc_pool[self.slot_range(local)]
+    }
+
+    /// Payoffs parallel to [`StrategySpace::desc_pool_of`]
+    /// (non-increasing).
+    #[must_use]
+    pub fn desc_payoffs_of(&self, local: usize) -> &[f64] {
+        &self.desc_payoffs[self.slot_range(local)]
+    }
+
+    /// Global (canonical, ascending-order) slot ids parallel to
+    /// [`StrategySpace::desc_pool_of`]: the conflict-counter slot backing
+    /// each descending-scan position.
+    #[must_use]
+    pub fn desc_slots_of(&self, local: usize) -> &[u32] {
+        &self.desc_slots[self.slot_range(local)]
+    }
+
+    /// The inverted DP-bit → slot index, present when the space is large
+    /// enough that incremental conflict maintenance beats the mask scan
+    /// (the [`CONFLICT_INDEX_MIN_SLOTS`] crossover heuristic).
+    #[must_use]
+    pub fn conflict_sets(&self) -> Option<&ConflictSets> {
+        self.conflict_sets.as_ref()
+    }
+
+    /// Delivery-point masks parallel to [`StrategySpace::desc_pool_of`].
+    #[must_use]
+    pub fn desc_masks_of(&self, local: usize) -> &[u128] {
+        &self.desc_masks[self.slot_range(local)]
+    }
+
     /// Number of non-null strategies available to the `local`-th worker.
     #[must_use]
     pub fn strategy_count(&self, local: usize) -> usize {
-        self.valid[local].len()
+        (self.offsets[local + 1] - self.offsets[local]) as usize
     }
 
     /// The largest strategy-set size across workers (`|maxVDPS|` in the
     /// paper's complexity analyses).
     #[must_use]
     pub fn max_strategies(&self) -> usize {
-        self.valid.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.n_workers())
+            .map(|local| self.strategy_count(local))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The payoff the `local`-th worker obtains from pool entry
     /// `pool_idx`, if that strategy is valid for the worker.
     #[must_use]
     pub fn payoff_of(&self, local: usize, pool_idx: u32) -> Option<f64> {
-        let pos = self.valid[local].binary_search(&pool_idx).ok()?;
-        Some(self.payoffs[local][pos])
+        let valid = self.valid_of(local);
+        let pos = valid.binary_search(&pool_idx).ok()?;
+        Some(self.payoffs_of(local)[pos])
+    }
+
+    /// The mask of the `local`-th worker's strategy at `pool_idx`, looked
+    /// up through the flat slot layout (avoids the `pool` indirection).
+    #[must_use]
+    pub fn mask_of_pool(&self, pool_idx: u32) -> u128 {
+        self.pool[pool_idx as usize].mask
     }
 }
 
@@ -317,8 +562,9 @@ mod tests {
         // Worker 1 is 5.0 from dc; {dp0} has slack 2.5-1.0 = 1.5 < 5 →
         // invalid; {dp1} has slack 98 → valid; {dp0,dp1} exceeds maxDP=1.
         assert_eq!(s.strategy_count(1), 1);
-        let idx = s.valid[1][0];
+        let idx = s.valid_of(1)[0];
         assert_eq!(s.pool[idx as usize].mask, 0b10);
+        assert_eq!(s.masks_of(1)[0], 0b10);
     }
 
     #[test]
@@ -326,12 +572,16 @@ mod tests {
         let inst = instance();
         let s = space(&inst);
         // Worker 0 taking {dp1}: reward 3, travel 0.5 + 2.0 = 2.5 → 1.2.
-        let idx = s.valid[0]
+        let idx = s
+            .valid_of(0)
             .iter()
             .position(|&i| s.pool[i as usize].mask == 0b10)
             .unwrap();
-        assert!((s.payoffs[0][idx] - 1.2).abs() < 1e-12);
-        assert_eq!(s.payoff_of(0, s.valid[0][idx]), Some(s.payoffs[0][idx]));
+        assert!((s.payoffs_of(0)[idx] - 1.2).abs() < 1e-12);
+        assert_eq!(
+            s.payoff_of(0, s.valid_of(0)[idx]),
+            Some(s.payoffs_of(0)[idx])
+        );
     }
 
     #[test]
@@ -350,5 +600,43 @@ mod tests {
         assert_eq!(s.max_strategies(), 3);
         assert_eq!(s.n_workers(), 2);
         assert_eq!(s.worker_id(1), WorkerId(1));
+    }
+
+    #[test]
+    fn soa_layout_is_consistent_and_desc_is_sorted() {
+        let inst = instance();
+        let s = space(&inst);
+        assert_eq!(s.total_slots(), s.strategy_count(0) + s.strategy_count(1));
+        for local in 0..s.n_workers() {
+            let valid = s.valid_of(local);
+            let payoffs = s.payoffs_of(local);
+            let masks = s.masks_of(local);
+            assert_eq!(valid.len(), s.strategy_count(local));
+            assert_eq!(payoffs.len(), valid.len());
+            assert_eq!(masks.len(), valid.len());
+            // Ascending pool index in the canonical order; masks memoised.
+            assert!(valid.windows(2).all(|w| w[0] < w[1]));
+            for (pos, &idx) in valid.iter().enumerate() {
+                assert_eq!(masks[pos], s.pool[idx as usize].mask);
+            }
+            // Descending permutation: same multiset, payoff-descending,
+            // payoff ties broken by ascending pool index.
+            let dp = s.desc_pool_of(local);
+            let dpay = s.desc_payoffs_of(local);
+            let dmask = s.desc_masks_of(local);
+            let mut sorted: Vec<u32> = dp.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, valid);
+            for w in 0..dp.len().saturating_sub(1) {
+                assert!(
+                    dpay[w] > dpay[w + 1] || (dpay[w] == dpay[w + 1] && dp[w] < dp[w + 1]),
+                    "desc order violated at {w}"
+                );
+            }
+            for (pos, &idx) in dp.iter().enumerate() {
+                assert_eq!(dmask[pos], s.pool[idx as usize].mask);
+                assert_eq!(s.payoff_of(local, idx), Some(dpay[pos]));
+            }
+        }
     }
 }

@@ -136,10 +136,15 @@ fn paper_scale_strategy_space_is_thread_count_invariant() {
         let pool = WorkerPool::with_threads(threads);
         let par = pool
             .scope(|ts| StrategySpace::build_in(&inst, &aggs, views[0].clone(), &config, Some(ts)));
-        assert_eq!(seq.valid, par.valid, "{threads} threads: valid sets differ");
         assert_eq!(seq.n_workers(), par.n_workers());
         assert_eq!(seq.pool.len(), par.pool.len());
-        for (a, b) in seq.payoffs.iter().zip(par.payoffs.iter()) {
+        for local in 0..seq.n_workers() {
+            assert_eq!(
+                seq.valid_of(local),
+                par.valid_of(local),
+                "{threads} threads: valid sets differ"
+            );
+            let (a, b) = (seq.payoffs_of(local), par.payoffs_of(local));
             assert_eq!(a.len(), b.len());
             for (x, y) in a.iter().zip(b.iter()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "payoff not bit-identical");

@@ -199,13 +199,14 @@ proptest! {
         use fta_core::payoff::worker_payoff;
         let views = instance.center_views();
         let space = StrategySpace::build(&instance, &views[0], &config);
-        for (local, valid) in space.valid.iter().enumerate() {
+        for local in 0..space.n_workers() {
             let worker = space.worker_id(local);
-            for (pos, &idx) in valid.iter().enumerate() {
+            let payoffs = space.payoffs_of(local);
+            for (pos, &idx) in space.valid_of(local).iter().enumerate() {
                 let route = &space.pool[idx as usize].route;
                 prop_assert!(route.is_valid_for(&instance, worker));
                 let direct = worker_payoff(&instance, worker, route);
-                prop_assert!((space.payoffs[local][pos] - direct).abs() < 1e-9);
+                prop_assert!((payoffs[pos] - direct).abs() < 1e-9);
             }
         }
     }

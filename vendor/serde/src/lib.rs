@@ -441,6 +441,30 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(std::sync::Arc::new(T::deserialize_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for std::rc::Rc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(std::rc::Rc::new(T::deserialize_value(v)?))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Containers
 // ---------------------------------------------------------------------------
