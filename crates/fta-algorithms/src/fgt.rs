@@ -189,7 +189,7 @@ pub fn fgt_bounded<'a>(
         let trace = fgt_once(
             &mut trial,
             config,
-            config.seed.wrapping_add(attempt as u64),
+            Some(config.seed.wrapping_add(attempt as u64)),
             cancel,
         );
         let cancelled = trace.cancelled;
@@ -218,24 +218,48 @@ pub fn fgt_bounded<'a>(
     trace
 }
 
-/// One best-response run from one random initialisation, dispatched to the
-/// configured [`BestResponseEngine`].
+/// [`fgt_bounded`] warm-started from a cached strategy profile (see
+/// [`crate::warm`]): the profile is replayed onto `ctx` (invalid entries
+/// dropped) and a *single* best-response run continues from there — no
+/// random initialisation and no restarts, since the whole point of the
+/// warm start is to converge in the few rounds the churn actually
+/// perturbed. The selection is left in `ctx`; the replay tally is
+/// returned alongside the trace.
+///
+/// When `profile` is the equilibrium of an identical space, the run
+/// performs zero switches and the outcome is bit-identical to that
+/// equilibrium (property-tested).
+pub fn fgt_warm_bounded(
+    ctx: &mut GameContext<'_>,
+    config: &FgtConfig,
+    profile: &[Option<u32>],
+    cancel: Option<&CancelToken>,
+) -> (ConvergenceTrace, crate::warm::WarmStart) {
+    let warm = crate::warm::warm_init(ctx, profile);
+    let trace = fgt_once(ctx, config, None, cancel);
+    (trace, warm)
+}
+
+/// One best-response run, dispatched to the configured
+/// [`BestResponseEngine`]. `init = Some(seed)` randomly initialises the
+/// context first (the cold path); `None` continues from whatever selection
+/// `ctx` already holds (the warm path).
 fn fgt_once(
     ctx: &mut GameContext<'_>,
     config: &FgtConfig,
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     match config.engine {
-        BestResponseEngine::Rebuild => fgt_once_rebuild(ctx, config, seed, cancel),
-        BestResponseEngine::Incremental => fgt_once_incremental(ctx, config, seed, cancel),
+        BestResponseEngine::Rebuild => fgt_once_rebuild(ctx, config, init, cancel),
+        BestResponseEngine::Incremental => fgt_once_incremental(ctx, config, init, cancel),
         BestResponseEngine::FastPath => {
             if fastpath_sound(config.iau) {
-                fgt_once_fastpath(ctx, config, seed, cancel)
+                fgt_once_fastpath(ctx, config, init, cancel)
             } else {
                 // Out of the monotone regime: fall back bit-identically to
                 // exhaustive IAU evaluation (fastpath_rounds stays 0).
-                fgt_once_incremental(ctx, config, seed, cancel)
+                fgt_once_incremental(ctx, config, init, cancel)
             }
         }
     }
@@ -253,12 +277,14 @@ fn new_trace(config: &FgtConfig) -> ConvergenceTrace {
 fn fgt_once_rebuild(
     ctx: &mut GameContext<'_>,
     config: &FgtConfig,
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
     let index_updates_before = ctx.index_updates();
-    random_init(ctx, &mut rng);
+    if let Some(seed) = init {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_init(ctx, &mut rng);
+    }
 
     let mut trace = new_trace(config);
     trace.record(
@@ -334,12 +360,14 @@ fn fgt_once_rebuild(
 fn fgt_once_incremental(
     ctx: &mut GameContext<'_>,
     config: &FgtConfig,
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
     let index_updates_before = ctx.index_updates();
-    random_init(ctx, &mut rng);
+    if let Some(seed) = init {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_init(ctx, &mut rng);
+    }
 
     let mut trace = new_trace(config);
     let mut rivals = RivalSet::with_payoffs(ctx.payoffs(), config.iau);
@@ -423,13 +451,15 @@ fn fgt_once_incremental(
 fn fgt_once_fastpath(
     ctx: &mut GameContext<'_>,
     config: &FgtConfig,
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     debug_assert!(fastpath_sound(config.iau));
-    let mut rng = StdRng::seed_from_u64(seed);
     let index_updates_before = ctx.index_updates();
-    random_init(ctx, &mut rng);
+    if let Some(seed) = init {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_init(ctx, &mut rng);
+    }
 
     let mut trace = new_trace(config);
     let mut rivals = RivalSet::with_payoffs(ctx.payoffs(), config.iau);
@@ -919,6 +949,42 @@ mod tests {
             .all(|snap| snap.len() == s.n_workers()));
         // Same equilibrium either way.
         assert_eq!(lean.rounds, full.rounds);
+    }
+
+    #[test]
+    fn warm_start_from_equilibrium_is_a_no_op_and_bit_identical() {
+        for seed in [21, 22, 23] {
+            let inst = instance(seed);
+            let s = space(&inst);
+            let mut cold = GameContext::new(&s);
+            let cold_trace = fgt(&mut cold, &FgtConfig::default());
+            assert!(cold_trace.converged);
+            let profile = crate::warm::profile_of(&cold);
+
+            let mut warm = GameContext::new(&s);
+            let (trace, stats) = fgt_warm_bounded(&mut warm, &FgtConfig::default(), &profile, None);
+            assert!(stats.is_complete(), "seed {seed}: replay rejected entries");
+            assert!(trace.converged, "seed {seed}: warm run did not converge");
+            assert_eq!(trace.stats.switches, 0, "seed {seed}: equilibrium moved");
+            assert_eq!(warm.to_assignment(), cold.to_assignment());
+            let cold_bits: Vec<u64> = cold.payoffs().iter().map(|p| p.to_bits()).collect();
+            let warm_bits: Vec<u64> = warm.payoffs().iter().map(|p| p.to_bits()).collect();
+            assert_eq!(cold_bits, warm_bits, "seed {seed}: payoffs diverge");
+        }
+    }
+
+    #[test]
+    fn warm_start_from_garbage_still_converges_validly() {
+        let inst = instance(24);
+        let s = space(&inst);
+        // A profile full of invalid indices degenerates to a null start.
+        let profile = vec![Some(u32::MAX); s.n_workers()];
+        let mut ctx = GameContext::new(&s);
+        let (trace, stats) = fgt_warm_bounded(&mut ctx, &FgtConfig::default(), &profile, None);
+        assert_eq!(stats.adopted, 0);
+        assert_eq!(stats.rejected, s.n_workers());
+        assert!(trace.converged);
+        assert!(ctx.to_assignment().validate(&inst).is_ok());
     }
 
     #[test]

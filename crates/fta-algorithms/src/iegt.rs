@@ -112,9 +112,39 @@ pub fn iegt_bounded(
     config: &IegtConfig,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
+    iegt_run(ctx, config, cancel, true)
+}
+
+/// [`iegt_bounded`] warm-started from a cached strategy profile: the
+/// profile is replayed onto `ctx` (invalid entries dropped) and the
+/// evolution runs from there instead of the random single-dp
+/// initialisation. The redraw rng stream is seeded identically to the
+/// cold path, so a warm run over an unchanged population replays the same
+/// uniform draws. See [`crate::fgt::fgt_warm_bounded`].
+pub fn iegt_warm_bounded(
+    ctx: &mut GameContext<'_>,
+    config: &IegtConfig,
+    profile: &[Option<u32>],
+    cancel: Option<&CancelToken>,
+) -> (ConvergenceTrace, crate::warm::WarmStart) {
+    let warm = crate::warm::warm_init(ctx, profile);
+    let trace = iegt_run(ctx, config, cancel, false);
+    (trace, warm)
+}
+
+fn iegt_run(
+    ctx: &mut GameContext<'_>,
+    config: &IegtConfig,
+    cancel: Option<&CancelToken>,
+    init: bool,
+) -> ConvergenceTrace {
+    // The rng also drives the uniform redraws, so it exists on both paths;
+    // only the random initialisation is skipped on a warm start.
     let mut rng = StdRng::seed_from_u64(config.seed);
     let index_updates_before = ctx.index_updates();
-    random_init(ctx, &mut rng);
+    if init {
+        random_init(ctx, &mut rng);
+    }
 
     let mut trace = ConvergenceTrace::default();
     // IEGT does not evaluate IAU, but the incremental rival engine still
@@ -397,6 +427,26 @@ mod tests {
                 fast.stats.candidates_scanned,
                 inc.stats.candidates_scanned
             );
+        }
+    }
+
+    #[test]
+    fn warm_start_from_evolutionary_equilibrium_is_a_no_op() {
+        for seed in [7, 8] {
+            let inst = instance(seed);
+            let s = space(&inst);
+            let mut cold = GameContext::new(&s);
+            let cold_trace = iegt(&mut cold, &IegtConfig::default());
+            assert!(cold_trace.converged);
+            let profile = crate::warm::profile_of(&cold);
+
+            let mut warm = GameContext::new(&s);
+            let (trace, stats) =
+                iegt_warm_bounded(&mut warm, &IegtConfig::default(), &profile, None);
+            assert!(stats.is_complete(), "seed {seed}: replay rejected entries");
+            assert!(trace.converged, "seed {seed}: warm run did not converge");
+            assert_eq!(trace.stats.switches, 0, "seed {seed}: equilibrium moved");
+            assert_eq!(warm.to_assignment(), cold.to_assignment());
         }
     }
 

@@ -39,20 +39,24 @@ pub mod mpta;
 pub mod pfgt;
 pub mod random;
 pub mod report;
+pub mod resolve;
 pub mod solver;
 pub mod stats;
 pub mod trace;
+pub mod warm;
 
 pub use context::{DescScan, GameContext};
 pub use degrade::{DegradationEvent, DegradationReport, LadderRung};
 pub use exact::{exact_search, ExactObjective};
-pub use fgt::{fastpath_sound, fgt, fgt_bounded, BestResponseEngine, FgtConfig};
+pub use fgt::{fastpath_sound, fgt, fgt_bounded, fgt_warm_bounded, BestResponseEngine, FgtConfig};
 pub use gta::gta;
-pub use iegt::{iegt, iegt_bounded, IegtConfig, RedrawPolicy};
+pub use iegt::{iegt, iegt_bounded, iegt_warm_bounded, IegtConfig, RedrawPolicy};
 pub use mpta::{mpta, MptaConfig};
-pub use pfgt::{pfgt, pfgt_bounded, PfgtConfig, PrioritySpec};
+pub use pfgt::{pfgt, pfgt_bounded, pfgt_warm_bounded, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
 pub use report::SolveReport;
+pub use resolve::{ResolveStats, Solver};
 pub use solver::{solve, solve_with_pool, Algorithm, PanicInjection, SolveConfig, SolveOutcome};
 pub use stats::BestResponseStats;
 pub use trace::{ConvergenceTrace, RoundStats};
+pub use warm::{profile_of, warm_init, WarmStart};

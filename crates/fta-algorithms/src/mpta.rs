@@ -104,7 +104,7 @@ fn climb(ctx: &mut GameContext<'_>, max_rounds: usize) {
             let current = ctx.payoff(local);
             let best = ctx
                 .available_strategies(local)
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("payoffs are not NaN"));
+                .max_by(|a, b| a.1.total_cmp(&b.1));
             if let Some((idx, payoff)) = best {
                 if payoff > current + 1e-12 {
                     ctx.set_strategy(local, Some(idx));

@@ -104,7 +104,7 @@ pub fn pfgt_bounded<'a>(
             &mut trial,
             config,
             &priorities,
-            config.base.seed.wrapping_add(attempt as u64),
+            Some(config.base.seed.wrapping_add(attempt as u64)),
             cancel,
         );
         let cancelled = trace.cancelled;
@@ -129,25 +129,43 @@ pub fn pfgt_bounded<'a>(
     trace
 }
 
+/// [`pfgt_bounded`] warm-started from a cached strategy profile: the
+/// profile is replayed onto `ctx` (invalid entries dropped) and a single
+/// priority-aware best-response run continues from there — no random
+/// initialisation, no restarts. See [`crate::fgt::fgt_warm_bounded`].
+pub fn pfgt_warm_bounded(
+    ctx: &mut GameContext<'_>,
+    config: &PfgtConfig,
+    profile: &[Option<u32>],
+    cancel: Option<&CancelToken>,
+) -> (ConvergenceTrace, crate::warm::WarmStart) {
+    let priorities: Vec<f64> = (0..ctx.n_workers())
+        .map(|local| config.priorities.of(ctx.space().worker_id(local)))
+        .collect();
+    let warm = crate::warm::warm_init(ctx, profile);
+    let trace = pfgt_once(ctx, config, &priorities, None, cancel);
+    (trace, warm)
+}
+
 fn pfgt_once(
     ctx: &mut GameContext<'_>,
     config: &PfgtConfig,
     priorities: &[f64],
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     match config.base.engine {
-        BestResponseEngine::Rebuild => pfgt_once_rebuild(ctx, config, priorities, seed, cancel),
+        BestResponseEngine::Rebuild => pfgt_once_rebuild(ctx, config, priorities, init, cancel),
         BestResponseEngine::Incremental => {
-            pfgt_once_incremental(ctx, config, priorities, seed, cancel)
+            pfgt_once_incremental(ctx, config, priorities, init, cancel)
         }
         BestResponseEngine::FastPath => {
             if crate::fgt::fastpath_sound(config.base.iau) {
-                pfgt_once_fastpath(ctx, config, priorities, seed, cancel)
+                pfgt_once_fastpath(ctx, config, priorities, init, cancel)
             } else {
                 // Out of the monotone regime: exhaustive fallback,
                 // bit-identical (fastpath_rounds stays 0).
-                pfgt_once_incremental(ctx, config, priorities, seed, cancel)
+                pfgt_once_incremental(ctx, config, priorities, init, cancel)
             }
         }
     }
@@ -166,12 +184,14 @@ fn pfgt_once_rebuild(
     ctx: &mut GameContext<'_>,
     config: &PfgtConfig,
     priorities: &[f64],
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
     let index_updates_before = ctx.index_updates();
-    random_init(ctx, &mut rng);
+    if let Some(seed) = init {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_init(ctx, &mut rng);
+    }
 
     let potential = |payoffs: &[f64]| {
         crate::fgt::iau_potential(
@@ -238,12 +258,14 @@ fn pfgt_once_incremental(
     ctx: &mut GameContext<'_>,
     config: &PfgtConfig,
     priorities: &[f64],
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
     let index_updates_before = ctx.index_updates();
-    random_init(ctx, &mut rng);
+    if let Some(seed) = init {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_init(ctx, &mut rng);
+    }
 
     let mut trace = new_trace(config);
     // One engine in normalised-payoff space drives the best responses; a
@@ -337,13 +359,15 @@ fn pfgt_once_fastpath(
     ctx: &mut GameContext<'_>,
     config: &PfgtConfig,
     priorities: &[f64],
-    seed: u64,
+    init: Option<u64>,
     cancel: Option<&CancelToken>,
 ) -> ConvergenceTrace {
     debug_assert!(crate::fgt::fastpath_sound(config.base.iau));
-    let mut rng = StdRng::seed_from_u64(seed);
     let index_updates_before = ctx.index_updates();
-    random_init(ctx, &mut rng);
+    if let Some(seed) = init {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_init(ctx, &mut rng);
+    }
 
     let mut trace = new_trace(config);
     let mut q_rivals = PriorityRivalSet::new(config.base.iau);
@@ -610,6 +634,27 @@ mod tests {
             fast.stats.candidates_scanned,
             inc.stats.candidates_scanned
         );
+    }
+
+    #[test]
+    fn warm_start_from_priority_equilibrium_is_a_no_op() {
+        let inst = instance(5);
+        let s = space(&inst);
+        let cfg = PfgtConfig {
+            priorities: PrioritySpec::ByWorker(tiered),
+            ..PfgtConfig::default()
+        };
+        let mut cold = GameContext::new(&s);
+        let cold_trace = pfgt(&mut cold, &cfg);
+        assert!(cold_trace.converged);
+        let profile = crate::warm::profile_of(&cold);
+
+        let mut warm = GameContext::new(&s);
+        let (trace, stats) = pfgt_warm_bounded(&mut warm, &cfg, &profile, None);
+        assert!(stats.is_complete());
+        assert!(trace.converged);
+        assert_eq!(trace.stats.switches, 0);
+        assert_eq!(warm.to_assignment(), cold.to_assignment());
     }
 
     #[test]

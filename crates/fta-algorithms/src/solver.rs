@@ -25,8 +25,11 @@ use crate::random::random_assignment;
 use crate::stats::BestResponseStats;
 use crate::trace::ConvergenceTrace;
 use fta_core::instance::{CenterView, DpAggregate};
-use fta_core::{Assignment, CancelToken, CenterId, Instance, SolveBudget};
-use fta_vdps::{GenControl, GenerationStats, StrategySpace, TaskScope, VdpsConfig, WorkerPool};
+use fta_core::{Assignment, CancelToken, CenterId, Instance, SolveBudget, WorkerId};
+use fta_vdps::{
+    GenControl, GenerationStats, PoolCache, SlotCache, StrategySpace, TaskScope, VdpsConfig,
+    WorkerPool,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -68,7 +71,7 @@ impl Algorithm {
     /// distribution center's stochastic steps are decorrelated while the
     /// whole run stays deterministic.
     #[must_use]
-    fn salted(self, salt: u64) -> Self {
+    pub(crate) fn salted(self, salt: u64) -> Self {
         let mix = |seed: u64| seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         match self {
             Self::Gta => Self::Gta,
@@ -227,15 +230,33 @@ impl SolveOutcome {
 }
 
 /// Per-center result, merged by [`solve`].
-struct CenterOutcome {
-    center: CenterId,
-    assignment: Assignment,
-    vdps_time: Duration,
-    assign_time: Duration,
-    gen_stats: GenerationStats,
-    trace: ConvergenceTrace,
-    report: DegradationReport,
-    rung: LadderRung,
+#[derive(Clone)]
+pub(crate) struct CenterOutcome {
+    pub(crate) center: CenterId,
+    pub(crate) assignment: Assignment,
+    pub(crate) vdps_time: Duration,
+    pub(crate) assign_time: Duration,
+    pub(crate) gen_stats: GenerationStats,
+    pub(crate) trace: ConvergenceTrace,
+    pub(crate) report: DegradationReport,
+    pub(crate) rung: LadderRung,
+}
+
+/// Everything an incremental [`crate::resolve::Solver`] needs to remember
+/// about a fully solved center: the VDPS pool snapshot for delta updates
+/// and the equilibrium profile (as delivery-point masks, which survive the
+/// per-round renumbering of pool indices) for the warm start.
+#[derive(Clone)]
+pub(crate) struct CenterCapture {
+    /// Bitwise snapshot of the generated pool and its inputs.
+    pub(crate) pool_cache: PoolCache,
+    /// Per-worker (validity, payoff) slot data of the solved space, for
+    /// provenance-guided revalidation skips on the next delta update.
+    pub(crate) slots: SlotCache,
+    /// Selected strategy per local worker, as the strategy's dp mask.
+    pub(crate) selections: Vec<Option<u128>>,
+    /// The center's workers in local order.
+    pub(crate) workers: Vec<WorkerId>,
 }
 
 /// Extracts a human-readable message from a caught panic payload.
@@ -265,14 +286,15 @@ fn maybe_inject(config: &SolveConfig, center: CenterId, retrying: bool) {
 /// center is quarantined (reported, retried once at
 /// [`LadderRung::ImmediateSingleStop`]) instead of poisoning the whole
 /// round; a second panic skips the center with an empty assignment.
-fn solve_center(
+pub(crate) fn solve_center(
     instance: &Instance,
     aggregates: &[DpAggregate],
     view: CenterView,
     config: &SolveConfig,
     scope: Option<&TaskScope<'_>>,
     cancel: Option<&CancelToken>,
-) -> CenterOutcome {
+    want_capture: bool,
+) -> (CenterOutcome, Option<CenterCapture>) {
     let center = view.center;
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         solve_center_attempt(
@@ -283,6 +305,7 @@ fn solve_center(
             scope,
             cancel,
             false,
+            want_capture,
         )
     }));
     let payload = match attempt {
@@ -296,13 +319,22 @@ fn solve_center(
         message: panic_message(payload.as_ref()),
     });
     let retry = catch_unwind(AssertUnwindSafe(|| {
-        solve_center_attempt(instance, aggregates, view, config, scope, cancel, true)
+        solve_center_attempt(
+            instance,
+            aggregates,
+            view,
+            config,
+            scope,
+            cancel,
+            true,
+            want_capture,
+        )
     }));
     match retry {
-        Ok(mut outcome) => {
+        Ok((mut outcome, capture)) => {
             report.merge(std::mem::take(&mut outcome.report));
             outcome.report = report;
-            outcome
+            (outcome, capture)
         }
         Err(payload) => {
             fta_obs::counter("pool.panics_caught", 1);
@@ -310,16 +342,19 @@ fn solve_center(
                 center,
                 message: panic_message(payload.as_ref()),
             });
-            CenterOutcome {
-                center,
-                assignment: Assignment::new(),
-                vdps_time: Duration::ZERO,
-                assign_time: Duration::ZERO,
-                gen_stats: GenerationStats::default(),
-                trace: ConvergenceTrace::default(),
-                report,
-                rung: LadderRung::Skipped,
-            }
+            (
+                CenterOutcome {
+                    center,
+                    assignment: Assignment::new(),
+                    vdps_time: Duration::ZERO,
+                    assign_time: Duration::ZERO,
+                    gen_stats: GenerationStats::default(),
+                    trace: ConvergenceTrace::default(),
+                    report,
+                    rung: LadderRung::Skipped,
+                },
+                None,
+            )
         }
     }
 }
@@ -327,6 +362,7 @@ fn solve_center(
 /// One attempt at solving a center, descending the degradation ladder as
 /// the budget demands. `retrying = true` (the post-panic path) forces the
 /// bottom useful rung: single-delivery-point routes assigned greedily.
+#[allow(clippy::too_many_arguments)]
 fn solve_center_attempt(
     instance: &Instance,
     aggregates: &[DpAggregate],
@@ -335,7 +371,8 @@ fn solve_center_attempt(
     scope: Option<&TaskScope<'_>>,
     cancel: Option<&CancelToken>,
     retrying: bool,
-) -> CenterOutcome {
+    want_capture: bool,
+) -> (CenterOutcome, Option<CenterCapture>) {
     let center = view.center;
     maybe_inject(config, center, retrying);
 
@@ -457,7 +494,31 @@ fn solve_center_attempt(
         }
     }
 
-    CenterOutcome {
+    // A capture is only useful when the center was solved at the full
+    // rung from an untruncated pool: anything degraded must be re-solved
+    // cold next round anyway.
+    let capture = if want_capture && rung == LadderRung::Full && !trace.cancelled {
+        let selections: Vec<Option<u128>> = (0..ctx.n_workers())
+            .map(|l| ctx.selection(l).map(|i| space.pool[i as usize].mask))
+            .collect();
+        Some(CenterCapture {
+            pool_cache: PoolCache::capture(
+                instance,
+                aggregates,
+                &space.view,
+                &vdps_cfg,
+                &space.pool,
+                &space.gen_stats,
+            ),
+            slots: SlotCache::capture(&space),
+            selections,
+            workers: space.view.workers.clone(),
+        })
+    } else {
+        None
+    };
+
+    let outcome = CenterOutcome {
         center,
         assignment: ctx.to_assignment(),
         vdps_time,
@@ -466,7 +527,8 @@ fn solve_center_attempt(
         trace,
         report,
         rung,
-    }
+    };
+    (outcome, capture)
 }
 
 /// Solves a whole instance with the configured algorithm.
@@ -520,13 +582,20 @@ pub fn solve_with_pool(
             .into_iter()
             .map(|view| {
                 move |ts: &TaskScope<'_>| {
-                    solve_center(instance, aggregates, view, config, Some(ts), cancel)
+                    solve_center(instance, aggregates, view, config, Some(ts), cancel, false).0
                 }
             })
             .collect();
         ts.map(jobs)
     });
+    let budget_cancelled = token.as_ref().is_some_and(CancelToken::is_cancelled);
+    merge_outcomes(outcomes, budget_cancelled)
+}
 
+/// Merges per-center outcomes (in the order given — center order) into one
+/// [`SolveOutcome`] and emits the aggregated telemetry counters. Shared by
+/// [`solve_with_pool`] and the incremental [`crate::resolve::Solver`].
+pub(crate) fn merge_outcomes(outcomes: Vec<CenterOutcome>, budget_cancelled: bool) -> SolveOutcome {
     let mut assignment = Assignment::new();
     let mut vdps_time = Duration::ZERO;
     let mut assign_time = Duration::ZERO;
@@ -567,8 +636,7 @@ pub fn solve_with_pool(
         // whether the budget actually bound anywhere.
         let degraded = rungs.iter().filter(|&&(_, r)| r.is_degraded()).count();
         fta_obs::counter("solve.degraded", degraded as u64);
-        let exhausted =
-            degradation.budget_exhausted() || token.as_ref().is_some_and(CancelToken::is_cancelled);
+        let exhausted = degradation.budget_exhausted() || budget_cancelled;
         fta_obs::counter("budget.exhausted", u64::from(exhausted));
     }
     SolveOutcome {

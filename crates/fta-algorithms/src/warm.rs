@@ -1,0 +1,166 @@
+//! Warm-starting the game loops from a cached equilibrium profile.
+//!
+//! An incremental re-solve replays the previous round's equilibrium onto a
+//! freshly built [`GameContext`] before running best responses: workers
+//! whose cached strategy survived the churn keep it, everyone else starts
+//! from `null` and re-enters deliberation. Replay must tolerate an
+//! arbitrary profile — strategies may have disappeared from the pool,
+//! point at a different worker's list, or conflict with a strategy adopted
+//! earlier in the replay — so every entry is validated against the new
+//! space before [`GameContext::set_strategy`] (which panics on invalid
+//! input by design) is called.
+//!
+//! # Soundness
+//!
+//! Replaying a *subset* of a valid strategy profile is always conflict-free
+//! when the surviving strategies' delivery-point masks are unchanged: the
+//! cached profile was mutually disjoint, and dropping members preserves
+//! disjointness. Validation therefore only ever rejects entries whose
+//! strategy genuinely changed identity (different pool, different mask) —
+//! it never has to arbitrate between survivors. The subsequent
+//! best-response run is an ordinary potential-game descent from a
+//! non-random start, so every convergence guarantee of the cold path
+//! (strict improvement, round cap) applies unchanged.
+
+use crate::context::GameContext;
+
+/// Outcome of replaying a cached profile onto a fresh context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Workers whose cached strategy was valid in the new space and was
+    /// adopted as their starting selection.
+    pub adopted: usize,
+    /// Workers whose cached strategy no longer exists, is out of range, or
+    /// conflicts in the new space; they start from `null`.
+    pub rejected: usize,
+}
+
+impl WarmStart {
+    /// Whether every non-null cached strategy was adopted.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.rejected == 0
+    }
+}
+
+/// Replays `profile` (one entry per local worker, `None` = null strategy)
+/// onto `ctx`, adopting each cached strategy that is still valid and
+/// available. Entries beyond `ctx.n_workers()` are ignored; a short profile
+/// leaves the remaining workers at `null`.
+pub fn warm_init(ctx: &mut GameContext<'_>, profile: &[Option<u32>]) -> WarmStart {
+    let mut out = WarmStart::default();
+    let n = ctx.n_workers();
+    for (local, entry) in profile.iter().enumerate().take(n) {
+        let Some(idx) = *entry else { continue };
+        let valid = ctx.space().payoff_of(local, idx).is_some();
+        if valid && ctx.is_available(local, idx) {
+            ctx.set_strategy(local, Some(idx));
+            out.adopted += 1;
+        } else {
+            out.rejected += 1;
+        }
+    }
+    out
+}
+
+/// The current strategy profile of `ctx`, in the form [`warm_init`]
+/// replays: one pool index (or `None`) per local worker.
+#[must_use]
+pub fn profile_of(ctx: &GameContext<'_>) -> Vec<Option<u32>> {
+    (0..ctx.n_workers()).map(|l| ctx.selection(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgt::{fgt, FgtConfig};
+    use fta_core::Instance;
+    use fta_data::{generate_syn, SynConfig};
+    use fta_vdps::{StrategySpace, VdpsConfig};
+
+    fn instance(seed: u64) -> Instance {
+        generate_syn(
+            &SynConfig {
+                n_centers: 1,
+                n_workers: 10,
+                n_tasks: 100,
+                n_delivery_points: 18,
+                extent: 2.0,
+                ..SynConfig::bench_scale()
+            },
+            seed,
+        )
+    }
+
+    fn space(inst: &Instance) -> StrategySpace {
+        let views = inst.center_views();
+        StrategySpace::build(inst, &views[0], &VdpsConfig::unpruned(3))
+    }
+
+    #[test]
+    fn replaying_an_equilibrium_reproduces_it_bitwise() {
+        let inst = instance(1);
+        let s = space(&inst);
+        let mut cold = GameContext::new(&s);
+        fgt(&mut cold, &FgtConfig::default());
+        let profile = profile_of(&cold);
+
+        let mut warm = GameContext::new(&s);
+        let stats = warm_init(&mut warm, &profile);
+        assert!(stats.is_complete(), "equilibrium replay rejected entries");
+        assert_eq!(
+            stats.adopted,
+            profile.iter().filter(|e| e.is_some()).count()
+        );
+        assert_eq!(profile_of(&warm), profile);
+        let cold_bits: Vec<u64> = cold.payoffs().iter().map(|p| p.to_bits()).collect();
+        let warm_bits: Vec<u64> = warm.payoffs().iter().map(|p| p.to_bits()).collect();
+        assert_eq!(cold_bits, warm_bits, "payoffs not bit-identical");
+    }
+
+    #[test]
+    fn invalid_entries_are_rejected_not_panicked() {
+        let inst = instance(2);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        // Out-of-range pool index and a likely-invalid slot for worker 0.
+        let profile = vec![Some(u32::MAX), None];
+        let stats = warm_init(&mut ctx, &profile);
+        assert_eq!(stats.adopted, 0);
+        assert_eq!(stats.rejected, 1);
+        assert!(ctx.selection(0).is_none());
+    }
+
+    #[test]
+    fn conflicting_duplicate_keeps_first_adopter() {
+        let inst = instance(3);
+        let s = space(&inst);
+        // Find a pool index valid for two different workers.
+        let shared = (0..s.pool.len() as u32).find(|&idx| {
+            let a = s.payoff_of(0, idx).is_some();
+            let b = s.payoff_of(1, idx).is_some();
+            a && b
+        });
+        let Some(idx) = shared else {
+            return; // fixture has no shared strategy; nothing to test
+        };
+        let mut ctx = GameContext::new(&s);
+        let stats = warm_init(&mut ctx, &[Some(idx), Some(idx)]);
+        assert_eq!(stats.adopted, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(ctx.selection(0), Some(idx));
+        assert!(ctx.selection(1).is_none());
+    }
+
+    #[test]
+    fn short_and_long_profiles_are_tolerated() {
+        let inst = instance(4);
+        let s = space(&inst);
+        let mut ctx = GameContext::new(&s);
+        let stats = warm_init(&mut ctx, &[]);
+        assert_eq!(stats, WarmStart::default());
+        let long = vec![None; ctx.n_workers() + 5];
+        let stats = warm_init(&mut ctx, &long);
+        assert_eq!(stats, WarmStart::default());
+    }
+}

@@ -1,0 +1,93 @@
+//! Schema validation of the committed incremental re-solve perf
+//! snapshot: `BENCH_incremental.json` at the repo root must parse,
+//! carry every field downstream tooling reads, stay internally
+//! consistent (speedup = cold/warm, ladder counts cover every center of
+//! every round), and keep the paper-scale speedup floor the acceptance
+//! criteria pin (warm ≥ 3× cold under delivery churn).
+
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_incremental.json")
+}
+
+#[test]
+fn bench_incremental_snapshot_is_schema_valid() {
+    let raw = std::fs::read_to_string(snapshot_path())
+        .expect("BENCH_incremental.json is committed at the repo root");
+    let v: Value = serde_json::from_str(&raw).expect("snapshot parses as JSON");
+
+    assert!(v["description"].as_str().is_some(), "missing description");
+    assert_eq!(v["algorithm"].as_str(), Some("fgt"));
+    assert!(v["reps"].as_u64().unwrap_or(0) >= 1, "reps must be >= 1");
+
+    let grid = v["grid"].as_array().expect("grid is an array");
+    assert!(!grid.is_empty(), "grid must not be empty");
+
+    let mut saw_paper_drop = false;
+    for row in grid {
+        for key in ["label", "mode"] {
+            assert!(
+                row[key].as_str().is_some(),
+                "row missing string field {key}"
+            );
+        }
+        for key in ["n_workers", "n_centers", "n_dps", "rounds"] {
+            assert!(
+                row[key].as_u64().unwrap_or(0) > 0,
+                "row missing positive integer field {key}"
+            );
+        }
+        let cold = row["cold_ms"].as_f64().expect("row missing cold_ms");
+        let warm = row["warm_ms"].as_f64().expect("row missing warm_ms");
+        let speedup = row["speedup_warm_vs_cold"]
+            .as_f64()
+            .expect("row missing speedup_warm_vs_cold");
+        assert!(cold > 0.0 && warm > 0.0 && speedup > 0.0);
+        assert!(
+            (speedup - cold / warm).abs() <= speedup * 1e-6,
+            "speedup_warm_vs_cold inconsistent with cold_ms/warm_ms"
+        );
+
+        let stats = &row["resolve_stats"];
+        let mut ladder = 0u64;
+        for key in [
+            "centers_clean",
+            "centers_warm",
+            "centers_cold",
+            "warm_adopted",
+            "warm_rejected",
+        ] {
+            let n = stats[key].as_u64();
+            assert!(n.is_some(), "resolve_stats missing {key}");
+            if key.starts_with("centers_") {
+                ladder += n.unwrap();
+            }
+        }
+        let rounds = row["rounds"].as_u64().unwrap();
+        let centers = row["n_centers"].as_u64().unwrap();
+        assert_eq!(
+            ladder,
+            rounds * centers,
+            "ladder counts must cover every center of every round"
+        );
+
+        let label = row["label"].as_str().unwrap();
+        let mode = row["mode"].as_str().unwrap();
+        if mode == "drop" {
+            assert!(
+                warm <= cold,
+                "{label}/{mode}: committed snapshot has warm losing to cold"
+            );
+        }
+        if label == "paper" && mode == "drop" {
+            saw_paper_drop = true;
+            assert!(
+                speedup >= 3.0,
+                "paper/drop speedup {speedup:.2}x below the 3x acceptance floor"
+            );
+        }
+    }
+    assert!(saw_paper_drop, "grid must include the paper/drop row");
+}

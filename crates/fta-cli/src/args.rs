@@ -32,12 +32,15 @@ COMMANDS
   simulate [--algo gta|mpta|fgt|iegt|random|immediate] [--seed S]
            [--hours H] [--period-min M] [--workers N] [--dps N]
            [--rate R] [--faults] [--fault-seed S] [--budget-ms MS]
-           [--trace-out FILE]
+           [--incremental] [--trace-out FILE]
       Run the streaming platform simulator for a working day and print
       the longitudinal metrics. --faults enables the seeded
       fault-injection plan (worker no-shows, mid-route dropouts, task
       cancellations, travel-time inflation) with requeue-on-failure;
-      --budget-ms runs every assignment round under a wall-clock budget.
+      --budget-ms runs every assignment round under a wall-clock budget;
+      --incremental re-solves rounds against persistent per-center
+      caches (delta VDPS updates + equilibrium warm starts) instead of
+      solving each round from scratch.
 
   obs-dump <TRACE> [--chrome]
       Summarise a JSONL telemetry trace written by solve --trace-out
@@ -148,6 +151,9 @@ pub enum Command {
         fault_seed: Option<u64>,
         /// Per-round wall-clock solve budget, milliseconds.
         budget_ms: Option<u64>,
+        /// Solve rounds incrementally (persistent per-center caches,
+        /// delta VDPS updates, equilibrium warm starts).
+        incremental: bool,
         /// Optional JSONL telemetry trace output path.
         trace_out: Option<PathBuf>,
     },
@@ -358,6 +364,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut faults = false;
             let mut fault_seed = None;
             let mut budget_ms = None;
+            let mut incremental = false;
             let mut trace_out = None;
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
@@ -380,12 +387,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--budget-ms" => {
                         budget_ms = Some(parse_num(value("--budget-ms")?, "--budget-ms")?);
                     }
+                    "--incremental" => incremental = true,
                     "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
                     other => return Err(format!("unknown simulate flag `{other}`")),
                 }
             }
             if policy != "immediate" && algorithm_by_name(&policy).is_none() {
                 return Err(format!("unknown policy `{policy}`"));
+            }
+            if incremental && policy == "immediate" {
+                return Err("--incremental requires a batch policy (not `immediate`)".into());
             }
             if hours <= 0.0 || period_minutes <= 0.0 {
                 return Err("simulate needs positive --hours and --period-min".into());
@@ -401,6 +412,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 faults,
                 fault_seed,
                 budget_ms,
+                incremental,
                 trace_out,
             })
         }
@@ -735,9 +747,11 @@ mod tests {
                 faults,
                 fault_seed,
                 budget_ms,
+                incremental,
                 trace_out,
             } => {
                 assert_eq!(policy, "gta");
+                assert!(!incremental);
                 assert_eq!(seed, 7);
                 assert!((hours - 1.5).abs() < 1e-12);
                 assert!((period_minutes - 10.0).abs() < 1e-12);
@@ -773,6 +787,14 @@ mod tests {
         assert!(parse(&argv("simulate --algo immediate")).is_ok());
         assert!(parse(&argv("simulate --algo nope")).is_err());
         assert!(parse(&argv("simulate --hours 0")).is_err());
+        match parse(&argv("simulate --algo fgt --incremental")).unwrap() {
+            Command::Simulate { incremental, .. } => assert!(incremental),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(
+            parse(&argv("simulate --algo immediate --incremental")).is_err(),
+            "--incremental must require a batch policy"
+        );
     }
 
     #[test]

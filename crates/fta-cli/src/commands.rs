@@ -219,6 +219,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             faults,
             fault_seed,
             budget_ms,
+            incremental,
             trace_out,
         } => {
             use fta_sim::{DispatchPolicy, FaultPlan, Scenario, ScenarioConfig, SimConfig};
@@ -249,6 +250,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             if let Some(ms) = budget_ms {
                 config.budget = SolveBudget::wall_ms(*ms);
             }
+            config.incremental = *incremental;
             if *faults {
                 config.faults = Some(FaultPlan::stress(fault_seed.unwrap_or(*seed)));
             }
@@ -257,8 +259,10 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let snapshot = recorder.map(fta_obs::Recorder::finish);
 
             let mut text = format!(
-                "simulated {hours:.1} h, {} rounds ({policy} every {period_minutes:.0} min, {} couriers)\n",
-                metrics.rounds, workers,
+                "simulated {hours:.1} h, {} rounds ({policy}{} every {period_minutes:.0} min, {} couriers)\n",
+                metrics.rounds,
+                if *incremental { ", incremental" } else { "" },
+                workers,
             );
             let _ = writeln!(
                 text,

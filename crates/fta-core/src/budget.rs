@@ -100,12 +100,28 @@ impl CancelToken {
 
     /// A token that trips automatically once `budget` wall-clock time has
     /// elapsed (measured from construction).
+    ///
+    /// A budget so large that `now + budget` overflows `Instant` is
+    /// *saturated* to the farthest representable deadline instead of being
+    /// dropped: a huge-but-finite budget must stay a finite deadline, never
+    /// silently become "no deadline at all". The saturation halves the
+    /// budget until the addition fits, so the stored deadline is still
+    /// decades away on every platform.
     #[must_use]
     pub fn with_deadline(budget: Duration) -> Self {
+        let now = Instant::now();
+        let mut capped = budget;
+        let deadline = loop {
+            match now.checked_add(capped) {
+                Some(deadline) => break deadline,
+                // Unreachable at Duration::ZERO: `now + 0` always fits.
+                None => capped /= 2,
+            }
+        };
         CancelToken {
             inner: Arc::new(TokenInner {
                 cancelled: AtomicBool::new(false),
-                deadline: Instant::now().checked_add(budget),
+                deadline: Some(deadline),
             }),
         }
     }

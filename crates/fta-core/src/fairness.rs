@@ -33,7 +33,7 @@ pub fn payoff_difference(payoffs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = payoffs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("payoffs must not be NaN"));
+    sorted.sort_by(f64::total_cmp);
     let nf = n as f64;
     let sum: f64 = sorted
         .iter()
@@ -240,5 +240,17 @@ mod tests {
         assert!((payoff_difference(&scaled) - 3.0 * payoff_difference(&p)).abs() < 1e-9);
         assert!((gini(&scaled) - gini(&p)).abs() < 1e-12);
         assert!((jain_index(&scaled) - jain_index(&p)).abs() < 1e-12);
+    }
+    #[test]
+    fn nan_payoff_does_not_panic() {
+        // NaN payoffs must flow through every fairness metric without
+        // panicking; the results are NaN (or NaN-free where the NaN entry
+        // never enters the formula), never a crash.
+        let p = [1.0, f64::NAN, 3.0];
+        let _ = payoff_difference(&p);
+        let _ = gini(&p);
+        let _ = jain_index(&p);
+        let _ = min_max_ratio(&p);
+        let _ = FairnessReport::from_payoffs(&p);
     }
 }

@@ -83,7 +83,7 @@ impl IauEvaluator {
     #[must_use]
     pub fn new(others: &[f64], params: IauParams) -> Self {
         let mut sorted = others.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("payoffs must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         let mut prefix = Vec::with_capacity(sorted.len() + 1);
         prefix.push(0.0);
         let mut acc = 0.0;
@@ -715,5 +715,15 @@ mod tests {
             },
         );
         assert!(high < low);
+    }
+    #[test]
+    fn nan_rival_payoff_does_not_panic() {
+        // A NaN that leaks into a rival-payoff vector (e.g. from a
+        // degenerate 0/0 payoff) must not crash the evaluator; total_cmp
+        // sorts NaN to the top and the IAU value is simply NaN-poisoned.
+        let ev = IauEvaluator::new(&[1.0, f64::NAN, 3.0], IauParams::default());
+        assert_eq!(ev.rivals(), 3);
+        let _ = ev.eval(2.0);
+        let _ = iau(2.0, &[1.0, f64::NAN, 3.0], IauParams::default());
     }
 }

@@ -34,6 +34,7 @@
 pub mod assignment;
 pub mod budget;
 pub mod builder;
+pub mod churn;
 pub mod entities;
 pub mod error;
 pub mod fairness;
@@ -48,6 +49,7 @@ pub mod route;
 
 pub use assignment::Assignment;
 pub use budget::{CancelToken, SolveBudget};
+pub use churn::{CenterChurn, ChurnSet};
 pub use entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
 pub use error::{FtaError, Result};
 pub use fairness::FairnessReport;

@@ -114,6 +114,34 @@ impl Route {
         })
     }
 
+    /// Rebuilds this route's payload against new `aggregates`, keeping
+    /// the visiting order and the already-computed arrival offsets.
+    ///
+    /// Bit-identical to [`Route::build`] over the same visiting order
+    /// **provided the geometry is unchanged** — same center and
+    /// delivery-point locations and the same speed, so every travel leg
+    /// (and hence every arrival offset) would come out with the same
+    /// bits. The caller asserts this; the delta updater uses it for
+    /// entries whose deadlines or rewards changed while their stops did
+    /// not move, skipping all per-leg distance work.
+    #[must_use]
+    pub fn retimed(&self, aggregates: &[DpAggregate]) -> Self {
+        let mut total_reward = 0.0;
+        let mut slack = f64::INFINITY;
+        for (i, &dp_id) in self.dps.iter().enumerate() {
+            let agg = &aggregates[dp_id.index()];
+            total_reward += agg.total_reward;
+            slack = slack.min(agg.earliest_expiry - self.arrival_offsets[i]);
+        }
+        Self {
+            center: self.center,
+            dps: self.dps.clone(),
+            arrival_offsets: self.arrival_offsets.clone(),
+            total_reward,
+            slack,
+        }
+    }
+
     /// The distribution center this route starts from.
     #[must_use]
     pub fn center(&self) -> CenterId {

@@ -123,7 +123,7 @@ pub fn kmeans(points: &[Point], k: usize, seed: u64, max_iters: usize) -> KMeans
                     .max_by(|&a, &b| {
                         let da = points[a].distance_sq(centroids[labels[a]]);
                         let db = points[b].distance_sq(centroids[labels[b]]);
-                        da.partial_cmp(&db).expect("distances are not NaN")
+                        da.total_cmp(&db)
                     })
                     .expect("points is non-empty");
                 centroids[c_idx] = points[far];

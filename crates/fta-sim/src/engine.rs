@@ -3,12 +3,12 @@
 use crate::faults::FaultPlan;
 use crate::metrics::{DayMetrics, WorkerLedger};
 use crate::scenario::{ArrivingTask, Scenario};
-use fta_algorithms::{solve, Algorithm, SolveConfig};
+use fta_algorithms::{solve, Algorithm, SolveConfig, Solver};
 use fta_core::entities::{SpatialTask, Worker};
 use fta_core::geometry::Point;
 use fta_core::ids::{DeliveryPointId, TaskId, WorkerId};
 use fta_core::route::Route;
-use fta_core::{Instance, SolveBudget};
+use fta_core::{CenterChurn, ChurnSet, Instance, SolveBudget};
 use fta_vdps::VdpsConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -93,6 +93,17 @@ pub struct SimConfig {
     /// default — runs the pristine simulation, bit-identical to builds
     /// without the fault layer.
     pub faults: Option<FaultPlan>,
+    /// Solve rounds incrementally (batch policies only): a persistent
+    /// [`Solver`] keeps per-center VDPS pools and equilibrium profiles
+    /// between rounds, delta-updates them against the computed
+    /// [`ChurnSet`], and warm-starts the game from the previous round's
+    /// equilibrium. Incremental rounds solve centers sequentially (the
+    /// `parallel` flag only affects cold solves). For deterministic
+    /// single-attempt algorithms (GTA, MPTA, Random) the incremental day
+    /// is bit-identical to the cold day; the iterative games may converge
+    /// to a different — equally valid — equilibrium because the warm path
+    /// runs a single best-response pass instead of multi-restart search.
+    pub incremental: bool,
 }
 
 impl SimConfig {
@@ -107,6 +118,7 @@ impl SimConfig {
             parallel: false,
             budget: SolveBudget::UNLIMITED,
             faults: None,
+            incremental: false,
         }
     }
 
@@ -114,6 +126,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_budget(mut self, budget: SolveBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Enables incremental round-over-round solving (see
+    /// [`SimConfig::incremental`]).
+    #[must_use]
+    pub fn with_incremental(mut self) -> Self {
+        self.incremental = true;
         self
     }
 
@@ -164,6 +184,70 @@ fn make_pending(task: ArrivingTask, plan: Option<&FaultPlan>, rng: Option<&mut S
         cancel_at,
         retries: 0,
         eligible_after: 0.0,
+    }
+}
+
+/// The shape of one solved round, remembered for churn detection: the
+/// instant it was solved at, which scenario workers were idle per center,
+/// and how many tasks each center's snapshot carried.
+struct RoundShape {
+    now: f64,
+    center_workers: Vec<Vec<usize>>,
+    center_tasks: Vec<u64>,
+}
+
+impl RoundShape {
+    fn of(scenario: &Scenario, idle: &[usize], instance: &Instance, now: f64) -> Self {
+        let n_centers = scenario.centers.len();
+        let mut center_workers = vec![Vec::new(); n_centers];
+        for &orig in idle {
+            center_workers[scenario.workers[orig].center.index()].push(orig);
+        }
+        let mut center_tasks = vec![0u64; n_centers];
+        for t in &instance.tasks {
+            center_tasks[scenario.delivery_points[t.delivery_point.index()]
+                .center
+                .index()] += 1;
+        }
+        Self {
+            now,
+            center_workers,
+            center_tasks,
+        }
+    }
+}
+
+/// Builds the [`ChurnSet`] handed to [`Solver::resolve`]: worker keys are
+/// scenario indices (stable across the dense per-round renumbering), age
+/// is the time since the last solved round, and the per-center
+/// diagnostics compare idle sets exactly and task counts approximately
+/// (count deltas — identity-accurate task diffing is the solver's job,
+/// done bitwise on aggregates).
+fn churn_between(prev: Option<&RoundShape>, cur: &RoundShape, idle: &[usize]) -> ChurnSet {
+    let worker_keys = idle.iter().map(|&w| w as u64).collect();
+    let Some(prev) = prev else {
+        return ChurnSet {
+            age: 0.0,
+            worker_keys,
+            per_center: Vec::new(),
+        };
+    };
+    let per_center = cur
+        .center_workers
+        .iter()
+        .zip(&prev.center_workers)
+        .zip(cur.center_tasks.iter().zip(&prev.center_tasks))
+        .map(|((cw, pw), (&ct, &pt))| CenterChurn {
+            added_tasks: ct.saturating_sub(pt).min(u64::from(u32::MAX)) as u32,
+            removed_tasks: pt.saturating_sub(ct).min(u64::from(u32::MAX)) as u32,
+            arrived_workers: cw.iter().filter(|w| !pw.contains(w)).count() as u32,
+            departed_workers: pw.iter().filter(|w| !cw.contains(w)).count() as u32,
+        })
+        .collect();
+    ChurnSet {
+        age: cur.now - prev.now,
+        worker_keys,
+        per_center,
     }
 }
 
@@ -250,6 +334,12 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
     let mut degraded_rounds = 0usize;
     let mut rounds = 0usize;
 
+    // Incremental state: the persistent solver and the previous solved
+    // round's shape (for churn diagnostics). Only touched when
+    // `config.incremental` is set and the policy is a batch policy.
+    let mut inc_solver: Option<Solver> = None;
+    let mut last_round: Option<RoundShape> = None;
+
     let mut now = config.assignment_period;
     while now <= config.horizon + 1e-12 {
         // Ingest arrivals up to this round.
@@ -282,6 +372,11 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
             }
         });
 
+        // Backlog peak is a property of every tick, not just the ticks
+        // that run an assignment round, and it must include tasks hidden
+        // by retry backoff — record it before any eligibility filtering.
+        fta_obs::gauge_max("sim.pending_peak", pending.len() as u64);
+
         // Snapshot idle workers and backoff-eligible pending tasks.
         let idle: Vec<usize> = (0..n_workers).filter(|&w| busy_until[w] <= now).collect();
         let any_eligible = pending.iter().any(|p| p.eligible_after <= now);
@@ -289,7 +384,6 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
             rounds += 1;
             let _tick_span = fta_obs::span("sim.tick");
             fta_obs::counter("sim.rounds", 1);
-            fta_obs::gauge_max("sim.pending_peak", pending.len() as u64);
             let snapshot_workers: Vec<Worker> = idle
                 .iter()
                 .enumerate()
@@ -327,16 +421,23 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
                 let _assign_timer = fta_obs::hist_timer("sim.assign_nanos");
                 match config.policy {
                     DispatchPolicy::Batch(algorithm) => {
-                        let outcome = solve(
-                            &instance,
-                            &SolveConfig {
-                                vdps: config.vdps,
-                                algorithm,
-                                parallel: config.parallel,
-                                budget: config.budget,
-                                ..SolveConfig::new(Algorithm::Gta)
-                            },
-                        );
+                        let solve_config = SolveConfig {
+                            vdps: config.vdps,
+                            algorithm,
+                            parallel: config.parallel,
+                            budget: config.budget,
+                            ..SolveConfig::new(Algorithm::Gta)
+                        };
+                        let outcome = if config.incremental {
+                            let shape = RoundShape::of(scenario, &idle, &instance, now);
+                            let churn = churn_between(last_round.as_ref(), &shape, &idle);
+                            last_round = Some(shape);
+                            inc_solver
+                                .get_or_insert_with(|| Solver::new(solve_config))
+                                .resolve(&instance, &churn)
+                        } else {
+                            solve(&instance, &solve_config)
+                        };
                         debug_assert!(outcome.assignment.validate(&instance).is_ok());
                         if outcome.is_degraded() {
                             degraded_rounds += 1;
@@ -612,6 +713,68 @@ mod tests {
             m.tasks_completed > 0,
             "immediate dispatch delivered nothing"
         );
+    }
+
+    #[test]
+    fn incremental_gta_day_is_bit_identical_to_cold() {
+        // GTA is deterministic and single-attempt, and the delta-updated
+        // pools are bit-identical to regeneration, so the incremental day
+        // must reproduce the cold day exactly — round by round.
+        let scenario = small_scenario(20);
+        let cold = run(&scenario, &config(Algorithm::Gta));
+        let warm = run(&scenario, &config(Algorithm::Gta).with_incremental());
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn incremental_iterative_day_is_valid_and_deterministic() {
+        let scenario = small_scenario(21);
+        let cfg = config(Algorithm::Iegt(IegtConfig::default())).with_incremental();
+        let a = run(&scenario, &cfg);
+        let b = run(&scenario, &cfg);
+        assert_eq!(a, b, "incremental runs must be reproducible");
+        assert!(a.is_conserved(), "accounting broken: {a:?}");
+        assert!(a.tasks_completed > 0, "incremental day delivered nothing");
+    }
+
+    #[test]
+    fn incremental_with_budget_still_conserves() {
+        // A budget disables caching inside the solver; the incremental
+        // flag must degrade gracefully to per-round cold solves.
+        use fta_core::SolveBudget;
+        let scenario = small_scenario(22);
+        let cfg = config(Algorithm::Gta)
+            .with_budget(SolveBudget::wall_ms(0))
+            .with_incremental();
+        let m = run(&scenario, &cfg);
+        assert!(m.is_conserved(), "accounting broken: {m:?}");
+        assert_eq!(m.degraded_rounds, m.rounds);
+    }
+
+    #[test]
+    fn churn_between_reports_arrivals_departures_and_age() {
+        let prev = RoundShape {
+            now: 1.0,
+            center_workers: vec![vec![0, 1], vec![4]],
+            center_tasks: vec![5, 2],
+        };
+        let cur = RoundShape {
+            now: 1.25,
+            center_workers: vec![vec![1, 2], vec![]],
+            center_tasks: vec![3, 6],
+        };
+        let churn = churn_between(Some(&prev), &cur, &[1, 2]);
+        assert!((churn.age - 0.25).abs() < 1e-12);
+        assert_eq!(churn.worker_keys, vec![1, 2]);
+        assert_eq!(churn.per_center[0].arrived_workers, 1); // worker 2
+        assert_eq!(churn.per_center[0].departed_workers, 1); // worker 0
+        assert_eq!(churn.per_center[0].removed_tasks, 2);
+        assert_eq!(churn.per_center[1].added_tasks, 4);
+        assert_eq!(churn.per_center[1].departed_workers, 1);
+        // First round: no previous shape, empty diagnostics.
+        let first = churn_between(None, &cur, &[1, 2]);
+        assert_eq!(first.age, 0.0);
+        assert!(first.per_center.is_empty());
     }
 
     #[test]

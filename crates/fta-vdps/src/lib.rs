@@ -79,6 +79,7 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod delta;
 pub mod flat;
 pub mod generator;
 pub mod grid;
@@ -88,6 +89,7 @@ pub mod schedule;
 pub mod strategy;
 
 pub use config::{VdpsConfig, VdpsEngine};
+pub use delta::{delta_update, delta_update_with_provenance, DeltaStats, PoolCache};
 pub use flat::{generate_c_vdps_flat, generate_c_vdps_flat_budgeted};
 pub use generator::{
     generate_c_vdps, generate_c_vdps_budgeted, generate_c_vdps_hashmap,
@@ -96,5 +98,6 @@ pub use generator::{
 pub use pool::{TaskScope, WorkerPool};
 pub use schedule::schedule_route;
 pub use strategy::{
-    ConflictSets, StrategySpace, CONFLICT_INDEX_MAX_SLOTS_PER_BIT, CONFLICT_INDEX_MIN_SLOTS,
+    ConflictSets, SlotCache, StrategySpace, CONFLICT_INDEX_MAX_SLOTS_PER_BIT,
+    CONFLICT_INDEX_MIN_SLOTS,
 };

@@ -280,10 +280,118 @@ impl StrategySpace {
                 .collect();
             (pool, per_worker)
         };
+        Self::assemble(view, pool, worker_to_dc, &per_worker, gen_stats)
+    }
 
-        // Assemble the flat SoA layout: ascending-pool-index slots per
-        // worker plus the payoff-descending permutation for the monotone
-        // fast path.
+    /// Rebuilds the space around a delta-updated `pool`, reusing each
+    /// worker's cached (validity, payoff) pair for every entry the delta
+    /// update carried over verbatim (`provenance[j] = Some(old_index)`,
+    /// see [`crate::delta_update_with_provenance`]); only entries with a
+    /// rebuilt [`Route`] payload go through per-worker validation again.
+    ///
+    /// Bit-identical to [`StrategySpace::from_pool_in`] on the same
+    /// `(instance, view, pool)` **provided the worker side is unchanged**
+    /// from the space `prev` was captured from: same workers in the same
+    /// local order, each with bitwise-equal location, `maxDP`, and travel
+    /// time to the (unchanged) center. The caller asserts this — the
+    /// typical caller is the incremental solver, which compares worker
+    /// identity bits before taking this path and falls back to
+    /// [`StrategySpace::from_pool_in`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `provenance` is not parallel to `pool` or `prev` was
+    /// captured over a different worker population size.
+    #[must_use]
+    pub fn from_pool_delta(
+        instance: &Instance,
+        view: CenterView,
+        pool: Vec<Vdps>,
+        provenance: &[Option<u32>],
+        prev: &SlotCache,
+        gen_stats: GenerationStats,
+    ) -> Self {
+        let _span = fta_obs::span_center("vdps.strategy_space_delta", view.center.index() as u32);
+        assert_eq!(
+            provenance.len(),
+            pool.len(),
+            "provenance not parallel to pool"
+        );
+        assert_eq!(
+            prev.per_worker.len(),
+            view.workers.len(),
+            "slot cache captured over a different worker population"
+        );
+        let dc = instance.centers[view.center.index()].location;
+        let worker_to_dc: Vec<f64> = view
+            .workers
+            .iter()
+            .map(|&w| instance.travel_time(instance.workers[w.index()].location, dc))
+            .collect();
+
+        // Dense (validity, payoff) lookup over the *previous* pool,
+        // refilled per worker and wiped through the same valid list so
+        // the reset is O(previous valid slots), not O(previous pool).
+        let mut dense_valid = vec![false; prev.pool_len];
+        let mut dense_payoff = vec![0.0f64; prev.pool_len];
+        let mut reused_slots = 0u64;
+        let per_worker: Vec<(Vec<u32>, Vec<f64>)> = view
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(local, &w)| {
+                let (prev_valid, prev_payoffs) = &prev.per_worker[local];
+                for (&idx, &payoff) in prev_valid.iter().zip(prev_payoffs) {
+                    dense_valid[idx as usize] = true;
+                    dense_payoff[idx as usize] = payoff;
+                }
+                let max_dp = instance.workers[w.index()].max_dp;
+                let to_dc = worker_to_dc[local];
+                let mut v = Vec::new();
+                let mut p = Vec::new();
+                for (j, vdps) in pool.iter().enumerate() {
+                    match provenance[j] {
+                        Some(old) => {
+                            // Verbatim-reused entry: same route payload,
+                            // same worker parameters — the cached verdict
+                            // and payoff are bit-identical to recomputing.
+                            if dense_valid[old as usize] {
+                                v.push(j as u32);
+                                p.push(dense_payoff[old as usize]);
+                                reused_slots += 1;
+                            }
+                        }
+                        None => {
+                            if vdps.len() <= max_dp && vdps.route.is_valid_for_travel(to_dc) {
+                                v.push(j as u32);
+                                p.push(payoff_for_travel(&vdps.route, to_dc));
+                            }
+                        }
+                    }
+                }
+                for &idx in prev_valid.iter() {
+                    dense_valid[idx as usize] = false;
+                }
+                (v, p)
+            })
+            .collect();
+        if fta_obs::enabled() {
+            fta_obs::counter("vdps.slots_reused", reused_slots);
+        }
+        Self::assemble(view, pool, worker_to_dc, &per_worker, gen_stats)
+    }
+
+    /// Assembles the flat SoA layout from per-worker validation results:
+    /// ascending-pool-index slots per worker plus the payoff-descending
+    /// permutation for the monotone fast path.
+    fn assemble(
+        view: CenterView,
+        pool: Vec<Vdps>,
+        worker_to_dc: Vec<f64>,
+        per_worker: &[(Vec<u32>, Vec<f64>)],
+        gen_stats: GenerationStats,
+    ) -> Self {
+        let n_workers = view.workers.len();
         let total: usize = per_worker.iter().map(|(v, _)| v.len()).sum();
         let mut offsets = Vec::with_capacity(n_workers + 1);
         let mut slot_pool = Vec::with_capacity(total);
@@ -295,7 +403,7 @@ impl StrategySpace {
         let mut desc_slots = Vec::with_capacity(total);
         offsets.push(0u32);
         let mut order: Vec<u32> = Vec::new();
-        for (v, p) in &per_worker {
+        for (v, p) in per_worker {
             let base = slot_pool.len();
             slot_pool.extend_from_slice(v);
             slot_payoffs.extend_from_slice(p);
@@ -462,6 +570,51 @@ impl StrategySpace {
     #[must_use]
     pub fn mask_of_pool(&self, pool_idx: u32) -> u128 {
         self.pool[pool_idx as usize].mask
+    }
+}
+
+/// Per-worker validation results captured from a built [`StrategySpace`],
+/// keyed by the pool indices of the space they were captured from. Feeds
+/// [`StrategySpace::from_pool_delta`], which maps them through a delta
+/// update's provenance so verbatim-reused pool entries skip per-worker
+/// revalidation entirely.
+#[derive(Debug, Clone, Default)]
+pub struct SlotCache {
+    /// Length of the pool the cached space was built over (the index
+    /// space `per_worker`'s valid lists live in).
+    pool_len: usize,
+    /// Per local worker: valid pool indices (ascending) and payoffs,
+    /// parallel.
+    per_worker: Vec<(Vec<u32>, Vec<f64>)>,
+}
+
+impl SlotCache {
+    /// Captures the per-worker slot data of `space`.
+    #[must_use]
+    pub fn capture(space: &StrategySpace) -> Self {
+        Self {
+            pool_len: space.pool.len(),
+            per_worker: (0..space.n_workers())
+                .map(|local| {
+                    (
+                        space.valid_of(local).to_vec(),
+                        space.payoffs_of(local).to_vec(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of local workers the cache covers.
+    #[must_use]
+    pub fn n_workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Total cached (worker, strategy) slots.
+    #[must_use]
+    pub fn total_slots(&self) -> usize {
+        self.per_worker.iter().map(|(v, _)| v.len()).sum()
     }
 }
 
