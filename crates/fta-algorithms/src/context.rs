@@ -7,7 +7,7 @@
 //! a candidate VDPS conflicts with everyone else's selection is one AND.
 
 use fta_core::{Assignment, WorkerId};
-use fta_vdps::StrategySpace;
+use fta_vdps::{kernel, ScanKernel, StrategySpace};
 
 /// Counters describing one monotone descending scan over a worker's
 /// payoff-sorted strategy list.
@@ -47,6 +47,11 @@ pub struct GameContext<'a> {
     /// Per-slot conflict-counter adjustments performed so far (the
     /// `br.index_updates` statistic).
     index_updates: u64,
+    /// Which availability-scan kernel the descending probes use. Read
+    /// once from the installed hotpath profile at construction; both
+    /// kernels return bit-identical results and counters, so this only
+    /// affects throughput.
+    scan_kernel: ScanKernel,
 }
 
 impl<'a> GameContext<'a> {
@@ -69,7 +74,16 @@ impl<'a> GameContext<'a> {
             total: 0.0,
             conflicts,
             index_updates: 0,
+            scan_kernel: fta_vdps::hotpath::current().scan_kernel,
         }
+    }
+
+    /// Overrides the availability-scan kernel for this context. Test and
+    /// bench hook: lets equivalence suites A/B the kernels without
+    /// mutating the process-wide hotpath profile.
+    #[doc(hidden)]
+    pub fn set_scan_kernel(&mut self, kernel: ScanKernel) {
+        self.scan_kernel = kernel;
     }
 
     /// The strategy space this context plays over.
@@ -260,44 +274,39 @@ impl<'a> GameContext<'a> {
         let pool_idx = self.space.desc_pool_of(local);
         let payoffs = self.space.desc_payoffs_of(local);
         let len = pool_idx.len();
-        let mut scanned = 0u64;
-        if self.conflicts.is_empty() {
+        // Both kernels report the first open position; `scanned` is the
+        // number of slots logically examined up to and including the hit,
+        // exactly as the historical scalar loop counted them.
+        let hit = if self.conflicts.is_empty() {
             let masks = self.space.desc_masks_of(local);
             let other_taken = self.taken & !self.own_masks[local];
-            for pos in 0..len {
-                scanned += 1;
-                if masks[pos] & other_taken == 0 {
-                    return (
-                        Some((pool_idx[pos], payoffs[pos])),
-                        DescScan {
-                            scanned,
-                            early_exit: pos + 1 < len,
-                        },
-                    );
-                }
+            match self.scan_kernel {
+                ScanKernel::Chunked => kernel::first_open_chunked(masks, other_taken),
+                ScanKernel::Scalar => kernel::first_open_scalar(masks, other_taken),
             }
         } else {
             let slots = self.space.desc_slots_of(local);
-            for pos in 0..len {
-                scanned += 1;
-                if self.conflicts[slots[pos] as usize] == 0 {
-                    return (
-                        Some((pool_idx[pos], payoffs[pos])),
-                        DescScan {
-                            scanned,
-                            early_exit: pos + 1 < len,
-                        },
-                    );
-                }
+            match self.scan_kernel {
+                ScanKernel::Chunked => kernel::first_zero_chunked(slots, &self.conflicts),
+                ScanKernel::Scalar => kernel::first_zero_scalar(slots, &self.conflicts),
             }
+        };
+        match hit {
+            Some(pos) => (
+                Some((pool_idx[pos], payoffs[pos])),
+                DescScan {
+                    scanned: (pos + 1) as u64,
+                    early_exit: pos + 1 < len,
+                },
+            ),
+            None => (
+                None,
+                DescScan {
+                    scanned: len as u64,
+                    early_exit: false,
+                },
+            ),
         }
-        (
-            None,
-            DescScan {
-                scanned,
-                early_exit: false,
-            },
-        )
     }
 
     /// Collects every *available* strategy of the `local`-th worker whose
@@ -315,30 +324,40 @@ impl<'a> GameContext<'a> {
         out.clear();
         let pool_idx = self.space.desc_pool_of(local);
         let payoffs = self.space.desc_payoffs_of(local);
-        let masks = self.space.desc_masks_of(local);
-        let slots = self.space.desc_slots_of(local);
-        let use_index = !self.conflicts.is_empty();
-        let other_taken = self.taken & !self.own_masks[local];
         let len = pool_idx.len();
-        let mut scanned = 0u64;
-        let mut early_exit = false;
-        for pos in 0..len {
-            scanned += 1;
-            let p = payoffs[pos];
-            // Payoffs are finite (validated at instance construction), so
-            // `p <= threshold` is exactly the negation of the exhaustive
-            // filter's strict `p > threshold`.
-            if p <= threshold {
-                early_exit = pos + 1 < len;
-                break;
+        // Payoffs are non-increasing and finite (validated at instance
+        // construction), so `p > threshold` holds on exactly a prefix and
+        // the monotone cutoff is a binary search, not a linear walk. The
+        // counters reproduce the historical scalar loop: positions
+        // `0..cut` were examined plus the one that terminated the scan.
+        let cut = payoffs.partition_point(|&p| p > threshold);
+        let (scanned, early_exit) = if cut < len {
+            ((cut + 1) as u64, cut + 1 < len)
+        } else {
+            (len as u64, false)
+        };
+        if !self.conflicts.is_empty() {
+            let slots = self.space.desc_slots_of(local);
+            let push = |pos: usize| out.push((pool_idx[pos], payoffs[pos]));
+            match self.scan_kernel {
+                ScanKernel::Chunked => {
+                    kernel::for_each_zero_chunked(slots, cut, &self.conflicts, push);
+                }
+                ScanKernel::Scalar => {
+                    kernel::for_each_zero_scalar(slots, cut, &self.conflicts, push);
+                }
             }
-            let open = if use_index {
-                self.conflicts[slots[pos] as usize] == 0
-            } else {
-                masks[pos] & other_taken == 0
-            };
-            if open {
-                out.push((pool_idx[pos], p));
+        } else {
+            let masks = self.space.desc_masks_of(local);
+            let other_taken = self.taken & !self.own_masks[local];
+            let push = |pos: usize| out.push((pool_idx[pos], payoffs[pos]));
+            match self.scan_kernel {
+                ScanKernel::Chunked => {
+                    kernel::for_each_open_chunked(masks, cut, other_taken, push);
+                }
+                ScanKernel::Scalar => {
+                    kernel::for_each_open_scalar(masks, cut, other_taken, push);
+                }
             }
         }
         out.sort_unstable_by_key(|&(idx, _)| idx);

@@ -28,27 +28,12 @@
 //! cached outcome — CI runs it in quick mode as a regression gate.
 
 use fta_algorithms::{solve, Algorithm, FgtConfig, ResolveStats, SolveConfig, Solver};
+use fta_bench::{best_secs, gates, obj};
 use fta_core::{ChurnSet, Instance};
 use fta_data::SynConfig;
 use fta_vdps::VdpsConfig;
 use serde_json::Value;
 use std::hint::black_box;
-use std::time::Instant;
-
-/// Best-of-`reps` wall time of `f`, in seconds.
-fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        black_box(f());
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    best
-}
-
-fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-}
 
 struct Row {
     label: &'static str,
@@ -85,7 +70,7 @@ fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_incremental.json".to_owned());
-    let quick = std::env::var_os("FTA_BENCH_QUICK").is_some();
+    let quick = gates::quick_mode();
     let reps = if quick { 2 } else { 4 };
     let n_rounds = if quick { 3 } else { 8 };
     let config = SolveConfig {
@@ -206,18 +191,14 @@ fn main() {
                 stats.centers_cold,
             );
 
-            // Regression gates. Delivery churn is where the incremental
+            // Regression gates (numbers shared with the schema tests via
+            // `fta_bench::gates`). Delivery churn is where the incremental
             // path earns its keep: it must beat cold by a wide margin at
             // paper scale and never lose anywhere. Deep uniform aging
             // rebuilds every route payload, so its structural win is only
             // the retimed delta plus the warm start's assignment savings —
-            // a thin margin that gets a timer-noise allowance: 10% in
-            // full mode, 30% in quick mode where 2 reps over 3 rounds
-            // leave the best-of-reps estimate dominated by machine noise
-            // (observed swing on one box: 0.87x–1.44x across back-to-back
-            // quick runs). Quick mode is a smoke check; the committed
-            // full-mode snapshot carries the perf evidence.
-            let aged_band = if quick { 1.30 } else { 1.10 };
+            // a thin margin that gets a timer-noise allowance.
+            let aged_band = gates::aged_noise_band(quick);
             if mode == "drop" {
                 assert!(
                     warm_s <= cold_s,
@@ -228,8 +209,10 @@ fn main() {
                 );
                 if row.label == "paper" {
                     assert!(
-                        speedup >= 3.0,
-                        "paper/drop: warm speedup {speedup:.2}x fell below the 3x floor"
+                        speedup >= gates::WARM_PAPER_DROP_FLOOR,
+                        "paper/drop: warm speedup {speedup:.2}x fell below the \
+                         {}x floor",
+                        gates::WARM_PAPER_DROP_FLOOR
                     );
                 }
             } else {

@@ -1,0 +1,82 @@
+//! Shared regression-gate knobs for the snapshot binaries and the schema
+//! tests that re-check the committed snapshots.
+//!
+//! Every `BENCH_*.json` writer *asserts* its own floors before writing,
+//! and `tests/bench_snapshots.rs` re-asserts the same floors against the
+//! committed files — the two sides must agree on the numbers, so the
+//! numbers live here exactly once. Quick mode (`FTA_BENCH_QUICK=1`, the
+//! CI smoke configuration) shrinks grids and repetition counts until
+//! best-of-reps estimates are dominated by machine noise; gates that
+//! compare two timed paths therefore widen in quick mode, while the
+//! committed full-mode snapshots carry the real perf evidence.
+
+/// Whether quick (CI smoke) mode is active: shrunken grids, fewer
+/// repetitions, widened noise-sensitive gates.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var_os("FTA_BENCH_QUICK").is_some()
+}
+
+/// Paper-scale floor on the incremental path under delivery churn: the
+/// warm re-solve must beat per-round cold solves by at least this factor
+/// (`BENCH_incremental.json`, `paper/drop` row).
+pub const WARM_PAPER_DROP_FLOOR: f64 = 3.0;
+
+/// Noise allowance for the `aged` churn mode, where uniform deadline
+/// aging rebuilds every route payload and the warm path's structural win
+/// is thin: warm must stay within this factor of cold. 30% in quick mode
+/// — 2 reps over 3 rounds leave the best-of-reps estimate dominated by
+/// machine noise (observed swing on one box: 0.87x–1.44x across
+/// back-to-back quick runs) — and 10% in full mode.
+#[must_use]
+pub fn aged_noise_band(quick: bool) -> f64 {
+    if quick {
+        1.30
+    } else {
+        1.10
+    }
+}
+
+/// Floor on the chunked-limb availability-scan microkernel vs its scalar
+/// reference twin (`BENCH_hotpath.json`): the deep-scan case the kernel
+/// exists for must clear this speedup in full mode. Quick mode only
+/// smoke-checks that the chunked kernel is not a regression.
+#[must_use]
+pub fn hotpath_scan_floor(quick: bool) -> f64 {
+    if quick {
+        1.1
+    } else {
+        1.5
+    }
+}
+
+/// Floor on the rewritten dedup table (limb-split keys, batched probes,
+/// stored folds across rehash) vs the legacy scalar-probe layout. The
+/// win is structural but modest — hashing and cache misses dominate — so
+/// the gate is a no-regression band rather than a headline speedup.
+/// Quick mode shrinks the fixture to ~1 ms of work, where best-of-reps
+/// still swings ±20% run-to-run (observed 0.83x–1.16x on one build), so
+/// the quick band widens to match; the full-mode snapshot carries the
+/// real no-regression evidence.
+#[must_use]
+pub fn hotpath_dedup_floor(quick: bool) -> f64 {
+    if quick {
+        0.75
+    } else {
+        1.00
+    }
+}
+
+/// Floor on the end-to-end n=1000 solve with the full calibrated profile
+/// (chunked kernels + trusted-offsets emission + calibrated crossovers)
+/// vs the legacy profile (scalar kernels, rebuild emission): the
+/// measurable whole-solve win the acceptance criteria require. Widened
+/// below 1.0 in quick mode, where a single quick rep is all noise.
+#[must_use]
+pub fn hotpath_e2e_floor(quick: bool) -> f64 {
+    if quick {
+        0.85
+    } else {
+        1.02
+    }
+}

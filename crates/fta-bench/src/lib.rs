@@ -20,6 +20,32 @@
 
 use fta_core::Instance;
 use fta_data::{GMissionConfig, SynConfig};
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+pub mod gates;
+
+/// Best-of-`reps` wall time of `f`, in seconds. Best-of (not mean-of)
+/// because scheduling noise is strictly additive: the minimum is the
+/// least contaminated estimate of the work itself.
+pub fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A `serde_json` object from `(key, value)` pairs, preserving insertion
+/// order (the snapshot writers keep fields in a stable, diff-friendly
+/// order).
+#[must_use]
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
 
 /// A GM-scale instance used by several benches (Table I defaults).
 #[must_use]

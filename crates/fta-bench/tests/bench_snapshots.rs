@@ -1,20 +1,25 @@
-//! Schema validation of the committed incremental re-solve perf
-//! snapshot: `BENCH_incremental.json` at the repo root must parse,
-//! carry every field downstream tooling reads, stay internally
-//! consistent (speedup = cold/warm, ladder counts cover every center of
-//! every round), and keep the paper-scale speedup floor the acceptance
-//! criteria pin (warm ≥ 3× cold under delivery churn).
+//! Schema validation of the committed perf snapshots at the repo root:
+//! `BENCH_incremental.json` (incremental re-solve) and
+//! `BENCH_hotpath.json` (chunked kernels + calibrated hot-path profile)
+//! must parse, carry every field downstream tooling reads, stay
+//! internally consistent, and keep the speedup floors the acceptance
+//! criteria pin. The floors live in `fta_bench::gates`, shared with the
+//! snapshot writers, so the writer and this re-check can never drift
+//! apart.
 
+use fta_bench::gates;
 use serde_json::Value;
 use std::path::PathBuf;
 
-fn snapshot_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_incremental.json")
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
 }
 
 #[test]
 fn bench_incremental_snapshot_is_schema_valid() {
-    let raw = std::fs::read_to_string(snapshot_path())
+    let raw = std::fs::read_to_string(snapshot_path("BENCH_incremental.json"))
         .expect("BENCH_incremental.json is committed at the repo root");
     let v: Value = serde_json::from_str(&raw).expect("snapshot parses as JSON");
 
@@ -84,10 +89,109 @@ fn bench_incremental_snapshot_is_schema_valid() {
         if label == "paper" && mode == "drop" {
             saw_paper_drop = true;
             assert!(
-                speedup >= 3.0,
-                "paper/drop speedup {speedup:.2}x below the 3x acceptance floor"
+                speedup >= gates::WARM_PAPER_DROP_FLOOR,
+                "paper/drop speedup {speedup:.2}x below the {}x acceptance floor",
+                gates::WARM_PAPER_DROP_FLOOR
             );
         }
     }
     assert!(saw_paper_drop, "grid must include the paper/drop row");
+}
+
+#[test]
+fn bench_hotpath_snapshot_is_schema_valid() {
+    let raw = std::fs::read_to_string(snapshot_path("BENCH_hotpath.json"))
+        .expect("BENCH_hotpath.json is committed at the repo root");
+    let v: Value = serde_json::from_str(&raw).expect("snapshot parses as JSON");
+
+    assert!(v["description"].as_str().is_some(), "missing description");
+    assert!(v["reps"].as_u64().unwrap_or(0) >= 1, "reps must be >= 1");
+
+    // Microkernels: every section carries its timings and a consistent
+    // speedup; the committed (full-mode) numbers must clear the
+    // full-mode floors.
+    let micro = &v["microkernels"];
+    let scan = &micro["scan"];
+    assert!(scan["len"].as_u64().unwrap_or(0) > 0, "scan missing len");
+    let mut scan_best = 0.0f64;
+    for section in ["first_open", "sweep"] {
+        let s = &scan[section];
+        let scalar = s["scalar_us"].as_f64().expect("scan scalar_us");
+        let chunked = s["chunked_us"].as_f64().expect("scan chunked_us");
+        let speedup = s["speedup"].as_f64().expect("scan speedup");
+        assert!(scalar > 0.0 && chunked > 0.0);
+        assert!(
+            (speedup - scalar / chunked).abs() <= speedup * 1e-6,
+            "scan/{section} speedup inconsistent with its timings"
+        );
+        scan_best = scan_best.max(speedup);
+    }
+    assert!(
+        scan_best >= gates::hotpath_scan_floor(false),
+        "committed scan speedup {scan_best:.2}x below the full-mode floor"
+    );
+    for (section, floor) in [
+        ("gather", None),
+        ("dedup", Some(gates::hotpath_dedup_floor(false))),
+        ("emission", None),
+    ] {
+        let speedup = micro[section]["speedup"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("microkernels.{section} missing speedup"));
+        assert!(speedup > 0.0);
+        if let Some(floor) = floor {
+            assert!(
+                speedup >= floor,
+                "committed {section} speedup {speedup:.2}x below its {floor:.2}x floor"
+            );
+        }
+    }
+
+    // Calibration: the model constants, the measured maintenance cost,
+    // and a non-empty sweep with internally consistent modeled costs.
+    let cal = &v["calibration"];
+    assert!(cal["probes_per_switch"].as_f64().unwrap_or(0.0) > 0.0);
+    assert!(cal["bits_per_switch"].as_f64().unwrap_or(0.0) > 0.0);
+    assert!(cal["maintenance_ns_per_entry"].as_f64().unwrap_or(-1.0) >= 0.0);
+    assert!(cal["crossover_found"].as_bool().is_some());
+    let sweep = cal["sweep"].as_array().expect("calibration sweep array");
+    assert!(!sweep.is_empty(), "calibration sweep must not be empty");
+    for point in sweep {
+        assert!(point["slots"].as_u64().unwrap_or(0) > 0);
+        let probe = point["index_probe_us"].as_f64().expect("index_probe_us");
+        let total = point["index_total_us"].as_f64().expect("index_total_us");
+        assert!(point["scan_us"].as_f64().unwrap_or(0.0) > 0.0);
+        assert!(
+            total >= probe,
+            "modeled index total must include the probe cost"
+        );
+    }
+
+    // End-to-end: the calibrated profile must beat the legacy profile by
+    // the acceptance floor, and the axis attribution must be present.
+    let e2e = &v["end_to_end"];
+    assert_eq!(e2e["n_workers"].as_u64(), Some(1000));
+    let legacy = e2e["legacy_ms"].as_f64().expect("legacy_ms");
+    let calibrated = e2e["calibrated_ms"].as_f64().expect("calibrated_ms");
+    let speedup = e2e["speedup"].as_f64().expect("e2e speedup");
+    assert!(legacy > 0.0 && calibrated > 0.0);
+    assert!(
+        (speedup - legacy / calibrated).abs() <= speedup * 1e-6,
+        "e2e speedup inconsistent with its timings"
+    );
+    assert!(
+        speedup >= gates::hotpath_e2e_floor(false),
+        "committed e2e speedup {speedup:.2}x below the full-mode floor"
+    );
+    assert!(
+        !e2e["axes"].as_array().expect("e2e axes").is_empty(),
+        "e2e axis attribution must not be empty"
+    );
+
+    // The embedded profile must round-trip through the solver's loader —
+    // the exact path `fta solve --hotpath-profile BENCH_hotpath.json`
+    // takes (the loader accepts the wrapped snapshot form).
+    let profile = fta_vdps::hotpath::from_json_str(&raw)
+        .expect("embedded profile parses via the solver's loader");
+    assert!(profile.conflict_index_min_slots >= 256);
 }

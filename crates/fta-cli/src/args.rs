@@ -20,7 +20,7 @@ COMMANDS
         [--max-len N] [--engine flat|hashmap]
         [--br-engine auto|exhaustive|incremental|fastpath] [--parallel]
         [--out FILE] [--budget-ms MS] [--max-states N] [--max-rounds N]
-        [--trace-out FILE] [--metrics-out FILE]
+        [--trace-out FILE] [--metrics-out FILE] [--hotpath-profile FILE]
       Run an assignment algorithm; print the summary, optionally write
       the assignment JSON. With --trace-out / --metrics-out a telemetry
       recorder captures the run and writes a JSONL span/round trace and
@@ -66,7 +66,12 @@ OPTIONS
       the IAU weights make the monotone scan unsound, i.e. β ≥ 1).
   --parallel              Run on a worker pool bounded by the number of
       CPUs (per-center jobs, per-layer DP expansion, and per-worker
-      validation all share the pool).";
+      validation all share the pool).
+  --hotpath-profile FILE  Load calibrated hot-path knobs (scan/emission
+      kernel selection and conflict-index crossover thresholds) from a
+      JSON profile, e.g. the `profile` object of BENCH_hotpath.json
+      written by the hotpath_snapshot bench. Without it the compiled-in
+      defaults apply; every profile produces bit-identical assignments.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +133,8 @@ pub enum Command {
         trace_out: Option<PathBuf>,
         /// Optional Prometheus text snapshot output path.
         metrics_out: Option<PathBuf>,
+        /// Optional calibrated hot-path profile to install before solving.
+        hotpath_profile: Option<PathBuf>,
     },
     /// `fta simulate`
     Simulate {
@@ -301,6 +308,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut out = None;
             let mut trace_out = None;
             let mut metrics_out = None;
+            let mut hotpath_profile = None;
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -331,6 +339,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
                     "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
                     "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+                    "--hotpath-profile" => {
+                        hotpath_profile = Some(PathBuf::from(value("--hotpath-profile")?));
+                    }
                     other => return Err(format!("unknown solve flag `{other}`")),
                 }
             }
@@ -351,6 +362,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 out,
                 trace_out,
                 metrics_out,
+                hotpath_profile,
             })
         }
         "simulate" => {
@@ -652,6 +664,24 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn solve_accepts_hotpath_profile() {
+        match parse(&argv("solve city.json --hotpath-profile hp.json")).unwrap() {
+            Command::Solve {
+                hotpath_profile, ..
+            } => assert_eq!(hotpath_profile, Some(PathBuf::from("hp.json"))),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("solve city.json")).unwrap() {
+            Command::Solve {
+                hotpath_profile, ..
+            } => assert!(hotpath_profile.is_none()),
+            other => panic!("wrong command {other:?}"),
+        }
+        let err = parse(&argv("solve city.json --hotpath-profile")).unwrap_err();
+        assert!(err.contains("--hotpath-profile needs a value"));
     }
 
     #[test]

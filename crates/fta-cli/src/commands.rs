@@ -120,8 +120,14 @@ pub fn execute(command: &Command) -> Result<String, String> {
             out,
             trace_out,
             metrics_out,
+            hotpath_profile,
         } => {
             use fta_algorithms::{fastpath_sound, Algorithm};
+            if let Some(path) = hotpath_profile {
+                let profile = fta_vdps::hotpath::load(path)
+                    .map_err(|e| format!("--hotpath-profile {}: {e}", path.display()))?;
+                fta_vdps::hotpath::install(&profile);
+            }
             let inst = load_instance(instance).map_err(|e| e.to_string())?;
             // Thread the requested best-response engine into whichever
             // equilibrium loop the algorithm runs (baselines have none),

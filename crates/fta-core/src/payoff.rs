@@ -19,15 +19,24 @@ use crate::route::Route;
 /// generators keep locations distinct so this never occurs in experiments.
 #[must_use]
 pub fn payoff_for_travel(route: &Route, to_dc: f64) -> f64 {
-    let total_time = to_dc + route.travel_from_dc();
+    payoff_from_parts(route.total_reward(), route.travel_from_dc(), to_dc)
+}
+
+/// [`payoff_for_travel`] over a route's already-extracted scalars —
+/// the same expression, so columnar (struct-of-arrays) scans that carry
+/// `(total_reward, travel_from_dc)` per route compute bit-identical
+/// payoffs without touching the `Route` allocation.
+#[must_use]
+pub fn payoff_from_parts(total_reward: f64, travel_from_dc: f64, to_dc: f64) -> f64 {
+    let total_time = to_dc + travel_from_dc;
     if total_time <= 0.0 {
-        return if route.total_reward() > 0.0 {
+        return if total_reward > 0.0 {
             f64::INFINITY
         } else {
             0.0
         };
     }
-    route.total_reward() / total_time
+    total_reward / total_time
 }
 
 /// Payoff `P(w, VDPS(w))` of `worker` performing `route` (Equation 1).

@@ -20,12 +20,31 @@
 //! * **Mask-bucketed flat frontier.** A layer of subset size `L` is a
 //!   sorted `Vec<u128>` of masks plus a dense slot array with `L` slots
 //!   per mask — slot `rank(mask, j)` (the popcount of `mask` below bit
-//!   `j`) holds the minimal arrival ending at member `j` and its `pre`
-//!   pointer. Deduplication during expansion goes through an
-//!   open-addressed `u128 → group` table with an inline multiply-shift
-//!   hash and linear probing — no SipHash, no per-state allocation. The
-//!   per-mask best ending (the old second-pass `best_per_mask` map) falls
-//!   out of the slot array for free during emission.
+//!   `j`, via the compile-time prefix-mask table of [`crate::dedup`])
+//!   holds the minimal arrival ending at member `j` and its `pre`
+//!   pointer. Deduplication during expansion goes through the
+//!   limb-split, batched-probe [`DedupTable`] — no SipHash, no per-state
+//!   allocation. The per-mask best ending (the old second-pass
+//!   `best_per_mask` map) falls out of the slot array for free during
+//!   emission.
+//!
+//! * **Generation arenas.** Frontier mask/slot storage and every dedup
+//!   table buffer are taken from the per-thread [`crate::arena`]
+//!   recycler and returned when the generation ends, so steady-state
+//!   sequential generation performs no heap allocation on the DP side —
+//!   only the emitted `Route` payloads (which outlive the generation
+//!   inside `Arc`s) are individually allocated. On the pooled path,
+//!   recycling is best-effort: buffers return to the arena of whichever
+//!   pool thread last owned them.
+//!
+//! * **Trusted-offsets emission.** The DP's arrival at `(mask, j)` *is*
+//!   the route's center-origin arrival offset at the member `j`, so the
+//!   backwalk collects arrivals alongside the visiting order and emits
+//!   through [`Route::from_trusted_offsets`] — no per-leg `hypot`
+//!   re-derivation, bit-identical by construction (and asserted against
+//!   a full [`Route::build`] in debug builds). The rebuild path stays
+//!   selectable via [`crate::hotpath::EmissionKernel`] as the measured
+//!   reference.
 //!
 //! * **Intra-center parallelism.** On a [`crate::pool::TaskScope`] with
 //!   more than one thread, each layer's frontier is expanded in
@@ -35,6 +54,8 @@
 //!   the deterministic `(arrival, parent)` tie-break) is associative and
 //!   commutative, the merged frontier is independent of chunking and
 //!   thread count — pooled and sequential runs produce the same pool.
+//!   The go-parallel floor and chunks-per-thread come from the installed
+//!   [`crate::hotpath::HotpathProfile`].
 //!
 //! Ties deserve a note: on *exactly* equal arrivals the hash-map engine
 //! keeps whichever predecessor its nondeterministic iteration order saw
@@ -42,52 +63,18 @@
 //! Both choices yield the same travel time; generated instances
 //! (continuous coordinates) make exact ties measure-zero.
 
+use crate::arena;
 use crate::config::VdpsConfig;
+use crate::dedup::{rank, DedupTable, Slot, BIT, EMPTY};
 use crate::generator::{GenControl, GenerationStats, Vdps};
 use crate::grid::NeighborIndex;
+use crate::hotpath::{EmissionKernel, HotpathProfile};
 use crate::pool::TaskScope;
 use fta_core::instance::{CenterView, DpAggregate, Instance};
 use fta_core::route::Route;
 use fta_core::DeliveryPointId;
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Expansion goes parallel only when a layer has at least this many mask
-/// groups; below that, chunk + merge overhead dominates.
-const PAR_MIN_GROUPS: usize = 64;
-
-/// One dynamic-program slot: minimal arrival time at the slot's member
-/// over all feasible orderings, plus the predecessor (`pre`) index.
-/// `arrival == f64::INFINITY` marks an empty slot.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    arrival: f64,
-    parent: u8,
-}
-
-const EMPTY: Slot = Slot {
-    arrival: f64::INFINITY,
-    parent: u8::MAX,
-};
-
-impl Slot {
-    /// The deterministic relaxation order: smaller arrival wins; on exact
-    /// ties the smaller predecessor index wins. Min under this order is
-    /// associative + commutative, which is what makes chunked/sharded
-    /// merging order-independent.
-    #[inline]
-    fn beats(&self, other: &Slot) -> bool {
-        self.arrival < other.arrival
-            || (self.arrival == other.arrival && self.parent < other.parent)
-    }
-}
-
-/// Number of set bits of `mask` strictly below bit `j` — the dense slot
-/// index of member `j` within its mask group.
-#[inline]
-fn rank(mask: u128, j: usize) -> usize {
-    (mask & ((1u128 << j) - 1)).count_ones() as usize
-}
 
 /// One finished DP layer: all feasible subsets of size `size`, sorted by
 /// mask, with `size` slots per mask.
@@ -109,6 +96,14 @@ impl Frontier {
     fn occupied(&self) -> usize {
         self.slots.iter().filter(|s| s.arrival.is_finite()).count()
     }
+
+    /// Returns the frontier's storage to the calling thread's arena.
+    fn recycle(self) {
+        arena::with(|a| {
+            a.masks.put(self.masks);
+            a.slots.put(self.slots);
+        });
+    }
 }
 
 /// Fully owned per-center context shared (via `Arc`) with expansion
@@ -124,17 +119,18 @@ struct Ctx {
 
 /// Work counters produced by one expansion chunk (summed deterministically).
 ///
-/// `probes` is an observability-only diagnostic (dedup-table probe steps):
-/// it depends on sharding and therefore on chunking/thread count, so it is
-/// published to the telemetry recorder but deliberately kept out of
-/// [`GenerationStats`], whose work counters are engine- and
-/// thread-invariant.
+/// `probes` and `rehashes` are observability-only diagnostics (dedup-table
+/// probe steps and capacity doublings): they depend on sharding and
+/// therefore on chunking/thread count, so they are published to the
+/// telemetry recorder but deliberately kept out of [`GenerationStats`],
+/// whose work counters are engine- and thread-invariant.
 #[derive(Debug, Clone, Copy, Default)]
 struct ChunkCounters {
     extensions_tried: usize,
     pruned_by_distance: usize,
     pruned_by_deadline: usize,
     probes: u64,
+    rehashes: u64,
 }
 
 impl ChunkCounters {
@@ -143,111 +139,12 @@ impl ChunkCounters {
         self.pruned_by_distance += other.pruned_by_distance;
         self.pruned_by_deadline += other.pruned_by_deadline;
         self.probes += other.probes;
-    }
-}
-
-#[inline]
-fn fold_mask(mask: u128) -> u64 {
-    // Mix the high half before xor-folding so masks differing only in
-    // high bits don't collide into identical low-bit patterns.
-    (mask as u64) ^ ((mask >> 64) as u64).wrapping_mul(0xA24B_AED4_963E_E407)
-}
-
-/// Inline multiply-shift bucket for a power-of-two table of `1 << bits`.
-#[inline]
-fn bucket(mask: u128, bits: u32) -> usize {
-    (fold_mask(mask).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
-}
-
-/// Open-addressed `u128 mask → group index` table with dense slot storage,
-/// the dedup structure of one expansion chunk.
-struct ShardTable {
-    size: usize,
-    bits: u32,
-    keys: Vec<u128>, // 0 = empty (a VDPS mask is never 0)
-    vals: Vec<u32>,
-    masks: Vec<u128>, // discovery order
-    slots: Vec<Slot>, // masks.len() * size
-    /// Probe steps taken by [`ShardTable::relax`] lookups (one per slot
-    /// inspected, hit or miss) — the open-addressed table's clustering
-    /// diagnostic, surfaced as the `vdps.dedup_probes` counter.
-    probes: u64,
-}
-
-impl ShardTable {
-    fn with_expected(expected: usize, size: usize) -> Self {
-        let cap = (expected.max(8) * 2).next_power_of_two();
-        Self {
-            size,
-            bits: cap.trailing_zeros(),
-            keys: vec![0u128; cap],
-            vals: vec![0u32; cap],
-            masks: Vec::with_capacity(expected),
-            slots: Vec::with_capacity(expected * size),
-            probes: 0,
-        }
+        self.rehashes += other.rehashes;
     }
 
-    fn grow(&mut self) {
-        let cap = self.keys.len() * 2;
-        self.bits = cap.trailing_zeros();
-        self.keys = vec![0u128; cap];
-        self.vals = vec![0u32; cap];
-        for (g, &mask) in self.masks.iter().enumerate() {
-            let mut idx = bucket(mask, self.bits);
-            while self.keys[idx] != 0 {
-                idx = (idx + 1) & (cap - 1);
-            }
-            self.keys[idx] = mask;
-            self.vals[idx] = g as u32;
-        }
-    }
-
-    /// Inserts or relaxes the `(mask, j)` state with `cand`.
-    #[inline]
-    fn relax(&mut self, mask: u128, j: usize, cand: Slot) {
-        // Keep load factor under 3/4.
-        if (self.masks.len() + 1) * 4 >= self.keys.len() * 3 {
-            self.grow();
-        }
-        let cap_mask = self.keys.len() - 1;
-        let mut idx = bucket(mask, self.bits);
-        loop {
-            self.probes += 1;
-            let key = self.keys[idx];
-            if key == mask {
-                let slot = &mut self.slots[self.vals[idx] as usize * self.size + rank(mask, j)];
-                if cand.beats(slot) {
-                    *slot = cand;
-                }
-                return;
-            }
-            if key == 0 {
-                let group = self.masks.len() as u32;
-                self.keys[idx] = mask;
-                self.vals[idx] = group;
-                self.masks.push(mask);
-                self.slots.resize(self.slots.len() + self.size, EMPTY);
-                self.slots[group as usize * self.size + rank(mask, j)] = cand;
-                return;
-            }
-            idx = (idx + 1) & cap_mask;
-        }
-    }
-
-    /// Consumes the table into `(masks, slots)` sorted ascending by mask.
-    fn into_sorted(self) -> (Vec<u128>, Vec<Slot>) {
-        let len = self.masks.len();
-        let mut order: Vec<u32> = (0..len as u32).collect();
-        order.sort_unstable_by_key(|&g| self.masks[g as usize]);
-        let mut masks = Vec::with_capacity(len);
-        let mut slots = Vec::with_capacity(len * self.size);
-        for &g in &order {
-            let g = g as usize;
-            masks.push(self.masks[g]);
-            slots.extend_from_slice(&self.slots[g * self.size..(g + 1) * self.size]);
-        }
-        (masks, slots)
+    fn absorb_table(&mut self, table: &DedupTable) {
+        self.probes += table.probes();
+        self.rehashes += table.rehashes();
     }
 }
 
@@ -257,7 +154,7 @@ fn expand_range(
     ctx: &Ctx,
     layer: &Frontier,
     range: std::ops::Range<usize>,
-    table: &mut ShardTable,
+    table: &mut DedupTable,
     counters: &mut ChunkCounters,
 ) {
     let n = ctx.n;
@@ -283,7 +180,7 @@ fn expand_range(
                     let mut considered = 0usize;
                     for &j in index.neighbors(last) {
                         let j = usize::from(j);
-                        if mask & (1u128 << j) != 0 {
+                        if mask & BIT[j] != 0 {
                             continue;
                         }
                         considered += 1;
@@ -293,8 +190,8 @@ fn expand_range(
                             continue;
                         }
                         table.relax(
-                            mask | (1u128 << j),
-                            j,
+                            mask | BIT[j],
+                            rank(mask, j),
                             Slot {
                                 arrival,
                                 parent: last as u8,
@@ -316,8 +213,8 @@ fn expand_range(
                             continue;
                         }
                         table.relax(
-                            mask | (1u128 << j),
-                            j,
+                            mask | BIT[j],
+                            rank(mask, j),
                             Slot {
                                 arrival,
                                 parent: last as u8,
@@ -412,26 +309,32 @@ fn next_layer_pooled(
     layer: Arc<Frontier>,
     out_size: usize,
     scope: &TaskScope<'_>,
+    chunks_per_thread: usize,
     stats: &mut GenerationStats,
 ) -> Frontier {
     let groups = layer.masks.len();
     let threads = scope.threads();
-    let chunk_size = (groups / (threads * 4)).max(32);
+    let chunk_size = (groups / (threads * chunks_per_thread)).max(32);
     let chunk_count = groups.div_ceil(chunk_size);
     let expected_per_chunk = (chunk_size * out_size).min(1 << 16);
 
-    // Phase 1: expand chunks into private shard tables (parallel).
+    // Phase 1: expand chunks into private shard tables (parallel). Each
+    // job's table buffers come from (and its sorted shard returns to)
+    // the arena of the pool thread that happens to run it.
     let jobs: Vec<_> = (0..chunk_count)
         .map(|c| {
             let ctx = Arc::clone(ctx);
             let layer = Arc::clone(&layer);
             move |_: &TaskScope<'_>| {
                 let range = c * chunk_size..((c + 1) * chunk_size).min(groups);
-                let mut table = ShardTable::with_expected(expected_per_chunk, out_size);
+                let mut table = DedupTable::from_arena(expected_per_chunk, out_size);
                 let mut counters = ChunkCounters::default();
                 expand_range(&ctx, &layer, range, &mut table, &mut counters);
-                counters.probes = table.probes;
-                (table.into_sorted(), counters)
+                counters.absorb_table(&table);
+                let mut masks = arena::with(|a| a.masks.take(table.len()));
+                let mut slots = arena::with(|a| a.slots.take(table.len() * out_size));
+                table.drain_sorted_recycle(&mut masks, &mut slots);
+                ((masks, slots), counters)
             }
         })
         .collect();
@@ -444,12 +347,18 @@ fn next_layer_pooled(
         totals.add(&counters);
         if !shard.0.is_empty() {
             shards.push(shard);
+        } else {
+            arena::with(|a| {
+                a.masks.put(shard.0);
+                a.slots.put(shard.1);
+            });
         }
     }
     stats.extensions_tried += totals.extensions_tried;
     stats.pruned_by_distance += totals.pruned_by_distance;
     stats.pruned_by_deadline += totals.pruned_by_deadline;
     fta_obs::counter("vdps.dedup_probes", totals.probes);
+    fta_obs::counter("vdps.dedup_rehashes", totals.rehashes);
 
     // Phase 2: merge shards by mask partition (parallel k-way merges).
     let _merge_span = fta_obs::span("vdps.merge");
@@ -469,12 +378,22 @@ fn next_layer_pooled(
     let (merged, merge_steals) = scope.map_with_steals(merge_jobs);
     stats.steals += merge_steals;
 
-    let mut masks = Vec::new();
-    let mut slots = Vec::new();
+    let expected: usize = merged.iter().map(|((m, _), _)| m.len()).sum();
+    let (mut masks, mut slots) =
+        arena::with(|a| (a.masks.take(expected), a.slots.take(expected * out_size)));
     for ((part_masks, part_slots), collisions) in merged {
         stats.merge_collisions += collisions;
-        masks.extend(part_masks);
-        slots.extend(part_slots);
+        masks.extend_from_slice(&part_masks);
+        slots.extend_from_slice(&part_slots);
+    }
+    // The consumed shards return to this thread's arena for the next layer.
+    if let Ok(shards) = Arc::try_unwrap(shards) {
+        arena::with(|a| {
+            for (m, s) in shards {
+                a.masks.put(m);
+                a.slots.put(s);
+            }
+        });
     }
     stats.merge_nanos += u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     Frontier {
@@ -484,22 +403,30 @@ fn next_layer_pooled(
     }
 }
 
-/// Builds the next layer sequentially: a single shard table, sorted once.
+/// Builds the next layer sequentially: a single arena-backed dedup
+/// table, drained sorted into arena-backed frontier storage.
 fn next_layer_sequential(
     ctx: &Ctx,
     layer: &Frontier,
     out_size: usize,
     stats: &mut GenerationStats,
 ) -> Frontier {
-    let mut table = ShardTable::with_expected(layer.masks.len().max(8), out_size);
+    let mut table = DedupTable::from_arena(layer.masks.len().max(8), out_size);
     let mut counters = ChunkCounters::default();
     expand_range(ctx, layer, 0..layer.masks.len(), &mut table, &mut counters);
     stats.chunks += 1;
     stats.extensions_tried += counters.extensions_tried;
     stats.pruned_by_distance += counters.pruned_by_distance;
     stats.pruned_by_deadline += counters.pruned_by_deadline;
-    fta_obs::counter("vdps.dedup_probes", table.probes);
-    let (masks, slots) = table.into_sorted();
+    fta_obs::counter("vdps.dedup_probes", table.probes());
+    fta_obs::counter("vdps.dedup_rehashes", table.rehashes());
+    let (mut masks, mut slots) = arena::with(|a| {
+        (
+            a.masks.take(table.len()),
+            a.slots.take(table.len() * out_size),
+        )
+    });
+    table.drain_sorted_recycle(&mut masks, &mut slots);
     Frontier {
         size: out_size,
         masks,
@@ -534,6 +461,10 @@ pub fn generate_c_vdps_flat(
 /// token fired), no further layer is expanded and the completed layers
 /// emit as a valid, truncated pool.
 ///
+/// The run is steered by the process-wide installed
+/// [`HotpathProfile`] (parallelism floor, chunking, emission kernel),
+/// read once per generation.
+///
 /// # Panics
 ///
 /// Panics if the center has more than 128 task-bearing delivery points.
@@ -545,6 +476,25 @@ pub fn generate_c_vdps_flat_budgeted(
     config: &VdpsConfig,
     scope: Option<&TaskScope<'_>>,
     control: GenControl<'_>,
+) -> (Vec<Vdps>, GenerationStats) {
+    let profile = crate::hotpath::current();
+    generate_c_vdps_flat_with_profile(instance, aggregates, view, config, scope, control, &profile)
+}
+
+/// [`generate_c_vdps_flat_budgeted`] against an explicit profile instead
+/// of the installed one. Calibration and equivalence tests use this to
+/// compare kernels without mutating process-wide state.
+#[doc(hidden)]
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn generate_c_vdps_flat_with_profile(
+    instance: &Instance,
+    aggregates: &[DpAggregate],
+    view: &CenterView,
+    config: &VdpsConfig,
+    scope: Option<&TaskScope<'_>>,
+    control: GenControl<'_>,
+    profile: &HotpathProfile,
 ) -> (Vec<Vdps>, GenerationStats) {
     let n = view.dps.len();
     assert!(
@@ -599,12 +549,11 @@ pub fn generate_c_vdps_flat_budgeted(
     });
 
     // Layer 1 (Algorithm 1, lines 2–5): reachable singletons, ascending.
-    let mut masks = Vec::new();
-    let mut slots = Vec::new();
+    let (mut masks, mut slots) = arena::with(|a| (a.masks.take(n), a.slots.take(n)));
     for (j, &arrival) in from_dc.iter().enumerate() {
         stats.extensions_tried += 1;
         if arrival <= ctx.expiry[j] {
-            masks.push(1u128 << j);
+            masks.push(BIT[j]);
             slots.push(Slot {
                 arrival,
                 parent: u8::MAX,
@@ -631,15 +580,23 @@ pub fn generate_c_vdps_flat_budgeted(
         let _layer_span = fta_obs::span_layer("vdps.layer", center_u32, len as u32);
         let layer = Arc::clone(&layers[len - 2]);
         let parallel = scope
-            .filter(|s| s.threads() > 1 && layer.masks.len() >= PAR_MIN_GROUPS)
+            .filter(|s| s.threads() > 1 && layer.masks.len() >= profile.flat_par_min_groups)
             .is_some();
         let next = if parallel {
             let scope = scope.expect("parallel implies a scope");
-            next_layer_pooled(&ctx, layer, len, scope, &mut stats)
+            next_layer_pooled(
+                &ctx,
+                layer,
+                len,
+                scope,
+                profile.flat_chunks_per_thread,
+                &mut stats,
+            )
         } else {
             next_layer_sequential(&ctx, &layer, len, &mut stats)
         };
         if next.masks.is_empty() {
+            next.recycle();
             break;
         }
         states_so_far += next.occupied();
@@ -655,9 +612,11 @@ pub fn generate_c_vdps_flat_budgeted(
     // per-mask best ending is the lexicographic minimum over the group's
     // occupied slots, folding the old `best_per_mask` pass into the walk.
     let route_start = Instant::now();
+    let emit_offsets = profile.emission_kernel == EmissionKernel::Offsets;
     let mut pool = Vec::with_capacity(layers.iter().map(|l| l.masks.len()).sum());
     // Reused backwalk scratch (last → first); routes are ≤ `max_len` long.
     let mut order_rev: Vec<u8> = Vec::with_capacity(config.max_len);
+    let mut arrivals_rev: Vec<f64> = Vec::with_capacity(config.max_len);
     for layer in &layers {
         for g in 0..layer.masks.len() {
             let mask = layer.masks[g];
@@ -680,16 +639,20 @@ pub fn generate_c_vdps_flat_budgeted(
                 best.expect("every frontier group holds at least one feasible state");
             // Walk `pre` pointers backwards through the layers. The first
             // hop reads this group's slots directly; only ancestors need
-            // the binary-search `lookup` into their (smaller) layers.
+            // the binary-search `lookup` into their (smaller) layers. The
+            // DP arrival at each hop is the center-origin arrival offset
+            // of that member, collected for trusted-offsets emission.
             order_rev.clear();
+            arrivals_rev.clear();
             let mut cur_mask = mask;
             let mut state = layer.slots[base + rank(mask, last)];
             loop {
                 order_rev.push(last as u8);
+                arrivals_rev.push(state.arrival);
                 if state.parent == u8::MAX {
                     break;
                 }
-                cur_mask &= !(1u128 << last);
+                cur_mask &= !BIT[last];
                 last = usize::from(state.parent);
                 state = layers[cur_mask.count_ones() as usize - 1].lookup(cur_mask, last);
             }
@@ -698,8 +661,24 @@ pub fn generate_c_vdps_flat_budgeted(
                 .rev()
                 .map(|&local| view.dps[usize::from(local)])
                 .collect();
-            let route = Route::build(instance, aggregates, view.center, dps)
-                .expect("DP states only reference valid delivery points");
+            let route = if emit_offsets {
+                let offsets: Vec<f64> = arrivals_rev.iter().rev().copied().collect();
+                let route = Route::from_trusted_offsets(view.center, dps, offsets, aggregates);
+                #[cfg(debug_assertions)]
+                {
+                    let rebuilt =
+                        Route::build(instance, aggregates, view.center, route.dps().to_vec())
+                            .expect("DP states only reference valid delivery points");
+                    debug_assert_eq!(
+                        route, rebuilt,
+                        "trusted-offsets emission must be bit-identical to a rebuild"
+                    );
+                }
+                route
+            } else {
+                Route::build(instance, aggregates, view.center, dps)
+                    .expect("DP states only reference valid delivery points")
+            };
             debug_assert!(
                 route.is_center_origin_valid(),
                 "the DP must only emit deadline-feasible sequences"
@@ -714,6 +693,12 @@ pub fn generate_c_vdps_flat_budgeted(
     drop(route_span);
     stats.vdps_count = pool.len();
     crate::generator::emit_generation_counters(&stats);
+    // Generation over: every frontier returns its storage to the arena.
+    for layer in layers {
+        if let Ok(frontier) = Arc::try_unwrap(layer) {
+            frontier.recycle();
+        }
+    }
     (pool, stats)
 }
 
@@ -721,6 +706,7 @@ pub fn generate_c_vdps_flat_budgeted(
 mod tests {
     use super::*;
     use crate::generator::generate_c_vdps_hashmap;
+    use crate::hotpath::ScanKernel;
     use crate::pool::WorkerPool;
     use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
     use fta_core::geometry::Point;
@@ -809,6 +795,72 @@ mod tests {
     }
 
     #[test]
+    fn emission_kernels_are_bit_identical() {
+        let offsets_profile = HotpathProfile::default();
+        let rebuild_profile = HotpathProfile {
+            emission_kernel: EmissionKernel::Rebuild,
+            scan_kernel: ScanKernel::Scalar,
+            ..HotpathProfile::default()
+        };
+        for seed in [3u64, 11] {
+            for n in [6usize, 18] {
+                let inst = scatter_instance(n, seed);
+                let aggs = inst.dp_aggregates();
+                let views = inst.center_views();
+                let config = VdpsConfig::pruned(2.5, 4);
+                let run = |p: &HotpathProfile| {
+                    generate_c_vdps_flat_with_profile(
+                        &inst,
+                        &aggs,
+                        &views[0],
+                        &config,
+                        None,
+                        GenControl::NONE,
+                        p,
+                    )
+                };
+                let (fast, fast_stats) = run(&offsets_profile);
+                let (slow, slow_stats) = run(&rebuild_profile);
+                let label = format!("seed {seed}, n {n}");
+                assert_pools_identical(&fast, &slow, &label);
+                for (a, b) in fast.iter().zip(slow.iter()) {
+                    assert_eq!(a.route, b.route, "{label}: route payloads differ");
+                }
+                assert_eq!(fast_stats.work_counters(), slow_stats.work_counters());
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_generation_is_allocation_free() {
+        arena::clear();
+        let inst = scatter_instance(22, 13);
+        let aggs = inst.dp_aggregates();
+        let views = inst.center_views();
+        let config = VdpsConfig::pruned(2.5, 4);
+        // Two warm-up generations: the first populates the arena, the
+        // second lets recycled capacities settle to their fixed point.
+        let (warm, _) = generate_c_vdps_flat(&inst, &aggs, &views[0], &config, None);
+        let (warm2, _) = generate_c_vdps_flat(&inst, &aggs, &views[0], &config, None);
+        assert_eq!(warm.len(), warm2.len());
+        let after_warm = arena::stats();
+        for round in 0..3 {
+            let (pool, _) = generate_c_vdps_flat(&inst, &aggs, &views[0], &config, None);
+            assert_eq!(pool.len(), warm.len());
+            let s = arena::stats();
+            assert_eq!(
+                s.misses, after_warm.misses,
+                "round {round}: steady-state generation hit the allocator"
+            );
+            assert_eq!(
+                s.high_water_bytes, after_warm.high_water_bytes,
+                "round {round}: arena high-water mark did not stabilize"
+            );
+        }
+        arena::clear();
+    }
+
+    #[test]
     fn pooled_generation_matches_sequential() {
         let inst = scatter_instance(40, 9);
         let aggs = inst.dp_aggregates();
@@ -855,71 +907,5 @@ mod tests {
             generate_c_vdps_hashmap(&inst, &aggs, &views[0], &VdpsConfig::unpruned(1));
         assert_pools_identical(&one, &href, "max_len 1");
         assert_eq!(one_stats.work_counters(), href_stats.work_counters());
-    }
-
-    #[test]
-    fn rank_counts_bits_below() {
-        assert_eq!(rank(0b1011, 0), 0);
-        assert_eq!(rank(0b1011, 1), 1);
-        assert_eq!(rank(0b1011, 3), 2);
-        assert_eq!(rank(u128::MAX, 127), 127);
-    }
-
-    #[test]
-    fn shard_table_relaxes_and_sorts() {
-        let mut table = ShardTable::with_expected(4, 2);
-        // Force growth through many distinct masks.
-        for j in 0..60usize {
-            let mask = (0b11u128) << j;
-            table.relax(
-                mask,
-                j,
-                Slot {
-                    arrival: j as f64,
-                    parent: 0,
-                },
-            );
-        }
-        // Relax an existing state with a better and a worse candidate.
-        table.relax(
-            0b11,
-            0,
-            Slot {
-                arrival: 99.0,
-                parent: 1,
-            },
-        );
-        table.relax(
-            0b11,
-            0,
-            Slot {
-                arrival: -1.0,
-                parent: 1,
-            },
-        );
-        let (masks, slots) = table.into_sorted();
-        assert_eq!(masks.len(), 60);
-        assert!(masks.windows(2).all(|w| w[0] < w[1]));
-        // Group of mask 0b11 is first; member 0 is rank 0.
-        assert_eq!(masks[0], 0b11);
-        assert_eq!(slots[0].arrival, -1.0);
-        // Member 1 (rank 1) of mask 0b11 was never relaxed — stays empty.
-        assert!(slots[1].arrival.is_infinite());
-        assert_eq!(slots[1].parent, u8::MAX);
-    }
-
-    #[test]
-    fn tie_break_prefers_smaller_parent() {
-        let better = Slot {
-            arrival: 1.0,
-            parent: 2,
-        };
-        let worse = Slot {
-            arrival: 1.0,
-            parent: 5,
-        };
-        assert!(better.beats(&worse));
-        assert!(!worse.beats(&better));
-        assert!(!better.beats(&better));
     }
 }

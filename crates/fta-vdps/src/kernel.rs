@@ -1,0 +1,296 @@
+//! Branch-light mask-scan kernels over `[u64; 2]` limbs.
+//!
+//! The equilibrium hot loops ask one question over and over: *given the
+//! union of everyone else's taken delivery points, which of this
+//! worker's payoff-sorted slots is still open?* A slot is open when its
+//! `u128` DP mask does not intersect the taken mask. The scalar loop
+//! (`masks.iter().position(|&m| m & taken == 0)`) answers it with one
+//! branch per candidate — fine when the answer is slot 0, painful when
+//! contention pushes the first open slot deep into the list.
+//!
+//! The kernels here process candidates in chunks of [`LANES`], splitting
+//! every `u128` into its two `u64` limbs: `m & t == 0` iff
+//! `(m_lo & t_lo) | (m_hi & t_hi) == 0`. Within a chunk the per-lane
+//! conflict tests are reduced into a single `open` bitmap with no branch
+//! per lane — just AND/OR/compare lanewise, the shape LLVM
+//! autovectorizes on any target with 128-bit vectors. One branch per
+//! chunk then either skips 8 closed candidates at once or resolves the
+//! hit position with a trailing-zeros count.
+//!
+//! Every kernel has a `_scalar` reference twin with the exact semantics
+//! of the pre-kernel loops. The pair is proptested for equivalence and
+//! benchmarked head-to-head by `hotpath_snapshot`; which one runs is
+//! selected by [`crate::hotpath::ScanKernel`].
+
+/// Candidates per chunk. Eight `u128`s is 128 bytes — two cache lines —
+/// and gives the reduction enough lanes to fill 2×64-bit vector ALUs.
+pub const LANES: usize = 8;
+
+/// Scalar prefix of the `first_*` chunked kernels. Payoff-descending
+/// scans usually hit within the first few candidates; probing that head
+/// one-at-a-time keeps the shallow-hit cost identical to the scalar
+/// loop, so the chunked reduction only pays for itself on the deep
+/// scans it exists for.
+const FIRST_PREFIX: usize = 16;
+
+/// Position of the first mask in `masks` that does not intersect
+/// `taken`. Scalar reference kernel.
+#[inline]
+#[must_use]
+pub fn first_open_scalar(masks: &[u128], taken: u128) -> Option<usize> {
+    masks.iter().position(|&m| m & taken == 0)
+}
+
+/// Position of the first mask in `masks` that does not intersect
+/// `taken`. Chunked limb kernel; result is identical to
+/// [`first_open_scalar`].
+#[inline]
+#[must_use]
+pub fn first_open_chunked(masks: &[u128], taken: u128) -> Option<usize> {
+    let head = masks.len().min(FIRST_PREFIX);
+    if let Some(p) = masks[..head].iter().position(|&m| m & taken == 0) {
+        return Some(p);
+    }
+    let masks = &masks[head..];
+    let t_lo = taken as u64;
+    let t_hi = (taken >> 64) as u64;
+    let mut chunks = masks.chunks_exact(LANES);
+    let mut base = head;
+    for chunk in &mut chunks {
+        let chunk: &[u128; LANES] = chunk.try_into().expect("chunks_exact yields LANES");
+        let open = open_bitmap(chunk, t_lo, t_hi);
+        if open != 0 {
+            return Some(base + open.trailing_zeros() as usize);
+        }
+        base += LANES;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&m| m & taken == 0)
+        .map(|p| base + p)
+}
+
+/// Per-lane open bitmap of one chunk: bit `k` is set iff `chunk[k]` does
+/// not intersect the taken mask. Branch-free across lanes; the
+/// fixed-size chunk lets the loop fully unroll into straight-line
+/// AND/OR/compare lanework.
+#[inline]
+fn open_bitmap(chunk: &[u128; LANES], t_lo: u64, t_hi: u64) -> u32 {
+    let mut open = 0u32;
+    for (k, &m) in chunk.iter().enumerate() {
+        let conflict = ((m as u64) & t_lo) | (((m >> 64) as u64) & t_hi);
+        open |= u32::from(conflict == 0) << k;
+    }
+    open
+}
+
+/// Calls `f(pos)` for every mask in `masks[..limit]` that does not
+/// intersect `taken`, ascending. Scalar reference kernel.
+#[inline]
+pub fn for_each_open_scalar(masks: &[u128], limit: usize, taken: u128, mut f: impl FnMut(usize)) {
+    for (pos, &m) in masks[..limit].iter().enumerate() {
+        if m & taken == 0 {
+            f(pos);
+        }
+    }
+}
+
+/// Calls `f(pos)` for every mask in `masks[..limit]` that does not
+/// intersect `taken`, ascending. Chunked limb kernel; visits exactly the
+/// positions [`for_each_open_scalar`] visits, in the same order.
+#[inline]
+pub fn for_each_open_chunked(masks: &[u128], limit: usize, taken: u128, mut f: impl FnMut(usize)) {
+    let t_lo = taken as u64;
+    let t_hi = (taken >> 64) as u64;
+    let mut chunks = masks[..limit].chunks_exact(LANES);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let chunk: &[u128; LANES] = chunk.try_into().expect("chunks_exact yields LANES");
+        let mut open = open_bitmap(chunk, t_lo, t_hi);
+        while open != 0 {
+            f(base + open.trailing_zeros() as usize);
+            open &= open - 1;
+        }
+        base += LANES;
+    }
+    for (k, &m) in chunks.remainder().iter().enumerate() {
+        if m & taken == 0 {
+            f(base + k);
+        }
+    }
+}
+
+/// Position of the first slot id in `slots` whose conflict counter is
+/// zero. Scalar reference for the conflict-index probe.
+#[inline]
+#[must_use]
+pub fn first_zero_scalar(slots: &[u32], conflicts: &[u32]) -> Option<usize> {
+    slots.iter().position(|&s| conflicts[s as usize] == 0)
+}
+
+/// Position of the first slot id in `slots` whose conflict counter is
+/// zero, gathering counters four at a time with a branch-free per-chunk
+/// reduction. Identical to [`first_zero_scalar`].
+#[inline]
+#[must_use]
+pub fn first_zero_chunked(slots: &[u32], conflicts: &[u32]) -> Option<usize> {
+    const GATHER: usize = 4;
+    let head = slots.len().min(FIRST_PREFIX);
+    if let Some(p) = slots[..head]
+        .iter()
+        .position(|&s| conflicts[s as usize] == 0)
+    {
+        return Some(p);
+    }
+    let slots = &slots[head..];
+    let mut chunks = slots.chunks_exact(GATHER);
+    let mut base = head;
+    for chunk in &mut chunks {
+        let mut open = 0u32;
+        for (k, &s) in chunk.iter().enumerate() {
+            open |= u32::from(conflicts[s as usize] == 0) << k;
+        }
+        if open != 0 {
+            return Some(base + open.trailing_zeros() as usize);
+        }
+        base += GATHER;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&s| conflicts[s as usize] == 0)
+        .map(|p| base + p)
+}
+
+/// Calls `f(pos)` for every slot id in `slots[..limit]` whose conflict
+/// counter is zero, ascending. Scalar reference kernel.
+#[inline]
+pub fn for_each_zero_scalar(
+    slots: &[u32],
+    limit: usize,
+    conflicts: &[u32],
+    mut f: impl FnMut(usize),
+) {
+    for (pos, &s) in slots[..limit].iter().enumerate() {
+        if conflicts[s as usize] == 0 {
+            f(pos);
+        }
+    }
+}
+
+/// Calls `f(pos)` for every slot id in `slots[..limit]` whose conflict
+/// counter is zero, ascending; chunked gather twin of
+/// [`for_each_zero_scalar`].
+#[inline]
+pub fn for_each_zero_chunked(
+    slots: &[u32],
+    limit: usize,
+    conflicts: &[u32],
+    mut f: impl FnMut(usize),
+) {
+    const GATHER: usize = 4;
+    let mut chunks = slots[..limit].chunks_exact(GATHER);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let mut open = 0u32;
+        for (k, &s) in chunk.iter().enumerate() {
+            open |= u32::from(conflicts[s as usize] == 0) << k;
+        }
+        while open != 0 {
+            f(base + open.trailing_zeros() as usize);
+            open &= open - 1;
+        }
+        base += GATHER;
+    }
+    for (k, &s) in chunks.remainder().iter().enumerate() {
+        if conflicts[s as usize] == 0 {
+            f(base + k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift stream for mask fixtures.
+    fn stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    fn mask_fixture(len: usize, seed: u64, density_shift: u32) -> (Vec<u128>, u128) {
+        let mut next = stream(seed);
+        let masks: Vec<u128> = (0..len)
+            .map(|_| {
+                let m = (u128::from(next()) << 64 | u128::from(next())) >> density_shift;
+                if m == 0 {
+                    1
+                } else {
+                    m
+                }
+            })
+            .collect();
+        let taken = u128::from(next()) << 64 | u128::from(next());
+        (masks, taken)
+    }
+
+    #[test]
+    fn first_open_kernels_agree() {
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 100, 257] {
+            for seed in [2u64, 11, 99] {
+                for shift in [0u32, 64, 100, 120] {
+                    let (masks, taken) = mask_fixture(len, seed, shift);
+                    for t in [taken, 0, u128::MAX] {
+                        assert_eq!(
+                            first_open_scalar(&masks, t),
+                            first_open_chunked(&masks, t),
+                            "len {len} seed {seed} shift {shift}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_open_kernels_agree() {
+        for len in [0usize, 5, 8, 13, 64, 130] {
+            let (masks, taken) = mask_fixture(len, 7, 100);
+            for limit in [0, len / 2, len] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                for_each_open_scalar(&masks, limit, taken, |p| a.push(p));
+                for_each_open_chunked(&masks, limit, taken, |p| b.push(p));
+                assert_eq!(a, b, "len {len} limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_gather_kernels_agree() {
+        let mut next = stream(5);
+        let conflicts: Vec<u32> = (0..64).map(|_| (next() % 3 == 0) as u32 * 2).collect();
+        for len in [0usize, 1, 3, 4, 5, 9, 40, 64] {
+            let slots: Vec<u32> = (0..len).map(|_| (next() % 64) as u32).collect();
+            assert_eq!(
+                first_zero_scalar(&slots, &conflicts),
+                first_zero_chunked(&slots, &conflicts),
+                "len {len}"
+            );
+            for limit in [0, len / 2, len] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                for_each_zero_scalar(&slots, limit, &conflicts, |p| a.push(p));
+                for_each_zero_chunked(&slots, limit, &conflicts, |p| b.push(p));
+                assert_eq!(a, b, "len {len} limit {limit}");
+            }
+        }
+    }
+}

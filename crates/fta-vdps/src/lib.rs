@@ -78,16 +78,21 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod config;
+pub mod dedup;
 pub mod delta;
 pub mod flat;
 pub mod generator;
 pub mod grid;
+pub mod hotpath;
+pub mod kernel;
 pub mod naive;
 pub mod pool;
 pub mod schedule;
 pub mod strategy;
 
+pub use arena::ArenaStats;
 pub use config::{VdpsConfig, VdpsEngine};
 pub use delta::{delta_update, delta_update_with_provenance, DeltaStats, PoolCache};
 pub use flat::{generate_c_vdps_flat, generate_c_vdps_flat_budgeted};
@@ -95,6 +100,7 @@ pub use generator::{
     generate_c_vdps, generate_c_vdps_budgeted, generate_c_vdps_hashmap,
     generate_c_vdps_hashmap_budgeted, generate_c_vdps_in, GenControl, GenerationStats, Vdps,
 };
+pub use hotpath::{EmissionKernel, HotpathProfile, ScanKernel};
 pub use pool::{TaskScope, WorkerPool};
 pub use schedule::schedule_route;
 pub use strategy::{

@@ -8,11 +8,12 @@
 //! precomputes each worker's payoff for each of its strategies, which the
 //! game-theoretic algorithms then consume.
 
+use crate::arena;
 use crate::config::VdpsConfig;
 use crate::generator::{generate_c_vdps_budgeted, GenControl, GenerationStats, Vdps};
 use crate::pool::TaskScope;
 use fta_core::instance::{CenterView, DpAggregate, Instance};
-use fta_core::payoff::payoff_for_travel;
+use fta_core::payoff::payoff_from_parts;
 use fta_core::WorkerId;
 use std::sync::Arc;
 
@@ -27,6 +28,11 @@ const PAR_MIN_VALIDATION_WORK: usize = 1 << 12;
 /// scan. At or above it, availability flips are propagated in O(affected
 /// slots) through the inverted DP-bit → slot lists instead of re-deriving
 /// availability from scratch per probe.
+///
+/// This is the compiled-in *default*; the effective value is the
+/// installed [`crate::hotpath::HotpathProfile`]'s
+/// `conflict_index_min_slots`, which the calibration bench derives from
+/// measured scan/maintenance costs on the current machine.
 pub const CONFLICT_INDEX_MIN_SLOTS: usize = 1 << 12;
 
 /// Density half of the crossover heuristic: the conflict index is only
@@ -39,6 +45,9 @@ pub const CONFLICT_INDEX_MIN_SLOTS: usize = 1 << 12;
 /// shape of an FTA center at paper scale) that per-switch walk dwarfs any
 /// probe savings and the mask scan wins outright, so the index is reserved
 /// for sparse spaces where posting lists stay short.
+///
+/// Like [`CONFLICT_INDEX_MIN_SLOTS`], this is the compiled-in default
+/// behind the installed [`crate::hotpath::HotpathProfile`].
 pub const CONFLICT_INDEX_MAX_SLOTS_PER_BIT: usize = 64;
 
 /// Immutable inverted index from delivery-point bit to the strategy slots
@@ -234,53 +243,80 @@ impl StrategySpace {
             && n_workers > 1
             && n_workers.saturating_mul(pool.len()) >= PAR_MIN_VALIDATION_WORK;
 
-        let (pool, per_worker) = if parallel {
+        let per_worker = if parallel {
             let scope = scope.expect("parallel implies an active scope");
-            // Per-worker parameters are tiny copies; the pool is shared
-            // read-only via `Arc` so chunk jobs satisfy the scope's `'env`
-            // bound without cloning any `Vdps`.
+            // Per-worker parameters are tiny copies; the columnar pool
+            // extract is shared read-only via `Arc` so chunk jobs satisfy
+            // the scope's `'env` bound without cloning any `Vdps` (the
+            // pool itself never leaves this thread).
             let params: Vec<(usize, f64)> = view
                 .workers
                 .iter()
                 .enumerate()
                 .map(|(local, &w)| (instance.workers[w.index()].max_dp, worker_to_dc[local]))
                 .collect();
-            let shared = Arc::new(pool);
+            let soa = Arc::new(PoolSoa::extract(&pool));
             let chunk = n_workers.div_ceil(scope.threads() * 2).max(1);
             let jobs: Vec<_> = params
                 .chunks(chunk)
                 .map(|chunk_params| {
-                    let shared = Arc::clone(&shared);
+                    let soa = Arc::clone(&soa);
                     let chunk_params = chunk_params.to_vec();
                     move |_: &TaskScope<'_>| {
                         chunk_params
                             .into_iter()
-                            .map(|(max_dp, to_dc)| validate_worker(&shared, max_dp, to_dc))
+                            .map(|(max_dp, to_dc)| {
+                                let mut v = Vec::new();
+                                let mut p = Vec::new();
+                                validate_worker(&soa, max_dp, to_dc, &mut v, &mut p);
+                                (v, p)
+                            })
                             .collect::<Vec<_>>()
                     }
                 })
                 .collect();
             let per_worker: Vec<(Vec<u32>, Vec<f64>)> =
                 scope.map(jobs).into_iter().flatten().collect();
-            let pool = Arc::try_unwrap(shared)
-                .expect("all chunk jobs completed, so the pool has one owner again");
-            (pool, per_worker)
+            if let Ok(soa) = Arc::try_unwrap(soa) {
+                soa.recycle();
+            }
+            per_worker
         } else {
+            let soa = PoolSoa::extract(&pool);
             let per_worker: Vec<(Vec<u32>, Vec<f64>)> = view
                 .workers
                 .iter()
                 .enumerate()
                 .map(|(local, &w)| {
+                    let (mut v, mut p) = arena::with(|a| (a.indices.take(0), a.floats.take(0)));
                     validate_worker(
-                        &pool,
+                        &soa,
                         instance.workers[w.index()].max_dp,
                         worker_to_dc[local],
-                    )
+                        &mut v,
+                        &mut p,
+                    );
+                    (v, p)
                 })
                 .collect();
-            (pool, per_worker)
+            soa.recycle();
+            per_worker
         };
-        Self::assemble(view, pool, worker_to_dc, &per_worker, gen_stats)
+        let space = Self::assemble(view, pool, worker_to_dc, &per_worker, gen_stats);
+        if !parallel {
+            // Sequential validation took its scratch from this thread's
+            // arena; hand it back so the next generation allocates nothing.
+            // Parallel chunk jobs allocated on pool threads — parking their
+            // buffers here would grow the free lists without bound, so
+            // those simply drop.
+            arena::with(|a| {
+                for (v, p) in per_worker {
+                    a.indices.put(v);
+                    a.floats.put(p);
+                }
+            });
+        }
+        space
     }
 
     /// Rebuilds the space around a delta-updated `pool`, reusing each
@@ -332,8 +368,15 @@ impl StrategySpace {
         // Dense (validity, payoff) lookup over the *previous* pool,
         // refilled per worker and wiped through the same valid list so
         // the reset is O(previous valid slots), not O(previous pool).
-        let mut dense_valid = vec![false; prev.pool_len];
-        let mut dense_payoff = vec![0.0f64; prev.pool_len];
+        // All scratch — the dense arrays, the columnar pool extract, and
+        // the per-worker output buffers — comes from the generation arena,
+        // so steady-state re-solves under churn revalidate slots without
+        // touching the allocator.
+        let (mut dense_valid, mut dense_payoff) =
+            arena::with(|a| (a.flags.take(prev.pool_len), a.floats.take(prev.pool_len)));
+        dense_valid.resize(prev.pool_len, false);
+        dense_payoff.resize(prev.pool_len, 0.0);
+        let soa = PoolSoa::extract(&pool);
         let mut reused_slots = 0u64;
         let per_worker: Vec<(Vec<u32>, Vec<f64>)> = view
             .workers
@@ -347,10 +390,9 @@ impl StrategySpace {
                 }
                 let max_dp = instance.workers[w.index()].max_dp;
                 let to_dc = worker_to_dc[local];
-                let mut v = Vec::new();
-                let mut p = Vec::new();
-                for (j, vdps) in pool.iter().enumerate() {
-                    match provenance[j] {
+                let (mut v, mut p) = arena::with(|a| (a.indices.take(0), a.floats.take(0)));
+                for (j, &prov) in provenance.iter().enumerate() {
+                    match prov {
                         Some(old) => {
                             // Verbatim-reused entry: same route payload,
                             // same worker parameters — the cached verdict
@@ -362,9 +404,9 @@ impl StrategySpace {
                             }
                         }
                         None => {
-                            if vdps.len() <= max_dp && vdps.route.is_valid_for_travel(to_dc) {
+                            if soa.lens[j] as usize <= max_dp && to_dc <= soa.slacks[j] {
                                 v.push(j as u32);
-                                p.push(payoff_for_travel(&vdps.route, to_dc));
+                                p.push(payoff_from_parts(soa.rewards[j], soa.travels[j], to_dc));
                             }
                         }
                     }
@@ -375,10 +417,22 @@ impl StrategySpace {
                 (v, p)
             })
             .collect();
+        soa.recycle();
+        arena::with(|a| {
+            a.flags.put(dense_valid);
+            a.floats.put(dense_payoff);
+        });
         if fta_obs::enabled() {
             fta_obs::counter("vdps.slots_reused", reused_slots);
         }
-        Self::assemble(view, pool, worker_to_dc, &per_worker, gen_stats)
+        let space = Self::assemble(view, pool, worker_to_dc, &per_worker, gen_stats);
+        arena::with(|a| {
+            for (v, p) in per_worker {
+                a.indices.put(v);
+                a.floats.put(p);
+            }
+        });
+        space
     }
 
     /// Assembles the flat SoA layout from per-worker validation results:
@@ -402,7 +456,7 @@ impl StrategySpace {
         let mut desc_masks = Vec::with_capacity(total);
         let mut desc_slots = Vec::with_capacity(total);
         offsets.push(0u32);
-        let mut order: Vec<u32> = Vec::new();
+        let mut order: Vec<u32> = arena::with(|a| a.indices.take(0));
         for (v, p) in per_worker {
             let base = slot_pool.len();
             slot_pool.extend_from_slice(v);
@@ -420,13 +474,18 @@ impl StrategySpace {
             desc_slots.extend(order.iter().map(|&i| (base + i as usize) as u32));
             offsets.push(slot_pool.len() as u32);
         }
+        arena::with(|a| a.indices.put(order));
         // Two-sided crossover: the index must be big enough to beat the
         // cache-resident mask scan, yet sparse enough that per-switch
         // maintenance (a walk of every affected bit's posting list) stays
-        // cheap relative to the probes it accelerates.
+        // cheap relative to the probes it accelerates. Thresholds come
+        // from the installed hotpath profile; its defaults are the
+        // [`CONFLICT_INDEX_MIN_SLOTS`] / [`CONFLICT_INDEX_MAX_SLOTS_PER_BIT`]
+        // constants, so an uncalibrated process behaves exactly as before.
+        let profile = crate::hotpath::current();
         let entries: usize = slot_masks.iter().map(|m| m.count_ones() as usize).sum();
-        let sparse = entries <= view.dps.len().max(1) * CONFLICT_INDEX_MAX_SLOTS_PER_BIT;
-        let conflict_sets = (total >= CONFLICT_INDEX_MIN_SLOTS && sparse)
+        let sparse = entries <= view.dps.len().max(1) * profile.conflict_index_max_slots_per_bit;
+        let conflict_sets = (total >= profile.conflict_index_min_slots && sparse)
             .then(|| ConflictSets::build(view.dps.len(), &slot_masks));
         Self {
             view,
@@ -618,19 +677,73 @@ impl SlotCache {
     }
 }
 
+/// Columnar (struct-of-arrays) copy of the pool fields per-worker
+/// validation reads: entry length, route slack, total reward, and travel
+/// time from the distribution center. Extracted once per space build, so
+/// the O(workers × pool) validation pass streams four flat arrays instead
+/// of dereferencing one heap `Route` per entry per worker. The arrays are
+/// borrowed from the generation arena and returned via
+/// [`PoolSoa::recycle`] once every worker is validated.
+struct PoolSoa {
+    lens: Vec<u32>,
+    slacks: Vec<f64>,
+    rewards: Vec<f64>,
+    travels: Vec<f64>,
+}
+
+impl PoolSoa {
+    fn extract(pool: &[Vdps]) -> Self {
+        let n = pool.len();
+        let (lens, slacks, rewards, travels) = arena::with(|a| {
+            (
+                a.indices.take(n),
+                a.floats.take(n),
+                a.floats.take(n),
+                a.floats.take(n),
+            )
+        });
+        let mut soa = Self {
+            lens,
+            slacks,
+            rewards,
+            travels,
+        };
+        for vdps in pool {
+            soa.lens.push(vdps.len() as u32);
+            soa.slacks.push(vdps.route.slack());
+            soa.rewards.push(vdps.route.total_reward());
+            soa.travels.push(vdps.route.travel_from_dc());
+        }
+        soa
+    }
+
+    fn recycle(self) {
+        arena::with(|a| {
+            a.indices.put(self.lens);
+            a.floats.put(self.slacks);
+            a.floats.put(self.rewards);
+            a.floats.put(self.travels);
+        });
+    }
+}
+
 /// One worker's validation pass over the shared pool: which strategies the
 /// worker can execute within every deadline (given its travel time to the
-/// center and its `maxDP`), and the payoff of each.
-fn validate_worker(pool: &[Vdps], max_dp: usize, to_dc: f64) -> (Vec<u32>, Vec<f64>) {
-    let mut v = Vec::new();
-    let mut p = Vec::new();
-    for (idx, vdps) in pool.iter().enumerate() {
-        if vdps.len() <= max_dp && vdps.route.is_valid_for_travel(to_dc) {
+/// center and its `maxDP`), and the payoff of each, appended to `v`/`p`.
+///
+/// Scans the columnar [`PoolSoa`] — `lens[idx] <= max_dp` and
+/// `to_dc <= slacks[idx]` are exactly `Vdps::len` and
+/// [`fta_core::route::Route::is_valid_for_travel`] over the extracted
+/// scalars, and [`payoff_from_parts`] is the same expression as
+/// [`fta_core::payoff::payoff_for_travel`] — so the results are
+/// bit-identical to walking the `Vdps` entries themselves.
+fn validate_worker(soa: &PoolSoa, max_dp: usize, to_dc: f64, v: &mut Vec<u32>, p: &mut Vec<f64>) {
+    for idx in 0..soa.lens.len() {
+        if soa.lens[idx] as usize <= max_dp && to_dc <= soa.slacks[idx] {
             v.push(idx as u32);
-            p.push(payoff_for_travel(&vdps.route, to_dc));
+            p.push(payoff_from_parts(soa.rewards[idx], soa.travels[idx], to_dc));
         }
     }
-    (v, p)
 }
 
 #[cfg(test)]
