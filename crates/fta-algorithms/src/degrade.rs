@@ -145,6 +145,21 @@ impl DegradationEvent {
             Self::CenterSkipped { .. } => "center_skipped",
         }
     }
+
+    /// The budget axis (or fault class) that caused the event, as
+    /// attributed in the solve ledger: `max_states` for VDPS
+    /// truncation, `max_rounds` for a capped equilibrium loop,
+    /// `wall_ms` for deadline-driven fallbacks, `panic` for quarantines
+    /// and skips.
+    #[must_use]
+    pub fn budget_axis(&self) -> &'static str {
+        match self {
+            Self::VdpsTruncated { .. } => "max_states",
+            Self::RoundsCapped { .. } => "max_rounds",
+            Self::FellBackToGta { .. } | Self::FellBackToImmediate { .. } => "wall_ms",
+            Self::PanicQuarantined { .. } | Self::CenterSkipped { .. } => "panic",
+        }
+    }
 }
 
 impl fmt::Display for DegradationEvent {

@@ -35,6 +35,7 @@ pub mod exact;
 pub mod fgt;
 pub mod gta;
 pub mod iegt;
+pub mod ledger;
 pub mod mpta;
 pub mod pfgt;
 pub mod random;
@@ -56,7 +57,10 @@ pub use pfgt::{pfgt, pfgt_bounded, pfgt_warm_bounded, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
 pub use report::SolveReport;
 pub use resolve::{ResolveStats, Solver};
-pub use solver::{solve, solve_with_pool, Algorithm, PanicInjection, SolveConfig, SolveOutcome};
+pub use solver::{
+    solve, solve_with_pool, Algorithm, CenterSolveSummary, PanicInjection, SolveConfig,
+    SolveOutcome,
+};
 pub use stats::BestResponseStats;
 pub use trace::{ConvergenceTrace, RoundStats};
 pub use warm::{profile_of, warm_init, WarmStart};

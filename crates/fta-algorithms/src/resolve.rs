@@ -241,9 +241,10 @@ impl Solver {
         let mut stats = ResolveStats::default();
         let mut outcomes = Vec::with_capacity(views.len());
         let mut caches = Vec::with_capacity(views.len());
+        let mut paths = Vec::with_capacity(views.len());
         for view in views {
             let cached = prev.remove(&view.center);
-            let (outcome, cache) = resolve_center(
+            let (outcome, cache, path) = resolve_center(
                 instance,
                 &aggregates,
                 view,
@@ -256,6 +257,7 @@ impl Solver {
                 caches.push(c);
             }
             outcomes.push(outcome);
+            paths.push(path);
         }
         self.centers = caches;
         self.last = stats;
@@ -266,7 +268,11 @@ impl Solver {
             fta_obs::counter("br.warm_adopted", stats.warm_adopted as u64);
             fta_obs::counter("br.warm_rejected", stats.warm_rejected as u64);
         }
-        merge_outcomes(outcomes, false)
+        let mut merged = merge_outcomes(outcomes, false);
+        for (summary, path) in merged.centers.iter_mut().zip(paths) {
+            summary.resolve_path = path;
+        }
+        merged
     }
 }
 
@@ -335,7 +341,9 @@ fn center_is_clean(
 }
 
 /// One center of [`Solver::resolve`]: clean short-circuit, then the warm
-/// path (panic-isolated), then the cold fallback.
+/// path (panic-isolated), then the cold fallback. The third element is
+/// the resolve path taken (`"clean"` / `"warm"` / `"cold"`) for ledger
+/// attribution.
 fn resolve_center(
     instance: &Instance,
     aggregates: &[DpAggregate],
@@ -344,7 +352,7 @@ fn resolve_center(
     cached: Option<CenterCache>,
     config: &SolveConfig,
     stats: &mut ResolveStats,
-) -> (CenterOutcome, Option<CenterCache>) {
+) -> (CenterOutcome, Option<CenterCache>, &'static str) {
     if let Some(cache) = cached {
         let vdps_cfg = clamped_cfg(instance, &view, config);
         if center_is_clean(instance, aggregates, &view, keys, &cache, &vdps_cfg) {
@@ -354,7 +362,7 @@ fn resolve_center(
             // spent this round.
             outcome.vdps_time = Duration::ZERO;
             outcome.assign_time = Duration::ZERO;
-            return (outcome, Some(cache));
+            return (outcome, Some(cache), "clean");
         }
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             warm_center(
@@ -372,7 +380,7 @@ fn resolve_center(
                 stats.centers_warm += 1;
                 stats.warm_adopted += warm.adopted;
                 stats.warm_rejected += warm.rejected;
-                return (outcome, Some(new_cache));
+                return (outcome, Some(new_cache), "warm");
             }
             Ok(None) => {}
             Err(_) => {
@@ -383,7 +391,7 @@ fn resolve_center(
     stats.centers_cold += 1;
     let (outcome, capture) = solve_center(instance, aggregates, view, config, None, None, true);
     let cache = capture.map(|cap| CenterCache::build(instance, keys, cap, outcome.clone()));
-    (outcome, cache)
+    (outcome, cache, "cold")
 }
 
 /// Remaps the cached equilibrium onto the freshly built space: each

@@ -212,6 +212,63 @@ pub struct SolveOutcome {
     /// The degradation-ladder rung each center was solved at, in center
     /// order. All [`LadderRung::Full`] on a clean run.
     pub rungs: Vec<(CenterId, LadderRung)>,
+    /// Per-center causal attribution for the solve ledger, in center
+    /// order: rung, triggering budget axis, resolve path, and work
+    /// counters.
+    pub centers: Vec<CenterSolveSummary>,
+}
+
+/// Per-center causal attribution surfaced on [`SolveOutcome`] for the
+/// solve ledger: which rung the center landed on, which budget axis
+/// drove it there, how the incremental solver resolved it, and how much
+/// work it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CenterSolveSummary {
+    /// The distribution center.
+    pub center: CenterId,
+    /// Degradation-ladder rung the center was solved at.
+    pub rung: LadderRung,
+    /// The budget axis (or fault class) that drove the degradation;
+    /// `None` at [`LadderRung::Full`]. When several events fired, the
+    /// most severe wins (`panic` > `wall_ms` > `max_rounds` >
+    /// `max_states`).
+    pub budget_axis: Option<&'static str>,
+    /// Resolve path taken: `"cold"` for a from-scratch solve, patched
+    /// to `"clean"`/`"warm"` by the incremental
+    /// [`crate::resolve::Solver`].
+    pub resolve_path: &'static str,
+    /// Best-response rounds run for this center (all restarts).
+    pub br_rounds: u64,
+    /// Candidate strategies evaluated for this center.
+    pub br_evaluations: u64,
+    /// Strategy switches performed for this center.
+    pub br_switches: u64,
+    /// VDPSs in the center's final pool.
+    pub vdps_count: u64,
+    /// DP states materialised during generation.
+    pub vdps_states: u64,
+    /// Layer-boundary truncations during generation.
+    pub vdps_truncations: u64,
+    /// Nanoseconds spent generating the pool.
+    pub vdps_nanos: u64,
+    /// Nanoseconds spent in the assignment algorithm.
+    pub assign_nanos: u64,
+    /// Human-readable degradation events, in firing order.
+    pub events: Vec<String>,
+}
+
+/// Most severe budget axis among a center's degradation events.
+fn dominant_axis(events: &[DegradationEvent]) -> Option<&'static str> {
+    let severity = |axis: &str| match axis {
+        "panic" => 3,
+        "wall_ms" => 2,
+        "max_rounds" => 1,
+        _ => 0,
+    };
+    events
+        .iter()
+        .map(DegradationEvent::budget_axis)
+        .max_by_key(|a| severity(a))
 }
 
 impl SolveOutcome {
@@ -313,6 +370,9 @@ pub(crate) fn solve_center(
         Err(payload) => payload,
     };
     fta_obs::counter("pool.panics_caught", 1);
+    // The panic is the anomaly: snapshot the flight ring while the last
+    // moments before it are still in the buffers.
+    let _ = fta_obs::ring::anomaly_dump("panic-quarantined", Some(center.0));
     let mut report = DegradationReport::default();
     report.push(DegradationEvent::PanicQuarantined {
         center,
@@ -338,6 +398,7 @@ pub(crate) fn solve_center(
         }
         Err(payload) => {
             fta_obs::counter("pool.panics_caught", 1);
+            let _ = fta_obs::ring::anomaly_dump("center-skipped", Some(center.0));
             report.push(DegradationEvent::CenterSkipped {
                 center,
                 message: panic_message(payload.as_ref()),
@@ -549,6 +610,18 @@ pub fn solve(instance: &Instance, config: &SolveConfig) -> SolveOutcome {
     solve_with_pool(instance, config, &pool)
 }
 
+/// Routes fta-core budget exhaustion into a flight-recorder dump. The
+/// observer fires on the first deadline latch of each token; the dump
+/// itself is rate-limited process-wide by `fta_obs::ring`.
+fn install_exhaustion_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        fta_core::set_exhaustion_observer(Box::new(|_axis| {
+            let _ = fta_obs::ring::anomaly_dump("budget-exhausted", None);
+        }));
+    });
+}
+
 /// Like [`solve`], on a caller-provided [`WorkerPool`].
 ///
 /// Every piece of parallelism in the run — per-center jobs, intra-center
@@ -564,6 +637,7 @@ pub fn solve_with_pool(
     pool: &WorkerPool,
 ) -> SolveOutcome {
     let _solve_span = fta_obs::span("solver.solve");
+    install_exhaustion_hook();
     // One cancellation token per solve; `None` when the budget is
     // unlimited so the hot paths skip even the atomic load.
     let token = if config.budget.is_unlimited() {
@@ -604,12 +678,33 @@ pub(crate) fn merge_outcomes(outcomes: Vec<CenterOutcome>, budget_cancelled: boo
     let mut trace: Option<ConvergenceTrace> = None;
     let mut degradation = DegradationReport::default();
     let mut rungs = Vec::with_capacity(outcomes.len());
+    let mut centers = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         assignment.merge(outcome.assignment);
         vdps_time += outcome.vdps_time;
         assign_time += outcome.assign_time;
         gen_stats.merge(&outcome.gen_stats);
         br_stats.merge(&outcome.trace.stats);
+        centers.push(CenterSolveSummary {
+            center: outcome.center,
+            rung: outcome.rung,
+            budget_axis: dominant_axis(&outcome.report.events),
+            resolve_path: "cold",
+            br_rounds: outcome.trace.stats.rounds,
+            br_evaluations: outcome.trace.stats.candidate_evaluations,
+            br_switches: outcome.trace.stats.switches,
+            vdps_count: outcome.gen_stats.vdps_count as u64,
+            vdps_states: outcome.gen_stats.states as u64,
+            vdps_truncations: outcome.gen_stats.truncations as u64,
+            vdps_nanos: outcome.vdps_time.as_nanos() as u64,
+            assign_nanos: outcome.assign_time.as_nanos() as u64,
+            events: outcome
+                .report
+                .events
+                .iter()
+                .map(|e| e.to_string())
+                .collect(),
+        });
         degradation.merge(outcome.report);
         rungs.push((outcome.center, outcome.rung));
         if !outcome.trace.is_empty() {
@@ -618,6 +713,11 @@ pub(crate) fn merge_outcomes(outcomes: Vec<CenterOutcome>, budget_cancelled: boo
                 None => trace = Some(outcome.trace),
             }
         }
+    }
+    // A rung below Full is itself an anomaly: snapshot the flight ring
+    // (rate-limited, so a mass degradation yields a handful of dumps).
+    if let Some(&(center, _)) = rungs.iter().find(|&&(_, r)| r.is_degraded()) {
+        let _ = fta_obs::ring::anomaly_dump("degraded-rung", Some(center.0));
     }
     if fta_obs::enabled() {
         // Best-response work counters, aggregated over every center and
@@ -648,6 +748,7 @@ pub(crate) fn merge_outcomes(outcomes: Vec<CenterOutcome>, budget_cancelled: boo
         trace: trace.unwrap_or_default(),
         degradation,
         rungs,
+        centers,
     }
 }
 

@@ -20,19 +20,24 @@ COMMANDS
         [--max-len N] [--engine flat|hashmap]
         [--br-engine auto|exhaustive|incremental|fastpath] [--parallel]
         [--out FILE] [--budget-ms MS] [--max-states N] [--max-rounds N]
-        [--trace-out FILE] [--metrics-out FILE] [--hotpath-profile FILE]
+        [--trace-out FILE] [--metrics-out FILE] [--ledger-out FILE]
+        [--hotpath-profile FILE] [--inject-panic CENTER]
       Run an assignment algorithm; print the summary, optionally write
       the assignment JSON. With --trace-out / --metrics-out a telemetry
       recorder captures the run and writes a JSONL span/round trace and
-      a Prometheus text snapshot. --budget-ms / --max-states /
-      --max-rounds bound the solve; on exhaustion the solver degrades
-      gracefully (truncated VDPS, GTA fallback, single-stop routes) and
-      reports the degradation events instead of overrunning.
+      a Prometheus text snapshot. --ledger-out writes the versioned
+      solve ledger (per-center rung, budget axis, resolve path, work
+      counters, fairness). --budget-ms / --max-states / --max-rounds
+      bound the solve; on exhaustion the solver degrades gracefully
+      (truncated VDPS, GTA fallback, single-stop routes) and reports
+      the degradation events instead of overrunning. --inject-panic
+      deliberately panics the given center's solve (forensics testing:
+      the panic is quarantined and triggers a flight-recorder dump).
 
   simulate [--algo gta|mpta|fgt|iegt|random|immediate] [--seed S]
            [--hours H] [--period-min M] [--workers N] [--dps N]
            [--rate R] [--faults] [--fault-seed S] [--budget-ms MS]
-           [--incremental] [--trace-out FILE]
+           [--incremental] [--trace-out FILE] [--ledger-out FILE]
       Run the streaming platform simulator for a working day and print
       the longitudinal metrics. --faults enables the seeded
       fault-injection plan (worker no-shows, mid-route dropouts, task
@@ -40,12 +45,26 @@ COMMANDS
       --budget-ms runs every assignment round under a wall-clock budget;
       --incremental re-solves rounds against persistent per-center
       caches (delta VDPS updates + equilibrium warm starts) instead of
-      solving each round from scratch.
+      solving each round from scratch; --ledger-out writes one solve
+      ledger record per assignment round (causal attribution + fairness
+      trajectory over cumulative earnings).
 
-  obs-dump <TRACE> [--chrome]
+  obs-dump <TRACE> [--chrome] [--by-center]
       Summarise a JSONL telemetry trace written by solve --trace-out
       (span totals, counters, round events); --chrome instead emits
-      Chrome trace-event JSON for chrome://tracing / Perfetto.
+      Chrome trace-event JSON for chrome://tracing / Perfetto;
+      --by-center prints a per-center round/moves table.
+
+  flight-dump <SNAPSHOT>
+      Decode a flight-recorder snapshot (fta-flight-*.jsonl, written
+      automatically when a center panics, a budget exhausts, or a solve
+      degrades) and print its events grouped by thread.
+
+  obs-diff <A> <B> [--tolerance PCT]
+      Diff two solve ledgers or two Prometheus snapshots (auto-detected
+      from the file contents): per-metric deltas, flagged when outside
+      the relative tolerance band (default 0%). Exits non-zero when any
+      delta is out of band.
 
   schedule <INSTANCE> --center C --dps A,B,C
       Find the minimum-travel deadline-feasible visiting order of the
@@ -133,8 +152,13 @@ pub enum Command {
         trace_out: Option<PathBuf>,
         /// Optional Prometheus text snapshot output path.
         metrics_out: Option<PathBuf>,
+        /// Optional solve ledger output path (JSONL, schema `fta-ledger`).
+        ledger_out: Option<PathBuf>,
         /// Optional calibrated hot-path profile to install before solving.
         hotpath_profile: Option<PathBuf>,
+        /// Deliberately panic the given center's solve (forensics
+        /// testing; the panic is quarantined).
+        inject_panic: Option<u32>,
     },
     /// `fta simulate`
     Simulate {
@@ -163,6 +187,9 @@ pub enum Command {
         incremental: bool,
         /// Optional JSONL telemetry trace output path.
         trace_out: Option<PathBuf>,
+        /// Optional per-round solve ledger output path (JSONL, schema
+        /// `fta-ledger`).
+        ledger_out: Option<PathBuf>,
     },
     /// `fta obs-dump`
     ObsDump {
@@ -170,6 +197,22 @@ pub enum Command {
         trace: PathBuf,
         /// Emit Chrome trace-event JSON instead of the summary.
         chrome: bool,
+        /// Print a per-center round/moves table after the summary.
+        by_center: bool,
+    },
+    /// `fta flight-dump`
+    FlightDump {
+        /// Flight snapshot path (JSONL, schema `fta-flight`).
+        snapshot: PathBuf,
+    },
+    /// `fta obs-diff`
+    ObsDiff {
+        /// First file (ledger or Prometheus snapshot).
+        a: PathBuf,
+        /// Second file (same kind as the first).
+        b: PathBuf,
+        /// Relative tolerance band, percent.
+        tolerance_pct: f64,
     },
     /// `fta schedule`
     Schedule {
@@ -308,7 +351,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut out = None;
             let mut trace_out = None;
             let mut metrics_out = None;
+            let mut ledger_out = None;
             let mut hotpath_profile = None;
+            let mut inject_panic = None;
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -339,8 +384,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
                     "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
                     "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+                    "--ledger-out" => ledger_out = Some(PathBuf::from(value("--ledger-out")?)),
                     "--hotpath-profile" => {
                         hotpath_profile = Some(PathBuf::from(value("--hotpath-profile")?));
+                    }
+                    "--inject-panic" => {
+                        inject_panic = Some(parse_num(value("--inject-panic")?, "--inject-panic")?);
                     }
                     other => return Err(format!("unknown solve flag `{other}`")),
                 }
@@ -362,7 +411,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 out,
                 trace_out,
                 metrics_out,
+                ledger_out,
                 hotpath_profile,
+                inject_panic,
             })
         }
         "simulate" => {
@@ -378,6 +429,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut budget_ms = None;
             let mut incremental = false;
             let mut trace_out = None;
+            let mut ledger_out = None;
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -401,6 +453,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--incremental" => incremental = true,
                     "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+                    "--ledger-out" => ledger_out = Some(PathBuf::from(value("--ledger-out")?)),
                     other => return Err(format!("unknown simulate flag `{other}`")),
                 }
             }
@@ -426,20 +479,57 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 budget_ms,
                 incremental,
                 trace_out,
+                ledger_out,
             })
         }
         "obs-dump" => {
             let trace = it.next().ok_or("obs-dump needs a trace path")?;
             let mut chrome = false;
+            let mut by_center = false;
             for arg in it {
                 match arg.as_str() {
                     "--chrome" => chrome = true,
+                    "--by-center" => by_center = true,
                     other => return Err(format!("unknown obs-dump flag `{other}`")),
                 }
             }
             Ok(Command::ObsDump {
                 trace: PathBuf::from(trace),
                 chrome,
+                by_center,
+            })
+        }
+        "flight-dump" => {
+            let snapshot = it.next().ok_or("flight-dump needs a snapshot path")?;
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            Ok(Command::FlightDump {
+                snapshot: PathBuf::from(snapshot),
+            })
+        }
+        "obs-diff" => {
+            let a = it.next().ok_or("obs-diff needs two files to compare")?;
+            let b = it.next().ok_or("obs-diff needs two files to compare")?;
+            let mut tolerance_pct = 0.0f64;
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--tolerance" => {
+                        tolerance_pct = parse_num(value("--tolerance")?, "--tolerance")?;
+                    }
+                    other => return Err(format!("unknown obs-diff flag `{other}`")),
+                }
+            }
+            if tolerance_pct.is_nan() || tolerance_pct < 0.0 {
+                return Err("--tolerance must be a non-negative percentage".into());
+            }
+            Ok(Command::ObsDiff {
+                a: PathBuf::from(a),
+                b: PathBuf::from(b),
+                tolerance_pct,
             })
         }
         "schedule" => {
@@ -691,17 +781,82 @@ mod tests {
             Command::ObsDump {
                 trace: PathBuf::from("trace.jsonl"),
                 chrome: false,
+                by_center: false,
             }
         );
         assert_eq!(
-            parse(&argv("obs-dump trace.jsonl --chrome")).unwrap(),
+            parse(&argv("obs-dump trace.jsonl --chrome --by-center")).unwrap(),
             Command::ObsDump {
                 trace: PathBuf::from("trace.jsonl"),
                 chrome: true,
+                by_center: true,
             }
         );
         assert!(parse(&argv("obs-dump")).is_err());
         assert!(parse(&argv("obs-dump t.jsonl --nope")).is_err());
+    }
+
+    #[test]
+    fn parses_flight_dump() {
+        assert_eq!(
+            parse(&argv("flight-dump fta-flight-1-1.jsonl")).unwrap(),
+            Command::FlightDump {
+                snapshot: PathBuf::from("fta-flight-1-1.jsonl"),
+            }
+        );
+        assert!(parse(&argv("flight-dump")).is_err());
+        assert!(parse(&argv("flight-dump a.jsonl extra")).is_err());
+    }
+
+    #[test]
+    fn parses_obs_diff_with_tolerance() {
+        assert_eq!(
+            parse(&argv("obs-diff a.jsonl b.jsonl")).unwrap(),
+            Command::ObsDiff {
+                a: PathBuf::from("a.jsonl"),
+                b: PathBuf::from("b.jsonl"),
+                tolerance_pct: 0.0,
+            }
+        );
+        match parse(&argv("obs-diff a.prom b.prom --tolerance 2.5")).unwrap() {
+            Command::ObsDiff { tolerance_pct, .. } => {
+                assert!((tolerance_pct - 2.5).abs() < 1e-12);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("obs-diff a.jsonl")).is_err());
+        assert!(parse(&argv("obs-diff a b --tolerance -1")).is_err());
+        assert!(parse(&argv("obs-diff a b --nope")).is_err());
+    }
+
+    #[test]
+    fn solve_accepts_ledger_out_and_inject_panic() {
+        match parse(&argv(
+            "solve city.json --algo gta --ledger-out l.jsonl --inject-panic 2",
+        ))
+        .unwrap()
+        {
+            Command::Solve {
+                ledger_out,
+                inject_panic,
+                ..
+            } => {
+                assert_eq!(ledger_out, Some(PathBuf::from("l.jsonl")));
+                assert_eq!(inject_panic, Some(2));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("solve city.json")).unwrap() {
+            Command::Solve {
+                ledger_out,
+                inject_panic,
+                ..
+            } => {
+                assert!(ledger_out.is_none());
+                assert!(inject_panic.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]
@@ -779,9 +934,11 @@ mod tests {
                 budget_ms,
                 incremental,
                 trace_out,
+                ledger_out,
             } => {
                 assert_eq!(policy, "gta");
                 assert!(!incremental);
+                assert!(ledger_out.is_none());
                 assert_eq!(seed, 7);
                 assert!((hours - 1.5).abs() < 1e-12);
                 assert!((period_minutes - 10.0).abs() < 1e-12);
@@ -819,6 +976,12 @@ mod tests {
         assert!(parse(&argv("simulate --hours 0")).is_err());
         match parse(&argv("simulate --algo fgt --incremental")).unwrap() {
             Command::Simulate { incremental, .. } => assert!(incremental),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("simulate --algo gta --ledger-out day.jsonl")).unwrap() {
+            Command::Simulate { ledger_out, .. } => {
+                assert_eq!(ledger_out, Some(PathBuf::from("day.jsonl")));
+            }
             other => panic!("wrong command {other:?}"),
         }
         assert!(

@@ -8,6 +8,32 @@ use fta_data::{generate_gmission, generate_syn, GMissionConfig, SynConfig};
 use fta_vdps::{schedule_route, VdpsConfig};
 use std::fmt::Write as _;
 
+/// Milliseconds since the Unix epoch (ledger header timestamps).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Load a file for `obs-diff` as a flat metric map, auto-detecting the
+/// format: a JSONL solve ledger (first line carries the `fta-ledger`
+/// schema header) flattens through [`fta_obs::ledger::Ledger::flatten`];
+/// anything else is treated as Prometheus text exposition.
+fn load_metric_map(
+    path: &std::path::Path,
+) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let first = text.lines().next().unwrap_or_default();
+    if first.trim_start().starts_with('{') && first.contains("fta-ledger") {
+        let ledger =
+            fta_obs::ledger::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(ledger.flatten())
+    } else {
+        fta_obs::ledger::flatten_prometheus(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
 /// Executes a parsed command, returning the text to print on stdout.
 ///
 /// # Errors
@@ -120,9 +146,11 @@ pub fn execute(command: &Command) -> Result<String, String> {
             out,
             trace_out,
             metrics_out,
+            ledger_out,
             hotpath_profile,
+            inject_panic,
         } => {
-            use fta_algorithms::{fastpath_sound, Algorithm};
+            use fta_algorithms::{fastpath_sound, Algorithm, PanicInjection};
             if let Some(path) = hotpath_profile {
                 let profile = fta_vdps::hotpath::load(path)
                     .map_err(|e| format!("--hotpath-profile {}: {e}", path.display()))?;
@@ -170,6 +198,10 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     vdps,
                     parallel: *parallel,
                     budget,
+                    inject_panic: inject_panic.map(|center| PanicInjection {
+                        center,
+                        also_on_retry: false,
+                    }),
                     ..SolveConfig::new(algorithm)
                 },
             );
@@ -212,6 +244,25 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     let _ = writeln!(text, "metrics snapshot written to {}", path.display());
                 }
             }
+            if let Some(path) = ledger_out {
+                let ledger = fta_obs::ledger::Ledger {
+                    label,
+                    created_unix_ms: unix_ms(),
+                    records: vec![fta_algorithms::ledger::solve_record(
+                        &inst,
+                        &outcome,
+                        algorithm_name,
+                        engine.name(),
+                    )],
+                };
+                fta_obs::ledger::write_file(&ledger, path).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    text,
+                    "solve ledger ({} centers) written to {}",
+                    outcome.centers.len(),
+                    path.display()
+                );
+            }
             Ok(text)
         }
         Command::Simulate {
@@ -227,6 +278,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             budget_ms,
             incremental,
             trace_out,
+            ledger_out,
         } => {
             use fta_sim::{DispatchPolicy, FaultPlan, Scenario, ScenarioConfig, SimConfig};
             let scenario = Scenario::generate(
@@ -261,7 +313,12 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 config.faults = Some(FaultPlan::stress(fault_seed.unwrap_or(*seed)));
             }
             let recorder = trace_out.is_some().then(fta_obs::Recorder::install);
-            let metrics = fta_sim::run(&scenario, &config);
+            let mut ledger_records = Vec::new();
+            let metrics = if ledger_out.is_some() {
+                fta_sim::run_with_ledger(&scenario, &config, &mut ledger_records)
+            } else {
+                fta_sim::run(&scenario, &config)
+            };
             let snapshot = recorder.map(fta_obs::Recorder::finish);
 
             let mut text = format!(
@@ -318,9 +375,27 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     path.display()
                 );
             }
+            if let Some(path) = ledger_out {
+                let rounds = ledger_records.len();
+                let ledger = fta_obs::ledger::Ledger {
+                    label: format!("simulate {policy} seed {seed}"),
+                    created_unix_ms: unix_ms(),
+                    records: ledger_records,
+                };
+                fta_obs::ledger::write_file(&ledger, path).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    text,
+                    "solve ledger ({rounds} rounds) written to {}",
+                    path.display()
+                );
+            }
             Ok(text)
         }
-        Command::ObsDump { trace, chrome } => {
+        Command::ObsDump {
+            trace,
+            chrome,
+            by_center,
+        } => {
             let parsed = fta_obs::trace::parse_file(trace).map_err(|e| e.to_string())?;
             if *chrome {
                 return Ok(fta_obs::trace::to_chrome_trace(&parsed) + "\n");
@@ -378,7 +453,101 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     last.map_or(f64::NAN, |r| r.payoff_difference)
                 );
             }
+            if *by_center {
+                // Per-center convergence table: rounds run, strategy
+                // moves, and the final payoff difference of each center's
+                // equilibrium loop.
+                let mut centers: std::collections::BTreeMap<u32, (usize, u64, f64)> =
+                    std::collections::BTreeMap::new();
+                for round in &parsed.rounds {
+                    let entry = centers.entry(round.center).or_insert((0, 0, f64::NAN));
+                    entry.0 += 1;
+                    entry.1 += round.moves;
+                    entry.2 = round.payoff_difference;
+                }
+                let _ = writeln!(
+                    text,
+                    "  {:<8} {:>7} {:>8} {:>12}",
+                    "center", "rounds", "moves", "final P_dif"
+                );
+                for (center, (rounds, moves, p_dif)) in centers {
+                    let _ = writeln!(text, "  dc{center:<6} {rounds:>7} {moves:>8} {p_dif:>12.4}");
+                }
+            }
             Ok(text)
+        }
+        Command::FlightDump { snapshot } => {
+            let dump = fta_obs::ring::parse_file(snapshot)
+                .map_err(|e| format!("{}: {e}", snapshot.display()))?;
+            let mut text = format!(
+                "{} v{} snapshot: reason `{}`{}, {} threads, {} events, {} dropped\n",
+                fta_obs::ring::SCHEMA_NAME,
+                dump.version,
+                dump.reason,
+                dump.center
+                    .map(|c| format!(" (center dc{c})"))
+                    .unwrap_or_default(),
+                dump.threads,
+                dump.events.len(),
+                dump.dropped,
+            );
+            let mut last_thread = None;
+            for event in &dump.events {
+                if last_thread != Some(event.thread) {
+                    let _ = writeln!(text, "  thread {}:", event.thread);
+                    last_thread = Some(event.thread);
+                }
+                let _ = writeln!(
+                    text,
+                    "    #{:<6} +{:>12} ns  {:<8} {:<28} {}{}",
+                    event.seq,
+                    event.t_nanos,
+                    event.kind.name(),
+                    event.name,
+                    event.value,
+                    event.center.map(|c| format!("  dc{c}")).unwrap_or_default(),
+                );
+            }
+            Ok(text)
+        }
+        Command::ObsDiff {
+            a,
+            b,
+            tolerance_pct,
+        } => {
+            let map_a = load_metric_map(a)?;
+            let map_b = load_metric_map(b)?;
+            let report = fta_obs::ledger::diff_maps(&map_a, &map_b, *tolerance_pct);
+            let mut text = String::new();
+            let out_of_band = report.out_of_band();
+            for entry in report.changed() {
+                let flag = if entry.within(*tolerance_pct) {
+                    ""
+                } else {
+                    "  OUT OF BAND"
+                };
+                let _ = writeln!(
+                    text,
+                    "  {:<40} {:>14.4} -> {:>14.4}  ({:+.4}){flag}",
+                    entry.key,
+                    entry.a,
+                    entry.b,
+                    entry.delta(),
+                );
+            }
+            let _ = writeln!(
+                text,
+                "{} metrics compared, {} changed, {} out of band (tolerance {}%)",
+                report.entries.len(),
+                report.changed().len(),
+                out_of_band.len(),
+                tolerance_pct,
+            );
+            if out_of_band.is_empty() {
+                Ok(text)
+            } else {
+                Err(text)
+            }
         }
         Command::Compare {
             instance,
@@ -798,6 +967,194 @@ mod tests {
         let out = execute(&cmd).unwrap();
         assert!(!out.contains("faults:"));
         assert!(!out.contains("degraded under"));
+    }
+
+    #[test]
+    fn obs_dump_rejects_schema_version_mismatch_with_clear_message() {
+        let trace_path = temp("future-trace.jsonl");
+        std::fs::write(
+            &trace_path,
+            "{\"schema\":\"fta-obs-trace\",\"version\":99,\"epoch_unix_ms\":0}\n",
+        )
+        .unwrap();
+        let cmd = parse(&argv(&format!("obs-dump {}", trace_path.display()))).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(
+            err.contains("unsupported") && err.contains("99"),
+            "unclear version-mismatch message: {err}"
+        );
+        let _ = std::fs::remove_file(&trace_path);
+    }
+
+    #[test]
+    fn flight_dump_decodes_a_snapshot() {
+        let snapshot_path = temp("flight.jsonl");
+        fta_obs::ring::mark("cli-test-mark", Some(7));
+        fta_obs::ring::dump_to_file("cli-test", Some(7), &snapshot_path).unwrap();
+        let cmd = parse(&argv(&format!("flight-dump {}", snapshot_path.display()))).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(
+            out.contains("fta-flight v1 snapshot"),
+            "header missing:\n{out}"
+        );
+        assert!(out.contains("reason `cli-test` (center dc7)"));
+        assert!(out.contains("cli-test-mark"));
+        assert!(out.contains("thread "));
+        // A corrupt snapshot is a clear error, not a panic.
+        std::fs::write(&snapshot_path, "not json\n").unwrap();
+        let cmd = parse(&argv(&format!("flight-dump {}", snapshot_path.display()))).unwrap();
+        assert!(execute(&cmd).is_err());
+        let _ = std::fs::remove_file(&snapshot_path);
+    }
+
+    #[test]
+    fn solve_ledger_out_attributes_injected_panic() {
+        let instance_path = temp("ledger-instance.json");
+        let ledger_path = temp("ledger-solve.jsonl");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 51 --centers 2 --workers 8 --tasks 80 --dps 12 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        // The injected panic is quarantined: the command still succeeds
+        // and the ledger pins the panic on the right center.
+        let cmd = parse(&argv(&format!(
+            "solve {} --algo gta --inject-panic 1 --ledger-out {}",
+            instance_path.display(),
+            ledger_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("solve ledger (2 centers) written to"));
+
+        let ledger = fta_obs::ledger::parse_file(&ledger_path).unwrap();
+        assert_eq!(ledger.records.len(), 1);
+        let record = &ledger.records[0];
+        assert!(record.degraded);
+        let healthy = record.centers.iter().find(|c| c.center == 0).unwrap();
+        assert_eq!(healthy.rung, "full");
+        let panicked = record.centers.iter().find(|c| c.center == 1).unwrap();
+        assert_ne!(panicked.rung, "full");
+        assert_eq!(panicked.budget_axis.as_deref(), Some("panic"));
+        assert!(panicked.events.iter().any(|e| e.contains("panic")));
+
+        let _ = std::fs::remove_file(&instance_path);
+        let _ = std::fs::remove_file(&ledger_path);
+    }
+
+    #[test]
+    fn simulate_ledger_out_writes_one_record_per_round() {
+        let ledger_path = temp("ledger-sim.jsonl");
+        let cmd = parse(&argv(&format!(
+            "simulate --algo gta --seed 9 --hours 1 --period-min 15 --workers 6 \
+             --dps 12 --rate 40 --faults --budget-ms 0 --ledger-out {}",
+            ledger_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(
+            out.contains("solve ledger ("),
+            "missing ledger line:\n{out}"
+        );
+        let ledger = fta_obs::ledger::parse_file(&ledger_path).unwrap();
+        assert!(!ledger.records.is_empty());
+        for record in &ledger.records {
+            assert!(record.round.is_some());
+            assert!(record.sim_hours.is_some());
+            assert!(record.budget_exhausted, "0 ms budget must exhaust");
+        }
+        let _ = std::fs::remove_file(&ledger_path);
+    }
+
+    #[test]
+    fn obs_diff_self_is_zero_and_tolerance_bands_deltas() {
+        let a_path = temp("diff-a.jsonl");
+        let b_path = temp("diff-b.jsonl");
+        let instance_path = temp("diff-instance.json");
+        let cmd = parse(&argv(&format!(
+            "generate syn --seed 61 --centers 1 --workers 6 --tasks 60 --dps 10 --out {}",
+            instance_path.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+        let solve_to = |path: &PathBuf, algo: &str| {
+            let cmd = parse(&argv(&format!(
+                "solve {} --algo {algo} --ledger-out {}",
+                instance_path.display(),
+                path.display()
+            )))
+            .unwrap();
+            execute(&cmd).unwrap();
+        };
+        solve_to(&a_path, "gta");
+
+        // Self-diff: zero deltas, success.
+        let cmd = parse(&argv(&format!(
+            "obs-diff {} {}",
+            a_path.display(),
+            a_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(
+            out.contains("0 changed, 0 out of band"),
+            "not clean:\n{out}"
+        );
+
+        // Different algorithms: the work counters differ; zero tolerance
+        // fails, a huge tolerance passes.
+        solve_to(&b_path, "fgt");
+        let cmd = parse(&argv(&format!(
+            "obs-diff {} {}",
+            a_path.display(),
+            b_path.display()
+        )))
+        .unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("OUT OF BAND"), "no flagged deltas:\n{err}");
+        let cmd = parse(&argv(&format!(
+            "obs-diff {} {} --tolerance 1000000",
+            a_path.display(),
+            b_path.display()
+        )))
+        .unwrap();
+        assert!(execute(&cmd).is_ok());
+
+        let _ = std::fs::remove_file(&a_path);
+        let _ = std::fs::remove_file(&b_path);
+        let _ = std::fs::remove_file(&instance_path);
+    }
+
+    #[test]
+    fn obs_dump_by_center_prints_the_table() {
+        // Reuses the trace written by the telemetry test? No — that test
+        // owns the recorder. Build a trace file by hand instead.
+        let trace_path = temp("by-center.jsonl");
+        let header = "{\"schema\":\"fta-obs-trace\",\"version\":1,\"epoch_unix_ms\":0}";
+        let r1 = "{\"type\":\"round\",\"algo\":\"FGT\",\"center\":0,\"round\":1,\"moves\":3,\
+                  \"payoff_difference\":0.5,\"average_payoff\":1.0,\"potential\":2.0,\"t_ms\":1}";
+        let r2 = "{\"type\":\"round\",\"algo\":\"FGT\",\"center\":0,\"round\":2,\"moves\":1,\
+                  \"payoff_difference\":0.25,\"average_payoff\":1.0,\"potential\":2.5,\"t_ms\":2}";
+        let r3 = "{\"type\":\"round\",\"algo\":\"FGT\",\"center\":3,\"round\":1,\"moves\":2,\
+                  \"payoff_difference\":0.125,\"average_payoff\":1.5,\"potential\":3.0,\"t_ms\":3}";
+        std::fs::write(&trace_path, format!("{header}\n{r1}\n{r2}\n{r3}\n")).unwrap();
+        let cmd = parse(&argv(&format!(
+            "obs-dump {} --by-center",
+            trace_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("center"), "missing table header:\n{out}");
+        assert!(out.contains("dc0"), "missing center 0 row:\n{out}");
+        assert!(out.contains("dc3"), "missing center 3 row:\n{out}");
+        assert!(out.contains("0.2500"), "missing final P_dif:\n{out}");
+        // Without the flag the table is absent.
+        let cmd = parse(&argv(&format!("obs-dump {}", trace_path.display()))).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(!out.contains("final P_dif\n"));
+        let _ = std::fs::remove_file(&trace_path);
     }
 
     #[test]

@@ -14,8 +14,28 @@
 //! algorithm) and report what happened instead of dying.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Process-global observer invoked the first time any [`CancelToken`]
+/// latches from a passed wall-clock deadline (once per token, on the
+/// latching check). The argument names the exhausted budget axis
+/// (currently always `"wall_ms"`). Used by the solver layer to trigger
+/// a flight-recorder dump at the moment a budget exhausts; must be
+/// cheap and must not panic.
+static EXHAUSTION_OBSERVER: OnceLock<Box<dyn Fn(&'static str) + Send + Sync>> = OnceLock::new();
+
+/// Install the budget-exhaustion observer. The first installation wins;
+/// later calls are ignored (the forensics layer installs exactly one).
+pub fn set_exhaustion_observer(observer: Box<dyn Fn(&'static str) + Send + Sync>) {
+    let _ = EXHAUSTION_OBSERVER.set(observer);
+}
+
+fn notify_exhausted(axis: &'static str) {
+    if let Some(observer) = EXHAUSTION_OBSERVER.get() {
+        observer(axis);
+    }
+}
 
 /// Resource caps for one solve. `None` fields are unbounded; the default
 /// budget is fully unbounded, in which case the solve pipeline behaves
@@ -141,7 +161,11 @@ impl CancelToken {
         }
         if let Some(deadline) = self.inner.deadline {
             if Instant::now() >= deadline {
-                self.inner.cancelled.store(true, Ordering::Release);
+                // `swap` so only the first latching check (across all
+                // clones) fires the exhaustion observer.
+                if !self.inner.cancelled.swap(true, Ordering::AcqRel) {
+                    notify_exhausted("wall_ms");
+                }
                 return true;
             }
         }
@@ -203,6 +227,25 @@ mod tests {
         let token = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!token.is_cancelled());
         assert!(token.remaining().expect("deadline armed") > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn exhaustion_observer_fires_on_deadline_latch() {
+        use std::sync::atomic::AtomicBool;
+        static FIRED: AtomicBool = AtomicBool::new(false);
+        set_exhaustion_observer(Box::new(|axis| {
+            assert_eq!(axis, "wall_ms");
+            FIRED.store(true, Ordering::Release);
+        }));
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled());
+        assert!(FIRED.load(Ordering::Acquire));
+        // Explicit cancel (no deadline) never reports exhaustion; the
+        // observer is already installed, so this would panic on a
+        // non-"wall_ms" axis if it fired.
+        let manual = CancelToken::new();
+        manual.cancel();
+        assert!(manual.is_cancelled());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod priority;
 pub mod route;
 
 pub use assignment::Assignment;
-pub use budget::{CancelToken, SolveBudget};
+pub use budget::{set_exhaustion_observer, CancelToken, SolveBudget};
 pub use churn::{CenterChurn, ChurnSet};
 pub use entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
 pub use error::{FtaError, Result};

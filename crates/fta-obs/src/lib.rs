@@ -34,7 +34,18 @@
 //!   via [`trace::to_chrome_trace`]).
 //! * [`Snapshot::to_prometheus`] — Prometheus text exposition
 //!   (`fta_*_total` counters, `_bucket{le=…}`/`_sum`/`_count`
-//!   histograms).
+//!   histograms, `_p50`/`_p95`/`_p99` quantile gauges).
+//!
+//! ## Forensics
+//!
+//! * [`ring`] — the always-on flight recorder: bounded per-thread ring
+//!   buffers of recent events, auto-dumped to a versioned JSONL
+//!   snapshot ([`ring::anomaly_dump`]) on panics, budget exhaustion,
+//!   and degradation. Armed by default; `FTA_FLIGHT=off` disarms.
+//! * [`ledger`] — the solve ledger: per-solve/per-round structured
+//!   records with per-center causal attribution (rung, budget axis,
+//!   resolve path, work counters) and fairness trajectories, plus the
+//!   tolerance-band diff behind `fta obs-diff`.
 //!
 //! ## Logging
 //!
@@ -63,8 +74,10 @@
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod ledger;
 pub mod logging;
 pub mod recorder;
+pub mod ring;
 pub mod snapshot;
 pub mod trace;
 

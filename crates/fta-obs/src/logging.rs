@@ -5,9 +5,17 @@
 //! `info`) and cached in an atomic, so a filtered-out log line costs
 //! one relaxed load. Diagnostics go to stderr; user-facing result
 //! output belongs on stdout and must not use these macros.
+//!
+//! Lines carry a monotonic elapsed-milliseconds prefix (since the first
+//! log call of the process). `FTA_LOG_FORMAT=json` switches stderr to
+//! one JSON object per line (`{"t_ms":…,"level":…,"msg":…}`) for
+//! machine consumption; any other value (or unset) keeps the
+//! human-readable `[   123ms] level: message` form.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Log severity, most severe first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -80,10 +88,63 @@ pub fn set_max_level(level: Option<Level>) {
     MAX_LEVEL.store(level.map_or(OFF, |l| l as u8), Ordering::Relaxed);
 }
 
-/// Write one formatted line to stderr with a `level:` prefix. Called
-/// by [`crate::log!`] after the level check; prefer the macros.
+/// Stderr line format, cached from `FTA_LOG_FORMAT` on first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const FORMAT_UNINITIALIZED: u8 = u8::MAX;
+static FORMAT: AtomicU8 = AtomicU8::new(FORMAT_UNINITIALIZED);
+
+fn format_mode() -> Format {
+    let cached = FORMAT.load(Ordering::Relaxed);
+    if cached != FORMAT_UNINITIALIZED {
+        return if cached == Format::Json as u8 {
+            Format::Json
+        } else {
+            Format::Text
+        };
+    }
+    let parsed = match std::env::var("FTA_LOG_FORMAT") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("json") => Format::Json,
+        _ => Format::Text,
+    };
+    FORMAT.store(parsed as u8, Ordering::Relaxed);
+    parsed
+}
+
+/// Milliseconds since the first log line of this process (monotonic).
+fn elapsed_ms() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+/// Render one log line (without trailing newline) in the given format.
+/// Factored out of [`write`] so tests can check shapes without
+/// capturing stderr.
+fn render(level: Level, args: fmt::Arguments<'_>, t_ms: u64, format: Format) -> String {
+    match format {
+        Format::Text => format!("[{t_ms:>6}ms] {}: {args}", level.as_str()),
+        Format::Json => {
+            use serde_json::Value;
+            let line = Value::Object(vec![
+                ("t_ms".to_owned(), Value::UInt(t_ms)),
+                ("level".to_owned(), Value::String(level.as_str().to_owned())),
+                ("msg".to_owned(), Value::String(format!("{args}"))),
+            ]);
+            serde_json::to_string(&line).unwrap_or_default()
+        }
+    }
+}
+
+/// Write one formatted line to stderr with a monotonic elapsed-ms
+/// timestamp and a `level:` prefix (or as a JSON object when
+/// `FTA_LOG_FORMAT=json`). Called by [`crate::log!`] after the level
+/// check; prefer the macros.
 pub fn write(level: Level, args: fmt::Arguments<'_>) {
-    eprintln!("{}: {args}", level.as_str());
+    eprintln!("{}", render(level, args, elapsed_ms(), format_mode()));
 }
 
 #[cfg(test)]
@@ -115,6 +176,33 @@ mod tests {
         assert!(level_enabled(Level::Debug));
         // Leave the default behind for other tests in this binary.
         set_max_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn render_shapes_text_and_json_lines() {
+        let text = render(
+            Level::Warn,
+            format_args!("took {} rounds", 12),
+            7,
+            Format::Text,
+        );
+        assert_eq!(text, "[     7ms] warn: took 12 rounds");
+        let json = render(
+            Level::Error,
+            format_args!("quote \" and slash \\"),
+            123,
+            Format::Json,
+        );
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.field("t_ms").and_then(|v| v.as_u64()), Some(123));
+        assert_eq!(
+            parsed.field("level").and_then(|v| v.as_str()),
+            Some("error")
+        );
+        assert_eq!(
+            parsed.field("msg").and_then(|v| v.as_str()),
+            Some("quote \" and slash \\")
+        );
     }
 
     #[test]

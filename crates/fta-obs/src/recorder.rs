@@ -229,10 +229,14 @@ pub fn flush_thread() {
 }
 
 /// Add `delta` to the monotonic counter `name`. No-op when disabled or
-/// `delta == 0`.
+/// `delta == 0`. Also feeds the always-on flight ring when armed.
 #[inline]
 pub fn counter(name: &'static str, delta: u64) {
-    if !enabled() || delta == 0 {
+    if delta == 0 {
+        return;
+    }
+    crate::ring::record(crate::ring::FlightKind::Counter, name, delta, None);
+    if !enabled() {
         return;
     }
     with_tls(|tls| tls.push(Event::Counter { name, delta }));
@@ -241,6 +245,7 @@ pub fn counter(name: &'static str, delta: u64) {
 /// Record a gauge sample aggregated by maximum (e.g. peak queue depth).
 #[inline]
 pub fn gauge_max(name: &'static str, value: u64) {
+    crate::ring::record(crate::ring::FlightKind::Gauge, name, value, None);
     if !enabled() {
         return;
     }
@@ -250,6 +255,7 @@ pub fn gauge_max(name: &'static str, value: u64) {
 /// Record one histogram sample (typically nanoseconds).
 #[inline]
 pub fn observe_nanos(name: &'static str, value: u64) {
+    crate::ring::record(crate::ring::FlightKind::Hist, name, value, None);
     if !enabled() {
         return;
     }
@@ -268,6 +274,12 @@ pub fn round_event(
     average_payoff: f64,
     potential: f64,
 ) {
+    crate::ring::record(
+        crate::ring::FlightKind::Round,
+        algo,
+        u64::from(round),
+        Some(center),
+    );
     if !enabled() {
         return;
     }
@@ -294,10 +306,22 @@ struct SpanInner {
     generation: u64,
 }
 
+/// The flight-ring half of a span guard: records a close event into the
+/// per-thread ring even when no recorder is installed.
+struct FlightSpan {
+    name: &'static str,
+    center: Option<u32>,
+    start: Instant,
+}
+
 /// RAII guard returned by [`span`]; records the span when dropped.
-/// Inert (a `None`) when no recorder was installed at creation.
+/// Inert when neither a recorder is installed nor the flight ring is
+/// armed at creation (no time is read in that case).
 #[must_use = "a span measures the scope it is alive for"]
-pub struct SpanGuard(Option<SpanInner>);
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+    flight: Option<FlightSpan>,
+}
 
 /// Open a scoped span timer. See the [`crate::span!`] macro for the
 /// ergonomic form with optional `center`/`layer` attribution.
@@ -319,10 +343,18 @@ pub fn span_layer(name: &'static str, center: u32, layer: u32) -> SpanGuard {
 }
 
 fn span_at(name: &'static str, center: Option<u32>, layer: Option<u32>) -> SpanGuard {
+    let flight = crate::ring::armed().then(|| FlightSpan {
+        name,
+        center,
+        start: Instant::now(),
+    });
     if !enabled() {
-        return SpanGuard(None);
+        return SpanGuard {
+            inner: None,
+            flight,
+        };
     }
-    SpanGuard(with_tls(|tls| {
+    let inner = with_tls(|tls| {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         let parent = tls.span_stack.last().copied();
         tls.span_stack.push(id);
@@ -335,12 +367,21 @@ fn span_at(name: &'static str, center: Option<u32>, layer: Option<u32>) -> SpanG
             start_nanos: tls.now_nanos(),
             generation: tls.generation,
         }
-    }))
+    });
+    SpanGuard { inner, flight }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(inner) = self.0.take() else {
+        if let Some(flight) = self.flight.take() {
+            crate::ring::record(
+                crate::ring::FlightKind::Span,
+                flight.name,
+                flight.start.elapsed().as_nanos() as u64,
+                flight.center,
+            );
+        }
+        let Some(inner) = self.inner.take() else {
             return;
         };
         with_tls(|tls| {
@@ -385,12 +426,13 @@ pub struct HistTimer {
 }
 
 /// Time a scope and record the elapsed nanoseconds into histogram
-/// `name` on drop. Inert when no recorder is installed at creation.
+/// `name` on drop (into the snapshot and, when armed, the flight ring).
+/// Inert when neither sink is live at creation.
 #[inline]
 pub fn hist_timer(name: &'static str) -> HistTimer {
     HistTimer {
         name,
-        start: enabled().then(Instant::now),
+        start: (enabled() || crate::ring::armed()).then(Instant::now),
     }
 }
 

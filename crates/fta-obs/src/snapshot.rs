@@ -174,28 +174,38 @@ impl Snapshot {
     /// counters as `fta_<name>_total`, gauges as `fta_<name>`, span
     /// aggregates as `fta_span_<name>_{total,nanos_total}`, and
     /// histograms as `fta_<name>` with cumulative `_bucket{le="…"}`
-    /// lines plus `_sum`/`_count`.
+    /// lines plus `_sum`/`_count` and derived `_p50`/`_p95`/`_p99`
+    /// quantile gauges (bucket upper bounds, so coarse within 2×).
+    /// Every metric carries `# HELP` and `# TYPE` lines.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
             let metric = metric_name(name);
+            let _ = writeln!(out, "# HELP {metric}_total fta-obs counter '{name}'");
             let _ = writeln!(out, "# TYPE {metric}_total counter");
             let _ = writeln!(out, "{metric}_total {value}");
         }
         for (name, value) in &self.gauges {
             let metric = metric_name(name);
+            let _ = writeln!(out, "# HELP {metric} fta-obs max-aggregated gauge '{name}'");
             let _ = writeln!(out, "# TYPE {metric} gauge");
             let _ = writeln!(out, "{metric} {value}");
         }
         for (name, (count, nanos)) in &self.span_totals() {
             let metric = format!("fta_span_{}", sanitize(name));
+            let _ = writeln!(out, "# HELP {metric}_total closed '{name}' spans");
             let _ = writeln!(out, "# TYPE {metric}_total counter");
             let _ = writeln!(out, "{metric}_total {count}");
+            let _ = writeln!(
+                out,
+                "# HELP {metric}_nanos_total summed '{name}' span duration in nanoseconds"
+            );
             let _ = writeln!(out, "# TYPE {metric}_nanos_total counter");
             let _ = writeln!(out, "{metric}_nanos_total {nanos}");
         }
         for (name, hist) in &self.histograms {
             let metric = metric_name(name);
+            let _ = writeln!(out, "# HELP {metric} fta-obs log2 histogram '{name}'");
             let _ = writeln!(out, "# TYPE {metric} histogram");
             let mut cumulative = 0u64;
             for (index, count) in hist.nonzero_buckets() {
@@ -209,6 +219,14 @@ impl Snapshot {
             let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count);
             let _ = writeln!(out, "{metric}_sum {}", hist.sum);
             let _ = writeln!(out, "{metric}_count {}", hist.count);
+            for (suffix, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "# HELP {metric}_{suffix} '{name}' {suffix} bucket upper bound (log2-coarse)"
+                );
+                let _ = writeln!(out, "# TYPE {metric}_{suffix} gauge");
+                let _ = writeln!(out, "{metric}_{suffix} {}", hist.quantile_upper_bound(q));
+            }
         }
         out
     }
@@ -306,6 +324,17 @@ mod tests {
         assert!(text.contains("fta_sim_assign_nanos_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("fta_sim_assign_nanos_sum 1003"));
         assert!(text.contains("fta_sim_assign_nanos_count 2"));
+        // Derived quantile gauges with HELP/TYPE: p50 of {3, 1000} is the
+        // first sample's bucket bound, p95/p99 the second's.
+        assert!(text.contains("# HELP fta_sim_assign_nanos_p50 "));
+        assert!(text.contains("# TYPE fta_sim_assign_nanos_p50 gauge"));
+        assert!(text.contains("fta_sim_assign_nanos_p50 3"));
+        assert!(text.contains("fta_sim_assign_nanos_p95 1023"));
+        assert!(text.contains("fta_sim_assign_nanos_p99 1023"));
+        // Every sample has HELP and TYPE lines.
+        assert!(text.contains("# HELP fta_vdps_states_total "));
+        assert!(text.contains("# HELP fta_pool_queue_depth "));
+        assert!(text.contains("# HELP fta_span_vdps_generate_total "));
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines() {
             if line.starts_with('#') {

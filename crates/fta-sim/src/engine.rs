@@ -9,6 +9,7 @@ use fta_core::geometry::Point;
 use fta_core::ids::{DeliveryPointId, TaskId, WorkerId};
 use fta_core::route::Route;
 use fta_core::{CenterChurn, ChurnSet, Instance, SolveBudget};
+use fta_obs::ledger::SolveRecord;
 use fta_vdps::VdpsConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -305,6 +306,36 @@ fn lognormal_factor(rng: &mut StdRng, sigma: f64) -> f64 {
 /// the fault plan fails [`FaultPlan::validate`].
 #[must_use]
 pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
+    run_inner(scenario, config, None)
+}
+
+/// Runs the simulation and appends one [`SolveRecord`] per batch
+/// assignment round to `records` — the per-round solve ledger.
+///
+/// Each record carries the round number (1-based), the simulated instant
+/// in hours, per-center causal attribution (rung, budget axis, resolve
+/// path, work counters), and the fairness trajectory over *cumulative*
+/// worker earnings at the end of the round, so "why did center 17 fall
+/// to GTA in round 40" is answerable from the ledger file alone. The
+/// [`DispatchPolicy::Immediate`] baseline runs no solver and therefore
+/// writes no records.
+///
+/// The returned metrics are bit-identical to [`run`]: the ledger only
+/// observes the day, it never influences it.
+#[must_use]
+pub fn run_with_ledger(
+    scenario: &Scenario,
+    config: &SimConfig,
+    records: &mut Vec<SolveRecord>,
+) -> SimReport {
+    run_inner(scenario, config, Some(records))
+}
+
+fn run_inner(
+    scenario: &Scenario,
+    config: &SimConfig,
+    mut ledger_sink: Option<&mut Vec<SolveRecord>>,
+) -> SimReport {
     assert!(
         config.horizon > 0.0 && config.assignment_period > 0.0,
         "horizon and assignment period must be positive"
@@ -417,6 +448,10 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
             // Plan routes: (original worker index, route) pairs. The
             // timer feeds the per-tick assignment latency histogram
             // (both dispatch policies, so they can be compared).
+            // A batch round additionally stages its ledger record here;
+            // the fairness block is filled in after the routes are
+            // applied, when this round's earnings have been banked.
+            let mut round_record: Option<SolveRecord> = None;
             let planned: Vec<(usize, Arc<Route>)> = {
                 let _assign_timer = fta_obs::hist_timer("sim.assign_nanos");
                 match config.policy {
@@ -442,6 +477,24 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
                         if outcome.is_degraded() {
                             degraded_rounds += 1;
                             fta_obs::counter("sim.degraded_rounds", 1);
+                        }
+                        if ledger_sink.is_some() {
+                            round_record = Some(SolveRecord {
+                                round: Some(rounds as u64),
+                                sim_hours: Some(now),
+                                algo: algorithm.name().to_string(),
+                                engine: if config.incremental {
+                                    "incremental".to_string()
+                                } else {
+                                    "batch".to_string()
+                                },
+                                degraded: outcome.is_degraded(),
+                                budget_exhausted: outcome.degradation.budget_exhausted(),
+                                centers: fta_algorithms::ledger::center_records(&outcome),
+                                // Placeholder; replaced with the
+                                // end-of-round cumulative distribution.
+                                fairness: fta_algorithms::ledger::fairness_from_incomes(&[]),
+                            });
                         }
                         outcome
                             .assignment
@@ -551,6 +604,11 @@ pub fn run(scenario: &Scenario, config: &SimConfig) -> SimReport {
                     }
                     true
                 });
+            }
+            if let (Some(records), Some(mut record)) = (ledger_sink.as_deref_mut(), round_record) {
+                let incomes: Vec<f64> = ledgers.iter().map(|l| l.earnings).collect();
+                record.fairness = fta_algorithms::ledger::fairness_from_incomes(&incomes);
+                records.push(record);
             }
         }
         now += config.assignment_period;
@@ -775,6 +833,60 @@ mod tests {
         let first = churn_between(None, &cur, &[1, 2]);
         assert_eq!(first.age, 0.0);
         assert!(first.per_center.is_empty());
+    }
+
+    #[test]
+    fn ledgered_run_matches_plain_run_and_records_every_round() {
+        let scenario = small_scenario(40);
+        let cfg = config(Algorithm::Gta);
+        let plain = run(&scenario, &cfg);
+        let mut records = Vec::new();
+        let ledgered = run_with_ledger(&scenario, &cfg, &mut records);
+        assert_eq!(plain, ledgered, "the ledger must only observe the day");
+        assert_eq!(records.len(), ledgered.rounds);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.round, Some(i as u64 + 1));
+            assert!(r.sim_hours.is_some_and(|h| h > 0.0));
+            assert_eq!(r.algo, "GTA");
+            assert_eq!(r.engine, "batch");
+            assert_eq!(r.fairness.incomes.len(), scenario.workers.len());
+            assert!(!r.centers.is_empty());
+        }
+        // Cumulative incomes: the final record's distribution is the
+        // day-end earnings vector.
+        let last = records.last().expect("at least one round ran");
+        let earnings: Vec<f64> = ledgered.ledgers.iter().map(|l| l.earnings).collect();
+        assert_eq!(last.fairness.incomes, earnings);
+        // The records survive the ledger container's serialization.
+        let ledger = fta_obs::ledger::Ledger {
+            label: "sim-test".to_string(),
+            created_unix_ms: 0,
+            records,
+        };
+        let parsed =
+            fta_obs::ledger::parse(&fta_obs::ledger::to_jsonl(&ledger)).expect("ledger parses");
+        assert_eq!(parsed.records.len(), ledgered.rounds);
+    }
+
+    #[test]
+    fn faulted_budgeted_ledger_attributes_degradation() {
+        use fta_core::SolveBudget;
+        let scenario = small_scenario(41);
+        let cfg = config(Algorithm::Gta)
+            .with_budget(SolveBudget::wall_ms(0))
+            .with_faults(FaultPlan::stress(9));
+        let mut records = Vec::new();
+        let m = run_with_ledger(&scenario, &cfg, &mut records);
+        assert_eq!(records.len(), m.rounds);
+        assert!(records.iter().all(|r| r.degraded && r.budget_exhausted));
+        for r in &records {
+            let degraded_center = r
+                .centers
+                .iter()
+                .find(|c| c.rung != "full")
+                .expect("0 ms budget degrades every round");
+            assert_eq!(degraded_center.budget_axis.as_deref(), Some("wall_ms"));
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod faults;
 pub mod metrics;
 pub mod scenario;
 
-pub use engine::{run, DispatchPolicy, SimConfig, SimReport};
+pub use engine::{run, run_with_ledger, DispatchPolicy, SimConfig, SimReport};
 pub use faults::FaultPlan;
 pub use metrics::{DayMetrics, WorkerLedger};
 pub use scenario::{Scenario, ScenarioConfig};
