@@ -56,7 +56,7 @@ pub use mpta::{mpta, MptaConfig};
 pub use pfgt::{pfgt, pfgt_bounded, pfgt_warm_bounded, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
 pub use report::SolveReport;
-pub use resolve::{ResolveStats, Solver};
+pub use resolve::{CacheSeed, CenterSeed, ResolveStats, Solver};
 pub use solver::{
     solve, solve_with_pool, Algorithm, CenterSolveSummary, PanicInjection, SolveConfig,
     SolveOutcome,

@@ -46,7 +46,9 @@ use crate::trace::ConvergenceTrace;
 use crate::warm::WarmStart;
 use fta_core::instance::{CenterView, DpAggregate};
 use fta_core::{CancelToken, CenterId, ChurnSet, DeliveryPointId, Instance};
-use fta_vdps::{delta_update_with_provenance, PoolCache, SlotCache, StrategySpace, VdpsConfig};
+use fta_vdps::{
+    delta_update_with_provenance, GenControl, PoolCache, SlotCache, StrategySpace, VdpsConfig,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -66,6 +68,34 @@ pub struct ResolveStats {
     /// Cached strategies rejected (vanished or conflicting) across all
     /// warm centers.
     pub warm_rejected: usize,
+}
+
+/// Serializable seed of a primed [`Solver`] cache: for every captured
+/// center, the equilibrium each worker settled on, expressed as
+/// delivery-point strategy *masks* (stable across the dense pool-index
+/// renumbering a regeneration performs).
+///
+/// Together with the solved [`Instance`] and the round's stable worker
+/// keys, this is everything [`Solver::rehydrate`] needs to rebuild the
+/// cache bit-for-bit: pools are regenerated (delta-updated pools are
+/// proptest-pinned bitwise-identical to regeneration), while the
+/// equilibria are *installed* rather than re-derived — iterative games
+/// reach different equilibria from a cold multi-restart than from a warm
+/// start, so re-solving would not reproduce the cached profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSeed {
+    /// One entry per captured center.
+    pub centers: Vec<CenterSeed>,
+}
+
+/// One captured center's equilibrium profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CenterSeed {
+    /// Dense center index.
+    pub center: u32,
+    /// Per local worker (in `CenterView::workers` order): the selected
+    /// strategy's delivery-point mask, or `None` for the null strategy.
+    pub selections: Vec<Option<u128>>,
 }
 
 /// Everything remembered about one fully solved center between rounds.
@@ -205,6 +235,125 @@ impl Solver {
         };
         let budget_cancelled = cancel.is_some_and(CancelToken::is_cancelled);
         merge_outcomes(outcomes, budget_cancelled)
+    }
+
+    /// Exports the cached equilibria as a serializable [`CacheSeed`], or
+    /// `None` when the cache is unprimed. The durability layer journals
+    /// this next to the solved instance and worker keys so a recovered
+    /// process keeps its warm-path speedup.
+    #[must_use]
+    pub fn cache_seed(&self) -> Option<CacheSeed> {
+        if self.centers.is_empty() {
+            return None;
+        }
+        Some(CacheSeed {
+            centers: self
+                .centers
+                .iter()
+                .map(|c| CenterSeed {
+                    center: c.center.index() as u32,
+                    selections: c.capture.selections.clone(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Rebuilds the per-center caches from a journaled round: `instance`
+    /// is the instance that round solved, `keys` its stable worker keys,
+    /// and `seed` the equilibria it captured. Pools are regenerated via
+    /// the same budgeted build as a cold solve (bit-identical to the
+    /// delta-updated pools the live solver cached) and the seeded
+    /// equilibria are installed on top, so the next `resolve` sees
+    /// exactly the cache an uninterrupted process would hold.
+    ///
+    /// Returns `false` — leaving the solver unprimed, which is always
+    /// safe (the next round merely solves cold) — when the seed does not
+    /// fit the instance, or when this configuration would never have
+    /// cached in the first place (bounded budget or panic injection).
+    pub fn rehydrate(&mut self, instance: &Instance, keys: &[u64], seed: &CacheSeed) -> bool {
+        self.centers.clear();
+        if keys.len() != instance.workers.len()
+            || !self.config.budget.is_unlimited()
+            || self.config.inject_panic.is_some()
+        {
+            return false;
+        }
+        let aggregates = instance.dp_aggregates();
+        let by_center: HashMap<u32, &CenterSeed> =
+            seed.centers.iter().map(|c| (c.center, c)).collect();
+        let mut caches = Vec::with_capacity(seed.centers.len());
+        for view in instance.center_views() {
+            let Some(center_seed) = by_center.get(&(view.center.index() as u32)) else {
+                continue;
+            };
+            let vdps_cfg = clamped_cfg(instance, &view, &self.config);
+            let control = GenControl {
+                token: None,
+                max_states: self.config.budget.max_states,
+            };
+            let center = view.center;
+            let space = StrategySpace::build_budgeted(
+                instance,
+                &aggregates,
+                view,
+                &vdps_cfg,
+                None,
+                control,
+            );
+            if space.gen_stats.truncations > 0 {
+                // A truncated pool is never captured live; a seed claiming
+                // one means instance and seed do not belong together.
+                self.centers.clear();
+                return false;
+            }
+            if center_seed.selections.len() != space.view.workers.len() {
+                self.centers.clear();
+                return false;
+            }
+            let idx_of_mask: HashMap<u128, u32> = space
+                .pool
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (v.mask, i as u32))
+                .collect();
+            let mut ctx = GameContext::new(&space);
+            for (local, sel) in center_seed.selections.iter().enumerate() {
+                if let Some(mask) = sel {
+                    let Some(&idx) = idx_of_mask.get(mask) else {
+                        self.centers.clear();
+                        return false;
+                    };
+                    ctx.set_strategy(local, Some(idx));
+                }
+            }
+            let capture = CenterCapture {
+                pool_cache: PoolCache::capture(
+                    instance,
+                    &aggregates,
+                    &space.view,
+                    &vdps_cfg,
+                    &space.pool,
+                    &space.gen_stats,
+                ),
+                slots: SlotCache::capture(&space),
+                selections: center_seed.selections.clone(),
+                workers: space.view.workers.clone(),
+            };
+            let outcome = CenterOutcome {
+                center,
+                assignment: ctx.to_assignment(),
+                vdps_time: Duration::ZERO,
+                assign_time: Duration::ZERO,
+                gen_stats: space.gen_stats,
+                trace: ConvergenceTrace::default(),
+                report: DegradationReport::default(),
+                rung: LadderRung::Full,
+            };
+            caches.push(CenterCache::build(instance, keys, capture, outcome));
+        }
+        self.centers = caches;
+        fta_obs::counter("resolve.rehydrated_centers", self.centers.len() as u64);
+        self.is_primed()
     }
 
     /// Incremental re-solve of `instance` given what changed since the
@@ -717,6 +866,84 @@ mod tests {
         assert!(!solver.is_primed());
         solver.resolve(&inst, &identity_churn(&inst));
         assert_eq!(solver.last_stats().centers_cold, inst.centers.len());
+    }
+
+    #[test]
+    fn rehydrated_solver_matches_live_solver_bitwise() {
+        // A solver rebuilt from (instance, keys, seed) must behave exactly
+        // like the live solver it was seeded from: same clean-path verdicts
+        // and the same warm-path equilibria on the next churned round.
+        for algorithm in [
+            Algorithm::Gta,
+            Algorithm::Fgt(FgtConfig::default()),
+            Algorithm::Iegt(crate::iegt::IegtConfig::default()),
+        ] {
+            let inst = instance(9);
+            let keys: Vec<u64> = (100..100 + inst.workers.len() as u64).collect();
+            let mut live = Solver::new(SolveConfig::new(algorithm));
+            live.solve_keyed(&inst, &keys);
+            let seed = live.cache_seed().expect("live solver is primed");
+
+            let mut restored = Solver::new(SolveConfig::new(algorithm));
+            assert!(
+                restored.rehydrate(&inst, &keys, &seed),
+                "{}: rehydration failed",
+                algorithm.name()
+            );
+
+            // Zero churn: the rehydrated cache must be judged clean.
+            let churn = ChurnSet {
+                worker_keys: keys.clone(),
+                ..ChurnSet::empty(inst.workers.len())
+            };
+            let a = live.resolve(&inst, &churn);
+            let b = restored.resolve(&inst, &churn);
+            assert_eq!(
+                restored.last_stats().centers_clean,
+                inst.centers.len(),
+                "{}: rehydrated cache not clean",
+                algorithm.name()
+            );
+            assert_eq!(a.assignment, b.assignment, "{}", algorithm.name());
+
+            // Churned round: both must take the same warm path to the same
+            // equilibrium, leaving bitwise-equal seeds behind.
+            let mut churned = inst.clone();
+            let n = churned.tasks.len();
+            churned.tasks.truncate(n - n / 12);
+            let a = live.resolve(&churned, &churn);
+            let b = restored.resolve(&churned, &churn);
+            assert_eq!(
+                live.last_stats(),
+                restored.last_stats(),
+                "{}: ladder paths diverged",
+                algorithm.name()
+            );
+            assert_eq!(a.assignment, b.assignment, "{}", algorithm.name());
+            assert_eq!(
+                live.cache_seed(),
+                restored.cache_seed(),
+                "{}: post-round caches diverged",
+                algorithm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rehydrate_with_mismatched_seed_leaves_solver_unprimed() {
+        let inst = instance(10);
+        let keys: Vec<u64> = (0..inst.workers.len() as u64).collect();
+        let mut live = Solver::new(SolveConfig::new(Algorithm::Gta));
+        live.solve_keyed(&inst, &keys);
+        let mut seed = live.cache_seed().unwrap();
+        // A mask no pool of this instance contains.
+        seed.centers[0].selections[0] = Some(u128::MAX);
+        let mut restored = Solver::new(SolveConfig::new(Algorithm::Gta));
+        assert!(!restored.rehydrate(&inst, &keys, &seed));
+        assert!(!restored.is_primed());
+        // Unprimed is safe: the next round just solves cold.
+        let out = restored.resolve(&inst, &ChurnSet::empty(inst.workers.len()));
+        assert!(out.assignment.validate(&inst).is_ok());
     }
 
     #[test]

@@ -47,7 +47,7 @@ struct Row {
     seed: u64,
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_br.json".to_owned());
@@ -198,6 +198,7 @@ fn main() {
         ("grid", Value::Array(grid)),
     ]);
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
-    std::fs::write(&out, json + "\n").expect("snapshot file is writable");
+    std::fs::write(&out, json + "\n")?;
     fta_obs::info!("wrote {out}");
+    Ok(())
 }

@@ -1,0 +1,198 @@
+//! Writes `BENCH_durable.json`: a machine-readable snapshot of what the
+//! durability layer costs. Each grid row runs the *same* faulted,
+//! incremental simulated day twice — once plain, once journaling every
+//! round through `fta-durable` at one fsync policy — and reports the
+//! wall-time overhead plus the journal's on-disk shape (frames left in
+//! the log after snapshot truncation, valid log bytes, snapshots cut).
+//!
+//! The day is deliberately full-fat: fault injection (so every frame
+//! carries the fault RNG stream) and incremental solving (so every frame
+//! carries the solver cache seed) make the journaled payload the largest
+//! the engine produces, and the snapshot cadence keeps at least one
+//! snapshot + log-truncate cycle inside the timed window — the numbers
+//! cover the whole durability path, not just the append.
+//!
+//! Usage: `cargo run -p fta-bench --release --bin durable_snapshot --
+//! [OUT]` (default OUT: `BENCH_durable.json`). Set `FTA_BENCH_QUICK=1`
+//! to shrink the day and repetition counts (CI smoke mode). In every
+//! mode the binary *asserts* that the journaled day's metrics are
+//! bit-identical to the plain day's (journaling observes the day, it
+//! never changes it) and that the recommended `every-8` cadence stays
+//! inside `gates::durable_overhead_ceiling` — CI runs it in quick mode
+//! as a regression gate.
+
+use fta_algorithms::Algorithm;
+use fta_bench::{gates, obj};
+use fta_durable::{read_log, FsyncPolicy, WAL_FILE};
+use fta_sim::{run, DurableConfig, FaultPlan, Scenario, ScenarioConfig, SimConfig};
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Snapshot cadence under test. Full mode measures the production
+/// default (`DurableConfig::new`: every 16 rounds); the quick-mode day
+/// is only 8 rounds, so quick shrinks the cadence to keep at least one
+/// snapshot + log-truncate cycle inside the timed window.
+fn snapshot_every(quick: bool) -> u64 {
+    if quick {
+        5
+    } else {
+        16
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_durable.json".to_owned());
+    let quick = gates::quick_mode();
+    let reps = if quick { 3 } else { 12 };
+    let horizon = if quick { 2.0 } else { 8.0 };
+    let cadence = snapshot_every(quick);
+
+    let seed = 11;
+    // A city bigger than the single-center default: at 30 couriers a
+    // round costs ~4 ms and the journaling delta (~0.1–0.3 ms of encode
+    // + CRC + write per round) reads as several percent; at platform
+    // scale the solve dominates and the measured overhead reflects what
+    // a production day would actually pay.
+    let scenario_config = ScenarioConfig {
+        n_workers: 60,
+        n_delivery_points: 120,
+        arrival_rate: 400.0,
+        ..ScenarioConfig::default()
+    };
+    let scenario = Scenario::generate(&scenario_config, horizon, seed);
+    let mut plain = SimConfig::day(Algorithm::Gta);
+    plain.horizon = horizon;
+    plain.incremental = true;
+    plain.faults = Some(FaultPlan::stress(seed));
+
+    let baseline = run(&scenario, &plain);
+    assert!(baseline.is_conserved(), "baseline day lost tasks");
+
+    // Fresh journal directories per policy; `Journal::create` truncates
+    // the log and snapshot names repeat per round, so repeated timed runs
+    // into the same directory do not accumulate state.
+    let scratch = std::env::temp_dir().join(format!("fta-durable-bench-{}", std::process::id()));
+
+    let policies = [
+        ("never", FsyncPolicy::Never),
+        ("every-8", FsyncPolicy::EveryN(8)),
+        ("always", FsyncPolicy::Always),
+    ];
+    let configs: Vec<SimConfig> = policies
+        .iter()
+        .map(|(label, fsync)| {
+            plain.clone().with_durable(DurableConfig {
+                dir: scratch.join(label),
+                fsync: *fsync,
+                snapshot_every: cadence,
+                crash_after_round: None,
+            })
+        })
+        .collect();
+
+    // Interleaved best-of-reps: one plain day and one day per policy per
+    // round-robin pass, keeping each config's minimum. The journaling
+    // delta is microseconds against a ~100 ms day, while this machine's
+    // load drifts tens of percent over seconds — timing each config in
+    // its own contiguous block (plain `best_secs`) lets one noisy block
+    // swamp the comparison, whereas interleaving gives every config a
+    // rep in each quiet window.
+    let mut plain_s = f64::INFINITY;
+    let mut durable_s = vec![f64::INFINITY; configs.len()];
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(run(&scenario, &plain));
+        plain_s = plain_s.min(t.elapsed().as_secs_f64());
+        for (i, config) in configs.iter().enumerate() {
+            let t = Instant::now();
+            black_box(run(&scenario, config));
+            durable_s[i] = durable_s[i].min(t.elapsed().as_secs_f64());
+        }
+    }
+
+    let mut grid = Vec::new();
+    for (&(label, _), (config, &durable_s)) in policies.iter().zip(configs.iter().zip(&durable_s)) {
+        // One audited run: the observability pin. A journaled day must be
+        // bit-for-bit the plain day — earnings, ledgers, fault counters,
+        // everything.
+        let audited = run(&scenario, config);
+        assert_eq!(
+            audited, baseline,
+            "{label}: journaling perturbed the day's metrics"
+        );
+        let dir = scratch.join(label);
+        let log = read_log(&dir.join(WAL_FILE)).expect("journal log reads back");
+        assert!(!log.torn_tail, "{label}: clean run left a torn tail");
+        let snapshots = std::fs::read_dir(&dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".ftas"))
+            .count();
+        assert!(snapshots > 0, "{label}: day cut no snapshots");
+
+        let overhead = durable_s / plain_s;
+        fta_obs::info!(
+            "{label}: plain {:.1} ms, durable {:.1} ms ({:+.1}% overhead); \
+             {} log frame(s), {} valid bytes, {} snapshot(s)",
+            plain_s * 1e3,
+            durable_s * 1e3,
+            (overhead - 1.0) * 1e2,
+            log.frames.len(),
+            log.valid_len,
+            snapshots,
+        );
+
+        // Regression gate (shared with the schema tests via
+        // `fta_bench::gates`): the recommended cadence must stay inside
+        // the acceptance budget. `never`/`always` are reported for the
+        // trade-off table but not gated — `always` is priced per fsync by
+        // whatever disk CI runs on.
+        if label == "every-8" {
+            let ceiling = gates::durable_overhead_ceiling(quick);
+            assert!(
+                overhead <= ceiling,
+                "every-8 journaling overhead {:.2}x exceeds the {ceiling:.2}x ceiling",
+                overhead
+            );
+        }
+
+        grid.push(obj(vec![
+            ("fsync", Value::String(label.to_owned())),
+            ("rounds", Value::UInt(baseline.rounds as u64)),
+            ("plain_ms", Value::Float(plain_s * 1e3)),
+            ("durable_ms", Value::Float(durable_s * 1e3)),
+            ("overhead", Value::Float(overhead)),
+            ("log_frames", Value::UInt(log.frames.len() as u64)),
+            ("log_bytes", Value::UInt(log.valid_len)),
+            ("snapshots", Value::UInt(snapshots as u64)),
+        ]));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let snapshot = obj(vec![
+        (
+            "description",
+            Value::String(
+                "Durability overhead: one faulted incremental GTA day \
+                 journaled round-by-round through fta-durable (checksummed \
+                 commit log + periodic snapshots at the production \
+                 cadence) vs the \
+                 identical un-journaled day, per fsync policy, best-of-N; \
+                 metrics pinned bit-identical across all rows"
+                    .to_owned(),
+            ),
+        ),
+        ("algorithm", Value::String("gta".to_owned())),
+        ("reps", Value::UInt(reps as u64)),
+        ("horizon_hours", Value::Float(horizon)),
+        ("workers", Value::UInt(scenario_config.n_workers as u64)),
+        ("snapshot_every", Value::UInt(cadence)),
+        ("grid", Value::Array(grid)),
+    ]);
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
+    std::fs::write(&out, json + "\n")?;
+    fta_obs::info!("wrote {out}");
+    Ok(())
+}

@@ -172,7 +172,7 @@ impl LegacyTable {
 const PROBES_PER_SWITCH: f64 = 64.0;
 const BITS_PER_SWITCH: f64 = 16.0;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
@@ -694,6 +694,7 @@ fn main() {
         ("profile", hotpath::to_json(&calibrated)),
     ]);
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
-    std::fs::write(&out, json + "\n").expect("snapshot file is writable");
+    std::fs::write(&out, json + "\n")?;
     fta_obs::info!("wrote {out}");
+    Ok(())
 }

@@ -34,7 +34,7 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_vdps.json".to_owned());
@@ -140,6 +140,7 @@ fn main() {
         ),
     ]);
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
-    std::fs::write(&out, json + "\n").expect("snapshot file is writable");
+    std::fs::write(&out, json + "\n")?;
     fta_obs::info!("wrote {out}");
+    Ok(())
 }

@@ -66,7 +66,7 @@ fn churn_round(base: &Instance, round: usize, age: f64) -> Instance {
     next
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_incremental.json".to_owned());
@@ -266,6 +266,7 @@ fn main() {
         ("grid", Value::Array(grid)),
     ]);
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
-    std::fs::write(&out, json + "\n").expect("snapshot file is writable");
+    std::fs::write(&out, json + "\n")?;
     fta_obs::info!("wrote {out}");
+    Ok(())
 }

@@ -67,6 +67,23 @@ pub fn hotpath_dedup_floor(quick: bool) -> f64 {
     }
 }
 
+/// Ceiling on a journaled day's wall time relative to the identical
+/// un-journaled day at the recommended fsync cadence
+/// (`BENCH_durable.json`, `every-8` row): the acceptance budget for the
+/// durability layer is <=5% round overhead. Quick mode times a day of
+/// only a few milliseconds, where best-of-reps swings far past the real
+/// journaling cost and a single slow fsync on a shared CI disk can eat
+/// the whole band — so quick mode only smoke-checks that journaling is
+/// not a gross regression.
+#[must_use]
+pub fn durable_overhead_ceiling(quick: bool) -> f64 {
+    if quick {
+        1.40
+    } else {
+        1.05
+    }
+}
+
 /// Floor on the end-to-end n=1000 solve with the full calibrated profile
 /// (chunked kernels + trusted-offsets emission + calibrated crossovers)
 /// vs the legacy profile (scalar kernels, rebuild emission): the

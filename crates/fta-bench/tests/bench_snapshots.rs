@@ -1,11 +1,11 @@
 //! Schema validation of the committed perf snapshots at the repo root:
-//! `BENCH_incremental.json` (incremental re-solve) and
-//! `BENCH_hotpath.json` (chunked kernels + calibrated hot-path profile)
-//! must parse, carry every field downstream tooling reads, stay
-//! internally consistent, and keep the speedup floors the acceptance
-//! criteria pin. The floors live in `fta_bench::gates`, shared with the
-//! snapshot writers, so the writer and this re-check can never drift
-//! apart.
+//! `BENCH_incremental.json` (incremental re-solve), `BENCH_hotpath.json`
+//! (chunked kernels + calibrated hot-path profile), and
+//! `BENCH_durable.json` (journaling overhead per fsync policy) must
+//! parse, carry every field downstream tooling reads, stay internally
+//! consistent, and keep the speedup floors the acceptance criteria pin.
+//! The floors live in `fta_bench::gates`, shared with the snapshot
+//! writers, so the writer and this re-check can never drift apart.
 
 use fta_bench::gates;
 use serde_json::Value;
@@ -96,6 +96,53 @@ fn bench_incremental_snapshot_is_schema_valid() {
         }
     }
     assert!(saw_paper_drop, "grid must include the paper/drop row");
+}
+
+#[test]
+fn bench_durable_snapshot_is_schema_valid() {
+    let raw = std::fs::read_to_string(snapshot_path("BENCH_durable.json"))
+        .expect("BENCH_durable.json is committed at the repo root");
+    let v: Value = serde_json::from_str(&raw).expect("snapshot parses as JSON");
+
+    assert!(v["description"].as_str().is_some(), "missing description");
+    assert_eq!(v["algorithm"].as_str(), Some("gta"));
+    assert!(v["reps"].as_u64().unwrap_or(0) >= 1, "reps must be >= 1");
+    assert!(v["horizon_hours"].as_f64().unwrap_or(0.0) > 0.0);
+    assert!(v["workers"].as_u64().unwrap_or(0) > 0);
+    assert!(v["snapshot_every"].as_u64().unwrap_or(0) >= 1);
+
+    let grid = v["grid"].as_array().expect("grid is an array");
+    assert!(!grid.is_empty(), "grid must not be empty");
+
+    let mut saw_every8 = false;
+    for row in grid {
+        let fsync = row["fsync"].as_str().expect("row missing fsync");
+        assert!(row["rounds"].as_u64().unwrap_or(0) > 0);
+        let plain = row["plain_ms"].as_f64().expect("row missing plain_ms");
+        let durable = row["durable_ms"].as_f64().expect("row missing durable_ms");
+        let overhead = row["overhead"].as_f64().expect("row missing overhead");
+        assert!(plain > 0.0 && durable > 0.0 && overhead > 0.0);
+        assert!(
+            (overhead - durable / plain).abs() <= overhead * 1e-6,
+            "overhead inconsistent with durable_ms/plain_ms"
+        );
+        // A day whose final round truncated the log on a snapshot can
+        // legitimately leave zero frames behind, but it must have cut
+        // snapshots and written log bytes at some point.
+        assert!(row["log_frames"].as_u64().is_some(), "missing log_frames");
+        assert!(row["log_bytes"].as_u64().unwrap_or(0) > 0);
+        assert!(row["snapshots"].as_u64().unwrap_or(0) > 0);
+
+        if fsync == "every-8" {
+            saw_every8 = true;
+            assert!(
+                overhead <= gates::durable_overhead_ceiling(false),
+                "every-8 journaling overhead {overhead:.2}x exceeds the \
+                 committed full-mode ceiling"
+            );
+        }
+    }
+    assert!(saw_every8, "grid must include the every-8 row");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Argument parsing for the `fta` binary (hand-rolled, dependency-free).
 
 use fta_algorithms::{Algorithm, BestResponseEngine, FgtConfig, IegtConfig, MptaConfig};
+use fta_durable::FsyncPolicy;
 use fta_vdps::VdpsEngine;
 use std::path::PathBuf;
 
@@ -38,6 +39,8 @@ COMMANDS
            [--hours H] [--period-min M] [--workers N] [--dps N]
            [--rate R] [--faults] [--fault-seed S] [--budget-ms MS]
            [--incremental] [--trace-out FILE] [--ledger-out FILE]
+           [--durable-dir DIR] [--fsync always|never|N]
+           [--snapshot-every N]
       Run the streaming platform simulator for a working day and print
       the longitudinal metrics. --faults enables the seeded
       fault-injection plan (worker no-shows, mid-route dropouts, task
@@ -47,7 +50,30 @@ COMMANDS
       caches (delta VDPS updates + equilibrium warm starts) instead of
       solving each round from scratch; --ledger-out writes one solve
       ledger record per assignment round (causal attribution + fairness
-      trajectory over cumulative earnings).
+      trajectory over cumulative earnings). --durable-dir journals every
+      assignment round into DIR as a checksummed commit log + periodic
+      snapshots (plus a meta.json describing the run) so `fta recover`
+      can resume a crashed day bit-for-bit; --fsync sets the commit-log
+      flush policy (always | never | flush every N frames, default 8);
+      --snapshot-every sets the snapshot cadence in journaled rounds
+      (default 16). Journaling observes the day, it never changes it.
+
+  recover <DIR> [--ledger-out FILE]
+      Resume a crashed `simulate --durable-dir DIR` day from its
+      journal and run it to the horizon; the recovered day is
+      bit-for-bit identical to the uninterrupted run (each journaled
+      frame carries the complete loop state, including the fault-RNG
+      stream position and the incremental solver's caches). A torn
+      final frame — the signature of a crash mid-append — costs exactly
+      that round, which is re-simulated. --ledger-out re-materialises
+      the journaled per-round ledger records and appends the resumed
+      rounds, so the ledger is continuous.
+
+  wal-dump <DIR|WAL>
+      Decode a durable directory's commit log (and newest snapshot, when
+      a directory is given): per-frame round, simulated instant, task
+      counters, banked earnings, and payload flags. Torn tails and
+      checksum failures are reported, never fatal.
 
   obs-dump <TRACE> [--chrome] [--by-center]
       Summarise a JSONL telemetry trace written by solve --trace-out
@@ -60,11 +86,14 @@ COMMANDS
       automatically when a center panics, a budget exhausts, or a solve
       degrades) and print its events grouped by thread.
 
-  obs-diff <A> <B> [--tolerance PCT]
+  obs-diff <A> <B> [--tolerance PCT] [--ignore FIELD]
       Diff two solve ledgers or two Prometheus snapshots (auto-detected
       from the file contents): per-metric deltas, flagged when outside
       the relative tolerance band (default 0%). Exits non-zero when any
-      delta is out of band.
+      delta is out of band. --ignore drops every metric whose dotted key
+      has a FIELD segment before diffing (repeatable) — e.g.
+      `--ignore nanos` excludes the wall-clock counters when pinning
+      two runs that must agree on everything deterministic.
 
   schedule <INSTANCE> --center C --dps A,B,C
       Find the minimum-travel deadline-feasible visiting order of the
@@ -190,6 +219,27 @@ pub enum Command {
         /// Optional per-round solve ledger output path (JSONL, schema
         /// `fta-ledger`).
         ledger_out: Option<PathBuf>,
+        /// Durable journaling directory (`None` = journaling off).
+        durable_dir: Option<PathBuf>,
+        /// Commit-log fsync policy (meaningful with `durable_dir`).
+        fsync: FsyncPolicy,
+        /// Snapshot cadence in journaled rounds (with `durable_dir`).
+        snapshot_every: u64,
+        /// Crash drill: abort the process right after journaling this
+        /// round (undocumented CI hook; requires `durable_dir`).
+        crash_after_round: Option<u64>,
+    },
+    /// `fta recover`
+    Recover {
+        /// Durable directory written by `simulate --durable-dir`.
+        dir: PathBuf,
+        /// Optional continuous ledger output (journaled + resumed rounds).
+        ledger_out: Option<PathBuf>,
+    },
+    /// `fta wal-dump`
+    WalDump {
+        /// Durable directory, or a `wal.fta` commit-log file directly.
+        path: PathBuf,
     },
     /// `fta obs-dump`
     ObsDump {
@@ -213,6 +263,10 @@ pub enum Command {
         b: PathBuf,
         /// Relative tolerance band, percent.
         tolerance_pct: f64,
+        /// Key segments to drop from both maps before diffing
+        /// (`--ignore`, repeatable) — e.g. `nanos` for wall-clock
+        /// counters that legitimately differ between identical runs.
+        ignore: Vec<String>,
     },
     /// `fta schedule`
     Schedule {
@@ -430,6 +484,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut incremental = false;
             let mut trace_out = None;
             let mut ledger_out = None;
+            let mut durable_dir = None;
+            let mut fsync = FsyncPolicy::EveryN(8);
+            let mut fsync_set = false;
+            let mut snapshot_every = 16u64;
+            let mut snapshot_set = false;
+            let mut crash_after_round = None;
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -454,8 +514,36 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--incremental" => incremental = true,
                     "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
                     "--ledger-out" => ledger_out = Some(PathBuf::from(value("--ledger-out")?)),
+                    "--durable-dir" => {
+                        durable_dir = Some(PathBuf::from(value("--durable-dir")?));
+                    }
+                    "--fsync" => {
+                        let raw = value("--fsync")?;
+                        fsync = FsyncPolicy::parse(raw).ok_or_else(|| {
+                            format!("unknown fsync policy `{raw}`; expected always | never | N")
+                        })?;
+                        fsync_set = true;
+                    }
+                    "--snapshot-every" => {
+                        snapshot_every = parse_num(value("--snapshot-every")?, "--snapshot-every")?;
+                        snapshot_set = true;
+                    }
+                    "--crash-after-round" => {
+                        crash_after_round = Some(parse_num(
+                            value("--crash-after-round")?,
+                            "--crash-after-round",
+                        )?);
+                    }
                     other => return Err(format!("unknown simulate flag `{other}`")),
                 }
+            }
+            if durable_dir.is_none() && (fsync_set || snapshot_set || crash_after_round.is_some()) {
+                return Err(
+                    "--fsync / --snapshot-every / --crash-after-round require --durable-dir".into(),
+                );
+            }
+            if snapshot_set && snapshot_every == 0 {
+                return Err("--snapshot-every must be at least 1".into());
             }
             if policy != "immediate" && algorithm_by_name(&policy).is_none() {
                 return Err(format!("unknown policy `{policy}`"));
@@ -480,6 +568,38 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 incremental,
                 trace_out,
                 ledger_out,
+                durable_dir,
+                fsync,
+                snapshot_every,
+                crash_after_round,
+            })
+        }
+        "recover" => {
+            let dir = it.next().ok_or("recover needs a durable directory")?;
+            let mut ledger_out = None;
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--ledger-out" => ledger_out = Some(PathBuf::from(value("--ledger-out")?)),
+                    other => return Err(format!("unknown recover flag `{other}`")),
+                }
+            }
+            Ok(Command::Recover {
+                dir: PathBuf::from(dir),
+                ledger_out,
+            })
+        }
+        "wal-dump" => {
+            let path = it
+                .next()
+                .ok_or("wal-dump needs a durable directory or wal file")?;
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            Ok(Command::WalDump {
+                path: PathBuf::from(path),
             })
         }
         "obs-dump" => {
@@ -512,6 +632,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let a = it.next().ok_or("obs-diff needs two files to compare")?;
             let b = it.next().ok_or("obs-diff needs two files to compare")?;
             let mut tolerance_pct = 0.0f64;
+            let mut ignore = Vec::new();
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -520,6 +641,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--tolerance" => {
                         tolerance_pct = parse_num(value("--tolerance")?, "--tolerance")?;
                     }
+                    "--ignore" => ignore.push(value("--ignore")?.clone()),
                     other => return Err(format!("unknown obs-diff flag `{other}`")),
                 }
             }
@@ -530,6 +652,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 a: PathBuf::from(a),
                 b: PathBuf::from(b),
                 tolerance_pct,
+                ignore,
             })
         }
         "schedule" => {
@@ -816,6 +939,7 @@ mod tests {
                 a: PathBuf::from("a.jsonl"),
                 b: PathBuf::from("b.jsonl"),
                 tolerance_pct: 0.0,
+                ignore: vec![],
             }
         );
         match parse(&argv("obs-diff a.prom b.prom --tolerance 2.5")).unwrap() {
@@ -827,6 +951,85 @@ mod tests {
         assert!(parse(&argv("obs-diff a.jsonl")).is_err());
         assert!(parse(&argv("obs-diff a b --tolerance -1")).is_err());
         assert!(parse(&argv("obs-diff a b --nope")).is_err());
+    }
+
+    #[test]
+    fn obs_diff_ignore_is_repeatable() {
+        match parse(&argv(
+            "obs-diff a.jsonl b.jsonl --ignore nanos --ignore rung",
+        ))
+        .unwrap()
+        {
+            Command::ObsDiff { ignore, .. } => {
+                assert_eq!(ignore, vec!["nanos".to_owned(), "rung".to_owned()]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("obs-diff a b --ignore")).is_err());
+    }
+
+    #[test]
+    fn simulate_parses_durable_flags() {
+        let cmd = parse(&argv(
+            "simulate --algo gta --durable-dir /tmp/day --fsync always --snapshot-every 4 \
+             --crash-after-round 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                durable_dir,
+                fsync,
+                snapshot_every,
+                crash_after_round,
+                ..
+            } => {
+                assert_eq!(durable_dir, Some(PathBuf::from("/tmp/day")));
+                assert_eq!(fsync, FsyncPolicy::Always);
+                assert_eq!(snapshot_every, 4);
+                assert_eq!(crash_after_round, Some(3));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The numeric fsync spelling selects every-N.
+        match parse(&argv("simulate --durable-dir d --fsync 32")).unwrap() {
+            Command::Simulate { fsync, .. } => assert_eq!(fsync, FsyncPolicy::EveryN(32)),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Durable knobs without the directory are a configuration error…
+        assert!(parse(&argv("simulate --fsync always")).is_err());
+        assert!(parse(&argv("simulate --snapshot-every 8")).is_err());
+        assert!(parse(&argv("simulate --durable-dir d --crash-after-round 1")).is_ok());
+        // …and so are nonsense values.
+        assert!(parse(&argv("simulate --durable-dir d --fsync sometimes")).is_err());
+        assert!(parse(&argv("simulate --durable-dir d --snapshot-every 0")).is_err());
+    }
+
+    #[test]
+    fn parses_recover_and_wal_dump() {
+        assert_eq!(
+            parse(&argv("recover /tmp/day")).unwrap(),
+            Command::Recover {
+                dir: PathBuf::from("/tmp/day"),
+                ledger_out: None,
+            }
+        );
+        match parse(&argv("recover /tmp/day --ledger-out l.jsonl")).unwrap() {
+            Command::Recover { ledger_out, .. } => {
+                assert_eq!(ledger_out, Some(PathBuf::from("l.jsonl")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("recover")).is_err());
+        assert!(parse(&argv("recover d --nope")).is_err());
+
+        assert_eq!(
+            parse(&argv("wal-dump /tmp/day")).unwrap(),
+            Command::WalDump {
+                path: PathBuf::from("/tmp/day"),
+            }
+        );
+        assert!(parse(&argv("wal-dump")).is_err());
+        assert!(parse(&argv("wal-dump a b")).is_err());
     }
 
     #[test]
@@ -935,10 +1138,18 @@ mod tests {
                 incremental,
                 trace_out,
                 ledger_out,
+                durable_dir,
+                fsync,
+                snapshot_every,
+                crash_after_round,
             } => {
                 assert_eq!(policy, "gta");
                 assert!(!incremental);
                 assert!(ledger_out.is_none());
+                assert!(durable_dir.is_none());
+                assert_eq!(fsync, FsyncPolicy::EveryN(8));
+                assert_eq!(snapshot_every, 16);
+                assert!(crash_after_round.is_none());
                 assert_eq!(seed, 7);
                 assert!((hours - 1.5).abs() < 1e-12);
                 assert!((period_minutes - 10.0).abs() < 1e-12);

@@ -5,6 +5,7 @@ use fta_algorithms::{solve, SolveConfig};
 use fta_core::{CenterId, DeliveryPointId, SolveBudget, WorkerId};
 use fta_data::io::{load_instance, save_assignment, save_instance};
 use fta_data::{generate_gmission, generate_syn, GMissionConfig, SynConfig};
+use fta_durable::FsyncPolicy;
 use fta_vdps::{schedule_route, VdpsConfig};
 use std::fmt::Write as _;
 
@@ -14,6 +15,244 @@ fn unix_ms() -> u64 {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
         .unwrap_or(0)
+}
+
+/// Name of the run-description file `simulate --durable-dir` writes next
+/// to the journal, so `fta recover <DIR>` is self-contained.
+pub const META_FILE: &str = "meta.json";
+
+/// The CLI-level simulation parameters — everything needed to rebuild
+/// the exact [`fta_sim::Scenario`] and [`fta_sim::SimConfig`] of a
+/// `simulate` invocation. Persisted as `meta.json` in durable
+/// directories and read back by `recover`.
+struct SimParams {
+    policy: String,
+    seed: u64,
+    hours: f64,
+    period_minutes: f64,
+    workers: usize,
+    dps: usize,
+    rate: f64,
+    faults: bool,
+    fault_seed: Option<u64>,
+    budget_ms: Option<u64>,
+    incremental: bool,
+}
+
+impl SimParams {
+    /// Builds the scenario and (non-durable) simulation config. Shared
+    /// by `simulate` and `recover` so a recovered day is constructed
+    /// through the exact same code path as the original one.
+    fn build(&self) -> Result<(fta_sim::Scenario, fta_sim::SimConfig), String> {
+        use fta_sim::{DispatchPolicy, FaultPlan, Scenario, ScenarioConfig, SimConfig};
+        let scenario = Scenario::generate(
+            &ScenarioConfig {
+                n_workers: self.workers,
+                n_delivery_points: self.dps,
+                arrival_rate: self.rate,
+                ..ScenarioConfig::default()
+            },
+            self.hours,
+            self.seed,
+        );
+        let dispatch = if self.policy == "immediate" {
+            DispatchPolicy::Immediate
+        } else {
+            let algorithm = crate::args::algorithm_by_name(&self.policy)
+                .ok_or_else(|| format!("unknown policy `{}`", self.policy))?;
+            DispatchPolicy::Batch(algorithm)
+        };
+        let mut config = SimConfig {
+            horizon: self.hours,
+            assignment_period: self.period_minutes / 60.0,
+            policy: dispatch,
+            vdps: VdpsConfig::pruned(2.0, 3),
+            ..SimConfig::day(fta_algorithms::Algorithm::Gta)
+        };
+        if let Some(ms) = self.budget_ms {
+            config.budget = SolveBudget::wall_ms(ms);
+        }
+        config.incremental = self.incremental;
+        if self.faults {
+            config.faults = Some(FaultPlan::stress(self.fault_seed.unwrap_or(self.seed)));
+        }
+        Ok((scenario, config))
+    }
+
+    /// Serialises the parameters (plus the journal knobs) as `meta.json`.
+    fn meta_json(&self, fsync: FsyncPolicy, snapshot_every: u64) -> String {
+        use serde_json::Value;
+        let opt_u64 = |v: Option<u64>| v.map(Value::UInt).unwrap_or(Value::Null);
+        let fsync = match fsync {
+            FsyncPolicy::Always => "always".to_owned(),
+            FsyncPolicy::Never => "never".to_owned(),
+            FsyncPolicy::EveryN(n) => n.to_string(),
+        };
+        let fields = vec![
+            ("schema", Value::String("fta-sim-meta".to_owned())),
+            ("version", Value::UInt(1)),
+            ("policy", Value::String(self.policy.clone())),
+            ("seed", Value::UInt(self.seed)),
+            ("hours", Value::Float(self.hours)),
+            ("period_minutes", Value::Float(self.period_minutes)),
+            ("workers", Value::UInt(self.workers as u64)),
+            ("dps", Value::UInt(self.dps as u64)),
+            ("rate", Value::Float(self.rate)),
+            ("faults", Value::Bool(self.faults)),
+            ("fault_seed", opt_u64(self.fault_seed)),
+            ("budget_ms", opt_u64(self.budget_ms)),
+            ("incremental", Value::Bool(self.incremental)),
+            ("fsync", Value::String(fsync)),
+            ("snapshot_every", Value::UInt(snapshot_every)),
+        ];
+        let value = Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect());
+        serde_json::to_string(&value).expect("meta serialises") + "\n"
+    }
+
+    /// Reads `meta.json` back; also returns the journal knobs it recorded.
+    fn from_meta(path: &std::path::Path) -> Result<(Self, FsyncPolicy, u64), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            format!(
+                "{}: {e} (was this directory written by `fta simulate --durable-dir`?)",
+                path.display()
+            )
+        })?;
+        let v: serde_json::Value = serde_json::from_str(text.trim())
+            .map_err(|e| format!("{}: not valid JSON: {e:?}", path.display()))?;
+        if v["schema"] != "fta-sim-meta" {
+            return Err(format!("{}: not an fta-sim-meta file", path.display()));
+        }
+        let version = v["version"].as_u64().unwrap_or(0);
+        if version != 1 {
+            return Err(format!(
+                "{}: unsupported meta version {version} (expected 1)",
+                path.display()
+            ));
+        }
+        let num = |name: &str| {
+            v[name]
+                .as_f64()
+                .ok_or_else(|| format!("{}: missing numeric field `{name}`", path.display()))
+        };
+        let int = |name: &str| {
+            v[name]
+                .as_u64()
+                .ok_or_else(|| format!("{}: missing integer field `{name}`", path.display()))
+        };
+        let params = SimParams {
+            policy: v["policy"]
+                .as_str()
+                .ok_or_else(|| format!("{}: missing field `policy`", path.display()))?
+                .to_owned(),
+            seed: int("seed")?,
+            hours: num("hours")?,
+            period_minutes: num("period_minutes")?,
+            workers: int("workers")? as usize,
+            dps: int("dps")? as usize,
+            rate: num("rate")?,
+            faults: v["faults"].as_bool().unwrap_or(false),
+            fault_seed: v["fault_seed"].as_u64(),
+            budget_ms: v["budget_ms"].as_u64(),
+            incremental: v["incremental"].as_bool().unwrap_or(false),
+        };
+        let fsync_raw = v["fsync"].as_str().unwrap_or("8");
+        let fsync = FsyncPolicy::parse(fsync_raw)
+            .ok_or_else(|| format!("{}: bad fsync policy `{fsync_raw}`", path.display()))?;
+        let snapshot_every = v["snapshot_every"].as_u64().unwrap_or(16).max(1);
+        Ok((params, fsync, snapshot_every))
+    }
+}
+
+/// Renders the longitudinal day summary printed by both `simulate` and
+/// `recover` — identical bodies, so a recovered day's output can be
+/// compared line-for-line against the uninterrupted one.
+fn day_summary(
+    params: &SimParams,
+    config: &fta_sim::SimConfig,
+    metrics: &fta_sim::DayMetrics,
+) -> String {
+    let mut text = format!(
+        "simulated {:.1} h, {} rounds ({}{} every {:.0} min, {} couriers)\n",
+        params.hours,
+        metrics.rounds,
+        params.policy,
+        if params.incremental {
+            ", incremental"
+        } else {
+            ""
+        },
+        params.period_minutes,
+        params.workers,
+    );
+    let _ = writeln!(
+        text,
+        "tasks: {} arrived, {} completed ({:.1}%), {} expired, {} pending, {} cancelled, {} abandoned",
+        metrics.tasks_arrived,
+        metrics.tasks_completed,
+        100.0 * metrics.completion_rate(),
+        metrics.tasks_expired,
+        metrics.tasks_pending,
+        metrics.tasks_cancelled,
+        metrics.tasks_abandoned,
+    );
+    if config.faults.is_some() {
+        let _ = writeln!(
+            text,
+            "faults: {} no-shows, {} dropouts, {} requeues, {} tasks lost",
+            metrics.worker_no_shows,
+            metrics.route_dropouts,
+            metrics.reassignments,
+            metrics.tasks_lost_to_faults(),
+        );
+    }
+    if !config.budget.is_unlimited() {
+        let _ = writeln!(
+            text,
+            "degradation: {} of {} rounds degraded under the {} ms budget",
+            metrics.degraded_rounds,
+            metrics.rounds,
+            config.budget.wall_ms.unwrap_or_default(),
+        );
+    }
+    let fairness = metrics.earnings_fairness();
+    let _ = writeln!(
+        text,
+        "earnings fairness: P_dif {:.4}, gini {:.4}, mean utilization {:.1}%",
+        fairness.payoff_difference,
+        fairness.gini,
+        100.0 * metrics.mean_utilization(),
+    );
+    text
+}
+
+/// One `wal-dump` output row for a journaled payload.
+fn frame_line(payload: &[u8]) -> String {
+    match fta_sim::frame_info(payload) {
+        Ok(info) => {
+            let mut flags = String::new();
+            if info.has_fault_rng {
+                flags.push_str(" +rng");
+            }
+            if info.has_solver_cache {
+                flags.push_str(" +cache");
+            }
+            if info.has_ledger_record {
+                flags.push_str(" +ledger");
+            }
+            format!(
+                "  round {:>5}  t {:>6.2} h  {:>4} pending  {:>5} done  {:>4} expired  {:>4} cancelled  earnings {:>10.2}{}\n",
+                info.round,
+                info.sim_hours,
+                info.pending,
+                info.tasks_completed,
+                info.tasks_expired,
+                info.tasks_cancelled,
+                info.earnings_total,
+                flags,
+            )
+        }
+        Err(e) => format!("  <frame does not decode: {e}>\n"),
+    }
 }
 
 /// Load a file for `obs-diff` as a flat metric map, auto-detecting the
@@ -279,38 +518,38 @@ pub fn execute(command: &Command) -> Result<String, String> {
             incremental,
             trace_out,
             ledger_out,
+            durable_dir,
+            fsync,
+            snapshot_every,
+            crash_after_round,
         } => {
-            use fta_sim::{DispatchPolicy, FaultPlan, Scenario, ScenarioConfig, SimConfig};
-            let scenario = Scenario::generate(
-                &ScenarioConfig {
-                    n_workers: *workers,
-                    n_delivery_points: *dps,
-                    arrival_rate: *rate,
-                    ..ScenarioConfig::default()
-                },
-                *hours,
-                *seed,
-            );
-            let dispatch = if policy == "immediate" {
-                DispatchPolicy::Immediate
-            } else {
-                let algorithm = crate::args::algorithm_by_name(policy)
-                    .ok_or_else(|| format!("unknown policy `{policy}`"))?;
-                DispatchPolicy::Batch(algorithm)
+            let params = SimParams {
+                policy: policy.clone(),
+                seed: *seed,
+                hours: *hours,
+                period_minutes: *period_minutes,
+                workers: *workers,
+                dps: *dps,
+                rate: *rate,
+                faults: *faults,
+                fault_seed: *fault_seed,
+                budget_ms: *budget_ms,
+                incremental: *incremental,
             };
-            let mut config = SimConfig {
-                horizon: *hours,
-                assignment_period: period_minutes / 60.0,
-                policy: dispatch,
-                vdps: VdpsConfig::pruned(2.0, 3),
-                ..SimConfig::day(fta_algorithms::Algorithm::Gta)
-            };
-            if let Some(ms) = budget_ms {
-                config.budget = SolveBudget::wall_ms(*ms);
-            }
-            config.incremental = *incremental;
-            if *faults {
-                config.faults = Some(FaultPlan::stress(fault_seed.unwrap_or(*seed)));
+            let (scenario, mut config) = params.build()?;
+            if let Some(dir) = durable_dir {
+                // meta.json goes in first so even a day that crashes on
+                // its very first journaled round is recoverable.
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                let meta = dir.join(META_FILE);
+                std::fs::write(&meta, params.meta_json(*fsync, *snapshot_every))
+                    .map_err(|e| format!("{}: {e}", meta.display()))?;
+                config.durable = Some(fta_sim::DurableConfig {
+                    dir: dir.clone(),
+                    fsync: *fsync,
+                    snapshot_every: *snapshot_every,
+                    crash_after_round: *crash_after_round,
+                });
             }
             let recorder = trace_out.is_some().then(fta_obs::Recorder::install);
             let mut ledger_records = Vec::new();
@@ -321,50 +560,14 @@ pub fn execute(command: &Command) -> Result<String, String> {
             };
             let snapshot = recorder.map(fta_obs::Recorder::finish);
 
-            let mut text = format!(
-                "simulated {hours:.1} h, {} rounds ({policy}{} every {period_minutes:.0} min, {} couriers)\n",
-                metrics.rounds,
-                if *incremental { ", incremental" } else { "" },
-                workers,
-            );
-            let _ = writeln!(
-                text,
-                "tasks: {} arrived, {} completed ({:.1}%), {} expired, {} pending, {} cancelled, {} abandoned",
-                metrics.tasks_arrived,
-                metrics.tasks_completed,
-                100.0 * metrics.completion_rate(),
-                metrics.tasks_expired,
-                metrics.tasks_pending,
-                metrics.tasks_cancelled,
-                metrics.tasks_abandoned,
-            );
-            if config.faults.is_some() {
+            let mut text = day_summary(&params, &config, &metrics);
+            if let Some(dir) = durable_dir {
                 let _ = writeln!(
                     text,
-                    "faults: {} no-shows, {} dropouts, {} requeues, {} tasks lost",
-                    metrics.worker_no_shows,
-                    metrics.route_dropouts,
-                    metrics.reassignments,
-                    metrics.tasks_lost_to_faults(),
+                    "durable journal in {} (fsync {fsync}, snapshot every {snapshot_every} rounds)",
+                    dir.display(),
                 );
             }
-            if !config.budget.is_unlimited() {
-                let _ = writeln!(
-                    text,
-                    "degradation: {} of {} rounds degraded under the {} ms budget",
-                    metrics.degraded_rounds,
-                    metrics.rounds,
-                    config.budget.wall_ms.unwrap_or_default(),
-                );
-            }
-            let fairness = metrics.earnings_fairness();
-            let _ = writeln!(
-                text,
-                "earnings fairness: P_dif {:.4}, gini {:.4}, mean utilization {:.1}%",
-                fairness.payoff_difference,
-                fairness.gini,
-                100.0 * metrics.mean_utilization(),
-            );
             if let (Some(snapshot), Some(path)) = (snapshot, trace_out.as_ref()) {
                 fta_obs::trace::write_file(&snapshot, path).map_err(|e| e.to_string())?;
                 let _ = writeln!(
@@ -388,6 +591,92 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     "solve ledger ({rounds} rounds) written to {}",
                     path.display()
                 );
+            }
+            Ok(text)
+        }
+        Command::Recover { dir, ledger_out } => {
+            let (params, fsync, snapshot_every) = SimParams::from_meta(&dir.join(META_FILE))?;
+            let (scenario, mut config) = params.build()?;
+            config.durable = Some(fta_sim::DurableConfig {
+                dir: dir.clone(),
+                fsync,
+                snapshot_every,
+                crash_after_round: None,
+            });
+            let mut ledger_records = Vec::new();
+            let (metrics, info) = if ledger_out.is_some() {
+                fta_sim::restore_with_ledger(&scenario, &config, &mut ledger_records)
+            } else {
+                fta_sim::restore(&scenario, &config)
+            }
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+            let mut text = format!(
+                "recovered {}: resumed after round {} ({}, {} log frame(s), torn tail: {})\n",
+                dir.display(),
+                info.resumed_round,
+                info.snapshot_round
+                    .map_or("no snapshot".to_owned(), |r| format!("snapshot round {r}")),
+                info.frames,
+                if info.torn_tail { "yes" } else { "no" },
+            );
+            if info.cache_rehydrated {
+                text.push_str("incremental solver caches re-hydrated from the journal\n");
+            }
+            text.push_str(&day_summary(&params, &config, &metrics));
+            if let Some(path) = ledger_out {
+                let rounds = ledger_records.len();
+                let ledger = fta_obs::ledger::Ledger {
+                    label: format!("simulate {} seed {}", params.policy, params.seed),
+                    created_unix_ms: unix_ms(),
+                    records: ledger_records,
+                };
+                fta_obs::ledger::write_file(&ledger, path).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    text,
+                    "solve ledger ({rounds} rounds, {} replayed from the journal) written to {}",
+                    info.replayed_records,
+                    path.display()
+                );
+            }
+            Ok(text)
+        }
+        Command::WalDump { path } => {
+            let (dir, wal) = if path.is_dir() {
+                (Some(path.as_path()), path.join(fta_durable::WAL_FILE))
+            } else {
+                (None, path.clone())
+            };
+            let log = fta_durable::read_log(&wal).map_err(|e| format!("{}: {e}", wal.display()))?;
+            let mut text = format!(
+                "{}: fta-wal v1, fingerprint {:#018x}, {} clean frame(s), {} valid bytes{}\n",
+                wal.display(),
+                log.fingerprint,
+                log.frames.len(),
+                log.valid_len,
+                if log.torn_tail {
+                    ", torn tail dropped"
+                } else {
+                    ""
+                },
+            );
+            if let Some(dir) = dir {
+                let (snapshot, skipped) = fta_durable::latest_valid_snapshot(dir)
+                    .map_err(|e| format!("{}: {e}", dir.display()))?;
+                if let Some(snap) = snapshot {
+                    let _ = writeln!(
+                        text,
+                        "snapshot after round {} ({} payload bytes):",
+                        snap.round,
+                        snap.payload.len()
+                    );
+                    text.push_str(&frame_line(&snap.payload));
+                }
+                if let Some(err) = skipped {
+                    let _ = writeln!(text, "  (newest snapshot skipped: {err})");
+                }
+            }
+            for frame in &log.frames {
+                text.push_str(&frame_line(frame));
             }
             Ok(text)
         }
@@ -514,9 +803,15 @@ pub fn execute(command: &Command) -> Result<String, String> {
             a,
             b,
             tolerance_pct,
+            ignore,
         } => {
-            let map_a = load_metric_map(a)?;
-            let map_b = load_metric_map(b)?;
+            let mut map_a = load_metric_map(a)?;
+            let mut map_b = load_metric_map(b)?;
+            if !ignore.is_empty() {
+                let ignored = |key: &str| ignore.iter().any(|f| key.split('.').any(|seg| seg == f));
+                map_a.retain(|k, _| !ignored(k));
+                map_b.retain(|k, _| !ignored(k));
+            }
             let report = fta_obs::ledger::diff_maps(&map_a, &map_b, *tolerance_pct);
             let mut text = String::new();
             let out_of_band = report.out_of_band();
@@ -537,11 +832,16 @@ pub fn execute(command: &Command) -> Result<String, String> {
             }
             let _ = writeln!(
                 text,
-                "{} metrics compared, {} changed, {} out of band (tolerance {}%)",
+                "{} metrics compared, {} changed, {} out of band (tolerance {}%{})",
                 report.entries.len(),
                 report.changed().len(),
                 out_of_band.len(),
                 tolerance_pct,
+                if ignore.is_empty() {
+                    String::new()
+                } else {
+                    format!(", ignoring: {}", ignore.join(", "))
+                },
             );
             if out_of_band.is_empty() {
                 Ok(text)
@@ -1155,6 +1455,133 @@ mod tests {
         let out = execute(&cmd).unwrap();
         assert!(!out.contains("final P_dif\n"));
         let _ = std::fs::remove_file(&trace_path);
+    }
+
+    #[test]
+    fn simulate_durable_then_recover_is_bit_identical() {
+        let dir = temp("durable-day");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Journal a faulted day with an effectively-infinite snapshot
+        // cadence so the whole day survives in the log.
+        let simulate = format!(
+            "simulate --algo gta --seed 4 --hours 1 --period-min 15 --workers 6 --dps 12 \
+             --rate 40 --faults --durable-dir {} --fsync never --snapshot-every 100000",
+            dir.display()
+        );
+        let cmd = parse(&argv(&simulate)).unwrap();
+        let original = execute(&cmd).unwrap();
+        assert!(
+            original.contains("durable journal in"),
+            "missing journal line:\n{original}"
+        );
+        assert!(dir.join(META_FILE).exists(), "meta.json must be written");
+        let wal = dir.join(fta_durable::WAL_FILE);
+        assert!(wal.exists(), "commit log must be written");
+
+        // "Crash": tear the final frame mid-payload.
+        let full = std::fs::metadata(&wal).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .unwrap()
+            .set_len(full - 5)
+            .unwrap();
+
+        // wal-dump reports the torn tail and decodes the clean frames.
+        let cmd = parse(&argv(&format!("wal-dump {}", dir.display()))).unwrap();
+        let dump = execute(&cmd).unwrap();
+        assert!(dump.contains("torn tail dropped"), "no torn tail:\n{dump}");
+        assert!(dump.contains("round "), "no frame rows:\n{dump}");
+        assert!(
+            dump.contains("+rng"),
+            "faulted day journals its RNG:\n{dump}"
+        );
+
+        // recover finishes the day bit-for-bit: every summary line after
+        // the recovery header must equal the uninterrupted output.
+        let cmd = parse(&argv(&format!("recover {}", dir.display()))).unwrap();
+        let recovered = execute(&cmd).unwrap();
+        assert!(
+            recovered.contains("torn tail: yes"),
+            "missing torn-tail note:\n{recovered}"
+        );
+        let body = |out: &str| {
+            out.lines()
+                .filter(|l| {
+                    l.starts_with("simulated")
+                        || l.starts_with("tasks:")
+                        || l.starts_with("faults:")
+                        || l.starts_with("earnings fairness:")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&recovered), body(&original), "recovered day diverged");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_ledger_matches_uninterrupted_ledger_modulo_nanos() {
+        let dir = temp("durable-ledger");
+        let a_path = temp("durable-ledger-a.jsonl");
+        let b_path = temp("durable-ledger-b.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cmd = parse(&argv(&format!(
+            "simulate --algo gta --seed 8 --hours 1 --period-min 15 --workers 6 --dps 12 \
+             --rate 40 --faults --budget-ms 0 --ledger-out {} --durable-dir {} --fsync never",
+            a_path.display(),
+            dir.display()
+        )))
+        .unwrap();
+        execute(&cmd).unwrap();
+
+        // Recover the (complete) day: the re-materialised ledger must
+        // agree with the uninterrupted one on everything deterministic.
+        let cmd = parse(&argv(&format!(
+            "recover {} --ledger-out {}",
+            dir.display(),
+            b_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(
+            out.contains("replayed from the journal"),
+            "missing replay note:\n{out}"
+        );
+
+        let cmd = parse(&argv(&format!(
+            "obs-diff {} {} --ignore nanos",
+            a_path.display(),
+            b_path.display()
+        )))
+        .unwrap();
+        let diff = execute(&cmd).unwrap();
+        assert!(
+            diff.contains("0 out of band"),
+            "recovered ledger diverged:\n{diff}"
+        );
+        assert!(diff.contains("ignoring: nanos"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&a_path);
+        let _ = std::fs::remove_file(&b_path);
+    }
+
+    #[test]
+    fn recover_without_meta_is_a_clear_error() {
+        let dir = temp("no-meta");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cmd = parse(&argv(&format!("recover {}", dir.display()))).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(
+            err.contains("meta.json") && err.contains("--durable-dir"),
+            "unclear error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Software CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected).
+//!
+//! The WAL and snapshot formats checksum every payload with CRC32C — the
+//! same polynomial iSCSI, ext4 and SpacetimeDB's commitlog use — because
+//! it detects the failure modes a torn write actually produces (trailing
+//! zero fill, truncation mid-frame) far better than a sum. Hardware SSE4.2
+//! `crc32` would be faster but needs `unsafe` intrinsics; the slice-by-one
+//! table below checksums a few-KiB round frame in well under a
+//! microsecond, which is noise next to the `write(2)` call it guards.
+
+/// Lazily-built 256-entry lookup table for the reflected Castagnoli poly.
+const fn build_table() -> [u32; 256] {
+    const POLY: u32 = 0x82F6_3B78; // 0x1EDC6F41 bit-reflected
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32C of `data` (init `!0`, final xor `!0` — the standard reflected
+/// convention, matching the `crc32c` crate and RFC 3720 test vectors).
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32c;
+
+    /// RFC 3720 appendix B.4 test vectors.
+    #[test]
+    fn rfc3720_vectors() {
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn classic_check_value() {
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc32c(&[]), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut buf = vec![0x5Au8; 97];
+        let clean = crc32c(&buf);
+        for i in 0..buf.len() {
+            buf[i] ^= 0x01;
+            assert_ne!(crc32c(&buf), clean, "flip at byte {i} undetected");
+            buf[i] ^= 0x01;
+        }
+    }
+}

@@ -283,6 +283,26 @@ fn record_value(record: &SolveRecord) -> Value {
     ])
 }
 
+/// Serialize one record as a standalone JSON line — the exact line format
+/// [`to_jsonl`] emits for records. The durability layer journals each
+/// round's record this way so `fta recover` can rebuild a ledger.
+#[must_use]
+pub fn record_to_json(record: &SolveRecord) -> String {
+    serde_json::to_string(&record_value(record)).expect("record serializes")
+}
+
+/// Parse one record line produced by [`record_to_json`] (or any `"solve"`
+/// line of a schema-v1 ledger).
+pub fn record_from_json(line: &str) -> Result<SolveRecord, LedgerError> {
+    let fail = |message: String| LedgerError::Line { line: 1, message };
+    let v: Value =
+        serde_json::from_str(line).map_err(|e| fail(format!("not valid JSON: {e:?}")))?;
+    match field_str(&v, "type").map_err(&fail)?.as_str() {
+        "solve" => parse_record(&v).map_err(&fail),
+        other => Err(fail(format!("unknown record type '{other}'"))),
+    }
+}
+
 /// Serialize a ledger as a JSONL string (header first, then one line
 /// per record).
 #[must_use]
@@ -461,6 +481,27 @@ fn parse_fairness(v: &Value) -> Result<FairnessRecord, String> {
     })
 }
 
+fn parse_record(v: &Value) -> Result<SolveRecord, String> {
+    let centers_value = v
+        .field("centers")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing or non-array field 'centers'".to_owned())?;
+    let mut centers = Vec::with_capacity(centers_value.len());
+    for c in centers_value {
+        centers.push(parse_center(c)?);
+    }
+    Ok(SolveRecord {
+        round: field_opt_u64(v, "round")?,
+        sim_hours: field_opt_f64(v, "sim_hours")?,
+        algo: field_str(v, "algo")?,
+        engine: field_str(v, "engine")?,
+        degraded: field_bool(v, "degraded")?,
+        budget_exhausted: field_bool(v, "budget_exhausted")?,
+        centers,
+        fairness: parse_fairness(v)?,
+    })
+}
+
 /// Parse and validate a JSONL ledger produced by [`to_jsonl`] (or any
 /// writer of schema v1). Every line must be valid JSON of a known
 /// record type with all required fields present and well-typed.
@@ -507,26 +548,7 @@ pub fn parse(text: &str) -> Result<Ledger, LedgerError> {
         let v: Value =
             serde_json::from_str(line).map_err(|e| fail(format!("not valid JSON: {e:?}")))?;
         match field_str(&v, "type").map_err(&fail)?.as_str() {
-            "solve" => {
-                let centers_value = v
-                    .field("centers")
-                    .and_then(Value::as_array)
-                    .ok_or_else(|| fail("missing or non-array field 'centers'".to_owned()))?;
-                let mut centers = Vec::with_capacity(centers_value.len());
-                for c in centers_value {
-                    centers.push(parse_center(c).map_err(&fail)?);
-                }
-                ledger.records.push(SolveRecord {
-                    round: field_opt_u64(&v, "round").map_err(&fail)?,
-                    sim_hours: field_opt_f64(&v, "sim_hours").map_err(&fail)?,
-                    algo: field_str(&v, "algo").map_err(&fail)?,
-                    engine: field_str(&v, "engine").map_err(&fail)?,
-                    degraded: field_bool(&v, "degraded").map_err(&fail)?,
-                    budget_exhausted: field_bool(&v, "budget_exhausted").map_err(&fail)?,
-                    centers,
-                    fairness: parse_fairness(&v).map_err(&fail)?,
-                });
-            }
+            "solve" => ledger.records.push(parse_record(&v).map_err(&fail)?),
             other => return Err(fail(format!("unknown record type '{other}'"))),
         }
     }

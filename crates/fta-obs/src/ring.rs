@@ -67,9 +67,25 @@ pub const RING_CAPACITY: usize = 2048;
 /// Anomaly dumps are capped per process so a pathological round cannot
 /// fill a disk with snapshots.
 pub const MAX_ANOMALY_DUMPS: u64 = 8;
-/// Minimum nanoseconds between two anomaly dumps (coarse rate limit on
-/// top of [`MAX_ANOMALY_DUMPS`]).
-const MIN_DUMP_INTERVAL_NANOS: u64 = 250_000_000;
+/// Default minimum milliseconds between two anomaly dumps (coarse rate
+/// limit on top of [`MAX_ANOMALY_DUMPS`]); override with the
+/// `FTA_FLIGHT_RATE_MS` environment variable (`0` disables the interval
+/// limit; the per-process cap still applies).
+pub const DEFAULT_DUMP_RATE_MS: u64 = 250;
+
+/// The effective auto-dump rate limit in milliseconds: `FTA_FLIGHT_RATE_MS`
+/// when set to a parseable integer, [`DEFAULT_DUMP_RATE_MS`] otherwise.
+/// Read once per process and echoed in every dump header as `rate_ms`.
+#[must_use]
+pub fn dump_rate_ms() -> u64 {
+    static RATE: OnceLock<u64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        std::env::var("FTA_FLIGHT_RATE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_DUMP_RATE_MS)
+    })
+}
 
 /// What kind of telemetry a flight event snapshots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -385,6 +401,7 @@ pub fn dump(reason: &str, center: Option<u32>) -> String {
             ("dumped_unix_ms", Value::UInt(dumped_unix_ms)),
             ("threads", Value::UInt(threads)),
             ("dropped", Value::UInt(dropped)),
+            ("rate_ms", Value::UInt(dump_rate_ms())),
         ]))
         .expect("header serializes"),
     );
@@ -426,17 +443,18 @@ pub fn dump_dir() -> PathBuf {
 
 /// Auto-dump entry point for anomaly hooks (panic quarantine, budget
 /// exhaustion, degradation). Rate-limited: at most
-/// [`MAX_ANOMALY_DUMPS`] per process and one per 250 ms, so a round
-/// with hundreds of degrading centers produces a handful of snapshots,
-/// not a disk full. Returns the written path, `None` when disarmed,
-/// rate-limited, or the write failed (logged, never fatal).
+/// [`MAX_ANOMALY_DUMPS`] per process and one per [`dump_rate_ms`]
+/// milliseconds (default 250 ms, tunable via `FTA_FLIGHT_RATE_MS`), so a
+/// round with hundreds of degrading centers produces a handful of
+/// snapshots, not a disk full. Returns the written path, `None` when
+/// disarmed, rate-limited, or the write failed (logged, never fatal).
 pub fn anomaly_dump(reason: &'static str, center: Option<u32>) -> Option<PathBuf> {
     if !armed() {
         return None;
     }
     let now = now_nanos().max(1);
     let last = LAST_DUMP_NANOS.load(Ordering::Relaxed);
-    if last != 0 && now.saturating_sub(last) < MIN_DUMP_INTERVAL_NANOS {
+    if last != 0 && now.saturating_sub(last) < dump_rate_ms().saturating_mul(1_000_000) {
         return None;
     }
     let n = DUMP_COUNT.fetch_add(1, Ordering::Relaxed);
@@ -514,6 +532,9 @@ pub struct FlightDump {
     pub threads: u64,
     /// Events lost to ring overwrite or producer/dumper collisions.
     pub dropped: u64,
+    /// Auto-dump rate limit (ms) in force when the dump was taken;
+    /// [`DEFAULT_DUMP_RATE_MS`] for dumps predating the field.
+    pub rate_ms: u64,
     /// All events, in dump (time) order.
     pub events: Vec<FlightEventRecord>,
 }
@@ -620,6 +641,10 @@ pub fn parse(text: &str) -> Result<FlightDump, FlightError> {
             .unwrap_or(0),
         threads: header.field("threads").and_then(Value::as_u64).unwrap_or(0),
         dropped: header.field("dropped").and_then(Value::as_u64).unwrap_or(0),
+        rate_ms: header
+            .field("rate_ms")
+            .and_then(Value::as_u64)
+            .unwrap_or(DEFAULT_DUMP_RATE_MS),
         events: Vec::new(),
     };
     let mut last_seq: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
@@ -707,6 +732,20 @@ mod tests {
         assert!(parsed
             .events_of(FlightKind::Mark)
             .any(|e| e.name == "ring.test_mark"));
+    }
+
+    #[test]
+    fn dump_header_echoes_rate_limit() {
+        let _guard = serialize_recorder_tests();
+        set_armed(true);
+        let parsed = parse(&dump("rate-test", None)).unwrap();
+        assert_eq!(parsed.rate_ms, dump_rate_ms());
+        // Dumps predating the field fall back to the default.
+        let legacy = concat!(
+            "{\"schema\":\"fta-flight\",\"version\":1,\"reason\":\"x\",",
+            "\"center\":null,\"dumped_unix_ms\":0,\"threads\":0,\"dropped\":0}\n"
+        );
+        assert_eq!(parse(legacy).unwrap().rate_ms, DEFAULT_DUMP_RATE_MS);
     }
 
     #[test]

@@ -3,16 +3,18 @@
 use crate::faults::FaultPlan;
 use crate::metrics::{DayMetrics, WorkerLedger};
 use crate::scenario::{ArrivingTask, Scenario};
+use crate::state::{self, LoopState};
 use fta_algorithms::{solve, Algorithm, SolveConfig, Solver};
 use fta_core::entities::{SpatialTask, Worker};
-use fta_core::geometry::Point;
 use fta_core::ids::{DeliveryPointId, TaskId, WorkerId};
 use fta_core::route::Route;
 use fta_core::{CenterChurn, ChurnSet, Instance, SolveBudget};
+use fta_durable::{DurableError, FsyncPolicy, Journal};
 use fta_obs::ledger::SolveRecord;
 use fta_vdps::VdpsConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Plans single-stop routes for the [`DispatchPolicy::Immediate`] baseline:
@@ -71,8 +73,39 @@ pub enum DispatchPolicy {
     Immediate,
 }
 
+/// Durability settings: where and how aggressively the engine journals
+/// its round-by-round state (see [`SimConfig::durable`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableConfig {
+    /// Directory holding the commit log (`wal.fta`) and snapshots.
+    pub dir: PathBuf,
+    /// When appended frames are fsynced (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// A full snapshot is persisted (and the log truncated) every this
+    /// many journaled rounds.
+    pub snapshot_every: u64,
+    /// Crash drill: abort the whole process (as `kill -9` would) right
+    /// after journaling this round. Test/CI hook for exercising recovery;
+    /// `None` in production.
+    pub crash_after_round: Option<u64>,
+}
+
+impl DurableConfig {
+    /// Journaling into `dir` with the default policy: fsync every 8
+    /// frames, snapshot every 16 rounds.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(8),
+            snapshot_every: 16,
+            crash_after_round: None,
+        }
+    }
+}
+
 /// Configuration of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Simulated horizon, hours.
     pub horizon: f64,
@@ -105,6 +138,13 @@ pub struct SimConfig {
     /// to a different — equally valid — equilibrium because the warm path
     /// runs a single best-response pass instead of multi-restart search.
     pub incremental: bool,
+    /// Optional durability: journal every solved round's full state (plus
+    /// the incremental solver's cache seed) to a checksummed commit log
+    /// with periodic snapshots, so a crashed day can be resumed with
+    /// [`restore`] bit-for-bit. `None` — the default — journals nothing
+    /// and is bit-identical to builds without the durability layer; when
+    /// set, journaling only *observes* the day (same metrics either way).
+    pub durable: Option<DurableConfig>,
 }
 
 impl SimConfig {
@@ -120,6 +160,7 @@ impl SimConfig {
             budget: SolveBudget::UNLIMITED,
             faults: None,
             incremental: false,
+            durable: None,
         }
     }
 
@@ -144,6 +185,13 @@ impl SimConfig {
         self.faults = Some(plan);
         self
     }
+
+    /// Enables durability (see [`SimConfig::durable`]).
+    #[must_use]
+    pub fn with_durable(mut self, durable: DurableConfig) -> Self {
+        self.durable = Some(durable);
+        self
+    }
 }
 
 /// Outcome of a run: the longitudinal metrics (see [`DayMetrics`]).
@@ -151,16 +199,16 @@ pub type SimReport = DayMetrics;
 
 /// A pending (arrived, unassigned, unexpired) task.
 #[derive(Debug, Clone, Copy)]
-struct Pending {
-    task: ArrivingTask,
+pub(crate) struct Pending {
+    pub(crate) task: ArrivingTask,
     /// Instant at which the requester cancels this task, if the fault
     /// plan decided so at ingest.
-    cancel_at: Option<f64>,
+    pub(crate) cancel_at: Option<f64>,
     /// Times this task has been requeued after a failed route.
-    retries: u32,
+    pub(crate) retries: u32,
     /// Retry backoff: the task is excluded from round snapshots until
     /// this instant.
-    eligible_after: f64,
+    pub(crate) eligible_after: f64,
 }
 
 /// Builds a [`Pending`] entry, drawing the cancellation fate from the
@@ -191,10 +239,10 @@ fn make_pending(task: ArrivingTask, plan: Option<&FaultPlan>, rng: Option<&mut S
 /// The shape of one solved round, remembered for churn detection: the
 /// instant it was solved at, which scenario workers were idle per center,
 /// and how many tasks each center's snapshot carried.
-struct RoundShape {
-    now: f64,
-    center_workers: Vec<Vec<usize>>,
-    center_tasks: Vec<u64>,
+pub(crate) struct RoundShape {
+    pub(crate) now: f64,
+    pub(crate) center_workers: Vec<Vec<usize>>,
+    pub(crate) center_tasks: Vec<u64>,
 }
 
 impl RoundShape {
@@ -331,11 +379,64 @@ pub fn run_with_ledger(
     run_inner(scenario, config, Some(records))
 }
 
-fn run_inner(
-    scenario: &Scenario,
-    config: &SimConfig,
-    mut ledger_sink: Option<&mut Vec<SolveRecord>>,
-) -> SimReport {
+impl LoopState {
+    /// The loop state at the start of a pristine day.
+    fn fresh(scenario: &Scenario, config: &SimConfig) -> Self {
+        let n_workers = scenario.workers.len();
+        Self {
+            now: config.assignment_period,
+            rounds: 0,
+            next_arrival: 0,
+            tasks_completed: 0,
+            tasks_expired: 0,
+            tasks_cancelled: 0,
+            tasks_abandoned: 0,
+            reassignments: 0,
+            worker_no_shows: 0,
+            route_dropouts: 0,
+            degraded_rounds: 0,
+            ledgers: vec![WorkerLedger::default(); n_workers],
+            busy_until: vec![0.0_f64; n_workers],
+            location: scenario.workers.iter().map(|w| w.location).collect(),
+            pending: Vec::new(),
+            fault_rng: config.faults.map(|p| StdRng::seed_from_u64(p.seed)),
+            last_round: None,
+        }
+    }
+}
+
+/// Live journaling handle carried through the day. A mid-day append
+/// failure (disk full, volume gone) must never take the day down: the
+/// sink goes dead, counts the loss, and the rest of the day runs
+/// unjournaled — the simulation result is unaffected by construction.
+struct DurableSink {
+    journal: Journal,
+    crash_after_round: Option<u64>,
+    dead: bool,
+}
+
+impl DurableSink {
+    fn record(&mut self, round: u64, payload: &[u8]) {
+        if !self.dead {
+            if let Err(e) = self.journal.record(round, payload) {
+                self.dead = true;
+                fta_obs::counter("wal.dead", 1);
+                fta_obs::ring::mark("wal-dead", None);
+                eprintln!("fta-sim: journaling disabled after round {round}: {e}");
+            }
+        }
+        if self.crash_after_round == Some(round) {
+            // The crash drill models a power cut, not a clean shutdown —
+            // but the frame under test must be on disk first, so the
+            // drill syncs and then dies without unwinding.
+            let _ = self.journal.sync();
+            eprintln!("fta-sim: crash drill firing after round {round}");
+            std::process::abort();
+        }
+    }
+}
+
+fn validate_config(config: &SimConfig) {
     assert!(
         config.horizon > 0.0 && config.assignment_period > 0.0,
         "horizon and assignment period must be positive"
@@ -345,48 +446,70 @@ fn run_inner(
             panic!("invalid fault plan: {e}");
         }
     }
-    let n_workers = scenario.workers.len();
-    let mut ledgers = vec![WorkerLedger::default(); n_workers];
-    let mut busy_until = vec![0.0_f64; n_workers];
-    let mut location: Vec<Point> = scenario.workers.iter().map(|w| w.location).collect();
+}
 
-    let plan = config.faults;
-    let mut fault_rng: Option<StdRng> = plan.map(|p| StdRng::seed_from_u64(p.seed));
-
-    let mut pending: Vec<Pending> = Vec::new();
-    let mut next_arrival = 0usize;
-    let mut tasks_completed = 0usize;
-    let mut tasks_expired = 0usize;
-    let mut tasks_cancelled = 0usize;
-    let mut tasks_abandoned = 0usize;
-    let mut reassignments = 0usize;
-    let mut worker_no_shows = 0usize;
-    let mut route_dropouts = 0usize;
-    let mut degraded_rounds = 0usize;
-    let mut rounds = 0usize;
-
-    // Incremental state: the persistent solver and the previous solved
-    // round's shape (for churn diagnostics). Only touched when
-    // `config.incremental` is set and the policy is a batch policy.
+fn run_inner(
+    scenario: &Scenario,
+    config: &SimConfig,
+    ledger_sink: Option<&mut Vec<SolveRecord>>,
+) -> SimReport {
+    validate_config(config);
+    let mut st = LoopState::fresh(scenario, config);
     let mut inc_solver: Option<Solver> = None;
-    let mut last_round: Option<RoundShape> = None;
+    // A journal that cannot even be *created* is a configuration error
+    // (unwritable directory), not a mid-day fault — fail loudly up front
+    // rather than run a day the caller believes is durable.
+    let mut durable = config.durable.as_ref().map(|d| {
+        let fingerprint = state::fingerprint(scenario, config);
+        let journal = Journal::create(&d.dir, fingerprint, d.fsync, d.snapshot_every)
+            .unwrap_or_else(|e| panic!("cannot create durable journal in {:?}: {e}", d.dir));
+        DurableSink {
+            journal,
+            crash_after_round: d.crash_after_round,
+            dead: false,
+        }
+    });
+    drive(
+        scenario,
+        config,
+        &mut st,
+        &mut inc_solver,
+        ledger_sink,
+        durable.as_mut(),
+    )
+}
 
-    let mut now = config.assignment_period;
-    while now <= config.horizon + 1e-12 {
+/// The event loop itself, shared by fresh runs and recovered runs: drives
+/// `st` from wherever it stands to the horizon and settles the metrics.
+fn drive(
+    scenario: &Scenario,
+    config: &SimConfig,
+    st: &mut LoopState,
+    inc_solver: &mut Option<Solver>,
+    mut ledger_sink: Option<&mut Vec<SolveRecord>>,
+    mut durable: Option<&mut DurableSink>,
+) -> SimReport {
+    let n_workers = scenario.workers.len();
+    let plan = config.faults;
+    while st.now <= config.horizon + 1e-12 {
+        let now = st.now;
         // Ingest arrivals up to this round.
-        while next_arrival < scenario.tasks.len() && scenario.tasks[next_arrival].arrival <= now {
-            pending.push(make_pending(
-                scenario.tasks[next_arrival],
+        while st.next_arrival < scenario.tasks.len()
+            && scenario.tasks[st.next_arrival].arrival <= now
+        {
+            let entry = make_pending(
+                scenario.tasks[st.next_arrival],
                 plan.as_ref(),
-                fault_rng.as_mut(),
-            ));
-            next_arrival += 1;
+                st.fault_rng.as_mut(),
+            );
+            st.pending.push(entry);
+            st.next_arrival += 1;
         }
         // Requester cancellations fire before the expiry sweep (a task
         // cancelled before its deadline counts as cancelled, not expired).
-        pending.retain(|p| {
+        st.pending.retain(|p| {
             if p.cancel_at.is_some_and(|c| c <= now) {
-                tasks_cancelled += 1;
+                st.tasks_cancelled += 1;
                 fta_obs::counter("sim.cancelled", 1);
                 false
             } else {
@@ -394,9 +517,9 @@ fn run_inner(
             }
         });
         // Drop tasks that expired while waiting.
-        pending.retain(|p| {
+        st.pending.retain(|p| {
             if p.task.deadline <= now {
-                tasks_expired += 1;
+                st.tasks_expired += 1;
                 false
             } else {
                 true
@@ -406,13 +529,15 @@ fn run_inner(
         // Backlog peak is a property of every tick, not just the ticks
         // that run an assignment round, and it must include tasks hidden
         // by retry backoff — record it before any eligibility filtering.
-        fta_obs::gauge_max("sim.pending_peak", pending.len() as u64);
+        fta_obs::gauge_max("sim.pending_peak", st.pending.len() as u64);
 
         // Snapshot idle workers and backoff-eligible pending tasks.
-        let idle: Vec<usize> = (0..n_workers).filter(|&w| busy_until[w] <= now).collect();
-        let any_eligible = pending.iter().any(|p| p.eligible_after <= now);
+        let idle: Vec<usize> = (0..n_workers)
+            .filter(|&w| st.busy_until[w] <= now)
+            .collect();
+        let any_eligible = st.pending.iter().any(|p| p.eligible_after <= now);
         if !idle.is_empty() && any_eligible {
-            rounds += 1;
+            st.rounds += 1;
             let _tick_span = fta_obs::span("sim.tick");
             fta_obs::counter("sim.rounds", 1);
             let snapshot_workers: Vec<Worker> = idle
@@ -420,12 +545,13 @@ fn run_inner(
                 .enumerate()
                 .map(|(dense, &orig)| Worker {
                     id: WorkerId::from_index(dense),
-                    location: location[orig],
+                    location: st.location[orig],
                     max_dp: scenario.workers[orig].max_dp,
                     center: scenario.workers[orig].center,
                 })
                 .collect();
-            let snapshot_tasks: Vec<SpatialTask> = pending
+            let snapshot_tasks: Vec<SpatialTask> = st
+                .pending
                 .iter()
                 .filter(|p| p.eligible_after <= now)
                 .enumerate()
@@ -450,7 +576,9 @@ fn run_inner(
             // (both dispatch policies, so they can be compared).
             // A batch round additionally stages its ledger record here;
             // the fairness block is filled in after the routes are
-            // applied, when this round's earnings have been banked.
+            // applied, when this round's earnings have been banked. A
+            // durable round stages the same record so recovery can
+            // re-materialise the ledger from the journal alone.
             let mut round_record: Option<SolveRecord> = None;
             let planned: Vec<(usize, Arc<Route>)> = {
                 let _assign_timer = fta_obs::hist_timer("sim.assign_nanos");
@@ -465,8 +593,8 @@ fn run_inner(
                         };
                         let outcome = if config.incremental {
                             let shape = RoundShape::of(scenario, &idle, &instance, now);
-                            let churn = churn_between(last_round.as_ref(), &shape, &idle);
-                            last_round = Some(shape);
+                            let churn = churn_between(st.last_round.as_ref(), &shape, &idle);
+                            st.last_round = Some(shape);
                             inc_solver
                                 .get_or_insert_with(|| Solver::new(solve_config))
                                 .resolve(&instance, &churn)
@@ -475,12 +603,12 @@ fn run_inner(
                         };
                         debug_assert!(outcome.assignment.validate(&instance).is_ok());
                         if outcome.is_degraded() {
-                            degraded_rounds += 1;
+                            st.degraded_rounds += 1;
                             fta_obs::counter("sim.degraded_rounds", 1);
                         }
-                        if ledger_sink.is_some() {
+                        if ledger_sink.is_some() || durable.is_some() {
                             round_record = Some(SolveRecord {
-                                round: Some(rounds as u64),
+                                round: Some(st.rounds as u64),
                                 sim_hours: Some(now),
                                 algo: algorithm.name().to_string(),
                                 engine: if config.incremental {
@@ -515,15 +643,15 @@ fn run_inner(
             for (orig, route) in &planned {
                 let orig = *orig;
                 let mut served: &[DeliveryPointId] = route.dps();
-                if let (Some(plan), Some(rng)) = (plan.as_ref(), fault_rng.as_mut()) {
+                if let (Some(plan), Some(rng)) = (plan.as_ref(), st.fault_rng.as_mut()) {
                     if plan.p_no_show > 0.0 && rng.gen_range(0.0..1.0) < plan.p_no_show {
-                        worker_no_shows += 1;
+                        st.worker_no_shows += 1;
                         fta_obs::counter("sim.no_shows", 1);
                         failed_dps.extend_from_slice(route.dps());
                         continue; // the worker never moves and stays idle
                     }
                     if plan.p_dropout > 0.0 && rng.gen_range(0.0..1.0) < plan.p_dropout {
-                        route_dropouts += 1;
+                        st.route_dropouts += 1;
                         fta_obs::counter("sim.dropouts", 1);
                         let stops = rng.gen_range(0..route.len());
                         served = &route.dps()[..stops];
@@ -531,7 +659,7 @@ fn run_inner(
                     }
                 }
                 let dc = scenario.centers[route.center().index()].location;
-                let to_dc = location[orig].travel_time(dc, scenario.config.speed);
+                let to_dc = st.location[orig].travel_time(dc, scenario.config.speed);
                 // Completed routes reuse the precomputed route time (the
                 // pristine code path, bit-for-bit); truncated routes are
                 // re-walked leg by leg up to the last stop served.
@@ -547,12 +675,12 @@ fn run_inner(
                     }
                     t
                 };
-                let travel = match (plan.as_ref(), fault_rng.as_mut()) {
+                let travel = match (plan.as_ref(), st.fault_rng.as_mut()) {
                     (Some(plan), Some(rng)) => travel * lognormal_factor(rng, plan.travel_sigma),
                     _ => travel,
                 };
-                busy_until[orig] = now + travel;
-                location[orig] = match served.last() {
+                st.busy_until[orig] = now + travel;
+                st.location[orig] = match served.last() {
                     Some(dp) => scenario.delivery_points[dp.index()].location,
                     // Dropped out before the first stop: stranded at the dc.
                     None => dc,
@@ -561,11 +689,11 @@ fn run_inner(
                 let on_manifest = |p: &Pending| {
                     p.eligible_after <= now && served.contains(&p.task.delivery_point)
                 };
-                let ledger = &mut ledgers[orig];
+                let ledger = &mut st.ledgers[orig];
                 ledger.earnings += if served.len() == route.len() {
                     route.total_reward()
                 } else {
-                    pending
+                    st.pending
                         .iter()
                         .filter(|p| on_manifest(p))
                         .map(|p| p.task.reward)
@@ -573,86 +701,287 @@ fn run_inner(
                 };
                 ledger.busy_hours += travel;
                 ledger.routes += 1;
-                ledger.tasks_delivered += pending.iter().filter(|p| on_manifest(p)).count();
+                ledger.tasks_delivered += st.pending.iter().filter(|p| on_manifest(p)).count();
                 delivered_dps.extend_from_slice(served);
             }
             // All pending tasks at a served delivery point are delivered
             // (Definition 2: a route serves the full task set of each dp).
             if !delivered_dps.is_empty() {
-                let before = pending.len();
-                pending.retain(|p| {
+                let before = st.pending.len();
+                st.pending.retain(|p| {
                     !(p.eligible_after <= now && delivered_dps.contains(&p.task.delivery_point))
                 });
-                tasks_completed += before - pending.len();
+                st.tasks_completed += before - st.pending.len();
             }
             // Requeue-on-failure with bounded retries: every task on a
             // failed manifest either returns to the pool with a backoff
             // window or, once its retry budget is spent, is abandoned.
             if !failed_dps.is_empty() {
                 let plan = plan.expect("failed stops can only come from a fault plan");
-                pending.retain_mut(|p| {
+                st.pending.retain_mut(|p| {
                     if p.eligible_after <= now && failed_dps.contains(&p.task.delivery_point) {
                         if p.retries >= plan.max_retries {
-                            tasks_abandoned += 1;
+                            st.tasks_abandoned += 1;
                             fta_obs::counter("sim.abandoned", 1);
                             return false;
                         }
                         p.retries += 1;
                         p.eligible_after = now + plan.backoff;
-                        reassignments += 1;
+                        st.reassignments += 1;
                         fta_obs::counter("sim.retries", 1);
                     }
                     true
                 });
             }
-            if let (Some(records), Some(mut record)) = (ledger_sink.as_deref_mut(), round_record) {
-                let incomes: Vec<f64> = ledgers.iter().map(|l| l.earnings).collect();
+            let mut record_json: Vec<u8> = Vec::new();
+            if let Some(mut record) = round_record {
+                let incomes: Vec<f64> = st.ledgers.iter().map(|l| l.earnings).collect();
                 record.fairness = fta_algorithms::ledger::fairness_from_incomes(&incomes);
-                records.push(record);
+                if durable.is_some() {
+                    record_json = fta_obs::ledger::record_to_json(&record).into_bytes();
+                }
+                if let Some(records) = ledger_sink.as_deref_mut() {
+                    records.push(record);
+                }
+            }
+            // Journal the round *after* everything above settled: the
+            // frame is a pure function of state the simulation computed
+            // anyway, so durability observes the day without perturbing
+            // it. Ticks between journaled rounds are deterministic given
+            // this state (the fault-RNG stream is part of it), which is
+            // why journaling only at solve rounds still recovers
+            // bit-for-bit.
+            if let Some(sink) = durable.as_deref_mut() {
+                let worker_keys: Vec<u64>;
+                let cache;
+                let solver_seed = match inc_solver.as_ref().and_then(Solver::cache_seed) {
+                    Some(seed) => {
+                        worker_keys = idle.iter().map(|&w| w as u64).collect();
+                        cache = seed;
+                        Some((&instance, worker_keys.as_slice(), &cache))
+                    }
+                    None => None,
+                };
+                let payload = state::encode_frame(st.rounds as u64, st, solver_seed, &record_json);
+                sink.record(st.rounds as u64, &payload);
             }
         }
-        now += config.assignment_period;
+        st.now += config.assignment_period;
     }
 
     // Arrivals after the final assignment round were never snapshotted;
     // ingest them so the end-of-horizon accounting covers every task.
-    while next_arrival < scenario.tasks.len() {
-        pending.push(make_pending(
-            scenario.tasks[next_arrival],
+    while st.next_arrival < scenario.tasks.len() {
+        let entry = make_pending(
+            scenario.tasks[st.next_arrival],
             plan.as_ref(),
-            fault_rng.as_mut(),
-        ));
-        next_arrival += 1;
+            st.fault_rng.as_mut(),
+        );
+        st.pending.push(entry);
+        st.next_arrival += 1;
     }
 
     // Cancellation fires first, then anything past its deadline at the
     // horizon is lost; the rest pends.
     let mut tasks_pending = 0usize;
-    for p in &pending {
+    for p in &st.pending {
         if p.cancel_at.is_some_and(|c| c <= config.horizon) {
-            tasks_cancelled += 1;
+            st.tasks_cancelled += 1;
         } else if p.task.deadline <= config.horizon {
-            tasks_expired += 1;
+            st.tasks_expired += 1;
         } else {
             tasks_pending += 1;
         }
     }
 
     DayMetrics {
-        ledgers,
-        tasks_arrived: next_arrival,
-        tasks_completed,
-        tasks_expired,
+        ledgers: std::mem::take(&mut st.ledgers),
+        tasks_arrived: st.next_arrival,
+        tasks_completed: st.tasks_completed,
+        tasks_expired: st.tasks_expired,
         tasks_pending,
-        tasks_cancelled,
-        tasks_abandoned,
-        reassignments,
-        worker_no_shows,
-        route_dropouts,
-        degraded_rounds,
-        rounds,
+        tasks_cancelled: st.tasks_cancelled,
+        tasks_abandoned: st.tasks_abandoned,
+        reassignments: st.reassignments,
+        worker_no_shows: st.worker_no_shows,
+        route_dropouts: st.route_dropouts,
+        degraded_rounds: st.degraded_rounds,
+        rounds: st.rounds,
         horizon: config.horizon,
     }
+}
+
+/// What [`restore`] reconstructed, alongside the finished day's metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// The journaled round the day resumed after (1-based).
+    pub resumed_round: u64,
+    /// Round of the snapshot that participated in recovery, if any.
+    pub snapshot_round: Option<u64>,
+    /// Clean log frames found after the snapshot.
+    pub frames: usize,
+    /// True when the log ended mid-frame (crash signature); the torn
+    /// round is re-simulated, not lost.
+    pub torn_tail: bool,
+    /// True when the incremental solver's warm caches were re-hydrated
+    /// from the journal (incremental batch runs only).
+    pub cache_rehydrated: bool,
+    /// Ledger records re-staged from the journal into the caller's sink.
+    pub replayed_records: usize,
+}
+
+/// Resumes a crashed day from its durable directory and runs it to the
+/// horizon. See [`restore_with_ledger`] for the semantics.
+///
+/// # Errors
+///
+/// Fails typed (never panics on bad bytes) when the directory holds no
+/// recoverable state, belongs to a different scenario/config
+/// (fingerprint mismatch), or is structurally corrupt.
+///
+/// # Panics
+///
+/// Panics if `config.durable` is `None`, the horizon or period is not
+/// positive, or the fault plan fails validation — the same configuration
+/// contract as [`run`].
+pub fn restore(
+    scenario: &Scenario,
+    config: &SimConfig,
+) -> Result<(SimReport, RecoveryInfo), DurableError> {
+    restore_inner(scenario, config, None)
+}
+
+/// [`restore`], additionally re-staging the journaled per-round ledger
+/// records into `records` before appending the resumed rounds — so the
+/// recovered day's ledger is continuous from round 1 (minus any rounds
+/// truncated by an earlier snapshot, which bound the log's history).
+///
+/// The resumed day is **bit-for-bit identical** to the uninterrupted run:
+/// every journaled frame carries the complete loop state (including the
+/// fault-RNG stream position and, on incremental runs, the solver's
+/// cache seed), so there is no divergent replay path. The crash costs at
+/// most the torn final round, which is re-simulated deterministically.
+///
+/// # Errors
+///
+/// See [`restore`].
+pub fn restore_with_ledger(
+    scenario: &Scenario,
+    config: &SimConfig,
+    records: &mut Vec<SolveRecord>,
+) -> Result<(SimReport, RecoveryInfo), DurableError> {
+    restore_inner(scenario, config, Some(records))
+}
+
+fn restore_inner(
+    scenario: &Scenario,
+    config: &SimConfig,
+    mut ledger_sink: Option<&mut Vec<SolveRecord>>,
+) -> Result<(SimReport, RecoveryInfo), DurableError> {
+    validate_config(config);
+    let d = config
+        .durable
+        .as_ref()
+        .expect("restore requires SimConfig::durable");
+    let fingerprint = state::fingerprint(scenario, config);
+    let rec = fta_durable::recover(&d.dir, Some(fingerprint))?;
+
+    // Decode every surviving recovery point and order by round: a crash
+    // between snapshot write and log truncation legitimately leaves log
+    // frames older than the snapshot, which must not regress the resume
+    // point or duplicate replayed ledger records.
+    let mut decoded: Vec<state::DecodedFrame> = Vec::new();
+    if let Some(snap) = &rec.snapshot {
+        decoded.push(state::decode_frame(&snap.payload)?);
+    }
+    for frame in &rec.frames {
+        decoded.push(state::decode_frame(frame)?);
+    }
+    decoded.sort_by_key(|f| f.round);
+    decoded.dedup_by_key(|f| f.round);
+
+    let mut replayed_records = 0usize;
+    if let Some(records) = ledger_sink.as_deref_mut() {
+        for frame in &decoded {
+            if frame.record_json.is_empty() {
+                continue;
+            }
+            let line = std::str::from_utf8(&frame.record_json)
+                .map_err(|_| DurableError::Corrupt("journaled ledger record is not UTF-8"))?;
+            let record = fta_obs::ledger::record_from_json(line)
+                .map_err(|_| DurableError::Corrupt("journaled ledger record does not parse"))?;
+            records.push(record);
+            replayed_records += 1;
+        }
+    }
+
+    let newest = decoded.pop().ok_or(DurableError::NoState)?;
+    let state::DecodedFrame {
+        round: resumed_round,
+        state: mut st,
+        solver: solver_seed,
+        ..
+    } = newest;
+    if st.ledgers.len() != scenario.workers.len()
+        || st.busy_until.len() != scenario.workers.len()
+        || st.location.len() != scenario.workers.len()
+        || st.next_arrival > scenario.tasks.len()
+    {
+        return Err(DurableError::Corrupt(
+            "journaled state does not match the scenario",
+        ));
+    }
+
+    // Re-hydrate the incremental solver's warm caches so the resumed
+    // rounds take the same (17× faster, and for iterative games
+    // differently-converged) warm path the uninterrupted day would have.
+    let mut inc_solver: Option<Solver> = None;
+    let mut cache_rehydrated = false;
+    if config.incremental {
+        if let (DispatchPolicy::Batch(algorithm), Some(seed)) = (config.policy, &solver_seed) {
+            let solve_config = SolveConfig {
+                vdps: config.vdps,
+                algorithm,
+                parallel: config.parallel,
+                budget: config.budget,
+                ..SolveConfig::new(Algorithm::Gta)
+            };
+            let mut solver = Solver::new(solve_config);
+            cache_rehydrated = solver.rehydrate(&seed.instance, &seed.worker_keys, &seed.cache);
+            if cache_rehydrated {
+                inc_solver = Some(solver);
+            }
+        }
+    }
+
+    let info = RecoveryInfo {
+        resumed_round,
+        snapshot_round: rec.snapshot.as_ref().map(|s| s.round),
+        frames: rec.frames.len(),
+        torn_tail: rec.torn_tail,
+        cache_rehydrated,
+        replayed_records,
+    };
+
+    // The journaled frame closes its round; the day resumes at the next
+    // tick, with journaling continuing into the same directory (a torn
+    // tail is overwritten in place).
+    st.now += config.assignment_period;
+    let journal = Journal::resume(&d.dir, fingerprint, d.fsync, d.snapshot_every, &rec)?;
+    let mut durable = DurableSink {
+        journal,
+        crash_after_round: d.crash_after_round,
+        dead: false,
+    };
+    let report = drive(
+        scenario,
+        config,
+        &mut st,
+        &mut inc_solver,
+        ledger_sink,
+        Some(&mut durable),
+    );
+    Ok((report, info))
 }
 
 #[cfg(test)]
@@ -1011,6 +1340,245 @@ mod tests {
             ..FaultPlan::none(0)
         };
         let _ = run(&scenario, &config(Algorithm::Gta).with_faults(plan));
+    }
+
+    // ---- durability: journaling, crash recovery, bit-for-bit resume ----
+
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    fn durable_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fta-sim-durable-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// One journaled day with no snapshot truncation, so the wal holds
+    /// every frame — the raw material for simulated crashes.
+    fn journaled_config(algorithm: Algorithm, dir: &Path) -> SimConfig {
+        config(algorithm).with_durable(DurableConfig {
+            dir: dir.to_path_buf(),
+            fsync: fta_durable::FsyncPolicy::Never,
+            snapshot_every: u64::MAX,
+            crash_after_round: None,
+        })
+    }
+
+    /// Byte offset of the end of the first `frames` clean wal frames.
+    fn wal_prefix_len(dir: &Path, frames: usize) -> u64 {
+        let log = fta_durable::read_log(&dir.join(fta_durable::WAL_FILE)).unwrap();
+        assert!(
+            frames <= log.frames.len(),
+            "day ran fewer rounds than asked"
+        );
+        let mut off = fta_durable::log::WAL_HEADER_LEN;
+        for f in log.frames.iter().take(frames) {
+            off += (fta_durable::log::FRAME_HEADER_LEN + f.len()) as u64;
+        }
+        off
+    }
+
+    /// Clones a journaled directory and truncates its wal to `len` bytes,
+    /// reproducing the on-disk state a crash at that point leaves behind.
+    fn crashed_copy(src: &Path, name: &str, len: u64) -> PathBuf {
+        let dst = durable_dir(name);
+        fs::create_dir_all(&dst).unwrap();
+        for entry in fs::read_dir(src).unwrap() {
+            let entry = entry.unwrap();
+            fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+        fs::OpenOptions::new()
+            .write(true)
+            .open(dst.join(fta_durable::WAL_FILE))
+            .unwrap()
+            .set_len(len)
+            .unwrap();
+        dst
+    }
+
+    #[test]
+    fn durable_run_is_bit_identical_to_plain_run() {
+        // Journaling must only observe the day: every DayMetrics field and
+        // every ledger record is unchanged by it, faults and all.
+        let scenario = small_scenario(50);
+        let cfg = config(Algorithm::Gta).with_faults(FaultPlan::stress(7));
+        let mut plain_records = Vec::new();
+        let plain = run_with_ledger(&scenario, &cfg, &mut plain_records);
+
+        let dir = durable_dir("observe-only");
+        let durable_cfg = journaled_config(Algorithm::Gta, &dir).with_faults(FaultPlan::stress(7));
+        let mut durable_records = Vec::new();
+        let journaled = run_with_ledger(&scenario, &durable_cfg, &mut durable_records);
+
+        assert_eq!(plain, journaled, "journaling perturbed the day");
+        assert_eq!(plain_records.len(), durable_records.len());
+        for (a, b) in plain_records.iter().zip(&durable_records) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.fairness.incomes, b.fairness.incomes);
+            assert_eq!(a.degraded, b.degraded);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_is_bit_identical_at_every_crash_round() {
+        // Crash after each journaled round in turn; every recovery must
+        // finish the day bit-for-bit equal to the uninterrupted run.
+        let scenario = small_scenario(51);
+        let dir = durable_dir("every-round");
+        let cfg = journaled_config(Algorithm::Gta, &dir).with_faults(FaultPlan::stress(3));
+        let uninterrupted = run(&scenario, &cfg);
+        let rounds = fta_durable::read_log(&dir.join(fta_durable::WAL_FILE))
+            .unwrap()
+            .frames
+            .len();
+        assert!(rounds >= 3, "need a few rounds to make this meaningful");
+        for k in 1..=rounds {
+            let crash = crashed_copy(&dir, &format!("every-round-{k}"), wal_prefix_len(&dir, k));
+            let mut cfg_k = cfg.clone();
+            cfg_k.durable.as_mut().unwrap().dir.clone_from(&crash);
+            let (recovered, info) = restore(&scenario, &cfg_k).expect("recovery succeeds");
+            assert_eq!(
+                recovered, uninterrupted,
+                "crash after round {k} did not recover bit-for-bit"
+            );
+            assert_eq!(info.resumed_round, k as u64);
+            assert!(!info.torn_tail);
+            let _ = fs::remove_dir_all(&crash);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_with_torn_tail_resumes_from_previous_round() {
+        // A frame torn mid-write (the crash signature) costs exactly that
+        // round: recovery resumes from the previous frame and still ends
+        // bit-identical, reporting the tear.
+        let scenario = small_scenario(52);
+        let dir = durable_dir("torn");
+        let cfg = journaled_config(Algorithm::Gta, &dir);
+        let uninterrupted = run(&scenario, &cfg);
+        let clean = wal_prefix_len(&dir, 2);
+        let torn = crashed_copy(&dir, "torn-crash", clean + 11); // partial 3rd frame
+        let mut cfg_t = cfg.clone();
+        cfg_t.durable.as_mut().unwrap().dir.clone_from(&torn);
+        let (recovered, info) = restore(&scenario, &cfg_t).expect("torn tail recovers");
+        assert_eq!(recovered, uninterrupted);
+        assert!(info.torn_tail, "the tear must be reported");
+        assert_eq!(info.resumed_round, 2);
+        let _ = fs::remove_dir_all(&torn);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rehydrates_incremental_caches_bit_for_bit() {
+        // The hard case: IEGT's warm path converges differently from cold
+        // multi-restart, so recovery must re-install the journaled
+        // equilibria rather than re-solve — otherwise the resumed day
+        // diverges from the uninterrupted one.
+        let scenario = small_scenario(53);
+        let dir = durable_dir("inc-iegt");
+        let cfg = journaled_config(Algorithm::Iegt(IegtConfig::default()), &dir).with_incremental();
+        let uninterrupted = run(&scenario, &cfg);
+        let rounds = fta_durable::read_log(&dir.join(fta_durable::WAL_FILE))
+            .unwrap()
+            .frames
+            .len();
+        assert!(rounds >= 3);
+        let k = rounds / 2;
+        let crash = crashed_copy(&dir, "inc-iegt-crash", wal_prefix_len(&dir, k));
+        let mut cfg_k = cfg.clone();
+        cfg_k.durable.as_mut().unwrap().dir.clone_from(&crash);
+        let (recovered, info) = restore(&scenario, &cfg_k).expect("recovery succeeds");
+        assert!(
+            info.cache_rehydrated,
+            "incremental recovery must re-hydrate the solver caches"
+        );
+        assert_eq!(
+            recovered, uninterrupted,
+            "re-hydrated warm path diverged from the live warm path"
+        );
+        let _ = fs::remove_dir_all(&crash);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_with_ledger_replays_journaled_records() {
+        // The recovered ledger is continuous: journaled rounds are
+        // replayed verbatim, resumed rounds are appended live.
+        let scenario = small_scenario(54);
+        let dir = durable_dir("ledger-replay");
+        let cfg = journaled_config(Algorithm::Gta, &dir);
+        let mut full_records = Vec::new();
+        let uninterrupted = run_with_ledger(&scenario, &cfg, &mut full_records);
+        let k = 2usize;
+        let crash = crashed_copy(&dir, "ledger-replay-crash", wal_prefix_len(&dir, k));
+        let mut cfg_k = cfg.clone();
+        cfg_k.durable.as_mut().unwrap().dir.clone_from(&crash);
+        let mut records = Vec::new();
+        let (recovered, info) =
+            restore_with_ledger(&scenario, &cfg_k, &mut records).expect("recovery succeeds");
+        assert_eq!(recovered, uninterrupted);
+        assert_eq!(info.replayed_records, k);
+        assert_eq!(records.len(), full_records.len());
+        for (a, b) in records.iter().zip(&full_records) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.algo, b.algo);
+            // Fairness is computed from journaled f64 earnings; the JSON
+            // round-trip must preserve them exactly.
+            assert_eq!(a.fairness.incomes, b.fairness.incomes);
+        }
+        let _ = fs::remove_dir_all(&crash);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_snapshot_cycle_survives_log_truncation() {
+        // With a real snapshot cadence the log is truncated as the day
+        // runs; recovery must stitch snapshot + log tail back together.
+        let scenario = small_scenario(55);
+        let dir = durable_dir("snap-cycle");
+        let mut cfg = journaled_config(Algorithm::Gta, &dir);
+        cfg.durable.as_mut().unwrap().snapshot_every = 3;
+        let uninterrupted = run(&scenario, &cfg);
+        let (recovered, info) = restore(&scenario, &cfg).expect("recovery succeeds");
+        assert_eq!(recovered, uninterrupted);
+        assert!(info.snapshot_round.is_some(), "a snapshot should exist");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_refuses_foreign_journal() {
+        // A journal written under a different scenario must be refused,
+        // not restored into a silently-wrong day.
+        let scenario = small_scenario(56);
+        let dir = durable_dir("foreign");
+        let cfg = journaled_config(Algorithm::Gta, &dir);
+        let _ = run(&scenario, &cfg);
+        let other = small_scenario(57);
+        assert!(matches!(
+            restore(&other, &cfg),
+            Err(fta_durable::DurableError::FingerprintMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_empty_or_missing_dir_is_no_state() {
+        let scenario = small_scenario(58);
+        let dir = durable_dir("nostate");
+        let cfg = config(Algorithm::Gta).with_durable(DurableConfig::new(&dir));
+        assert!(matches!(
+            restore(&scenario, &cfg),
+            Err(fta_durable::DurableError::NoState)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            restore(&scenario, &cfg),
+            Err(fta_durable::DurableError::NoState)
+        ));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

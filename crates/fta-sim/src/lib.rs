@@ -36,8 +36,13 @@ pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod scenario;
+pub mod state;
 
-pub use engine::{run, run_with_ledger, DispatchPolicy, SimConfig, SimReport};
+pub use engine::{
+    restore, restore_with_ledger, run, run_with_ledger, DispatchPolicy, DurableConfig,
+    RecoveryInfo, SimConfig, SimReport,
+};
 pub use faults::FaultPlan;
 pub use metrics::{DayMetrics, WorkerLedger};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use state::{frame_info, FrameInfo};

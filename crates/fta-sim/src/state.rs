@@ -1,0 +1,574 @@
+//! Serialization of mid-day simulator state for the durability layer.
+//!
+//! Every journaled frame is a *self-contained* recovery point: the full
+//! engine loop state (ledgers, worker positions, pending queue, fault-RNG
+//! state, churn shape), plus — when incremental solving is on — the seed
+//! of the solver's warm caches (the solved [`Instance`], the round's
+//! stable worker keys, and each center's equilibrium selections), plus
+//! the round's ledger record as a JSON line for forensic reconstruction.
+//! Recovery therefore never replays logic; it decodes the newest intact
+//! frame and resumes the deterministic event loop, which is what makes
+//! the bit-for-bit pin against an uninterrupted run hold.
+//!
+//! Numbers are stored as IEEE-754 bit patterns / fixed-width LE integers
+//! (see [`fta_durable::wire`]): a decimal round-trip would break the
+//! bitwise clean-check the incremental solver performs on restored pools.
+
+use crate::engine::{Pending, RoundShape, SimConfig};
+use crate::metrics::WorkerLedger;
+use crate::scenario::{ArrivingTask, Scenario};
+use fta_algorithms::{CacheSeed, CenterSeed};
+use fta_core::entities::{DeliveryPoint, DistributionCenter, SpatialTask, Worker};
+use fta_core::geometry::Point;
+use fta_core::ids::{CenterId, DeliveryPointId, TaskId, WorkerId};
+use fta_core::Instance;
+use fta_durable::wire::{Reader, Writer};
+use fta_durable::DurableError;
+use rand::rngs::StdRng;
+
+/// Version byte opening every frame payload.
+pub const STATE_VERSION: u8 = 1;
+
+/// The complete mutable state of the engine loop at a round boundary.
+pub(crate) struct LoopState {
+    pub(crate) now: f64,
+    pub(crate) rounds: usize,
+    pub(crate) next_arrival: usize,
+    pub(crate) tasks_completed: usize,
+    pub(crate) tasks_expired: usize,
+    pub(crate) tasks_cancelled: usize,
+    pub(crate) tasks_abandoned: usize,
+    pub(crate) reassignments: usize,
+    pub(crate) worker_no_shows: usize,
+    pub(crate) route_dropouts: usize,
+    pub(crate) degraded_rounds: usize,
+    pub(crate) ledgers: Vec<WorkerLedger>,
+    pub(crate) busy_until: Vec<f64>,
+    pub(crate) location: Vec<Point>,
+    pub(crate) pending: Vec<Pending>,
+    pub(crate) fault_rng: Option<StdRng>,
+    pub(crate) last_round: Option<RoundShape>,
+}
+
+/// Solver-cache seed journaled alongside the state on incremental runs.
+pub(crate) struct SolverSeed {
+    pub(crate) instance: Instance,
+    pub(crate) worker_keys: Vec<u64>,
+    pub(crate) cache: CacheSeed,
+}
+
+/// A fully decoded frame payload.
+pub(crate) struct DecodedFrame {
+    pub(crate) round: u64,
+    pub(crate) state: LoopState,
+    pub(crate) solver: Option<SolverSeed>,
+    pub(crate) record_json: Vec<u8>,
+}
+
+fn encode_point(w: &mut Writer, p: &Point) {
+    w.f64(p.x);
+    w.f64(p.y);
+}
+
+fn decode_point(r: &mut Reader<'_>) -> Result<Point, DurableError> {
+    Ok(Point {
+        x: r.f64()?,
+        y: r.f64()?,
+    })
+}
+
+fn encode_instance(w: &mut Writer, inst: &Instance) {
+    w.seq(&inst.centers, |w, c| encode_point(w, &c.location));
+    w.seq(&inst.workers, |w, wk| {
+        encode_point(w, &wk.location);
+        w.u64(wk.max_dp as u64);
+        w.u32(wk.center.0);
+    });
+    w.seq(&inst.delivery_points, |w, dp| {
+        encode_point(w, &dp.location);
+        w.u32(dp.center.0);
+    });
+    w.seq(&inst.tasks, |w, t| {
+        w.u32(t.delivery_point.0);
+        w.f64(t.expiry);
+        w.f64(t.reward);
+    });
+    w.f64(inst.speed);
+}
+
+fn decode_instance(r: &mut Reader<'_>) -> Result<Instance, DurableError> {
+    let mut idx = 0usize;
+    let centers = r.seq(|r| {
+        let location = decode_point(r)?;
+        let c = DistributionCenter {
+            id: CenterId::from_index(idx),
+            location,
+        };
+        idx += 1;
+        Ok(c)
+    })?;
+    let mut idx = 0usize;
+    let workers = r.seq(|r| {
+        let location = decode_point(r)?;
+        let max_dp = r.u64()? as usize;
+        let center = CenterId(r.u32()?);
+        let w = Worker {
+            id: WorkerId::from_index(idx),
+            location,
+            max_dp,
+            center,
+        };
+        idx += 1;
+        Ok(w)
+    })?;
+    let mut idx = 0usize;
+    let delivery_points = r.seq(|r| {
+        let location = decode_point(r)?;
+        let center = CenterId(r.u32()?);
+        let dp = DeliveryPoint {
+            id: DeliveryPointId::from_index(idx),
+            location,
+            center,
+        };
+        idx += 1;
+        Ok(dp)
+    })?;
+    let mut idx = 0usize;
+    let tasks = r.seq(|r| {
+        let delivery_point = DeliveryPointId(r.u32()?);
+        let expiry = r.f64()?;
+        let reward = r.f64()?;
+        let t = SpatialTask {
+            id: TaskId::from_index(idx),
+            delivery_point,
+            expiry,
+            reward,
+        };
+        idx += 1;
+        Ok(t)
+    })?;
+    let speed = r.f64()?;
+    Instance::new(centers, workers, delivery_points, tasks, speed)
+        .map_err(|_| DurableError::Corrupt("journaled instance violates invariants"))
+}
+
+fn encode_state(w: &mut Writer, st: &LoopState) {
+    w.f64(st.now);
+    w.u64(st.rounds as u64);
+    w.u64(st.next_arrival as u64);
+    w.u64(st.tasks_completed as u64);
+    w.u64(st.tasks_expired as u64);
+    w.u64(st.tasks_cancelled as u64);
+    w.u64(st.tasks_abandoned as u64);
+    w.u64(st.reassignments as u64);
+    w.u64(st.worker_no_shows as u64);
+    w.u64(st.route_dropouts as u64);
+    w.u64(st.degraded_rounds as u64);
+    w.seq(&st.ledgers, |w, l| {
+        w.f64(l.earnings);
+        w.f64(l.busy_hours);
+        w.u64(l.routes as u64);
+        w.u64(l.tasks_delivered as u64);
+    });
+    w.seq(&st.busy_until, |w, &b| w.f64(b));
+    w.seq(&st.location, encode_point);
+    w.seq(&st.pending, |w, p| {
+        w.f64(p.task.arrival);
+        w.u32(p.task.delivery_point.0);
+        w.f64(p.task.deadline);
+        w.f64(p.task.reward);
+        w.opt(&p.cancel_at, |w, &c| w.f64(c));
+        w.u32(p.retries);
+        w.f64(p.eligible_after);
+    });
+    w.opt(&st.fault_rng, |w, rng| {
+        for s in rng.state() {
+            w.u64(s);
+        }
+    });
+    w.opt(&st.last_round, |w, lr| {
+        w.f64(lr.now);
+        w.seq(&lr.center_workers, |w, cw| {
+            w.seq(cw, |w, &orig| w.u64(orig as u64));
+        });
+        w.seq(&lr.center_tasks, |w, &t| w.u64(t));
+    });
+}
+
+fn decode_state(r: &mut Reader<'_>) -> Result<LoopState, DurableError> {
+    let now = r.f64()?;
+    let rounds = r.u64()? as usize;
+    let next_arrival = r.u64()? as usize;
+    let tasks_completed = r.u64()? as usize;
+    let tasks_expired = r.u64()? as usize;
+    let tasks_cancelled = r.u64()? as usize;
+    let tasks_abandoned = r.u64()? as usize;
+    let reassignments = r.u64()? as usize;
+    let worker_no_shows = r.u64()? as usize;
+    let route_dropouts = r.u64()? as usize;
+    let degraded_rounds = r.u64()? as usize;
+    let ledgers = r.seq(|r| {
+        Ok(WorkerLedger {
+            earnings: r.f64()?,
+            busy_hours: r.f64()?,
+            routes: r.u64()? as usize,
+            tasks_delivered: r.u64()? as usize,
+        })
+    })?;
+    let busy_until = r.seq(Reader::f64)?;
+    let location = r.seq(decode_point)?;
+    let pending = r.seq(|r| {
+        let task = ArrivingTask {
+            arrival: r.f64()?,
+            delivery_point: DeliveryPointId(r.u32()?),
+            deadline: r.f64()?,
+            reward: r.f64()?,
+        };
+        Ok(Pending {
+            task,
+            cancel_at: r.opt(Reader::f64)?,
+            retries: r.u32()?,
+            eligible_after: r.f64()?,
+        })
+    })?;
+    let fault_rng = r
+        .opt(|r| Ok([r.u64()?, r.u64()?, r.u64()?, r.u64()?]))?
+        .map(StdRng::from_state);
+    let last_round = r.opt(|r| {
+        let now = r.f64()?;
+        let center_workers = r.seq(|r| r.seq(|r| Ok(r.u64()? as usize)))?;
+        let center_tasks = r.seq(Reader::u64)?;
+        Ok(RoundShape {
+            now,
+            center_workers,
+            center_tasks,
+        })
+    })?;
+    Ok(LoopState {
+        now,
+        rounds,
+        next_arrival,
+        tasks_completed,
+        tasks_expired,
+        tasks_cancelled,
+        tasks_abandoned,
+        reassignments,
+        worker_no_shows,
+        route_dropouts,
+        degraded_rounds,
+        ledgers,
+        busy_until,
+        location,
+        pending,
+        fault_rng,
+        last_round,
+    })
+}
+
+/// Encodes one round's self-contained frame payload. The solver-cache
+/// seed is passed by parts (`instance`, stable worker keys, cache) so the
+/// hot journaling path never clones the round's [`Instance`].
+pub(crate) fn encode_frame(
+    round: u64,
+    st: &LoopState,
+    solver: Option<(&Instance, &[u64], &CacheSeed)>,
+    record_json: &[u8],
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(STATE_VERSION);
+    w.u64(round);
+    encode_state(&mut w, st);
+    match solver {
+        None => w.u8(0),
+        Some((instance, worker_keys, cache)) => {
+            w.u8(1);
+            encode_instance(&mut w, instance);
+            w.seq(worker_keys, |w, &k| w.u64(k));
+            w.seq(&cache.centers, |w, c| {
+                w.u32(c.center);
+                w.seq(&c.selections, |w, sel| {
+                    w.opt(sel, |w, &mask| w.u128(mask));
+                });
+            });
+        }
+    }
+    w.bytes(record_json);
+    w.into_bytes()
+}
+
+/// Decodes a frame payload produced by [`encode_frame`].
+pub(crate) fn decode_frame(payload: &[u8]) -> Result<DecodedFrame, DurableError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != STATE_VERSION {
+        return Err(DurableError::BadVersion {
+            expected: u32::from(STATE_VERSION),
+            found: u32::from(version),
+        });
+    }
+    let round = r.u64()?;
+    let state = decode_state(&mut r)?;
+    let solver = match r.u8()? {
+        0 => None,
+        1 => {
+            let instance = decode_instance(&mut r)?;
+            let worker_keys = r.seq(Reader::u64)?;
+            let centers = r.seq(|r| {
+                let center = r.u32()?;
+                let selections = r.seq(|r| r.opt(Reader::u128))?;
+                Ok(CenterSeed { center, selections })
+            })?;
+            Some(SolverSeed {
+                instance,
+                worker_keys,
+                cache: CacheSeed { centers },
+            })
+        }
+        _ => return Err(DurableError::Corrupt("bad solver-seed discriminant")),
+    };
+    let record_json = r.bytes()?.to_vec();
+    r.finish()?;
+    Ok(DecodedFrame {
+        round,
+        state,
+        solver,
+        record_json,
+    })
+}
+
+/// Human-readable summary of one journaled frame, decoded without the
+/// scenario — what `fta wal-dump` prints per frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameInfo {
+    /// 1-based assignment round the frame captures the state after.
+    pub round: u64,
+    /// Simulated instant of that round, hours.
+    pub sim_hours: f64,
+    /// Cumulative completed tasks.
+    pub tasks_completed: u64,
+    /// Cumulative expired tasks.
+    pub tasks_expired: u64,
+    /// Cumulative cancelled tasks.
+    pub tasks_cancelled: u64,
+    /// Cumulative abandoned tasks.
+    pub tasks_abandoned: u64,
+    /// Tasks pending (unassigned) at the frame instant.
+    pub pending: u64,
+    /// Workers in the scenario.
+    pub workers: u64,
+    /// Sum of banked earnings across all worker ledgers.
+    pub earnings_total: f64,
+    /// Whether the frame carries a fault-RNG state (faulted run).
+    pub has_fault_rng: bool,
+    /// Whether the frame carries a solver-cache seed (incremental run).
+    pub has_solver_cache: bool,
+    /// Whether the frame carries the round's ledger record.
+    pub has_ledger_record: bool,
+}
+
+/// Decodes the summary of one frame payload (see [`FrameInfo`]).
+pub fn frame_info(payload: &[u8]) -> Result<FrameInfo, DurableError> {
+    let f = decode_frame(payload)?;
+    Ok(FrameInfo {
+        round: f.round,
+        sim_hours: f.state.now,
+        tasks_completed: f.state.tasks_completed as u64,
+        tasks_expired: f.state.tasks_expired as u64,
+        tasks_cancelled: f.state.tasks_cancelled as u64,
+        tasks_abandoned: f.state.tasks_abandoned as u64,
+        pending: f.state.pending.len() as u64,
+        workers: f.state.ledgers.len() as u64,
+        earnings_total: f.state.ledgers.iter().map(|l| l.earnings).sum(),
+        has_fault_rng: f.state.fault_rng.is_some(),
+        has_solver_cache: f.solver.is_some(),
+        has_ledger_record: !f.record_json.is_empty(),
+    })
+}
+
+/// 64-bit FNV-1a over `data`.
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fingerprint of (scenario, config): recovery refuses to restore a
+/// journal written under a different world or policy, because the resumed
+/// day would be silently plausible and silently wrong. The durable
+/// settings themselves (directory, fsync policy, snapshot cadence, crash
+/// drill) are deliberately excluded — recovering with a different fsync
+/// policy is legitimate.
+pub(crate) fn fingerprint(scenario: &Scenario, config: &SimConfig) -> u64 {
+    let mut w = Writer::new();
+    w.bytes(b"fta-sim-state-v1");
+    w.u64(scenario.centers.len() as u64);
+    w.u64(scenario.delivery_points.len() as u64);
+    w.u64(scenario.workers.len() as u64);
+    w.u64(scenario.tasks.len() as u64);
+    for c in &scenario.centers {
+        encode_point(&mut w, &c.location);
+    }
+    for dp in &scenario.delivery_points {
+        encode_point(&mut w, &dp.location);
+        w.u32(dp.center.0);
+    }
+    for wk in &scenario.workers {
+        encode_point(&mut w, &wk.location);
+        w.u64(wk.max_dp as u64);
+        w.u32(wk.center.0);
+    }
+    for t in &scenario.tasks {
+        w.f64(t.arrival);
+        w.u32(t.delivery_point.0);
+        w.f64(t.deadline);
+        w.f64(t.reward);
+    }
+    w.f64(scenario.config.speed);
+    w.f64(config.horizon);
+    w.f64(config.assignment_period);
+    // Policy, VDPS, budget, and fault settings are folded in through their
+    // (deterministic) Debug rendering; derive-generated and stable.
+    w.bytes(format!("{:?}", config.policy).as_bytes());
+    w.bytes(format!("{:?}", config.vdps).as_bytes());
+    w.bytes(format!("{:?}", config.budget).as_bytes());
+    w.bytes(format!("{:?}", config.faults).as_bytes());
+    w.u8(u8::from(config.parallel));
+    w.u8(u8::from(config.incremental));
+    fnv64(&w.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fta_algorithms::Algorithm;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_state() -> LoopState {
+        let mut rng = StdRng::seed_from_u64(3);
+        rng.gen_range(0.0f64..1.0);
+        LoopState {
+            now: 1.25,
+            rounds: 5,
+            next_arrival: 17,
+            tasks_completed: 9,
+            tasks_expired: 2,
+            tasks_cancelled: 1,
+            tasks_abandoned: 0,
+            reassignments: 3,
+            worker_no_shows: 1,
+            route_dropouts: 2,
+            degraded_rounds: 0,
+            ledgers: vec![
+                WorkerLedger {
+                    earnings: 4.5,
+                    busy_hours: 1.75,
+                    routes: 3,
+                    tasks_delivered: 5,
+                },
+                WorkerLedger::default(),
+            ],
+            busy_until: vec![1.5, 0.25],
+            location: vec![Point { x: 0.5, y: -1.0 }, Point { x: 2.0, y: 3.0 }],
+            pending: vec![Pending {
+                task: ArrivingTask {
+                    arrival: 0.7,
+                    delivery_point: DeliveryPointId(4),
+                    deadline: 2.1,
+                    reward: 1.0,
+                },
+                cancel_at: Some(1.9),
+                retries: 1,
+                eligible_after: 1.5,
+            }],
+            fault_rng: Some(rng),
+            last_round: Some(RoundShape {
+                now: 1.25,
+                center_workers: vec![vec![0], vec![1]],
+                center_tasks: vec![3, 0],
+            }),
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_bitwise() {
+        let st = sample_state();
+        let payload = encode_frame(5, &st, None, b"{\"type\":\"solve\"}");
+        let decoded = decode_frame(&payload).unwrap();
+        assert_eq!(decoded.round, 5);
+        let d = &decoded.state;
+        assert_eq!(d.now.to_bits(), st.now.to_bits());
+        assert_eq!(d.rounds, st.rounds);
+        assert_eq!(d.next_arrival, st.next_arrival);
+        assert_eq!(d.ledgers, st.ledgers);
+        assert_eq!(
+            d.busy_until.iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+            st.busy_until
+                .iter()
+                .map(|b| b.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(d.pending.len(), 1);
+        assert_eq!(d.pending[0].cancel_at, st.pending[0].cancel_at);
+        assert_eq!(decoded.record_json, b"{\"type\":\"solve\"}");
+        // The restored RNG continues the exact same stream.
+        let mut a = st.fault_rng.clone().unwrap();
+        let mut b = d.fault_rng.clone().unwrap();
+        for _ in 0..20 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+        let lr = d.last_round.as_ref().unwrap();
+        assert_eq!(lr.center_workers, vec![vec![0], vec![1]]);
+        assert_eq!(lr.center_tasks, vec![3, 0]);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let st = sample_state();
+        let mut payload = encode_frame(1, &st, None, b"");
+        payload[0] = 9;
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(DurableError::BadVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_typed_not_panic() {
+        let st = sample_state();
+        let payload = encode_frame(1, &st, None, b"r");
+        for cut in [1usize, 8, 20, payload.len() - 1] {
+            assert!(decode_frame(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn frame_info_summarises_without_scenario() {
+        let st = sample_state();
+        let payload = encode_frame(5, &st, None, b"{}");
+        let info = frame_info(&payload).unwrap();
+        assert_eq!(info.round, 5);
+        assert_eq!(info.tasks_completed, 9);
+        assert_eq!(info.pending, 1);
+        assert_eq!(info.workers, 2);
+        assert!((info.earnings_total - 4.5).abs() < 1e-12);
+        assert!(info.has_fault_rng);
+        assert!(!info.has_solver_cache);
+        assert!(info.has_ledger_record);
+    }
+
+    #[test]
+    fn fingerprint_separates_scenarios_and_configs() {
+        let s1 = Scenario::generate(&crate::scenario::ScenarioConfig::default(), 1.0, 1);
+        let s2 = Scenario::generate(&crate::scenario::ScenarioConfig::default(), 1.0, 2);
+        let cfg = SimConfig::day(Algorithm::Gta);
+        let f1 = fingerprint(&s1, &cfg);
+        assert_eq!(f1, fingerprint(&s1, &cfg), "fingerprint must be stable");
+        assert_ne!(f1, fingerprint(&s2, &cfg), "different scenario, same print");
+        let mut other = cfg.clone();
+        other.incremental = true;
+        assert_ne!(f1, fingerprint(&s1, &other), "different config, same print");
+    }
+}
