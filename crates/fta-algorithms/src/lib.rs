@@ -41,6 +41,7 @@ pub mod pfgt;
 pub mod random;
 pub mod report;
 pub mod resolve;
+pub mod shard;
 pub mod solver;
 pub mod stats;
 pub mod trace;
@@ -57,6 +58,7 @@ pub use pfgt::{pfgt, pfgt_bounded, pfgt_warm_bounded, PfgtConfig, PrioritySpec};
 pub use random::random_assignment;
 pub use report::SolveReport;
 pub use resolve::{CacheSeed, CenterSeed, ResolveStats, Solver};
+pub use shard::{estimate_center_cost, solve_sharded, solve_sharded_with_pool, ShardedSolver};
 pub use solver::{
     solve, solve_with_pool, Algorithm, CenterSolveSummary, PanicInjection, SolveConfig,
     SolveOutcome,

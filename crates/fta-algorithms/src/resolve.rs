@@ -423,6 +423,63 @@ impl Solver {
         }
         merged
     }
+
+    /// Shard-scoped [`Solver::resolve`]: incrementally re-solves only the
+    /// given `views` (one shard's centers), replacing the cache with this
+    /// round's captures for exactly those centers. The caller (the
+    /// sharded solver in [`crate::shard`]) guarantees this solver only
+    /// ever sees the same shard's views, an unlimited budget, no panic
+    /// injection, and `keys` parallel to `instance.workers` — the
+    /// preconditions under which [`Solver::resolve`] takes its
+    /// incremental path. Per-center semantics (clean short-circuit, warm
+    /// delta-update, cold fallback) are byte-for-byte those of
+    /// [`Solver::resolve`]; the clean/warm/cold telemetry counters fire
+    /// here, once per shard. Returns per-view outcomes and resolve
+    /// paths in the order given, leaving merging to the caller.
+    pub(crate) fn resolve_views(
+        &mut self,
+        instance: &Instance,
+        keys: &[u64],
+        views: Vec<CenterView>,
+        aggregates: &[DpAggregate],
+    ) -> (Vec<CenterOutcome>, Vec<&'static str>) {
+        debug_assert!(self.config.budget.is_unlimited() && self.config.inject_panic.is_none());
+        let mut prev: HashMap<CenterId, CenterCache> = std::mem::take(&mut self.centers)
+            .into_iter()
+            .map(|c| (c.center, c))
+            .collect();
+        let mut stats = ResolveStats::default();
+        let mut outcomes = Vec::with_capacity(views.len());
+        let mut caches = Vec::with_capacity(views.len());
+        let mut paths = Vec::with_capacity(views.len());
+        for view in views {
+            let cached = prev.remove(&view.center);
+            let (outcome, cache, path) = resolve_center(
+                instance,
+                aggregates,
+                view,
+                keys,
+                cached,
+                &self.config,
+                &mut stats,
+            );
+            if let Some(c) = cache {
+                caches.push(c);
+            }
+            outcomes.push(outcome);
+            paths.push(path);
+        }
+        self.centers = caches;
+        self.last = stats;
+        if fta_obs::enabled() {
+            fta_obs::counter("solve.centers_clean", stats.centers_clean as u64);
+            fta_obs::counter("solve.centers_warm", stats.centers_warm as u64);
+            fta_obs::counter("solve.centers_cold", stats.centers_cold as u64);
+            fta_obs::counter("br.warm_adopted", stats.warm_adopted as u64);
+            fta_obs::counter("br.warm_rejected", stats.warm_rejected as u64);
+        }
+        (outcomes, paths)
+    }
 }
 
 /// The per-center VDPS config the solver actually generates under: the

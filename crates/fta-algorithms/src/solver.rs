@@ -237,6 +237,9 @@ pub struct CenterSolveSummary {
     /// to `"clean"`/`"warm"` by the incremental
     /// [`crate::resolve::Solver`].
     pub resolve_path: &'static str,
+    /// The shard this center was solved on, patched in by the sharded
+    /// solver (see [`crate::shard`]); `None` on unsharded solves.
+    pub shard: Option<u32>,
     /// Best-response rounds run for this center (all restarts).
     pub br_rounds: u64,
     /// Candidate strategies evaluated for this center.
@@ -613,7 +616,7 @@ pub fn solve(instance: &Instance, config: &SolveConfig) -> SolveOutcome {
 /// Routes fta-core budget exhaustion into a flight-recorder dump. The
 /// observer fires on the first deadline latch of each token; the dump
 /// itself is rate-limited process-wide by `fta_obs::ring`.
-fn install_exhaustion_hook() {
+pub(crate) fn install_exhaustion_hook() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         fta_core::set_exhaustion_observer(Box::new(|_axis| {
@@ -690,6 +693,7 @@ pub(crate) fn merge_outcomes(outcomes: Vec<CenterOutcome>, budget_cancelled: boo
             rung: outcome.rung,
             budget_axis: dominant_axis(&outcome.report.events),
             resolve_path: "cold",
+            shard: None,
             br_rounds: outcome.trace.stats.rounds,
             br_evaluations: outcome.trace.stats.candidate_evaluations,
             br_switches: outcome.trace.stats.switches,

@@ -1,0 +1,117 @@
+//! Property-based tests of the geo-sharded solve layer: for *every*
+//! random instance, shard count, partitioner, and pool width, sharding
+//! must be invisible in the results — it only changes where each center
+//! solves, never what it computes.
+
+use fta_algorithms::{
+    solve, solve_sharded, solve_sharded_with_pool, Algorithm, FgtConfig, IegtConfig, MptaConfig,
+    SolveConfig,
+};
+use fta_core::{FairnessReport, Instance, ShardBy, WorkerId};
+use fta_data::{generate_syn, SynConfig};
+use fta_vdps::{VdpsConfig, WorkerPool};
+use proptest::prelude::*;
+
+/// Random small multi-center instances driven by a seed and size knobs.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (1u64..500, 2usize..8, 6usize..24, 8usize..24).prop_map(
+        |(seed, n_centers, n_workers, n_dps)| {
+            generate_syn(
+                &SynConfig {
+                    n_centers,
+                    n_workers,
+                    n_tasks: n_dps * 6,
+                    n_delivery_points: n_dps,
+                    max_dp: 3,
+                    extent: 4.0,
+                    ..SynConfig::bench_scale()
+                },
+                seed,
+            )
+        },
+    )
+}
+
+fn config(algorithm: Algorithm) -> SolveConfig {
+    SolveConfig {
+        vdps: VdpsConfig::unpruned(3),
+        algorithm,
+        ..SolveConfig::new(Algorithm::Gta)
+    }
+}
+
+fn payoffs(instance: &Instance, outcome: &fta_algorithms::SolveOutcome) -> Vec<f64> {
+    let workers: Vec<WorkerId> = (0..instance.workers.len())
+        .map(WorkerId::from_index)
+        .collect();
+    outcome.assignment.payoffs(instance, &workers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_solve_is_bit_identical_to_sequential(
+        instance in arb_instance(),
+        shards in 1usize..12,
+        geo in prop::bool::ANY,
+    ) {
+        let by = if geo { ShardBy::Geo } else { ShardBy::Hash };
+        for algorithm in [
+            Algorithm::Gta,
+            Algorithm::Mpta(MptaConfig::default()),
+            Algorithm::Random { seed: 9 },
+        ] {
+            let cfg = config(algorithm);
+            let flat = solve(&instance, &cfg);
+            let sharded = solve_sharded(&instance, &cfg, shards, by);
+            prop_assert_eq!(
+                &sharded.assignment, &flat.assignment,
+                "assignment diverged ({:?}, {} shards, {:?})", by, shards, algorithm
+            );
+            prop_assert_eq!(payoffs(&instance, &sharded), payoffs(&instance, &flat));
+            prop_assert_eq!(sharded.centers.len(), flat.centers.len());
+            for (s, f) in sharded.centers.iter().zip(&flat.centers) {
+                prop_assert_eq!(s.center, f.center);
+                prop_assert_eq!(s.rung, f.rung);
+                prop_assert!(s.shard.is_some(), "sharded summary missing attribution");
+                prop_assert!(f.shard.is_none(), "flat summary carries attribution");
+            }
+        }
+    }
+
+    #[test]
+    fn fairness_metrics_are_shard_count_invariant_for_iterative_games(
+        instance in arb_instance(),
+        shards in 2usize..10,
+    ) {
+        for algorithm in [
+            Algorithm::Fgt(FgtConfig::default()),
+            Algorithm::Iegt(IegtConfig::default()),
+        ] {
+            let cfg = config(algorithm);
+            let one = solve_sharded(&instance, &cfg, 1, ShardBy::Geo);
+            let many = solve_sharded(&instance, &cfg, shards, ShardBy::Geo);
+            let fair_one = FairnessReport::from_payoffs(&payoffs(&instance, &one));
+            let fair_many = FairnessReport::from_payoffs(&payoffs(&instance, &many));
+            prop_assert_eq!(
+                fair_one, fair_many,
+                "fairness metrics varied with shard count ({:?})", algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_agrees_with_sequential(instance in arb_instance()) {
+        // Far more shards than pool threads: every center its own shard
+        // on a two-thread pool. The queue must drain without deadlock
+        // and the merge must stay bit-identical.
+        let cfg = config(Algorithm::Gta);
+        let flat = solve(&instance, &cfg);
+        let pool = WorkerPool::with_threads(2);
+        let shards = instance.centers.len();
+        let sharded =
+            solve_sharded_with_pool(&instance, &cfg, &pool, shards, ShardBy::Hash, None);
+        prop_assert_eq!(&sharded.assignment, &flat.assignment);
+    }
+}

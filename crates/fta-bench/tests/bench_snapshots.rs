@@ -1,11 +1,16 @@
 //! Schema validation of the committed perf snapshots at the repo root:
 //! `BENCH_incremental.json` (incremental re-solve), `BENCH_hotpath.json`
-//! (chunked kernels + calibrated hot-path profile), and
-//! `BENCH_durable.json` (journaling overhead per fsync policy) must
-//! parse, carry every field downstream tooling reads, stay internally
-//! consistent, and keep the speedup floors the acceptance criteria pin.
-//! The floors live in `fta_bench::gates`, shared with the snapshot
-//! writers, so the writer and this re-check can never drift apart.
+//! (chunked kernels + calibrated hot-path profile), `BENCH_durable.json`
+//! (journaling overhead per fsync policy), `BENCH_scale.json`
+//! (geo-sharded concurrent solves up to 10^5 workers), and the
+//! multi-center block of `BENCH_vdps.json` must parse, carry every field
+//! downstream tooling reads, stay internally consistent, and keep the
+//! speedup floors the acceptance criteria pin. The floors live in
+//! `fta_bench::gates`, shared with the snapshot writers, so the writer
+//! and this re-check can never drift apart. Parallel floors are
+//! capability-conditioned on the thread count the snapshot records —
+//! a single-core box cannot honestly produce (or re-check) a concurrent
+//! speedup, so there the sharded path is held to the no-loss band.
 
 use fta_bench::gates;
 use serde_json::Value;
@@ -143,6 +148,125 @@ fn bench_durable_snapshot_is_schema_valid() {
         }
     }
     assert!(saw_every8, "grid must include the every-8 row");
+}
+
+#[test]
+fn bench_scale_snapshot_is_schema_valid() {
+    let raw = std::fs::read_to_string(snapshot_path("BENCH_scale.json"))
+        .expect("BENCH_scale.json is committed at the repo root");
+    let v: Value = serde_json::from_str(&raw).expect("snapshot parses as JSON");
+
+    assert!(v["description"].as_str().is_some(), "missing description");
+    assert_eq!(v["algorithm"].as_str(), Some("gta"));
+    assert!(v["reps"].as_u64().unwrap_or(0) >= 1, "reps must be >= 1");
+    let threads = v["hw_threads"].as_u64().expect("missing hw_threads") as usize;
+    assert!(threads >= 1, "hw_threads must be >= 1");
+    // peak_rss_bytes is null off Linux; when present it must be sane
+    // (a 10^5-worker sweep holds well over a megabyte live).
+    if let Some(rss) = v["peak_rss_bytes"].as_u64() {
+        assert!(rss > 1 << 20, "peak RSS implausibly small: {rss} bytes");
+    }
+
+    let grid = v["grid"].as_array().expect("grid is an array");
+    assert!(!grid.is_empty(), "grid must not be empty");
+
+    // The committed full-mode sweep must reach the acceptance scale.
+    let max_workers = grid
+        .iter()
+        .map(|r| r["n_workers"].as_u64().unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let max_centers = grid
+        .iter()
+        .map(|r| r["n_centers"].as_u64().unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_workers >= 100_000,
+        "committed sweep must reach 10^5 workers (saw {max_workers})"
+    );
+    assert!(
+        max_centers >= 200,
+        "committed sweep must reach 200 centers (saw {max_centers})"
+    );
+
+    for row in grid {
+        let label = row["label"].as_str().expect("row missing label");
+        for key in ["n_centers", "n_workers", "n_dps", "n_tasks", "shards"] {
+            assert!(
+                row[key].as_u64().unwrap_or(0) > 0,
+                "{label}: missing positive integer field {key}"
+            );
+        }
+        let sequential = row["sequential_ms"].as_f64().expect("sequential_ms");
+        let sharded = row["sharded_ms"].as_f64().expect("sharded_ms");
+        let speedup = row["speedup_sharded_vs_sequential"]
+            .as_f64()
+            .expect("speedup_sharded_vs_sequential");
+        assert!(sequential > 0.0 && sharded > 0.0 && speedup > 0.0);
+        assert!(
+            (speedup - sequential / sharded).abs() <= speedup * 1e-6,
+            "{label}: speedup inconsistent with its timings"
+        );
+        assert!(
+            row["workers_per_sec"].as_f64().unwrap_or(0.0) > 0.0,
+            "{label}: missing workers_per_sec"
+        );
+        for key in ["geo_imbalance_pct", "hash_imbalance_pct"] {
+            assert!(
+                row[key].as_f64().unwrap_or(-1.0) >= 0.0,
+                "{label}: missing {key}"
+            );
+        }
+
+        // Same capability-conditioned gates as the writer: the headline
+        // floor where the recorded hardware could express concurrency,
+        // the no-loss band everywhere.
+        assert!(
+            sharded <= sequential * gates::scale_noise_band(false),
+            "{label}: committed snapshot has sharded losing to sequential \
+             beyond the full-mode noise band"
+        );
+        let centers = row["n_centers"].as_u64().unwrap() as usize;
+        if threads >= gates::SCALE_FLOOR_MIN_THREADS && centers >= gates::SCALE_FLOOR_MIN_CENTERS {
+            assert!(
+                speedup >= gates::SCALE_SPEEDUP_FLOOR,
+                "{label}: committed speedup {speedup:.2}x on {threads} threads \
+                 below the {}x acceptance floor",
+                gates::SCALE_SPEEDUP_FLOOR
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_vdps_snapshot_multi_center_is_honest_about_threads() {
+    let raw = std::fs::read_to_string(snapshot_path("BENCH_vdps.json"))
+        .expect("BENCH_vdps.json is committed at the repo root");
+    let v: Value = serde_json::from_str(&raw).expect("snapshot parses as JSON");
+
+    let mc = &v["solve_multi_center"];
+    let threads = mc["threads"].as_u64().expect("missing threads");
+    assert!(threads >= 1);
+    assert!(mc["sequential_ms"].as_f64().unwrap_or(0.0) > 0.0);
+    assert!(mc["pooled_ms"].as_f64().unwrap_or(0.0) > 0.0);
+    // A parallel speedup claim requires actual parallel hardware: with
+    // one pool thread the field must be null (pooled-vs-sequential is
+    // dispatch overhead plus timer noise, not a win).
+    if threads == 1 {
+        assert!(
+            mc["speedup"].is_null(),
+            "single-thread snapshot must not claim a parallel speedup"
+        );
+    } else {
+        let seq = mc["sequential_ms"].as_f64().unwrap();
+        let par = mc["pooled_ms"].as_f64().unwrap();
+        let speedup = mc["speedup"].as_f64().expect("missing speedup");
+        assert!(
+            (speedup - seq / par).abs() <= speedup * 1e-6,
+            "speedup inconsistent with its timings"
+        );
+    }
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Argument parsing for the `fta` binary (hand-rolled, dependency-free).
 
 use fta_algorithms::{Algorithm, BestResponseEngine, FgtConfig, IegtConfig, MptaConfig};
+use fta_core::ShardBy;
 use fta_durable::FsyncPolicy;
 use fta_vdps::VdpsEngine;
 use std::path::PathBuf;
@@ -23,6 +24,7 @@ COMMANDS
         [--out FILE] [--budget-ms MS] [--max-states N] [--max-rounds N]
         [--trace-out FILE] [--metrics-out FILE] [--ledger-out FILE]
         [--hotpath-profile FILE] [--inject-panic CENTER]
+        [--shards N] [--shard-by hash|geo]
       Run an assignment algorithm; print the summary, optionally write
       the assignment JSON. With --trace-out / --metrics-out a telemetry
       recorder captures the run and writes a JSONL span/round trace and
@@ -34,6 +36,11 @@ COMMANDS
       the degradation events instead of overrunning. --inject-panic
       deliberately panics the given center's solve (forensics testing:
       the panic is quarantined and triggers a flight-recorder dump).
+      --shards N partitions the centers into N geo-shards solved
+      concurrently with cost-aware (largest-first) scheduling;
+      --shard-by picks the partitioner (hash: center-id scatter, geo:
+      k-means proximity clustering). Sharding never changes a
+      deterministic algorithm's assignment.
 
   simulate [--algo gta|mpta|fgt|iegt|random|immediate] [--seed S]
            [--hours H] [--period-min M] [--workers N] [--dps N]
@@ -188,6 +195,11 @@ pub enum Command {
         /// Deliberately panic the given center's solve (forensics
         /// testing; the panic is quarantined).
         inject_panic: Option<u32>,
+        /// Solve the centers in `N` concurrent geo-shards (`--shards`;
+        /// `None` = flat per-center path).
+        shards: Option<usize>,
+        /// Shard partitioner (`--shard-by hash|geo`).
+        shard_by: ShardBy,
     },
     /// `fta simulate`
     Simulate {
@@ -408,6 +420,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut ledger_out = None;
             let mut hotpath_profile = None;
             let mut inject_panic = None;
+            let mut shards = None;
+            let mut shard_by = ShardBy::default();
             while let Some(arg) = it.next() {
                 let mut value = |flag: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -445,6 +459,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--inject-panic" => {
                         inject_panic = Some(parse_num(value("--inject-panic")?, "--inject-panic")?);
                     }
+                    "--shards" => shards = Some(parse_num(value("--shards")?, "--shards")?),
+                    "--shard-by" => shard_by = value("--shard-by")?.parse()?,
                     other => return Err(format!("unknown solve flag `{other}`")),
                 }
             }
@@ -468,6 +484,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 ledger_out,
                 hotpath_profile,
                 inject_panic,
+                shards,
+                shard_by,
             })
         }
         "simulate" => {
@@ -803,6 +821,34 @@ mod tests {
     fn solve_rejects_unknown_algorithm() {
         let err = parse(&argv("solve city.json --algo nope")).unwrap_err();
         assert!(err.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn solve_shard_flags_parse() {
+        match parse(&argv("solve city.json")).unwrap() {
+            Command::Solve {
+                shards, shard_by, ..
+            } => {
+                assert_eq!(shards, None);
+                assert_eq!(shard_by, ShardBy::Hash);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("solve city.json --shards 4 --shard-by geo")).unwrap() {
+            Command::Solve {
+                shards, shard_by, ..
+            } => {
+                assert_eq!(shards, Some(4));
+                assert_eq!(shard_by, ShardBy::Geo);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_rejects_unknown_shard_partitioner() {
+        let err = parse(&argv("solve city.json --shard-by nope")).unwrap_err();
+        assert!(err.contains("unknown shard partitioner"), "{err}");
     }
 
     #[test]

@@ -388,8 +388,10 @@ pub fn execute(command: &Command) -> Result<String, String> {
             ledger_out,
             hotpath_profile,
             inject_panic,
+            shards,
+            shard_by,
         } => {
-            use fta_algorithms::{fastpath_sound, Algorithm, PanicInjection};
+            use fta_algorithms::{fastpath_sound, solve_sharded, Algorithm, PanicInjection};
             if let Some(path) = hotpath_profile {
                 let profile = fta_vdps::hotpath::load(path)
                     .map_err(|e| format!("--hotpath-profile {}: {e}", path.display()))?;
@@ -431,19 +433,20 @@ pub fn execute(command: &Command) -> Result<String, String> {
             // for; otherwise the emit paths stay single-atomic-load cheap.
             let recorder =
                 (trace_out.is_some() || metrics_out.is_some()).then(fta_obs::Recorder::install);
-            let outcome = solve(
-                &inst,
-                &SolveConfig {
-                    vdps,
-                    parallel: *parallel,
-                    budget,
-                    inject_panic: inject_panic.map(|center| PanicInjection {
-                        center,
-                        also_on_retry: false,
-                    }),
-                    ..SolveConfig::new(algorithm)
-                },
-            );
+            let solve_config = SolveConfig {
+                vdps,
+                parallel: *parallel,
+                budget,
+                inject_panic: inject_panic.map(|center| PanicInjection {
+                    center,
+                    also_on_retry: false,
+                }),
+                ..SolveConfig::new(algorithm)
+            };
+            let outcome = match shards {
+                Some(k) => solve_sharded(&inst, &solve_config, *k, *shard_by),
+                None => solve(&inst, &solve_config),
+            };
             let snapshot = recorder.map(fta_obs::Recorder::finish);
             outcome
                 .assignment
@@ -761,6 +764,30 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 );
                 for (center, (rounds, moves, p_dif)) in centers {
                     let _ = writeln!(text, "  dc{center:<6} {rounds:>7} {moves:>8} {p_dif:>12.4}");
+                }
+                // Per-shard attribution: `solver.shard` spans carry the
+                // shard index in their center attribute — one span per
+                // shard per sharded solve.
+                let mut shard_spans: std::collections::BTreeMap<u32, (u64, u64)> =
+                    std::collections::BTreeMap::new();
+                for span in &parsed.spans {
+                    if span.name == "solver.shard" {
+                        if let Some(shard) = span.center {
+                            let entry = shard_spans.entry(shard).or_default();
+                            entry.0 += 1;
+                            entry.1 += span.duration_nanos;
+                        }
+                    }
+                }
+                if !shard_spans.is_empty() {
+                    let _ = writeln!(text, "  {:<8} {:>7} {:>14}", "shard", "solves", "total ms");
+                    for (shard, (count, nanos)) in shard_spans {
+                        let _ = writeln!(
+                            text,
+                            "  sh{shard:<6} {count:>7} {:>14.3}",
+                            nanos as f64 / 1e6
+                        );
+                    }
                 }
             }
             Ok(text)

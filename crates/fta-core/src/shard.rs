@@ -1,0 +1,376 @@
+//! Geo-shard partitioning: grouping distribution centers into shards.
+//!
+//! The paper's per-center game decomposition makes the distribution
+//! center the natural unit of parallel work — each center's VDPS pool
+//! and equilibrium loop is independent of every other center's. A
+//! *shard* is a group of centers solved together: the scheduling,
+//! memory-locality, and attribution unit of the scale-out layer in
+//! `fta-algorithms`.
+//!
+//! Two pluggable partitioners are provided:
+//!
+//! * [`ShardBy::Hash`] — stateless splitmix64 hash of the center id.
+//!   Uniform in expectation, oblivious to geometry; the right default
+//!   when centers are homogeneous.
+//! * [`ShardBy::Geo`] — deterministic k-means over center locations
+//!   (farthest-point seeding + Lloyd iterations, no RNG), so each shard
+//!   is a spatially compact group of centers. Geo proximity correlates
+//!   with shared road segments and similar task densities, which keeps a
+//!   shard's working set coherent.
+//!
+//! Both partitioners are pure functions of the center list: the same
+//! centers always produce the same [`ShardPlan`], which is what lets the
+//! sharded solver guarantee bit-identical results to the sequential
+//! solve (the plan only *groups* work; it never reorders the merge).
+
+use crate::entities::DistributionCenter;
+use crate::ids::CenterId;
+
+/// How centers are grouped into shards. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBy {
+    /// Splitmix64 hash of the center id, modulo the shard count.
+    #[default]
+    Hash,
+    /// Deterministic k-means over center locations (k = shard count).
+    Geo,
+}
+
+impl ShardBy {
+    /// The CLI-facing name of this partitioner.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardBy::Hash => "hash",
+            ShardBy::Geo => "geo",
+        }
+    }
+}
+
+impl std::str::FromStr for ShardBy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hash" => Ok(ShardBy::Hash),
+            "geo" => Ok(ShardBy::Geo),
+            other => Err(format!("unknown shard partitioner '{other}' (hash|geo)")),
+        }
+    }
+}
+
+/// A deterministic assignment of every center to a shard.
+///
+/// Built by [`ShardPlan::build`]; the shard count is clamped to
+/// `[1, centers.len()]` (an empty center list yields one empty shard).
+/// Shards may be empty under [`ShardBy::Hash`] (hash collisions) — the
+/// solver simply skips them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Center index → shard index.
+    assignment: Vec<u32>,
+    /// Shard index → center indices, each ascending.
+    shards: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Partitions `centers` into (at most) `shards` shards.
+    #[must_use]
+    pub fn build(centers: &[DistributionCenter], shards: usize, by: ShardBy) -> Self {
+        let k = shards.clamp(1, centers.len().max(1));
+        let assignment: Vec<u32> = match by {
+            ShardBy::Hash => centers
+                .iter()
+                .map(|c| (splitmix64(u64::from(c.id.0)) % k as u64) as u32)
+                .collect(),
+            ShardBy::Geo => kmeans_labels(centers, k),
+        };
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &s) in assignment.iter().enumerate() {
+            buckets[s as usize].push(i);
+        }
+        Self {
+            assignment,
+            shards: buckets,
+        }
+    }
+
+    /// Number of shards in the plan (including empty ones).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard the given center belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the center index is out of range for the partitioned
+    /// center list.
+    #[must_use]
+    pub fn shard_of(&self, center: CenterId) -> u32 {
+        self.assignment[center.index()]
+    }
+
+    /// The (ascending) center indices of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    #[must_use]
+    pub fn centers_of(&self, shard: usize) -> &[usize] {
+        &self.shards[shard]
+    }
+
+    /// Percentage by which the heaviest shard exceeds the mean shard
+    /// load, with per-center loads given by `weight`. `0.0` for a
+    /// perfectly balanced (or empty) plan; `100.0` means the heaviest
+    /// shard carries twice the mean.
+    #[must_use]
+    pub fn imbalance_pct(&self, weight: impl Fn(usize) -> u64) -> f64 {
+        let loads: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.iter().map(|&c| weight(c)).sum())
+            .collect();
+        let total: u64 = loads.iter().sum();
+        if total == 0 || loads.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        (max / mean - 1.0) * 100.0
+    }
+}
+
+/// Sebastiano Vigna's splitmix64 finalizer: a full-avalanche mix, so
+/// consecutive center ids land on unrelated shards.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic k-means over center locations: farthest-point seeding
+/// (no RNG — the first centroid is the center nearest the global
+/// centroid, each subsequent one the center farthest from all chosen so
+/// far, ties to the lower index), then Lloyd iterations with
+/// lowest-index tie-breaking, bounded at 32 rounds. An emptied cluster
+/// is re-seeded with the point farthest from its own centroid, so every
+/// geo shard is non-empty.
+fn kmeans_labels(centers: &[DistributionCenter], k: usize) -> Vec<u32> {
+    let n = centers.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if k <= 1 {
+        return vec![0; n];
+    }
+    let pts: Vec<(f64, f64)> = centers
+        .iter()
+        .map(|c| (c.location.x, c.location.y))
+        .collect();
+    let d2 = |a: (f64, f64), b: (f64, f64)| {
+        let dx = a.0 - b.0;
+        let dy = a.1 - b.1;
+        dx * dx + dy * dy
+    };
+
+    // Farthest-point seeding.
+    let gx = pts.iter().map(|p| p.0).sum::<f64>() / n as f64;
+    let gy = pts.iter().map(|p| p.1).sum::<f64>() / n as f64;
+    let mut seeds: Vec<usize> = Vec::with_capacity(k);
+    let first = argmin((0..n).map(|i| d2(pts[i], (gx, gy))));
+    seeds.push(first);
+    let mut nearest: Vec<f64> = (0..n).map(|i| d2(pts[i], pts[first])).collect();
+    while seeds.len() < k {
+        let next = argmax(nearest.iter().copied());
+        seeds.push(next);
+        for i in 0..n {
+            nearest[i] = nearest[i].min(d2(pts[i], pts[next]));
+        }
+    }
+    let mut centroids: Vec<(f64, f64)> = seeds.iter().map(|&i| pts[i]).collect();
+
+    // Lloyd iterations.
+    let mut labels = vec![0u32; n];
+    for _ in 0..32 {
+        let mut changed = false;
+        for i in 0..n {
+            let best = argmin(centroids.iter().map(|&c| d2(pts[i], c))) as u32;
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids; re-seed any emptied cluster with the
+        // point farthest from its current centroid.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for i in 0..n {
+            let s = &mut sums[labels[i] as usize];
+            s.0 += pts[i].0;
+            s.1 += pts[i].1;
+            s.2 += 1;
+        }
+        for (c, &(sx, sy, cnt)) in centroids.iter_mut().zip(&sums) {
+            if cnt > 0 {
+                *c = (sx / cnt as f64, sy / cnt as f64);
+            }
+        }
+        for c in 0..k {
+            if sums[c].2 == 0 {
+                let stray = argmax((0..n).map(|i| d2(pts[i], centroids[labels[i] as usize])));
+                labels[stray] = c as u32;
+                centroids[c] = pts[stray];
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+/// Index of the smallest value (ties to the lower index).
+fn argmin(vals: impl Iterator<Item = f64>) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, v) in vals.enumerate() {
+        if v < best.1 {
+            best = (i, v);
+        }
+    }
+    best.0
+}
+
+/// Index of the largest value (ties to the lower index).
+fn argmax(vals: impl Iterator<Item = f64>) -> usize {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, v) in vals.enumerate() {
+        if v > best.1 {
+            best = (i, v);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn centers(locs: &[(f64, f64)]) -> Vec<DistributionCenter> {
+        locs.iter()
+            .enumerate()
+            .map(|(i, &(x, y))| DistributionCenter {
+                id: CenterId::from_index(i),
+                location: Point::new(x, y),
+            })
+            .collect()
+    }
+
+    fn grid(n: usize) -> Vec<DistributionCenter> {
+        let locs: Vec<(f64, f64)> = (0..n).map(|i| ((i % 7) as f64, (i / 7) as f64)).collect();
+        centers(&locs)
+    }
+
+    #[test]
+    fn every_center_lands_in_exactly_one_shard() {
+        for by in [ShardBy::Hash, ShardBy::Geo] {
+            let cs = grid(23);
+            let plan = ShardPlan::build(&cs, 4, by);
+            assert_eq!(plan.shard_count(), 4);
+            let mut seen = vec![false; cs.len()];
+            for s in 0..plan.shard_count() {
+                for &c in plan.centers_of(s) {
+                    assert!(!seen[c], "center {c} in two shards ({by:?})");
+                    seen[c] = true;
+                    assert_eq!(plan.shard_of(CenterId::from_index(c)), s as u32);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "center missing from plan ({by:?})");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_centers() {
+        let cs = grid(3);
+        for by in [ShardBy::Hash, ShardBy::Geo] {
+            assert_eq!(ShardPlan::build(&cs, 100, by).shard_count(), 3);
+            assert_eq!(ShardPlan::build(&cs, 0, by).shard_count(), 1);
+        }
+        let empty = ShardPlan::build(&[], 5, ShardBy::Hash);
+        assert_eq!(empty.shard_count(), 1);
+        assert!(empty.centers_of(0).is_empty());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let cs = grid(40);
+        for by in [ShardBy::Hash, ShardBy::Geo] {
+            let a = ShardPlan::build(&cs, 6, by);
+            let b = ShardPlan::build(&cs, 6, by);
+            assert_eq!(a, b, "{by:?} plan must be a pure function of the centers");
+        }
+    }
+
+    #[test]
+    fn geo_shards_are_spatially_compact() {
+        // Two well-separated clusters of centers: a 2-shard geo plan must
+        // recover them exactly, while a hash plan (id-based) almost
+        // certainly mixes them.
+        let mut locs = Vec::new();
+        for i in 0..8 {
+            locs.push((i as f64 * 0.1, 0.0));
+            locs.push((i as f64 * 0.1 + 100.0, 50.0));
+        }
+        let cs = centers(&locs);
+        let plan = ShardPlan::build(&cs, 2, ShardBy::Geo);
+        for s in 0..2 {
+            let xs: Vec<f64> = plan
+                .centers_of(s)
+                .iter()
+                .map(|&c| cs[c].location.x)
+                .collect();
+            assert!(!xs.is_empty(), "geo shards are never empty");
+            let all_left = xs.iter().all(|&x| x < 50.0);
+            let all_right = xs.iter().all(|&x| x >= 50.0);
+            assert!(
+                all_left || all_right,
+                "geo shard {s} straddles both clusters: {xs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn geo_shards_are_never_empty() {
+        let cs = grid(17);
+        let plan = ShardPlan::build(&cs, 9, ShardBy::Geo);
+        for s in 0..plan.shard_count() {
+            assert!(!plan.centers_of(s).is_empty(), "geo shard {s} is empty");
+        }
+    }
+
+    #[test]
+    fn imbalance_is_zero_when_balanced_and_positive_when_skewed() {
+        let cs = grid(8);
+        let plan = ShardPlan::build(&cs, 4, ShardBy::Geo);
+        // Uniform unit weights over a plan that may already be uneven:
+        // imbalance is non-negative by construction.
+        assert!(plan.imbalance_pct(|_| 1) >= 0.0);
+        // All weight on one center: the max shard is k times the mean.
+        let skew = plan.imbalance_pct(|c| u64::from(c == 0));
+        assert!((skew - 300.0).abs() < 1e-9, "expected 300%, got {skew}");
+        assert_eq!(plan.imbalance_pct(|_| 0), 0.0);
+    }
+
+    #[test]
+    fn shard_by_parses_and_names() {
+        assert_eq!("hash".parse::<ShardBy>().unwrap(), ShardBy::Hash);
+        assert_eq!("geo".parse::<ShardBy>().unwrap(), ShardBy::Geo);
+        assert!("voronoi".parse::<ShardBy>().is_err());
+        assert_eq!(ShardBy::Hash.name(), "hash");
+        assert_eq!(ShardBy::Geo.name(), "geo");
+    }
+}

@@ -4,11 +4,13 @@ use crate::faults::FaultPlan;
 use crate::metrics::{DayMetrics, WorkerLedger};
 use crate::scenario::{ArrivingTask, Scenario};
 use crate::state::{self, LoopState};
-use fta_algorithms::{solve, Algorithm, SolveConfig, Solver};
+use fta_algorithms::{
+    solve, solve_sharded, Algorithm, CacheSeed, ShardedSolver, SolveConfig, SolveOutcome, Solver,
+};
 use fta_core::entities::{SpatialTask, Worker};
 use fta_core::ids::{DeliveryPointId, TaskId, WorkerId};
 use fta_core::route::Route;
-use fta_core::{CenterChurn, ChurnSet, Instance, SolveBudget};
+use fta_core::{CenterChurn, ChurnSet, Instance, ShardBy, SolveBudget};
 use fta_durable::{DurableError, FsyncPolicy, Journal};
 use fta_obs::ledger::SolveRecord;
 use fta_vdps::VdpsConfig;
@@ -145,6 +147,16 @@ pub struct SimConfig {
     /// and is bit-identical to builds without the durability layer; when
     /// set, journaling only *observes* the day (same metrics either way).
     pub durable: Option<DurableConfig>,
+    /// Solve each round's centers in geo-sharded groups (batch policies
+    /// only): `Some(k)` partitions the centers into `k` shards (see
+    /// [`ShardBy`]) and solves the shards concurrently with cost-aware
+    /// scheduling. `None` — the default — uses the flat per-center path.
+    /// Sharding never changes a deterministic algorithm's assignment
+    /// (GTA, MPTA, Random are bit-identical at any shard count); the
+    /// iterative games may converge to an equally valid equilibrium.
+    pub shards: Option<usize>,
+    /// Shard partitioner used when [`SimConfig::shards`] is set.
+    pub shard_by: ShardBy,
 }
 
 impl SimConfig {
@@ -161,6 +173,8 @@ impl SimConfig {
             faults: None,
             incremental: false,
             durable: None,
+            shards: None,
+            shard_by: ShardBy::default(),
         }
     }
 
@@ -191,6 +205,54 @@ impl SimConfig {
     pub fn with_durable(mut self, durable: DurableConfig) -> Self {
         self.durable = Some(durable);
         self
+    }
+
+    /// Enables geo-sharded round solves (see [`SimConfig::shards`]).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize, by: ShardBy) -> Self {
+        self.shards = Some(shards);
+        self.shard_by = by;
+        self
+    }
+}
+
+/// The persistent round-over-round solver held by incremental days:
+/// either the flat per-center [`Solver`] or the geo-sharded
+/// [`ShardedSolver`], chosen once from [`SimConfig::shards`]. Both
+/// produce interchangeable cache seeds (center-sorted), so a journal
+/// written by one shape can be rehydrated by the other.
+enum RoundSolver {
+    Flat(Solver),
+    Sharded(ShardedSolver),
+}
+
+impl RoundSolver {
+    fn new(config: SolveConfig, shards: Option<usize>, by: ShardBy) -> Self {
+        match shards {
+            Some(k) => Self::Sharded(ShardedSolver::new(config, k, by)),
+            None => Self::Flat(Solver::new(config)),
+        }
+    }
+
+    fn resolve(&mut self, instance: &Instance, churn: &ChurnSet) -> SolveOutcome {
+        match self {
+            Self::Flat(s) => s.resolve(instance, churn),
+            Self::Sharded(s) => s.resolve(instance, churn),
+        }
+    }
+
+    fn cache_seed(&self) -> Option<CacheSeed> {
+        match self {
+            Self::Flat(s) => s.cache_seed(),
+            Self::Sharded(s) => s.cache_seed(),
+        }
+    }
+
+    fn rehydrate(&mut self, instance: &Instance, keys: &[u64], seed: &CacheSeed) -> bool {
+        match self {
+            Self::Flat(s) => s.rehydrate(instance, keys, seed),
+            Self::Sharded(s) => s.rehydrate(instance, keys, seed),
+        }
     }
 }
 
@@ -455,7 +517,7 @@ fn run_inner(
 ) -> SimReport {
     validate_config(config);
     let mut st = LoopState::fresh(scenario, config);
-    let mut inc_solver: Option<Solver> = None;
+    let mut inc_solver: Option<RoundSolver> = None;
     // A journal that cannot even be *created* is a configuration error
     // (unwritable directory), not a mid-day fault — fail loudly up front
     // rather than run a day the caller believes is durable.
@@ -485,7 +547,7 @@ fn drive(
     scenario: &Scenario,
     config: &SimConfig,
     st: &mut LoopState,
-    inc_solver: &mut Option<Solver>,
+    inc_solver: &mut Option<RoundSolver>,
     mut ledger_sink: Option<&mut Vec<SolveRecord>>,
     mut durable: Option<&mut DurableSink>,
 ) -> SimReport {
@@ -596,8 +658,12 @@ fn drive(
                             let churn = churn_between(st.last_round.as_ref(), &shape, &idle);
                             st.last_round = Some(shape);
                             inc_solver
-                                .get_or_insert_with(|| Solver::new(solve_config))
+                                .get_or_insert_with(|| {
+                                    RoundSolver::new(solve_config, config.shards, config.shard_by)
+                                })
                                 .resolve(&instance, &churn)
+                        } else if let Some(shards) = config.shards {
+                            solve_sharded(&instance, &solve_config, shards, config.shard_by)
                         } else {
                             solve(&instance, &solve_config)
                         };
@@ -754,7 +820,7 @@ fn drive(
             if let Some(sink) = durable.as_deref_mut() {
                 let worker_keys: Vec<u64>;
                 let cache;
-                let solver_seed = match inc_solver.as_ref().and_then(Solver::cache_seed) {
+                let solver_seed = match inc_solver.as_ref().and_then(RoundSolver::cache_seed) {
                     Some(seed) => {
                         worker_keys = idle.iter().map(|&w| w as u64).collect();
                         cache = seed;
@@ -935,7 +1001,7 @@ fn restore_inner(
     // Re-hydrate the incremental solver's warm caches so the resumed
     // rounds take the same (17× faster, and for iterative games
     // differently-converged) warm path the uninterrupted day would have.
-    let mut inc_solver: Option<Solver> = None;
+    let mut inc_solver: Option<RoundSolver> = None;
     let mut cache_rehydrated = false;
     if config.incremental {
         if let (DispatchPolicy::Batch(algorithm), Some(seed)) = (config.policy, &solver_seed) {
@@ -946,7 +1012,7 @@ fn restore_inner(
                 budget: config.budget,
                 ..SolveConfig::new(Algorithm::Gta)
             };
-            let mut solver = Solver::new(solve_config);
+            let mut solver = RoundSolver::new(solve_config, config.shards, config.shard_by);
             cache_rehydrated = solver.rehydrate(&seed.instance, &seed.worker_keys, &seed.cache);
             if cache_rehydrated {
                 inc_solver = Some(solver);
@@ -1122,6 +1188,38 @@ mod tests {
         assert_eq!(a, b, "incremental runs must be reproducible");
         assert!(a.is_conserved(), "accounting broken: {a:?}");
         assert!(a.tasks_completed > 0, "incremental day delivered nothing");
+    }
+
+    #[test]
+    fn sharded_gta_day_is_bit_identical_to_flat() {
+        // Sharding only regroups which pool job solves each center; the
+        // per-center work and the merge order are unchanged, so a
+        // deterministic algorithm's day must be bit-identical at any
+        // shard count, cold and incremental alike.
+        let scenario = small_scenario(23);
+        let flat = run(&scenario, &config(Algorithm::Gta));
+        for by in [ShardBy::Hash, ShardBy::Geo] {
+            let cold = run(&scenario, &config(Algorithm::Gta).with_shards(3, by));
+            assert_eq!(flat, cold, "cold sharded day diverged ({by:?})");
+            let warm = run(
+                &scenario,
+                &config(Algorithm::Gta).with_shards(3, by).with_incremental(),
+            );
+            assert_eq!(flat, warm, "incremental sharded day diverged ({by:?})");
+        }
+    }
+
+    #[test]
+    fn sharded_iterative_day_is_valid_and_deterministic() {
+        let scenario = small_scenario(24);
+        let cfg = config(Algorithm::Iegt(IegtConfig::default()))
+            .with_shards(2, ShardBy::Geo)
+            .with_incremental();
+        let a = run(&scenario, &cfg);
+        let b = run(&scenario, &cfg);
+        assert_eq!(a, b, "sharded incremental runs must be reproducible");
+        assert!(a.is_conserved(), "accounting broken: {a:?}");
+        assert!(a.tasks_completed > 0, "sharded day delivered nothing");
     }
 
     #[test]
@@ -1498,6 +1596,39 @@ mod tests {
         assert_eq!(
             recovered, uninterrupted,
             "re-hydrated warm path diverged from the live warm path"
+        );
+        let _ = fs::remove_dir_all(&crash);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rehydrates_sharded_incremental_caches() {
+        // A sharded incremental day journals a center-sorted cache seed
+        // interchangeable with the flat solver's; recovery must partition
+        // it back per shard and resume bit-for-bit.
+        let scenario = small_scenario(57);
+        let dir = durable_dir("inc-sharded");
+        let cfg = journaled_config(Algorithm::Iegt(IegtConfig::default()), &dir)
+            .with_incremental()
+            .with_shards(2, ShardBy::Geo);
+        let uninterrupted = run(&scenario, &cfg);
+        let rounds = fta_durable::read_log(&dir.join(fta_durable::WAL_FILE))
+            .unwrap()
+            .frames
+            .len();
+        assert!(rounds >= 3);
+        let k = rounds / 2;
+        let crash = crashed_copy(&dir, "inc-sharded-crash", wal_prefix_len(&dir, k));
+        let mut cfg_k = cfg.clone();
+        cfg_k.durable.as_mut().unwrap().dir.clone_from(&crash);
+        let (recovered, info) = restore(&scenario, &cfg_k).expect("recovery succeeds");
+        assert!(
+            info.cache_rehydrated,
+            "sharded incremental recovery must re-hydrate the solver caches"
+        );
+        assert_eq!(
+            recovered, uninterrupted,
+            "re-hydrated sharded warm path diverged from the live warm path"
         );
         let _ = fs::remove_dir_all(&crash);
         let _ = fs::remove_dir_all(&dir);

@@ -435,6 +435,8 @@ pub(crate) fn fingerprint(scenario: &Scenario, config: &SimConfig) -> u64 {
     w.bytes(format!("{:?}", config.vdps).as_bytes());
     w.bytes(format!("{:?}", config.budget).as_bytes());
     w.bytes(format!("{:?}", config.faults).as_bytes());
+    w.bytes(format!("{:?}", config.shards).as_bytes());
+    w.bytes(format!("{:?}", config.shard_by).as_bytes());
     w.u8(u8::from(config.parallel));
     w.u8(u8::from(config.incremental));
     fnv64(&w.into_bytes())

@@ -209,6 +209,37 @@ impl<'env> TaskScope<'env> {
         self.map_with_steals(jobs).0
     }
 
+    /// Cost-aware [`TaskScope::map`]: runs every `(cost, job)` pair and
+    /// returns results in input order, but *enqueues* the jobs in
+    /// descending cost order (ties to the lower input index, so
+    /// scheduling is deterministic). Queued jobs are picked up FIFO, so
+    /// the heaviest job starts first and cheap jobs backfill the other
+    /// threads instead of a heavy straggler serializing the tail of the
+    /// batch. Costs are hints: they affect wall-clock only, never
+    /// results.
+    pub fn map_prioritized<T, F>(&self, jobs: Vec<(u64, F)>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&TaskScope<'env>) -> T + Send + 'env,
+    {
+        let n = jobs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| jobs[b].0.cmp(&jobs[a].0).then(a.cmp(&b)));
+        let mut slots: Vec<Option<F>> = jobs.into_iter().map(|(_, f)| Some(f)).collect();
+        let by_cost: Vec<F> = order
+            .iter()
+            .map(|&i| slots[i].take().expect("each job is scheduled once"))
+            .collect();
+        let results = self.map(by_cost);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (slot, value) in order.into_iter().zip(results) {
+            out[slot] = Some(value);
+        }
+        out.into_iter()
+            .map(|v| v.expect("every job returns exactly once"))
+            .collect()
+    }
+
     /// Like [`TaskScope::map`], additionally reporting how many of the
     /// batch's jobs were executed by a thread other than the caller.
     pub fn map_with_steals<T, F>(&self, jobs: Vec<F>) -> (Vec<T>, usize)
@@ -336,6 +367,45 @@ mod tests {
             });
             assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn map_prioritized_preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::with_threads(threads);
+            let out = pool.scope(|ts| {
+                // Costs deliberately anti-correlated with index so the
+                // execution order differs from the input order.
+                let jobs: Vec<_> = (0..64)
+                    .map(|i| (64 - i, move |_: &TaskScope<'_>| i * i))
+                    .collect();
+                ts.map_prioritized(jobs)
+            });
+            assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_prioritized_runs_heaviest_first() {
+        // Sequential scope: jobs run inline in enqueue order, so the
+        // observed execution order IS the scheduling order.
+        let pool = WorkerPool::sequential();
+        let ran = std::sync::Mutex::new(Vec::new());
+        pool.scope(|ts| {
+            let jobs: Vec<_> = [3u64, 9, 1, 9]
+                .into_iter()
+                .enumerate()
+                .map(|(i, cost)| {
+                    let ran = &ran;
+                    (cost, move |_: &TaskScope<'_>| {
+                        ran.lock().unwrap().push(i);
+                    })
+                })
+                .collect();
+            ts.map_prioritized(jobs);
+        });
+        // Descending cost, ties to the lower index: 9(i=1), 9(i=3), 3, 1.
+        assert_eq!(*ran.lock().unwrap(), vec![1, 3, 0, 2]);
     }
 
     #[test]
